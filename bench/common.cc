@@ -1,0 +1,334 @@
+#include "common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace delorean::bench
+{
+
+namespace
+{
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+} // namespace
+
+Options
+Options::parse(int argc, char **argv)
+{
+    Options opt;
+
+    if (const char *env = std::getenv("DELOREAN_SPACING"))
+        opt.spacing = InstCount(std::atoll(env));
+    if (const char *env = std::getenv("DELOREAN_QUICK")) {
+        if (std::strcmp(env, "0") != 0)
+            opt.spacing = 1'000'000;
+    }
+    if (const char *env = std::getenv("DELOREAN_BENCH"))
+        opt.benchmarks = splitCsv(env);
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            fatal_if(i + 1 >= argc, "missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--spacing") {
+            opt.spacing = InstCount(std::atoll(next()));
+        } else if (arg == "--regions") {
+            opt.regions = unsigned(std::atoi(next()));
+        } else if (arg == "--bench") {
+            opt.benchmarks = splitCsv(next());
+        } else if (arg == "--quick") {
+            opt.spacing = 1'000'000;
+        } else if (arg == "--no-cache") {
+            opt.use_cache = false;
+        } else {
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    return opt;
+}
+
+sampling::RegionSchedule
+Options::schedule() const
+{
+    sampling::RegionSchedule s;
+    s.num_regions = regions;
+    s.spacing = spacing;
+    s.validate();
+    return s;
+}
+
+core::DeloreanConfig
+Options::config(std::uint64_t llc_size, bool prefetch) const
+{
+    core::DeloreanConfig c;
+    c.schedule = schedule();
+    c.hier.llc.size = llc_size;
+    c.sim.prefetch = prefetch;
+    return c;
+}
+
+const std::vector<std::string> &
+Options::benchmarkList() const
+{
+    if (!benchmarks.empty())
+        return benchmarks;
+    return workload::specBenchmarkNames();
+}
+
+RunSummary
+RunSummary::from(const sampling::MethodResult &r)
+{
+    RunSummary s;
+    s.benchmark = r.benchmark;
+    s.method = r.method;
+    s.cpi = r.cpi();
+    s.mpki = r.mpki();
+    s.mips = r.mips;
+    s.wall_seconds = r.wall_seconds;
+    s.reuse_samples = r.reuse_samples;
+    s.traps = r.traps;
+    s.false_positives = r.false_positives;
+    s.keys_total = r.keys_total;
+    s.keys_explored = r.keys_explored;
+    s.keys_unresolved = r.keys_unresolved;
+    s.avg_explorers = r.avg_explorers;
+    for (int k = 0; k < 4; ++k)
+        s.keys_by_explorer[k] = r.keys_by_explorer[std::size_t(k)];
+    return s;
+}
+
+namespace
+{
+
+constexpr int cache_version = 3;
+
+std::string
+cacheFile(const Options &opt, std::uint64_t llc_size, bool prefetch,
+          const std::string &tag)
+{
+    std::ostringstream os;
+    os << "delorean_sweep_v" << cache_version << "_llc"
+       << llc_size / MiB << "m_sp" << opt.spacing << "_r" << opt.regions
+       << (prefetch ? "_pref" : "") << (tag.empty() ? "" : "_" + tag)
+       << ".tsv";
+    return os.str();
+}
+
+void
+writeSummary(std::ostream &os, const RunSummary &s)
+{
+    os << s.benchmark << '\t' << s.method << '\t' << s.cpi << '\t'
+       << s.mpki << '\t' << s.mips << '\t' << s.wall_seconds << '\t'
+       << s.reuse_samples << '\t' << s.traps << '\t'
+       << s.false_positives << '\t' << s.keys_total << '\t'
+       << s.keys_explored << '\t' << s.keys_unresolved << '\t'
+       << s.avg_explorers;
+    for (int k = 0; k < 4; ++k)
+        os << '\t' << s.keys_by_explorer[k];
+    os << '\n';
+}
+
+bool
+readSummary(std::istream &is, RunSummary &s)
+{
+    std::string line;
+    if (!std::getline(is, line) || line.empty())
+        return false;
+    std::istringstream ls(line);
+    ls >> s.benchmark >> s.method >> s.cpi >> s.mpki >> s.mips >>
+        s.wall_seconds >> s.reuse_samples >> s.traps >>
+        s.false_positives >> s.keys_total >> s.keys_explored >>
+        s.keys_unresolved >> s.avg_explorers;
+    for (int k = 0; k < 4; ++k)
+        ls >> s.keys_by_explorer[k];
+    return !ls.fail();
+}
+
+std::vector<BenchmarkSweep>
+loadCache(const std::string &file,
+          const std::vector<std::string> &benchmarks)
+{
+    std::ifstream is(file);
+    if (!is)
+        return {};
+    std::vector<BenchmarkSweep> sweeps;
+    for (const auto &name : benchmarks) {
+        BenchmarkSweep sw;
+        if (!readSummary(is, sw.smarts) ||
+            !readSummary(is, sw.coolsim) ||
+            !readSummary(is, sw.delorean))
+            return {};
+        if (sw.smarts.benchmark != name)
+            return {};
+        sweeps.push_back(sw);
+    }
+    return sweeps;
+}
+
+} // namespace
+
+std::vector<BenchmarkSweep>
+runSweep(const Options &opt, std::uint64_t llc_size, bool prefetch,
+         const std::string &tag)
+{
+    const std::string file = cacheFile(opt, llc_size, prefetch, tag);
+    const auto &benchmarks = opt.benchmarkList();
+
+    if (opt.use_cache) {
+        auto cached = loadCache(file, benchmarks);
+        if (!cached.empty()) {
+            std::fprintf(stderr, "[sweep] loaded %zu benchmarks from %s\n",
+                         cached.size(), file.c_str());
+            return cached;
+        }
+    }
+
+    const auto cfg = opt.config(llc_size, prefetch);
+    std::vector<BenchmarkSweep> sweeps;
+    for (const auto &name : benchmarks) {
+        std::fprintf(stderr, "[sweep] %s (llc=%s%s)...\n", name.c_str(),
+                     mib(llc_size).c_str(), prefetch ? ", prefetch" : "");
+        auto trace = workload::makeSpecTrace(name);
+        BenchmarkSweep sw;
+        sw.smarts =
+            RunSummary::from(sampling::SmartsMethod::run(*trace, cfg));
+        sw.coolsim =
+            RunSummary::from(sampling::CoolSimMethod::run(*trace, cfg));
+        sw.delorean =
+            RunSummary::from(core::DeloreanMethod::run(*trace, cfg));
+        sweeps.push_back(sw);
+    }
+
+    if (opt.use_cache) {
+        std::ofstream os(file);
+        for (const auto &sw : sweeps) {
+            writeSummary(os, sw.smarts);
+            writeSummary(os, sw.coolsim);
+            writeSummary(os, sw.delorean);
+        }
+    }
+    return sweeps;
+}
+
+MultiSizeReference
+multiSizeReference(const workload::TraceSource &master,
+                   const sampling::RegionSchedule &schedule,
+                   const cache::HierarchyConfig &base,
+                   const std::vector<std::uint64_t> &sizes,
+                   const cpu::DetailedSimConfig &sim_config)
+{
+    MultiSizeReference out;
+    out.sizes = sizes;
+    out.mpki.assign(sizes.size(), 0.0);
+    out.cpi.assign(sizes.size(), 0.0);
+
+    cache::Cache l1i(base.l1i);
+    cache::Cache l1d(base.l1d);
+    std::vector<cache::Cache> llcs;
+    for (const auto size : sizes)
+        llcs.emplace_back(base.withLlcSize(size).llc);
+
+    std::vector<double> cycles(sizes.size(), 0.0);
+    std::vector<Counter> misses(sizes.size(), 0);
+    InstCount detailed_insts = 0;
+
+    auto trace = master.clone();
+    Addr last_fetch = invalid_addr;
+
+    for (unsigned r = 0; r < schedule.num_regions; ++r) {
+        // Functional warming up to the region, all LLCs in lockstep.
+        const InstCount until = schedule.warmingStart(r);
+        while (trace->position() < until) {
+            const auto inst = trace->next();
+            const Addr fl = lineOf(inst.pc);
+            if (fl != last_fetch) {
+                if (!l1i.access(fl, false).hit) {
+                    for (auto &llc : llcs)
+                        llc.access(fl, false);
+                }
+                last_fetch = fl;
+            }
+            if (!inst.isMem())
+                continue;
+            const Addr line = inst.line();
+            const auto l1 = l1d.access(line, inst.isStore());
+            if (!l1.hit) {
+                for (auto &llc : llcs) {
+                    if (l1.writeback)
+                        llc.insert(l1.victim_line, true);
+                    llc.access(line, false);
+                }
+            }
+        }
+
+        // Per size: snapshot the warmed state and run the timed region.
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            cache::CacheHierarchy hier(base.withLlcSize(sizes[i]), l1i,
+                                       l1d, llcs[i]);
+            cpu::DetailedSimulator sim(hier, sim_config);
+            auto region = trace->clone();
+            sim.warmRegion(*region, schedule.detailed_warming);
+            const auto stats =
+                sim.simulate(*region, schedule.region_len, nullptr);
+            cycles[i] += stats.cycles;
+            misses[i] += stats.llcMisses();
+        }
+        detailed_insts += schedule.region_len;
+        // The master pass keeps walking through the region window.
+    }
+
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+        out.cpi[i] = cycles[i] / double(detailed_insts);
+        out.mpki[i] =
+            double(misses[i]) * 1000.0 / double(detailed_insts);
+    }
+    return out;
+}
+
+void
+printHeading(const std::string &title, const std::string &paper_ref)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("(reproduces %s of Nikoleris et al., MICRO 2019)\n",
+                paper_ref.c_str());
+    std::printf("==============================================================\n");
+}
+
+std::string
+mib(std::uint64_t bytes)
+{
+    std::ostringstream os;
+    if (bytes < MiB) {
+        os << bytes / KiB << "KiB";
+        return os.str();
+    }
+    const double v = double(bytes) / double(MiB);
+    if (v == double(std::uint64_t(v)))
+        os << std::uint64_t(v) << "MiB";
+    else
+        os << v << "MiB";
+    return os.str();
+}
+
+} // namespace delorean::bench

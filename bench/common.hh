@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Shared harness for the per-figure benchmark binaries.
+ *
+ * Every binary reproduces one table/figure of the paper and prints the
+ * same rows/series the paper reports, plus `paper=` annotations with the
+ * published values where available. Binaries accept:
+ *
+ *   --spacing N     region spacing in instructions (default 5,000,000)
+ *   --regions N     number of detailed regions (default 10)
+ *   --bench a,b,c   benchmark subset (default: all 24)
+ *   --quick         1,000,000-instruction spacing, for smoke runs
+ *   --no-cache      ignore the sweep cache
+ *
+ * Environment: DELOREAN_SPACING, DELOREAN_QUICK=1, DELOREAN_BENCH.
+ *
+ * The 24-benchmark x 3-method sweep that figures 5-9 share is cached in
+ * a TSV in the working directory keyed by its parameters, so each figure
+ * binary after the first loads instead of recomputing.
+ */
+
+#ifndef DELOREAN_BENCH_COMMON_HH
+#define DELOREAN_BENCH_COMMON_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/delorean.hh"
+#include "sampling/coolsim.hh"
+#include "sampling/metrics.hh"
+#include "sampling/smarts.hh"
+#include "workload/spec_profiles.hh"
+
+namespace delorean::bench
+{
+
+/** Command-line / environment options shared by all figure binaries. */
+struct Options
+{
+    unsigned regions = 10;
+    InstCount spacing = 5'000'000;
+    std::vector<std::string> benchmarks; //!< empty = all 24
+    bool use_cache = true;
+
+    static Options parse(int argc, char **argv);
+
+    sampling::RegionSchedule schedule() const;
+
+    /** Full DeLorean config (usable as MethodConfig) for an LLC size. */
+    core::DeloreanConfig config(std::uint64_t llc_size,
+                                bool prefetch = false) const;
+
+    const std::vector<std::string> &benchmarkList() const;
+};
+
+/** Summary of one (benchmark, method) run — the cacheable subset. */
+struct RunSummary
+{
+    std::string benchmark;
+    std::string method;
+    double cpi = 0.0;
+    double mpki = 0.0;
+    double mips = 0.0;
+    double wall_seconds = 0.0;
+    std::uint64_t reuse_samples = 0;
+    std::uint64_t traps = 0;
+    std::uint64_t false_positives = 0;
+    std::uint64_t keys_total = 0;
+    std::uint64_t keys_explored = 0;
+    std::uint64_t keys_unresolved = 0;
+    double avg_explorers = 0.0;
+    std::uint64_t keys_by_explorer[4] = {0, 0, 0, 0};
+
+    static RunSummary from(const sampling::MethodResult &r);
+};
+
+/** The three methods' summaries for one benchmark. */
+struct BenchmarkSweep
+{
+    RunSummary smarts;
+    RunSummary coolsim;
+    RunSummary delorean;
+};
+
+/**
+ * Run (or load from cache) the full three-method sweep at @p llc_size
+ * for the configured benchmarks.
+ *
+ * @param tag distinguishes variant sweeps (e.g. "pref") in the cache
+ */
+std::vector<BenchmarkSweep> runSweep(const Options &opt,
+                                     std::uint64_t llc_size,
+                                     bool prefetch = false,
+                                     const std::string &tag = "");
+
+/**
+ * SMARTS-style reference over many LLC sizes in ONE functional pass:
+ * a shared L1 pair filters the stream into one warmed LLC per size; at
+ * each detailed region, per-size copies of the warmed caches feed a
+ * timed detailed simulation. Orders of magnitude cheaper than one full
+ * SMARTS run per size, with the same curve shapes (figures 13/14).
+ */
+struct MultiSizeReference
+{
+    std::vector<std::uint64_t> sizes;
+    std::vector<double> mpki;
+    std::vector<double> cpi;
+};
+
+MultiSizeReference
+multiSizeReference(const workload::TraceSource &master,
+                   const sampling::RegionSchedule &schedule,
+                   const cache::HierarchyConfig &base,
+                   const std::vector<std::uint64_t> &sizes,
+                   const cpu::DetailedSimConfig &sim_config);
+
+/** Heading in the output of each figure binary. */
+void printHeading(const std::string &title, const std::string &paper_ref);
+
+/** Format a size in MiB without trailing zeros. */
+std::string mib(std::uint64_t bytes);
+
+} // namespace delorean::bench
+
+#endif // DELOREAN_BENCH_COMMON_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 5: normalized simulation speed for SMARTS, CoolSim and
+ * DeLorean across the 24 SPEC-like benchmarks.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace delorean;
+    const auto opt = bench::Options::parse(argc, argv);
+    const auto sweeps = bench::runSweep(opt, 8 * MiB);
+
+    bench::printHeading(
+        "Normalized simulation speed (SMARTS = 1)", "Figure 5");
+    std::printf("%-11s %9s %9s %9s %12s %12s\n", "benchmark", "SMARTS",
+                "CoolSim", "DeLorean", "D/S", "D/C");
+
+    double sum_mips_s = 0, sum_mips_c = 0, sum_mips_d = 0;
+    double sum_norm_c = 0, sum_norm_d = 0, sum_dc = 0;
+    for (const auto &sw : sweeps) {
+        const double c = sw.smarts.wall_seconds / sw.coolsim.wall_seconds;
+        const double d =
+            sw.smarts.wall_seconds / sw.delorean.wall_seconds;
+        std::printf("%-11s %9.2f %9.2f %9.2f %11.1fx %11.2fx\n",
+                    sw.smarts.benchmark.c_str(), 1.0, c, d, d, d / c);
+        sum_mips_s += sw.smarts.mips;
+        sum_mips_c += sw.coolsim.mips;
+        sum_mips_d += sw.delorean.mips;
+        sum_norm_c += c;
+        sum_norm_d += d;
+        sum_dc += d / c;
+    }
+    const double n = double(sweeps.size());
+    std::printf("%-11s %9.2f %9.2f %9.2f %11.1fx %11.2fx\n", "average",
+                1.0, sum_norm_c / n, sum_norm_d / n, sum_norm_d / n,
+                sum_dc / n);
+    std::printf("\nabsolute speeds: SMARTS %.2f MIPS (paper: 1.3), "
+                "CoolSim %.1f MIPS (paper: 21.9), DeLorean %.1f MIPS "
+                "(paper: 126)\n",
+                sum_mips_s / n, sum_mips_c / n, sum_mips_d / n);
+    std::printf("average speedups: %.0fx vs SMARTS (paper: 96x), "
+                "%.1fx vs CoolSim (paper: 5.7x)\n",
+                sum_norm_d / n, sum_dc / n);
+    return 0;
+}

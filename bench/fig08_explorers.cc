@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 8: average number of Explorers engaged per benchmark.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace delorean;
+    const auto opt = bench::Options::parse(argc, argv);
+    const auto sweeps = bench::runSweep(opt, 8 * MiB);
+
+    bench::printHeading("Average number of Explorers engaged",
+                        "Figure 8");
+    std::printf("%-11s %10s  %s\n", "benchmark", "explorers",
+                "(0-4; paper highlights below)");
+
+    for (const auto &sw : sweeps) {
+        const auto &d = sw.delorean;
+        std::printf("%-11s %10.2f  ", d.benchmark.c_str(),
+                    d.avg_explorers);
+        const int bars = int(d.avg_explorers * 10.0);
+        for (int i = 0; i < bars; ++i)
+            std::printf("#");
+        std::printf("\n");
+    }
+    std::printf(
+        "\npaper highlights: bwaves lowest (<1); zeusmp/cactusADM/"
+        "GemsFDTD/lbm up to four;\nmcf/gromacs/leslie3d/sjeng/astar "
+        "relatively many (few long reuses); calculix low with a single\n"
+        "deep region (its long reuses come from one detailed region)\n");
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Figure 9: CPI for DeLorean, CoolSim and SMARTS (reference) with an
+ * 8 MiB LLC, plus the CPI error summary the paper quotes (CoolSim
+ * ~9.1%, DeLorean ~3.5%).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace delorean;
+    const auto opt = bench::Options::parse(argc, argv);
+    const auto sweeps = bench::runSweep(opt, 8 * MiB);
+
+    bench::printHeading("CPI, 8 MiB LLC (SMARTS = reference)",
+                        "Figure 9");
+    std::printf("%-11s %9s %9s %9s %9s %9s\n", "benchmark", "SMARTS",
+                "CoolSim", "DeLorean", "errC%", "errD%");
+
+    double sum_ec = 0, sum_ed = 0;
+    for (const auto &sw : sweeps) {
+        const double ec = sampling::relativeErrorPct(sw.smarts.cpi,
+                                                     sw.coolsim.cpi);
+        const double ed = sampling::relativeErrorPct(sw.smarts.cpi,
+                                                     sw.delorean.cpi);
+        std::printf("%-11s %9.3f %9.3f %9.3f %9.1f %9.1f\n",
+                    sw.smarts.benchmark.c_str(), sw.smarts.cpi,
+                    sw.coolsim.cpi, sw.delorean.cpi, ec, ed);
+        sum_ec += ec;
+        sum_ed += ed;
+    }
+    const double n = double(sweeps.size());
+    std::printf("\naverage CPI error: CoolSim %.1f%% (paper: 9.1%%), "
+                "DeLorean %.1f%% (paper: 3.5%%)\n",
+                sum_ec / n, sum_ed / n);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 11: speed/accuracy trade-off for an 8 MiB LLC as a function of
+ * the vicinity sampling density (1 per 10k / 100k / 1M memory
+ * instructions). Paper: 126 MIPS at 3.5% error with 1/100k; 71.3 MIPS
+ * at 2.2% with 1/10k.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace delorean;
+    const auto opt = bench::Options::parse(argc, argv);
+
+    // SMARTS reference comes from the shared sweep (cached).
+    const auto sweeps = bench::runSweep(opt, 8 * MiB);
+
+    bench::printHeading(
+        "Speed vs accuracy across vicinity sampling densities",
+        "Figure 11");
+    std::printf("%-12s %12s %12s %14s\n", "density", "avg MIPS",
+                "avg err%", "avg samples");
+
+    for (const std::uint64_t period :
+         {10'000ull, 100'000ull, 1'000'000ull}) {
+        double sum_mips = 0, sum_err = 0, sum_samples = 0;
+        std::size_t i = 0;
+        for (const auto &name : opt.benchmarkList()) {
+            if (period == 100'000) {
+                // The default density is exactly the shared sweep.
+                sum_mips += sweeps[i].delorean.mips;
+                sum_err += sampling::relativeErrorPct(
+                    sweeps[i].smarts.cpi, sweeps[i].delorean.cpi);
+                sum_samples += double(sweeps[i].delorean.reuse_samples);
+                ++i;
+                continue;
+            }
+            auto cfg = opt.config(8 * MiB);
+            cfg.paper_vicinity_period = period;
+            auto trace = workload::makeSpecTrace(name);
+            const auto d = core::DeloreanMethod::run(*trace, cfg);
+            sum_mips += d.mips;
+            sum_err += sampling::relativeErrorPct(sweeps[i].smarts.cpi,
+                                                  d.cpi());
+            sum_samples += double(d.reuse_samples);
+            ++i;
+        }
+        const double n = double(i);
+        std::printf("1/%-10llu %12.1f %12.2f %14.0f\n",
+                    (unsigned long long)period, sum_mips / n,
+                    sum_err / n, sum_samples / n);
+    }
+    std::printf("\npaper: 1/100k -> 126 MIPS at 3.5%% error; "
+                "1/10k -> 71.3 MIPS at 2.2%% error (denser vicinity = "
+                "more accurate, slower)\n");
+    return 0;
+}

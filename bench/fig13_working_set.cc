@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 13: working-set curves (MPKI vs LLC size, 1..512 MiB) for
+ * cactusADM, leslie3d and lbm — SMARTS reference vs DeLorean with one
+ * shared warm-up (design-space mode).
+ *
+ * Runs at a larger default spacing (25 M instructions) than the other
+ * figures so that the biggest structures are re-referenced within the
+ * deepest Explorer horizon; the large-cache knee consequently appears
+ * at a few tens of MiB instead of the paper's 512 MiB (the trace is
+ * 40x shorter — see EXPERIMENTS.md).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "core/dse.hh"
+#include "statmodel/working_set.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace delorean;
+    auto opt = bench::Options::parse(argc, argv);
+    if (opt.spacing == 5'000'000) // default not overridden
+        opt.spacing = 25'000'000;
+    if (opt.benchmarks.empty())
+        opt.benchmarks = {"cactusADM", "leslie3d", "lbm"};
+
+    const auto sizes = statmodel::paperLlcSizes();
+
+    bench::printHeading(
+        "Working-set curves: MPKI vs LLC size (SMARTS vs DeLorean)",
+        "Figure 13");
+
+    for (const auto &name : opt.benchmarkList()) {
+        std::fprintf(stderr, "[fig13] %s...\n", name.c_str());
+        auto trace = workload::makeSpecTrace(name);
+        const auto cfg = opt.config(1 * MiB);
+
+        const auto ref = bench::multiSizeReference(
+            *trace, cfg.schedule, cfg.hier, sizes, cfg.sim);
+        const auto dse =
+            core::DesignSpaceExplorer::run(*trace, cfg, sizes);
+
+        std::printf("\n%s (MPKI; solid=SMARTS, dashed=DeLorean in the "
+                    "paper)\n",
+                    name.c_str());
+        std::printf("%10s %12s %12s\n", "size", "SMARTS", "DeLorean");
+        statmodel::WorkingSetCurve smarts_curve, delorean_curve;
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            std::printf("%10s %12.2f %12.2f\n",
+                        bench::mib(sizes[i]).c_str(), ref.mpki[i],
+                        dse.points[i].result.mpki());
+            smarts_curve.addPoint(sizes[i], ref.mpki[i]);
+            delorean_curve.addPoint(sizes[i],
+                                    dse.points[i].result.mpki());
+        }
+        const auto knees = smarts_curve.knees(0.4, 0.5);
+        std::printf("knees (SMARTS): ");
+        if (knees.empty())
+            std::printf("none pronounced");
+        for (const auto k : knees)
+            std::printf("%s ", bench::mib(k).c_str());
+        std::printf("\n");
+    }
+
+    std::printf("\npaper: lbm shows knees near 8 MiB and 512 MiB; "
+                "cactusADM and leslie3d decline without a pronounced "
+                "knee. DeLorean tracks the reference curves.\n");
+    return 0;
+}

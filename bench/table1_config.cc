@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table 1: the simulated processor architecture. Prints the library's
+ * default configuration next to the paper's published values so any
+ * drift is immediately visible.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace delorean;
+    const auto opt = bench::Options::parse(argc, argv);
+    const auto cfg = opt.config(8 * MiB);
+
+    bench::printHeading("Simulated processor architecture", "Table 1");
+
+    const auto &core = cfg.sim.core;
+    const auto &bp = cfg.sim.bpred;
+    const auto &h = cfg.hier;
+
+    std::printf("%-28s %-22s %s\n", "parameter", "this library", "paper");
+    std::printf("%-28s %-22u %s\n", "ROB entries", core.rob, "192");
+    std::printf("%-28s %-22u %s\n", "IQ entries", core.iq, "64");
+    std::printf("%-28s %-22u %s\n", "SQ entries", core.sq, "64");
+    std::printf("%-28s %-22u %s\n", "LQ entries", core.lq, "64");
+    std::printf("%-28s %-22u %s\n", "issue width", core.width, "8");
+    std::printf("%-28s %-22u %s\n", "local predictor entries",
+                bp.local_entries, "2k x 2bit");
+    std::printf("%-28s %-22u %s\n", "global predictor entries",
+                bp.global_entries, "8k x 2bit");
+    std::printf("%-28s %-22u %s\n", "choice predictor entries",
+                bp.choice_entries, "8k x 2bit");
+    std::printf("%-28s %-22u %s\n", "BTB entries", bp.btb_entries, "4k");
+    std::printf("%-28s %-22s %s\n", "L1-I",
+                (bench::mib(h.l1i.size) + " " +
+                 std::to_string(h.l1i.assoc) + "-way lru")
+                    .c_str(),
+                "64KiB 2-way LRU 64B");
+    std::printf("%-28s %-22s %s\n", "L1-D",
+                (bench::mib(h.l1d.size) + " " +
+                 std::to_string(h.l1d.assoc) + "-way lru")
+                    .c_str(),
+                "64KiB 2-way LRU 64B");
+    std::printf("%-28s %-22s %s\n", "LLC",
+                (bench::mib(h.llc.size) + " " +
+                 std::to_string(h.llc.assoc) + "-way lru")
+                    .c_str(),
+                "1MiB-512MiB 8-way LRU");
+    std::printf("%-28s %u/%u/%u %-12s %s\n", "MSHRs (L1I/L1D/LLC)",
+                h.l1i.mshrs, h.l1d.mshrs, h.llc.mshrs, "",
+                "4/8/20");
+    std::printf("%-28s %-22llu %s\n", "cacheline bytes",
+                (unsigned long long)line_size, "64");
+    return 0;
+}

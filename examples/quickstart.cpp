@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Quickstart: simulate one SPEC-like benchmark with all three sampling
+ * methods and compare speed and accuracy.
+ *
+ *   ./quickstart [benchmark] [spacing]
+ *
+ * Defaults: benchmark = bzip2, spacing = 2,000,000 instructions between
+ * the 10 detailed regions (a ~20M-instruction trace, a few seconds).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/delorean.hh"
+#include "sampling/coolsim.hh"
+#include "sampling/metrics.hh"
+#include "sampling/smarts.hh"
+#include "workload/spec_profiles.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace delorean;
+
+    const std::string name = argc > 1 ? argv[1] : "bzip2";
+    const InstCount spacing =
+        argc > 2 ? InstCount(std::atoll(argv[2])) : 2'000'000;
+
+    // 1. Build the workload. Any TraceSource works; the library ships
+    //    24 SPEC CPU2006-like profiles.
+    auto trace = workload::makeSpecTrace(name);
+
+    // 2. Configure the simulated machine (defaults follow Table 1 of
+    //    the paper: 64 KiB L1s, 8 MiB 8-way LLC, 8-wide OoO core) and
+    //    the sampling schedule.
+    core::DeloreanConfig config;
+    config.schedule.spacing = spacing;
+    config.schedule.num_regions = 10;
+
+    std::printf("benchmark      : %s\n", name.c_str());
+    std::printf("trace length   : %llu instructions (scale S=%.0f)\n",
+                (unsigned long long)config.schedule.totalInstructions(),
+                config.schedule.scaleFactor());
+
+    // 3. Run the reference (SMARTS, functional warming), the prior
+    //    state of the art (CoolSim, randomized statistical warming),
+    //    and DeLorean (directed statistical warming + time traveling).
+    const auto smarts = sampling::SmartsMethod::run(*trace, config);
+    const auto coolsim = sampling::CoolSimMethod::run(*trace, config);
+    const auto delorean = core::DeloreanMethod::run(*trace, config);
+
+    std::printf("\n%-10s %10s %10s %12s %14s\n", "method", "CPI",
+                "MPKI", "speed/MIPS", "reuse samples");
+    for (const auto *r : {&smarts, &coolsim, &delorean}) {
+        std::printf("%-10s %10.3f %10.2f %12.1f %14llu\n",
+                    r->method.c_str(), r->cpi(), r->mpki(), r->mips,
+                    (unsigned long long)r->reuse_samples);
+    }
+
+    std::printf("\nDeLorean vs SMARTS : %5.1fx faster, %.2f%% CPI error\n",
+                sampling::speedupOver(smarts, delorean),
+                sampling::cpiErrorPct(smarts, delorean));
+    std::printf("DeLorean vs CoolSim: %5.1fx faster (CoolSim error "
+                "%.2f%%)\n",
+                sampling::speedupOver(coolsim, delorean),
+                sampling::cpiErrorPct(smarts, coolsim));
+    std::printf("key cachelines     : %llu total, %.1f avg Explorers "
+                "engaged\n",
+                (unsigned long long)delorean.keys_total,
+                delorean.avg_explorers);
+    return 0;
+}

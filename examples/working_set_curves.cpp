@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Working-set characterization (paper §6.4.1): build MPKI-vs-cache-size
+ * curves for a benchmark with DeLorean's amortized warm-up and detect
+ * the knees that reveal the application's working-set sizes.
+ *
+ *   ./working_set_curves [benchmark] [spacing]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/dse.hh"
+#include "statmodel/working_set.hh"
+#include "workload/spec_profiles.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace delorean;
+
+    const std::string name = argc > 1 ? argv[1] : "lbm";
+    const InstCount spacing =
+        argc > 2 ? InstCount(std::atoll(argv[2])) : 5'000'000;
+
+    auto trace = workload::makeSpecTrace(name);
+
+    core::DeloreanConfig cfg;
+    cfg.schedule.spacing = spacing;
+
+    // One Scout + one set of Explorers feed an Analyst per cache size:
+    // the whole curve costs barely more than a single evaluation.
+    const auto sizes = statmodel::paperLlcSizes();
+    const auto out =
+        core::DesignSpaceExplorer::run(*trace, cfg, sizes);
+
+    std::printf("working-set curve for %s (MPKI vs LLC size)\n\n",
+                name.c_str());
+    statmodel::WorkingSetCurve curve;
+    double max_mpki = 0.0;
+    for (const auto &p : out.points)
+        max_mpki = std::max(max_mpki, p.result.mpki());
+    for (const auto &p : out.points) {
+        curve.addPoint(p.llc_size, p.result.mpki());
+        std::printf("%6llu MiB %8.2f  ",
+                    (unsigned long long)(p.llc_size / MiB),
+                    p.result.mpki());
+        const int bars =
+            max_mpki > 0.0
+                ? int(40.0 * p.result.mpki() / max_mpki)
+                : 0;
+        for (int i = 0; i < bars; ++i)
+            std::printf("#");
+        std::printf("\n");
+    }
+
+    const auto knees = curve.knees(0.4, 0.5);
+    if (knees.empty()) {
+        std::printf("\nno pronounced knee: the working set either fits "
+                    "the smallest cache or exceeds the largest\n");
+    } else {
+        std::printf("\nworking-set knees at: ");
+        for (const auto k : knees)
+            std::printf("%llu MiB ", (unsigned long long)(k / MiB));
+        std::printf("\n");
+    }
+    std::printf("\n(one shared warm-up served all %zu cache sizes; "
+                "marginal cost %.3fx)\n",
+                sizes.size(), out.cost.marginal_factor);
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Address manipulation helpers: cacheline and page extraction.
+ *
+ * DeLorean's watchpoint machinery works at *page* granularity (the paper
+ * uses the OS page-protection mechanism) while all cache modeling works at
+ * *cacheline* granularity, so both mappings live here, next to each other.
+ */
+
+#ifndef DELOREAN_BASE_ADDR_HH
+#define DELOREAN_BASE_ADDR_HH
+
+#include "base/intmath.hh"
+#include "base/types.hh"
+
+namespace delorean
+{
+
+/** Cacheline size used across the library (Table 1: 64 B lines). */
+constexpr Addr line_size = 64;
+constexpr int line_shift = 6;
+
+/** Host/guest page size for the watchpoint (page protection) machinery. */
+constexpr Addr page_size = 4096;
+constexpr int page_shift = 12;
+
+static_assert(Addr(1) << line_shift == line_size);
+static_assert(Addr(1) << page_shift == page_size);
+
+/** @return the cacheline number containing byte address @p addr. */
+constexpr Addr
+lineOf(Addr addr)
+{
+    return addr >> line_shift;
+}
+
+/** @return the first byte address of cacheline number @p line. */
+constexpr Addr
+lineAddr(Addr line)
+{
+    return line << line_shift;
+}
+
+/** @return the page number containing byte address @p addr. */
+constexpr Addr
+pageOf(Addr addr)
+{
+    return addr >> page_shift;
+}
+
+/** @return the page number containing cacheline number @p line. */
+constexpr Addr
+pageOfLine(Addr line)
+{
+    return line >> (page_shift - line_shift);
+}
+
+/** Number of cachelines per page (64 for 4 KiB pages / 64 B lines). */
+constexpr Addr lines_per_page = page_size / line_size;
+
+} // namespace delorean
+
+#endif // DELOREAN_BASE_ADDR_HH

@@ -1,0 +1,182 @@
+#include "base/histogram.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace delorean
+{
+
+LogHistogram::LogHistogram(unsigned sub_buckets)
+    : sub_buckets_(sub_buckets),
+      sub_shift_(0),
+      total_weight_(0.0)
+{
+    fatal_if(!isPowerOf2(std::uint64_t(sub_buckets)) || sub_buckets == 0,
+             "LogHistogram sub_buckets must be a power of two, got %u",
+             sub_buckets);
+    sub_shift_ = floorLog2(std::uint64_t(sub_buckets));
+}
+
+std::size_t
+LogHistogram::bucketIndex(std::uint64_t value) const
+{
+    const int k = sub_shift_;
+    if (value < sub_buckets_)
+        return std::size_t(value);
+    const int e = floorLog2(value);
+    // The octave [2^e, 2^(e+1)) is divided into 2^k linear sub-buckets of
+    // width 2^(e-k). For e == k this degenerates to unit buckets, making
+    // the mapping continuous with the small-value linear region.
+    const std::uint64_t sub = (value - (std::uint64_t(1) << e)) >> (e - k);
+    return (std::size_t(e - k + 1) << k) + std::size_t(sub);
+}
+
+void
+LogHistogram::bucketRange(std::size_t idx, std::uint64_t &low,
+                          std::uint64_t &high) const
+{
+    const int k = sub_shift_;
+    if (idx < (std::size_t(2) << k)) {
+        low = idx;
+        high = idx + 1;
+        return;
+    }
+    const std::size_t octave = idx >> k;
+    const int e = int(octave) + k - 1;
+    const std::uint64_t sub = idx & (sub_buckets_ - 1);
+    const std::uint64_t width = std::uint64_t(1) << (e - k);
+    low = (std::uint64_t(1) << e) + sub * width;
+    high = low + width;
+}
+
+void
+LogHistogram::add(std::uint64_t value, double weight)
+{
+    const std::size_t idx = bucketIndex(value);
+    if (idx >= weights_.size())
+        weights_.resize(idx + 1, 0.0);
+    weights_[idx] += weight;
+    total_weight_ += weight;
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    panic_if(sub_buckets_ != other.sub_buckets_,
+             "LogHistogram::merge with mismatched layouts (%u vs %u)",
+             sub_buckets_, other.sub_buckets_);
+    if (other.weights_.size() > weights_.size())
+        weights_.resize(other.weights_.size(), 0.0);
+    for (std::size_t i = 0; i < other.weights_.size(); ++i)
+        weights_[i] += other.weights_[i];
+    total_weight_ += other.total_weight_;
+}
+
+void
+LogHistogram::clear()
+{
+    weights_.clear();
+    total_weight_ = 0.0;
+}
+
+std::size_t
+LogHistogram::nonEmptyBuckets() const
+{
+    return std::size_t(std::count_if(weights_.begin(), weights_.end(),
+                                     [](double w) { return w > 0.0; }));
+}
+
+double
+LogHistogram::mean() const
+{
+    if (total_weight_ <= 0.0)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+        if (weights_[i] <= 0.0)
+            continue;
+        std::uint64_t low, high;
+        bucketRange(i, low, high);
+        sum += weights_[i] * (double(low) + double(high - low) / 2.0);
+    }
+    return sum / total_weight_;
+}
+
+double
+LogHistogram::cdf(std::uint64_t x) const
+{
+    if (total_weight_ <= 0.0)
+        return 0.0;
+    double below = 0.0;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+        if (weights_[i] <= 0.0)
+            continue;
+        std::uint64_t low, high;
+        bucketRange(i, low, high);
+        if (high <= x + 1) {
+            // Entire bucket covers values <= x.
+            below += weights_[i];
+        } else if (low <= x) {
+            // Straddling bucket: assume uniform density within it.
+            const double frac =
+                double(x - low + 1) / double(high - low);
+            below += weights_[i] * frac;
+        }
+    }
+    return below / total_weight_;
+}
+
+std::uint64_t
+LogHistogram::quantile(double q) const
+{
+    if (total_weight_ <= 0.0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * total_weight_;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+        if (weights_[i] <= 0.0)
+            continue;
+        std::uint64_t low, high;
+        bucketRange(i, low, high);
+        if (acc + weights_[i] >= target) {
+            const double frac =
+                weights_[i] > 0.0 ? (target - acc) / weights_[i] : 0.0;
+            return low + std::uint64_t(frac * double(high - low));
+        }
+        acc += weights_[i];
+    }
+    std::uint64_t low, high;
+    bucketRange(weights_.size() - 1, low, high);
+    return high - 1;
+}
+
+std::vector<LogHistogram::Bucket>
+LogHistogram::buckets() const
+{
+    std::vector<Bucket> out;
+    out.reserve(nonEmptyBuckets());
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+        if (weights_[i] <= 0.0)
+            continue;
+        std::uint64_t low, high;
+        bucketRange(i, low, high);
+        out.push_back({low, high, weights_[i]});
+    }
+    return out;
+}
+
+std::string
+LogHistogram::toString() const
+{
+    std::ostringstream os;
+    os << "LogHistogram(total=" << total_weight_ << ")";
+    for (const auto &b : buckets())
+        os << "\n  [" << b.low << ", " << b.high << "): " << b.weight;
+    return os.str();
+}
+
+} // namespace delorean

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Log2-bucketed histogram for reuse/stack distance distributions.
+ *
+ * Reuse distances span nine orders of magnitude (a handful of instructions
+ * up to a billion), so statistical cache models conventionally histogram
+ * them in logarithmic buckets with linear sub-buckets for resolution.
+ * This is the shared container for the StatStack/StatCache inputs and for
+ * diagnostic distributions in the stats package.
+ */
+
+#ifndef DELOREAN_BASE_HISTOGRAM_HH
+#define DELOREAN_BASE_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace delorean
+{
+
+/**
+ * Histogram over uint64 values with log2 buckets, each split into a fixed
+ * number of linear sub-buckets. Samples carry a weight so sparse sampling
+ * (one sampled reuse stands for `period` real ones) can be represented
+ * faithfully.
+ */
+class LogHistogram
+{
+  public:
+    /**
+     * @param sub_buckets linear sub-buckets per power of two (resolution);
+     *        must be a power of two.
+     */
+    explicit LogHistogram(unsigned sub_buckets = 8);
+
+    /** Add @p weight samples of @p value. */
+    void add(std::uint64_t value, double weight = 1.0);
+
+    /** Merge another histogram (same sub-bucket layout) into this one. */
+    void merge(const LogHistogram &other);
+
+    /** Remove all samples. */
+    void clear();
+
+    /** Total sample weight. */
+    double totalWeight() const { return total_weight_; }
+
+    /** Number of distinct non-empty buckets. */
+    std::size_t nonEmptyBuckets() const;
+
+    /** Weighted mean of the recorded values (bucket midpoints). */
+    double mean() const;
+
+    /**
+     * P(value <= x): fraction of sample weight at or below @p x,
+     * interpolating linearly within the containing bucket.
+     */
+    double cdf(std::uint64_t x) const;
+
+    /** P(value > x) = 1 - cdf(x). */
+    double survival(std::uint64_t x) const { return 1.0 - cdf(x); }
+
+    /** Smallest value v such that cdf(v) >= q (q in [0,1]). */
+    std::uint64_t quantile(double q) const;
+
+    /**
+     * Iterate over non-empty buckets as (lowValue, highValueExclusive,
+     * weight) triples, in increasing value order.
+     */
+    struct Bucket
+    {
+        std::uint64_t low;
+        std::uint64_t high; //!< exclusive
+        double weight;
+        /** Midpoint used when a single representative value is needed. */
+        std::uint64_t mid() const { return low + (high - low) / 2; }
+    };
+
+    std::vector<Bucket> buckets() const;
+
+    /** Human-readable dump (for debugging / stats output). */
+    std::string toString() const;
+
+  private:
+    /** Map a value to a dense bucket index. */
+    std::size_t bucketIndex(std::uint64_t value) const;
+
+    /** Inverse mapping: [low, high) covered by bucket @p idx. */
+    void bucketRange(std::size_t idx, std::uint64_t &low,
+                     std::uint64_t &high) const;
+
+    unsigned sub_buckets_;
+    int sub_shift_;
+    std::vector<double> weights_;
+    double total_weight_;
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_BASE_HISTOGRAM_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Small integer math helpers used throughout the simulator.
+ */
+
+#ifndef DELOREAN_BASE_INTMATH_HH
+#define DELOREAN_BASE_INTMATH_HH
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace delorean
+{
+
+/** @return true if @p n is a (positive) power of two. */
+template <typename T>
+constexpr bool
+isPowerOf2(T n)
+{
+    static_assert(std::is_unsigned_v<T>);
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** @return floor(log2(n)); @p n must be non-zero. */
+template <typename T>
+constexpr int
+floorLog2(T n)
+{
+    static_assert(std::is_unsigned_v<T>);
+    return std::bit_width(n) - 1;
+}
+
+/** @return ceil(log2(n)); @p n must be non-zero. */
+template <typename T>
+constexpr int
+ceilLog2(T n)
+{
+    static_assert(std::is_unsigned_v<T>);
+    return n <= 1 ? 0 : std::bit_width(n - 1);
+}
+
+/** @return ceil(a / b) for positive integers. */
+template <typename T>
+constexpr T
+divCeil(T a, T b)
+{
+    return (a + b - 1) / b;
+}
+
+/** @return @p v rounded up to the next multiple of @p align (power of 2). */
+template <typename T>
+constexpr T
+roundUp(T v, T align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** @return @p v rounded down to a multiple of @p align (power of 2). */
+template <typename T>
+constexpr T
+roundDown(T v, T align)
+{
+    return v & ~(align - 1);
+}
+
+} // namespace delorean
+
+#endif // DELOREAN_BASE_INTMATH_HH

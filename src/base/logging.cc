@@ -1,0 +1,93 @@
+#include "base/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace delorean
+{
+
+namespace
+{
+
+std::atomic<bool> quiet{false};
+std::atomic<std::uint64_t> warnings{0};
+
+const char *
+levelPrefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Panic:
+        return "panic";
+      case LogLevel::Fatal:
+        return "fatal";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Inform:
+        return "info";
+    }
+    return "???";
+}
+
+} // namespace
+
+void
+setLogQuiet(bool q)
+{
+    quiet.store(q, std::memory_order_relaxed);
+}
+
+bool
+logQuiet()
+{
+    return quiet.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+warnCount()
+{
+    return warnings.load(std::memory_order_relaxed);
+}
+
+namespace detail
+{
+
+void
+vlogMessage(LogLevel level, const char *file, int line,
+            const char *fmt, std::va_list args)
+{
+    if (level == LogLevel::Warn)
+        warnings.fetch_add(1, std::memory_order_relaxed);
+
+    const bool is_error =
+        level == LogLevel::Panic || level == LogLevel::Fatal;
+
+    if (!is_error && logQuiet())
+        return;
+
+    std::FILE *out = is_error ? stderr : stdout;
+    std::fprintf(out, "%s: ", levelPrefix(level));
+    std::vfprintf(out, fmt, args);
+    if (is_error && file)
+        std::fprintf(out, " @ %s:%d", file, line);
+    std::fprintf(out, "\n");
+    std::fflush(out);
+
+    if (level == LogLevel::Panic)
+        std::abort();
+    if (level == LogLevel::Fatal)
+        std::exit(1);
+}
+
+void
+logMessage(LogLevel level, const char *file, int line, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    vlogMessage(level, file, line, fmt, args);
+    va_end(args);
+}
+
+} // namespace detail
+
+} // namespace delorean

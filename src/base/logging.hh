@@ -1,0 +1,106 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * Following gem5's conventions (src/base/logging.hh there):
+ *  - panic():  an internal invariant was violated — a library bug. Aborts.
+ *  - fatal():  the simulation cannot continue due to a user error (bad
+ *              configuration, invalid arguments). Exits with code 1.
+ *  - warn():   something is approximated or suspicious but survivable.
+ *  - inform(): plain status output.
+ *
+ * All take printf-style format strings. The panic/fatal macros capture
+ * file and line for diagnosis.
+ */
+
+#ifndef DELOREAN_BASE_LOGGING_HH
+#define DELOREAN_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace delorean
+{
+
+/** Severity levels used by the logging backend. */
+enum class LogLevel { Panic, Fatal, Warn, Inform };
+
+namespace detail
+{
+
+/**
+ * Core log sink. Formats and emits a message; terminates the process for
+ * Panic (abort) and Fatal (exit(1)).
+ *
+ * @param level  severity
+ * @param file   source file emitting the message (may be null)
+ * @param line   source line (0 if unknown)
+ * @param fmt    printf-style format string
+ */
+[[gnu::format(printf, 4, 5)]]
+void logMessage(LogLevel level, const char *file, int line,
+                const char *fmt, ...);
+
+/** vprintf flavour used by the variadic front ends. */
+void vlogMessage(LogLevel level, const char *file, int line,
+                 const char *fmt, std::va_list args);
+
+} // namespace detail
+
+/**
+ * Suppress or re-enable warn()/inform() output globally.
+ *
+ * Tests use this to keep expected-warning paths quiet; panic/fatal are
+ * never suppressed.
+ */
+void setLogQuiet(bool quiet);
+
+/** @return true if warn()/inform() output is currently suppressed. */
+bool logQuiet();
+
+/** Number of warnings emitted since process start (testing hook). */
+std::uint64_t warnCount();
+
+} // namespace delorean
+
+/** Report an internal library bug and abort. */
+#define panic(...) \
+    ::delorean::detail::logMessage(::delorean::LogLevel::Panic, \
+                                   __FILE__, __LINE__, __VA_ARGS__)
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+#define fatal(...) \
+    ::delorean::detail::logMessage(::delorean::LogLevel::Fatal, \
+                                   __FILE__, __LINE__, __VA_ARGS__)
+
+/** Report a survivable concern. */
+#define warn(...) \
+    ::delorean::detail::logMessage(::delorean::LogLevel::Warn, \
+                                   __FILE__, __LINE__, __VA_ARGS__)
+
+/** Report plain status. */
+#define inform(...) \
+    ::delorean::detail::logMessage(::delorean::LogLevel::Inform, \
+                                   __FILE__, __LINE__, __VA_ARGS__)
+
+/**
+ * gem5-style always-on assertion carrying a formatted explanation.
+ * Unlike assert(), stays active in release builds: invariant violations in
+ * a simulator silently corrupt results otherwise.
+ */
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) { \
+            panic(__VA_ARGS__); \
+        } \
+    } while (0)
+
+/** User-error flavour of panic_if. */
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) { \
+            fatal(__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // DELOREAN_BASE_LOGGING_HH

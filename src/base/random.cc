@@ -1,0 +1,116 @@
+#include "base/random.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace delorean
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    panic_if(bound == 0, "Rng::nextBounded called with bound 0");
+    // Lemire's nearly-divisionless method would be overkill here; simple
+    // rejection keeps the stream layout obvious and still unbiased.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    panic_if(lo > hi, "Rng::nextRange: lo %llu > hi %llu",
+             (unsigned long long)lo, (unsigned long long)hi);
+    return lo + nextBounded(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high bits -> double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextGeometric(std::uint64_t period)
+{
+    panic_if(period == 0, "Rng::nextGeometric called with period 0");
+    if (period == 1)
+        return 1;
+    // Inverse-CDF sampling: gap = ceil(ln(u) / ln(1 - 1/period)).
+    const double u = 1.0 - nextDouble(); // in (0, 1]
+    const double denom = std::log(1.0 - 1.0 / double(period));
+    const double gap = std::ceil(std::log(u) / denom);
+    return gap < 1.0 ? 1 : std::uint64_t(gap);
+}
+
+double
+Rng::nextGaussian()
+{
+    // Irwin-Hall with 12 uniforms: mean 6, variance 1.
+    double sum = 0.0;
+    for (int i = 0; i < 12; ++i)
+        sum += nextDouble();
+    return sum - 6.0;
+}
+
+} // namespace delorean

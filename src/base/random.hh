@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the library (synthetic workloads, randomized
+ * statistical warming, vicinity sampling) flows through Rng so that every
+ * experiment is reproducible from a seed. The engine is xoshiro256**,
+ * which is fast, has a 2^256-1 period, and — unlike std::mt19937 — has a
+ * trivially copyable state, which we rely on for trace snapshots
+ * (our stand-in for KVM checkpoints).
+ */
+
+#ifndef DELOREAN_BASE_RANDOM_HH
+#define DELOREAN_BASE_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+
+namespace delorean
+{
+
+/**
+ * xoshiro256** engine with convenience distributions.
+ *
+ * Copyable and comparable; copying an Rng snapshots the stream, which the
+ * workload generators use to implement checkpoint/restore.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 so that small consecutive seeds give
+     *  independent streams. */
+    explicit Rng(std::uint64_t seed = 0x5eed);
+
+    /** @return next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return uniform value in [0, bound) (bound > 0). */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** @return uniform value in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** @return uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return true with probability @p p. */
+    bool chance(double p);
+
+    /**
+     * @return a sample from a geometric distribution with success
+     * probability 1/period, i.e. the gap to the next sampled event when
+     * sampling one in @p period events on average. Used by the randomized
+     * and vicinity samplers; period must be >= 1.
+     */
+    std::uint64_t nextGeometric(std::uint64_t period);
+
+    /** @return approximately normal sample (mean 0, stddev 1),
+     *  via the sum-of-uniforms (Irwin-Hall) approximation. */
+    double nextGaussian();
+
+    bool operator==(const Rng &other) const = default;
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_BASE_RANDOM_HH

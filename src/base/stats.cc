@@ -1,0 +1,40 @@
+#include "base/stats.hh"
+
+#include <iomanip>
+
+namespace delorean::statistics
+{
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    const auto emit = [&](const std::string &stat, double value,
+                          const std::string &desc) {
+        os << std::left << std::setw(40) << (name_ + "." + stat)
+           << std::right << std::setw(16) << value
+           << "  # " << desc << "\n";
+    };
+
+    for (const auto *s : scalars_)
+        emit(s->name(), s->value(), s->desc());
+    for (const auto *a : averages_)
+        emit(a->name(), a->value(), a->desc());
+    for (const auto *d : dists_) {
+        emit(d->name() + "::mean", d->histogram().mean(), d->desc());
+        emit(d->name() + "::total", d->histogram().totalWeight(),
+             d->desc());
+    }
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto *s : scalars_)
+        s->reset();
+    for (auto *a : averages_)
+        a->reset();
+    for (auto *d : dists_)
+        d->reset();
+}
+
+} // namespace delorean::statistics

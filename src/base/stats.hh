@@ -1,0 +1,130 @@
+/**
+ * @file
+ * A miniature gem5-style statistics package.
+ *
+ * Simulation objects register named statistics in a StatGroup; harnesses
+ * dump all groups at the end of a run. This is intentionally a small
+ * subset of gem5's stats framework: scalars, averages, and distributions
+ * cover everything the reproduction needs.
+ */
+
+#ifndef DELOREAN_BASE_STATS_HH
+#define DELOREAN_BASE_STATS_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "base/histogram.hh"
+
+namespace delorean::statistics
+{
+
+/** A named scalar statistic (count or value). */
+class Scalar
+{
+  public:
+    Scalar(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc)), value_(0.0)
+    {}
+
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator=(double v) { value_ = v; return *this; }
+
+    double value() const { return value_; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    void reset() { value_ = 0.0; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    double value_;
+};
+
+/** A running average statistic. */
+class Average
+{
+  public:
+    Average(std::string name, std::string desc)
+        : name_(std::move(name)), desc_(std::move(desc)),
+          sum_(0.0), count_(0)
+    {}
+
+    void sample(double v) { sum_ += v; ++count_; }
+
+    double value() const { return count_ ? sum_ / double(count_) : 0.0; }
+    std::uint64_t count() const { return count_; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    void reset() { sum_ = 0.0; count_ = 0; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    double sum_;
+    std::uint64_t count_;
+};
+
+/** A named distribution statistic backed by a LogHistogram. */
+class Distribution
+{
+  public:
+    Distribution(std::string name, std::string desc,
+                 unsigned sub_buckets = 8)
+        : name_(std::move(name)), desc_(std::move(desc)),
+          hist_(sub_buckets)
+    {}
+
+    void sample(std::uint64_t v, double weight = 1.0)
+    {
+        hist_.add(v, weight);
+    }
+
+    const LogHistogram &histogram() const { return hist_; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    void reset() { hist_.clear(); }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    LogHistogram hist_;
+};
+
+/**
+ * A collection of statistics with a common owner name. Objects hold their
+ * stats by value and register pointers here; the group only formats.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void add(Scalar *s) { scalars_.push_back(s); }
+    void add(Average *a) { averages_.push_back(a); }
+    void add(Distribution *d) { dists_.push_back(d); }
+
+    /** Write `name.stat value # desc` lines, gem5 stats.txt style. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered statistic. */
+    void resetAll();
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<Scalar *> scalars_;
+    std::vector<Average *> averages_;
+    std::vector<Distribution *> dists_;
+};
+
+} // namespace delorean::statistics
+
+#endif // DELOREAN_BASE_STATS_HH

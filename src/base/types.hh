@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the DeLorean library.
+ *
+ * The naming follows gem5: Addr for physical/virtual addresses, Tick for
+ * modeled host time, and Counter for event counts. Keeping these as
+ * explicit aliases (rather than bare uint64_t) documents intent at API
+ * boundaries.
+ */
+
+#ifndef DELOREAN_BASE_TYPES_HH
+#define DELOREAN_BASE_TYPES_HH
+
+#include <cstdint>
+
+namespace delorean
+{
+
+/** A memory address (byte granularity). */
+using Addr = std::uint64_t;
+
+/** A count of dynamically executed instructions. */
+using InstCount = std::uint64_t;
+
+/** A count of memory references (loads + stores). */
+using RefCount = std::uint64_t;
+
+/** Modeled host time in host clock cycles. */
+using HostCycles = std::uint64_t;
+
+/** Simulated (target) time in target clock cycles. */
+using Tick = std::uint64_t;
+
+/** Generic event counter. */
+using Counter = std::uint64_t;
+
+/** Invalid / not-present address sentinel. */
+constexpr Addr invalid_addr = ~Addr(0);
+
+} // namespace delorean
+
+#endif // DELOREAN_BASE_TYPES_HH

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Byte-size and count literals (KiB/MiB/GiB, K/M/B) for readable
+ * configuration code: `512 * MiB`, `30 * kilo` etc.
+ */
+
+#ifndef DELOREAN_BASE_UNITS_HH
+#define DELOREAN_BASE_UNITS_HH
+
+#include <cstdint>
+
+namespace delorean
+{
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * KiB;
+constexpr std::uint64_t GiB = 1024 * MiB;
+
+/** Decimal instruction-count units, as used in the paper's prose. */
+constexpr std::uint64_t kilo = 1000;
+constexpr std::uint64_t mega = 1000 * kilo;
+constexpr std::uint64_t giga = 1000 * mega;
+
+} // namespace delorean
+
+#endif // DELOREAN_BASE_UNITS_HH

@@ -1,0 +1,196 @@
+#include "cache/cache.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace delorean::cache
+{
+
+void
+CacheConfig::validate() const
+{
+    fatal_if(size < line_size, "%s: size below one line", name.c_str());
+    fatal_if(assoc == 0, "%s: zero associativity", name.c_str());
+    fatal_if(size % (std::uint64_t(assoc) * line_size) != 0,
+             "%s: size not divisible by assoc * line size", name.c_str());
+    fatal_if(!isPowerOf2(sets()),
+             "%s: set count %llu must be a power of two", name.c_str(),
+             (unsigned long long)sets());
+    fatal_if(mshrs == 0, "%s: zero MSHRs", name.c_str());
+}
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config),
+      sets_(config.sets()),
+      ways_(config.assoc),
+      set_mask_(config.sets() - 1),
+      tags_(config.sets() * config.assoc, invalid_addr),
+      dirty_(config.sets() * config.assoc, false),
+      repl_(makeReplacement(config.repl, config.sets(), config.assoc))
+{
+    config_.validate();
+}
+
+Cache::Cache(const Cache &other)
+    : config_(other.config_),
+      sets_(other.sets_),
+      ways_(other.ways_),
+      set_mask_(other.set_mask_),
+      tags_(other.tags_),
+      dirty_(other.dirty_),
+      repl_(other.repl_->clone()),
+      hits_(other.hits_),
+      misses_(other.misses_),
+      evictions_(other.evictions_),
+      writebacks_(other.writebacks_)
+{
+}
+
+Cache &
+Cache::operator=(const Cache &other)
+{
+    if (this == &other)
+        return *this;
+    config_ = other.config_;
+    sets_ = other.sets_;
+    ways_ = other.ways_;
+    set_mask_ = other.set_mask_;
+    tags_ = other.tags_;
+    dirty_ = other.dirty_;
+    repl_ = other.repl_->clone();
+    hits_ = other.hits_;
+    misses_ = other.misses_;
+    evictions_ = other.evictions_;
+    writebacks_ = other.writebacks_;
+    return *this;
+}
+
+int
+Cache::findWay(std::uint64_t set, Addr line) const
+{
+    const Addr *row = &tags_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (row[w] == line)
+            return int(w);
+    }
+    return -1;
+}
+
+int
+Cache::findFree(std::uint64_t set) const
+{
+    const Addr *row = &tags_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (row[w] == invalid_addr)
+            return int(w);
+    }
+    return -1;
+}
+
+AccessResult
+Cache::access(Addr line, bool write)
+{
+    const std::uint64_t set = setIndex(line);
+    const int way = findWay(set, line);
+    if (way >= 0) {
+        ++hits_;
+        repl_->touch(set, unsigned(way));
+        if (write)
+            dirty_[set * ways_ + unsigned(way)] = true;
+        return {.hit = true};
+    }
+    ++misses_;
+    AccessResult res = insert(line, write);
+    res.hit = false;
+    return res;
+}
+
+AccessResult
+Cache::insert(Addr line, bool dirty)
+{
+    AccessResult res;
+    const std::uint64_t set = setIndex(line);
+
+    if (findWay(set, line) >= 0) {
+        // Prefetch into a resident line: nothing to do.
+        res.hit = true;
+        return res;
+    }
+
+    int way = findFree(set);
+    if (way < 0) {
+        way = int(repl_->victim(set));
+        const std::size_t idx = set * ways_ + unsigned(way);
+        res.victim_line = tags_[idx];
+        res.writeback = dirty_[idx];
+        ++evictions_;
+        if (res.writeback)
+            ++writebacks_;
+    }
+
+    const std::size_t idx = set * ways_ + unsigned(way);
+    tags_[idx] = line;
+    dirty_[idx] = dirty;
+    repl_->touch(set, unsigned(way));
+    return res;
+}
+
+bool
+Cache::contains(Addr line) const
+{
+    return findWay(setIndex(line), line) >= 0;
+}
+
+bool
+Cache::setFull(Addr line) const
+{
+    return findFree(setIndex(line)) < 0;
+}
+
+bool
+Cache::invalidate(Addr line)
+{
+    const std::uint64_t set = setIndex(line);
+    const int way = findWay(set, line);
+    if (way < 0)
+        return false;
+    const std::size_t idx = set * ways_ + unsigned(way);
+    tags_[idx] = invalid_addr;
+    dirty_[idx] = false;
+    repl_->invalidate(set, unsigned(way));
+    return true;
+}
+
+void
+Cache::flush()
+{
+    std::fill(tags_.begin(), tags_.end(), invalid_addr);
+    std::fill(dirty_.begin(), dirty_.end(), false);
+    repl_->reset();
+}
+
+std::uint64_t
+Cache::validLines() const
+{
+    std::uint64_t n = 0;
+    for (const Addr t : tags_) {
+        if (t != invalid_addr)
+            ++n;
+    }
+    return n;
+}
+
+void
+Cache::resetStats()
+{
+    hits_ = misses_ = evictions_ = writebacks_ = 0;
+}
+
+double
+Cache::missRate() const
+{
+    const std::uint64_t total = hits_ + misses_;
+    return total ? double(misses_) / double(total) : 0.0;
+}
+
+} // namespace delorean::cache

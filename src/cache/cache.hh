@@ -1,0 +1,112 @@
+/**
+ * @file
+ * A set-associative, write-back/write-allocate cache model.
+ *
+ * This is a functional (state-only) cache in the style of gem5's classic
+ * caches: it models tag state, replacement and writebacks exactly, but
+ * carries no timing — the timing model (cpu/ooo_core) adds latencies on
+ * top of the outcome. Both functional warming (SMARTS) and the lukewarm
+ * cache of statistical warming use this same class.
+ */
+
+#ifndef DELOREAN_CACHE_CACHE_HH
+#define DELOREAN_CACHE_CACHE_HH
+
+#include <memory>
+
+#include "base/stats.hh"
+#include "cache/cache_config.hh"
+#include "cache/replacement.hh"
+
+namespace delorean::cache
+{
+
+/** Outcome of a cache lookup+fill. */
+struct AccessResult
+{
+    bool hit = false;
+    bool writeback = false;        //!< a dirty victim was evicted
+    Addr victim_line = invalid_addr; //!< evicted line (if any)
+};
+
+/**
+ * One level of cache, addressed by cacheline number.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /** Caches are copyable: multi-configuration sweeps snapshot warmed
+     *  state instead of re-simulating the warm-up. */
+    Cache(const Cache &other);
+    Cache &operator=(const Cache &other);
+
+    /**
+     * Access @p line (lookup; on miss, allocate and evict as needed).
+     *
+     * @param line  cacheline number (byte address >> 6)
+     * @param write true for stores (sets the dirty bit)
+     */
+    AccessResult access(Addr line, bool write);
+
+    /** Lookup without modifying any state. */
+    bool contains(Addr line) const;
+
+    /**
+     * True if every way of the set @p line maps to holds a valid line.
+     * The DSW conflict-miss rule (paper Figure 3) keys off this.
+     */
+    bool setFull(Addr line) const;
+
+    /** Insert @p line without counting an access (prefetch fill). */
+    AccessResult insert(Addr line, bool dirty = false);
+
+    /** Invalidate @p line if present. @return true if it was present. */
+    bool invalidate(Addr line);
+
+    /** Drop all contents (cold cache). */
+    void flush();
+
+    /** Number of valid lines currently resident. */
+    std::uint64_t validLines() const;
+
+    const CacheConfig &config() const { return config_; }
+
+    // Statistics (monotonic across flushes).
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+    void resetStats();
+
+    /** Miss rate over all access() calls so far. */
+    double missRate() const;
+
+  private:
+    std::uint64_t setIndex(Addr line) const { return line & set_mask_; }
+
+    /** @return way holding @p line in @p set, or -1. */
+    int findWay(std::uint64_t set, Addr line) const;
+
+    /** @return an invalid way in @p set, or -1 if the set is full. */
+    int findFree(std::uint64_t set) const;
+
+    CacheConfig config_;
+    std::uint64_t sets_;
+    unsigned ways_;
+    std::uint64_t set_mask_;
+
+    std::vector<Addr> tags_;   //!< sets x ways; invalid_addr = empty
+    std::vector<bool> dirty_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace delorean::cache
+
+#endif // DELOREAN_CACHE_CACHE_HH

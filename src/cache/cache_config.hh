@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cache and hierarchy configuration (Table 1 of the paper).
+ */
+
+#ifndef DELOREAN_CACHE_CACHE_CONFIG_HH
+#define DELOREAN_CACHE_CACHE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/addr.hh"
+#include "base/units.hh"
+#include "cache/replacement.hh"
+
+namespace delorean::cache
+{
+
+/** Configuration of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t size = 64 * KiB;
+    unsigned assoc = 2;
+    ReplKind repl = ReplKind::LRU;
+    unsigned mshrs = 8;
+
+    std::uint64_t lines() const { return size / line_size; }
+    std::uint64_t sets() const { return lines() / assoc; }
+
+    /** Sanity-check the geometry (fatal on user error). */
+    void validate() const;
+};
+
+/** Access latencies in target cycles. */
+struct LatencyConfig
+{
+    unsigned l1_hit = 4;
+    unsigned llc_hit = 30;
+    unsigned mem = 200;
+};
+
+/** Full hierarchy configuration; defaults mirror Table 1. */
+struct HierarchyConfig
+{
+    CacheConfig l1i{.name = "l1i", .size = 64 * KiB, .assoc = 2,
+                    .repl = ReplKind::LRU, .mshrs = 4};
+    CacheConfig l1d{.name = "l1d", .size = 64 * KiB, .assoc = 2,
+                    .repl = ReplKind::LRU, .mshrs = 8};
+    CacheConfig llc{.name = "llc", .size = 8 * MiB, .assoc = 8,
+                    .repl = ReplKind::LRU, .mshrs = 20};
+    LatencyConfig lat;
+
+    /** Copy with a different LLC size (design space sweeps). */
+    HierarchyConfig
+    withLlcSize(std::uint64_t size) const
+    {
+        HierarchyConfig c = *this;
+        c.llc.size = size;
+        return c;
+    }
+
+    void
+    validate() const
+    {
+        l1i.validate();
+        l1d.validate();
+        llc.validate();
+    }
+};
+
+} // namespace delorean::cache
+
+#endif // DELOREAN_CACHE_CACHE_CONFIG_HH

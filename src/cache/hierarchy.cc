@@ -1,0 +1,69 @@
+#include "cache/hierarchy.hh"
+
+namespace delorean::cache
+{
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config)
+    : config_(config), l1i_(config.l1i), l1d_(config.l1d), llc_(config.llc)
+{
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig &config,
+                               const Cache &l1i, const Cache &l1d,
+                               const Cache &llc)
+    : config_(config), l1i_(l1i), l1d_(l1d), llc_(llc)
+{
+    config_.llc = llc.config();
+}
+
+HitLevel
+CacheHierarchy::dataAccess(Addr line, bool write)
+{
+    const AccessResult l1 = l1d_.access(line, write);
+    if (l1.hit)
+        return HitLevel::L1;
+
+    // L1 victim writeback into the LLC (state only, no extra access
+    // statistics for the demand stream).
+    if (l1.writeback)
+        llc_.insert(l1.victim_line, true);
+
+    const AccessResult l2 = llc_.access(line, false);
+    return l2.hit ? HitLevel::LLC : HitLevel::Memory;
+}
+
+HitLevel
+CacheHierarchy::instAccess(Addr line)
+{
+    const AccessResult l1 = l1i_.access(line, false);
+    if (l1.hit)
+        return HitLevel::L1;
+
+    const AccessResult l2 = llc_.access(line, false);
+    return l2.hit ? HitLevel::LLC : HitLevel::Memory;
+}
+
+unsigned
+CacheHierarchy::latency(HitLevel level) const
+{
+    switch (level) {
+      case HitLevel::L1:
+        return config_.lat.l1_hit;
+      case HitLevel::LLC:
+        return config_.lat.l1_hit + config_.lat.llc_hit;
+      case HitLevel::Memory:
+        return config_.lat.l1_hit + config_.lat.llc_hit +
+               config_.lat.mem;
+    }
+    return config_.lat.l1_hit;
+}
+
+void
+CacheHierarchy::flush()
+{
+    l1i_.flush();
+    l1d_.flush();
+    llc_.flush();
+}
+
+} // namespace delorean::cache

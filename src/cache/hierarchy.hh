@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The two-level cache hierarchy of Table 1: split 64 KiB L1I/L1D and a
+ * unified LLC (1 MiB - 512 MiB in the paper's sweeps).
+ */
+
+#ifndef DELOREAN_CACHE_HIERARCHY_HH
+#define DELOREAN_CACHE_HIERARCHY_HH
+
+#include "cache/cache.hh"
+
+namespace delorean::cache
+{
+
+/** Deepest level that serviced an access. */
+enum class HitLevel : std::uint8_t
+{
+    L1,
+    LLC,
+    Memory,
+};
+
+/**
+ * L1I + L1D + LLC with a simple non-inclusive fill policy: lines fill
+ * into both the requesting L1 and the LLC; L1 victims are dropped (clean)
+ * or written back into the LLC (dirty).
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const HierarchyConfig &config);
+
+    /** Build from pre-warmed caches (multi-configuration sweeps). */
+    CacheHierarchy(const HierarchyConfig &config, const Cache &l1i,
+                   const Cache &l1d, const Cache &llc);
+
+    /**
+     * Functional data access (load/store) at cacheline granularity.
+     * Updates all levels. @return deepest level consulted.
+     */
+    HitLevel dataAccess(Addr line, bool write);
+
+    /** Functional instruction fetch access. */
+    HitLevel instAccess(Addr line);
+
+    /** Latency in target cycles for an access that hit at @p level. */
+    unsigned latency(HitLevel level) const;
+
+    /** Drop the contents of all levels. */
+    void flush();
+
+    Cache &l1i() { return l1i_; }
+    Cache &l1d() { return l1d_; }
+    Cache &llc() { return llc_; }
+    const Cache &l1i() const { return l1i_; }
+    const Cache &l1d() const { return l1d_; }
+    const Cache &llc() const { return llc_; }
+
+    const HierarchyConfig &config() const { return config_; }
+
+  private:
+    HierarchyConfig config_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache llc_;
+};
+
+} // namespace delorean::cache
+
+#endif // DELOREAN_CACHE_HIERARCHY_HH

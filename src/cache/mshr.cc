@@ -1,0 +1,83 @@
+#include "cache/mshr.hh"
+
+#include "base/logging.hh"
+
+namespace delorean::cache
+{
+
+MshrFile::MshrFile(unsigned entries)
+    : entries_(entries)
+{
+    fatal_if(entries == 0, "MshrFile needs at least one entry");
+}
+
+bool
+MshrFile::hit(Addr line, Tick now)
+{
+    for (auto &e : entries_) {
+        if (!e.valid)
+            continue;
+        if (e.ready <= now) {
+            e.valid = false; // lazy retire
+            continue;
+        }
+        if (e.line == line)
+            return true;
+    }
+    return false;
+}
+
+Tick
+MshrFile::readyAt(Addr line) const
+{
+    for (const auto &e : entries_) {
+        if (e.valid && e.line == line)
+            return e.ready;
+    }
+    panic("MshrFile::readyAt: line %llu not in flight",
+          (unsigned long long)line);
+    return 0;
+}
+
+Tick
+MshrFile::allocate(Addr line, Tick now, Tick ready)
+{
+    // Fast path: grab a free or expired slot.
+    Entry *oldest = nullptr;
+    for (auto &e : entries_) {
+        if (!e.valid || e.ready <= now) {
+            e.valid = true;
+            e.line = line;
+            e.ready = ready;
+            return now;
+        }
+        if (!oldest || e.ready < oldest->ready)
+            oldest = &e;
+    }
+    // Structural stall: wait for the earliest retire, then reuse it.
+    const Tick start = oldest->ready;
+    const Tick delay = start - now;
+    oldest->line = line;
+    oldest->ready = ready + delay;
+    return start;
+}
+
+unsigned
+MshrFile::occupancy(Tick now) const
+{
+    unsigned n = 0;
+    for (const auto &e : entries_) {
+        if (e.valid && e.ready > now)
+            ++n;
+    }
+    return n;
+}
+
+void
+MshrFile::clear()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+}
+
+} // namespace delorean::cache

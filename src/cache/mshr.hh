@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Miss status holding registers.
+ *
+ * In the timing simulation an LLC/L1 miss occupies an MSHR until the fill
+ * completes; a second access to the same in-flight line is an *MSHR hit*
+ * (a delayed hit, not a second miss). The Analyst models lukewarm-cache
+ * MSHR hits the same way (paper §3.1.2), so this structure is shared
+ * between the timing model and the statistical warming path.
+ */
+
+#ifndef DELOREAN_CACHE_MSHR_HH
+#define DELOREAN_CACHE_MSHR_HH
+
+#include <vector>
+
+#include "base/types.hh"
+
+namespace delorean::cache
+{
+
+/**
+ * A small fully-associative file of in-flight misses, keyed by cacheline.
+ * Time is the caller's notion of target cycles.
+ */
+class MshrFile
+{
+  public:
+    explicit MshrFile(unsigned entries);
+
+    /**
+     * Look up an in-flight miss for @p line at time @p now.
+     * @return true if the line has an outstanding miss (MSHR hit).
+     * Expired entries are retired lazily.
+     */
+    bool hit(Addr line, Tick now);
+
+    /**
+     * Completion time of the in-flight miss for @p line (hit() must have
+     * returned true at @p now).
+     */
+    Tick readyAt(Addr line) const;
+
+    /**
+     * Allocate an entry for a new miss on @p line completing at
+     * @p ready. If the file is full, the allocation stalls until the
+     * earliest entry retires.
+     *
+     * @return the time the miss actually starts being serviced (equal to
+     *         @p now unless a structural stall occurred).
+     */
+    Tick allocate(Addr line, Tick now, Tick ready);
+
+    /** Number of live (unexpired) entries at @p now. */
+    unsigned occupancy(Tick now) const;
+
+    unsigned capacity() const { return unsigned(entries_.size()); }
+
+    /** Drop all entries (end of region / reset). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Addr line = invalid_addr;
+        Tick ready = 0;
+        bool valid = false;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace delorean::cache
+
+#endif // DELOREAN_CACHE_MSHR_HH

@@ -1,0 +1,79 @@
+#include "cache/prefetcher.hh"
+
+#include "base/logging.hh"
+
+namespace delorean::cache
+{
+
+StridePrefetcher::StridePrefetcher(const PrefetcherConfig &config)
+    : config_(config), streams_(config.streams)
+{
+    fatal_if(config.streams == 0, "prefetcher needs at least one stream");
+    fatal_if(config.degree == 0, "prefetcher degree must be >= 1");
+}
+
+std::vector<Addr>
+StridePrefetcher::observe(Addr pc, Addr line, bool miss)
+{
+    ++tick_;
+
+    Stream *entry = nullptr;
+    Stream *lru = &streams_[0];
+    for (auto &s : streams_) {
+        if (s.valid && s.pc == pc) {
+            entry = &s;
+            break;
+        }
+        if (!s.valid || s.lru < lru->lru)
+            lru = &s;
+    }
+
+    if (!entry) {
+        // Allocate streams on misses only: miss-triggered prefetching.
+        if (!miss)
+            return {};
+        *lru = Stream{.pc = pc, .last_line = line, .stride = 0,
+                      .confidence = 0, .lru = tick_, .valid = true};
+        return {};
+    }
+
+    entry->lru = tick_;
+    const std::int64_t delta =
+        std::int64_t(line) - std::int64_t(entry->last_line);
+    entry->last_line = line;
+
+    if (delta == 0)
+        return {};
+
+    if (delta == entry->stride) {
+        if (entry->confidence < config_.threshold + 4)
+            ++entry->confidence;
+    } else {
+        entry->stride = delta;
+        entry->confidence = 1;
+        return {};
+    }
+
+    if (entry->confidence < config_.threshold)
+        return {};
+
+    std::vector<Addr> out;
+    out.reserve(config_.degree);
+    Addr next = line;
+    for (unsigned d = 0; d < config_.degree; ++d) {
+        next = Addr(std::int64_t(next) + entry->stride);
+        out.push_back(next);
+    }
+    issued_ += out.size();
+    return out;
+}
+
+void
+StridePrefetcher::reset()
+{
+    for (auto &s : streams_)
+        s.valid = false;
+    tick_ = 0;
+}
+
+} // namespace delorean::cache

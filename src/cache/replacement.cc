@@ -1,0 +1,266 @@
+#include "cache/replacement.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace delorean::cache
+{
+
+ReplKind
+replKindFromString(const std::string &name)
+{
+    if (name == "lru")
+        return ReplKind::LRU;
+    if (name == "random")
+        return ReplKind::Random;
+    if (name == "treeplru")
+        return ReplKind::TreePLRU;
+    if (name == "nmru")
+        return ReplKind::NMRU;
+    fatal("unknown replacement policy '%s'", name.c_str());
+    return ReplKind::LRU;
+}
+
+const char *
+replKindName(ReplKind kind)
+{
+    switch (kind) {
+      case ReplKind::LRU:
+        return "lru";
+      case ReplKind::Random:
+        return "random";
+      case ReplKind::TreePLRU:
+        return "treeplru";
+      case ReplKind::NMRU:
+        return "nmru";
+    }
+    return "?";
+}
+
+std::unique_ptr<ReplacementPolicy>
+makeReplacement(ReplKind kind, std::uint64_t sets, unsigned ways,
+                std::uint64_t seed)
+{
+    switch (kind) {
+      case ReplKind::LRU:
+        return std::make_unique<LruPolicy>(sets, ways);
+      case ReplKind::Random:
+        return std::make_unique<RandomPolicy>(sets, ways, seed);
+      case ReplKind::TreePLRU:
+        return std::make_unique<TreePlruPolicy>(sets, ways);
+      case ReplKind::NMRU:
+        return std::make_unique<NmruPolicy>(sets, ways, seed);
+    }
+    panic("makeReplacement: bad kind %d", int(kind));
+    return nullptr;
+}
+
+// ------------------------------------------------------------------- LRU
+
+LruPolicy::LruPolicy(std::uint64_t sets, unsigned ways)
+    : ways_(ways), tick_(0), stamp_(sets * ways, 0)
+{
+}
+
+void
+LruPolicy::touch(std::uint64_t set, unsigned way)
+{
+    stamp_[set * ways_ + way] = ++tick_;
+}
+
+unsigned
+LruPolicy::victim(std::uint64_t set)
+{
+    const std::uint64_t *row = &stamp_[set * ways_];
+    unsigned best = 0;
+    for (unsigned w = 1; w < ways_; ++w) {
+        if (row[w] < row[best])
+            best = w;
+    }
+    return best;
+}
+
+void
+LruPolicy::invalidate(std::uint64_t set, unsigned way)
+{
+    stamp_[set * ways_ + way] = 0;
+}
+
+void
+LruPolicy::reset()
+{
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    tick_ = 0;
+}
+
+// ---------------------------------------------------------------- Random
+
+RandomPolicy::RandomPolicy(std::uint64_t sets, unsigned ways,
+                           std::uint64_t seed)
+    : ways_(ways), seed_(seed), rng_(seed)
+{
+    (void)sets;
+}
+
+void
+RandomPolicy::touch(std::uint64_t set, unsigned way)
+{
+    (void)set;
+    (void)way;
+}
+
+unsigned
+RandomPolicy::victim(std::uint64_t set)
+{
+    (void)set;
+    return unsigned(rng_.nextBounded(ways_));
+}
+
+void
+RandomPolicy::invalidate(std::uint64_t set, unsigned way)
+{
+    (void)set;
+    (void)way;
+}
+
+void
+RandomPolicy::reset()
+{
+    rng_ = Rng(seed_);
+}
+
+// -------------------------------------------------------------- TreePLRU
+
+TreePlruPolicy::TreePlruPolicy(std::uint64_t sets, unsigned ways)
+    : ways_(ways), tree_bits_(ways - 1), bits_(sets * (ways - 1), false)
+{
+    fatal_if(!isPowerOf2(std::uint64_t(ways)) || ways < 2,
+             "TreePLRU requires a power-of-two way count >= 2, got %u",
+             ways);
+}
+
+void
+TreePlruPolicy::touch(std::uint64_t set, unsigned way)
+{
+    // Walk from the root towards the referenced way, pointing every node
+    // away from the path taken.
+    const std::uint64_t base = set * tree_bits_;
+    unsigned node = 0;
+    unsigned lo = 0, hi = ways_;
+    while (hi - lo > 1) {
+        const unsigned mid = lo + (hi - lo) / 2;
+        const bool right = way >= mid;
+        bits_[base + node] = !right; // point away from the touched half
+        node = 2 * node + (right ? 2 : 1);
+        if (right)
+            lo = mid;
+        else
+            hi = mid;
+    }
+}
+
+unsigned
+TreePlruPolicy::victim(std::uint64_t set)
+{
+    const std::uint64_t base = set * tree_bits_;
+    unsigned node = 0;
+    unsigned lo = 0, hi = ways_;
+    while (hi - lo > 1) {
+        const unsigned mid = lo + (hi - lo) / 2;
+        const bool right = bits_[base + node];
+        node = 2 * node + (right ? 2 : 1);
+        if (right)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+void
+TreePlruPolicy::invalidate(std::uint64_t set, unsigned way)
+{
+    // Point the tree towards the invalidated way so it is refilled first.
+    const std::uint64_t base = set * tree_bits_;
+    unsigned node = 0;
+    unsigned lo = 0, hi = ways_;
+    while (hi - lo > 1) {
+        const unsigned mid = lo + (hi - lo) / 2;
+        const bool right = way >= mid;
+        bits_[base + node] = right;
+        node = 2 * node + (right ? 2 : 1);
+        if (right)
+            lo = mid;
+        else
+            hi = mid;
+    }
+}
+
+void
+TreePlruPolicy::reset()
+{
+    std::fill(bits_.begin(), bits_.end(), false);
+}
+
+// ------------------------------------------------------------------ NMRU
+
+NmruPolicy::NmruPolicy(std::uint64_t sets, unsigned ways,
+                       std::uint64_t seed)
+    : ways_(ways), seed_(seed), rng_(seed), mru_(sets, 0)
+{
+    fatal_if(ways < 2, "NMRU needs at least two ways");
+}
+
+void
+NmruPolicy::touch(std::uint64_t set, unsigned way)
+{
+    mru_[set] = std::uint8_t(way);
+}
+
+unsigned
+NmruPolicy::victim(std::uint64_t set)
+{
+    const unsigned pick = unsigned(rng_.nextBounded(ways_ - 1));
+    return pick >= mru_[set] ? pick + 1 : pick;
+}
+
+void
+NmruPolicy::invalidate(std::uint64_t set, unsigned way)
+{
+    (void)set;
+    (void)way;
+}
+
+void
+NmruPolicy::reset()
+{
+    rng_ = Rng(seed_);
+    std::fill(mru_.begin(), mru_.end(), 0);
+}
+
+
+std::unique_ptr<ReplacementPolicy>
+LruPolicy::clone() const
+{
+    return std::make_unique<LruPolicy>(*this);
+}
+
+std::unique_ptr<ReplacementPolicy>
+RandomPolicy::clone() const
+{
+    return std::make_unique<RandomPolicy>(*this);
+}
+
+std::unique_ptr<ReplacementPolicy>
+TreePlruPolicy::clone() const
+{
+    return std::make_unique<TreePlruPolicy>(*this);
+}
+
+std::unique_ptr<ReplacementPolicy>
+NmruPolicy::clone() const
+{
+    return std::make_unique<NmruPolicy>(*this);
+}
+
+} // namespace delorean::cache

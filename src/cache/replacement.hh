@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Cache replacement policies.
+ *
+ * The paper's configuration (Table 1) is LRU throughout, but §4.1 argues
+ * DeLorean generalizes to other policies via statistical cache modeling,
+ * so the cache accepts any policy implementing this interface: LRU,
+ * random, tree-PLRU, and NMRU are provided.
+ */
+
+#ifndef DELOREAN_CACHE_REPLACEMENT_HH
+#define DELOREAN_CACHE_REPLACEMENT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "base/types.hh"
+
+namespace delorean::cache
+{
+
+/** Replacement policy kinds for configuration. */
+enum class ReplKind
+{
+    LRU,
+    Random,
+    TreePLRU,
+    NMRU,
+};
+
+/** Parse "lru" / "random" / "treeplru" / "nmru" (fatal on error). */
+ReplKind replKindFromString(const std::string &name);
+
+/** @return lowercase name of @p kind. */
+const char *replKindName(ReplKind kind);
+
+/**
+ * Per-cache replacement state. The cache calls touch() on every hit or
+ * fill and victim() when it must evict from a full set.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Record a reference to (set, way). */
+    virtual void touch(std::uint64_t set, unsigned way) = 0;
+
+    /** Choose the victim way in a full @p set (does not modify state). */
+    virtual unsigned victim(std::uint64_t set) = 0;
+
+    /** Forget any state for (set, way) (invalidation). */
+    virtual void invalidate(std::uint64_t set, unsigned way) = 0;
+
+    /** Reset to the initial (cold) state. */
+    virtual void reset() = 0;
+
+    /** Deep copy (cache snapshots for multi-configuration sweeps). */
+    virtual std::unique_ptr<ReplacementPolicy> clone() const = 0;
+
+    virtual ReplKind kind() const = 0;
+};
+
+/** Factory for the policy @p kind sized for @p sets x @p ways. */
+std::unique_ptr<ReplacementPolicy> makeReplacement(ReplKind kind,
+                                                   std::uint64_t sets,
+                                                   unsigned ways,
+                                                   std::uint64_t seed = 7);
+
+/** True LRU via per-line timestamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::uint64_t sets, unsigned ways);
+
+    void touch(std::uint64_t set, unsigned way) override;
+    unsigned victim(std::uint64_t set) override;
+    void invalidate(std::uint64_t set, unsigned way) override;
+    void reset() override;
+    std::unique_ptr<ReplacementPolicy> clone() const override;
+    ReplKind kind() const override { return ReplKind::LRU; }
+
+  private:
+    unsigned ways_;
+    std::uint64_t tick_;
+    std::vector<std::uint64_t> stamp_; //!< sets x ways, 0 = never used
+};
+
+/** Uniform random victim selection. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(std::uint64_t sets, unsigned ways, std::uint64_t seed);
+
+    void touch(std::uint64_t set, unsigned way) override;
+    unsigned victim(std::uint64_t set) override;
+    void invalidate(std::uint64_t set, unsigned way) override;
+    void reset() override;
+    std::unique_ptr<ReplacementPolicy> clone() const override;
+    ReplKind kind() const override { return ReplKind::Random; }
+
+  private:
+    unsigned ways_;
+    std::uint64_t seed_;
+    Rng rng_;
+};
+
+/** Tree pseudo-LRU (ways must be a power of two). */
+class TreePlruPolicy : public ReplacementPolicy
+{
+  public:
+    TreePlruPolicy(std::uint64_t sets, unsigned ways);
+
+    void touch(std::uint64_t set, unsigned way) override;
+    unsigned victim(std::uint64_t set) override;
+    void invalidate(std::uint64_t set, unsigned way) override;
+    void reset() override;
+    std::unique_ptr<ReplacementPolicy> clone() const override;
+    ReplKind kind() const override { return ReplKind::TreePLRU; }
+
+  private:
+    unsigned ways_;
+    unsigned tree_bits_; //!< ways - 1 internal nodes per set
+    std::vector<bool> bits_;
+};
+
+/** Not-most-recently-used: random victim excluding the MRU way. */
+class NmruPolicy : public ReplacementPolicy
+{
+  public:
+    NmruPolicy(std::uint64_t sets, unsigned ways, std::uint64_t seed);
+
+    void touch(std::uint64_t set, unsigned way) override;
+    unsigned victim(std::uint64_t set) override;
+    void invalidate(std::uint64_t set, unsigned way) override;
+    void reset() override;
+    std::unique_ptr<ReplacementPolicy> clone() const override;
+    ReplKind kind() const override { return ReplKind::NMRU; }
+
+  private:
+    unsigned ways_;
+    std::uint64_t seed_;
+    Rng rng_;
+    std::vector<std::uint8_t> mru_;
+};
+
+} // namespace delorean::cache
+
+#endif // DELOREAN_CACHE_REPLACEMENT_HH

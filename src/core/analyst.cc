@@ -1,0 +1,99 @@
+#include "core/analyst.hh"
+
+namespace delorean::core
+{
+
+AnalystClassifier::AnalystClassifier(const KeySet &keys,
+                                     const ExplorerResult &explored,
+                                     const cache::Cache &llc,
+                                     const statmodel::AssocModel &assoc)
+    : llc_(llc),
+      assoc_(assoc),
+      stack_(explored.vicinity),
+      llc_lines_(llc.config().lines())
+{
+    lines_.reserve(keys.keys.size());
+    for (const auto &k : keys.keys) {
+        LineState st;
+        st.key = &k;
+        const auto it = explored.back_distance.find(k.line);
+        if (it != explored.back_distance.end()) {
+            st.has_back = true;
+            st.back = it->second;
+        }
+        lines_.emplace(k.line, st);
+    }
+}
+
+cpu::AccessClass
+AnalystClassifier::classifyWithReuse(Addr pc, std::uint64_t rd)
+{
+    // Without vicinity samples, fall back to the conservative upper
+    // bound sd <= rd (every reference unique).
+    const double sd =
+        stack_.empty() ? double(rd) : stack_.stackDistance(rd);
+
+    if (assoc_.isConflict(pc, sd))
+        return cpu::AccessClass::ConflictMiss;
+    if (sd > double(llc_lines_))
+        return cpu::AccessClass::CapacityMiss;
+    return cpu::AccessClass::WarmingHit;
+}
+
+cpu::AccessClass
+AnalystClassifier::classifyMiss(Addr pc, Addr line, bool write,
+                                RefCount region_ref_idx)
+{
+    (void)write;
+
+    // Lukewarm set already full: a later fill would have evicted
+    // something the region already saw — certain conflict miss.
+    if (llc_.setFull(line))
+        return cpu::AccessClass::ConflictMiss;
+
+    const auto it = lines_.find(line);
+    if (it == lines_.end()) {
+        // Not in the key set: the Scout never saw this line in the
+        // region. Only possible through divergence between the Scout's
+        // functional replay and the timed simulation (e.g. prefetcher
+        // side effects); be conservative and call it cold.
+        return cpu::AccessClass::ColdMiss;
+    }
+
+    LineState &st = it->second;
+
+    if (st.classified_before) {
+        // Re-miss within the region: the line was filled by an earlier
+        // classified access and evicted again. Use the intra-region
+        // distance since that fill (an upper bound on the true backward
+        // reuse distance).
+        ++intra_decisions_;
+        const std::uint64_t rd = region_ref_idx - st.last_classified;
+        st.last_classified = region_ref_idx;
+        return classifyWithReuse(pc, rd);
+    }
+
+    st.classified_before = true;
+    st.last_classified = region_ref_idx;
+    ++key_decisions_;
+
+    if (st.has_back) {
+        // The full key reuse distance: warm-up back distance plus the
+        // in-region offset of the first access.
+        const std::uint64_t rd = st.back + st.key->first_offset;
+        return classifyWithReuse(pc, rd);
+    }
+
+    if (st.key->lukewarm_hit) {
+        // The Scout saw this first access hit the lukewarm state, so no
+        // Explorer measured it; if the timed simulation still missed
+        // (prefetcher/timing divergence), trust the Scout: warm.
+        return cpu::AccessClass::WarmingHit;
+    }
+
+    // No Explorer found a previous access: first touch within the
+    // deepest horizon — cold.
+    return cpu::AccessClass::ColdMiss;
+}
+
+} // namespace delorean::core

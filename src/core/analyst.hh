@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The Analyst pass: directed statistical warming (paper §3.1, Figure 3).
+ *
+ * The Analyst runs the timed detailed simulation with an LlcClassifier
+ * that resolves every lukewarm-LLC miss using the key reuse distances
+ * (from the Explorers) converted to stack distances (via StatStack over
+ * the vicinity distribution):
+ *
+ *     lukewarm/MSHR hit  -> hit            (handled by DetailedSimulator)
+ *     set full / stride  -> conflict miss
+ *     stack dist > size  -> capacity miss
+ *     no reuse found     -> cold miss
+ *     otherwise          -> warming miss, modeled as a hit
+ */
+
+#ifndef DELOREAN_CORE_ANALYST_HH
+#define DELOREAN_CORE_ANALYST_HH
+
+#include <memory>
+#include <unordered_map>
+
+#include "cache/hierarchy.hh"
+#include "core/explorer.hh"
+#include "core/key_access.hh"
+#include "cpu/detailed_sim.hh"
+#include "statmodel/assoc_model.hh"
+#include "statmodel/statstack.hh"
+
+namespace delorean::core
+{
+
+/** The DSW classifier plugged into the detailed simulator. */
+class AnalystClassifier : public cpu::LlcClassifier
+{
+  public:
+    /**
+     * @param keys      the Scout's key set for this region
+     * @param explored  the Explorers' reuse distances + vicinity
+     * @param llc       the (lukewarm) LLC being simulated
+     * @param assoc     stride/associativity model trained on the
+     *                  detailed-warming window
+     */
+    AnalystClassifier(const KeySet &keys, const ExplorerResult &explored,
+                      const cache::Cache &llc,
+                      const statmodel::AssocModel &assoc);
+
+    cpu::AccessClass classifyMiss(Addr pc, Addr line, bool write,
+                                  RefCount region_ref_idx) override;
+
+    // Decision statistics for introspection / tests.
+    Counter keyDecisions() const { return key_decisions_; }
+    Counter intraRegionDecisions() const { return intra_decisions_; }
+
+  private:
+    /** Classify an access with a known backward reuse distance. */
+    cpu::AccessClass classifyWithReuse(Addr pc, std::uint64_t rd);
+
+    struct LineState
+    {
+        const KeyAccess *key = nullptr;
+        bool has_back = false;
+        RefCount back = 0;
+        bool first_consumed = false;
+        RefCount last_classified = 0;
+        bool classified_before = false;
+    };
+
+    std::unordered_map<Addr, LineState> lines_;
+    const cache::Cache &llc_;
+    const statmodel::AssocModel &assoc_;
+    statmodel::StatStack stack_;
+    std::uint64_t llc_lines_;
+
+    Counter key_decisions_ = 0;
+    Counter intra_decisions_ = 0;
+};
+
+} // namespace delorean::core
+
+#endif // DELOREAN_CORE_ANALYST_HH

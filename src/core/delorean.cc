@@ -1,0 +1,299 @@
+#include "core/delorean.hh"
+
+#include "base/logging.hh"
+#include "core/analyst.hh"
+#include "core/scout.hh"
+#include "statmodel/assoc_model.hh"
+
+namespace delorean::core
+{
+
+namespace
+{
+
+/** Adapter feeding detailed-warming accesses into the stride model. */
+class AssocTrainer : public cpu::MemObserver
+{
+  public:
+    explicit AssocTrainer(statmodel::AssocModel &model) : model_(model) {}
+
+    void
+    memAccess(Addr pc, Addr line, bool write) override
+    {
+        (void)write;
+        model_.observe(pc, line);
+    }
+
+  private:
+    statmodel::AssocModel &model_;
+};
+
+} // namespace
+
+std::vector<InstCount>
+DeloreanConfig::scaledHorizons() const
+{
+    // Naively dividing the paper's horizons by S would push Explorer-1
+    // below the (unscaled) 30 k detailed-warming window, where it can
+    // never resolve anything — every line accessed that recently is
+    // still in the lukewarm cache. Horizons are therefore floored at a
+    // few multiples of the lukewarm window (the *cost model* still
+    // charges the paper-scale window lengths; see warmup()).
+    const InstCount luke =
+        schedule.detailed_warming + schedule.region_len;
+    std::vector<InstCount> out;
+    out.reserve(paper_horizons.size());
+    for (std::size_t k = 0; k < paper_horizons.size(); ++k) {
+        const InstCount scaled =
+            schedule.scaleInterval(paper_horizons[k]);
+        const InstCount floor = luke * (InstCount(4) << (2 * k));
+        InstCount h = std::max(scaled, floor);
+        // The deepest paper horizon (1 B) equals the region spacing;
+        // clamp so no Explorer reaches past the previous region.
+        h = std::min<InstCount>(h, schedule.spacing);
+        out.push_back(h);
+    }
+    // Clamping can collapse neighbouring horizons; keep them strictly
+    // increasing by dropping duplicates from the tail.
+    for (std::size_t k = 1; k < out.size();) {
+        if (out[k] <= out[k - 1]) {
+            out.erase(out.begin() + long(k));
+        } else {
+            ++k;
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+DeloreanConfig::scaledVicinityPeriod() const
+{
+    return schedule.scaleInterval(paper_vicinity_period);
+}
+
+std::vector<InstCount>
+DeloreanMethod::checkpointPositions(const DeloreanConfig &config)
+{
+    return sampling::checkpointPositions(config.schedule,
+                                         config.scaledHorizons());
+}
+
+WarmupArtifacts
+DeloreanMethod::assembleArtifacts(const DeloreanConfig &config,
+                                  std::vector<KeySet> keys_in,
+                                  std::vector<ExplorerResult> explored_in)
+{
+    const auto &sched = config.schedule;
+    const auto horizons = config.scaledHorizons();
+    const auto cost_params = config.scaledCost();
+    const std::size_t n_explorers = horizons.size();
+
+    WarmupArtifacts art;
+    art.keys = std::move(keys_in);
+    art.explored = std::move(explored_in);
+    art.cost = profiling::HostCostAccount(cost_params);
+    art.passes.resize(n_explorers + 1);
+    art.passes.front().name = "scout";
+    for (std::size_t k = 0; k < n_explorers; ++k)
+        art.passes[k + 1].name = "explorer-" + std::to_string(k + 1);
+
+    const InstCount region_total =
+        sched.detailed_warming + sched.region_len;
+    unsigned engaged_total = 0;
+
+    for (unsigned r = 0; r < sched.num_regions; ++r) {
+        const KeySet &keys = art.keys[r];
+        const ExplorerResult &explored = art.explored[r];
+        const auto need = keys.linesNeedingExploration();
+
+        // ---------------- Scout ----------------------------------------
+        profiling::HostCostAccount scout_cost(cost_params);
+        scout_cost.chargeVffScaled(sched.spacing - region_total);
+        scout_cost.chargeAtomicRaw(region_total);
+        scout_cost.chargeStateTransfers(2);
+        art.passes.front().per_region_seconds.push_back(
+            scout_cost.seconds());
+        art.cost.merge(scout_cost);
+
+        // ---------------- Explorers ------------------------------------
+        for (std::size_t k = 0; k < n_explorers; ++k) {
+            profiling::HostCostAccount e_cost(cost_params);
+            // Every pass keeps pace with the stream via VFF.
+            e_cost.chargeVffScaled(sched.spacing);
+            if (k < explored.engaged) {
+                if (k == 0) {
+                    // Explorer-1 profiles its window functionally
+                    // (gem5 atomic); charged at the *paper-scale*
+                    // window length (§3.3: 5 M instructions) —
+                    // DESIGN.md §5 explains the scaling model.
+                    const InstCount paper_h =
+                        k < config.paper_horizons.size()
+                            ? config.paper_horizons[k]
+                            : config.paper_horizons.back();
+                    const InstCount paper_window = std::min<InstCount>(
+                        paper_h, InstCount(double(sched.spacing) *
+                                           cost_params.scale));
+                    e_cost.chargeAtomicRaw(paper_window);
+                } else {
+                    // Virtualized DP runs at native speed; the cost is
+                    // the traps. Trap counts are charged unscaled: the
+                    // scaled trace compresses both the window length
+                    // (fewer accesses) and the structures' footprints
+                    // (denser per-page traffic) by the same factor S,
+                    // so the product — accesses hitting watched pages —
+                    // is already at paper magnitude.
+                    e_cost.chargeTraps(explored.dp_traps[k]);
+                    e_cost.chargeTraps(explored.vicinity_traps[k]);
+                }
+                e_cost.chargeStateTransfers(2);
+            }
+            art.passes[k + 1].per_region_seconds.push_back(
+                e_cost.seconds());
+            art.cost.merge(e_cost);
+        }
+
+        engaged_total += explored.engaged;
+        for (std::size_t k = 0; k < 4 && k < n_explorers; ++k) {
+            art.keys_by_explorer[k] += explored.found_by[k];
+            art.traps += explored.dp_traps[k] +
+                         explored.vicinity_traps[k];
+            art.false_positives += explored.dp_false_positives[k] +
+                                   explored.vicinity_false_positives[k];
+        }
+        art.keys_total += keys.uniqueLines();
+        art.keys_explored += need.size();
+        art.keys_unresolved += explored.unresolved.size();
+        art.reuse_samples += explored.back_distance.size() +
+                             explored.vicinity_samples;
+    }
+
+    art.avg_explorers = double(engaged_total) / double(sched.num_regions);
+    return art;
+}
+
+WarmupArtifacts
+DeloreanMethod::warmup(const workload::TraceSource &master,
+                       const DeloreanConfig &config,
+                       const sampling::TraceCheckpointer &checkpoints,
+                       const cache::HierarchyConfig &scout_hier)
+{
+    config.schedule.validate();
+    scout_hier.validate();
+
+    const auto &sched = config.schedule;
+    ExplorerChain chain({config.scaledHorizons(), config.paper_horizons,
+                         config.paper_vicinity_period,
+                         std::hash<std::string>{}(master.name())},
+                        checkpoints);
+
+    std::vector<KeySet> keys;
+    std::vector<ExplorerResult> explored;
+    for (unsigned r = 0; r < sched.num_regions; ++r) {
+        auto scout_trace = checkpoints.at(sched.warmingStart(r));
+        keys.push_back(Scout::scan(*scout_trace, scout_hier, config.sim,
+                                   sched.detailed_warming,
+                                   sched.region_len));
+        explored.push_back(chain.explore(
+            keys.back().linesNeedingExploration(),
+            sched.detailedStart(r)));
+    }
+    return assembleArtifacts(config, std::move(keys),
+                             std::move(explored));
+}
+
+sampling::MethodResult
+DeloreanMethod::analyze(const workload::TraceSource &master,
+                        const DeloreanConfig &config,
+                        const sampling::TraceCheckpointer &checkpoints,
+                        const WarmupArtifacts &artifacts)
+{
+    config.hier.validate();
+    const auto &sched = config.schedule;
+    const auto cost_params = config.scaledCost();
+
+    panic_if(artifacts.keys.size() != sched.num_regions,
+             "warm-up artifacts cover %zu regions, schedule has %u",
+             artifacts.keys.size(), sched.num_regions);
+
+    sampling::MethodResult result;
+    result.method = "DeLorean";
+    result.benchmark = master.name();
+    result.cost = profiling::HostCostAccount(cost_params);
+    result.cost.merge(artifacts.cost);
+
+    PassCosts analyst_pass;
+    analyst_pass.name = "analyst";
+
+    cache::CacheHierarchy hier(config.hier);
+    cpu::DetailedSimulator sim(hier, config.sim);
+    statmodel::AssocModel assoc(config.hier.llc.sets(),
+                                config.hier.llc.assoc);
+
+    const InstCount region_total =
+        sched.detailed_warming + sched.region_len;
+
+    for (unsigned r = 0; r < sched.num_regions; ++r) {
+        profiling::HostCostAccount a_cost(cost_params);
+        auto trace = checkpoints.at(sched.warmingStart(r));
+
+        hier.flush();
+        sim.branchPredictor().reset();
+        sim.prefetcher().reset();
+        assoc.clear();
+        AssocTrainer trainer(assoc);
+        sim.warmRegion(*trace, sched.detailed_warming, &trainer);
+
+        AnalystClassifier classifier(artifacts.keys[r],
+                                     artifacts.explored[r], hier.llc(),
+                                     assoc);
+        const auto stats =
+            sim.simulate(*trace, sched.region_len, &classifier);
+
+        a_cost.chargeVffScaled(sched.spacing - region_total);
+        a_cost.chargeDetailedRaw(region_total);
+        a_cost.chargeStateTransfers(2);
+        analyst_pass.per_region_seconds.push_back(a_cost.seconds());
+        result.cost.merge(a_cost);
+
+        result.addRegion(stats);
+    }
+
+    // Shared warm-up statistics surface in every analyzed result.
+    result.reuse_samples = artifacts.reuse_samples;
+    result.traps = artifacts.traps;
+    result.false_positives = artifacts.false_positives;
+    result.keys_by_explorer = artifacts.keys_by_explorer;
+    result.keys_total = artifacts.keys_total;
+    result.keys_explored = artifacts.keys_explored;
+    result.keys_unresolved = artifacts.keys_unresolved;
+    result.avg_explorers = artifacts.avg_explorers;
+
+    std::vector<PassCosts> pipeline = artifacts.passes;
+    pipeline.push_back(std::move(analyst_pass));
+    result.wall_seconds = pipelineWallSeconds(pipeline);
+    result.mips = profiling::modeledMips(sched.totalInstructions(),
+                                         sched.scaleFactor(),
+                                         result.wall_seconds);
+    return result;
+}
+
+sampling::MethodResult
+DeloreanMethod::run(const workload::TraceSource &master,
+                    const DeloreanConfig &config)
+{
+    sampling::TraceCheckpointer checkpoints(master);
+    checkpoints.prepare(checkpointPositions(config));
+    return run(master, config, checkpoints);
+}
+
+sampling::MethodResult
+DeloreanMethod::run(const workload::TraceSource &master,
+                    const DeloreanConfig &config,
+                    const sampling::TraceCheckpointer &checkpoints)
+{
+    const WarmupArtifacts artifacts =
+        warmup(master, config, checkpoints, config.hier);
+    return analyze(master, config, checkpoints, artifacts);
+}
+
+} // namespace delorean::core

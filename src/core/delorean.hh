@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The DeLorean facade: directed statistical warming through time
+ * traveling, end to end.
+ *
+ * Orchestrates Scout -> Explorer-1..4 -> Analyst per detailed region,
+ * charges each pass's modeled host cost, and reports the pipelined
+ * wall-clock speed (Figure 5), collected reuse distances (Figure 6),
+ * per-Explorer key breakdown (Figure 7), Explorer engagement (Figure 8),
+ * and CPI/MPKI accuracy (Figures 9-14).
+ *
+ * The warm-up phase (Scout + Explorers) is exposed separately from the
+ * Analyst phase because reuse distances are microarchitecture
+ * independent: design-space exploration (core/dse.hh) runs the warm-up
+ * once and feeds any number of Analysts (paper §3.3).
+ */
+
+#ifndef DELOREAN_CORE_DELOREAN_HH
+#define DELOREAN_CORE_DELOREAN_HH
+
+#include "core/explorer.hh"
+#include "core/key_access.hh"
+#include "core/pipeline.hh"
+#include "sampling/method.hh"
+#include "sampling/results.hh"
+
+namespace delorean::core
+{
+
+/** DeLorean-specific knobs on top of the shared MethodConfig. */
+struct DeloreanConfig : sampling::MethodConfig
+{
+    /**
+     * Explorer horizons in *paper-scale* instructions (§3.3: 5 M, 50 M,
+     * 100 M and 1 B before each detailed region); scaled down by S
+     * internally.
+     */
+    std::vector<InstCount> paper_horizons{5'000'000, 50'000'000,
+                                          100'000'000, 1'000'000'000};
+
+    /**
+     * Vicinity sampling period in paper-scale memory instructions
+     * (§3.3 default: 1 sample per 100 k); scaled by S internally.
+     */
+    std::uint64_t paper_vicinity_period = 100'000;
+
+    /** Scaled horizons for the current schedule. */
+    std::vector<InstCount> scaledHorizons() const;
+
+    /** Scaled vicinity period for the current schedule. */
+    std::uint64_t scaledVicinityPeriod() const;
+};
+
+/**
+ * Everything the warm-up passes (Scout + Explorers) produce: per-region
+ * key sets with measured reuse distances, per-pass pipeline costs, and
+ * the aggregated warm-up statistics.
+ */
+struct WarmupArtifacts
+{
+    std::vector<KeySet> keys;              //!< per region
+    std::vector<ExplorerResult> explored;  //!< per region
+
+    /** Pipeline costs: scout, explorer-1..N. */
+    std::vector<PassCosts> passes;
+
+    /** Total modeled cost of the shared passes. */
+    profiling::HostCostAccount cost;
+
+    Counter keys_total = 0;
+    Counter keys_explored = 0;
+    Counter keys_unresolved = 0;
+    std::array<Counter, 4> keys_by_explorer{};
+    Counter traps = 0;
+    Counter false_positives = 0;
+    Counter reuse_samples = 0;
+    double avg_explorers = 0.0;
+};
+
+/** The full DeLorean sampled-simulation method. */
+class DeloreanMethod
+{
+  public:
+    /** Run the schedule over a clone of @p master. */
+    static sampling::MethodResult run(const workload::TraceSource &master,
+                                      const DeloreanConfig &config);
+
+    /**
+     * Same, but reusing an externally prepared checkpoint store (the
+     * design-space explorer shares one across Analysts).
+     */
+    static sampling::MethodResult
+    run(const workload::TraceSource &master, const DeloreanConfig &config,
+        const sampling::TraceCheckpointer &checkpoints);
+
+    /**
+     * Phase 1: Scout + Explorers for every region.
+     *
+     * @param scout_hier machine configuration used for the Scout's
+     *        lukewarm filter — pass the smallest LLC of a sweep so the
+     *        key sets stay valid for every configuration.
+     */
+    static WarmupArtifacts
+    warmup(const workload::TraceSource &master,
+           const DeloreanConfig &config,
+           const sampling::TraceCheckpointer &checkpoints,
+           const cache::HierarchyConfig &scout_hier);
+
+    /**
+     * Phase 2: one Analyst pass over all regions using precomputed
+     * warm-up artifacts. The returned result folds in the shared warm-up
+     * statistics/cost and the pipelined wall-clock.
+     */
+    static sampling::MethodResult
+    analyze(const workload::TraceSource &master,
+            const DeloreanConfig &config,
+            const sampling::TraceCheckpointer &checkpoints,
+            const WarmupArtifacts &artifacts);
+
+    /** Checkpoint positions this configuration's passes will need. */
+    static std::vector<InstCount>
+    checkpointPositions(const DeloreanConfig &config);
+
+    /**
+     * Fold per-region Scout/Explorer outputs into WarmupArtifacts:
+     * per-pass pipeline costs and aggregated warm-up statistics. Shared
+     * by the serial warmup() and the threaded pipeline (which computes
+     * the same outputs concurrently).
+     */
+    static WarmupArtifacts
+    assembleArtifacts(const DeloreanConfig &config,
+                      std::vector<KeySet> keys,
+                      std::vector<ExplorerResult> explored);
+};
+
+} // namespace delorean::core
+
+#endif // DELOREAN_CORE_DELOREAN_HH

@@ -1,0 +1,83 @@
+#include "core/dse.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace delorean::core
+{
+
+DesignSpaceExplorer::Output
+DesignSpaceExplorer::run(const workload::TraceSource &master,
+                         const DeloreanConfig &base,
+                         const std::vector<std::uint64_t> &llc_sizes)
+{
+    fatal_if(llc_sizes.empty(), "DSE needs at least one LLC size");
+
+    // Shared checkpoints + shared warm-up, with the Scout's lukewarm
+    // filter on the smallest configuration so key sets are valid
+    // everywhere.
+    sampling::TraceCheckpointer checkpoints(master);
+    checkpoints.prepare(DeloreanMethod::checkpointPositions(base));
+
+    const std::uint64_t min_size =
+        *std::min_element(llc_sizes.begin(), llc_sizes.end());
+    const WarmupArtifacts artifacts = DeloreanMethod::warmup(
+        master, base, checkpoints, base.hier.withLlcSize(min_size));
+
+    Output out;
+    out.cost.shared_seconds = artifacts.cost.seconds();
+
+    const double ghz = base.cost.host_ghz * 1e9;
+    double analyst_total = 0.0;
+    double detailed_total = 0.0;
+    std::vector<double> analyst_wall_per_region(
+        base.schedule.num_regions, 0.0);
+
+    for (const std::uint64_t size : llc_sizes) {
+        DeloreanConfig cfg = base;
+        cfg.hier = base.hier.withLlcSize(size);
+
+        DsePoint point;
+        point.llc_size = size;
+        point.result = DeloreanMethod::analyze(master, cfg, checkpoints,
+                                               artifacts);
+
+        const double analyst_s =
+            point.result.cost.seconds() - artifacts.cost.seconds();
+        analyst_total += analyst_s;
+        detailed_total += point.result.cost.detailedCycles() / ghz;
+
+        // Parallel Analysts: the per-region wall contribution is the
+        // slowest Analyst.
+        const double per_region =
+            analyst_s / double(base.schedule.num_regions);
+        for (auto &w : analyst_wall_per_region)
+            w = std::max(w, per_region);
+
+        out.points.push_back(std::move(point));
+    }
+
+    const double k = double(llc_sizes.size());
+    out.cost.analyst_seconds = analyst_total / k;
+    out.cost.total_core_seconds =
+        out.cost.shared_seconds + analyst_total;
+    out.cost.marginal_factor =
+        out.cost.total_core_seconds /
+        (out.cost.shared_seconds + out.cost.analyst_seconds);
+    out.cost.warm_to_detailed_ratio =
+        detailed_total > 0.0
+            ? (out.cost.total_core_seconds - detailed_total) /
+                  detailed_total
+            : 0.0;
+
+    // Wall clock: shared pipeline followed by the slowest Analyst.
+    std::vector<PassCosts> pipeline = artifacts.passes;
+    PassCosts analysts{"analysts(parallel)", analyst_wall_per_region};
+    pipeline.push_back(std::move(analysts));
+    out.cost.wall_seconds = pipelineWallSeconds(pipeline);
+
+    return out;
+}
+
+} // namespace delorean::core

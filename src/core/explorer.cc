@@ -1,0 +1,101 @@
+#include "core/explorer.hh"
+
+#include "base/logging.hh"
+
+namespace delorean::core
+{
+
+std::uint64_t
+ExplorerConfig::vicinityPeriod(std::size_t k) const
+{
+    const InstCount window = horizons.at(k);
+    const InstCount paper_window = k < paper_horizons.size()
+                                       ? paper_horizons[k]
+                                       : paper_horizons.empty()
+                                             ? window
+                                             : paper_horizons.back();
+    const double period = double(paper_vicinity_period) *
+                          double(window) / double(paper_window);
+    return std::max<std::uint64_t>(1, std::uint64_t(period));
+}
+
+ExplorerChain::ExplorerChain(const ExplorerConfig &config,
+                             const sampling::TraceCheckpointer &checkpoints)
+    : config_(config), checkpoints_(checkpoints)
+{
+    fatal_if(config.horizons.empty(), "ExplorerChain: no horizons");
+    fatal_if(config.horizons.size() > 4,
+             "ExplorerChain: the paper uses at most four Explorers");
+    for (std::size_t i = 1; i < config.horizons.size(); ++i) {
+        fatal_if(config.horizons[i] <= config.horizons[i - 1],
+                 "ExplorerChain: horizons must be strictly increasing");
+    }
+}
+
+std::vector<Addr>
+ExplorerChain::exploreOne(std::size_t k, const std::vector<Addr> &keys,
+                          InstCount detailed_start,
+                          ExplorerResult &res) const
+{
+    res.engaged = std::max(res.engaged, unsigned(k + 1));
+
+    const InstCount horizon = config_.horizons[k];
+    const InstCount window_start =
+        detailed_start >= horizon ? detailed_start - horizon : 0;
+    const InstCount window = detailed_start - window_start;
+    res.window_insts[k] = window;
+
+    // Explorer-1 profiles functionally (gem5 atomic); later Explorers
+    // use virtualized directed profiling with watchpoint traps (§3.3).
+    const bool virtualized = k > 0;
+
+    auto trace = checkpoints_.at(window_start);
+    profiling::DirectedProfiler dp;
+    dp.begin(keys, virtualized);
+    profiling::VicinitySampler vicinity(
+        config_.vicinityPeriod(k),
+        config_.seed + detailed_start + k * 0x9e37);
+    vicinity.beginWindow(virtualized);
+
+    for (InstCount i = 0; i < window; ++i) {
+        const auto inst = trace->next();
+        if (!inst.isMem())
+            continue;
+        const Addr line = inst.line();
+        dp.observe(line);
+        vicinity.observe(line);
+    }
+
+    vicinity.endWindow();
+    auto profile = dp.end();
+
+    res.found_by[k] = profile.back_distance.size();
+    res.dp_traps[k] = profile.traps;
+    res.dp_false_positives[k] = profile.false_positives;
+    res.vicinity_traps[k] = vicinity.traps();
+    res.vicinity_false_positives[k] = vicinity.falsePositives();
+    res.vicinity_samples += vicinity.samples();
+    res.vicinity.merge(vicinity.histogram());
+
+    for (const auto &[line, back] : profile.back_distance)
+        res.back_distance.emplace(line, back);
+    return std::move(profile.unresolved);
+}
+
+ExplorerResult
+ExplorerChain::explore(const std::vector<Addr> &keys,
+                       InstCount detailed_start) const
+{
+    ExplorerResult res;
+    std::vector<Addr> remaining = keys;
+
+    for (std::size_t k = 0;
+         k < config_.horizons.size() && !remaining.empty(); ++k) {
+        remaining = exploreOne(k, remaining, detailed_start, res);
+    }
+
+    res.unresolved = std::move(remaining);
+    return res;
+}
+
+} // namespace delorean::core

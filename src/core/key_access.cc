@@ -1,0 +1,27 @@
+#include "core/key_access.hh"
+
+namespace delorean::core
+{
+
+std::vector<Addr>
+KeySet::linesNeedingExploration() const
+{
+    std::vector<Addr> out;
+    for (const auto &k : keys) {
+        if (!k.lukewarm_hit)
+            out.push_back(k.line);
+    }
+    return out;
+}
+
+std::unordered_map<Addr, const KeyAccess *>
+KeySet::index() const
+{
+    std::unordered_map<Addr, const KeyAccess *> idx;
+    idx.reserve(keys.size());
+    for (const auto &k : keys)
+        idx.emplace(k.line, &k);
+    return idx;
+}
+
+} // namespace delorean::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Key cachelines and key reuse distances (paper §3.1.1).
+ *
+ * A *key cacheline* is a unique cacheline referenced in a detailed
+ * region; its *key reuse distance* is the distance (in memory references)
+ * from its last access before the detailed region to its first access
+ * inside it. The Scout discovers the key set; the Explorers measure the
+ * backward distances; the Analyst combines both.
+ */
+
+#ifndef DELOREAN_CORE_KEY_ACCESS_HH
+#define DELOREAN_CORE_KEY_ACCESS_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace delorean::core
+{
+
+/** One key cacheline as recorded by the Scout. */
+struct KeyAccess
+{
+    Addr line = 0;
+
+    /** Memory references from detailed-region start to first access. */
+    RefCount first_offset = 0;
+
+    /** PC of the first access (per-PC models / stride checks). */
+    Addr pc = 0;
+
+    /** First access is a store. */
+    bool write = false;
+
+    /**
+     * First access hits the lukewarm state: its outcome is already
+     * decided, so no Explorer needs to find its reuse (§3.1.2 — the
+     * lukewarm cache resolves most accesses).
+     */
+    bool lukewarm_hit = false;
+};
+
+/** The Scout's product for one detailed region. */
+struct KeySet
+{
+    std::vector<KeyAccess> keys;
+
+    /** Memory references in the detailed region. */
+    RefCount region_refs = 0;
+
+    /** All unique cachelines in the region (§3.2: avg 151 on SPEC). */
+    std::size_t uniqueLines() const { return keys.size(); }
+
+    /** Keys whose reuse distance the Explorers must measure. */
+    std::vector<Addr> linesNeedingExploration() const;
+
+    /** Lookup table line -> key record. */
+    std::unordered_map<Addr, const KeyAccess *> index() const;
+};
+
+} // namespace delorean::core
+
+#endif // DELOREAN_CORE_KEY_ACCESS_HH

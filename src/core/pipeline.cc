@@ -1,0 +1,54 @@
+#include "core/pipeline.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace delorean::core
+{
+
+double
+PassCosts::total() const
+{
+    double sum = 0.0;
+    for (const double t : per_region_seconds)
+        sum += t;
+    return sum;
+}
+
+double
+pipelineWallSeconds(const std::vector<PassCosts> &passes)
+{
+    if (passes.empty())
+        return 0.0;
+    const std::size_t regions = passes.front().per_region_seconds.size();
+    for (const auto &p : passes) {
+        panic_if(p.per_region_seconds.size() != regions,
+                 "pass '%s' has %zu regions, expected %zu",
+                 p.name.c_str(), p.per_region_seconds.size(), regions);
+    }
+
+    std::vector<double> prev(regions, 0.0); // completion of pass p-1
+    for (const auto &pass : passes) {
+        std::vector<double> cur(regions, 0.0);
+        double last = 0.0;
+        for (std::size_t r = 0; r < regions; ++r) {
+            const double start = std::max(last, prev[r]);
+            cur[r] = start + pass.per_region_seconds[r];
+            last = cur[r];
+        }
+        prev = std::move(cur);
+    }
+    return regions ? prev.back() : 0.0;
+}
+
+double
+pipelineTotalSeconds(const std::vector<PassCosts> &passes)
+{
+    double sum = 0.0;
+    for (const auto &p : passes)
+        sum += p.total();
+    return sum;
+}
+
+} // namespace delorean::core

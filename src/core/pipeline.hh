@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The Time-Traveling pipeline schedule (paper §3.2, Figure 4).
+ *
+ * TT runs Scout, Explorer-1..4 and Analyst as separate processes,
+ * pipelined over detailed regions: pass p starts region r once it has
+ * finished region r-1 *and* pass p-1 has finished region r (results flow
+ * through OS pipes). Wall-clock is therefore the completion time of the
+ * classic pipeline recurrence, not the serial sum — given enough host
+ * cores, warm-up cost is hidden behind the slowest pass.
+ */
+
+#ifndef DELOREAN_CORE_PIPELINE_HH
+#define DELOREAN_CORE_PIPELINE_HH
+
+#include <string>
+#include <vector>
+
+namespace delorean::core
+{
+
+/** Modeled per-region runtimes of one pass. */
+struct PassCosts
+{
+    std::string name;
+    std::vector<double> per_region_seconds;
+
+    double total() const;
+};
+
+/**
+ * Completion time of the pipelined schedule:
+ *   C[p][r] = max(C[p][r-1], C[p-1][r]) + t[p][r]
+ * with the convention C[-1][r] = C[p][-1] = 0.
+ *
+ * @param passes in dependency order (Scout, Explorers..., Analyst)
+ * @return wall-clock seconds of the last pass finishing the last region
+ */
+double pipelineWallSeconds(const std::vector<PassCosts> &passes);
+
+/** Serial sum over all passes (total host resources consumed). */
+double pipelineTotalSeconds(const std::vector<PassCosts> &passes);
+
+} // namespace delorean::core
+
+#endif // DELOREAN_CORE_PIPELINE_HH

@@ -1,0 +1,57 @@
+#include "core/scout.hh"
+
+#include <unordered_set>
+
+namespace delorean::core
+{
+
+KeySet
+Scout::scan(workload::TraceSource &trace,
+            const cache::HierarchyConfig &hier_config,
+            const cpu::DetailedSimConfig &sim_config, InstCount warming,
+            InstCount region_len)
+{
+    // Scratch machine: cold, then detail-warmed exactly like the
+    // Analyst's will be, so lukewarm_hit flags match the Analyst's
+    // lukewarm lookups.
+    cache::CacheHierarchy hier(hier_config);
+    cpu::DetailedSimulator sim(hier, sim_config);
+    sim.warmRegion(trace, warming);
+
+    KeySet set;
+    std::unordered_set<Addr> seen;
+    Addr last_fetch_line = invalid_addr;
+
+    for (InstCount i = 0; i < region_len; ++i) {
+        const auto inst = trace.next();
+
+        // Keep the shared LLC state in sync with what the detailed
+        // simulation's fetch stream will do to it.
+        const Addr fetch_line = lineOf(inst.pc);
+        if (fetch_line != last_fetch_line) {
+            hier.instAccess(fetch_line);
+            last_fetch_line = fetch_line;
+        }
+
+        if (!inst.isMem())
+            continue;
+
+        const Addr line = inst.line();
+        if (seen.insert(line).second) {
+            KeyAccess key;
+            key.line = line;
+            key.first_offset = set.region_refs;
+            key.pc = inst.pc;
+            key.write = inst.isStore();
+            key.lukewarm_hit = hier.l1d().contains(line) ||
+                               hier.llc().contains(line);
+            set.keys.push_back(key);
+        }
+        hier.dataAccess(line, inst.isStore());
+        ++set.region_refs;
+    }
+
+    return set;
+}
+
+} // namespace delorean::core

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The Scout pass: "look into the future" (paper §3.2).
+ *
+ * The Scout fast-forwards (VFF) to each detailed region, replays the
+ * detailed-warming window functionally to reconstruct the lukewarm
+ * state, then functionally simulates the region itself to record the key
+ * cachelines: every unique line, its first-access offset/PC, and whether
+ * that first access is already resolved by the lukewarm state.
+ */
+
+#ifndef DELOREAN_CORE_SCOUT_HH
+#define DELOREAN_CORE_SCOUT_HH
+
+#include "cache/hierarchy.hh"
+#include "core/key_access.hh"
+#include "cpu/detailed_sim.hh"
+#include "sampling/region.hh"
+
+namespace delorean::core
+{
+
+/** The key-cacheline discovery pass. */
+class Scout
+{
+  public:
+    /**
+     * Scan one region.
+     *
+     * @param trace  positioned at the region's warmingStart
+     * @param hier_config machine configuration (a scratch hierarchy is
+     *        built internally so the Scout replays the exact lukewarm
+     *        state the Analyst will later have)
+     * @param sim_config detailed-simulator knobs (prefetcher on/off must
+     *        match the Analyst for state equivalence)
+     * @param warming  detailed-warming length (instructions)
+     * @param region_len detailed-region length (instructions)
+     */
+    static KeySet scan(workload::TraceSource &trace,
+                       const cache::HierarchyConfig &hier_config,
+                       const cpu::DetailedSimConfig &sim_config,
+                       InstCount warming, InstCount region_len);
+};
+
+} // namespace delorean::core
+
+#endif // DELOREAN_CORE_SCOUT_HH

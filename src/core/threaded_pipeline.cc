@@ -1,0 +1,106 @@
+#include "core/threaded_pipeline.hh"
+
+#include <memory>
+#include <thread>
+
+#include "base/logging.hh"
+#include "core/scout.hh"
+
+namespace delorean::core
+{
+
+namespace
+{
+
+/** One region's state flowing down the pipeline. */
+struct RegionWork
+{
+    unsigned region = 0;
+    KeySet keys;
+    std::vector<Addr> remaining;
+    ExplorerResult explored;
+};
+
+using WorkPtr = std::unique_ptr<RegionWork>;
+
+} // namespace
+
+sampling::MethodResult
+ThreadedTimeTravel::run(const workload::TraceSource &master,
+                        const DeloreanConfig &config)
+{
+    config.schedule.validate();
+    config.hier.validate();
+
+    sampling::TraceCheckpointer checkpoints(master);
+    checkpoints.prepare(DeloreanMethod::checkpointPositions(config));
+
+    const auto &sched = config.schedule;
+    const auto horizons = config.scaledHorizons();
+    const std::size_t n_explorers = horizons.size();
+
+    ExplorerChain chain({horizons, config.paper_horizons,
+                         config.paper_vicinity_period,
+                         std::hash<std::string>{}(master.name())},
+                        checkpoints);
+
+    // One channel between every pair of adjacent passes — the "pipes".
+    std::vector<BoundedChannel<WorkPtr>> pipes(n_explorers + 1);
+
+    std::vector<std::thread> threads;
+    threads.reserve(n_explorers + 1);
+
+    // ---------------- Scout thread --------------------------------------
+    threads.emplace_back([&] {
+        for (unsigned r = 0; r < sched.num_regions; ++r) {
+            auto work = std::make_unique<RegionWork>();
+            work->region = r;
+            auto trace = checkpoints.at(sched.warmingStart(r));
+            work->keys = Scout::scan(*trace, config.hier, config.sim,
+                                     sched.detailed_warming,
+                                     sched.region_len);
+            work->remaining = work->keys.linesNeedingExploration();
+            pipes[0].push(std::move(work));
+        }
+        pipes[0].close();
+    });
+
+    // ---------------- Explorer threads ----------------------------------
+    for (std::size_t k = 0; k < n_explorers; ++k) {
+        threads.emplace_back([&, k] {
+            while (auto work = pipes[k].pop()) {
+                if (!(*work)->remaining.empty()) {
+                    (*work)->remaining = chain.exploreOne(
+                        k, (*work)->remaining,
+                        sched.detailedStart((*work)->region),
+                        (*work)->explored);
+                }
+                pipes[k + 1].push(std::move(*work));
+            }
+            pipes[k + 1].close();
+        });
+    }
+
+    // ---------------- Collector (this thread) ---------------------------
+    std::vector<KeySet> keys(sched.num_regions);
+    std::vector<ExplorerResult> explored(sched.num_regions);
+    while (auto work = pipes[n_explorers].pop()) {
+        RegionWork &w = **work;
+        w.explored.unresolved = std::move(w.remaining);
+        keys[w.region] = std::move(w.keys);
+        explored[w.region] = std::move(w.explored);
+    }
+
+    for (auto &t : threads)
+        t.join();
+
+    // The Analyst pass (detailed simulation) runs on the collected
+    // artifacts; cost accounting and the modeled pipelined wall-clock
+    // are identical to the serial path by construction.
+    const auto artifacts = DeloreanMethod::assembleArtifacts(
+        config, std::move(keys), std::move(explored));
+    return DeloreanMethod::analyze(master, config, checkpoints,
+                                   artifacts);
+}
+
+} // namespace delorean::core

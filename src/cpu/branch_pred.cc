@@ -1,0 +1,110 @@
+#include "cpu/branch_pred.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace delorean::cpu
+{
+
+TournamentPredictor::TournamentPredictor(const BranchPredConfig &config)
+    : config_(config),
+      local_hist_(config.local_entries, 0),
+      local_ctr_(std::size_t(1) << config.local_hist_bits, 1),
+      global_ctr_(config.global_entries, 1),
+      choice_ctr_(config.choice_entries, 1),
+      btb_(config.btb_entries)
+{
+    fatal_if(!isPowerOf2(std::uint64_t(config.local_entries)) ||
+             !isPowerOf2(std::uint64_t(config.global_entries)) ||
+             !isPowerOf2(std::uint64_t(config.choice_entries)) ||
+             !isPowerOf2(std::uint64_t(config.btb_entries)),
+             "branch predictor table sizes must be powers of two");
+}
+
+void
+TournamentPredictor::bump(std::uint8_t &c, bool up)
+{
+    if (up) {
+        if (c < 3)
+            ++c;
+    } else {
+        if (c > 0)
+            --c;
+    }
+}
+
+bool
+TournamentPredictor::predictAndUpdate(Addr pc, bool taken, Addr target)
+{
+    ++lookups_;
+
+    const std::size_t pc_idx = (pc >> 2) & (config_.local_entries - 1);
+    const std::uint16_t lhist =
+        local_hist_[pc_idx] &
+        std::uint16_t((1u << config_.local_hist_bits) - 1);
+    const std::size_t ghist_idx =
+        global_hist_ & (config_.global_entries - 1);
+    const std::size_t choice_idx =
+        global_hist_ & (config_.choice_entries - 1);
+
+    const bool local_pred = counterTaken(local_ctr_[lhist]);
+    const bool global_pred = counterTaken(global_ctr_[ghist_idx]);
+    const bool use_global = counterTaken(choice_ctr_[choice_idx]);
+    const bool pred = use_global ? global_pred : local_pred;
+
+    // Choice update: strengthen the component that was right when they
+    // disagree.
+    if (local_pred != global_pred)
+        bump(choice_ctr_[choice_idx], global_pred == taken);
+
+    bump(local_ctr_[lhist], taken);
+    bump(global_ctr_[ghist_idx], taken);
+
+    local_hist_[pc_idx] =
+        std::uint16_t((lhist << 1) | (taken ? 1 : 0));
+    global_hist_ =
+        ((global_hist_ << 1) | (taken ? 1u : 0u)) &
+        ((1u << config_.global_hist_bits) - 1);
+
+    bool redirect = pred != taken;
+
+    // Even a correctly predicted taken branch redirects if the target is
+    // unknown to the BTB.
+    if (taken) {
+        BtbEntry &entry =
+            btb_[(pc >> 2) & (config_.btb_entries - 1)];
+        if (entry.tag != pc || entry.target != target) {
+            if (!redirect) {
+                ++btb_misses_;
+                redirect = true;
+            }
+            entry.tag = pc;
+            entry.target = target;
+        }
+    }
+
+    if (redirect)
+        ++mispredicts_;
+    return redirect;
+}
+
+void
+TournamentPredictor::reset()
+{
+    std::fill(local_hist_.begin(), local_hist_.end(), 0);
+    std::fill(local_ctr_.begin(), local_ctr_.end(), 1);
+    std::fill(global_ctr_.begin(), global_ctr_.end(), 1);
+    std::fill(choice_ctr_.begin(), choice_ctr_.end(), 1);
+    global_hist_ = 0;
+    for (auto &e : btb_)
+        e = BtbEntry{};
+    lookups_ = mispredicts_ = btb_misses_ = 0;
+}
+
+double
+TournamentPredictor::mispredictRate() const
+{
+    return lookups_ ? double(mispredicts_) / double(lookups_) : 0.0;
+}
+
+} // namespace delorean::cpu

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tournament branch predictor + BTB per Table 1 of the paper:
+ * 2-bit choice counters (8k entries), local 2-bit counters (2k entries),
+ * global 2-bit counters (8k entries), 4k-entry BTB.
+ */
+
+#ifndef DELOREAN_CPU_BRANCH_PRED_HH
+#define DELOREAN_CPU_BRANCH_PRED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace delorean::cpu
+{
+
+/** Sizing knobs; defaults match Table 1. */
+struct BranchPredConfig
+{
+    unsigned local_entries = 2048;
+    unsigned global_entries = 8192;
+    unsigned choice_entries = 8192;
+    unsigned btb_entries = 4096;
+    unsigned local_hist_bits = 10;
+    unsigned global_hist_bits = 13;
+};
+
+/**
+ * Classic Alpha-21264-style tournament predictor.
+ *
+ * The detailed simulator calls predictAndUpdate() once per dynamic
+ * conditional branch; a return value of true means the front end was
+ * redirected (direction mispredict, or a taken branch whose target missed
+ * in the BTB).
+ */
+class TournamentPredictor
+{
+  public:
+    explicit TournamentPredictor(const BranchPredConfig &config = {});
+
+    /**
+     * Predict the branch at @p pc, then update all tables with the
+     * resolved outcome.
+     *
+     * @param pc     branch PC
+     * @param taken  resolved direction
+     * @param target resolved target (for BTB training)
+     * @return true if this branch redirects the pipeline (mispredict)
+     */
+    bool predictAndUpdate(Addr pc, bool taken, Addr target);
+
+    /** Return to the cold state. */
+    void reset();
+
+    std::uint64_t lookups() const { return lookups_; }
+    std::uint64_t mispredicts() const { return mispredicts_; }
+    std::uint64_t btbMisses() const { return btb_misses_; }
+
+    /** Mispredicts per lookup (0 when no lookups). */
+    double mispredictRate() const;
+
+  private:
+    static bool counterTaken(std::uint8_t c) { return c >= 2; }
+    static void bump(std::uint8_t &c, bool up);
+
+    BranchPredConfig config_;
+
+    std::vector<std::uint16_t> local_hist_; //!< per-PC history
+    std::vector<std::uint8_t> local_ctr_;   //!< indexed by local history
+    std::vector<std::uint8_t> global_ctr_;  //!< indexed by global history
+    std::vector<std::uint8_t> choice_ctr_;  //!< indexed by global history
+    std::uint32_t global_hist_ = 0;
+
+    struct BtbEntry
+    {
+        Addr tag = invalid_addr;
+        Addr target = 0;
+    };
+    std::vector<BtbEntry> btb_;
+
+    std::uint64_t lookups_ = 0;
+    std::uint64_t mispredicts_ = 0;
+    std::uint64_t btb_misses_ = 0;
+};
+
+} // namespace delorean::cpu
+
+#endif // DELOREAN_CPU_BRANCH_PRED_HH

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Detailed simulation of a sampled region.
+ *
+ * DetailedSimulator plays a window of the instruction stream against the
+ * cache hierarchy, branch predictor, MSHRs and the mechanistic OoO core.
+ * It has two modes:
+ *
+ *  - warmRegion(): "detailed warming" (paper §3.1.2) — functional updates
+ *    of caches and branch predictor without timing; run for ~30 k
+ *    instructions before each detailed region, producing the *lukewarm*
+ *    state;
+ *  - simulate(): the timed detailed region (10 k instructions in the
+ *    paper). An optional LlcClassifier intercepts every access that
+ *    misses in the (lukewarm) LLC and decides whether it is a real miss
+ *    (conflict/capacity/cold) or a warming miss to be treated as a hit —
+ *    this is the hook both RSW (CoolSim) and DSW (DeLorean's Analyst)
+ *    plug into. Without a classifier every LLC miss is real (SMARTS).
+ */
+
+#ifndef DELOREAN_CPU_DETAILED_SIM_HH
+#define DELOREAN_CPU_DETAILED_SIM_HH
+
+#include <array>
+#include <cstdint>
+
+#include "cache/hierarchy.hh"
+#include "cache/mshr.hh"
+#include "cache/prefetcher.hh"
+#include "cpu/branch_pred.hh"
+#include "cpu/ooo_core.hh"
+#include "workload/trace_source.hh"
+
+namespace delorean::cpu
+{
+
+/** Classification of a data access in the detailed region (Figure 3). */
+enum class AccessClass : std::uint8_t
+{
+    L1Hit,        //!< hit in the (lukewarm) L1
+    MshrHit,      //!< delayed hit on an in-flight miss
+    LlcHit,       //!< hit in the (lukewarm) LLC
+    WarmingHit,   //!< LLC miss classified as warming artifact -> hit
+    ConflictMiss, //!< predicted conflict miss (set full / stride model)
+    CapacityMiss, //!< predicted capacity miss (stack distance > size)
+    ColdMiss,     //!< first-ever access to the line
+    RealMiss,     //!< actual miss against fully warmed state (SMARTS)
+    NumClasses,
+};
+
+/** @return short label for @p c ("l1_hit", "warming_hit", ...). */
+const char *accessClassName(AccessClass c);
+
+/**
+ * Decision hook for statistical warming: invoked for every data access
+ * that misses in the lukewarm LLC, *before* the line is filled.
+ * Implementations return one of WarmingHit / ConflictMiss / CapacityMiss
+ * / ColdMiss (anything except WarmingHit is treated as a real miss).
+ */
+class LlcClassifier
+{
+  public:
+    virtual ~LlcClassifier() = default;
+
+    /**
+     * @param pc    accessing instruction's PC
+     * @param line  missing cacheline
+     * @param write store?
+     * @param region_ref_idx index of this access in the detailed
+     *        region's memory-reference stream (0-based)
+     */
+    virtual AccessClass classifyMiss(Addr pc, Addr line, bool write,
+                                     RefCount region_ref_idx) = 0;
+};
+
+/**
+ * Observer of the memory accesses made during detailed warming; used to
+ * train microarchitecture-independent models (e.g. the per-PC stride
+ * detector) on the window both RSW and DSW can see in full.
+ */
+class MemObserver
+{
+  public:
+    virtual ~MemObserver() = default;
+
+    virtual void memAccess(Addr pc, Addr line, bool write) = 0;
+};
+
+/** Results of one detailed region. */
+struct RegionStats
+{
+    InstCount instructions = 0;
+    double cycles = 0.0;
+
+    Counter mem_refs = 0;
+    std::array<Counter, std::size_t(AccessClass::NumClasses)> classes{};
+
+    Counter branches = 0;
+    Counter branch_mispredicts = 0;
+    Counter icache_misses = 0;
+
+    Counter prefetches_issued = 0;
+    Counter prefetches_nullified = 0;
+
+    double cpi() const
+    {
+        return instructions ? cycles / double(instructions) : 0.0;
+    }
+
+    Counter classCount(AccessClass c) const
+    {
+        return classes[std::size_t(c)];
+    }
+
+    /** Accesses that were modeled as LLC misses (memory latency). */
+    Counter llcMisses() const;
+
+    /** Accesses that reached the LLC (L1 misses minus MSHR hits). */
+    Counter llcAccesses() const;
+
+    /** Modeled LLC misses per kilo-instruction. */
+    double mpki() const;
+
+    /** Accumulate (for whole-run aggregation across regions). */
+    void add(const RegionStats &other);
+};
+
+/** Knobs for the detailed simulator. */
+struct DetailedSimConfig
+{
+    OooParams core;
+    BranchPredConfig bpred;
+    bool prefetch = false; //!< enable the LLC stride prefetcher
+    cache::PrefetcherConfig prefetcher;
+};
+
+/**
+ * Runs detailed warming and detailed simulation against a shared cache
+ * hierarchy. The hierarchy and branch predictor live outside so warming
+ * state persists across regions under the caller's control.
+ */
+class DetailedSimulator
+{
+  public:
+    DetailedSimulator(cache::CacheHierarchy &hierarchy,
+                      const DetailedSimConfig &config = {});
+
+    /**
+     * Functional (untimed) warming of caches and branch predictor for
+     * @p n instructions. @p observer (optional) sees every data access.
+     */
+    void warmRegion(workload::TraceSource &trace, InstCount n,
+                    MemObserver *observer = nullptr);
+
+    /**
+     * Timed simulation of @p n instructions. @p classifier may be null
+     * (SMARTS mode: every LLC miss is real).
+     */
+    RegionStats simulate(workload::TraceSource &trace, InstCount n,
+                         LlcClassifier *classifier);
+
+    TournamentPredictor &branchPredictor() { return bpred_; }
+    cache::StridePrefetcher &prefetcher() { return prefetcher_; }
+
+  private:
+    /** Handle prefetch candidates for a demand access at the LLC. */
+    void runPrefetcher(Addr pc, Addr line, bool miss, RegionStats &stats);
+
+    cache::CacheHierarchy &hier_;
+    DetailedSimConfig config_;
+    OooCoreModel core_;
+    TournamentPredictor bpred_;
+    cache::MshrFile l1d_mshr_;
+    cache::MshrFile llc_mshr_;
+    cache::StridePrefetcher prefetcher_;
+};
+
+} // namespace delorean::cpu
+
+#endif // DELOREAN_CPU_DETAILED_SIM_HH

@@ -1,0 +1,102 @@
+#include "cpu/ooo_core.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace delorean::cpu
+{
+
+OooCoreModel::OooCoreModel(const OooParams &params)
+    : params_(params),
+      rob_commit_(params.rob, 0.0),
+      lq_complete_(params.lq, 0.0),
+      sq_complete_(params.sq, 0.0)
+{
+    fatal_if(params.rob == 0 || params.lq == 0 || params.sq == 0 ||
+             params.width == 0,
+             "OooParams: zero-sized structure");
+    fatal_if(params.eff_ilp <= 0.0, "OooParams: eff_ilp must be > 0");
+}
+
+void
+OooCoreModel::reset()
+{
+    std::fill(rob_commit_.begin(), rob_commit_.end(), 0.0);
+    std::fill(lq_complete_.begin(), lq_complete_.end(), 0.0);
+    std::fill(sq_complete_.begin(), sq_complete_.end(), 0.0);
+    dispatch_time_ = 0.0;
+    frontend_ready_ = 0.0;
+    last_commit_ = 0.0;
+    last_load_complete_ = 0.0;
+    count_ = 0;
+    loads_ = 0;
+    stores_ = 0;
+}
+
+double
+OooCoreModel::now() const
+{
+    const double rate =
+        std::min(double(params_.width), params_.eff_ilp);
+    return std::max(dispatch_time_ + 1.0 / rate, frontend_ready_);
+}
+
+double
+OooCoreModel::dispatch(double exec_latency, bool is_load, bool is_store,
+                       bool dep_on_last_load)
+{
+    const double rate =
+        std::min(double(params_.width), params_.eff_ilp);
+
+    double d = dispatch_time_ + 1.0 / rate;
+    d = std::max(d, frontend_ready_);
+
+    // Structural stalls: the instruction entering the ROB/LQ/SQ must wait
+    // for the entry freed by the instruction `size` slots earlier.
+    d = std::max(d, rob_commit_[count_ % params_.rob]);
+    if (is_load)
+        d = std::max(d, lq_complete_[loads_ % params_.lq]);
+    if (is_store)
+        d = std::max(d, sq_complete_[stores_ % params_.sq]);
+
+    double start = d;
+    if (dep_on_last_load)
+        start = std::max(start, last_load_complete_);
+
+    const double complete = start + exec_latency;
+
+    // In-order commit: an instruction commits no earlier than its
+    // predecessor.
+    const double commit = std::max(complete, last_commit_);
+    rob_commit_[count_ % params_.rob] = commit;
+    if (is_load) {
+        lq_complete_[loads_ % params_.lq] = complete;
+        last_load_complete_ = complete;
+        ++loads_;
+    }
+    if (is_store) {
+        sq_complete_[stores_ % params_.sq] = complete;
+        ++stores_;
+    }
+
+    dispatch_time_ = d;
+    last_commit_ = commit;
+    ++count_;
+    return complete;
+}
+
+void
+OooCoreModel::redirect(double resolve_time)
+{
+    frontend_ready_ = std::max(
+        frontend_ready_, resolve_time + params_.redirect_penalty);
+}
+
+void
+OooCoreModel::frontendStall(double cycles)
+{
+    frontend_ready_ = std::max(frontend_ready_, now() + cycles);
+}
+
+} // namespace delorean::cpu

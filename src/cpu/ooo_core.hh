@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Mechanistic out-of-order core timing model.
+ *
+ * This stands in for gem5's default O3 CPU (Table 1: 192-entry ROB,
+ * 64-entry IQ/LQ/SQ, 8-wide issue). It is an analytical/mechanistic model
+ * in the spirit of interval analysis rather than a cycle-accurate
+ * pipeline: instructions dispatch at a bounded rate, occupy ROB/LQ/SQ
+ * entries until in-order commit, loads complete after their memory
+ * latency, pointer-chasing loads serialize on the previous load, and
+ * front-end redirects (branch mispredicts, I-cache misses) stall
+ * dispatch. DESIGN.md discusses why this substitution preserves what the
+ * paper's figures measure (CPI deltas driven by hit/miss classification).
+ *
+ * Times are modeled as fractional cycles (double) so an 8-wide dispatch
+ * advances 0.125 cycles per instruction.
+ */
+
+#ifndef DELOREAN_CPU_OOO_CORE_HH
+#define DELOREAN_CPU_OOO_CORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace delorean::cpu
+{
+
+/** Core sizing; defaults mirror Table 1 (gem5's default OoO x86 CPU). */
+struct OooParams
+{
+    unsigned rob = 192;
+    unsigned iq = 64;
+    unsigned lq = 64;
+    unsigned sq = 64;
+    unsigned width = 8;
+
+    /**
+     * Sustainable dispatch ILP: real codes rarely sustain the full
+     * 8-wide issue; this caps throughput the way dependence chains do in
+     * a detailed model (mechanistic-model calibration constant).
+     */
+    double eff_ilp = 3.2;
+
+    /** Front-end refill after a pipeline redirect, in cycles. */
+    double redirect_penalty = 12.0;
+};
+
+/**
+ * Streaming timing model: feed instructions in program order, read total
+ * cycles at the end.
+ */
+class OooCoreModel
+{
+  public:
+    explicit OooCoreModel(const OooParams &params = {});
+
+    /** Start a new timing region at cycle 0. */
+    void reset();
+
+    /**
+     * Account one instruction.
+     *
+     * @param exec_latency  execution latency in cycles (for loads: the
+     *                      full memory latency of the access)
+     * @param is_load / is_store  occupancy of LQ/SQ
+     * @param dep_on_last_load    serialize behind the previous load
+     * @return this instruction's completion (commit-ready) time
+     */
+    double dispatch(double exec_latency, bool is_load, bool is_store,
+                    bool dep_on_last_load);
+
+    /**
+     * Pipeline redirect resolved at @p resolve_time (branch mispredict):
+     * dispatch resumes redirect_penalty cycles later.
+     */
+    void redirect(double resolve_time);
+
+    /** Front-end stall of @p cycles starting now (I-cache miss). */
+    void frontendStall(double cycles);
+
+    /** Estimated dispatch time of the next instruction (for MSHR "now"). */
+    double now() const;
+
+    /** Total cycles: in-order commit time of the last instruction. */
+    double cycles() const { return last_commit_; }
+
+    /** Instructions dispatched since reset(). */
+    InstCount retired() const { return count_; }
+
+  private:
+    OooParams params_;
+
+    std::vector<double> rob_commit_; //!< ring: commit time per ROB slot
+    std::vector<double> lq_complete_;
+    std::vector<double> sq_complete_;
+
+    double dispatch_time_ = 0.0;
+    double frontend_ready_ = 0.0;
+    double last_commit_ = 0.0;
+    double last_load_complete_ = 0.0;
+    InstCount count_ = 0;
+    InstCount loads_ = 0;
+    InstCount stores_ = 0;
+};
+
+} // namespace delorean::cpu
+
+#endif // DELOREAN_CPU_OOO_CORE_HH

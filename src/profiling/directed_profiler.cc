@@ -1,0 +1,45 @@
+#include "profiling/directed_profiler.hh"
+
+#include "base/logging.hh"
+
+namespace delorean::profiling
+{
+
+void
+DirectedProfiler::begin(const std::vector<Addr> &keys, bool virtualized)
+{
+    virtualized_ = virtualized;
+    engine_.clear();
+    engine_.resetStats();
+    last_seen_.clear();
+    last_seen_.reserve(keys.size());
+    pos_ = 0;
+
+    for (const Addr line : keys) {
+        last_seen_.emplace(line, never);
+        if (virtualized_)
+            engine_.watchLine(line);
+    }
+}
+
+DirectedProfileResult
+DirectedProfiler::end()
+{
+    DirectedProfileResult res;
+    res.traps = engine_.traps();
+    res.false_positives = engine_.falsePositives();
+    res.back_distance.reserve(last_seen_.size());
+
+    for (const auto &[line, last] : last_seen_) {
+        if (last == never)
+            res.unresolved.push_back(line);
+        else
+            res.back_distance.emplace(line, pos_ - last);
+    }
+
+    engine_.clear();
+    last_seen_.clear();
+    return res;
+}
+
+} // namespace delorean::profiling

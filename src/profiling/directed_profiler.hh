@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Directed profiling (DP): measuring key reuse distances.
+ *
+ * An Explorer must find, for each key cacheline, the *last* access before
+ * the detailed region within its window. Two implementations mirror the
+ * paper's §3.3:
+ *
+ *  - functional DP (Explorer-1): functional simulation sees every access,
+ *    so last-access tracking is exact and trap-free — but costs
+ *    atomic-simulation speed per instruction;
+ *  - virtualized DP (Explorers 2-4): native-speed execution with
+ *    page-protection watchpoints. The watchpoint for a key line must stay
+ *    armed for the whole window (we need the LAST access), so every
+ *    access to a watched line — and every false positive on its page —
+ *    traps. This is exactly why a naive single-pass DSW implementation is
+ *    slow and Time Traveling's multi-pass structure is needed.
+ */
+
+#ifndef DELOREAN_PROFILING_DIRECTED_PROFILER_HH
+#define DELOREAN_PROFILING_DIRECTED_PROFILER_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "profiling/watchpoint.hh"
+
+namespace delorean::profiling
+{
+
+/** Result of one directed-profiling window. */
+struct DirectedProfileResult
+{
+    /**
+     * For each key line found: distance (in memory references) from its
+     * last access in the window back to the window end (= the start of
+     * the detailed warming). The Analyst adds the in-region offset to
+     * obtain the full key reuse distance.
+     */
+    std::unordered_map<Addr, RefCount> back_distance;
+
+    /** Key lines with no access inside the window. */
+    std::vector<Addr> unresolved;
+
+    /** Watchpoint stops incurred (0 for functional DP). */
+    Counter traps = 0;
+    Counter false_positives = 0;
+};
+
+/**
+ * One directed-profiling window over a set of key cachelines.
+ *
+ * Usage: begin(keys, virtualized); observe() for every memory access in
+ * the window; end() to collect results.
+ */
+class DirectedProfiler
+{
+  public:
+    /**
+     * Arm the profiler.
+     * @param keys        key cachelines to track
+     * @param virtualized use watchpoints (trap accounting) instead of
+     *                    functional observation
+     */
+    void begin(const std::vector<Addr> &keys, bool virtualized);
+
+    /** Present one memory access inside the window. */
+    void
+    observe(Addr line)
+    {
+        if (virtualized_) {
+            if (engine_.active() &&
+                engine_.access(line) == Trap::Hit) {
+                // Keep the watchpoint armed: a later access would
+                // supersede this one as the "last" access.
+                last_seen_[line] = pos_;
+            }
+        } else {
+            const auto it = last_seen_.find(line);
+            if (it != last_seen_.end())
+                it->second = pos_;
+        }
+        ++pos_;
+    }
+
+    /** Finish the window and report distances/unresolved keys. */
+    DirectedProfileResult end();
+
+    RefCount position() const { return pos_; }
+
+  private:
+    bool virtualized_ = false;
+    WatchpointEngine engine_;
+    /** key line -> last access position in the window (sentinel: none). */
+    std::unordered_map<Addr, RefCount> last_seen_;
+    static constexpr RefCount never = ~RefCount(0);
+    RefCount pos_ = 0;
+};
+
+} // namespace delorean::profiling
+
+#endif // DELOREAN_PROFILING_DIRECTED_PROFILER_HH

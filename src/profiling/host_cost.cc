@@ -1,0 +1,122 @@
+#include "profiling/host_cost.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace delorean::profiling
+{
+
+HostCostAccount::HostCostAccount(const HostCostParams &params)
+    : params_(params)
+{
+    fatal_if(params.host_ghz <= 0.0, "host clock must be positive");
+    fatal_if(params.scale < 1.0, "scale factor must be >= 1");
+}
+
+void
+HostCostAccount::chargeVffScaled(InstCount insts)
+{
+    const double c = double(insts) * params_.scale * params_.vff_cpi;
+    vff_ += c;
+    total_cycles_ += c;
+}
+
+void
+HostCostAccount::chargeAtomicScaled(InstCount insts)
+{
+    const double c = double(insts) * params_.scale * params_.atomic_cpi;
+    functional_ += c;
+    total_cycles_ += c;
+}
+
+void
+HostCostAccount::chargeAtomicRaw(InstCount insts)
+{
+    const double c = double(insts) * params_.atomic_cpi;
+    functional_ += c;
+    total_cycles_ += c;
+}
+
+void
+HostCostAccount::chargeFwScaled(InstCount insts)
+{
+    const double c = double(insts) * params_.scale * params_.fw_cpi;
+    functional_ += c;
+    total_cycles_ += c;
+}
+
+void
+HostCostAccount::chargeDetailedRaw(InstCount insts)
+{
+    const double c = double(insts) * params_.detailed_cpi;
+    detailed_ += c;
+    total_cycles_ += c;
+}
+
+void
+HostCostAccount::chargeTraps(Counter traps)
+{
+    const double c = double(traps) * params_.trap_cycles;
+    traps_ += c;
+    trap_count_ += traps;
+    total_cycles_ += c;
+}
+
+void
+HostCostAccount::chargeTrapsScaled(Counter traps)
+{
+    const double scaled = double(traps) * params_.scale;
+    const double c = scaled * params_.trap_cycles;
+    traps_ += c;
+    trap_count_ += Counter(scaled);
+    total_cycles_ += c;
+}
+
+void
+HostCostAccount::chargeStateTransfers(Counter transfers)
+{
+    const double c = double(transfers) * params_.state_transfer_cycles;
+    transfers_ += c;
+    total_cycles_ += c;
+}
+
+void
+HostCostAccount::merge(const HostCostAccount &other)
+{
+    vff_ += other.vff_;
+    functional_ += other.functional_;
+    detailed_ += other.detailed_;
+    traps_ += other.traps_;
+    transfers_ += other.transfers_;
+    total_cycles_ += other.total_cycles_;
+    trap_count_ += other.trap_count_;
+}
+
+double
+HostCostAccount::seconds() const
+{
+    return total_cycles_ / (params_.host_ghz * 1e9);
+}
+
+std::string
+HostCostAccount::breakdown() const
+{
+    const double ghz = params_.host_ghz * 1e9;
+    std::ostringstream os;
+    os << "vff=" << vff_ / ghz << "s functional=" << functional_ / ghz
+       << "s detailed=" << detailed_ / ghz << "s traps=" << traps_ / ghz
+       << "s (" << trap_count_ << ") transfers=" << transfers_ / ghz
+       << "s total=" << seconds() << "s";
+    return os.str();
+}
+
+double
+modeledMips(InstCount simulated_insts, double scale, double seconds)
+{
+    if (seconds <= 0.0)
+        return 0.0;
+    return double(simulated_insts) * scale / 1e6 / seconds;
+}
+
+} // namespace delorean::profiling

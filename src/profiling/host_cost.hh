@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Modeled host (simulation machine) cost accounting.
+ *
+ * The paper measures evaluation speed on a 2.26 GHz Xeon E5520: KVM
+ * fast-forwarding runs near native speed, gem5's atomic CPU around three
+ * orders of magnitude slower, detailed O3 four orders, and every
+ * watchpoint stop costs a page-fault round trip. We cannot run KVM here,
+ * so speed is *modeled*: each activity charges host cycles per
+ * instruction (or per event), with per-instruction costs multiplied by
+ * the interval scale factor S (DESIGN.md §5) so that reported MIPS are in
+ * paper-scale units. The default constants are calibrated so that the
+ * three methods land near the paper's absolute speeds (SMARTS 1.3 MIPS,
+ * CoolSim 21.9 MIPS, DeLorean ~126 MIPS); all *relative* behaviour
+ * (which pass dominates, how false positives hurt povray, ...) is
+ * emergent from event counts.
+ */
+
+#ifndef DELOREAN_PROFILING_HOST_COST_HH
+#define DELOREAN_PROFILING_HOST_COST_HH
+
+#include <string>
+
+#include "base/types.hh"
+
+namespace delorean::profiling
+{
+
+/** Calibration constants for the host cost model. */
+struct HostCostParams
+{
+    /** Host clock (paper: dual-socket Xeon E5520 at 2.26 GHz). */
+    double host_ghz = 2.26;
+
+    /** Cycles/instruction under KVM fast-forwarding (near native). */
+    double vff_cpi = 1.0;
+
+    /** Cycles/instruction of functional simulation (gem5 atomic). */
+    double atomic_cpi = 3200.0;
+
+    /** Cycles/instruction of functional warming (atomic + caches). */
+    double fw_cpi = 1750.0;
+
+    /** Cycles/instruction of detailed O3 simulation. */
+    double detailed_cpi = 23000.0;
+
+    /** Cycles per watchpoint stop (KVM exit + page-protection flip +
+     *  resume; tens of microseconds on the paper's host). */
+    double trap_cycles = 88000.0;
+
+    /** Cycles per KVM<->gem5 full state transfer. */
+    double state_transfer_cycles = 5.0e6;
+
+    /** Interval scale factor S (paper interval / simulated interval). */
+    double scale = 200.0;
+};
+
+/**
+ * Accumulates modeled host cycles, split by activity for reporting.
+ * "Scaled" charges are per-instruction costs over intervals that were
+ * shrunk by S and are expanded back; "raw" charges are for the detailed
+ * regions/warming, whose lengths the paper (and we) keep absolute.
+ */
+class HostCostAccount
+{
+  public:
+    explicit HostCostAccount(const HostCostParams &params = {});
+
+    void chargeVffScaled(InstCount insts);
+    void chargeAtomicScaled(InstCount insts);
+    void chargeAtomicRaw(InstCount insts);
+    void chargeFwScaled(InstCount insts);
+    void chargeDetailedRaw(InstCount insts);
+    void chargeTraps(Counter traps);
+
+    /**
+     * Traps whose count is proportional to a scaled interval length
+     * (e.g. persistent key watchpoints armed for a whole Explorer
+     * window): the count is multiplied by S to restore paper magnitude.
+     */
+    void chargeTrapsScaled(Counter traps);
+
+    void chargeStateTransfers(Counter transfers);
+
+    /** Fold another account (e.g. a pass) into this one. */
+    void merge(const HostCostAccount &other);
+
+    double cycles() const { return total_cycles_; }
+    double seconds() const;
+
+    double vffCycles() const { return vff_; }
+    double functionalCycles() const { return functional_; }
+    double detailedCycles() const { return detailed_; }
+    double trapCycles() const { return traps_; }
+    double transferCycles() const { return transfers_; }
+    Counter trapCount() const { return trap_count_; }
+
+    const HostCostParams &params() const { return params_; }
+
+    /** One-line human-readable breakdown. */
+    std::string breakdown() const;
+
+  private:
+    HostCostParams params_;
+    double vff_ = 0.0;
+    double functional_ = 0.0;
+    double detailed_ = 0.0;
+    double traps_ = 0.0;
+    double transfers_ = 0.0;
+    double total_cycles_ = 0.0;
+    Counter trap_count_ = 0;
+};
+
+/**
+ * Convert a modeled runtime into the paper's headline metric.
+ *
+ * @param simulated_insts  instructions in the *simulated* (scaled) trace
+ * @param scale            interval scale factor S
+ * @param seconds          modeled host seconds
+ * @return simulation speed in paper-scale MIPS
+ */
+double modeledMips(InstCount simulated_insts, double scale,
+                   double seconds);
+
+} // namespace delorean::profiling
+
+#endif // DELOREAN_PROFILING_HOST_COST_HH

@@ -1,0 +1,3 @@
+// ReuseProfiler is header-only for inlining in the hot profiling loops;
+// this translation unit anchors the module in the build.
+#include "profiling/reuse_profiler.hh"

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Exact reuse-distance profiler.
+ *
+ * Tracks the last access position of every cacheline and reports the
+ * backward reuse distance (in memory references) of each access. Used
+ * for ground truth in tests, and by the functional directed-profiling
+ * path (Explorer-1), which sees every access.
+ */
+
+#ifndef DELOREAN_PROFILING_REUSE_PROFILER_HH
+#define DELOREAN_PROFILING_REUSE_PROFILER_HH
+
+#include <optional>
+#include <unordered_map>
+
+#include "base/types.hh"
+
+namespace delorean::profiling
+{
+
+/**
+ * Streaming exact reuse distances.
+ */
+class ReuseProfiler
+{
+  public:
+    /**
+     * Record an access to @p line.
+     * @return the backward reuse distance (memory references since the
+     *         previous access to the line), or nullopt for a first-ever
+     *         access.
+     */
+    std::optional<std::uint64_t>
+    observe(Addr line)
+    {
+        std::optional<std::uint64_t> rd;
+        auto [it, inserted] = last_.try_emplace(line, pos_);
+        if (!inserted) {
+            rd = pos_ - it->second;
+            it->second = pos_;
+        }
+        ++pos_;
+        return rd;
+    }
+
+    /** Memory references observed so far. */
+    RefCount position() const { return pos_; }
+
+    /** Last access position of @p line, if ever seen. */
+    std::optional<RefCount>
+    lastAccess(Addr line) const
+    {
+        const auto it = last_.find(line);
+        if (it == last_.end())
+            return std::nullopt;
+        return it->second;
+    }
+
+    /** Distinct lines seen. */
+    std::size_t distinctLines() const { return last_.size(); }
+
+    void
+    clear()
+    {
+        last_.clear();
+        pos_ = 0;
+    }
+
+  private:
+    std::unordered_map<Addr, RefCount> last_;
+    RefCount pos_ = 0;
+};
+
+} // namespace delorean::profiling
+
+#endif // DELOREAN_PROFILING_REUSE_PROFILER_HH

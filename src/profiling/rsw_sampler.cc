@@ -1,0 +1,118 @@
+#include "profiling/rsw_sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace delorean::profiling
+{
+
+RswSchedule
+RswSchedule::coolsim(double scale)
+{
+    fatal_if(scale < 1.0, "RswSchedule: scale must be >= 1");
+    const auto scaled = [scale](std::uint64_t period) {
+        return std::max<std::uint64_t>(
+            1, std::uint64_t(std::llround(double(period) / scale)));
+    };
+    RswSchedule s;
+    s.segments = {{0.75, scaled(40'000)},
+                  {0.20, scaled(20'000)},
+                  {0.05, scaled(10'000)}};
+    return s;
+}
+
+std::uint64_t
+RswSchedule::periodAt(double frac) const
+{
+    double acc = 0.0;
+    for (const auto &seg : segments) {
+        acc += seg.fraction;
+        if (frac < acc)
+            return seg.period;
+    }
+    return segments.empty() ? 0 : segments.back().period;
+}
+
+void
+RswSchedule::validate() const
+{
+    fatal_if(segments.empty(), "RswSchedule: no segments");
+    double total = 0.0;
+    for (const auto &seg : segments) {
+        fatal_if(seg.fraction <= 0.0, "RswSchedule: non-positive segment");
+        fatal_if(seg.period == 0, "RswSchedule: zero period");
+        total += seg.fraction;
+    }
+    fatal_if(std::abs(total - 1.0) > 1e-9,
+             "RswSchedule: fractions sum to %f, expected 1", total);
+}
+
+RswSampler::RswSampler(const RswSchedule &schedule, std::uint64_t seed)
+    : schedule_(schedule), rng_(seed)
+{
+    schedule_.validate();
+}
+
+void
+RswSampler::beginInterval()
+{
+    panic_if(!inflight_.empty(),
+             "RswSampler::beginInterval with watchpoints still armed");
+    inst_pos_ = 0;
+    ref_pos_ = 0;
+    armNext(0.0);
+}
+
+void
+RswSampler::armNext(double frac)
+{
+    const std::uint64_t period = schedule_.periodAt(frac);
+    next_sample_ = inst_pos_ + rng_.nextGeometric(period);
+}
+
+void
+RswSampler::observe(Addr pc, Addr line, double frac)
+{
+    // Watchpoint check first: a protected page traps regardless of what
+    // the access is (native execution between traps).
+    if (engine_.active()) {
+        if (engine_.access(line) == Trap::Hit) {
+            const auto it = inflight_.find(line);
+            if (it != inflight_.end()) {
+                // Forward reuse: attribute the distance to the reusing
+                // access's PC (that is the access whose hit/miss RSW
+                // later predicts).
+                profile_.addReuse(pc, ref_pos_ - it->second.set_at);
+                inflight_.erase(it);
+            }
+            engine_.unwatchLine(line);
+        }
+    }
+
+    if (inst_pos_ >= next_sample_) {
+        // This access is a sample point: watch its line for the next
+        // reuse, unless it is already being tracked.
+        if (inflight_.try_emplace(line, InFlight{ref_pos_, pc}).second)
+            engine_.watchLine(line);
+        armNext(frac);
+    }
+
+    ++ref_pos_;
+    ++inst_pos_;
+}
+
+void
+RswSampler::endInterval()
+{
+    for (const auto &[line, info] : inflight_) {
+        // No reuse before the detailed region: censored observation with
+        // a lower bound of the remaining interval.
+        profile_.addCensored(info.set_pc, ref_pos_ - info.set_at);
+    }
+    inflight_.clear();
+    engine_.clear();
+}
+
+} // namespace delorean::profiling

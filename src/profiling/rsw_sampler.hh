@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Randomized statistical warming (RSW) sampler — the CoolSim mechanism.
+ *
+ * During the warm-up interval before each detailed region, RSW picks
+ * memory accesses at random (one per sampling period), sets a watchpoint
+ * on the accessed cacheline, and measures the *forward* reuse distance to
+ * the next access of that line. CoolSim's best configuration uses an
+ * adaptive schedule: sparse sampling early in the interval, denser close
+ * to the region (paper §6: 1/40k for the first 75% of the interval,
+ * 1/20k for the next 20%, 1/10k for the final 5%, with periods divided by
+ * the scale factor S here so per-region sample counts match the paper).
+ *
+ * Watchpoints have page granularity, so every access to a protected page
+ * traps (cost) even when it is not a reuse — the false positives the
+ * paper discusses.
+ */
+
+#ifndef DELOREAN_PROFILING_RSW_SAMPLER_HH
+#define DELOREAN_PROFILING_RSW_SAMPLER_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/random.hh"
+#include "profiling/watchpoint.hh"
+#include "statmodel/reuse_histogram.hh"
+
+namespace delorean::profiling
+{
+
+/** Adaptive sampling schedule over a warm-up interval. */
+struct RswSchedule
+{
+    struct Segment
+    {
+        double fraction;       //!< share of the warm-up interval
+        std::uint64_t period;  //!< mean memory refs between samples
+    };
+
+    std::vector<Segment> segments;
+
+    /**
+     * CoolSim's published best configuration, with sampling periods
+     * scaled down by @p scale so per-region sample counts stay at paper
+     * magnitude (DESIGN.md §5).
+     */
+    static RswSchedule coolsim(double scale);
+
+    /** Period active at @p frac (0..1) through the interval. */
+    std::uint64_t periodAt(double frac) const;
+
+    void validate() const;
+};
+
+/**
+ * One warm-up interval's worth of RSW sampling.
+ *
+ * Usage: beginInterval(); observe() for every memory access of the
+ * interval; endInterval() to censor unresolved watchpoints. The collected
+ * per-PC reuse profile feeds CoolSim's statistical classifier.
+ */
+class RswSampler
+{
+  public:
+    explicit RswSampler(const RswSchedule &schedule,
+                        std::uint64_t seed = 0xc001);
+
+    /** Arm for a new warm-up interval. */
+    void beginInterval();
+
+    /**
+     * Advance the instruction clock by one non-memory instruction.
+     * Sampling periods count *instructions* (CoolSim's published
+     * schedule yields ~34 k samples per 1 B-instruction interval, which
+     * is the Figure 6 count), while reuse distances are recorded in
+     * memory references.
+     */
+    void tick() { ++inst_pos_; }
+
+    /**
+     * Present one memory access (with its PC) to the sampler; also
+     * advances the instruction clock.
+     *
+     * @param frac position within the warm-up interval in [0, 1]
+     */
+    void observe(Addr pc, Addr line, double frac);
+
+    /** Censor in-flight watchpoints at the end of the interval. */
+    void endInterval();
+
+    /** Collected distribution (valid after endInterval()). */
+    const statmodel::PcReuseProfile &profile() const { return profile_; }
+
+    /** Reuse distances collected (incl. censored) — the Figure 6 count. */
+    Counter samples() const { return profile_.samples(); }
+
+    Counter traps() const { return engine_.traps(); }
+    Counter falsePositives() const { return engine_.falsePositives(); }
+
+    /** Drop the collected profile (new region). */
+    void clearProfile() { profile_.clear(); }
+
+  private:
+    void armNext(double frac);
+
+    RswSchedule schedule_;
+    Rng rng_;
+    WatchpointEngine engine_;
+    statmodel::PcReuseProfile profile_;
+
+    struct InFlight
+    {
+        RefCount set_at;
+        Addr set_pc;
+    };
+    std::unordered_map<Addr, InFlight> inflight_;
+
+    InstCount inst_pos_ = 0;   //!< instruction clock (sampling periods)
+    RefCount ref_pos_ = 0;     //!< memory-reference clock (distances)
+    InstCount next_sample_ = 0;
+};
+
+} // namespace delorean::profiling
+
+#endif // DELOREAN_PROFILING_RSW_SAMPLER_HH

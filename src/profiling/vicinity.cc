@@ -1,0 +1,86 @@
+#include "profiling/vicinity.hh"
+
+#include "base/logging.hh"
+
+namespace delorean::profiling
+{
+
+VicinitySampler::VicinitySampler(std::uint64_t period, std::uint64_t seed)
+    : period_(period), rng_(seed)
+{
+    fatal_if(period == 0, "VicinitySampler: period must be >= 1");
+}
+
+void
+VicinitySampler::beginWindow(bool virtualized)
+{
+    panic_if(!inflight_.empty(),
+             "VicinitySampler::beginWindow with samples in flight");
+    virtualized_ = virtualized;
+    window_start_ = pos_;
+    armNext();
+}
+
+void
+VicinitySampler::armNext()
+{
+    next_sample_ = pos_ + rng_.nextGeometric(period_);
+}
+
+void
+VicinitySampler::observe(Addr line)
+{
+    if (!inflight_.empty()) {
+        bool is_reuse = false;
+        if (virtualized_) {
+            if (engine_.active()) {
+                const Trap t = engine_.access(line);
+                if (t != Trap::None)
+                    ++traps_;
+                if (t == Trap::FalsePositive)
+                    ++false_positives_;
+                is_reuse = t == Trap::Hit;
+            }
+        } else {
+            is_reuse = inflight_.count(line) != 0;
+        }
+        if (is_reuse) {
+            const auto it = inflight_.find(line);
+            hist_.addReuse(pos_ - it->second);
+            inflight_.erase(it);
+            if (virtualized_)
+                engine_.unwatchLine(line);
+        }
+    }
+
+    if (pos_ >= next_sample_) {
+        if (inflight_.try_emplace(line, pos_).second && virtualized_)
+            engine_.watchLine(line);
+        armNext();
+    }
+
+    ++pos_;
+}
+
+void
+VicinitySampler::endWindow()
+{
+    for (const auto &[line, set_at] : inflight_)
+        hist_.addCensored(pos_ - set_at);
+    inflight_.clear();
+    engine_.clear();
+}
+
+void
+VicinitySampler::clear()
+{
+    inflight_.clear();
+    engine_.clear();
+    hist_.clear();
+    pos_ = 0;
+    window_start_ = 0;
+    traps_ = 0;
+    false_positives_ = 0;
+}
+
+} // namespace delorean::profiling

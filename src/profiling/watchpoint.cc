@@ -1,0 +1,77 @@
+#include "profiling/watchpoint.hh"
+
+#include <algorithm>
+
+namespace delorean::profiling
+{
+
+void
+WatchpointEngine::watchLine(Addr line)
+{
+    auto &lines = pages_[pageOfLine(line)];
+    if (std::find(lines.begin(), lines.end(), line) != lines.end())
+        return;
+    lines.push_back(line);
+    ++watched_lines_;
+}
+
+void
+WatchpointEngine::unwatchLine(Addr line)
+{
+    const auto it = pages_.find(pageOfLine(line));
+    if (it == pages_.end())
+        return;
+    auto &lines = it->second;
+    const auto pos = std::find(lines.begin(), lines.end(), line);
+    if (pos == lines.end())
+        return;
+    *pos = lines.back();
+    lines.pop_back();
+    --watched_lines_;
+    if (lines.empty())
+        pages_.erase(it);
+}
+
+Trap
+WatchpointEngine::access(Addr line)
+{
+    const auto it = pages_.find(pageOfLine(line));
+    if (it == pages_.end())
+        return Trap::None;
+
+    ++traps_;
+    const auto &lines = it->second;
+    if (std::find(lines.begin(), lines.end(), line) != lines.end()) {
+        ++hits_;
+        return Trap::Hit;
+    }
+    ++false_positives_;
+    return Trap::FalsePositive;
+}
+
+bool
+WatchpointEngine::watching(Addr line) const
+{
+    const auto it = pages_.find(pageOfLine(line));
+    if (it == pages_.end())
+        return false;
+    const auto &lines = it->second;
+    return std::find(lines.begin(), lines.end(), line) != lines.end();
+}
+
+void
+WatchpointEngine::clear()
+{
+    pages_.clear();
+    watched_lines_ = 0;
+}
+
+void
+WatchpointEngine::resetStats()
+{
+    traps_ = 0;
+    false_positives_ = 0;
+    hits_ = 0;
+}
+
+} // namespace delorean::profiling

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Page-granularity watchpoint engine.
+ *
+ * Models the OS page-protection mechanism the paper uses for virtualized
+ * profiling (§2.3): a watchpoint on a cacheline protects its whole page,
+ * so *any* access to that page stops execution. A stop whose line is not
+ * actually watched is a false positive — the dominant cost for workloads
+ * like povray where rarely-reused lines share pages with hot data. Every
+ * stop (true or false) costs trap_cycles in the host cost model; the
+ * caller charges those.
+ */
+
+#ifndef DELOREAN_PROFILING_WATCHPOINT_HH
+#define DELOREAN_PROFILING_WATCHPOINT_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "base/addr.hh"
+#include "base/types.hh"
+
+namespace delorean::profiling
+{
+
+/** Outcome of presenting one access to the engine. */
+enum class Trap : std::uint8_t
+{
+    None,          //!< page not protected: runs at native speed
+    FalsePositive, //!< page protected, but a different line accessed
+    Hit,           //!< a watched line was accessed
+};
+
+/**
+ * Set of watched cachelines with page-granularity trapping.
+ */
+class WatchpointEngine
+{
+  public:
+    /** Protect @p line's page and watch the line. Idempotent. */
+    void watchLine(Addr line);
+
+    /**
+     * Stop watching @p line; the page protection is dropped once no
+     * watched line remains on it.
+     */
+    void unwatchLine(Addr line);
+
+    /**
+     * Present an access. Updates trap statistics.
+     * Call only when active() — the native-speed fast path is the
+     * caller's branch, mirroring how unprotected pages never trap.
+     */
+    Trap access(Addr line);
+
+    /** @return true if any line is being watched. */
+    bool active() const { return watched_lines_ != 0; }
+
+    /** @return true iff @p line itself is watched. */
+    bool watching(Addr line) const;
+
+    /** Drop all watchpoints (does not reset statistics). */
+    void clear();
+
+    Counter traps() const { return traps_; }
+    Counter falsePositives() const { return false_positives_; }
+    Counter trueHits() const { return hits_; }
+    std::size_t watchedLines() const { return watched_lines_; }
+    std::size_t protectedPages() const { return pages_.size(); }
+
+    void resetStats();
+
+  private:
+    /** page -> watched lines on that page (few in practice). */
+    std::unordered_map<Addr, std::vector<Addr>> pages_;
+    std::size_t watched_lines_ = 0;
+
+    Counter traps_ = 0;
+    Counter false_positives_ = 0;
+    Counter hits_ = 0;
+};
+
+} // namespace delorean::profiling
+
+#endif // DELOREAN_PROFILING_WATCHPOINT_HH

@@ -1,0 +1,206 @@
+#include "sampling/coolsim.hh"
+
+#include <limits>
+
+#include "base/logging.hh"
+#include "profiling/rsw_sampler.hh"
+#include "statmodel/assoc_model.hh"
+#include "statmodel/statstack.hh"
+
+namespace delorean::sampling
+{
+
+namespace
+{
+
+/** Adapter feeding detailed-warming accesses into the stride model. */
+class AssocTrainer : public cpu::MemObserver
+{
+  public:
+    explicit AssocTrainer(statmodel::AssocModel &model) : model_(model) {}
+
+    void
+    memAccess(Addr pc, Addr line, bool write) override
+    {
+        (void)write;
+        model_.observe(pc, line);
+        ++refs_;
+    }
+
+    /** Memory references seen during detailed warming. */
+    RefCount refs() const { return refs_; }
+
+  private:
+    statmodel::AssocModel &model_;
+    RefCount refs_ = 0;
+};
+
+/**
+ * RSW's per-PC statistical classifier (Figure 3 with per-PC reuse
+ * distributions instead of exact key reuses).
+ *
+ * Unlike DSW, RSW does not know the access's actual reuse distance; it
+ * only has the PC's sampled distribution. The per-access decision is
+ * therefore *probabilistic*: the access misses with the probability
+ * that a reuse drawn from its PC's distribution exceeds the cache's
+ * miss threshold (Nikoleris et al., ISPASS 2014). This is also where
+ * RSW's error comes from: sparse, censored per-PC samples make p_miss
+ * noisy — exactly the paper's motivation for DSW.
+ */
+class CoolSimClassifier : public cpu::LlcClassifier
+{
+  public:
+    /**
+     * @param luke_refs memory references covered by the lukewarm
+     *        (detailed-warming) window: accesses reaching the
+     *        classifier already missed it, so per-PC miss
+     *        probabilities must be conditioned on rd > luke_refs.
+     */
+    CoolSimClassifier(const statmodel::PcReuseProfile &profile,
+                      const cache::Cache &llc,
+                      const statmodel::AssocModel &assoc,
+                      RefCount luke_refs, std::uint64_t seed)
+        : profile_(profile),
+          llc_(llc),
+          assoc_(assoc),
+          global_stack_(profile.global()),
+          llc_lines_(llc.config().lines()),
+          threshold_(global_stack_.missThreshold(llc_lines_)),
+          luke_refs_(luke_refs),
+          rng_(seed)
+    {}
+
+    cpu::AccessClass
+    classifyMiss(Addr pc, Addr line, bool write, RefCount idx) override
+    {
+        (void)write;
+        (void)idx;
+
+        // Lukewarm set already full: certainly a conflict miss.
+        if (llc_.setFull(line))
+            return cpu::AccessClass::ConflictMiss;
+
+        const statmodel::ReuseHistogram *h = profile_.forPc(pc);
+        if (!h || h->samples() == 0)
+            h = &profile_.global();
+        if (h->samples() == 0) {
+            // No reuse evidence at all: predict a (cold) miss.
+            return cpu::AccessClass::ColdMiss;
+        }
+
+        // Dominant-stride conflict model on the PC's typical footprint.
+        const std::uint64_t median = h->events().quantile(0.5);
+        const double sd = global_stack_.stackDistance(median);
+        if (assoc_.isConflict(pc, sd))
+            return cpu::AccessClass::ConflictMiss;
+
+        // Capacity, per access: P(reuse beyond the miss threshold |
+        // reuse beyond the lukewarm window) under this PC's
+        // distribution (sd(rd) is monotone in rd, so thresholding rd
+        // is thresholding stack distance). Conditioning matters: an
+        // access only reaches this classifier because it missed the
+        // lukewarm state, so the PC's short reuses (which hit the L1)
+        // must not dilute its miss probability. The Kaplan-Meier
+        // estimate handles the censored watchpoints.
+        double p_miss = 0.0;
+        if (threshold_ != std::numeric_limits<std::uint64_t>::max()) {
+            const double s_thr = h->survivalKM(threshold_);
+            const double s_luke = h->survivalKM(luke_refs_);
+            p_miss = s_luke > 1e-12 ? std::min(1.0, s_thr / s_luke)
+                                    : s_thr;
+        }
+        if (rng_.chance(p_miss))
+            return cpu::AccessClass::CapacityMiss;
+
+        return cpu::AccessClass::WarmingHit;
+    }
+
+  private:
+    const statmodel::PcReuseProfile &profile_;
+    const cache::Cache &llc_;
+    const statmodel::AssocModel &assoc_;
+    statmodel::StatStack global_stack_;
+    std::uint64_t llc_lines_;
+    std::uint64_t threshold_;
+    RefCount luke_refs_;
+    Rng rng_;
+};
+
+} // namespace
+
+MethodResult
+CoolSimMethod::run(const workload::TraceSource &master,
+                   const MethodConfig &config)
+{
+    config.schedule.validate();
+    config.hier.validate();
+
+    MethodResult result;
+    result.method = "CoolSim";
+    result.benchmark = master.name();
+    result.cost = profiling::HostCostAccount(config.scaledCost());
+
+    const auto &sched = config.schedule;
+    auto trace = master.clone();
+    cache::CacheHierarchy hier(config.hier);
+    cpu::DetailedSimulator sim(hier, config.sim);
+    statmodel::AssocModel assoc(config.hier.llc.sets(),
+                                config.hier.llc.assoc);
+    profiling::RswSampler sampler(
+        profiling::RswSchedule::coolsim(sched.scaleFactor()),
+        std::hash<std::string>{}(master.name()) ^ 0xc001c0de);
+
+    for (unsigned r = 0; r < sched.num_regions; ++r) {
+        // --- warm-up interval: VFF + randomized watchpoint sampling ----
+        const InstCount interval =
+            sched.warmingStart(r) - trace->position();
+        const Counter traps_before = sampler.traps();
+
+        sampler.beginInterval();
+        for (InstCount i = 0; i < interval; ++i) {
+            const auto inst = trace->next();
+            if (inst.isMem()) {
+                sampler.observe(inst.pc, inst.line(),
+                                double(i) / double(interval));
+            } else {
+                sampler.tick();
+            }
+        }
+        sampler.endInterval();
+
+        result.cost.chargeVffScaled(interval);
+        result.cost.chargeTraps(sampler.traps() - traps_before);
+        result.cost.chargeStateTransfers(2); // KVM -> gem5 -> KVM
+
+        // --- lukewarm state: cold caches + 30k detailed warming ---------
+        hier.flush();
+        sim.branchPredictor().reset();
+        sim.prefetcher().reset();
+        assoc.clear();
+        AssocTrainer trainer(assoc);
+        sim.warmRegion(*trace, sched.detailed_warming, &trainer);
+        result.cost.chargeDetailedRaw(sched.detailed_warming);
+
+        // --- detailed region with the RSW classifier --------------------
+        CoolSimClassifier classifier(sampler.profile(), hier.llc(),
+                                     assoc, trainer.refs(),
+                                     0xdeadbeef + r);
+        const auto stats =
+            sim.simulate(*trace, sched.region_len, &classifier);
+        result.cost.chargeDetailedRaw(sched.region_len);
+
+        result.addRegion(stats);
+        result.reuse_samples += sampler.samples();
+        sampler.clearProfile();
+    }
+
+    result.traps = sampler.traps();
+    result.false_positives = sampler.falsePositives();
+    result.wall_seconds = result.cost.seconds();
+    result.mips = profiling::modeledMips(sched.totalInstructions(),
+                                         sched.scaleFactor(),
+                                         result.wall_seconds);
+    return result;
+}
+
+} // namespace delorean::sampling

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * CoolSim: randomized statistical warming (RSW).
+ *
+ * The state-of-the-art the paper improves on (Nikoleris et al., SAMOS
+ * 2016, paper reference [23]): fast-forward between regions at
+ * near-native speed while randomly sampling reuse distances with
+ * page-protection watchpoints, then predict — per load PC — whether each
+ * access that misses the lukewarm cache would have hit a warm cache,
+ * using statistical cache models. Uses the paper's best adaptive
+ * sampling schedule (§6).
+ */
+
+#ifndef DELOREAN_SAMPLING_COOLSIM_HH
+#define DELOREAN_SAMPLING_COOLSIM_HH
+
+#include "sampling/method.hh"
+#include "sampling/results.hh"
+
+namespace delorean::sampling
+{
+
+/** Randomized-statistical-warming sampled simulation. */
+class CoolSimMethod
+{
+  public:
+    static MethodResult run(const workload::TraceSource &master,
+                            const MethodConfig &config);
+};
+
+} // namespace delorean::sampling
+
+#endif // DELOREAN_SAMPLING_COOLSIM_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared configuration for all sampling methods.
+ */
+
+#ifndef DELOREAN_SAMPLING_METHOD_HH
+#define DELOREAN_SAMPLING_METHOD_HH
+
+#include "cache/cache_config.hh"
+#include "cpu/detailed_sim.hh"
+#include "profiling/host_cost.hh"
+#include "sampling/region.hh"
+
+namespace delorean::sampling
+{
+
+/**
+ * Everything a sampling method needs besides the workload: the simulated
+ * machine, the region schedule, and the host cost calibration. The cost
+ * model's scale factor is always derived from the schedule; the value in
+ * @c cost is overwritten by the methods.
+ */
+struct MethodConfig
+{
+    cache::HierarchyConfig hier;
+    cpu::DetailedSimConfig sim;
+    RegionSchedule schedule;
+    profiling::HostCostParams cost;
+
+    /** Cost params with scale synchronized to the schedule. */
+    profiling::HostCostParams
+    scaledCost() const
+    {
+        profiling::HostCostParams p = cost;
+        p.scale = schedule.scaleFactor();
+        return p;
+    }
+};
+
+} // namespace delorean::sampling
+
+#endif // DELOREAN_SAMPLING_METHOD_HH

@@ -1,0 +1,62 @@
+#include "sampling/metrics.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace delorean::sampling
+{
+
+double
+relativeErrorPct(double reference, double value)
+{
+    if (reference == 0.0)
+        return 0.0;
+    return std::abs(value - reference) / std::abs(reference) * 100.0;
+}
+
+double
+cpiErrorPct(const MethodResult &reference, const MethodResult &result)
+{
+    return relativeErrorPct(reference.cpi(), result.cpi());
+}
+
+double
+mpkiErrorPct(const MethodResult &reference, const MethodResult &result)
+{
+    return relativeErrorPct(reference.mpki(), result.mpki());
+}
+
+double
+speedupOver(const MethodResult &baseline, const MethodResult &result)
+{
+    if (result.wall_seconds <= 0.0)
+        return 0.0;
+    return baseline.wall_seconds / result.wall_seconds;
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double x : xs)
+        sum += x;
+    return sum / double(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (const double x : xs) {
+        panic_if(x <= 0.0, "geomean over non-positive value %f", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / double(xs.size()));
+}
+
+} // namespace delorean::sampling

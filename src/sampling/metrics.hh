@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Accuracy and speed metrics used throughout the evaluation, mirroring
+ * how the paper reports its figures: CPI error relative to the SMARTS
+ * reference, speed normalized to SMARTS, and geometric means.
+ */
+
+#ifndef DELOREAN_SAMPLING_METRICS_HH
+#define DELOREAN_SAMPLING_METRICS_HH
+
+#include <vector>
+
+#include "sampling/results.hh"
+
+namespace delorean::sampling
+{
+
+/** |x - ref| / ref, in percent; 0 when the reference is zero. */
+double relativeErrorPct(double reference, double value);
+
+/** CPI error of @p result against @p reference, percent (Figures 9/10). */
+double cpiErrorPct(const MethodResult &reference,
+                   const MethodResult &result);
+
+/** MPKI error, percent. */
+double mpkiErrorPct(const MethodResult &reference,
+                    const MethodResult &result);
+
+/** Speedup of @p result over @p baseline (wall-clock based, Figure 5). */
+double speedupOver(const MethodResult &baseline,
+                   const MethodResult &result);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &xs);
+
+/** Geometric mean (values must be positive). */
+double geomean(const std::vector<double> &xs);
+
+} // namespace delorean::sampling
+
+#endif // DELOREAN_SAMPLING_METRICS_HH

@@ -1,0 +1,13 @@
+#include "sampling/results.hh"
+
+namespace delorean::sampling
+{
+
+void
+MethodResult::addRegion(const cpu::RegionStats &stats)
+{
+    regions.push_back(stats);
+    total.add(stats);
+}
+
+} // namespace delorean::sampling

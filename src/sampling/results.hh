@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Result records shared by every sampling method.
+ */
+
+#ifndef DELOREAN_SAMPLING_RESULTS_HH
+#define DELOREAN_SAMPLING_RESULTS_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "cpu/detailed_sim.hh"
+#include "profiling/host_cost.hh"
+
+namespace delorean::sampling
+{
+
+/**
+ * Everything one (benchmark, method) run produces: per-region detailed
+ * statistics, aggregated statistics, and the modeled host cost / speed.
+ */
+struct MethodResult
+{
+    std::string method;
+    std::string benchmark;
+
+    std::vector<cpu::RegionStats> regions;
+    cpu::RegionStats total; //!< sum over regions
+
+    /** Total modeled host cost across all processes/passes. */
+    profiling::HostCostAccount cost;
+
+    /**
+     * Modeled wall-clock. For single-process methods (SMARTS, CoolSim)
+     * this equals cost.seconds(); for DeLorean it is the pipelined
+     * completion time across passes.
+     */
+    double wall_seconds = 0.0;
+
+    /** Paper-scale simulation speed (Figure 5). */
+    double mips = 0.0;
+
+    /** Collected reuse distances (Figure 6); 0 for SMARTS. */
+    Counter reuse_samples = 0;
+
+    /** Watchpoint stops / false positives across the run. */
+    Counter traps = 0;
+    Counter false_positives = 0;
+
+    // --- DeLorean-only fields (Figures 7 & 8) ---------------------------
+    /** Key reuse distances resolved per Explorer. */
+    std::array<Counter, 4> keys_by_explorer{};
+
+    /** Unique key cachelines over all regions (§3.2 text stat). */
+    Counter keys_total = 0;
+
+    /** Keys needing exploration (missed the lukewarm state). */
+    Counter keys_explored = 0;
+
+    /** Keys no Explorer resolved (classified cold). */
+    Counter keys_unresolved = 0;
+
+    /** Average number of Explorers engaged per region (Figure 8). */
+    double avg_explorers = 0.0;
+
+    double cpi() const { return total.cpi(); }
+    double mpki() const { return total.mpki(); }
+
+    /** Fold one region's stats into the aggregate. */
+    void addRegion(const cpu::RegionStats &stats);
+};
+
+} // namespace delorean::sampling
+
+#endif // DELOREAN_SAMPLING_RESULTS_HH

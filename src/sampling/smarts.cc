@@ -1,0 +1,50 @@
+#include "sampling/smarts.hh"
+
+#include "base/logging.hh"
+
+namespace delorean::sampling
+{
+
+MethodResult
+SmartsMethod::run(const workload::TraceSource &master,
+                  const MethodConfig &config)
+{
+    config.schedule.validate();
+    config.hier.validate();
+
+    MethodResult result;
+    result.method = "SMARTS";
+    result.benchmark = master.name();
+    result.cost = profiling::HostCostAccount(config.scaledCost());
+
+    auto trace = master.clone();
+    cache::CacheHierarchy hier(config.hier);
+    cpu::DetailedSimulator sim(hier, config.sim);
+
+    const auto &sched = config.schedule;
+    for (unsigned r = 0; r < sched.num_regions; ++r) {
+        // Functional warming from wherever we are to the start of the
+        // detailed-warming window: caches and branch predictor stay
+        // continuously warm (that is the entire point of SMARTS).
+        const InstCount gap = sched.warmingStart(r) - trace->position();
+        sim.warmRegion(*trace, gap);
+        result.cost.chargeFwScaled(gap);
+
+        // Detailed warming + detailed region at detailed-simulation cost.
+        sim.warmRegion(*trace, sched.detailed_warming);
+        result.cost.chargeDetailedRaw(sched.detailed_warming);
+
+        const auto stats =
+            sim.simulate(*trace, sched.region_len, nullptr);
+        result.cost.chargeDetailedRaw(sched.region_len);
+        result.addRegion(stats);
+    }
+
+    result.wall_seconds = result.cost.seconds();
+    result.mips = profiling::modeledMips(sched.totalInstructions(),
+                                         sched.scaleFactor(),
+                                         result.wall_seconds);
+    return result;
+}
+
+} // namespace delorean::sampling

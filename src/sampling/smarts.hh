@@ -1,0 +1,35 @@
+/**
+ * @file
+ * SMARTS: sampled simulation with functional warming (FW).
+ *
+ * The reference methodology (Wunderlich et al., paper reference [34]):
+ * between detailed regions, *every* instruction is functionally simulated
+ * with the caches and branch predictor kept up to date, so the
+ * microarchitecture state at each detailed region is exact. Accurate but
+ * slow — the paper's baseline at 1.3 MIPS. The CPI this method reports is
+ * the reference that Figures 9/10/12 measure errors against.
+ */
+
+#ifndef DELOREAN_SAMPLING_SMARTS_HH
+#define DELOREAN_SAMPLING_SMARTS_HH
+
+#include "sampling/method.hh"
+#include "sampling/results.hh"
+
+namespace delorean::sampling
+{
+
+/** Functional-warming sampled simulation. */
+class SmartsMethod
+{
+  public:
+    /**
+     * Run the full schedule over a clone of @p master.
+     */
+    static MethodResult run(const workload::TraceSource &master,
+                            const MethodConfig &config);
+};
+
+} // namespace delorean::sampling
+
+#endif // DELOREAN_SAMPLING_SMARTS_HH

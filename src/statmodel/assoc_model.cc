@@ -1,0 +1,73 @@
+#include "statmodel/assoc_model.hh"
+
+#include <cstdlib>
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace delorean::statmodel
+{
+
+AssocModel::AssocModel(std::uint64_t sets, unsigned assoc,
+                       double dominance)
+    : sets_(sets), assoc_(assoc), dominance_(dominance)
+{
+    fatal_if(sets == 0 || assoc == 0, "AssocModel: degenerate geometry");
+    fatal_if(dominance <= 0.0 || dominance > 1.0,
+             "AssocModel: dominance must be in (0, 1]");
+}
+
+void
+AssocModel::observe(Addr pc, Addr line)
+{
+    PcEntry &e = table_.try_emplace(pc).first->second;
+    if (e.last_line == invalid_addr) {
+        e.last_line = line;
+        return;
+    }
+    const std::int64_t delta =
+        std::int64_t(line) - std::int64_t(e.last_line);
+    e.last_line = line;
+    ++e.total;
+    if (delta == e.stride) {
+        ++e.agree;
+    } else if (e.agree == 0 || e.total == 1) {
+        // Adopt a new candidate stride when the old one has no support.
+        e.stride = delta;
+        e.agree = 1;
+    }
+}
+
+std::uint64_t
+AssocModel::strideLines(Addr pc) const
+{
+    const auto it = table_.find(pc);
+    if (it == table_.end())
+        return 1;
+    const PcEntry &e = it->second;
+    if (e.total < 4 || double(e.agree) < dominance_ * double(e.total))
+        return 1;
+    const std::uint64_t mag = std::uint64_t(std::llabs(e.stride));
+    if (mag <= 1)
+        return 1;
+    // Round to the power of two actually limiting set usage, clamped to
+    // the set count (a stride larger than the cache's sets pins the PC
+    // to a single set).
+    const std::uint64_t pow2 = std::uint64_t(1) << floorLog2(mag);
+    return pow2 < sets_ ? pow2 : sets_;
+}
+
+bool
+AssocModel::isConflict(Addr pc, double stack_distance) const
+{
+    const std::uint64_t k = strideLines(pc);
+    if (k <= 1)
+        return false;
+    const std::uint64_t eff_sets = sets_ / k ? sets_ / k : 1;
+    const double per_set = stack_distance / double(eff_sets);
+    const bool fits_cache =
+        stack_distance <= double(sets_) * double(assoc_);
+    return fits_cache && per_set > double(assoc_);
+}
+
+} // namespace delorean::statmodel

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Limited-associativity (dominant stride) conflict-miss model.
+ *
+ * The paper (§3.1.2, "Conflict Misses") observes that load PCs with a
+ * dominant large stride use only a fraction of the cache sets: a 512-byte
+ * stride touches one eighth of the sets with 64-byte lines. DSW adopts
+ * CoolSim's limited-associativity model: when a PC's dominant stride
+ * covers k lines, its effective cache is (sets / k) x assoc, so an access
+ * whose stack distance fits the full cache can still conflict-miss. This
+ * class learns per-PC dominant strides from the accesses visible during
+ * detailed warming and answers the Figure 3 "conflict?" question.
+ */
+
+#ifndef DELOREAN_STATMODEL_ASSOC_MODEL_HH
+#define DELOREAN_STATMODEL_ASSOC_MODEL_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "base/types.hh"
+
+namespace delorean::statmodel
+{
+
+/** Per-PC dominant-stride detector + conflict-miss rule. */
+class AssocModel
+{
+  public:
+    /**
+     * @param sets  number of sets of the modeled cache
+     * @param assoc its associativity
+     * @param dominance fraction of observed deltas that must agree for a
+     *                  stride to count as dominant
+     */
+    AssocModel(std::uint64_t sets, unsigned assoc,
+               double dominance = 0.6);
+
+    /** Train on one visible access (cacheline granularity). */
+    void observe(Addr pc, Addr line);
+
+    /**
+     * Dominant stride of @p pc in cachelines, rounded down to a power of
+     * two and clamped to the set count; 1 when no dominant stride.
+     */
+    std::uint64_t strideLines(Addr pc) const;
+
+    /**
+     * Figure 3 conflict rule: true when the access (stack distance
+     * @p stack_distance, from the statistical model) overflows the
+     * effective sets x assoc reachable with the PC's dominant stride,
+     * while still fitting the full cache (otherwise it is a capacity
+     * miss, not a conflict miss).
+     */
+    bool isConflict(Addr pc, double stack_distance) const;
+
+    std::size_t trackedPcs() const { return table_.size(); }
+
+    void clear() { table_.clear(); }
+
+  private:
+    struct PcEntry
+    {
+        Addr last_line = invalid_addr;
+        std::int64_t stride = 0;     //!< current candidate (lines)
+        std::uint64_t agree = 0;     //!< deltas matching the candidate
+        std::uint64_t total = 0;     //!< deltas observed
+    };
+
+    std::uint64_t sets_;
+    unsigned assoc_;
+    double dominance_;
+    std::unordered_map<Addr, PcEntry> table_;
+};
+
+} // namespace delorean::statmodel
+
+#endif // DELOREAN_STATMODEL_ASSOC_MODEL_HH

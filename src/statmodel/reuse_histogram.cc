@@ -1,0 +1,48 @@
+#include "statmodel/reuse_histogram.hh"
+
+#include <algorithm>
+
+namespace delorean::statmodel
+{
+
+double
+ReuseHistogram::survivalKM(std::uint64_t t) const
+{
+    const double total =
+        events_.totalWeight() + censored_.totalWeight();
+    if (total <= 0.0)
+        return 0.0;
+
+    const auto ev = events_.buckets();
+    const auto ce = censored_.buckets();
+
+    double survival = 1.0;
+    double at_risk = total;
+    std::size_t i = 0, j = 0;
+
+    // Merge-walk both bucket lists in increasing value order. Buckets
+    // are treated at their midpoint; censored mass leaves the risk set
+    // *after* events at the same point (the standard convention).
+    while (i < ev.size() || j < ce.size()) {
+        const bool take_event =
+            j >= ce.size() ||
+            (i < ev.size() && ev[i].mid() <= ce[j].mid());
+        const std::uint64_t value =
+            take_event ? ev[i].mid() : ce[j].mid();
+        if (value > t)
+            break;
+        if (at_risk <= 0.0)
+            break;
+        if (take_event) {
+            survival *= std::max(0.0, 1.0 - ev[i].weight / at_risk);
+            at_risk -= ev[i].weight;
+            ++i;
+        } else {
+            at_risk -= ce[j].weight;
+            ++j;
+        }
+    }
+    return std::clamp(survival, 0.0, 1.0);
+}
+
+} // namespace delorean::statmodel

@@ -1,0 +1,56 @@
+#include "statmodel/stack_dist_exact.hh"
+
+#include "base/logging.hh"
+
+namespace delorean::statmodel
+{
+
+ExactStackProfiler::ExactStackProfiler(std::size_t max_accesses)
+    : capacity_(max_accesses), tree_(max_accesses + 1, 0)
+{
+    fatal_if(max_accesses == 0,
+             "ExactStackProfiler needs a positive capacity");
+}
+
+void
+ExactStackProfiler::fenwickAdd(std::size_t i, int delta)
+{
+    for (; i < tree_.size(); i += i & (~i + 1))
+        tree_[i] += delta;
+}
+
+std::int64_t
+ExactStackProfiler::fenwickSum(std::size_t i) const
+{
+    std::int64_t s = 0;
+    for (; i > 0; i -= i & (~i + 1))
+        s += tree_[i];
+    return s;
+}
+
+std::uint64_t
+ExactStackProfiler::access(Addr line)
+{
+    panic_if(pos_ >= capacity_,
+             "ExactStackProfiler capacity %zu exceeded", capacity_);
+    ++pos_; // 1-based position of this access
+
+    std::uint64_t sd = cold;
+    const auto it = last_.find(line);
+    if (it != last_.end()) {
+        const std::size_t prev = it->second;
+        // Number of lines whose most recent access lies strictly between
+        // prev and now = distinct lines touched since prev.
+        sd = std::uint64_t(fenwickSum(pos_ - 1) - fenwickSum(prev));
+        fenwickAdd(prev, -1);
+        hist_.add(sd);
+    } else {
+        ++cold_;
+    }
+
+    fenwickAdd(pos_, +1);
+    last_[line] = pos_;
+    return sd;
+}
+
+} // namespace delorean::statmodel

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Exact stack-distance profiling (Mattson et al., paper reference [20]).
+ *
+ * Used as the ground-truth reference against which StatStack's estimates
+ * are validated in the test suite, and as the classic (expensive)
+ * baseline the paper's §2.2 contrasts with reuse-distance profiling.
+ * Implementation: the standard Bennett & Kruskal style algorithm with a
+ * Fenwick tree over access positions — O(log n) per access.
+ */
+
+#ifndef DELOREAN_STATMODEL_STACK_DIST_EXACT_HH
+#define DELOREAN_STATMODEL_STACK_DIST_EXACT_HH
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "base/histogram.hh"
+#include "base/types.hh"
+
+namespace delorean::statmodel
+{
+
+/**
+ * Exact stack distance per access over a bounded-length trace.
+ */
+class ExactStackProfiler
+{
+  public:
+    /** Sentinel returned for the first access to a line. */
+    static constexpr std::uint64_t cold =
+        std::numeric_limits<std::uint64_t>::max();
+
+    /** @param max_accesses upper bound on access() calls. */
+    explicit ExactStackProfiler(std::size_t max_accesses);
+
+    /**
+     * Record an access to @p line.
+     * @return the stack distance (number of distinct lines accessed
+     *         since the previous access to @p line), or `cold`.
+     */
+    std::uint64_t access(Addr line);
+
+    /** Histogram of all non-cold stack distances observed. */
+    const LogHistogram &histogram() const { return hist_; }
+
+    Counter accesses() const { return pos_; }
+    Counter coldAccesses() const { return cold_; }
+
+  private:
+    void fenwickAdd(std::size_t i, int delta);
+    std::int64_t fenwickSum(std::size_t i) const; //!< prefix sum [1, i]
+
+    std::size_t capacity_;
+    std::vector<std::int32_t> tree_; //!< 1-based Fenwick tree
+    std::unordered_map<Addr, std::size_t> last_; //!< line -> position
+    std::size_t pos_ = 0;
+    Counter cold_ = 0;
+    LogHistogram hist_;
+};
+
+} // namespace delorean::statmodel
+
+#endif // DELOREAN_STATMODEL_STACK_DIST_EXACT_HH

@@ -1,0 +1,57 @@
+#include "statmodel/statcache.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace delorean::statmodel
+{
+
+StatCache::StatCache(const ReuseHistogram &reuse)
+    : buckets_(reuse.events().buckets()),
+      total_(reuse.events().totalWeight() +
+             reuse.censoredHist().totalWeight())
+{
+    // Censored observations are lower bounds; under random replacement
+    // the miss probability is already near one at such distances, so
+    // fold them in at their censoring points.
+    for (const auto &b : reuse.censoredHist().buckets())
+        buckets_.push_back(b);
+}
+
+double
+StatCache::missProbability(std::uint64_t rd, double m,
+                           std::uint64_t cache_lines)
+{
+    panic_if(cache_lines == 0, "StatCache with zero-line cache");
+    // (1 - 1/L)^(m*d) computed in log space to survive huge d.
+    const double log_survive =
+        double(rd) * m * std::log1p(-1.0 / double(cache_lines));
+    return 1.0 - std::exp(log_survive);
+}
+
+double
+StatCache::missRatio(std::uint64_t cache_lines, unsigned iterations,
+                     double tolerance) const
+{
+    if (empty())
+        return 0.0;
+
+    // Start from the pessimal fixed point side (m = 1) and iterate; the
+    // map is monotone, so this converges to the largest fixed point,
+    // which is the physically meaningful steady state.
+    double m = 1.0;
+    for (unsigned i = 0; i < iterations; ++i) {
+        double sum = 0.0;
+        for (const auto &b : buckets_)
+            sum += b.weight * missProbability(b.mid(), m, cache_lines);
+        const double next = sum / total_;
+        const double delta = std::abs(next - m);
+        m = next;
+        if (delta < tolerance)
+            break;
+    }
+    return m;
+}
+
+} // namespace delorean::statmodel

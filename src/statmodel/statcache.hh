@@ -1,0 +1,59 @@
+/**
+ * @file
+ * StatCache: statistical modeling of random-replacement caches.
+ *
+ * Implements Berg & Hagersten's probabilistic model (ISPASS 2004, paper
+ * reference [5]): in a cache of L lines with random replacement, an
+ * access whose forward reuse distance is d survives each intervening miss
+ * with probability (1 - 1/L), so
+ *
+ *      P(miss | d) = 1 - (1 - 1/L)^(m * d)
+ *
+ * where m is the (unknown) overall miss ratio. The model solves the fixed
+ * point  m = E_d[P(miss | d)]  over the sampled reuse-distance
+ * distribution. This covers the paper's §4.1 claim that statistical
+ * warming generalizes beyond LRU.
+ */
+
+#ifndef DELOREAN_STATMODEL_STATCACHE_HH
+#define DELOREAN_STATMODEL_STATCACHE_HH
+
+#include "statmodel/reuse_histogram.hh"
+
+namespace delorean::statmodel
+{
+
+/** Random-replacement miss-ratio solver. */
+class StatCache
+{
+  public:
+    explicit StatCache(const ReuseHistogram &reuse);
+
+    /**
+     * Solve for the steady-state miss ratio of a random-replacement
+     * cache with @p cache_lines lines.
+     *
+     * @param cache_lines  cache capacity in lines
+     * @param iterations   maximum fixed-point iterations
+     * @param tolerance    convergence threshold on |m' - m|
+     */
+    double missRatio(std::uint64_t cache_lines, unsigned iterations = 200,
+                     double tolerance = 1e-10) const;
+
+    /**
+     * Miss probability of a single access with reuse distance @p rd under
+     * overall miss ratio @p m.
+     */
+    static double missProbability(std::uint64_t rd, double m,
+                                  std::uint64_t cache_lines);
+
+    bool empty() const { return total_ <= 0.0; }
+
+  private:
+    std::vector<LogHistogram::Bucket> buckets_;
+    double total_ = 0.0;
+};
+
+} // namespace delorean::statmodel
+
+#endif // DELOREAN_STATMODEL_STATCACHE_HH

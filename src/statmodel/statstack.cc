@@ -1,0 +1,137 @@
+#include "statmodel/statstack.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace delorean::statmodel
+{
+
+StatStack::StatStack(const ReuseHistogram &reuse)
+{
+    const auto ev = reuse.events().buckets();
+    const auto ce = reuse.censoredHist().buckets();
+    total_ = reuse.events().totalWeight() +
+             reuse.censoredHist().totalWeight();
+    if (total_ <= 0.0)
+        return;
+
+    segments_.reserve(2 * ev.size() + 2);
+
+    // Kaplan-Meier walk over event and censoring buckets in value
+    // order: events pull the survival down by a factor (1 - w/n) of the
+    // population n still at risk; censored mass leaves the risk set
+    // without moving the survival. Survival decreases linearly across
+    // an event bucket's width.
+    double at_risk = total_;
+    double surv = 1.0;
+    double integral = 0.0; // sum_{i<x} P(rd > i)
+    std::uint64_t x = 0;
+    std::size_t i = 0, j = 0;
+
+    while (i < ev.size() || j < ce.size()) {
+        const bool take_event =
+            j >= ce.size() ||
+            (i < ev.size() && ev[i].mid() <= ce[j].mid());
+        if (!take_event) {
+            at_risk -= ce[j].weight;
+            ++j;
+            continue;
+        }
+
+        const auto &b = ev[i];
+        if (b.low > x) {
+            // Gap with no event mass: survival is flat.
+            segments_.push_back({x, surv, 0.0, integral});
+            integral += surv * double(b.low - x);
+            x = b.low;
+        }
+        const double drop =
+            at_risk > 0.0 ? surv * (b.weight / at_risk) : 0.0;
+        const double next = std::max(0.0, surv - drop);
+        const double width = double(b.high - b.low);
+        segments_.push_back({x, surv, (next - surv) / width, integral});
+        integral += 0.5 * (surv + next) * width;
+        surv = next;
+        at_risk -= b.weight;
+        x = b.high;
+        ++i;
+    }
+
+    // Tail: with heavy censoring the Kaplan-Meier survival stays
+    // strictly positive, so stack distance keeps growing linearly
+    // beyond the last observation — the correct behaviour for
+    // streaming working sets.
+    segments_.push_back({x, surv, 0.0, integral});
+}
+
+const StatStack::Segment &
+StatStack::segmentFor(std::uint64_t rd) const
+{
+    panic_if(segments_.empty(), "StatStack query on empty model");
+    // Last segment whose start is <= rd.
+    const auto it = std::upper_bound(
+        segments_.begin(), segments_.end(), rd,
+        [](std::uint64_t v, const Segment &s) { return v < s.x; });
+    return it == segments_.begin() ? segments_.front() : *(it - 1);
+}
+
+double
+StatStack::stackDistance(std::uint64_t rd) const
+{
+    if (empty())
+        return 0.0;
+    const Segment &seg = segmentFor(rd);
+    const double dt = double(rd - seg.x);
+    double sd = seg.integral + seg.surv * dt + 0.5 * seg.slope * dt * dt;
+    return std::max(sd, 0.0);
+}
+
+std::uint64_t
+StatStack::missThreshold(std::uint64_t cache_lines) const
+{
+    if (empty())
+        return std::numeric_limits<std::uint64_t>::max();
+
+    const Segment &tail = segments_.back();
+    const std::uint64_t max_x = tail.x;
+    if (stackDistance(max_x) <= double(cache_lines)) {
+        // The observed range never overflows the cache; with residual
+        // survival the linear tail eventually does.
+        if (tail.surv <= 1e-12)
+            return std::numeric_limits<std::uint64_t>::max();
+        const double need = double(cache_lines) - tail.integral;
+        const double extra = need / tail.surv;
+        const double thr = double(max_x) + std::max(0.0, extra);
+        if (thr >= double(std::numeric_limits<std::uint64_t>::max()))
+            return std::numeric_limits<std::uint64_t>::max();
+        return std::uint64_t(thr) + 1;
+    }
+
+    std::uint64_t lo = 0, hi = max_x;
+    while (lo < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        if (stackDistance(mid) > double(cache_lines))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+double
+StatStack::missRatio(std::uint64_t cache_lines) const
+{
+    if (empty())
+        return 0.0;
+    const std::uint64_t thr = missThreshold(cache_lines);
+    if (thr == std::numeric_limits<std::uint64_t>::max())
+        return 0.0;
+    // P(rd >= thr): Kaplan-Meier survival just below the threshold.
+    const Segment &seg = segmentFor(thr);
+    const double dt = double(thr - seg.x);
+    return std::clamp(seg.surv + seg.slope * dt, 0.0, 1.0);
+}
+
+} // namespace delorean::statmodel

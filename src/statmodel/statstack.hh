@@ -1,0 +1,100 @@
+/**
+ * @file
+ * StatStack: estimating stack distances from reuse distances.
+ *
+ * Implements the statistical cache model of Eklov & Hagersten (ISPASS
+ * 2010, paper reference [11]). Given a (sparse, sampled) forward reuse
+ * distance distribution, the expected stack distance of a window of d
+ * memory references is
+ *
+ *      E[SD(d)] = sum_{i=0}^{d-1} P(rd > i)
+ *
+ * i.e. each of the d references in the window is the *last* access to its
+ * cacheline within the window with probability P(rd > remaining), and the
+ * stack distance is the expected number of such "last" accesses. With a
+ * log-bucketed histogram, the survival function P(rd > x) is piecewise
+ * linear, so E[SD(d)] is piecewise quadratic and can be evaluated exactly
+ * per bucket — this class precomputes the per-edge prefix integrals once
+ * and answers queries in O(log buckets).
+ *
+ * A fully-associative LRU cache of C lines misses exactly when the stack
+ * distance exceeds C (Mattson et al.), which is DSW's capacity-miss rule.
+ */
+
+#ifndef DELOREAN_STATMODEL_STATSTACK_HH
+#define DELOREAN_STATMODEL_STATSTACK_HH
+
+#include <vector>
+
+#include "statmodel/reuse_histogram.hh"
+
+namespace delorean::statmodel
+{
+
+/**
+ * Immutable stack-distance estimator built from a reuse histogram.
+ */
+class StatStack
+{
+  public:
+    /**
+     * @param reuse sampled forward reuse-distance distribution (the
+     *              "vicinity" distribution in DeLorean; the global or
+     *              per-PC distribution in RSW)
+     */
+    explicit StatStack(const ReuseHistogram &reuse);
+
+    /** Expected stack distance for a reuse distance of @p rd. */
+    double stackDistance(std::uint64_t rd) const;
+
+    /**
+     * Would an access with backward reuse distance @p rd miss in a
+     * fully-associative LRU cache of @p cache_lines lines?
+     */
+    bool
+    isMiss(std::uint64_t rd, std::uint64_t cache_lines) const
+    {
+        return stackDistance(rd) > double(cache_lines);
+    }
+
+    /**
+     * Smallest reuse distance whose expected stack distance exceeds
+     * @p cache_lines (the miss threshold). Accesses with rd above this
+     * are predicted misses. Returns UINT64_MAX when even the longest
+     * observed distances fit in the cache.
+     */
+    std::uint64_t missThreshold(std::uint64_t cache_lines) const;
+
+    /**
+     * Miss ratio of a fully-associative LRU cache with @p cache_lines
+     * lines, over the sampled access population: the probability mass of
+     * reuse distances above the miss threshold.
+     */
+    double missRatio(std::uint64_t cache_lines) const;
+
+    /** True when the input histogram had no samples. */
+    bool empty() const { return total_ <= 0.0; }
+
+    /** Total sample weight behind the model. */
+    double totalWeight() const { return total_; }
+
+  private:
+    /** Piecewise-linear survival segment starting at edge x. */
+    struct Segment
+    {
+        std::uint64_t x;      //!< segment start (inclusive)
+        double surv;          //!< P(rd > t) just above x
+        double slope;         //!< d surv / dt within the segment (<= 0)
+        double integral;      //!< sum_{i=0}^{x-1} P(rd > i)
+    };
+
+    /** Locate the segment containing @p rd. */
+    const Segment &segmentFor(std::uint64_t rd) const;
+
+    std::vector<Segment> segments_;
+    double total_ = 0.0;
+};
+
+} // namespace delorean::statmodel
+
+#endif // DELOREAN_STATMODEL_STATSTACK_HH

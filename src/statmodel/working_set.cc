@@ -1,0 +1,57 @@
+#include "statmodel/working_set.hh"
+
+#include <sstream>
+
+#include "base/addr.hh"
+#include "base/units.hh"
+
+namespace delorean::statmodel
+{
+
+std::vector<std::uint64_t>
+WorkingSetCurve::knees(double drop_ratio, double min_mpki) const
+{
+    std::vector<std::uint64_t> out;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+        const double prev = points_[i - 1].mpki;
+        const double cur = points_[i].mpki;
+        if (prev >= min_mpki && cur <= prev * (1.0 - drop_ratio))
+            out.push_back(points_[i].cache_bytes);
+    }
+    return out;
+}
+
+std::string
+WorkingSetCurve::toString() const
+{
+    std::ostringstream os;
+    os << "size_mib mpki\n";
+    for (const auto &p : points_) {
+        os << double(p.cache_bytes) / double(MiB) << " " << p.mpki
+           << "\n";
+    }
+    return os.str();
+}
+
+WorkingSetCurve
+modelWorkingSet(const StatStack &stack, double refs_per_kilo_inst,
+                const std::vector<std::uint64_t> &sizes)
+{
+    WorkingSetCurve curve;
+    for (const std::uint64_t bytes : sizes) {
+        const double miss_ratio = stack.missRatio(bytes / line_size);
+        curve.addPoint(bytes, miss_ratio * refs_per_kilo_inst);
+    }
+    return curve;
+}
+
+std::vector<std::uint64_t>
+paperLlcSizes()
+{
+    std::vector<std::uint64_t> sizes;
+    for (std::uint64_t s = 1 * MiB; s <= 512 * MiB; s *= 2)
+        sizes.push_back(s);
+    return sizes;
+}
+
+} // namespace delorean::statmodel

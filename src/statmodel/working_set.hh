@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Working-set (miss-rate vs cache-size) curves — paper §6.4.1.
+ *
+ * A WorkingSetCurve is the product of either measurement (SMARTS
+ * reference) or the statistical model (DeLorean); knee detection mirrors
+ * the paper's discussion of lbm's knees at 8 MiB and 512 MiB.
+ */
+
+#ifndef DELOREAN_STATMODEL_WORKING_SET_HH
+#define DELOREAN_STATMODEL_WORKING_SET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "statmodel/statstack.hh"
+
+namespace delorean::statmodel
+{
+
+/** One (cache size, MPKI) point. */
+struct WorkingSetPoint
+{
+    std::uint64_t cache_bytes = 0;
+    double mpki = 0.0;
+};
+
+/** An MPKI-vs-size curve with knee detection. */
+class WorkingSetCurve
+{
+  public:
+    void
+    addPoint(std::uint64_t cache_bytes, double mpki)
+    {
+        points_.push_back({cache_bytes, mpki});
+    }
+
+    const std::vector<WorkingSetPoint> &points() const { return points_; }
+
+    /**
+     * Cache sizes at which MPKI falls by at least @p drop_ratio relative
+     * to the previous (smaller) size — the "knees" of the curve. Only
+     * drops from a meaningful level (>= @p min_mpki) count.
+     */
+    std::vector<std::uint64_t> knees(double drop_ratio = 0.5,
+                                     double min_mpki = 0.5) const;
+
+    /** Two-column text table (size MiB, MPKI). */
+    std::string toString() const;
+
+  private:
+    std::vector<WorkingSetPoint> points_;
+};
+
+/**
+ * Model-driven curve: MPKI(C) from a StatStack model plus the memory
+ * reference rate.
+ *
+ * @param stack      reuse-distance model of the workload
+ * @param refs_per_kilo_inst memory references per 1000 instructions
+ * @param sizes      cache sizes (bytes) to evaluate
+ */
+WorkingSetCurve modelWorkingSet(const StatStack &stack,
+                                double refs_per_kilo_inst,
+                                const std::vector<std::uint64_t> &sizes);
+
+/** The paper's LLC sweep: 1, 2, 4, ..., 512 MiB. */
+std::vector<std::uint64_t> paperLlcSizes();
+
+} // namespace delorean::statmodel
+
+#endif // DELOREAN_STATMODEL_WORKING_SET_HH

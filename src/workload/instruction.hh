@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The dynamic instruction record produced by trace sources.
+ *
+ * DeLorean consumes only architecturally visible information — program
+ * counter, memory effective address, branch outcome — never
+ * microarchitectural state, mirroring how the paper's KVM-based passes see
+ * the workload.
+ */
+
+#ifndef DELOREAN_WORKLOAD_INSTRUCTION_HH
+#define DELOREAN_WORKLOAD_INSTRUCTION_HH
+
+#include "base/addr.hh"
+#include "base/types.hh"
+
+namespace delorean::workload
+{
+
+/** Coarse dynamic instruction classes. */
+enum class InstType : std::uint8_t
+{
+    Load,
+    Store,
+    Branch,
+    Other, //!< non-memory, non-branch (ALU/FP/...)
+};
+
+/**
+ * One dynamically executed instruction.
+ *
+ * For loads/stores, @c addr is the byte effective address; accesses never
+ * straddle a cacheline in this model (SPEC-like workloads are overwhelmingly
+ * aligned). For branches, @c taken records the resolved direction and
+ * @c target the resolved target PC.
+ */
+struct Instruction
+{
+    InstType type = InstType::Other;
+    Addr pc = 0;
+    Addr addr = 0;          //!< effective address (Load/Store only)
+    Addr target = 0;        //!< branch target (Branch only)
+    bool taken = false;     //!< branch outcome (Branch only)
+    /** Load depends on the previous load's value (pointer chasing);
+     *  serializes misses in the out-of-order timing model. */
+    bool dep_load = false;
+    std::uint8_t latency = 1; //!< execution latency class in cycles
+
+    bool isMem() const
+    {
+        return type == InstType::Load || type == InstType::Store;
+    }
+    bool isLoad() const { return type == InstType::Load; }
+    bool isStore() const { return type == InstType::Store; }
+    bool isBranch() const { return type == InstType::Branch; }
+
+    /** Cacheline number of the data access. */
+    Addr line() const { return lineOf(addr); }
+};
+
+} // namespace delorean::workload
+
+#endif // DELOREAN_WORKLOAD_INSTRUCTION_HH

@@ -1,0 +1,309 @@
+#include "workload/kernels.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace delorean::workload
+{
+
+// ---------------------------------------------------------------- Stream
+
+StreamKernel::StreamKernel(Addr base, std::uint64_t ws_bytes,
+                           std::uint64_t stride)
+    : base_(base), ws_(ws_bytes), stride_(stride), offset_(0)
+{
+    fatal_if(stride == 0 || ws_bytes < stride,
+             "StreamKernel: invalid ws=%llu stride=%llu",
+             (unsigned long long)ws_bytes, (unsigned long long)stride);
+}
+
+Addr
+StreamKernel::nextAddr()
+{
+    const Addr a = base_ + offset_;
+    offset_ += stride_;
+    if (offset_ >= ws_)
+        offset_ = 0;
+    return a;
+}
+
+std::unique_ptr<AccessKernel>
+StreamKernel::clone() const
+{
+    return std::make_unique<StreamKernel>(*this);
+}
+
+void
+StreamKernel::reset()
+{
+    offset_ = 0;
+}
+
+// ---------------------------------------------------------------- Stride
+
+StrideKernel::StrideKernel(Addr base, std::uint64_t ws_bytes,
+                           std::uint64_t stride)
+    : base_(base), ws_(ws_bytes), stride_(stride), offset_(0)
+{
+    fatal_if(stride < line_size,
+             "StrideKernel stride must be >= one cacheline, got %llu",
+             (unsigned long long)stride);
+    fatal_if(ws_bytes < stride, "StrideKernel: ws smaller than stride");
+}
+
+Addr
+StrideKernel::nextAddr()
+{
+    const Addr a = base_ + offset_;
+    offset_ += stride_;
+    if (offset_ >= ws_)
+        offset_ = 0;
+    return a;
+}
+
+std::unique_ptr<AccessKernel>
+StrideKernel::clone() const
+{
+    return std::make_unique<StrideKernel>(*this);
+}
+
+void
+StrideKernel::reset()
+{
+    offset_ = 0;
+}
+
+// ---------------------------------------------------------------- Random
+
+RandomKernel::RandomKernel(Addr base, std::uint64_t ws_bytes,
+                           std::uint64_t seed)
+    : base_(base), ws_(ws_bytes), lines_(ws_bytes / line_size),
+      seed_(seed), rng_(seed)
+{
+    fatal_if(lines_ == 0, "RandomKernel: working set below one line");
+}
+
+Addr
+RandomKernel::nextAddr()
+{
+    const std::uint64_t line = rng_.nextBounded(lines_);
+    return base_ + line * line_size;
+}
+
+std::unique_ptr<AccessKernel>
+RandomKernel::clone() const
+{
+    return std::make_unique<RandomKernel>(*this);
+}
+
+void
+RandomKernel::reset()
+{
+    rng_ = Rng(seed_);
+}
+
+// ----------------------------------------------------------------- Chase
+
+namespace
+{
+
+/**
+ * Pick a full-period LCG multiplier/increment for modulus 2^k
+ * (Hull-Dobell: a ≡ 1 mod 4, c odd). Varying by seed keeps distinct
+ * kernels on distinct permutations.
+ */
+std::uint64_t
+chaseMultiplier(std::uint64_t seed)
+{
+    return 4 * ((seed * 2654435761ULL) % 977 + 1) + 1;
+}
+
+std::uint64_t
+chaseIncrement(std::uint64_t seed)
+{
+    return 2 * ((seed * 40503ULL) % 1021) + 1;
+}
+
+} // namespace
+
+ChaseKernel::ChaseKernel(Addr base, std::uint64_t ws_bytes,
+                         std::uint64_t seed)
+    : base_(base), ws_(ws_bytes), lines_(ws_bytes / line_size),
+      mult_(chaseMultiplier(seed)), inc_(chaseIncrement(seed)),
+      cur_(seed % 97), start_(cur_)
+{
+    fatal_if(!isPowerOf2(lines_) || lines_ == 0,
+             "ChaseKernel working set must be a power-of-two number of "
+             "lines for a full-period LCG walk, got %llu lines",
+             (unsigned long long)lines_);
+    cur_ &= lines_ - 1;
+    start_ = cur_;
+}
+
+Addr
+ChaseKernel::nextAddr()
+{
+    const Addr a = base_ + cur_ * line_size;
+    cur_ = (cur_ * mult_ + inc_) & (lines_ - 1);
+    return a;
+}
+
+std::unique_ptr<AccessKernel>
+ChaseKernel::clone() const
+{
+    return std::make_unique<ChaseKernel>(*this);
+}
+
+void
+ChaseKernel::reset()
+{
+    cur_ = start_;
+}
+
+// ----------------------------------------------------------------- Block
+
+BlockKernel::BlockKernel(Addr base, std::uint64_t ws_bytes,
+                         std::uint64_t block_bytes, unsigned repeats)
+    : base_(base), ws_(ws_bytes), block_(block_bytes), repeats_(repeats),
+      block_start_(0), offset_(0), pass_(0)
+{
+    fatal_if(block_bytes == 0 || block_bytes > ws_bytes,
+             "BlockKernel: invalid block size");
+    fatal_if(repeats == 0, "BlockKernel: repeats must be >= 1");
+}
+
+Addr
+BlockKernel::nextAddr()
+{
+    const Addr a = base_ + block_start_ + offset_;
+    offset_ += line_size;
+    if (offset_ >= block_) {
+        offset_ = 0;
+        if (++pass_ >= repeats_) {
+            pass_ = 0;
+            block_start_ += block_;
+            if (block_start_ + block_ > ws_)
+                block_start_ = 0;
+        }
+    }
+    return a;
+}
+
+std::unique_ptr<AccessKernel>
+BlockKernel::clone() const
+{
+    return std::make_unique<BlockKernel>(*this);
+}
+
+void
+BlockKernel::reset()
+{
+    block_start_ = 0;
+    offset_ = 0;
+    pass_ = 0;
+}
+
+// --------------------------------------------------------------- HotCold
+
+HotColdKernel::HotColdKernel(Addr base, std::uint64_t hot_bytes,
+                             std::uint64_t cold_bytes, double hot_frac,
+                             bool interleaved, std::uint64_t seed)
+    : base_(base), hot_bytes_(hot_bytes), cold_bytes_(cold_bytes),
+      hot_frac_(hot_frac), interleaved_(interleaved), seed_(seed),
+      rng_(seed), cold_cursor_(0)
+{
+    fatal_if(hot_bytes < page_size,
+             "HotColdKernel needs at least one hot page");
+    fatal_if(!interleaved && cold_bytes < line_size,
+             "HotColdKernel needs at least one cold line (or "
+             "interleaved mode, where cold lines live in hot pages)");
+    fatal_if(hot_frac <= 0.0 || hot_frac >= 1.0,
+             "HotColdKernel hot_frac must be in (0, 1), got %f", hot_frac);
+}
+
+std::uint64_t
+HotColdKernel::footprint() const
+{
+    return interleaved_ ? hot_bytes_ : hot_bytes_ + cold_bytes_;
+}
+
+Addr
+HotColdKernel::nextAddr()
+{
+    const std::uint64_t hot_pages = hot_bytes_ / page_size;
+    if (rng_.chance(hot_frac_)) {
+        // Hot access: any line in a hot page except the reserved cold
+        // line (line 0 of each page) when interleaved.
+        const std::uint64_t pg = rng_.nextBounded(hot_pages);
+        const std::uint64_t first = interleaved_ ? 1 : 0;
+        const std::uint64_t ln =
+            first + rng_.nextBounded(lines_per_page - first);
+        return base_ + pg * page_size + ln * line_size;
+    }
+    if (interleaved_) {
+        // Cold lines live at line 0 of each hot page, visited round-robin
+        // so each has a long, regular reuse distance but shares its page
+        // with constant hot traffic (watchpoint false-positive storm).
+        const std::uint64_t pg = cold_cursor_ % hot_pages;
+        ++cold_cursor_;
+        return base_ + pg * page_size;
+    }
+    // Separate cold region, swept sequentially.
+    const std::uint64_t cold_lines = cold_bytes_ / line_size;
+    const std::uint64_t ln = cold_cursor_ % cold_lines;
+    ++cold_cursor_;
+    return base_ + hot_bytes_ + ln * line_size;
+}
+
+std::unique_ptr<AccessKernel>
+HotColdKernel::clone() const
+{
+    return std::make_unique<HotColdKernel>(*this);
+}
+
+void
+HotColdKernel::reset()
+{
+    rng_ = Rng(seed_);
+    cold_cursor_ = 0;
+}
+
+// ----------------------------------------------------------------- Epoch
+
+EpochKernel::EpochKernel(Addr base, std::uint64_t ws_bytes,
+                         unsigned regions, std::uint64_t epoch_len,
+                         std::uint64_t seed)
+    : base_(base), ws_(ws_bytes), regions_(regions),
+      epoch_len_(epoch_len), seed_(seed), rng_(seed), count_(0)
+{
+    fatal_if(regions == 0, "EpochKernel: need at least one region");
+    fatal_if(epoch_len == 0, "EpochKernel: epoch length must be >= 1");
+    fatal_if(ws_bytes / regions < line_size,
+             "EpochKernel: sub-region below one line");
+}
+
+Addr
+EpochKernel::nextAddr()
+{
+    const std::uint64_t region_bytes = ws_ / regions_;
+    const std::uint64_t region_lines = region_bytes / line_size;
+    const unsigned active = unsigned((count_ / epoch_len_) % regions_);
+    ++count_;
+    const std::uint64_t ln = rng_.nextBounded(region_lines);
+    return base_ + Addr(active) * region_bytes + ln * line_size;
+}
+
+std::unique_ptr<AccessKernel>
+EpochKernel::clone() const
+{
+    return std::make_unique<EpochKernel>(*this);
+}
+
+void
+EpochKernel::reset()
+{
+    rng_ = Rng(seed_);
+    count_ = 0;
+}
+
+} // namespace delorean::workload

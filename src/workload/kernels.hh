@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Memory access kernels: the building blocks of synthetic workloads.
+ *
+ * Each kernel owns a private region of the address space and generates a
+ * deterministic stream of byte addresses with a characteristic reuse
+ * structure. Benchmark profiles (spec_profiles.cc) weight several kernels
+ * together to imitate the locality behaviour of the SPEC CPU2006 programs
+ * the paper evaluates. All state is deep-copied by clone() so traces can
+ * be checkpointed.
+ *
+ * Reuse structure summary (distances in kernel-local accesses):
+ *  - StreamKernel:   sequential sweep; line reuse every ws/line accesses
+ *                    (plus immediate same-line reuses for sub-line strides)
+ *  - StrideKernel:   like Stream but with a large stride; exercises the
+ *                    limited-associativity (set imbalance) model
+ *  - RandomKernel:   uniform over working set; geometric reuse distances
+ *  - ChaseKernel:    pseudo-random permutation walk; every line reused
+ *                    exactly once per full cycle (sharp reuse peak)
+ *  - BlockKernel:    repeated passes over a small block, then advance;
+ *                    bimodal short/long reuses
+ *  - HotColdKernel:  mostly-hot accesses with rare cold lines; optionally
+ *                    interleaves cold lines into hot pages to provoke
+ *                    watchpoint false positives (the povray effect)
+ *  - EpochKernel:    rotates between sub-regions on a long period; first
+ *                    accesses after rotation have very long reuses
+ */
+
+#ifndef DELOREAN_WORKLOAD_KERNELS_HH
+#define DELOREAN_WORKLOAD_KERNELS_HH
+
+#include <memory>
+#include <vector>
+
+#include "base/addr.hh"
+#include "base/random.hh"
+#include "base/types.hh"
+
+namespace delorean::workload
+{
+
+/**
+ * Abstract address generator with private RNG and deep-copy cloning.
+ */
+class AccessKernel
+{
+  public:
+    virtual ~AccessKernel() = default;
+
+    /** Generate the next byte address in this kernel's region. */
+    virtual Addr nextAddr() = 0;
+
+    /** Deep-copy the kernel state (checkpoint support). */
+    virtual std::unique_ptr<AccessKernel> clone() const = 0;
+
+    /** Rewind to the initial state. */
+    virtual void reset() = 0;
+
+    /** First byte of this kernel's address region. */
+    virtual Addr base() const = 0;
+
+    /** Size of this kernel's address region in bytes. */
+    virtual std::uint64_t footprint() const = 0;
+};
+
+/** Sequential sweep over [base, base+ws) with a fixed element stride. */
+class StreamKernel : public AccessKernel
+{
+  public:
+    StreamKernel(Addr base, std::uint64_t ws_bytes, std::uint64_t stride);
+
+    Addr nextAddr() override;
+    std::unique_ptr<AccessKernel> clone() const override;
+    void reset() override;
+    Addr base() const override { return base_; }
+    std::uint64_t footprint() const override { return ws_; }
+
+  private:
+    Addr base_;
+    std::uint64_t ws_;
+    std::uint64_t stride_;
+    std::uint64_t offset_;
+};
+
+/** Large-stride sweep; touches only every stride-th cacheline. */
+class StrideKernel : public AccessKernel
+{
+  public:
+    StrideKernel(Addr base, std::uint64_t ws_bytes, std::uint64_t stride);
+
+    Addr nextAddr() override;
+    std::unique_ptr<AccessKernel> clone() const override;
+    void reset() override;
+    Addr base() const override { return base_; }
+    std::uint64_t footprint() const override { return ws_; }
+
+  private:
+    Addr base_;
+    std::uint64_t ws_;
+    std::uint64_t stride_;
+    std::uint64_t offset_;
+};
+
+/** Uniform random line accesses within the working set. */
+class RandomKernel : public AccessKernel
+{
+  public:
+    RandomKernel(Addr base, std::uint64_t ws_bytes, std::uint64_t seed);
+
+    Addr nextAddr() override;
+    std::unique_ptr<AccessKernel> clone() const override;
+    void reset() override;
+    Addr base() const override { return base_; }
+    std::uint64_t footprint() const override { return ws_; }
+
+  private:
+    Addr base_;
+    std::uint64_t ws_;
+    std::uint64_t lines_;
+    std::uint64_t seed_;
+    Rng rng_;
+};
+
+/**
+ * Pointer-chase over a full-period LCG permutation of the working set's
+ * cachelines: storage-free stand-in for linked data structures (mcf,
+ * omnetpp, xalancbmk).
+ */
+class ChaseKernel : public AccessKernel
+{
+  public:
+    ChaseKernel(Addr base, std::uint64_t ws_bytes, std::uint64_t seed);
+
+    Addr nextAddr() override;
+    std::unique_ptr<AccessKernel> clone() const override;
+    void reset() override;
+    Addr base() const override { return base_; }
+    std::uint64_t footprint() const override { return ws_; }
+
+    /** Number of distinct lines in the cycle. */
+    std::uint64_t cycleLength() const { return lines_; }
+
+  private:
+    Addr base_;
+    std::uint64_t ws_;
+    std::uint64_t lines_;
+    std::uint64_t mult_;  //!< LCG multiplier (a ≡ 1 mod 4)
+    std::uint64_t inc_;   //!< LCG increment (odd)
+    std::uint64_t cur_;
+    std::uint64_t start_;
+};
+
+/**
+ * Blocked loop nest: sweep a small block @p repeats times, then move to
+ * the next block; wraps around the working set.
+ */
+class BlockKernel : public AccessKernel
+{
+  public:
+    BlockKernel(Addr base, std::uint64_t ws_bytes,
+                std::uint64_t block_bytes, unsigned repeats);
+
+    Addr nextAddr() override;
+    std::unique_ptr<AccessKernel> clone() const override;
+    void reset() override;
+    Addr base() const override { return base_; }
+    std::uint64_t footprint() const override { return ws_; }
+
+  private:
+    Addr base_;
+    std::uint64_t ws_;
+    std::uint64_t block_;
+    unsigned repeats_;
+    std::uint64_t block_start_;
+    std::uint64_t offset_;
+    unsigned pass_;
+};
+
+/**
+ * Hot/cold mixture. With probability @p hot_frac the access goes to a
+ * small hot set, otherwise to a large cold set walked sequentially.
+ * When @p interleaved is true the cold lines are spread through the hot
+ * pages (one cold line per hot page) so that a watchpoint on a cold line
+ * traps on every hot access to the page — the paper's povray pathology.
+ */
+class HotColdKernel : public AccessKernel
+{
+  public:
+    HotColdKernel(Addr base, std::uint64_t hot_bytes,
+                  std::uint64_t cold_bytes, double hot_frac,
+                  bool interleaved, std::uint64_t seed);
+
+    Addr nextAddr() override;
+    std::unique_ptr<AccessKernel> clone() const override;
+    void reset() override;
+    Addr base() const override { return base_; }
+    std::uint64_t footprint() const override;
+
+  private:
+    Addr base_;
+    std::uint64_t hot_bytes_;
+    std::uint64_t cold_bytes_;
+    double hot_frac_;
+    bool interleaved_;
+    std::uint64_t seed_;
+    Rng rng_;
+    std::uint64_t cold_cursor_;
+};
+
+/**
+ * Epoch rotation: the working set is divided into @p regions sub-regions;
+ * accesses stay within the active sub-region (uniform random) and the
+ * active sub-region advances every @p epoch_len accesses. Re-references
+ * after a full rotation produce very long reuse distances (calculix's
+ * single outlier region; GemsFDTD's long tails).
+ */
+class EpochKernel : public AccessKernel
+{
+  public:
+    EpochKernel(Addr base, std::uint64_t ws_bytes, unsigned regions,
+                std::uint64_t epoch_len, std::uint64_t seed);
+
+    Addr nextAddr() override;
+    std::unique_ptr<AccessKernel> clone() const override;
+    void reset() override;
+    Addr base() const override { return base_; }
+    std::uint64_t footprint() const override { return ws_; }
+
+  private:
+    Addr base_;
+    std::uint64_t ws_;
+    unsigned regions_;
+    std::uint64_t epoch_len_;
+    std::uint64_t seed_;
+    Rng rng_;
+    std::uint64_t count_;
+};
+
+} // namespace delorean::workload
+
+#endif // DELOREAN_WORKLOAD_KERNELS_HH

@@ -1,0 +1,235 @@
+#include "workload/synthetic_trace.hh"
+
+#include "base/intmath.hh"
+#include "base/logging.hh"
+
+namespace delorean::workload
+{
+
+SyntheticTrace::SyntheticTrace(BenchmarkProfile profile)
+    : profile_(std::make_shared<const BenchmarkProfile>(std::move(profile))),
+      rng_(profile_->seed),
+      pos_(0),
+      code_cursor_(0),
+      func_pos_(0)
+{
+    profile_->validate();
+
+    const auto &prof = *profile_;
+    auto tables = std::make_shared<Tables>();
+
+    // --- code layout -----------------------------------------------------
+    tables->code_slots = prof.code_footprint / 4;
+
+    // Branch PCs are spread over the code footprint. A hard_branch_frac
+    // of them get a near-random bias; the rest behave like loop
+    // back-edges with strong taken bias.
+    Rng layout_rng(prof.seed ^ 0x9d5f);
+    tables->branches.reserve(prof.num_branch_pcs);
+    for (unsigned i = 0; i < prof.num_branch_pcs; ++i) {
+        BranchInfo info;
+        const std::uint64_t slot =
+            layout_rng.nextBounded(tables->code_slots);
+        info.pc = code_base + slot * 4;
+        const bool hard =
+            layout_rng.nextDouble() < prof.hard_branch_frac;
+        if (hard) {
+            info.taken_bias = 0.4 + 0.2 * layout_rng.nextDouble();
+            info.target = info.pc + 4 * (8 + layout_rng.nextBounded(64));
+        } else {
+            // Loop-style branch: strongly taken, backward target.
+            info.taken_bias = 0.90 + 0.08 * layout_rng.nextDouble();
+            const Addr span = 4 * (4 + layout_rng.nextBounded(256));
+            info.target = info.pc > span ? info.pc - span : code_base;
+        }
+        tables->branches.push_back(info);
+    }
+
+    // Load/store PCs per kernel, also inside the code footprint.
+    tables->mem_pcs.resize(prof.kernels.size());
+    for (std::size_t k = 0; k < prof.kernels.size(); ++k) {
+        auto &pcs = tables->mem_pcs[k];
+        pcs.reserve(prof.kernels[k].num_pcs);
+        for (unsigned i = 0; i < prof.kernels[k].num_pcs; ++i) {
+            const std::uint64_t slot =
+                layout_rng.nextBounded(tables->code_slots);
+            pcs.push_back(code_base + slot * 4);
+        }
+    }
+
+    // --- kernel weights (stationary + per phase) --------------------------
+    const auto cumulate = [&](const std::vector<double> &raw) {
+        std::vector<double> cum(raw.size());
+        double acc = 0.0;
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+            acc += raw[i];
+            cum[i] = acc;
+        }
+        for (auto &c : cum)
+            c /= acc;
+        return cum;
+    };
+
+    std::vector<double> stationary;
+    stationary.reserve(prof.kernels.size());
+    for (const auto &k : prof.kernels)
+        stationary.push_back(k.weight);
+    tables->cum_weights.push_back(cumulate(stationary));
+
+    InstCount cycle = 0;
+    for (const auto &ph : prof.phases) {
+        tables->cum_weights.push_back(cumulate(ph.weights));
+        cycle += ph.length;
+        tables->phase_ends.push_back(cycle);
+    }
+    tables->phase_cycle = cycle;
+
+    tables_ = std::move(tables);
+
+    // --- data layout -------------------------------------------------------
+    Addr next_base = data_base;
+    kernels_.reserve(prof.kernels.size());
+    pc_cursor_.assign(prof.kernels.size(), 0);
+    for (std::size_t k = 0; k < prof.kernels.size(); ++k) {
+        const auto &spec = prof.kernels[k];
+        kernels_.push_back(makeKernel(spec, next_base,
+                                      prof.seed * 1315423911u + k));
+        std::uint64_t fp = spec.ws;
+        if (spec.kind == KernelSpec::Kind::HotCold && !spec.interleaved)
+            fp += spec.cold;
+        // Page-align with one guard page so kernels never share pages;
+        // only HotColdKernel deliberately mixes localities in a page.
+        next_base += roundUp<Addr>(fp, page_size) + page_size;
+    }
+}
+
+SyntheticTrace::SyntheticTrace(const SyntheticTrace &other)
+    : profile_(other.profile_),
+      tables_(other.tables_),
+      pc_cursor_(other.pc_cursor_),
+      rng_(other.rng_),
+      pos_(other.pos_),
+      code_cursor_(other.code_cursor_),
+      func_pos_(other.func_pos_)
+{
+    kernels_.reserve(other.kernels_.size());
+    for (const auto &k : other.kernels_)
+        kernels_.push_back(k->clone());
+}
+
+std::unique_ptr<TraceSource>
+SyntheticTrace::clone() const
+{
+    return std::unique_ptr<TraceSource>(new SyntheticTrace(*this));
+}
+
+void
+SyntheticTrace::reset()
+{
+    rng_ = Rng(profile_->seed);
+    pos_ = 0;
+    code_cursor_ = 0;
+    func_pos_ = 0;
+    pc_cursor_.assign(kernels_.size(), 0);
+    for (auto &k : kernels_)
+        k->reset();
+}
+
+Addr
+SyntheticTrace::kernelBase(std::size_t idx) const
+{
+    panic_if(idx >= kernels_.size(), "kernelBase: index out of range");
+    return kernels_[idx]->base();
+}
+
+const std::vector<double> &
+SyntheticTrace::activeWeights() const
+{
+    const auto &t = *tables_;
+    if (t.phase_ends.empty())
+        return t.cum_weights[0];
+    const InstCount in_cycle = pos_ % t.phase_cycle;
+    for (std::size_t i = 0; i < t.phase_ends.size(); ++i) {
+        if (in_cycle < t.phase_ends[i])
+            return t.cum_weights[i + 1];
+    }
+    return t.cum_weights.back();
+}
+
+std::size_t
+SyntheticTrace::pickKernel(double u) const
+{
+    const auto &cum = activeWeights();
+    for (std::size_t i = 0; i < cum.size(); ++i) {
+        if (u <= cum[i])
+            return i;
+    }
+    return cum.size() - 1;
+}
+
+Instruction
+SyntheticTrace::next()
+{
+    const auto &prof = *profile_;
+    const auto &t = *tables_;
+
+    Instruction inst;
+    const double u = rng_.nextDouble();
+
+    if (u < prof.mem_ratio) {
+        const std::size_t k = pickKernel(rng_.nextDouble());
+        inst.type = rng_.chance(prof.store_frac) ? InstType::Store
+                                                 : InstType::Load;
+        inst.addr = kernels_[k]->nextAddr();
+        // Pointer-chase loads carry a value dependence on the previous
+        // load (the next pointer), which the timing model serializes.
+        inst.dep_load = inst.type == InstType::Load &&
+            prof.kernels[k].kind == KernelSpec::Kind::Chase;
+        const auto &pcs = t.mem_pcs[k];
+        // A kernel's PCs stand for distinct loops: stay on one PC for a
+        // stretch of iterations rather than round-robin per access —
+        // per-access rotation would give every PC an artificial large
+        // stride and mislead the limited-associativity model.
+        inst.pc = pcs[(pc_cursor_[k] / 64) % pcs.size()];
+        ++pc_cursor_[k];
+        inst.latency = 1;
+    } else if (u < prof.mem_ratio + prof.branch_ratio) {
+        const auto &br =
+            t.branches[rng_.nextBounded(t.branches.size())];
+        inst.type = InstType::Branch;
+        inst.pc = br.pc;
+        inst.target = br.target;
+        inst.taken = rng_.chance(br.taken_bias);
+        inst.latency = 1;
+    } else {
+        inst.type = InstType::Other;
+        // Instruction fetch shows locality, not a linear sweep: execution
+        // stays inside a small "function" window, jumps mostly between a
+        // few hot functions (covered by the 30 k detailed warming), and
+        // only occasionally visits cold code. A linear sweep would
+        // LRU-thrash the L1-I, which real code does not.
+        constexpr std::uint64_t func_slots = 1024; // 4 KiB functions
+        const std::uint64_t n_funcs =
+            std::max<std::uint64_t>(1, t.code_slots / func_slots);
+        const std::uint64_t hot_funcs = std::min<std::uint64_t>(
+            n_funcs, 48 * KiB / (4 * func_slots));
+        if (rng_.chance(0.001)) {
+            // Call/return to a different function; mostly hot code.
+            const std::uint64_t f = rng_.chance(0.98)
+                                        ? rng_.nextBounded(hot_funcs)
+                                        : rng_.nextBounded(n_funcs);
+            code_cursor_ = f * func_slots;
+            func_pos_ = 0;
+        }
+        inst.pc = code_base +
+                  ((code_cursor_ + func_pos_) % t.code_slots) * 4;
+        func_pos_ = (func_pos_ + 1) % func_slots;
+        inst.latency =
+            rng_.chance(prof.fp_frac) ? std::uint8_t(4) : std::uint8_t(1);
+    }
+
+    ++pos_;
+    return inst;
+}
+
+} // namespace delorean::workload

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The synthetic trace generator: executes a BenchmarkProfile.
+ *
+ * SyntheticTrace turns a profile into a deterministic dynamic instruction
+ * stream. It is the workhorse TraceSource of the library and supports
+ * cheap snapshots (deep copies of a few hundred bytes of state), which is
+ * what makes multi-pass Time Traveling affordable in this reproduction.
+ */
+
+#ifndef DELOREAN_WORKLOAD_SYNTHETIC_TRACE_HH
+#define DELOREAN_WORKLOAD_SYNTHETIC_TRACE_HH
+
+#include <memory>
+#include <vector>
+
+#include "workload/benchmark_profile.hh"
+#include "workload/trace_source.hh"
+
+namespace delorean::workload
+{
+
+/**
+ * Deterministic instruction stream generated from a BenchmarkProfile.
+ *
+ * Layout decisions:
+ *  - each kernel gets a page-aligned private data region, allocated
+ *    sequentially from data_base with one guard page between regions;
+ *  - code lives at code_base; branch and load/store PCs are drawn from
+ *    the profile's code footprint so the L1-I sees a realistic working
+ *    set; non-memory instructions sweep the code region sequentially.
+ */
+class SyntheticTrace : public TraceSource
+{
+  public:
+    /** Start of the data address space used by kernels. */
+    static constexpr Addr data_base = 0x1000'0000;
+
+    /** Start of the code address space. */
+    static constexpr Addr code_base = 0x40'0000;
+
+    explicit SyntheticTrace(BenchmarkProfile profile);
+
+    Instruction next() override;
+    InstCount position() const override { return pos_; }
+    std::unique_ptr<TraceSource> clone() const override;
+    void reset() override;
+    const std::string &name() const override { return profile_->name; }
+
+    /** The profile this trace executes. */
+    const BenchmarkProfile &profile() const { return *profile_; }
+
+    /** Base address assigned to kernel @p idx (testing hook). */
+    Addr kernelBase(std::size_t idx) const;
+
+  private:
+    SyntheticTrace(const SyntheticTrace &other);
+
+    /** Immutable per-branch-PC behaviour, shared across clones. */
+    struct BranchInfo
+    {
+        Addr pc;
+        Addr target;
+        double taken_bias;
+    };
+
+    /** Immutable tables shared by all clones of this trace. */
+    struct Tables
+    {
+        std::vector<BranchInfo> branches;
+        /** Load/store PCs, one table per kernel. */
+        std::vector<std::vector<Addr>> mem_pcs;
+        /** Per-phase cumulative kernel weights (index 0 = stationary). */
+        std::vector<std::vector<double>> cum_weights;
+        /** Phase end positions within one cycle; empty = stationary. */
+        std::vector<InstCount> phase_ends;
+        InstCount phase_cycle = 0;
+        std::uint64_t code_slots = 1;
+    };
+
+    /** Pick the active phase's cumulative weight vector. */
+    const std::vector<double> &activeWeights() const;
+
+    /** Pick a kernel index from the active weight vector. */
+    std::size_t pickKernel(double u) const;
+
+    std::shared_ptr<const BenchmarkProfile> profile_;
+    std::shared_ptr<const Tables> tables_;
+
+    std::vector<std::unique_ptr<AccessKernel>> kernels_;
+    std::vector<std::uint32_t> pc_cursor_; //!< round-robin per kernel
+    Rng rng_;
+    InstCount pos_;
+    std::uint64_t code_cursor_;
+    std::uint64_t func_pos_ = 0;
+};
+
+} // namespace delorean::workload
+
+#endif // DELOREAN_WORKLOAD_SYNTHETIC_TRACE_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Abstract workload interface with checkpoint support.
+ *
+ * A TraceSource stands in for the paper's KVM guest: it produces the
+ * dynamic instruction stream on demand and supports cheap state snapshots
+ * (clone), which is what lets Time Traveling run several passes over the
+ * same execution. Generators must be fully deterministic: two clones
+ * advanced by the same number of instructions yield identical streams.
+ */
+
+#ifndef DELOREAN_WORKLOAD_TRACE_SOURCE_HH
+#define DELOREAN_WORKLOAD_TRACE_SOURCE_HH
+
+#include <memory>
+#include <string>
+
+#include "workload/instruction.hh"
+
+namespace delorean::workload
+{
+
+/**
+ * Deterministic, checkpointable instruction stream.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Produce the next dynamic instruction and advance. */
+    virtual Instruction next() = 0;
+
+    /** Number of instructions produced so far. */
+    virtual InstCount position() const = 0;
+
+    /**
+     * Snapshot the full generator state. The clone continues from the
+     * current position and produces the identical suffix stream.
+     * This is our stand-in for a KVM checkpoint.
+     */
+    virtual std::unique_ptr<TraceSource> clone() const = 0;
+
+    /** Rewind to instruction 0 (identical stream from the start). */
+    virtual void reset() = 0;
+
+    /** Workload display name. */
+    virtual const std::string &name() const = 0;
+
+    /**
+     * Advance @p n instructions without inspecting them. The default
+     * implementation just discards; generators may override with a faster
+     * path. Functionally equivalent to calling next() n times.
+     */
+    virtual void
+    skip(InstCount n)
+    {
+        for (InstCount i = 0; i < n; ++i)
+            (void)next();
+    }
+};
+
+} // namespace delorean::workload
+
+#endif // DELOREAN_WORKLOAD_TRACE_SOURCE_HH

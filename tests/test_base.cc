@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Unit tests for the base utilities: integer math, addresses, RNG,
+ * histograms, and the stats package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "base/addr.hh"
+#include "base/histogram.hh"
+#include "base/intmath.hh"
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/stats.hh"
+#include "base/units.hh"
+
+namespace
+{
+
+using namespace delorean;
+
+// ------------------------------------------------------------- intmath
+
+TEST(IntMath, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOf2(1ull));
+    EXPECT_TRUE(isPowerOf2(2ull));
+    EXPECT_TRUE(isPowerOf2(4096ull));
+    EXPECT_FALSE(isPowerOf2(0ull));
+    EXPECT_FALSE(isPowerOf2(3ull));
+    EXPECT_FALSE(isPowerOf2(4097ull));
+}
+
+TEST(IntMath, FloorCeilLog2)
+{
+    EXPECT_EQ(floorLog2(1ull), 0);
+    EXPECT_EQ(floorLog2(2ull), 1);
+    EXPECT_EQ(floorLog2(3ull), 1);
+    EXPECT_EQ(floorLog2(4ull), 2);
+    EXPECT_EQ(ceilLog2(1ull), 0);
+    EXPECT_EQ(ceilLog2(3ull), 2);
+    EXPECT_EQ(ceilLog2(4ull), 2);
+    EXPECT_EQ(ceilLog2(5ull), 3);
+}
+
+TEST(IntMath, DivCeilAndRounding)
+{
+    EXPECT_EQ(divCeil(10ull, 3ull), 4ull);
+    EXPECT_EQ(divCeil(9ull, 3ull), 3ull);
+    EXPECT_EQ(roundUp<std::uint64_t>(5, 4), 8ull);
+    EXPECT_EQ(roundUp<std::uint64_t>(8, 4), 8ull);
+    EXPECT_EQ(roundDown<std::uint64_t>(5, 4), 4ull);
+}
+
+// ---------------------------------------------------------------- addr
+
+TEST(Addr, LineAndPageExtraction)
+{
+    EXPECT_EQ(lineOf(0), 0ull);
+    EXPECT_EQ(lineOf(63), 0ull);
+    EXPECT_EQ(lineOf(64), 1ull);
+    EXPECT_EQ(lineAddr(2), 128ull);
+    EXPECT_EQ(pageOf(4095), 0ull);
+    EXPECT_EQ(pageOf(4096), 1ull);
+    EXPECT_EQ(lines_per_page, 64ull);
+}
+
+TEST(Addr, PageOfLineConsistency)
+{
+    for (Addr a : {0ull, 63ull, 64ull, 4095ull, 4096ull, 123456789ull})
+        EXPECT_EQ(pageOfLine(lineOf(a)), pageOf(a)) << a;
+}
+
+// ----------------------------------------------------------------- rng
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool differ = false;
+    for (int i = 0; i < 16 && !differ; ++i)
+        differ = a.next() != b.next();
+    EXPECT_TRUE(differ);
+}
+
+TEST(Rng, CopySnapshotsStream)
+{
+    Rng a(7);
+    a.next();
+    Rng snapshot = a;
+    const auto x = a.next();
+    EXPECT_EQ(snapshot.next(), x);
+}
+
+TEST(Rng, BoundedRange)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.nextBounded(17);
+        EXPECT_LT(v, 17ull);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.nextRange(5, 9);
+        EXPECT_GE(v, 5ull);
+        EXPECT_LE(v, 9ull);
+    }
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = r.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, GeometricMeanNearPeriod)
+{
+    Rng r(5);
+    const std::uint64_t period = 100;
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += double(r.nextGeometric(period));
+    const double mean = sum / n;
+    EXPECT_NEAR(mean, double(period), 5.0);
+}
+
+TEST(Rng, GeometricPeriodOne)
+{
+    Rng r(5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.nextGeometric(1), 1ull);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(9);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+// ----------------------------------------------------------- histogram
+
+TEST(LogHistogram, SmallValuesExact)
+{
+    LogHistogram h(8);
+    for (std::uint64_t v = 0; v < 8; ++v)
+        h.add(v);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 8.0);
+    const auto buckets = h.buckets();
+    ASSERT_EQ(buckets.size(), 8u);
+    for (std::uint64_t v = 0; v < 8; ++v) {
+        EXPECT_EQ(buckets[v].low, v);
+        EXPECT_EQ(buckets[v].high, v + 1);
+        EXPECT_DOUBLE_EQ(buckets[v].weight, 1.0);
+    }
+}
+
+TEST(LogHistogram, BucketsCoverValue)
+{
+    LogHistogram h(8);
+    for (std::uint64_t v :
+         {0ull, 1ull, 7ull, 8ull, 100ull, 12345ull, 1ull << 40}) {
+        h.clear();
+        h.add(v);
+        const auto buckets = h.buckets();
+        ASSERT_EQ(buckets.size(), 1u) << v;
+        EXPECT_LE(buckets[0].low, v) << v;
+        EXPECT_GT(buckets[0].high, v) << v;
+    }
+}
+
+TEST(LogHistogram, CdfMonotone)
+{
+    LogHistogram h(8);
+    Rng r(1);
+    for (int i = 0; i < 1000; ++i)
+        h.add(r.nextBounded(1'000'000));
+    double prev = 0.0;
+    for (std::uint64_t x = 1; x < 1'000'000; x *= 3) {
+        const double c = h.cdf(x);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_NEAR(h.cdf(2'000'000), 1.0, 1e-12);
+}
+
+TEST(LogHistogram, WeightedSamples)
+{
+    LogHistogram h(8);
+    h.add(10, 3.0);
+    h.add(1000, 1.0);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 4.0);
+    EXPECT_NEAR(h.cdf(100), 0.75, 1e-12);
+}
+
+TEST(LogHistogram, MergeAddsWeights)
+{
+    LogHistogram a(8), b(8);
+    a.add(5);
+    b.add(5);
+    b.add(500);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.totalWeight(), 3.0);
+    EXPECT_NEAR(a.cdf(5), 2.0 / 3.0, 1e-12);
+}
+
+TEST(LogHistogram, QuantileInverseOfCdf)
+{
+    LogHistogram h(8);
+    for (std::uint64_t v = 0; v < 1000; ++v)
+        h.add(v);
+    const auto median = h.quantile(0.5);
+    EXPECT_NEAR(double(median), 500.0, 16.0);
+}
+
+TEST(LogHistogram, MeanOfConstant)
+{
+    LogHistogram h(8);
+    for (int i = 0; i < 10; ++i)
+        h.add(4);
+    EXPECT_NEAR(h.mean(), 4.5, 0.51); // bucket midpoint of [4,5)
+}
+
+TEST(LogHistogram, RelativeResolutionBounded)
+{
+    // Bucket width must stay within 1/sub_buckets of the value.
+    LogHistogram h(8);
+    for (std::uint64_t v : {100ull, 10'000ull, 1'000'000ull, 1ull << 50}) {
+        h.clear();
+        h.add(v);
+        const auto b = h.buckets().at(0);
+        EXPECT_LE(double(b.high - b.low), double(v) / 8.0 + 1.0) << v;
+    }
+}
+
+// --------------------------------------------------------------- stats
+
+TEST(Stats, ScalarAndAverage)
+{
+    statistics::Scalar s("count", "a counter");
+    ++s;
+    s += 2.0;
+    EXPECT_DOUBLE_EQ(s.value(), 3.0);
+
+    statistics::Average a("avg", "an average");
+    a.sample(2.0);
+    a.sample(4.0);
+    EXPECT_DOUBLE_EQ(a.value(), 3.0);
+    EXPECT_EQ(a.count(), 2ull);
+}
+
+TEST(Stats, GroupDumpContainsNamesAndDescs)
+{
+    statistics::StatGroup g("core");
+    statistics::Scalar s("hits", "cache hits");
+    s += 7;
+    g.add(&s);
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("core.hits"), std::string::npos);
+    EXPECT_NE(out.find("cache hits"), std::string::npos);
+    EXPECT_NE(out.find("7"), std::string::npos);
+}
+
+TEST(Stats, ResetAll)
+{
+    statistics::StatGroup g("x");
+    statistics::Scalar s("v", "");
+    s += 5;
+    g.add(&s);
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+// ------------------------------------------------------------- logging
+
+TEST(Logging, WarnCountsAndQuiet)
+{
+    setLogQuiet(true);
+    const auto before = warnCount();
+    warn("expected test warning %d", 1);
+    EXPECT_EQ(warnCount(), before + 1);
+    setLogQuiet(false);
+}
+
+} // namespace

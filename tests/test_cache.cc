@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Tests for the cache substrate: replacement policies, the cache model,
+ * MSHRs, the hierarchy, and the stride prefetcher.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "cache/mshr.hh"
+#include "cache/prefetcher.hh"
+
+namespace
+{
+
+using namespace delorean;
+using namespace delorean::cache;
+
+CacheConfig
+smallCache(unsigned assoc = 2, std::uint64_t size = 8 * line_size * 2)
+{
+    CacheConfig c;
+    c.name = "test";
+    c.size = size;       // default: 8 sets x 2 ways
+    c.assoc = assoc;
+    c.mshrs = 4;
+    return c;
+}
+
+// ------------------------------------------------------------ basic cache
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.access(1, false).hit);
+    EXPECT_TRUE(c.access(1, false).hit);
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, SetMapping)
+{
+    Cache c(smallCache()); // 8 sets
+    // Lines 0 and 8 map to set 0; fills must not interfere with set 1.
+    c.access(0, false);
+    c.access(8, false);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_TRUE(c.contains(8));
+    EXPECT_FALSE(c.contains(1));
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    Cache c(smallCache()); // 2-way
+    c.access(0, false);   // set 0
+    c.access(8, false);   // set 0 — full now
+    c.access(0, false);   // touch 0: LRU is 8
+    const auto res = c.access(16, false); // evicts 8
+    EXPECT_FALSE(res.hit);
+    EXPECT_EQ(res.victim_line, 8u);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(8));
+    EXPECT_TRUE(c.contains(16));
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    Cache c(smallCache());
+    c.access(0, true);  // dirty
+    c.access(8, false);
+    c.access(16, false); // evicts 0 (dirty -> writeback)
+    EXPECT_EQ(c.writebacks(), 1u);
+    const auto res = c.access(24, false); // evicts 8 (clean)
+    EXPECT_FALSE(res.writeback);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, SetFullQuery)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.setFull(0));
+    c.access(0, false);
+    EXPECT_FALSE(c.setFull(0));
+    c.access(8, false);
+    EXPECT_TRUE(c.setFull(0));
+    EXPECT_FALSE(c.setFull(1)); // other set untouched
+}
+
+TEST(Cache, InvalidateAndValidLines)
+{
+    Cache c(smallCache());
+    c.access(3, false);
+    c.access(5, false);
+    EXPECT_EQ(c.validLines(), 2u);
+    EXPECT_TRUE(c.invalidate(3));
+    EXPECT_FALSE(c.invalidate(3));
+    EXPECT_EQ(c.validLines(), 1u);
+    EXPECT_FALSE(c.contains(3));
+}
+
+TEST(Cache, FlushEmptiesEverything)
+{
+    Cache c(smallCache());
+    for (Addr l = 0; l < 16; ++l)
+        c.access(l, true);
+    c.flush();
+    EXPECT_EQ(c.validLines(), 0u);
+    for (Addr l = 0; l < 16; ++l)
+        EXPECT_FALSE(c.contains(l));
+}
+
+TEST(Cache, InsertDoesNotCountAccess)
+{
+    Cache c(smallCache());
+    c.insert(7, false);
+    EXPECT_EQ(c.hits() + c.misses(), 0u);
+    EXPECT_TRUE(c.contains(7));
+}
+
+TEST(Cache, CyclicSweepBeyondCapacityAlwaysMisses)
+{
+    // Classic LRU pathology: cyclic access to assoc+1 lines per set.
+    Cache c(smallCache()); // 2-way, 8 sets
+    for (int pass = 0; pass < 3; ++pass) {
+        for (Addr l : {0u, 8u, 16u}) { // 3 lines, one set
+            const bool hit = c.access(l, false).hit;
+            if (pass > 0)
+                EXPECT_FALSE(hit) << "pass " << pass << " line " << l;
+        }
+    }
+}
+
+TEST(Cache, MissRate)
+{
+    Cache c(smallCache());
+    c.access(0, false);
+    c.access(0, false);
+    c.access(0, false);
+    c.access(1, false);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.5);
+}
+
+// ----------------------------------------------------------- replacement
+
+class ReplacementKinds : public ::testing::TestWithParam<ReplKind>
+{
+};
+
+TEST_P(ReplacementKinds, VictimIsValidWay)
+{
+    auto policy = makeReplacement(GetParam(), 4, 8);
+    for (int i = 0; i < 100; ++i) {
+        const unsigned v = policy->victim(i % 4);
+        EXPECT_LT(v, 8u);
+    }
+}
+
+TEST_P(ReplacementKinds, CacheWorksWithPolicy)
+{
+    CacheConfig cfg = smallCache(8, 8 * line_size * 8); // 8 sets x 8 ways
+    cfg.repl = GetParam();
+    Cache c(cfg);
+    // Working set fits: everything hits after first touch.
+    for (int pass = 0; pass < 3; ++pass) {
+        for (Addr l = 0; l < 64; ++l) {
+            const bool hit = c.access(l, false).hit;
+            EXPECT_EQ(hit, pass > 0) << l;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, ReplacementKinds,
+    ::testing::Values(ReplKind::LRU, ReplKind::Random, ReplKind::TreePLRU,
+                      ReplKind::NMRU),
+    [](const auto &info) { return replKindName(info.param); });
+
+TEST(Replacement, NmruNeverEvictsMostRecent)
+{
+    auto policy = makeReplacement(ReplKind::NMRU, 1, 4);
+    policy->touch(0, 2);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_NE(policy->victim(0), 2u);
+}
+
+TEST(Replacement, TreePlruPointsAwayFromTouched)
+{
+    auto policy = makeReplacement(ReplKind::TreePLRU, 1, 2);
+    policy->touch(0, 0);
+    EXPECT_EQ(policy->victim(0), 1u);
+    policy->touch(0, 1);
+    EXPECT_EQ(policy->victim(0), 0u);
+}
+
+TEST(Replacement, NameRoundTrip)
+{
+    for (ReplKind k : {ReplKind::LRU, ReplKind::Random, ReplKind::TreePLRU,
+                       ReplKind::NMRU})
+        EXPECT_EQ(replKindFromString(replKindName(k)), k);
+}
+
+// ----------------------------------------------------------------- MSHRs
+
+TEST(Mshr, HitWhileInFlight)
+{
+    MshrFile m(4);
+    EXPECT_FALSE(m.hit(10, 0));
+    m.allocate(10, 0, 100);
+    EXPECT_TRUE(m.hit(10, 50));
+    EXPECT_EQ(m.readyAt(10), 100u);
+}
+
+TEST(Mshr, ExpiresAfterReady)
+{
+    MshrFile m(4);
+    m.allocate(10, 0, 100);
+    EXPECT_FALSE(m.hit(10, 100)); // retired at its ready time
+}
+
+TEST(Mshr, StructuralStallWhenFull)
+{
+    MshrFile m(2);
+    m.allocate(1, 0, 100);
+    m.allocate(2, 0, 200);
+    // Full: a third miss stalls until the earliest (100) retires.
+    const Tick start = m.allocate(3, 0, 300);
+    EXPECT_EQ(start, 100u);
+}
+
+TEST(Mshr, OccupancyTracksLiveEntries)
+{
+    MshrFile m(4);
+    m.allocate(1, 0, 100);
+    m.allocate(2, 0, 150);
+    EXPECT_EQ(m.occupancy(0), 2u);
+    EXPECT_EQ(m.occupancy(120), 1u);
+    EXPECT_EQ(m.occupancy(200), 0u);
+}
+
+TEST(Mshr, ClearDropsAll)
+{
+    MshrFile m(2);
+    m.allocate(1, 0, 100);
+    m.clear();
+    EXPECT_FALSE(m.hit(1, 0));
+    EXPECT_EQ(m.occupancy(0), 0u);
+}
+
+// ------------------------------------------------------------- hierarchy
+
+TEST(Hierarchy, DataPathFillsBothLevels)
+{
+    HierarchyConfig cfg;
+    cfg.llc.size = 1 * MiB;
+    CacheHierarchy h(cfg);
+    EXPECT_EQ(h.dataAccess(100, false), HitLevel::Memory);
+    EXPECT_TRUE(h.l1d().contains(100));
+    EXPECT_TRUE(h.llc().contains(100));
+    EXPECT_EQ(h.dataAccess(100, false), HitLevel::L1);
+}
+
+TEST(Hierarchy, LlcHitAfterL1Eviction)
+{
+    HierarchyConfig cfg;
+    cfg.l1d.size = 2 * line_size; // 1 set x 2 ways: tiny L1
+    cfg.l1d.assoc = 2;
+    cfg.llc.size = 1 * MiB;
+    CacheHierarchy h(cfg);
+    h.dataAccess(1, false);
+    h.dataAccess(2, false);
+    h.dataAccess(3, false); // evicts 1 from L1; LLC still has it
+    EXPECT_EQ(h.dataAccess(1, false), HitLevel::LLC);
+}
+
+TEST(Hierarchy, LatencyOrdering)
+{
+    CacheHierarchy h({});
+    EXPECT_LT(h.latency(HitLevel::L1), h.latency(HitLevel::LLC));
+    EXPECT_LT(h.latency(HitLevel::LLC), h.latency(HitLevel::Memory));
+}
+
+TEST(Hierarchy, InstPathUsesSharedLlc)
+{
+    CacheHierarchy h({});
+    EXPECT_EQ(h.instAccess(500), HitLevel::Memory);
+    EXPECT_TRUE(h.l1i().contains(500));
+    EXPECT_TRUE(h.llc().contains(500));
+    // A data access to the same line now hits the LLC (unified).
+    EXPECT_EQ(h.dataAccess(500, false), HitLevel::LLC);
+}
+
+// ------------------------------------------------------------ prefetcher
+
+TEST(Prefetcher, DetectsConstantStride)
+{
+    StridePrefetcher pf({.streams = 8, .degree = 2, .threshold = 2});
+    const Addr pc = 0x400;
+    EXPECT_TRUE(pf.observe(pc, 10, true).empty()); // allocate
+    EXPECT_TRUE(pf.observe(pc, 12, true).empty()); // stride=2, conf 1
+    const auto out = pf.observe(pc, 14, true);     // conf 2: issue
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 16u);
+    EXPECT_EQ(out[1], 18u);
+}
+
+TEST(Prefetcher, StrideChangeResetsConfidence)
+{
+    StridePrefetcher pf({.streams = 4, .degree = 1, .threshold = 2});
+    const Addr pc = 0x400;
+    pf.observe(pc, 10, true);
+    pf.observe(pc, 12, true);
+    pf.observe(pc, 14, true);
+    EXPECT_FALSE(pf.observe(pc, 16, true).empty());
+    EXPECT_TRUE(pf.observe(pc, 100, true).empty()); // new stride
+    EXPECT_TRUE(pf.observe(pc, 101, true).empty()); // conf 1
+}
+
+TEST(Prefetcher, OnlyAllocatesOnMiss)
+{
+    StridePrefetcher pf({.streams = 2, .degree = 1, .threshold = 1});
+    EXPECT_TRUE(pf.observe(1, 10, false).empty());
+    EXPECT_TRUE(pf.observe(1, 12, false).empty()); // never allocated
+    EXPECT_TRUE(pf.observe(1, 14, false).empty());
+}
+
+TEST(Prefetcher, LimitedStreamsLruReplace)
+{
+    StridePrefetcher pf({.streams = 2, .degree = 1, .threshold = 1});
+    pf.observe(1, 10, true);
+    pf.observe(2, 20, true);
+    pf.observe(3, 30, true); // evicts PC 1's stream
+    pf.observe(1, 12, true); // reallocated, no history
+    EXPECT_TRUE(pf.observe(1, 14, true).empty()); // stride seen once
+    EXPECT_FALSE(pf.observe(1, 16, true).empty());
+}
+
+TEST(Prefetcher, NegativeStride)
+{
+    StridePrefetcher pf({.streams = 2, .degree = 1, .threshold = 2});
+    const Addr pc = 7;
+    pf.observe(pc, 100, true);
+    pf.observe(pc, 97, true);
+    pf.observe(pc, 94, true);
+    const auto out = pf.observe(pc, 91, true);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 88u);
+}
+
+// --------------------------------------------------------- configuration
+
+TEST(CacheConfig, Table1GeometryIsValid)
+{
+    HierarchyConfig cfg;
+    EXPECT_NO_FATAL_FAILURE(cfg.validate());
+    EXPECT_EQ(cfg.l1d.lines(), 64 * KiB / 64);
+    EXPECT_EQ(cfg.l1d.sets(), 64 * KiB / 64 / 2);
+    EXPECT_EQ(cfg.llc.sets(), 8 * MiB / 64 / 8);
+}
+
+TEST(CacheConfig, WithLlcSizeSweeps)
+{
+    HierarchyConfig cfg;
+    for (std::uint64_t s = 1 * MiB; s <= 512 * MiB; s *= 2) {
+        const auto c = cfg.withLlcSize(s);
+        EXPECT_EQ(c.llc.size, s);
+        EXPECT_NO_FATAL_FAILURE(c.validate());
+    }
+}
+
+} // namespace

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Tests for the CPU substrate: branch prediction, the mechanistic OoO
+ * timing model, and the detailed region simulator with its classifier
+ * hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/branch_pred.hh"
+#include "cpu/detailed_sim.hh"
+#include "cpu/ooo_core.hh"
+#include "workload/synthetic_trace.hh"
+
+namespace
+{
+
+using namespace delorean;
+using namespace delorean::cpu;
+using workload::InstType;
+
+// ------------------------------------------------------ branch predictor
+
+TEST(BranchPred, LearnsAlwaysTaken)
+{
+    TournamentPredictor bp;
+    const Addr pc = 0x1000, target = 0x900;
+    for (int i = 0; i < 16; ++i)
+        bp.predictAndUpdate(pc, true, target);
+    const auto before = bp.mispredicts();
+    for (int i = 0; i < 100; ++i)
+        bp.predictAndUpdate(pc, true, target);
+    EXPECT_EQ(bp.mispredicts(), before);
+}
+
+TEST(BranchPred, LearnsAlternatingViaHistory)
+{
+    TournamentPredictor bp;
+    const Addr pc = 0x2000, target = 0x2100;
+    // Train a strict alternation: local history should capture it.
+    for (int i = 0; i < 200; ++i)
+        bp.predictAndUpdate(pc, i % 2 == 0, target);
+    const auto before = bp.mispredicts();
+    for (int i = 0; i < 100; ++i)
+        bp.predictAndUpdate(pc, i % 2 == 0, target);
+    EXPECT_LT(bp.mispredicts() - before, 10u);
+}
+
+TEST(BranchPred, RandomBranchMispredictsOften)
+{
+    TournamentPredictor bp;
+    Rng rng(1);
+    const Addr pc = 0x3000, target = 0x3100;
+    for (int i = 0; i < 1000; ++i)
+        bp.predictAndUpdate(pc, rng.chance(0.5), target);
+    EXPECT_GT(bp.mispredictRate(), 0.3);
+}
+
+TEST(BranchPred, BtbMissRedirectsTakenBranch)
+{
+    TournamentPredictor bp;
+    // Strongly taken branch at a fresh PC: direction learns quickly but
+    // the first taken occurrence must redirect (target unknown).
+    const auto before = bp.mispredicts();
+    bp.predictAndUpdate(0x4000, true, 0x5000);
+    EXPECT_EQ(bp.mispredicts(), before + 1);
+}
+
+TEST(BranchPred, TargetChangeRedirects)
+{
+    TournamentPredictor bp;
+    const Addr pc = 0x6000;
+    for (int i = 0; i < 16; ++i)
+        bp.predictAndUpdate(pc, true, 0x7000);
+    const auto before = bp.mispredicts();
+    bp.predictAndUpdate(pc, true, 0x8888); // new target
+    EXPECT_EQ(bp.mispredicts(), before + 1);
+}
+
+TEST(BranchPred, ResetForgetsEverything)
+{
+    TournamentPredictor bp;
+    for (int i = 0; i < 100; ++i)
+        bp.predictAndUpdate(0x1000, true, 0x900);
+    bp.reset();
+    EXPECT_EQ(bp.lookups(), 0u);
+    EXPECT_EQ(bp.mispredicts(), 0u);
+}
+
+// ------------------------------------------------------------- OoO model
+
+TEST(OooCore, ThroughputBoundedByEffIlp)
+{
+    OooParams params;
+    params.eff_ilp = 4.0;
+    OooCoreModel core(params);
+    core.reset();
+    for (int i = 0; i < 4000; ++i)
+        core.dispatch(1.0, false, false, false);
+    const double cpi = core.cycles() / 4000.0;
+    EXPECT_NEAR(cpi, 0.25, 0.01);
+}
+
+TEST(OooCore, IndependentLoadsOverlap)
+{
+    OooCoreModel core(OooParams{});
+    core.reset();
+    // 32 independent 100-cycle loads: they pipeline, so the total is
+    // far below 32 x 100.
+    for (int i = 0; i < 32; ++i)
+        core.dispatch(100.0, true, false, false);
+    EXPECT_LT(core.cycles(), 32 * 100.0 / 4);
+}
+
+TEST(OooCore, DependentLoadsSerialize)
+{
+    OooCoreModel core(OooParams{});
+    core.reset();
+    for (int i = 0; i < 32; ++i)
+        core.dispatch(100.0, true, false, true);
+    EXPECT_GT(core.cycles(), 32 * 100.0 * 0.95);
+}
+
+TEST(OooCore, RobLimitsOverlap)
+{
+    OooParams small;
+    small.rob = 8;
+    OooParams big;
+    big.rob = 512;
+    OooCoreModel a(small), b(big);
+    a.reset();
+    b.reset();
+    for (int i = 0; i < 256; ++i) {
+        a.dispatch(50.0, true, false, false);
+        b.dispatch(50.0, true, false, false);
+    }
+    EXPECT_GT(a.cycles(), b.cycles());
+}
+
+TEST(OooCore, RedirectStallsDispatch)
+{
+    OooCoreModel a((OooParams{})), b((OooParams{}));
+    a.reset();
+    b.reset();
+    for (int i = 0; i < 100; ++i) {
+        const double ca = a.dispatch(1.0, false, false, false);
+        b.dispatch(1.0, false, false, false);
+        if (i == 50)
+            a.redirect(ca);
+    }
+    EXPECT_GT(a.cycles(), b.cycles() + 10.0);
+}
+
+TEST(OooCore, StoresDoNotBlockLatency)
+{
+    OooCoreModel core(OooParams{});
+    core.reset();
+    for (int i = 0; i < 100; ++i)
+        core.dispatch(1.0, false, true, false);
+    EXPECT_LT(core.cycles(), 100.0);
+}
+
+// --------------------------------------------------------- detailed sim
+
+workload::BenchmarkProfile
+simProfile()
+{
+    workload::BenchmarkProfile p;
+    p.name = "simtest";
+    p.mem_ratio = 0.4;
+    p.branch_ratio = 0.1;
+    p.kernels = {workload::KernelSpec{
+        .kind = workload::KernelSpec::Kind::Random,
+        .ws = 32 * KiB,
+        .weight = 1.0,
+        .num_pcs = 4}};
+    p.seed = 77;
+    return p;
+}
+
+TEST(DetailedSim, WarmingFillsCaches)
+{
+    cache::CacheHierarchy hier({});
+    DetailedSimulator sim(hier);
+    workload::SyntheticTrace trace(simProfile());
+    sim.warmRegion(trace, 30000);
+    EXPECT_GT(hier.l1d().validLines(), 100u);
+    EXPECT_GT(hier.l1i().validLines(), 10u);
+}
+
+TEST(DetailedSim, WarmCacheLowersCpi)
+{
+    workload::SyntheticTrace trace(simProfile());
+
+    cache::CacheHierarchy cold({});
+    DetailedSimulator sim_cold(cold);
+    auto t1 = trace.clone();
+    const auto cold_stats = sim_cold.simulate(*t1, 10000, nullptr);
+
+    cache::CacheHierarchy warm({});
+    DetailedSimulator sim_warm(warm);
+    auto t2 = trace.clone();
+    sim_warm.warmRegion(*t2, 30000);
+    auto t3 = trace.clone(); // same region instructions
+    const auto warm_stats = sim_warm.simulate(*t3, 10000, nullptr);
+
+    EXPECT_LT(warm_stats.cpi(), cold_stats.cpi());
+    EXPECT_LT(warm_stats.llcMisses(), cold_stats.llcMisses());
+}
+
+TEST(DetailedSim, StatsAreConsistent)
+{
+    cache::CacheHierarchy hier({});
+    DetailedSimulator sim(hier);
+    workload::SyntheticTrace trace(simProfile());
+    sim.warmRegion(trace, 30000);
+    const auto stats = sim.simulate(trace, 10000, nullptr);
+
+    EXPECT_EQ(stats.instructions, 10000u);
+    EXPECT_GT(stats.cycles, 0.0);
+    Counter sum = 0;
+    for (const auto c : stats.classes)
+        sum += c;
+    EXPECT_EQ(sum, stats.mem_refs);
+    EXPECT_NEAR(double(stats.mem_refs), 4000.0, 400.0);
+    EXPECT_GE(stats.branches, 1u);
+}
+
+/** Classifier that forces every lukewarm miss to a fixed class. */
+class FixedClassifier : public LlcClassifier
+{
+  public:
+    explicit FixedClassifier(AccessClass cls) : cls_(cls) {}
+
+    AccessClass
+    classifyMiss(Addr, Addr, bool, RefCount) override
+    {
+        ++calls_;
+        return cls_;
+    }
+
+    Counter calls_ = 0;
+
+  private:
+    AccessClass cls_;
+};
+
+TEST(DetailedSim, ClassifierSeesOnlyLukewarmMisses)
+{
+    cache::CacheHierarchy hier({});
+    DetailedSimulator sim(hier);
+    workload::SyntheticTrace trace(simProfile());
+    sim.warmRegion(trace, 30000);
+
+    FixedClassifier cls(AccessClass::WarmingHit);
+    const auto stats = sim.simulate(trace, 10000, &cls);
+    EXPECT_EQ(cls.calls_, stats.classCount(AccessClass::WarmingHit));
+    // The hot 32 KiB working set means most accesses hit the lukewarm
+    // L1 and never reach the classifier.
+    EXPECT_LT(cls.calls_, stats.mem_refs / 2);
+}
+
+TEST(DetailedSim, WarmingHitsAreFasterThanMisses)
+{
+    workload::SyntheticTrace trace(simProfile());
+
+    cache::CacheHierarchy h1({});
+    DetailedSimulator s1(h1);
+    auto t1 = trace.clone();
+    s1.warmRegion(*t1, 1000); // barely warmed: many lukewarm misses
+    FixedClassifier warm(AccessClass::WarmingHit);
+    const auto as_hits = s1.simulate(*t1, 10000, &warm);
+
+    cache::CacheHierarchy h2({});
+    DetailedSimulator s2(h2);
+    auto t2 = trace.clone();
+    s2.warmRegion(*t2, 1000);
+    FixedClassifier miss(AccessClass::CapacityMiss);
+    const auto as_misses = s2.simulate(*t2, 10000, &miss);
+
+    EXPECT_LT(as_hits.cpi(), as_misses.cpi());
+    EXPECT_EQ(as_hits.llcMisses(), 0u);
+    EXPECT_GT(as_misses.llcMisses(), 0u);
+}
+
+TEST(DetailedSim, PrefetcherReducesMissesOnStream)
+{
+    workload::BenchmarkProfile p;
+    p.name = "stream";
+    p.mem_ratio = 0.4;
+    p.branch_ratio = 0.05;
+    p.kernels = {workload::KernelSpec{
+        .kind = workload::KernelSpec::Kind::Stream,
+        .ws = 16 * MiB,
+        .stride = 64,
+        .weight = 1.0,
+        .num_pcs = 1}};
+
+    workload::SyntheticTrace trace(p);
+
+    cache::CacheHierarchy h1({});
+    DetailedSimConfig no_pf;
+    DetailedSimulator s1(h1, no_pf);
+    auto t1 = trace.clone();
+    const auto base = s1.simulate(*t1, 20000, nullptr);
+
+    cache::CacheHierarchy h2({});
+    DetailedSimConfig with_pf;
+    with_pf.prefetch = true;
+    DetailedSimulator s2(h2, with_pf);
+    auto t2 = trace.clone();
+    const auto pf = s2.simulate(*t2, 20000, nullptr);
+
+    EXPECT_GT(pf.prefetches_issued, 0u);
+    EXPECT_LT(pf.llcMisses(), base.llcMisses());
+    EXPECT_LT(pf.cpi(), base.cpi());
+}
+
+TEST(DetailedSim, MshrHitsOccurOnStreams)
+{
+    workload::BenchmarkProfile p = simProfile();
+    p.kernels[0].kind = workload::KernelSpec::Kind::Stream;
+    p.kernels[0].ws = 16 * MiB;
+    p.kernels[0].stride = 8; // sub-line: back-to-back same-line accesses
+    workload::SyntheticTrace trace(p);
+
+    cache::CacheHierarchy hier({});
+    DetailedSimulator sim(hier);
+    const auto stats = sim.simulate(trace, 20000, nullptr);
+    EXPECT_GT(stats.classCount(AccessClass::MshrHit), 0u);
+}
+
+TEST(AccessClassNames, AllDistinct)
+{
+    std::set<std::string> names;
+    for (int i = 0; i < int(AccessClass::NumClasses); ++i)
+        names.insert(accessClassName(AccessClass(i)));
+    EXPECT_EQ(names.size(), std::size_t(AccessClass::NumClasses));
+}
+
+} // namespace

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Tests for the profiling substrate: the page-granularity watchpoint
+ * engine (false positives included), exact reuse profiling, the RSW
+ * sampler, directed profiling, vicinity sampling, and the host cost
+ * model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "profiling/directed_profiler.hh"
+#include "profiling/host_cost.hh"
+#include "profiling/reuse_profiler.hh"
+#include "profiling/rsw_sampler.hh"
+#include "profiling/vicinity.hh"
+#include "profiling/watchpoint.hh"
+
+namespace
+{
+
+using namespace delorean;
+using namespace delorean::profiling;
+
+// ------------------------------------------------------------ watchpoints
+
+TEST(Watchpoint, PageGranularityFalsePositives)
+{
+    WatchpointEngine e;
+    // Watch line 0; line 1 shares its 4 KiB page (64 lines/page).
+    e.watchLine(0);
+    EXPECT_TRUE(e.active());
+    EXPECT_EQ(e.access(0), Trap::Hit);
+    EXPECT_EQ(e.access(1), Trap::FalsePositive);
+    EXPECT_EQ(e.access(64), Trap::None); // next page: silent
+    EXPECT_EQ(e.traps(), 2u);
+    EXPECT_EQ(e.falsePositives(), 1u);
+    EXPECT_EQ(e.trueHits(), 1u);
+}
+
+TEST(Watchpoint, UnwatchDropsPageWhenEmpty)
+{
+    WatchpointEngine e;
+    e.watchLine(0);
+    e.watchLine(1); // same page
+    e.unwatchLine(0);
+    EXPECT_EQ(e.access(0), Trap::FalsePositive); // page still armed
+    e.unwatchLine(1);
+    EXPECT_FALSE(e.active());
+    EXPECT_EQ(e.protectedPages(), 0u);
+}
+
+TEST(Watchpoint, WatchIsIdempotent)
+{
+    WatchpointEngine e;
+    e.watchLine(5);
+    e.watchLine(5);
+    EXPECT_EQ(e.watchedLines(), 1u);
+    e.unwatchLine(5);
+    EXPECT_FALSE(e.watching(5));
+}
+
+TEST(Watchpoint, MultiplePages)
+{
+    WatchpointEngine e;
+    e.watchLine(0);
+    e.watchLine(64);  // second page
+    e.watchLine(128); // third page
+    EXPECT_EQ(e.protectedPages(), 3u);
+    EXPECT_EQ(e.access(65), Trap::FalsePositive);
+    EXPECT_EQ(e.access(128), Trap::Hit);
+}
+
+TEST(Watchpoint, ClearKeepsStats)
+{
+    WatchpointEngine e;
+    e.watchLine(0);
+    e.access(0);
+    e.clear();
+    EXPECT_FALSE(e.active());
+    EXPECT_EQ(e.traps(), 1u);
+    e.resetStats();
+    EXPECT_EQ(e.traps(), 0u);
+}
+
+// -------------------------------------------------------- reuse profiler
+
+TEST(ReuseProfiler, ExactDistances)
+{
+    ReuseProfiler p;
+    EXPECT_FALSE(p.observe(1).has_value()); // pos 0
+    EXPECT_FALSE(p.observe(2).has_value()); // pos 1
+    EXPECT_FALSE(p.observe(3).has_value()); // pos 2
+    const auto rd = p.observe(1);           // pos 3: distance 3
+    ASSERT_TRUE(rd.has_value());
+    EXPECT_EQ(*rd, 3u);
+    EXPECT_EQ(p.distinctLines(), 3u);
+}
+
+TEST(ReuseProfiler, LastAccessTracking)
+{
+    ReuseProfiler p;
+    p.observe(7);
+    p.observe(8);
+    p.observe(7);
+    ASSERT_TRUE(p.lastAccess(7).has_value());
+    EXPECT_EQ(*p.lastAccess(7), 2u);
+    EXPECT_FALSE(p.lastAccess(99).has_value());
+}
+
+// ----------------------------------------------------------- RSW sampler
+
+TEST(RswSchedule, CoolSimScaling)
+{
+    const auto s = RswSchedule::coolsim(200.0);
+    ASSERT_EQ(s.segments.size(), 3u);
+    EXPECT_EQ(s.segments[0].period, 200u);
+    EXPECT_EQ(s.segments[1].period, 100u);
+    EXPECT_EQ(s.segments[2].period, 50u);
+    EXPECT_EQ(s.periodAt(0.0), 200u);
+    EXPECT_EQ(s.periodAt(0.8), 100u);
+    EXPECT_EQ(s.periodAt(0.99), 50u);
+}
+
+TEST(RswSampler, CollectsExpectedSampleCount)
+{
+    // 1 M instructions, all memory accesses, period 200/100/50 ->
+    // 0.75M/200 + 0.2M/100 + 0.05M/50 = 6750 expected samples.
+    RswSampler sampler(RswSchedule::coolsim(200.0), 1);
+    Rng addr_rng(2);
+    sampler.beginInterval();
+    const InstCount n = 1'000'000;
+    for (InstCount i = 0; i < n; ++i) {
+        sampler.observe(0x400 + (i % 16) * 4, addr_rng.nextBounded(4096),
+                        double(i) / double(n));
+    }
+    sampler.endInterval();
+    EXPECT_NEAR(double(sampler.samples()), 6750.0, 500.0);
+}
+
+TEST(RswSampler, MeasuredDistancesMatchGroundTruth)
+{
+    // Deterministic line pattern with known reuse distance: line i%k
+    // reused exactly every k memory accesses.
+    constexpr std::uint64_t k = 97;
+    RswSampler sampler(RswSchedule::coolsim(100.0), 3);
+    sampler.beginInterval();
+    for (InstCount i = 0; i < 200'000; ++i)
+        sampler.observe(0x400, i % k, double(i) / 200'000.0);
+    sampler.endInterval();
+
+    const auto &g = sampler.profile().global();
+    ASSERT_GT(g.samples(), 100u);
+    // Every resolved reuse must be exactly k.
+    const auto buckets = g.events().buckets();
+    double at_k = 0.0, total = 0.0;
+    for (const auto &b : buckets) {
+        total += b.weight;
+        if (b.low <= k && k < b.high)
+            at_k += b.weight;
+    }
+    EXPECT_DOUBLE_EQ(at_k, total);
+}
+
+TEST(RswSampler, CensoredWatchpointsRecorded)
+{
+    // Lines never reused: every watchpoint is censored.
+    RswSampler sampler(RswSchedule::coolsim(100.0), 5);
+    sampler.beginInterval();
+    for (InstCount i = 0; i < 100'000; ++i)
+        sampler.observe(0x400, Addr(i), double(i) / 100'000.0);
+    sampler.endInterval();
+    EXPECT_GT(sampler.samples(), 0u);
+    EXPECT_EQ(sampler.profile().global().censored(),
+              sampler.samples());
+}
+
+TEST(RswSampler, FalsePositivesFromPageNeighbours)
+{
+    // Two interleaved lines on the same page: watching one traps on the
+    // other.
+    RswSampler sampler(RswSchedule::coolsim(1000.0), 7);
+    sampler.beginInterval();
+    for (InstCount i = 0; i < 100'000; ++i)
+        sampler.observe(0x400, i % 2, double(i) / 100'000.0);
+    sampler.endInterval();
+    EXPECT_GT(sampler.falsePositives(), 0u);
+}
+
+// ------------------------------------------------------ directed profiler
+
+TEST(DirectedProfiler, FunctionalFindsLastAccess)
+{
+    DirectedProfiler dp;
+    dp.begin({10, 20, 30}, false);
+    // Window of 8 accesses; line 10 last at position 5, line 20 at 1.
+    const std::vector<Addr> window = {20, 10, 99, 10, 98, 10, 97, 96};
+    for (const Addr line : window)
+        dp.observe(line);
+    const auto res = dp.end();
+    ASSERT_EQ(res.back_distance.size(), 2u);
+    EXPECT_EQ(res.back_distance.at(10), 8u - 5u - 1u + 1u + 2u - 2u);
+    EXPECT_EQ(res.back_distance.at(10), 3u); // 8 - 5
+    EXPECT_EQ(res.back_distance.at(20), 8u); // 8 - 0
+    ASSERT_EQ(res.unresolved.size(), 1u);
+    EXPECT_EQ(res.unresolved[0], 30u);
+    EXPECT_EQ(res.traps, 0u); // functional DP never traps
+}
+
+TEST(DirectedProfiler, VirtualizedMatchesFunctional)
+{
+    Rng rng(23);
+    std::vector<Addr> window;
+    for (int i = 0; i < 20000; ++i)
+        window.push_back(rng.nextBounded(512));
+    const std::vector<Addr> keys = {1, 100, 300, 511, 1000};
+
+    DirectedProfiler fdp, vdp;
+    fdp.begin(keys, false);
+    vdp.begin(keys, true);
+    for (const Addr line : window) {
+        fdp.observe(line);
+        vdp.observe(line);
+    }
+    const auto f = fdp.end();
+    const auto v = vdp.end();
+    EXPECT_EQ(f.back_distance, v.back_distance);
+    EXPECT_EQ(f.unresolved.size(), v.unresolved.size());
+    // Virtualized profiling pays for every trap; functional does not.
+    EXPECT_GT(v.traps, 0u);
+    EXPECT_EQ(f.traps, 0u);
+}
+
+TEST(DirectedProfiler, KeyWatchpointsStayArmed)
+{
+    // The watchpoint must keep trapping to find the LAST access: three
+    // accesses to a key line -> >= 3 traps in virtualized mode.
+    DirectedProfiler dp;
+    dp.begin({5}, true);
+    dp.observe(5);
+    dp.observe(5);
+    dp.observe(5);
+    const auto res = dp.end();
+    EXPECT_EQ(res.back_distance.at(5), 1u);
+    EXPECT_GE(res.traps, 3u);
+}
+
+// ---------------------------------------------------------- vicinity
+
+TEST(Vicinity, CollectsForwardReuses)
+{
+    VicinitySampler v(50, 31);
+    v.beginWindow(false);
+    // Cyclic pattern: every line reused exactly every 64 accesses.
+    for (int i = 0; i < 50000; ++i)
+        v.observe(i % 64);
+    v.endWindow();
+    ASSERT_GT(v.samples(), 100u);
+    const auto buckets = v.histogram().events().buckets();
+    for (const auto &b : buckets)
+        EXPECT_TRUE(b.low <= 64 && 64 < b.high) << b.low;
+}
+
+TEST(Vicinity, CensorsAtWindowEnd)
+{
+    VicinitySampler v(10, 33);
+    v.beginWindow(false);
+    for (int i = 0; i < 1000; ++i)
+        v.observe(Addr(i)); // never reused
+    v.endWindow();
+    EXPECT_GT(v.samples(), 0u);
+    EXPECT_EQ(v.histogram().censored(), v.samples());
+}
+
+TEST(Vicinity, VirtualizedCountsTraps)
+{
+    VicinitySampler v(20, 35);
+    v.beginWindow(true);
+    for (int i = 0; i < 10000; ++i)
+        v.observe(i % 16); // all on one page: false positives galore
+    v.endWindow();
+    EXPECT_GT(v.traps(), 0u);
+}
+
+// ----------------------------------------------------------- host cost
+
+TEST(HostCost, ScaledChargesMultiplyByS)
+{
+    HostCostParams p;
+    p.scale = 100.0;
+    p.vff_cpi = 1.0;
+    p.host_ghz = 1.0;
+    HostCostAccount a(p);
+    a.chargeVffScaled(1000);
+    EXPECT_DOUBLE_EQ(a.cycles(), 100'000.0);
+    EXPECT_DOUBLE_EQ(a.seconds(), 1e-4);
+}
+
+TEST(HostCost, RawChargesDoNot)
+{
+    HostCostParams p;
+    p.scale = 100.0;
+    p.detailed_cpi = 10.0;
+    HostCostAccount a(p);
+    a.chargeDetailedRaw(1000);
+    EXPECT_DOUBLE_EQ(a.cycles(), 10'000.0);
+}
+
+TEST(HostCost, MergeAccumulates)
+{
+    HostCostParams p;
+    HostCostAccount a(p), b(p);
+    a.chargeTraps(10);
+    b.chargeTraps(5);
+    a.merge(b);
+    EXPECT_EQ(a.trapCount(), 15u);
+    EXPECT_DOUBLE_EQ(a.cycles(), 15.0 * p.trap_cycles);
+}
+
+TEST(HostCost, CostOrderingMatchesPaper)
+{
+    // VFF << atomic < detailed per instruction.
+    HostCostParams p;
+    EXPECT_LT(p.vff_cpi, p.fw_cpi);
+    EXPECT_LT(p.fw_cpi, p.atomic_cpi);
+    EXPECT_LT(p.atomic_cpi, p.detailed_cpi);
+}
+
+TEST(HostCost, ModeledMips)
+{
+    // 1M simulated instructions at scale 100 in 1 second -> 100 MIPS.
+    EXPECT_DOUBLE_EQ(modeledMips(1'000'000, 100.0, 1.0), 100.0);
+    EXPECT_DOUBLE_EQ(modeledMips(1'000'000, 100.0, 0.0), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Tests for the statistical cache models: StatStack (including its
+ * Kaplan-Meier handling of censored samples) validated against exact
+ * stack distances, StatCache, the associativity/stride model, and the
+ * working-set utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+#include <unordered_map>
+
+#include "base/random.hh"
+#include "base/units.hh"
+#include "statmodel/assoc_model.hh"
+#include "statmodel/reuse_histogram.hh"
+#include "statmodel/stack_dist_exact.hh"
+#include "statmodel/statcache.hh"
+#include "statmodel/statstack.hh"
+#include "statmodel/working_set.hh"
+
+namespace
+{
+
+using namespace delorean;
+using namespace delorean::statmodel;
+
+// ----------------------------------------------------- exact stack dist
+
+TEST(ExactStack, SimplePattern)
+{
+    ExactStackProfiler p(16);
+    EXPECT_EQ(p.access(1), ExactStackProfiler::cold);
+    EXPECT_EQ(p.access(2), ExactStackProfiler::cold);
+    EXPECT_EQ(p.access(3), ExactStackProfiler::cold);
+    EXPECT_EQ(p.access(1), 2u); // 2 distinct lines (2, 3) in between
+    EXPECT_EQ(p.access(1), 0u); // immediate reuse
+    EXPECT_EQ(p.access(2), 2u); // 3 and 1 in between
+}
+
+TEST(ExactStack, MatchesBruteForce)
+{
+    Rng rng(3);
+    std::vector<Addr> trace;
+    for (int i = 0; i < 2000; ++i)
+        trace.push_back(rng.nextBounded(64));
+
+    ExactStackProfiler p(trace.size());
+    std::unordered_map<Addr, std::size_t> last;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const auto sd = p.access(trace[i]);
+        const auto it = last.find(trace[i]);
+        if (it == last.end()) {
+            EXPECT_EQ(sd, ExactStackProfiler::cold);
+        } else {
+            std::set<Addr> distinct(trace.begin() + long(it->second) + 1,
+                                    trace.begin() + long(i));
+            distinct.erase(trace[i]);
+            ASSERT_EQ(sd, distinct.size()) << "at " << i;
+        }
+        last[trace[i]] = i;
+    }
+}
+
+// -------------------------------------------------------- ReuseHistogram
+
+TEST(ReuseHistogram, KaplanMeierWithoutCensoringIsEmpirical)
+{
+    ReuseHistogram h;
+    for (int i = 0; i < 75; ++i)
+        h.addReuse(10);
+    for (int i = 0; i < 25; ++i)
+        h.addReuse(1000);
+    EXPECT_NEAR(h.survivalKM(100), 0.25, 0.02);
+    EXPECT_NEAR(h.survivalKM(5), 1.0, 1e-9);
+    EXPECT_NEAR(h.survivalKM(2000), 0.0, 0.02);
+}
+
+TEST(ReuseHistogram, CensoredSamplesKeepSurvivalUp)
+{
+    // Half the population reuses at 10; the other half was censored at
+    // 500 (reuse beyond the window). Naive treatment would say
+    // P(rd > 1000) = 0; Kaplan-Meier keeps it at ~0.5.
+    ReuseHistogram h;
+    for (int i = 0; i < 50; ++i)
+        h.addReuse(10);
+    for (int i = 0; i < 50; ++i)
+        h.addCensored(500);
+    EXPECT_NEAR(h.survivalKM(1000), 0.5, 0.03);
+}
+
+TEST(ReuseHistogram, AllCensoredMeansNoReuseEvidence)
+{
+    ReuseHistogram h;
+    for (int i = 0; i < 10; ++i)
+        h.addCensored(100);
+    EXPECT_NEAR(h.survivalKM(1'000'000), 1.0, 1e-9);
+}
+
+TEST(ReuseHistogram, MergeCombines)
+{
+    ReuseHistogram a, b;
+    a.addReuse(10);
+    b.addReuse(10);
+    b.addCensored(100);
+    a.merge(b);
+    EXPECT_EQ(a.samples(), 3u);
+    EXPECT_EQ(a.censored(), 1u);
+}
+
+TEST(PcReuseProfile, PerPcSeparation)
+{
+    PcReuseProfile p;
+    p.addReuse(0x100, 10);
+    p.addReuse(0x200, 1000);
+    ASSERT_NE(p.forPc(0x100), nullptr);
+    ASSERT_NE(p.forPc(0x200), nullptr);
+    EXPECT_EQ(p.forPc(0x300), nullptr);
+    EXPECT_EQ(p.forPc(0x100)->samples(), 1u);
+    EXPECT_EQ(p.global().samples(), 2u);
+    EXPECT_EQ(p.distinctPcs(), 2u);
+}
+
+// -------------------------------------------------------------- StatStack
+
+TEST(StatStack, ConstantReuseDistance)
+{
+    // All reuses at distance 100: a window of d >= 100 contains ~100
+    // distinct-ish accesses -> E[SD(d)] ~ 100 for d >= 100.
+    ReuseHistogram h;
+    for (int i = 0; i < 10000; ++i)
+        h.addReuse(100);
+    StatStack s(h);
+    EXPECT_NEAR(s.stackDistance(100), 100.0, 8.0);
+    EXPECT_NEAR(s.stackDistance(10000), 100.0, 15.0);
+    EXPECT_LT(s.stackDistance(50), 51.0);
+}
+
+TEST(StatStack, MonotoneInReuseDistance)
+{
+    ReuseHistogram h;
+    Rng rng(5);
+    for (int i = 0; i < 5000; ++i)
+        h.addReuse(1 + rng.nextBounded(100000));
+    StatStack s(h);
+    double prev = 0.0;
+    for (std::uint64_t d = 1; d < 1'000'000; d *= 2) {
+        const double sd = s.stackDistance(d);
+        EXPECT_GE(sd, prev - 1e-9);
+        EXPECT_LE(sd, double(d)); // sd can never exceed rd
+        prev = sd;
+    }
+}
+
+TEST(StatStack, MatchesExactOnRandomWorkload)
+{
+    // Uniform random accesses over N lines: collect the full forward
+    // reuse distribution and compare E[SD(rd)] against measured stack
+    // distances.
+    constexpr int n_lines = 256;
+    constexpr int n_accesses = 200000;
+    Rng rng(11);
+    std::vector<Addr> trace(n_accesses);
+    for (auto &a : trace)
+        a = rng.nextBounded(n_lines);
+
+    ReuseHistogram reuse;
+    std::unordered_map<Addr, std::size_t> last;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        auto it = last.find(trace[i]);
+        if (it != last.end())
+            reuse.addReuse(i - it->second);
+        last[trace[i]] = i;
+    }
+
+    // Measure the true mean stack distance per reuse-distance decade.
+    ExactStackProfiler exact(trace.size());
+    std::unordered_map<Addr, std::size_t> prev;
+    std::vector<double> sum_sd(4, 0.0), cnt(4, 0.0);
+    std::vector<std::uint64_t> sum_rd(4, 0);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const auto sd = exact.access(trace[i]);
+        auto it = prev.find(trace[i]);
+        if (it != prev.end() && sd != ExactStackProfiler::cold) {
+            const std::uint64_t rd = i - it->second;
+            const int decade = rd < 32 ? 0 : rd < 128 ? 1 : rd < 512 ? 2
+                                                                     : 3;
+            sum_sd[decade] += double(sd);
+            sum_rd[decade] += rd;
+            cnt[decade] += 1.0;
+        }
+        prev[trace[i]] = i;
+    }
+
+    StatStack model(reuse);
+    for (int d = 0; d < 4; ++d) {
+        if (cnt[d] < 100)
+            continue;
+        const double mean_sd = sum_sd[d] / cnt[d];
+        const double mean_rd = double(sum_rd[d]) / cnt[d];
+        const double est = model.stackDistance(std::uint64_t(mean_rd));
+        EXPECT_NEAR(est, mean_sd, std::max(4.0, 0.15 * mean_sd))
+            << "decade " << d;
+    }
+}
+
+TEST(StatStack, MissRatioDecreasesWithCacheSize)
+{
+    ReuseHistogram h;
+    Rng rng(7);
+    for (int i = 0; i < 20000; ++i)
+        h.addReuse(1 + rng.nextBounded(100000));
+    StatStack s(h);
+    double prev = 1.0;
+    for (std::uint64_t lines = 16; lines <= 65536; lines *= 4) {
+        const double mr = s.missRatio(lines);
+        EXPECT_LE(mr, prev + 1e-9);
+        EXPECT_GE(mr, 0.0);
+        prev = mr;
+    }
+}
+
+TEST(StatStack, ThresholdConsistentWithStackDistance)
+{
+    ReuseHistogram h;
+    Rng rng(9);
+    for (int i = 0; i < 20000; ++i)
+        h.addReuse(1 + rng.nextBounded(1'000'000));
+    StatStack s(h);
+    const std::uint64_t lines = 1000;
+    const auto thr = s.missThreshold(lines);
+    ASSERT_NE(thr, std::numeric_limits<std::uint64_t>::max());
+    EXPECT_GT(s.stackDistance(thr), double(lines));
+    if (thr > 0) {
+        EXPECT_LE(s.stackDistance(thr - 1), double(lines) * 1.001);
+    }
+}
+
+TEST(StatStack, CensoredTailKeepsGrowing)
+{
+    // Streaming: short reuses plus heavily censored long tail. The
+    // stack distance must keep growing past the observed range.
+    ReuseHistogram h;
+    for (int i = 0; i < 7000; ++i)
+        h.addReuse(8);
+    for (int i = 0; i < 1000; ++i)
+        h.addCensored(10000);
+    StatStack s(h);
+    EXPECT_GT(s.stackDistance(2'000'000), s.stackDistance(200'000));
+    // Roughly 1/8 of accesses are "last touches" -> sd ~ d/8 out there.
+    EXPECT_NEAR(s.stackDistance(1'000'000), 125000.0, 30000.0);
+}
+
+TEST(StatStack, EmptyModel)
+{
+    ReuseHistogram h;
+    StatStack s(h);
+    EXPECT_TRUE(s.empty());
+    EXPECT_DOUBLE_EQ(s.stackDistance(100), 0.0);
+    EXPECT_DOUBLE_EQ(s.missRatio(100), 0.0);
+}
+
+// -------------------------------------------------------------- StatCache
+
+TEST(StatCache, UniformWorkloadFixedPoint)
+{
+    // Uniform random over N lines with a cache of L lines, random
+    // replacement: miss ratio must land between the tiny-cache and
+    // full-coverage extremes and decrease with cache size.
+    constexpr int n_lines = 4096;
+    ReuseHistogram h;
+    Rng rng(13);
+    std::unordered_map<Addr, std::size_t> last;
+    for (std::size_t i = 0; i < 400000; ++i) {
+        const Addr a = rng.nextBounded(n_lines);
+        auto it = last.find(a);
+        if (it != last.end())
+            h.addReuse(i - it->second);
+        last[a] = i;
+    }
+    StatCache sc(h);
+    const double m_small = sc.missRatio(256);
+    const double m_big = sc.missRatio(8192);
+    EXPECT_GT(m_small, 0.5);
+    EXPECT_LT(m_big, 0.05);
+    EXPECT_GT(m_small, sc.missRatio(1024));
+}
+
+TEST(StatCache, MissProbabilityBehaviour)
+{
+    EXPECT_NEAR(StatCache::missProbability(0, 0.5, 100), 0.0, 1e-12);
+    const double p1 = StatCache::missProbability(100, 0.5, 100);
+    const double p2 = StatCache::missProbability(1000, 0.5, 100);
+    EXPECT_GT(p2, p1);
+    EXPECT_LE(p2, 1.0);
+}
+
+TEST(StatCache, EmptyModelIsZero)
+{
+    ReuseHistogram h;
+    StatCache sc(h);
+    EXPECT_DOUBLE_EQ(sc.missRatio(128), 0.0);
+}
+
+// ------------------------------------------------------------ AssocModel
+
+TEST(AssocModel, DetectsDominantStride)
+{
+    AssocModel m(1024, 8);
+    // PC walking 8 lines apart (512-byte stride).
+    for (int i = 0; i < 64; ++i)
+        m.observe(0x100, Addr(i * 8));
+    EXPECT_EQ(m.strideLines(0x100), 8u);
+}
+
+TEST(AssocModel, UnitStrideIsNotDominant)
+{
+    AssocModel m(1024, 8);
+    for (int i = 0; i < 64; ++i)
+        m.observe(0x200, Addr(i));
+    EXPECT_EQ(m.strideLines(0x200), 1u);
+}
+
+TEST(AssocModel, RandomAccessHasNoStride)
+{
+    AssocModel m(1024, 8);
+    Rng rng(17);
+    for (int i = 0; i < 200; ++i)
+        m.observe(0x300, rng.nextBounded(100000));
+    EXPECT_EQ(m.strideLines(0x300), 1u);
+}
+
+TEST(AssocModel, ConflictRulePerPaper)
+{
+    // 512-byte stride -> 1/8 of the sets usable (paper's example).
+    AssocModel m(1024, 8);
+    for (int i = 0; i < 64; ++i)
+        m.observe(0x100, Addr(i * 8));
+    // Effective cache: 128 sets x 8 ways = 1024 lines. A stack distance
+    // of 4096 overflows that but fits the full 8192-line cache.
+    EXPECT_TRUE(m.isConflict(0x100, 4096.0));
+    // Small stack distances fit even the reduced set count.
+    EXPECT_FALSE(m.isConflict(0x100, 512.0));
+    // Beyond the whole cache it is a capacity miss, not a conflict.
+    EXPECT_FALSE(m.isConflict(0x100, 10000.0));
+    // A strideless PC never conflicts through this rule.
+    EXPECT_FALSE(m.isConflict(0x999, 4096.0));
+}
+
+TEST(AssocModel, ClearForgets)
+{
+    AssocModel m(64, 4);
+    for (int i = 0; i < 64; ++i)
+        m.observe(0x100, Addr(i * 16));
+    m.clear();
+    EXPECT_EQ(m.strideLines(0x100), 1u);
+    EXPECT_EQ(m.trackedPcs(), 0u);
+}
+
+// ------------------------------------------------------------ working set
+
+TEST(WorkingSet, KneeDetection)
+{
+    WorkingSetCurve c;
+    c.addPoint(1 * MiB, 20.0);
+    c.addPoint(2 * MiB, 19.0);
+    c.addPoint(4 * MiB, 18.5);
+    c.addPoint(8 * MiB, 4.0); // knee
+    c.addPoint(16 * MiB, 3.8);
+    const auto knees = c.knees(0.5, 0.5);
+    ASSERT_EQ(knees.size(), 1u);
+    EXPECT_EQ(knees[0], 8 * MiB);
+}
+
+TEST(WorkingSet, PaperSizes)
+{
+    const auto sizes = paperLlcSizes();
+    ASSERT_EQ(sizes.size(), 10u);
+    EXPECT_EQ(sizes.front(), 1 * MiB);
+    EXPECT_EQ(sizes.back(), 512 * MiB);
+}
+
+TEST(WorkingSet, ModelCurveMonotone)
+{
+    ReuseHistogram h;
+    Rng rng(19);
+    for (int i = 0; i < 30000; ++i)
+        h.addReuse(1 + rng.nextBounded(3'000'000));
+    StatStack s(h);
+    const auto curve = modelWorkingSet(s, 400.0, paperLlcSizes());
+    ASSERT_EQ(curve.points().size(), 10u);
+    for (std::size_t i = 1; i < curve.points().size(); ++i) {
+        EXPECT_LE(curve.points()[i].mpki,
+                  curve.points()[i - 1].mpki + 1e-9);
+    }
+}
+
+} // namespace

@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Tests for the workload substrate: kernels, trace generation,
+ * checkpointing, and the SPEC-like profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "workload/benchmark_profile.hh"
+#include "workload/kernels.hh"
+#include "workload/spec_profiles.hh"
+#include "workload/synthetic_trace.hh"
+
+namespace
+{
+
+using namespace delorean;
+using namespace delorean::workload;
+
+// --------------------------------------------------------------- kernels
+
+TEST(StreamKernel, SweepsAndWraps)
+{
+    StreamKernel k(0x1000, 256, 64);
+    EXPECT_EQ(k.nextAddr(), 0x1000u);
+    EXPECT_EQ(k.nextAddr(), 0x1040u);
+    EXPECT_EQ(k.nextAddr(), 0x1080u);
+    EXPECT_EQ(k.nextAddr(), 0x10c0u);
+    EXPECT_EQ(k.nextAddr(), 0x1000u); // wrap
+}
+
+TEST(StreamKernel, SubLineStrideRepeatsLines)
+{
+    StreamKernel k(0, 1024, 8);
+    std::map<Addr, int> per_line;
+    for (int i = 0; i < 128; ++i)
+        ++per_line[lineOf(k.nextAddr())];
+    // 8-byte stride: 8 accesses per 64-byte line.
+    for (const auto &[line, n] : per_line)
+        EXPECT_EQ(n, 8) << line;
+}
+
+TEST(ChaseKernel, FullPeriodPermutation)
+{
+    ChaseKernel k(0, 64 * line_size, 7);
+    std::set<Addr> seen;
+    for (std::uint64_t i = 0; i < k.cycleLength(); ++i)
+        seen.insert(k.nextAddr());
+    EXPECT_EQ(seen.size(), k.cycleLength()); // every line exactly once
+}
+
+TEST(ChaseKernel, ExactCyclicReuse)
+{
+    ChaseKernel k(0, 32 * line_size, 3);
+    std::vector<Addr> first_cycle;
+    for (std::uint64_t i = 0; i < k.cycleLength(); ++i)
+        first_cycle.push_back(k.nextAddr());
+    for (std::uint64_t i = 0; i < k.cycleLength(); ++i)
+        EXPECT_EQ(k.nextAddr(), first_cycle[i]);
+}
+
+TEST(BlockKernel, RepeatsBlockThenAdvances)
+{
+    // 2 blocks of 2 lines, 2 repeats.
+    BlockKernel k(0, 256, 128, 2);
+    std::vector<Addr> seq;
+    for (int i = 0; i < 8; ++i)
+        seq.push_back(k.nextAddr());
+    // Block 0 twice: 0,64,0,64, then block 1 twice: 128,192,128,192.
+    const std::vector<Addr> expect = {0, 64, 0, 64, 128, 192, 128, 192};
+    EXPECT_EQ(seq, expect);
+}
+
+TEST(RandomKernel, StaysInWorkingSet)
+{
+    RandomKernel k(0x10000, 64 * KiB, 5);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr a = k.nextAddr();
+        EXPECT_GE(a, 0x10000u);
+        EXPECT_LT(a, 0x10000u + 64 * KiB);
+    }
+}
+
+TEST(HotColdKernel, InterleavedColdSharesHotPages)
+{
+    HotColdKernel k(0, 64 * KiB, 0, 0.9, true, 11);
+    std::unordered_set<Addr> cold_pages, hot_pages;
+    for (int i = 0; i < 50000; ++i) {
+        const Addr a = k.nextAddr();
+        const Addr off = a % page_size;
+        if (off == 0)
+            cold_pages.insert(pageOf(a));
+        else
+            hot_pages.insert(pageOf(a));
+    }
+    EXPECT_FALSE(cold_pages.empty());
+    // Every cold page is also a hot page: the povray pathology.
+    for (const Addr p : cold_pages)
+        EXPECT_TRUE(hot_pages.count(p)) << p;
+}
+
+TEST(EpochKernel, RotatesSubRegions)
+{
+    EpochKernel k(0, 4 * 64 * line_size, 4, 10, 3);
+    const std::uint64_t region_bytes = 64 * line_size;
+    for (unsigned epoch = 0; epoch < 4; ++epoch) {
+        for (int i = 0; i < 10; ++i) {
+            const Addr a = k.nextAddr();
+            EXPECT_EQ(a / region_bytes, epoch) << i;
+        }
+    }
+    // Wraps back to sub-region 0.
+    EXPECT_EQ(k.nextAddr() / region_bytes, 0u);
+}
+
+TEST(Kernels, CloneContinuesIdentically)
+{
+    const std::vector<std::unique_ptr<AccessKernel>> kernels = [] {
+        std::vector<std::unique_ptr<AccessKernel>> v;
+        v.push_back(std::make_unique<StreamKernel>(0, 4096, 8));
+        v.push_back(std::make_unique<RandomKernel>(0, 64 * KiB, 1));
+        v.push_back(std::make_unique<ChaseKernel>(0, 64 * 64, 2));
+        v.push_back(std::make_unique<BlockKernel>(0, 4096, 1024, 3));
+        v.push_back(
+            std::make_unique<HotColdKernel>(0, 8192, 4096, 0.9, false, 4));
+        v.push_back(std::make_unique<EpochKernel>(0, 8192, 2, 5, 5));
+        return v;
+    }();
+
+    for (const auto &k : kernels) {
+        auto warm = k->clone();
+        for (int i = 0; i < 100; ++i)
+            (void)warm->nextAddr();
+        auto snap = warm->clone();
+        std::vector<Addr> a, b;
+        for (int i = 0; i < 200; ++i)
+            a.push_back(warm->nextAddr());
+        for (int i = 0; i < 200; ++i)
+            b.push_back(snap->nextAddr());
+        EXPECT_EQ(a, b);
+    }
+}
+
+TEST(Kernels, ResetRestartsStream)
+{
+    RandomKernel k(0, 64 * KiB, 9);
+    std::vector<Addr> first;
+    for (int i = 0; i < 50; ++i)
+        first.push_back(k.nextAddr());
+    k.reset();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(k.nextAddr(), first[std::size_t(i)]);
+}
+
+// ---------------------------------------------------------------- trace
+
+BenchmarkProfile
+tinyProfile()
+{
+    BenchmarkProfile p;
+    p.name = "tiny";
+    p.mem_ratio = 0.4;
+    p.branch_ratio = 0.1;
+    p.kernels = {KernelSpec{.kind = KernelSpec::Kind::Random,
+                            .ws = 64 * KiB,
+                            .weight = 1.0,
+                            .num_pcs = 4}};
+    p.seed = 42;
+    return p;
+}
+
+TEST(SyntheticTrace, Deterministic)
+{
+    SyntheticTrace a(tinyProfile()), b(tinyProfile());
+    for (int i = 0; i < 10000; ++i) {
+        const auto x = a.next();
+        const auto y = b.next();
+        ASSERT_EQ(x.type, y.type);
+        ASSERT_EQ(x.pc, y.pc);
+        ASSERT_EQ(x.addr, y.addr);
+        ASSERT_EQ(x.taken, y.taken);
+    }
+}
+
+TEST(SyntheticTrace, CloneProducesIdenticalSuffix)
+{
+    SyntheticTrace t(tinyProfile());
+    t.skip(5000);
+    auto snap = t.clone();
+    EXPECT_EQ(snap->position(), t.position());
+    for (int i = 0; i < 5000; ++i) {
+        const auto x = t.next();
+        const auto y = snap->next();
+        ASSERT_EQ(x.addr, y.addr);
+        ASSERT_EQ(x.pc, y.pc);
+        ASSERT_EQ(x.type, y.type);
+    }
+}
+
+TEST(SyntheticTrace, SkipMatchesNext)
+{
+    SyntheticTrace a(tinyProfile()), b(tinyProfile());
+    a.skip(1234);
+    for (int i = 0; i < 1234; ++i)
+        (void)b.next();
+    EXPECT_EQ(a.position(), b.position());
+    EXPECT_EQ(a.next().addr, b.next().addr);
+}
+
+TEST(SyntheticTrace, ResetRestartsFromZero)
+{
+    SyntheticTrace t(tinyProfile());
+    const auto first = t.next();
+    t.skip(100);
+    t.reset();
+    EXPECT_EQ(t.position(), 0u);
+    const auto again = t.next();
+    EXPECT_EQ(first.addr, again.addr);
+    EXPECT_EQ(first.pc, again.pc);
+}
+
+TEST(SyntheticTrace, MixRatiosApproximatelyRespected)
+{
+    auto p = tinyProfile();
+    p.mem_ratio = 0.35;
+    p.branch_ratio = 0.15;
+    SyntheticTrace t(p);
+    int mem = 0, br = 0, n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const auto inst = t.next();
+        mem += inst.isMem();
+        br += inst.isBranch();
+    }
+    EXPECT_NEAR(double(mem) / n, 0.35, 0.01);
+    EXPECT_NEAR(double(br) / n, 0.15, 0.01);
+}
+
+TEST(SyntheticTrace, ChaseLoadsAreDependent)
+{
+    auto p = tinyProfile();
+    p.kernels = {KernelSpec{.kind = KernelSpec::Kind::Chase,
+                            .ws = 64 * 64,
+                            .weight = 1.0,
+                            .num_pcs = 2}};
+    SyntheticTrace t(p);
+    bool saw_dep = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto inst = t.next();
+        if (inst.isLoad()) {
+            EXPECT_TRUE(inst.dep_load);
+            saw_dep = true;
+        }
+        if (inst.isStore())
+            EXPECT_FALSE(inst.dep_load);
+    }
+    EXPECT_TRUE(saw_dep);
+}
+
+TEST(SyntheticTrace, PhasesSwitchKernelWeights)
+{
+    auto p = tinyProfile();
+    p.kernels = {KernelSpec{.kind = KernelSpec::Kind::Random,
+                            .ws = 4 * KiB,
+                            .weight = 1.0,
+                            .num_pcs = 2},
+                 KernelSpec{.kind = KernelSpec::Kind::Random,
+                            .ws = 4 * KiB,
+                            .weight = 1.0,
+                            .num_pcs = 2}};
+    p.phases = {{10000, {1.0, 0.0}}, {10000, {0.0, 1.0}}};
+    SyntheticTrace t(p);
+    const Addr base0 = t.kernelBase(0);
+    const Addr base1 = t.kernelBase(1);
+
+    int in0 = 0, in1 = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const auto inst = t.next();
+        if (!inst.isMem())
+            continue;
+        if (inst.addr >= base1)
+            ++in1;
+        else if (inst.addr >= base0)
+            ++in0;
+    }
+    EXPECT_GT(in0, 0);
+    EXPECT_EQ(in1, 0); // phase 1 exclusively uses kernel 0
+
+    in0 = in1 = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const auto inst = t.next();
+        if (!inst.isMem())
+            continue;
+        if (inst.addr >= base1)
+            ++in1;
+        else if (inst.addr >= base0)
+            ++in0;
+    }
+    EXPECT_EQ(in0, 0); // phase 2 exclusively uses kernel 1
+    EXPECT_GT(in1, 0);
+}
+
+TEST(SyntheticTrace, KernelsGetDisjointRegions)
+{
+    auto p = tinyProfile();
+    p.kernels = {KernelSpec{.kind = KernelSpec::Kind::Random,
+                            .ws = 64 * KiB,
+                            .weight = 1.0,
+                            .num_pcs = 2},
+                 KernelSpec{.kind = KernelSpec::Kind::Random,
+                            .ws = 64 * KiB,
+                            .weight = 1.0,
+                            .num_pcs = 2}};
+    SyntheticTrace t(p);
+    EXPECT_GE(t.kernelBase(1), t.kernelBase(0) + 64 * KiB);
+}
+
+// --------------------------------------------------------- spec profiles
+
+TEST(SpecProfiles, TwentyFourBenchmarksInPaperOrder)
+{
+    const auto &names = specBenchmarkNames();
+    ASSERT_EQ(names.size(), 24u);
+    EXPECT_EQ(names.front(), "perlbench");
+    EXPECT_EQ(names.back(), "xalancbmk");
+    // Spot-check the paper's highlighted benchmarks exist.
+    for (const char *n :
+         {"bwaves", "mcf", "povray", "calculix", "GemsFDTD", "lbm"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), n), names.end())
+            << n;
+    }
+}
+
+TEST(SpecProfiles, AllValidateAndBuild)
+{
+    for (const auto &name : specBenchmarkNames()) {
+        const auto p = specProfile(name);
+        EXPECT_EQ(p.name, name);
+        auto trace = makeSpecTrace(name);
+        ASSERT_NE(trace, nullptr);
+        for (int i = 0; i < 1000; ++i)
+            (void)trace->next();
+        EXPECT_EQ(trace->position(), 1000u);
+    }
+}
+
+TEST(SpecProfiles, DistinctSeedsProduceDistinctStreams)
+{
+    auto a = makeSpecTrace("perlbench");
+    auto b = makeSpecTrace("bzip2");
+    bool differ = false;
+    for (int i = 0; i < 100 && !differ; ++i)
+        differ = a->next().addr != b->next().addr;
+    EXPECT_TRUE(differ);
+}
+
+class SpecProfileDeterminism
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SpecProfileDeterminism, CloneAfterSkipIsExact)
+{
+    auto t = makeSpecTrace(GetParam());
+    t->skip(50000);
+    auto snap = t->clone();
+    for (int i = 0; i < 2000; ++i) {
+        const auto x = t->next();
+        const auto y = snap->next();
+        ASSERT_EQ(x.addr, y.addr);
+        ASSERT_EQ(x.pc, y.pc);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SpecProfileDeterminism,
+                         ::testing::ValuesIn(specBenchmarkNames()),
+                         [](const auto &info) { return info.param; });
+
+} // namespace

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Developer calibration harness: one big table per benchmark with every
+ * quantity the paper's figures depend on, so workload profiles and host
+ * cost constants can be tuned against the published shapes.
+ *
+ *   ./calibrate [spacing] [benchmark ...]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/delorean.hh"
+#include "sampling/coolsim.hh"
+#include "sampling/metrics.hh"
+#include "sampling/smarts.hh"
+#include "workload/spec_profiles.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace delorean;
+
+    const InstCount spacing =
+        argc > 1 ? InstCount(std::atoll(argv[1])) : 5'000'000;
+    std::vector<std::string> names;
+    for (int i = 2; i < argc; ++i)
+        names.push_back(argv[i]);
+    if (names.empty())
+        names = workload::specBenchmarkNames();
+
+    core::DeloreanConfig cfg;
+    cfg.schedule.spacing = spacing;
+
+    std::printf("# spacing=%llu scale=%.0f regions=%u\n",
+                (unsigned long long)spacing, cfg.schedule.scaleFactor(),
+                cfg.schedule.num_regions);
+    std::printf(
+        "%-11s %7s %7s %7s | %6s %6s %6s | %6s %6s | %7s %7s %7s |"
+        " %5s %5s %5s %5s %5s | %9s %9s | %8s %8s\n",
+        "bench", "cpiS", "cpiC", "cpiD", "errC%", "errD%", "mpkiS",
+        "keys/r", "expl/r", "mipsS", "mipsC", "mipsD", "avgE", "e1%",
+        "e2%", "e3%", "e4%", "samplC", "samplD", "trapC", "trapD");
+
+    double sum_errC = 0, sum_errD = 0, sum_mipsS = 0, sum_mipsC = 0,
+           sum_mipsD = 0, sum_spdS = 0, sum_spdC = 0;
+    std::uint64_t sum_samplC = 0, sum_samplD = 0;
+
+    for (const auto &name : names) {
+        auto trace = workload::makeSpecTrace(name);
+        const auto s = sampling::SmartsMethod::run(*trace, cfg);
+        const auto c = sampling::CoolSimMethod::run(*trace, cfg);
+        const auto d = core::DeloreanMethod::run(*trace, cfg);
+
+        const double errC = sampling::cpiErrorPct(s, c);
+        const double errD = sampling::cpiErrorPct(s, d);
+        const double keys_r =
+            double(d.keys_total) / cfg.schedule.num_regions;
+        const double expl_r =
+            double(d.keys_explored) / cfg.schedule.num_regions;
+
+        double found[4];
+        const double tot = double(std::max<Counter>(
+            1, d.keys_by_explorer[0] + d.keys_by_explorer[1] +
+                   d.keys_by_explorer[2] + d.keys_by_explorer[3]));
+        for (int k = 0; k < 4; ++k)
+            found[k] = 100.0 * double(d.keys_by_explorer[k]) / tot;
+
+        std::printf(
+            "%-11s %7.3f %7.3f %7.3f | %6.1f %6.1f %6.1f | %6.0f %6.0f |"
+            " %7.2f %7.1f %7.1f | %5.1f %5.0f %5.0f %5.0f %5.0f |"
+            " %9llu %9llu | %8llu %8llu\n",
+            name.c_str(), s.cpi(), c.cpi(), d.cpi(), errC, errD,
+            s.mpki(), keys_r, expl_r, s.mips, c.mips, d.mips,
+            d.avg_explorers, found[0], found[1], found[2], found[3],
+            (unsigned long long)c.reuse_samples,
+            (unsigned long long)d.reuse_samples,
+            (unsigned long long)c.traps, (unsigned long long)d.traps);
+
+        sum_errC += errC;
+        sum_errD += errD;
+        sum_mipsS += s.mips;
+        sum_mipsC += c.mips;
+        sum_mipsD += d.mips;
+        sum_spdS += d.wall_seconds > 0
+                        ? s.wall_seconds / d.wall_seconds
+                        : 0;
+        sum_spdC += d.wall_seconds > 0
+                        ? c.wall_seconds / d.wall_seconds
+                        : 0;
+        sum_samplC += c.reuse_samples;
+        sum_samplD += d.reuse_samples;
+    }
+
+    const double n = double(names.size());
+    std::printf("\n# paper targets: errC~9.1 errD~3.5 mipsS=1.3 "
+                "mipsC=21.9 mipsD=126 spdupS=96 spdupC=5.7 "
+                "samples C/D=30x (340k vs 11k)\n");
+    std::printf("# averages: errC=%.1f errD=%.1f mipsS=%.2f mipsC=%.1f "
+                "mipsD=%.1f | spdup vs S=%.1f vs C=%.2f | samples "
+                "C=%.0fk D=%.1fk ratio=%.1f\n",
+                sum_errC / n, sum_errD / n, sum_mipsS / n,
+                sum_mipsC / n, sum_mipsD / n, sum_spdS / n,
+                sum_spdC / n, double(sum_samplC) / n / 1000.0,
+                double(sum_samplD) / n / 1000.0,
+                double(sum_samplC) / double(std::max<Counter>(
+                                        1, sum_samplD)));
+    return 0;
+}
