@@ -8,16 +8,45 @@
  * 10 parallel Analysts.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common.hh"
 #include "core/dse.hh"
+#include "core/parallel.hh"
 #include "statmodel/working_set.hh"
+
+namespace
+{
+
+/** Same DsePoints from the serial and parallel executors, or abort. */
+void
+checkIdentical(const delorean::core::DesignSpaceExplorer::Output &serial,
+               const delorean::core::DesignSpaceExplorer::Output &parallel)
+{
+    bool ok = serial.points.size() == parallel.points.size();
+    for (std::size_t i = 0; ok && i < serial.points.size(); ++i) {
+        // MethodResult::operator== is defaulted: every statistic,
+        // per-region record and cost bucket, doubles compared exactly.
+        ok = serial.points[i].llc_size == parallel.points[i].llc_size &&
+             serial.points[i].result == parallel.points[i].result;
+    }
+    if (!ok) {
+        std::fprintf(stderr,
+                     "[fig14] FATAL: parallel sweep diverged from the "
+                     "serial sweep\n");
+        std::exit(1);
+    }
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace delorean;
+    using Clock = std::chrono::steady_clock;
     auto opt = bench::Options::parse(argc, argv);
     if (opt.spacing == 5'000'000)
         opt.spacing = 25'000'000;
@@ -25,6 +54,7 @@ main(int argc, char **argv)
         opt.benchmarks = {"cactusADM", "leslie3d", "lbm"};
 
     const auto sizes = statmodel::paperLlcSizes();
+    const unsigned n_threads = core::ThreadPool::defaultThreads();
 
     bench::printHeading(
         "Design-space exploration: CPI vs LLC size from one warm-up",
@@ -33,12 +63,28 @@ main(int argc, char **argv)
     for (const auto &name : opt.benchmarkList()) {
         std::fprintf(stderr, "[fig14] %s...\n", name.c_str());
         auto trace = workload::makeSpecTrace(name);
-        const auto cfg = opt.config(1 * MiB);
+        auto cfg = opt.config(1 * MiB);
 
         const auto ref = bench::multiSizeReference(
             *trace, cfg.schedule, cfg.hier, sizes, cfg.sim);
+
+        // The same sweep serially and with one Analyst per host
+        // thread: identical points, different wall-clock.
+        cfg.host_threads = 1;
+        const auto t0 = Clock::now();
         const auto dse =
             core::DesignSpaceExplorer::run(*trace, cfg, sizes);
+        const auto t1 = Clock::now();
+        cfg.host_threads = n_threads;
+        const auto dse_mt =
+            core::DesignSpaceExplorer::run(*trace, cfg, sizes);
+        const auto t2 = Clock::now();
+        checkIdentical(dse, dse_mt);
+
+        const double serial_s =
+            std::chrono::duration<double>(t1 - t0).count();
+        const double parallel_s =
+            std::chrono::duration<double>(t2 - t1).count();
 
         std::printf("\n%s (CPI)\n", name.c_str());
         std::printf("%10s %12s %12s %9s\n", "size", "SMARTS",
@@ -55,6 +101,11 @@ main(int argc, char **argv)
                     "%.3fx (paper: <1.05x for 10), wall %.1fs\n",
                     dse.cost.warm_to_detailed_ratio, sizes.size(),
                     dse.cost.marginal_factor, dse.cost.wall_seconds);
+        std::printf("host execution: serial %.2fs, %u threads %.2fs, "
+                    "speedup %.2fx (points bit-identical)\n",
+                    serial_s, n_threads,
+                    parallel_s, parallel_s > 0.0
+                        ? serial_s / parallel_s : 0.0);
     }
 
     std::printf("\npaper: all 10 points obtained from the same warm-up "

@@ -4,14 +4,20 @@
  * sizes from a single shared warm-up, and show the amortization
  * economics (warm-up dominates, so extra Analysts are almost free).
  *
- *   ./design_space_exploration [benchmark] [spacing]
+ *   ./design_space_exploration [benchmark] [spacing] [threads]
+ *
+ * With threads > 1 (default: one per hardware thread) the shared
+ * warm-up fans regions and the sweep fans Analysts across host cores;
+ * the points are bit-identical to a serial run.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "core/dse.hh"
+#include "core/parallel.hh"
 #include "statmodel/working_set.hh"
 #include "workload/spec_profiles.hh"
 
@@ -23,18 +29,34 @@ main(int argc, char **argv)
     const std::string name = argc > 1 ? argv[1] : "mcf";
     const InstCount spacing =
         argc > 2 ? InstCount(std::atoll(argv[2])) : 5'000'000;
+    const long threads_arg =
+        argc > 3 ? std::atol(argv[3])
+                 : long(core::ThreadPool::defaultThreads());
+    if (threads_arg < 0) {
+        std::fprintf(stderr,
+                     "usage: %s [benchmark] [spacing] [threads >= 0]\n",
+                     argv[0]);
+        return 1;
+    }
+    const unsigned threads =
+        core::resolveThreads(unsigned(threads_arg));
 
     auto trace = workload::makeSpecTrace(name);
     core::DeloreanConfig cfg;
     cfg.schedule.spacing = spacing;
+    cfg.host_threads = threads;
 
     const auto sizes = statmodel::paperLlcSizes();
+    const auto t0 = std::chrono::steady_clock::now();
     const auto out =
         core::DesignSpaceExplorer::run(*trace, cfg, sizes);
+    const double host_s = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
 
     std::printf("LLC design sweep for %s (all points from ONE "
-                "warm-up)\n\n",
-                name.c_str());
+                "warm-up, %u host threads, %.2fs host time)\n\n",
+                name.c_str(), threads, host_s);
     std::printf("%10s %10s %10s %14s\n", "LLC", "CPI", "MPKI",
                 "avg explorers");
     for (const auto &p : out.points) {

@@ -8,6 +8,27 @@
  * which is fast, has a 2^256-1 period, and — unlike std::mt19937 — has a
  * trivially copyable state, which we rely on for trace snapshots
  * (our stand-in for KVM checkpoints).
+ *
+ * Seeding contract
+ * ----------------
+ * Every Rng in the system is seeded from *configuration only* — a
+ * benchmark name hash, an explicit config seed, a region's position —
+ * never from time, thread ids, or global mutable state. Components that
+ * need independent streams derive them by mixing their own salt into
+ * the seed (splitmix64 decorrelates adjacent seeds), and components
+ * that re-execute a window (the Explorers) snapshot and restore Rng
+ * state through trace clones rather than re-seeding. Consequences that
+ * the test suite asserts (tests/test_threaded.cc):
+ *
+ *  - two runs of any method with the same inputs produce byte-identical
+ *    MethodResults;
+ *  - host parallelism (core/parallel.hh, core/threaded_pipeline.hh)
+ *    cannot perturb results, because no Rng is ever shared across
+ *    concurrently executing work items.
+ *
+ * Any new randomized component must follow the same rule: accept a seed
+ * derived from configuration, own its Rng, and never read one shared
+ * mutably across threads.
  */
 
 #ifndef DELOREAN_BASE_RANDOM_HH

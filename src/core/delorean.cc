@@ -2,6 +2,7 @@
 
 #include "base/logging.hh"
 #include "core/analyst.hh"
+#include "core/parallel.hh"
 #include "core/scout.hh"
 #include "statmodel/assoc_model.hh"
 
@@ -186,16 +187,35 @@ DeloreanMethod::warmup(const workload::TraceSource &master,
                          std::hash<std::string>{}(master.name())},
                         checkpoints);
 
+    // Regions are independent: each works from its own checkpoint clone
+    // against the shared read-only checkpoint store, so they fan out
+    // across host threads with bit-identical results (core/parallel.hh).
+    struct RegionWarmup
+    {
+        KeySet keys;
+        ExplorerResult explored;
+    };
+    auto per_region = parallelMap(
+        sched.num_regions, config.host_threads, [&](std::size_t r) {
+            RegionWarmup w;
+            auto scout_trace =
+                checkpoints.at(sched.warmingStart(unsigned(r)));
+            w.keys = Scout::scan(*scout_trace, scout_hier, config.sim,
+                                 sched.detailed_warming,
+                                 sched.region_len);
+            w.explored =
+                chain.explore(w.keys.linesNeedingExploration(),
+                              sched.detailedStart(unsigned(r)));
+            return w;
+        });
+
     std::vector<KeySet> keys;
     std::vector<ExplorerResult> explored;
-    for (unsigned r = 0; r < sched.num_regions; ++r) {
-        auto scout_trace = checkpoints.at(sched.warmingStart(r));
-        keys.push_back(Scout::scan(*scout_trace, scout_hier, config.sim,
-                                   sched.detailed_warming,
-                                   sched.region_len));
-        explored.push_back(chain.explore(
-            keys.back().linesNeedingExploration(),
-            sched.detailedStart(r)));
+    keys.reserve(per_region.size());
+    explored.reserve(per_region.size());
+    for (auto &w : per_region) {
+        keys.push_back(std::move(w.keys));
+        explored.push_back(std::move(w.explored));
     }
     return assembleArtifacts(config, std::move(keys),
                              std::move(explored));
@@ -224,38 +244,49 @@ DeloreanMethod::analyze(const workload::TraceSource &master,
     PassCosts analyst_pass;
     analyst_pass.name = "analyst";
 
-    cache::CacheHierarchy hier(config.hier);
-    cpu::DetailedSimulator sim(hier, config.sim);
-    statmodel::AssocModel assoc(config.hier.llc.sets(),
-                                config.hier.llc.assoc);
-
     const InstCount region_total =
         sched.detailed_warming + sched.region_len;
 
-    for (unsigned r = 0; r < sched.num_regions; ++r) {
-        profiling::HostCostAccount a_cost(cost_params);
-        auto trace = checkpoints.at(sched.warmingStart(r));
+    // One Analyst per region, each with its own simulator state (the
+    // paper boots every Analyst from its own checkpoint). Regions fan
+    // out across host threads; folding below stays in region order, so
+    // results are bit-identical to the serial path.
+    struct RegionAnalysis
+    {
+        cpu::RegionStats stats;
+        profiling::HostCostAccount cost;
+    };
+    auto per_region = parallelMap(
+        sched.num_regions, config.host_threads, [&](std::size_t ri) {
+            const unsigned r = unsigned(ri);
+            RegionAnalysis out;
+            out.cost = profiling::HostCostAccount(cost_params);
+            auto trace = checkpoints.at(sched.warmingStart(r));
 
-        hier.flush();
-        sim.branchPredictor().reset();
-        sim.prefetcher().reset();
-        assoc.clear();
-        AssocTrainer trainer(assoc);
-        sim.warmRegion(*trace, sched.detailed_warming, &trainer);
+            cache::CacheHierarchy hier(config.hier);
+            cpu::DetailedSimulator sim(hier, config.sim);
+            statmodel::AssocModel assoc(config.hier.llc.sets(),
+                                        config.hier.llc.assoc);
+            AssocTrainer trainer(assoc);
+            sim.warmRegion(*trace, sched.detailed_warming, &trainer);
 
-        AnalystClassifier classifier(artifacts.keys[r],
-                                     artifacts.explored[r], hier.llc(),
-                                     assoc);
-        const auto stats =
-            sim.simulate(*trace, sched.region_len, &classifier);
+            AnalystClassifier classifier(artifacts.keys[r],
+                                         artifacts.explored[r],
+                                         hier.llc(), assoc);
+            out.stats =
+                sim.simulate(*trace, sched.region_len, &classifier);
 
-        a_cost.chargeVffScaled(sched.spacing - region_total);
-        a_cost.chargeDetailedRaw(region_total);
-        a_cost.chargeStateTransfers(2);
-        analyst_pass.per_region_seconds.push_back(a_cost.seconds());
-        result.cost.merge(a_cost);
+            out.cost.chargeVffScaled(sched.spacing - region_total);
+            out.cost.chargeDetailedRaw(region_total);
+            out.cost.chargeStateTransfers(2);
+            return out;
+        });
 
-        result.addRegion(stats);
+    for (const auto &region : per_region) {
+        analyst_pass.per_region_seconds.push_back(
+            region.cost.seconds());
+        result.cost.merge(region.cost);
+        result.addRegion(region.stats);
     }
 
     // Shared warm-up statistics surface in every analyzed result.

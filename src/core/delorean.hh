@@ -44,6 +44,14 @@ struct DeloreanConfig : sampling::MethodConfig
      */
     std::uint64_t paper_vicinity_period = 100'000;
 
+    /**
+     * Host worker threads for region-level fan-out of the warm-up and
+     * Analyst passes (core/parallel.hh). 1 = serial (default), 0 = one
+     * per hardware thread. Results are bit-identical for every value;
+     * this knob trades host cores for wall-clock only.
+     */
+    unsigned host_threads = 1;
+
     /** Scaled horizons for the current schedule. */
     std::vector<InstCount> scaledHorizons() const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "core/parallel.hh"
 
 namespace delorean::core
 {
@@ -34,15 +35,27 @@ DesignSpaceExplorer::run(const workload::TraceSource &master,
     std::vector<double> analyst_wall_per_region(
         base.schedule.num_regions, 0.0);
 
-    for (const std::uint64_t size : llc_sizes) {
-        DeloreanConfig cfg = base;
-        cfg.hier = base.hier.withLlcSize(size);
+    // The paper's parallel Analysts, for real: every configuration's
+    // Analyst pass reuses the one shared warm-up and runs on its own
+    // host thread. Each point is a pure function of its LLC size, so
+    // the fan-out is bit-identical to the serial sweep.
+    out.points = parallelMap(
+        llc_sizes.size(), base.host_threads, [&](std::size_t i) {
+            DeloreanConfig cfg = base;
+            cfg.hier = base.hier.withLlcSize(llc_sizes[i]);
+            // Analysts already occupy the pool; keep each one serial
+            // inside rather than oversubscribing with nested pools.
+            cfg.host_threads = 1;
 
-        DsePoint point;
-        point.llc_size = size;
-        point.result = DeloreanMethod::analyze(master, cfg, checkpoints,
-                                               artifacts);
+            DsePoint point;
+            point.llc_size = llc_sizes[i];
+            point.result = DeloreanMethod::analyze(master, cfg,
+                                                   checkpoints,
+                                                   artifacts);
+            return point;
+        });
 
+    for (const auto &point : out.points) {
         const double analyst_s =
             point.result.cost.seconds() - artifacts.cost.seconds();
         analyst_total += analyst_s;
@@ -54,8 +67,6 @@ DesignSpaceExplorer::run(const workload::TraceSource &master,
             analyst_s / double(base.schedule.num_regions);
         for (auto &w : analyst_wall_per_region)
             w = std::max(w, per_region);
-
-        out.points.push_back(std::move(point));
     }
 
     const double k = double(llc_sizes.size());

@@ -15,71 +15,11 @@
 #ifndef DELOREAN_CORE_THREADED_PIPELINE_HH
 #define DELOREAN_CORE_THREADED_PIPELINE_HH
 
-#include <condition_variable>
-#include <deque>
-#include <mutex>
-#include <optional>
-
 #include "core/delorean.hh"
+#include "core/parallel.hh"
 
 namespace delorean::core
 {
-
-/**
- * A bounded single-producer/single-consumer channel — our stand-in for
- * the paper's OS pipes. push() blocks when the channel is full
- * (backpressure keeps a fast Scout from racing ahead unboundedly, just
- * like a full pipe); pop() blocks until an item or close().
- */
-template <typename T>
-class BoundedChannel
-{
-  public:
-    explicit BoundedChannel(std::size_t capacity = 2)
-        : capacity_(capacity)
-    {}
-
-    void
-    push(T item)
-    {
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_full_.wait(lock,
-                       [&] { return queue_.size() < capacity_; });
-        queue_.push_back(std::move(item));
-        not_empty_.notify_one();
-    }
-
-    /** @return nullopt once the channel is closed and drained. */
-    std::optional<T>
-    pop()
-    {
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_empty_.wait(lock,
-                        [&] { return !queue_.empty() || closed_; });
-        if (queue_.empty())
-            return std::nullopt;
-        T item = std::move(queue_.front());
-        queue_.pop_front();
-        not_full_.notify_one();
-        return item;
-    }
-
-    void
-    close()
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        closed_ = true;
-        not_empty_.notify_all();
-    }
-
-  private:
-    std::size_t capacity_;
-    std::mutex mutex_;
-    std::condition_variable not_full_;
-    std::condition_variable not_empty_;
-    std::deque<T> queue_;
-    bool closed_ = false;
-};
 
 /**
  * Concurrent Scout -> Explorer-1..N -> Analyst execution.

@@ -123,6 +123,10 @@ struct RegionStats
 
     /** Accumulate (for whole-run aggregation across regions). */
     void add(const RegionStats &other);
+
+    /** Exact (bitwise for cycles) equality — the parallel execution
+     *  paths promise bit-identical statistics. */
+    bool operator==(const RegionStats &other) const = default;
 };
 
 /** Knobs for the detailed simulator. */

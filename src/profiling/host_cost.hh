@@ -53,6 +53,8 @@ struct HostCostParams
 
     /** Interval scale factor S (paper interval / simulated interval). */
     double scale = 200.0;
+
+    bool operator==(const HostCostParams &other) const = default;
 };
 
 /**
@@ -99,6 +101,9 @@ class HostCostAccount
 
     /** One-line human-readable breakdown. */
     std::string breakdown() const;
+
+    /** Exact equality of every charge bucket (and the params). */
+    bool operator==(const HostCostAccount &other) const = default;
 
   private:
     HostCostParams params_;

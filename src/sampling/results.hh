@@ -69,6 +69,14 @@ struct MethodResult
 
     /** Fold one region's stats into the aggregate. */
     void addRegion(const cpu::RegionStats &stats);
+
+    /**
+     * Exact field-by-field equality (doubles compared bitwise-exactly).
+     * This is the "bit-identical" relation the parallel execution
+     * paths guarantee against serial runs; being defaulted, it can
+     * never fall behind the field list.
+     */
+    bool operator==(const MethodResult &other) const = default;
 };
 
 } // namespace delorean::sampling

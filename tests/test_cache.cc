@@ -125,8 +125,9 @@ TEST(Cache, CyclicSweepBeyondCapacityAlwaysMisses)
     for (int pass = 0; pass < 3; ++pass) {
         for (Addr l : {0u, 8u, 16u}) { // 3 lines, one set
             const bool hit = c.access(l, false).hit;
-            if (pass > 0)
+            if (pass > 0) {
                 EXPECT_FALSE(hit) << "pass " << pass << " line " << l;
+            }
         }
     }
 }

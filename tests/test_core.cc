@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -376,6 +377,40 @@ TEST(Delorean, WarmupReusableAcrossAnalysts)
     const auto once = DeloreanMethod::analyze(*trace, cfg, cp, art);
     const auto twice = DeloreanMethod::analyze(*trace, cfg, cp, art);
     EXPECT_DOUBLE_EQ(once.cpi(), twice.cpi());
+}
+
+// ---------------------------------------------------------------- golden
+
+// Golden-value regression pin: bzip2 on the quick schedule. These
+// values were produced by the current Scout/Explorer/Analyst stack; a
+// future refactor that shifts any of them is a behaviour change and
+// must update this test deliberately (integer statistics are exact,
+// floating-point ones get a tiny tolerance for cross-compiler
+// FP-contraction differences).
+TEST(Delorean, GoldenBzip2QuickSchedule)
+{
+    auto trace = workload::makeSpecTrace("bzip2");
+    const auto cfg = quickConfig();
+    const auto s = sampling::SmartsMethod::run(*trace, cfg);
+    const auto d = DeloreanMethod::run(*trace, cfg);
+
+    auto near = [](double expected) {
+        return std::abs(expected) * 1e-6 + 1e-12;
+    };
+    EXPECT_NEAR(d.cpi(), 0.60816875, near(0.60816875));
+    EXPECT_NEAR(d.mpki(), 3.3333333333333335, near(3.33));
+    EXPECT_NEAR(d.total.cycles, 18245.0625, near(18245.0625));
+    EXPECT_NEAR(s.cpi(), 0.551325, near(0.551325));
+    EXPECT_NEAR(sampling::speedupOver(s, d), 86.321063285394573,
+                near(86.32));
+    EXPECT_NEAR(d.mips, 121.10198087117406, near(121.1));
+    EXPECT_NEAR(d.avg_explorers, 2.0, near(2.0));
+
+    EXPECT_EQ(d.keys_total, 1789u);
+    EXPECT_EQ(d.keys_explored, 635u);
+    EXPECT_EQ(d.keys_unresolved, 100u);
+    EXPECT_EQ(d.traps, 35211u);
+    EXPECT_EQ(d.reuse_samples, 1131u);
 }
 
 // ----------------------------------------------------------------- DSE

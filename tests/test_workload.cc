@@ -255,8 +255,9 @@ TEST(SyntheticTrace, ChaseLoadsAreDependent)
             EXPECT_TRUE(inst.dep_load);
             saw_dep = true;
         }
-        if (inst.isStore())
+        if (inst.isStore()) {
             EXPECT_FALSE(inst.dep_load);
+        }
     }
     EXPECT_TRUE(saw_dep);
 }
