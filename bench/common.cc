@@ -3,11 +3,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <sstream>
 
 #include "base/logging.hh"
 #include "base/units.hh"
+#include "workload/trace_registry.hh"
 
 namespace delorean::bench
 {
@@ -187,6 +189,27 @@ loadCache(const std::string &file,
 
 } // namespace
 
+std::unique_ptr<workload::TraceSource>
+makeTraceOrDie(const std::string &spec)
+{
+    try {
+        return workload::makeTrace(spec);
+    } catch (const std::exception &e) {
+        fatal("%s", e.what());
+    }
+    return nullptr;
+}
+
+void
+guarded(const std::string &spec, const std::function<void()> &body)
+{
+    try {
+        body();
+    } catch (const std::exception &e) {
+        fatal("%s: %s", spec.c_str(), e.what());
+    }
+}
+
 std::vector<BenchmarkSweep>
 runSweep(const Options &opt, std::uint64_t llc_size, bool prefetch,
          const std::string &tag)
@@ -194,7 +217,20 @@ runSweep(const Options &opt, std::uint64_t llc_size, bool prefetch,
     const std::string file = cacheFile(opt, llc_size, prefetch, tag);
     const auto &benchmarks = opt.benchmarkList();
 
-    if (opt.use_cache) {
+    // Synthetic workloads are immutable functions of their spec, so
+    // cache rows keyed by spec stay valid forever. A file:/champsim:
+    // path can be re-recorded with different content; never trust or
+    // write cache rows for those.
+    bool cacheable = true;
+    for (const auto &spec : benchmarks) {
+        const auto colon = spec.find(':');
+        if (colon != std::string::npos &&
+            spec.compare(0, colon, "spec") != 0)
+            cacheable = false;
+    }
+    const bool use_cache = opt.use_cache && cacheable;
+
+    if (use_cache) {
         auto cached = loadCache(file, benchmarks);
         if (!cached.empty()) {
             std::fprintf(stderr, "[sweep] loaded %zu benchmarks from %s\n",
@@ -205,21 +241,36 @@ runSweep(const Options &opt, std::uint64_t llc_size, bool prefetch,
 
     const auto cfg = opt.config(llc_size, prefetch);
     std::vector<BenchmarkSweep> sweeps;
-    for (const auto &name : benchmarks) {
-        std::fprintf(stderr, "[sweep] %s (llc=%s%s)...\n", name.c_str(),
+    for (const auto &spec : benchmarks) {
+        std::fprintf(stderr, "[sweep] %s (llc=%s%s)...\n", spec.c_str(),
                      mib(llc_size).c_str(), prefetch ? ", prefetch" : "");
-        auto trace = workload::makeSpecTrace(name);
+        // Specs can be bare SPEC names, spec:, file:, or champsim:
+        // (workload/trace_registry.hh).
+        auto trace = makeTraceOrDie(spec);
         BenchmarkSweep sw;
-        sw.smarts =
-            RunSummary::from(sampling::SmartsMethod::run(*trace, cfg));
-        sw.coolsim =
-            RunSummary::from(sampling::CoolSimMethod::run(*trace, cfg));
-        sw.delorean =
-            RunSummary::from(core::DeloreanMethod::run(*trace, cfg));
+        try {
+            sw.smarts = RunSummary::from(
+                sampling::SmartsMethod::run(*trace, cfg));
+            sw.coolsim = RunSummary::from(
+                sampling::CoolSimMethod::run(*trace, cfg));
+            sw.delorean = RunSummary::from(
+                core::DeloreanMethod::run(*trace, cfg));
+        } catch (const std::exception &e) {
+            // E.g. a recorded trace shorter than the schedule.
+            fatal("%s: %s", spec.c_str(), e.what());
+        }
+        // Rows (and figure output) are keyed by the *spec*, not the
+        // trace's display name: a recording of bzip2 and synthetic
+        // bzip2 are different workloads and must not share cache rows.
+        // Specs with whitespace defeat the TSV cache format; the
+        // loader then fails to parse and the sweep recomputes.
+        sw.smarts.benchmark = spec;
+        sw.coolsim.benchmark = spec;
+        sw.delorean.benchmark = spec;
         sweeps.push_back(sw);
     }
 
-    if (opt.use_cache) {
+    if (use_cache) {
         std::ofstream os(file);
         for (const auto &sw : sweeps) {
             writeSummary(os, sw.smarts);

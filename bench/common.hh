@@ -8,7 +8,12 @@
  *
  *   --spacing N     region spacing in instructions (default 5,000,000)
  *   --regions N     number of detailed regions (default 10)
- *   --bench a,b,c   benchmark subset (default: all 24)
+ *   --bench a,b,c   workload subset (default: all 24 SPEC-like
+ *                   profiles); entries are trace specs
+ *                   (workload/trace_registry.hh), so recorded traces
+ *                   (file:PATH) and ChampSim traces (champsim:PATH)
+ *                   drive any figure, e.g.
+ *                   fig05_speed --bench bzip2,file:bzip2.dlt
  *   --quick         1,000,000-instruction spacing, for smoke runs
  *   --no-cache      ignore the sweep cache
  *
@@ -22,6 +27,8 @@
 #ifndef DELOREAN_BENCH_COMMON_HH
 #define DELOREAN_BENCH_COMMON_HH
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -114,6 +121,22 @@ multiSizeReference(const workload::TraceSource &master,
                    const cache::HierarchyConfig &base,
                    const std::vector<std::uint64_t> &sizes,
                    const cpu::DetailedSimConfig &sim_config);
+
+/**
+ * Resolve a trace spec (workload/trace_registry.hh) for a figure
+ * binary: unknown schemes/names and malformed trace files are user
+ * errors, reported via fatal().
+ */
+std::unique_ptr<workload::TraceSource>
+makeTraceOrDie(const std::string &spec);
+
+/**
+ * Run one figure's per-workload body, converting any exception it
+ * throws (e.g. TraceError from a recording shorter than the schedule)
+ * into a fatal user error tagged with the workload spec — figure
+ * binaries must report bad inputs, never std::terminate.
+ */
+void guarded(const std::string &spec, const std::function<void()> &body);
 
 /** Heading in the output of each figure binary. */
 void printHeading(const std::string &title, const std::string &paper_ref);

@@ -41,8 +41,11 @@ main(int argc, char **argv)
             }
             auto cfg = opt.config(8 * MiB);
             cfg.paper_vicinity_period = period;
-            auto trace = workload::makeSpecTrace(name);
-            const auto d = core::DeloreanMethod::run(*trace, cfg);
+            sampling::MethodResult d;
+            bench::guarded(name, [&] {
+                auto trace = bench::makeTraceOrDie(name);
+                d = core::DeloreanMethod::run(*trace, cfg);
+            });
             sum_mips += d.mips;
             sum_err += sampling::relativeErrorPct(sweeps[i].smarts.cpi,
                                                   d.cpi());

@@ -35,7 +35,8 @@ main(int argc, char **argv)
 
     for (const auto &name : opt.benchmarkList()) {
         std::fprintf(stderr, "[fig13] %s...\n", name.c_str());
-        auto trace = workload::makeSpecTrace(name);
+        bench::guarded(name, [&] {
+        auto trace = bench::makeTraceOrDie(name);
         const auto cfg = opt.config(1 * MiB);
 
         const auto ref = bench::multiSizeReference(
@@ -63,6 +64,7 @@ main(int argc, char **argv)
         for (const auto k : knees)
             std::printf("%s ", bench::mib(k).c_str());
         std::printf("\n");
+        });
     }
 
     std::printf("\npaper: lbm shows knees near 8 MiB and 512 MiB; "

@@ -62,7 +62,8 @@ main(int argc, char **argv)
 
     for (const auto &name : opt.benchmarkList()) {
         std::fprintf(stderr, "[fig14] %s...\n", name.c_str());
-        auto trace = workload::makeSpecTrace(name);
+        bench::guarded(name, [&] {
+        auto trace = bench::makeTraceOrDie(name);
         auto cfg = opt.config(1 * MiB);
 
         const auto ref = bench::multiSizeReference(
@@ -106,6 +107,7 @@ main(int argc, char **argv)
                     serial_s, n_threads,
                     parallel_s, parallel_s > 0.0
                         ? serial_s / parallel_s : 0.0);
+        });
     }
 
     std::printf("\npaper: all 10 points obtained from the same warm-up "

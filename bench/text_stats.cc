@@ -26,13 +26,20 @@ main(int argc, char **argv)
     double min_keys = 1e18, max_keys = 0, sum_keys = 0;
     double sum_luke = 0, sum_mshr = 0;
 
-    for (const auto &sw : sweeps) {
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+        const auto &sw = sweeps[i];
         // Lukewarm hit rate from DeLorean's detailed regions: accesses
         // resolved by the lukewarm state (L1 hits + lukewarm LLC hits)
         // out of all accesses; then adding MSHR (delayed) hits.
-        auto trace = workload::makeSpecTrace(sw.smarts.benchmark);
+        // Rebuild from the original *spec* (not the display name), so
+        // file-backed workloads re-run from their file.
+        const auto &spec = opt.benchmarkList()[i];
         const auto cfg = opt.config(8 * MiB);
-        const auto d = core::DeloreanMethod::run(*trace, cfg);
+        sampling::MethodResult d;
+        bench::guarded(spec, [&] {
+            auto trace = bench::makeTraceOrDie(spec);
+            d = core::DeloreanMethod::run(*trace, cfg);
+        });
 
         const double refs = double(d.total.mem_refs);
         const double luke =

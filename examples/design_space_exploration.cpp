@@ -4,7 +4,7 @@
  * sizes from a single shared warm-up, and show the amortization
  * economics (warm-up dominates, so extra Analysts are almost free).
  *
- *   ./design_space_exploration [benchmark] [spacing] [threads]
+ *   ./design_space_exploration [trace-spec] [spacing] [threads]
  *
  * With threads > 1 (default: one per hardware thread) the shared
  * warm-up fans regions and the sweep fans Analysts across host cores;
@@ -14,12 +14,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 
 #include "core/dse.hh"
 #include "core/parallel.hh"
 #include "statmodel/working_set.hh"
-#include "workload/spec_profiles.hh"
+#include "workload/trace_registry.hh"
 
 int
 main(int argc, char **argv)
@@ -34,14 +35,21 @@ main(int argc, char **argv)
                  : long(core::ThreadPool::defaultThreads());
     if (threads_arg < 0) {
         std::fprintf(stderr,
-                     "usage: %s [benchmark] [spacing] [threads >= 0]\n",
+                     "usage: %s [trace-spec] [spacing] [threads >= 0]\n",
                      argv[0]);
         return 1;
     }
     const unsigned threads =
         core::resolveThreads(unsigned(threads_arg));
 
-    auto trace = workload::makeSpecTrace(name);
+    auto trace = [&] {
+        try {
+            return workload::makeTrace(name);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            std::exit(1);
+        }
+    }();
     core::DeloreanConfig cfg;
     cfg.schedule.spacing = spacing;
     cfg.host_threads = threads;

@@ -3,34 +3,46 @@
  * Quickstart: simulate one SPEC-like benchmark with all three sampling
  * methods and compare speed and accuracy.
  *
- *   ./quickstart [benchmark] [spacing]
+ *   ./quickstart [trace-spec] [spacing]
  *
- * Defaults: benchmark = bzip2, spacing = 2,000,000 instructions between
+ * Defaults: workload = bzip2, spacing = 2,000,000 instructions between
  * the 10 detailed regions (a ~20M-instruction trace, a few seconds).
+ * The workload is any trace spec (workload/trace_registry.hh): a SPEC
+ * name, a file:PATH recording, or a champsim:PATH trace.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 
 #include "core/delorean.hh"
 #include "sampling/coolsim.hh"
 #include "sampling/metrics.hh"
 #include "sampling/smarts.hh"
-#include "workload/spec_profiles.hh"
+#include "workload/trace_registry.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace delorean;
 
-    const std::string name = argc > 1 ? argv[1] : "bzip2";
+    const std::string spec = argc > 1 ? argv[1] : "bzip2";
     const InstCount spacing =
         argc > 2 ? InstCount(std::atoll(argv[2])) : 2'000'000;
 
     // 1. Build the workload. Any TraceSource works; the library ships
-    //    24 SPEC CPU2006-like profiles.
-    auto trace = workload::makeSpecTrace(name);
+    //    24 SPEC CPU2006-like profiles plus file-backed replay of
+    //    recorded (file:) and ChampSim (champsim:) traces.
+    auto trace = [&] {
+        try {
+            return workload::makeTrace(spec);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "quickstart: %s\n", e.what());
+            std::exit(1);
+        }
+    }();
+    const std::string name = trace->name();
 
     // 2. Configure the simulated machine (defaults follow Table 1 of
     //    the paper: 64 KiB L1s, 8 MiB 8-way LLC, 8-wide OoO core) and
@@ -47,9 +59,17 @@ main(int argc, char **argv)
     // 3. Run the reference (SMARTS, functional warming), the prior
     //    state of the art (CoolSim, randomized statistical warming),
     //    and DeLorean (directed statistical warming + time traveling).
-    const auto smarts = sampling::SmartsMethod::run(*trace, config);
-    const auto coolsim = sampling::CoolSimMethod::run(*trace, config);
-    const auto delorean = core::DeloreanMethod::run(*trace, config);
+    // A recorded trace that is shorter than the schedule throws; report
+    // it as the configuration error it is instead of terminating.
+    sampling::MethodResult smarts, coolsim, delorean;
+    try {
+        smarts = sampling::SmartsMethod::run(*trace, config);
+        coolsim = sampling::CoolSimMethod::run(*trace, config);
+        delorean = core::DeloreanMethod::run(*trace, config);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "quickstart: %s\n", e.what());
+        return 1;
+    }
 
     std::printf("\n%-10s %10s %10s %12s %14s\n", "method", "CPI",
                 "MPKI", "speed/MIPS", "reuse samples");

@@ -4,16 +4,17 @@
  * curves for a benchmark with DeLorean's amortized warm-up and detect
  * the knees that reveal the application's working-set sizes.
  *
- *   ./working_set_curves [benchmark] [spacing]
+ *   ./working_set_curves [trace-spec] [spacing]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 
 #include "core/dse.hh"
 #include "statmodel/working_set.hh"
-#include "workload/spec_profiles.hh"
+#include "workload/trace_registry.hh"
 
 int
 main(int argc, char **argv)
@@ -24,7 +25,14 @@ main(int argc, char **argv)
     const InstCount spacing =
         argc > 2 ? InstCount(std::atoll(argv[2])) : 5'000'000;
 
-    auto trace = workload::makeSpecTrace(name);
+    auto trace = [&] {
+        try {
+            return workload::makeTrace(name);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "%s\n", e.what());
+            std::exit(1);
+        }
+    }();
 
     core::DeloreanConfig cfg;
     cfg.schedule.spacing = spacing;

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Explicit little-endian byte packing, shared by the binary trace
+ * codecs (trace_io.cc, champsim_trace.cc) so files are byte-identical
+ * across hosts regardless of native endianness.
+ */
+
+#ifndef DELOREAN_WORKLOAD_ENDIAN_HH
+#define DELOREAN_WORKLOAD_ENDIAN_HH
+
+#include <cstdint>
+
+namespace delorean::workload::le
+{
+
+inline void
+putU32(std::uint8_t *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = std::uint8_t(v >> (8 * i));
+}
+
+inline void
+putU64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = std::uint8_t(v >> (8 * i));
+}
+
+inline std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= std::uint32_t(p[i]) << (8 * i);
+    return v;
+}
+
+inline std::uint64_t
+getU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= std::uint64_t(p[i]) << (8 * i);
+    return v;
+}
+
+} // namespace delorean::workload::le
+
+#endif // DELOREAN_WORKLOAD_ENDIAN_HH

@@ -56,6 +56,13 @@ struct Instruction
 
     /** Cacheline number of the data access. */
     Addr line() const { return lineOf(addr); }
+
+    /**
+     * Exact field-by-field equality. Defaulted so record/replay
+     * comparisons (trace_record verify, the replay-equivalence tests)
+     * can never fall behind the field list.
+     */
+    bool operator==(const Instruction &other) const = default;
 };
 
 } // namespace delorean::workload

@@ -167,42 +167,52 @@ SyntheticTrace::pickKernel(double u) const
     return cum.size() - 1;
 }
 
-Instruction
-SyntheticTrace::next()
+void
+SyntheticTrace::step(Instruction *out)
 {
     const auto &prof = *profile_;
     const auto &t = *tables_;
 
-    Instruction inst;
+    // Every RNG draw, kernel step, and cursor update below happens
+    // whether or not @p out is set — only the record writes are gated —
+    // so skip(n) leaves the generator in exactly the state n x next()
+    // would.
     const double u = rng_.nextDouble();
 
     if (u < prof.mem_ratio) {
         const std::size_t k = pickKernel(rng_.nextDouble());
-        inst.type = rng_.chance(prof.store_frac) ? InstType::Store
-                                                 : InstType::Load;
-        inst.addr = kernels_[k]->nextAddr();
-        // Pointer-chase loads carry a value dependence on the previous
-        // load (the next pointer), which the timing model serializes.
-        inst.dep_load = inst.type == InstType::Load &&
-            prof.kernels[k].kind == KernelSpec::Kind::Chase;
-        const auto &pcs = t.mem_pcs[k];
-        // A kernel's PCs stand for distinct loops: stay on one PC for a
-        // stretch of iterations rather than round-robin per access —
-        // per-access rotation would give every PC an artificial large
-        // stride and mislead the limited-associativity model.
-        inst.pc = pcs[(pc_cursor_[k] / 64) % pcs.size()];
+        const bool store = rng_.chance(prof.store_frac);
+        const Addr addr = kernels_[k]->nextAddr();
+        if (out) {
+            out->type = store ? InstType::Store : InstType::Load;
+            out->addr = addr;
+            // Pointer-chase loads carry a value dependence on the
+            // previous load (the next pointer), which the timing model
+            // serializes.
+            out->dep_load = !store &&
+                prof.kernels[k].kind == KernelSpec::Kind::Chase;
+            const auto &pcs = t.mem_pcs[k];
+            // A kernel's PCs stand for distinct loops: stay on one PC
+            // for a stretch of iterations rather than round-robin per
+            // access — per-access rotation would give every PC an
+            // artificial large stride and mislead the
+            // limited-associativity model.
+            out->pc = pcs[(pc_cursor_[k] / 64) % pcs.size()];
+            out->latency = 1;
+        }
         ++pc_cursor_[k];
-        inst.latency = 1;
     } else if (u < prof.mem_ratio + prof.branch_ratio) {
         const auto &br =
             t.branches[rng_.nextBounded(t.branches.size())];
-        inst.type = InstType::Branch;
-        inst.pc = br.pc;
-        inst.target = br.target;
-        inst.taken = rng_.chance(br.taken_bias);
-        inst.latency = 1;
+        const bool taken = rng_.chance(br.taken_bias);
+        if (out) {
+            out->type = InstType::Branch;
+            out->pc = br.pc;
+            out->target = br.target;
+            out->taken = taken;
+            out->latency = 1;
+        }
     } else {
-        inst.type = InstType::Other;
         // Instruction fetch shows locality, not a linear sweep: execution
         // stays inside a small "function" window, jumps mostly between a
         // few hot functions (covered by the 30 k detailed warming), and
@@ -221,15 +231,32 @@ SyntheticTrace::next()
             code_cursor_ = f * func_slots;
             func_pos_ = 0;
         }
-        inst.pc = code_base +
-                  ((code_cursor_ + func_pos_) % t.code_slots) * 4;
+        const bool fp = rng_.chance(prof.fp_frac);
+        if (out) {
+            out->type = InstType::Other;
+            out->pc = code_base +
+                      ((code_cursor_ + func_pos_) % t.code_slots) * 4;
+            out->latency = fp ? std::uint8_t(4) : std::uint8_t(1);
+        }
         func_pos_ = (func_pos_ + 1) % func_slots;
-        inst.latency =
-            rng_.chance(prof.fp_frac) ? std::uint8_t(4) : std::uint8_t(1);
     }
 
     ++pos_;
+}
+
+Instruction
+SyntheticTrace::next()
+{
+    Instruction inst;
+    step(&inst);
     return inst;
+}
+
+void
+SyntheticTrace::skip(InstCount n)
+{
+    for (InstCount i = 0; i < n; ++i)
+        step(nullptr);
 }
 
 } // namespace delorean::workload

@@ -47,6 +47,14 @@ class SyntheticTrace : public TraceSource
     void reset() override;
     const std::string &name() const override { return profile_->name; }
 
+    /**
+     * Faster than the default n x next(): runs the same state
+     * transitions (every RNG draw, kernel step, and cursor update must
+     * happen — the stream is path-dependent, so a synthetic trace
+     * cannot seek) but skips materializing the Instruction records.
+     */
+    void skip(InstCount n) override;
+
     /** The profile this trace executes. */
     const BenchmarkProfile &profile() const { return *profile_; }
 
@@ -55,6 +63,13 @@ class SyntheticTrace : public TraceSource
 
   private:
     SyntheticTrace(const SyntheticTrace &other);
+
+    /**
+     * Advance the generator by one instruction, writing the record to
+     * @p out unless it is null. next() and skip() both funnel through
+     * here so their state transitions can never diverge.
+     */
+    void step(Instruction *out);
 
     /** Immutable per-branch-PC behaviour, shared across clones. */
     struct BranchInfo

@@ -1,0 +1,331 @@
+#include "workload/trace_io.hh"
+
+#include <cstring>
+#include <filesystem>
+
+#include "workload/endian.hh"
+
+namespace delorean::workload
+{
+
+namespace
+{
+
+using le::getU32;
+using le::getU64;
+using le::putU32;
+using le::putU64;
+
+void
+encodeRecord(std::uint8_t *p, const Instruction &inst)
+{
+    putU64(p + 0, inst.pc);
+    putU64(p + 8, inst.addr);
+    putU64(p + 16, inst.target);
+    p[24] = std::uint8_t(inst.type);
+    p[25] = std::uint8_t((inst.taken ? TraceFormat::flag_taken : 0) |
+                         (inst.dep_load ? TraceFormat::flag_dep_load : 0));
+    p[26] = inst.latency;
+    std::memset(p + 27, 0, 5);
+}
+
+Instruction
+decodeRecord(const std::uint8_t *p, const std::string &path,
+             InstCount index)
+{
+    const std::uint8_t type = p[24];
+    const std::uint8_t flags = p[25];
+    bool garbage = type > std::uint8_t(InstType::Other) ||
+                   (flags & ~(TraceFormat::flag_taken |
+                              TraceFormat::flag_dep_load)) != 0;
+    for (int i = 27; i < 32; ++i)
+        garbage = garbage || p[i] != 0;
+    if (garbage) {
+        throw TraceError("trace '" + path + "': garbage record at index " +
+                         std::to_string(index) +
+                         " (bad type/flags/reserved bytes)");
+    }
+
+    Instruction inst;
+    inst.pc = getU64(p + 0);
+    inst.addr = getU64(p + 8);
+    inst.target = getU64(p + 16);
+    inst.type = InstType(type);
+    inst.taken = (flags & TraceFormat::flag_taken) != 0;
+    inst.dep_load = (flags & TraceFormat::flag_dep_load) != 0;
+    inst.latency = p[26];
+    return inst;
+}
+
+/** Serialized header (fixed part + name). */
+std::vector<std::uint8_t>
+encodeHeader(const std::string &name, InstCount count)
+{
+    std::vector<std::uint8_t> h(TraceFormat::header_size + name.size());
+    std::memcpy(h.data(), TraceFormat::magic.data(), 8);
+    putU32(h.data() + 8, TraceFormat::version);
+    putU32(h.data() + 12, TraceFormat::record_size);
+    putU64(h.data() + 16, count);
+    putU32(h.data() + 24, 0); // reserved
+    putU32(h.data() + 28, std::uint32_t(name.size()));
+    std::memcpy(h.data() + TraceFormat::header_size, name.data(),
+                name.size());
+    return h;
+}
+
+} // namespace
+
+// -------------------------------------------------------------- writer
+
+TraceWriter::TraceWriter(const std::string &path, const std::string &name)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path)
+{
+    if (!out_)
+        throw TraceError("cannot create trace file '" + path + "'");
+    if (name.size() > TraceFormat::max_name_len)
+        throw TraceError("trace name too long (" +
+                         std::to_string(name.size()) + " bytes)");
+    // Count is not known yet; finish() patches it in place.
+    const auto header = encodeHeader(name, 0);
+    out_.write(reinterpret_cast<const char *>(header.data()),
+               std::streamsize(header.size()));
+    if (!out_)
+        throw TraceError("write error on trace file '" + path + "'");
+}
+
+TraceWriter::~TraceWriter()
+{
+    try {
+        finish();
+    } catch (const TraceError &) {
+        // Destructors must not throw; call finish() directly to
+        // observe close/flush failures.
+    }
+}
+
+void
+TraceWriter::append(const Instruction &inst)
+{
+    if (finished_)
+        throw TraceError("append to finished trace '" + path_ + "'");
+    std::uint8_t rec[TraceFormat::record_size];
+    encodeRecord(rec, inst);
+    out_.write(reinterpret_cast<const char *>(rec), sizeof(rec));
+    if (!out_)
+        throw TraceError("write error on trace file '" + path_ + "'");
+    ++written_;
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished_)
+        return;
+    std::uint8_t count[8];
+    putU64(count, written_);
+    out_.seekp(16); // inst_count field
+    out_.write(reinterpret_cast<const char *>(count), sizeof(count));
+    out_.close();
+    if (out_.fail())
+        throw TraceError("close error on trace file '" + path_ + "'");
+    // Only marked done on success: a failed finish() stays observable
+    // on retry instead of silently reporting completion.
+    finished_ = true;
+}
+
+// -------------------------------------------------------------- reader
+
+TraceReader::TraceReader(const std::string &path)
+    : path_(path), in_(path, std::ios::binary)
+{
+    if (!in_)
+        throw TraceError("cannot open trace file '" + path + "'");
+
+    std::uint8_t fixed[TraceFormat::header_size];
+    in_.read(reinterpret_cast<char *>(fixed), sizeof(fixed));
+    if (in_.gcount() != std::streamsize(sizeof(fixed)))
+        throw TraceError("trace '" + path + "': truncated header");
+
+    if (std::memcmp(fixed, TraceFormat::magic.data(), 8) != 0)
+        throw TraceError("trace '" + path +
+                         "': bad magic (not a DeLorean trace)");
+    const std::uint32_t version = getU32(fixed + 8);
+    if (version != TraceFormat::version)
+        throw TraceError("trace '" + path + "': unsupported version " +
+                         std::to_string(version) + " (expected " +
+                         std::to_string(TraceFormat::version) + ")");
+    const std::uint32_t record_size = getU32(fixed + 12);
+    if (record_size != TraceFormat::record_size)
+        throw TraceError("trace '" + path + "': record size " +
+                         std::to_string(record_size) + " != " +
+                         std::to_string(TraceFormat::record_size));
+    count_ = getU64(fixed + 16);
+    if (getU32(fixed + 24) != 0)
+        throw TraceError("trace '" + path +
+                         "': reserved header field is nonzero");
+    const std::uint32_t name_len = getU32(fixed + 28);
+    if (name_len > TraceFormat::max_name_len)
+        throw TraceError("trace '" + path + "': name length " +
+                         std::to_string(name_len) + " exceeds limit");
+
+    name_.resize(name_len);
+    in_.read(name_.data(), name_len);
+    if (in_.gcount() != std::streamsize(name_len))
+        throw TraceError("trace '" + path + "': truncated header name");
+    data_offset_ = TraceFormat::header_size + name_len;
+
+    std::error_code ec;
+    const auto file_size = std::filesystem::file_size(path, ec);
+    if (ec)
+        throw TraceError("trace '" + path + "': cannot stat: " +
+                         ec.message());
+    const std::uint64_t expected =
+        data_offset_ + count_ * std::uint64_t(TraceFormat::record_size);
+    if (file_size < expected)
+        throw TraceError(
+            "trace '" + path + "': truncated payload (" +
+            std::to_string(file_size) + " bytes, header promises " +
+            std::to_string(expected) + ")");
+    if (file_size > expected)
+        throw TraceError("trace '" + path + "': " +
+                         std::to_string(file_size - expected) +
+                         " trailing bytes after the last record");
+}
+
+TraceReader::TraceReader(const TraceReader &other)
+    : path_(other.path_),
+      name_(other.name_),
+      in_(other.path_, std::ios::binary),
+      count_(other.count_),
+      pos_(other.pos_),
+      data_offset_(other.data_offset_)
+{
+    if (!in_)
+        throw TraceError("cannot reopen trace file '" + path_ + "'");
+}
+
+void
+TraceReader::seek(InstCount pos)
+{
+    if (pos > count_)
+        throw TraceError("trace '" + path_ + "': seek to " +
+                         std::to_string(pos) + " beyond the " +
+                         std::to_string(count_) + " recorded records");
+    pos_ = pos;
+}
+
+void
+TraceReader::refill()
+{
+    constexpr InstCount chunk_records = 4096;
+    const InstCount n = std::min(chunk_records, count_ - pos_);
+    buf_.resize(std::size_t(n) * TraceFormat::record_size);
+    in_.clear();
+    in_.seekg(std::streamoff(data_offset_ +
+                             pos_ * TraceFormat::record_size));
+    in_.read(reinterpret_cast<char *>(buf_.data()),
+             std::streamsize(buf_.size()));
+    if (in_.gcount() != std::streamsize(buf_.size()))
+        throw TraceError("trace '" + path_ +
+                         "': read error (file shrank under us?)");
+    buf_first_ = pos_;
+    buf_records_ = n;
+}
+
+Instruction
+TraceReader::next()
+{
+    if (pos_ >= count_)
+        throw TraceError("trace '" + path_ + "': exhausted after " +
+                         std::to_string(count_) + " instructions");
+    if (pos_ < buf_first_ || pos_ >= buf_first_ + buf_records_)
+        refill();
+    const std::uint8_t *rec =
+        buf_.data() +
+        std::size_t(pos_ - buf_first_) * TraceFormat::record_size;
+    ++decoded_;
+    return decodeRecord(rec, path_, pos_++);
+}
+
+// ----------------------------------------------------------- FileTrace
+
+FileTrace::FileTrace(const std::string &path, bool loop)
+    : reader_(path), loop_(loop)
+{
+    if (loop_ && reader_.instCount() == 0)
+        throw TraceError("trace '" + path +
+                         "': cannot loop an empty trace");
+}
+
+Instruction
+FileTrace::next()
+{
+    if (loop_ && reader_.position() == reader_.instCount())
+        reader_.seek(0);
+    const Instruction inst = reader_.next();
+    ++pos_;
+    return inst;
+}
+
+void
+FileTrace::skip(InstCount n)
+{
+    // Fixed-width records: skipping is pure arithmetic on the position.
+    // No record is read or decoded (asserted by the tests).
+    const InstCount count = reader_.instCount();
+    const InstCount reader_pos = reader_.position();
+    if (loop_) {
+        reader_.seek((reader_pos + n) % count);
+    } else {
+        if (n > count - reader_pos)
+            throw TraceError(
+                "trace '" + reader_.path() + "': skip(" +
+                std::to_string(n) + ") at position " +
+                std::to_string(reader_pos) + " overruns the " +
+                std::to_string(count) + " recorded instructions");
+        reader_.seek(reader_pos + n);
+    }
+    pos_ += n;
+}
+
+FileTrace::FileTrace(const FileTrace &other)
+    : reader_(other.reader_), loop_(other.loop_), pos_(other.pos_)
+{
+}
+
+std::unique_ptr<TraceSource>
+FileTrace::clone() const
+{
+    // The whole checkpoint is {path, offset}: the reader copy reopens
+    // the file and inherits the validated metadata.
+    return std::unique_ptr<TraceSource>(new FileTrace(*this));
+}
+
+void
+FileTrace::reset()
+{
+    reader_.seek(0);
+    pos_ = 0;
+}
+
+// ---------------------------------------------------------- recordTrace
+
+InstCount
+recordTrace(TraceSource &source, InstCount count, const std::string &path)
+{
+    try {
+        TraceWriter writer(path, source.name());
+        for (InstCount i = 0; i < count; ++i)
+            writer.append(source.next());
+        writer.finish();
+        return writer.written();
+    } catch (...) {
+        // Don't leave a valid-looking truncated recording behind when
+        // the source or the writer fails partway.
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+        throw;
+    }
+}
+
+} // namespace delorean::workload

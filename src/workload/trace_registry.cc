@@ -1,0 +1,41 @@
+#include "workload/trace_registry.hh"
+
+#include "base/logging.hh"
+#include "workload/champsim_trace.hh"
+#include "workload/spec_profiles.hh"
+#include "workload/trace_io.hh"
+
+namespace delorean::workload
+{
+
+std::unique_ptr<TraceSource>
+makeTrace(const std::string &spec)
+{
+    const auto colon = spec.find(':');
+    if (colon == std::string::npos)
+        return makeSpecTrace(spec);
+
+    const std::string scheme = spec.substr(0, colon);
+    const std::string rest = spec.substr(colon + 1);
+    fatal_if(rest.empty(), "trace spec '%s': empty %s argument",
+             spec.c_str(), scheme.c_str());
+    if (scheme == "spec")
+        return makeSpecTrace(rest);
+    if (scheme == "file")
+        return std::make_unique<FileTrace>(rest);
+    if (scheme == "champsim")
+        return std::make_unique<ChampSimTrace>(rest);
+    fatal("trace spec '%s': unknown scheme '%s' (%s)", spec.c_str(),
+          scheme.c_str(), traceSpecHelp());
+    return nullptr;
+}
+
+const char *
+traceSpecHelp()
+{
+    return "workloads: spec:NAME (or bare NAME) for a SPEC-like "
+           "profile, file:PATH for a recorded DeLorean trace, "
+           "champsim:PATH for an uncompressed ChampSim trace";
+}
+
+} // namespace delorean::workload

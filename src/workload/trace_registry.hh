@@ -1,0 +1,35 @@
+/**
+ * @file
+ * One front door for constructing workloads from a textual spec, so
+ * every CLI (tools, benches, examples) accepts synthetic and
+ * file-backed traces interchangeably:
+ *
+ *   "spec:bzip2"            SPEC CPU2006-like synthetic profile
+ *   "file:path.dlt"         recorded DeLorean trace (workload/trace_io.hh)
+ *   "champsim:path.trace"   uncompressed ChampSim input_instr trace
+ *   "bzip2"                 scheme-less shorthand for spec:
+ *
+ * Unknown schemes and unknown spec names call fatal() (user error);
+ * malformed trace *files* surface as TraceError from the reader.
+ */
+
+#ifndef DELOREAN_WORKLOAD_TRACE_REGISTRY_HH
+#define DELOREAN_WORKLOAD_TRACE_REGISTRY_HH
+
+#include <memory>
+#include <string>
+
+#include "workload/trace_source.hh"
+
+namespace delorean::workload
+{
+
+/** Construct the TraceSource described by @p spec (see file docs). */
+std::unique_ptr<TraceSource> makeTrace(const std::string &spec);
+
+/** One-line usage string for CLI help output. */
+const char *traceSpecHelp();
+
+} // namespace delorean::workload
+
+#endif // DELOREAN_WORKLOAD_TRACE_REGISTRY_HH

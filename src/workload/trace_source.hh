@@ -7,6 +7,26 @@
  * (clone), which is what lets Time Traveling run several passes over the
  * same execution. Generators must be fully deterministic: two clones
  * advanced by the same number of instructions yield identical streams.
+ *
+ * Every implementation — generator or file-backed — obeys the same
+ * contract, asserted suite-wide by tests/test_trace_io.cc:
+ *
+ *  - clone(): two clones advanced by N instructions produce identical
+ *    suffix streams, and cloning never perturbs the source;
+ *  - skip(n) is state-equivalent to calling next() n times;
+ *  - reset() reproduces the exact prefix stream from instruction 0.
+ *
+ * For file-backed sources (workload/trace_io.hh, champsim_trace.hh)
+ * the "checkpoint" that clone() snapshots is the file offset plus
+ * whatever decoder state is in flight (for the fixed-width native
+ * format: nothing; for ChampSim records: the pending expansion queue).
+ * That makes a checkpoint store over a recorded trace cost a few
+ * integers per checkpoint — the same role the paper's library of KVM
+ * snapshots plays, at none of the memory cost. File-backed skip() is a
+ * seek where the format allows (fixed-width records), so positioning a
+ * clone deep into the trace decodes nothing. Clones hold independent
+ * file handles: concurrent passes over one checkpoint store never
+ * share mutable I/O state (the property core/parallel.hh relies on).
  */
 
 #ifndef DELOREAN_WORKLOAD_TRACE_SOURCE_HH

@@ -377,6 +377,41 @@ TEST_P(SpecProfileDeterminism, CloneAfterSkipIsExact)
     }
 }
 
+// SyntheticTrace overrides skip() with a record-free fast path; it must
+// stay state-equivalent to n x next() in every field, on every profile.
+TEST_P(SpecProfileDeterminism, SkipIsStateEquivalentToNext)
+{
+    auto skipped = makeSpecTrace(GetParam());
+    auto stepped = makeSpecTrace(GetParam());
+    skipped->skip(12345);
+    for (int i = 0; i < 12345; ++i)
+        (void)stepped->next();
+    ASSERT_EQ(skipped->position(), stepped->position());
+    for (int i = 0; i < 2000; ++i) {
+        // Defaulted Instruction::operator==: every field, including
+        // ones added later.
+        ASSERT_TRUE(skipped->next() == stepped->next()) << i;
+    }
+}
+
+TEST_P(SpecProfileDeterminism, ResetReproducesPrefix)
+{
+    auto t = makeSpecTrace(GetParam());
+    std::vector<Instruction> prefix;
+    for (int i = 0; i < 2000; ++i)
+        prefix.push_back(t->next());
+    t->skip(10000);
+    t->reset();
+    EXPECT_EQ(t->position(), 0u);
+    for (const auto &expect : prefix) {
+        const auto got = t->next();
+        ASSERT_EQ(got.pc, expect.pc);
+        ASSERT_EQ(got.addr, expect.addr);
+        ASSERT_EQ(got.type, expect.type);
+        ASSERT_EQ(got.taken, expect.taken);
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SpecProfileDeterminism,
                          ::testing::ValuesIn(specBenchmarkNames()),
                          [](const auto &info) { return info.param; });

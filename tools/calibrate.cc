@@ -4,19 +4,25 @@
  * quantity the paper's figures depend on, so workload profiles and host
  * cost constants can be tuned against the published shapes.
  *
- *   ./calibrate [spacing] [benchmark ...]
+ *   ./calibrate [spacing] [trace-spec ...]
+ *
+ * Workloads are trace specs (workload/trace_registry.hh): bare SPEC
+ * names, spec:NAME, file:PATH recordings, or champsim:PATH traces.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <string>
 #include <vector>
 
+#include "base/logging.hh"
 #include "core/delorean.hh"
 #include "sampling/coolsim.hh"
 #include "sampling/metrics.hh"
 #include "sampling/smarts.hh"
 #include "workload/spec_profiles.hh"
+#include "workload/trace_registry.hh"
 
 int
 main(int argc, char **argv)
@@ -48,11 +54,25 @@ main(int argc, char **argv)
            sum_mipsD = 0, sum_spdS = 0, sum_spdC = 0;
     std::uint64_t sum_samplC = 0, sum_samplD = 0;
 
-    for (const auto &name : names) {
-        auto trace = workload::makeSpecTrace(name);
-        const auto s = sampling::SmartsMethod::run(*trace, cfg);
-        const auto c = sampling::CoolSimMethod::run(*trace, cfg);
-        const auto d = core::DeloreanMethod::run(*trace, cfg);
+    for (const auto &spec : names) {
+        auto trace = [&] {
+            try {
+                return workload::makeTrace(spec);
+            } catch (const std::exception &e) {
+                fatal("%s", e.what());
+                return std::unique_ptr<workload::TraceSource>();
+            }
+        }();
+        const std::string &name = trace->name();
+        sampling::MethodResult s, c, d;
+        try {
+            s = sampling::SmartsMethod::run(*trace, cfg);
+            c = sampling::CoolSimMethod::run(*trace, cfg);
+            d = core::DeloreanMethod::run(*trace, cfg);
+        } catch (const std::exception &e) {
+            // E.g. a recorded trace shorter than the schedule.
+            fatal("%s: %s", spec.c_str(), e.what());
+        }
 
         const double errC = sampling::cpiErrorPct(s, c);
         const double errD = sampling::cpiErrorPct(s, d);
