@@ -4,11 +4,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
-#include <fstream>
 #include <sstream>
 
 #include "base/logging.hh"
 #include "base/units.hh"
+#include "core/dse.hh"
 #include "workload/trace_registry.hh"
 
 namespace delorean::bench
@@ -119,76 +119,6 @@ RunSummary::from(const sampling::MethodResult &r)
     return s;
 }
 
-namespace
-{
-
-constexpr int cache_version = 3;
-
-std::string
-cacheFile(const Options &opt, std::uint64_t llc_size, bool prefetch,
-          const std::string &tag)
-{
-    std::ostringstream os;
-    os << "delorean_sweep_v" << cache_version << "_llc"
-       << llc_size / MiB << "m_sp" << opt.spacing << "_r" << opt.regions
-       << (prefetch ? "_pref" : "") << (tag.empty() ? "" : "_" + tag)
-       << ".tsv";
-    return os.str();
-}
-
-void
-writeSummary(std::ostream &os, const RunSummary &s)
-{
-    os << s.benchmark << '\t' << s.method << '\t' << s.cpi << '\t'
-       << s.mpki << '\t' << s.mips << '\t' << s.wall_seconds << '\t'
-       << s.reuse_samples << '\t' << s.traps << '\t'
-       << s.false_positives << '\t' << s.keys_total << '\t'
-       << s.keys_explored << '\t' << s.keys_unresolved << '\t'
-       << s.avg_explorers;
-    for (int k = 0; k < 4; ++k)
-        os << '\t' << s.keys_by_explorer[k];
-    os << '\n';
-}
-
-bool
-readSummary(std::istream &is, RunSummary &s)
-{
-    std::string line;
-    if (!std::getline(is, line) || line.empty())
-        return false;
-    std::istringstream ls(line);
-    ls >> s.benchmark >> s.method >> s.cpi >> s.mpki >> s.mips >>
-        s.wall_seconds >> s.reuse_samples >> s.traps >>
-        s.false_positives >> s.keys_total >> s.keys_explored >>
-        s.keys_unresolved >> s.avg_explorers;
-    for (int k = 0; k < 4; ++k)
-        ls >> s.keys_by_explorer[k];
-    return !ls.fail();
-}
-
-std::vector<BenchmarkSweep>
-loadCache(const std::string &file,
-          const std::vector<std::string> &benchmarks)
-{
-    std::ifstream is(file);
-    if (!is)
-        return {};
-    std::vector<BenchmarkSweep> sweeps;
-    for (const auto &name : benchmarks) {
-        BenchmarkSweep sw;
-        if (!readSummary(is, sw.smarts) ||
-            !readSummary(is, sw.coolsim) ||
-            !readSummary(is, sw.delorean))
-            return {};
-        if (sw.smarts.benchmark != name)
-            return {};
-        sweeps.push_back(sw);
-    }
-    return sweeps;
-}
-
-} // namespace
-
 std::unique_ptr<workload::TraceSource>
 makeTraceOrDie(const std::string &spec)
 {
@@ -210,73 +140,65 @@ guarded(const std::string &spec, const std::function<void()> &body)
     }
 }
 
+batch::BatchReport
+runPlanOrDie(const std::vector<std::string> &workloads,
+             const std::vector<batch::NamedConfig> &configs,
+             const std::vector<batch::NamedSchedule> &schedules,
+             const std::vector<std::string> &methods,
+             const batch::BatchOptions &opt)
+{
+    try {
+        // Plan construction digests file-backed workloads and can
+        // throw just like execution; both must become fatal().
+        const batch::BatchPlan plan(workloads, configs, schedules,
+                                    methods);
+        return batch::BatchRunner::run(plan, opt);
+    } catch (const std::exception &e) {
+        // E.g. a recorded trace shorter than the schedule (the runner
+        // tags the message with the failing cell's workload).
+        fatal("%s", e.what());
+    }
+    return {};
+}
+
 std::vector<BenchmarkSweep>
 runSweep(const Options &opt, std::uint64_t llc_size, bool prefetch,
          const std::string &tag)
 {
-    const std::string file = cacheFile(opt, llc_size, prefetch, tag);
     const auto &benchmarks = opt.benchmarkList();
-
-    // Synthetic workloads are immutable functions of their spec, so
-    // cache rows keyed by spec stay valid forever. A file:/champsim:
-    // path can be re-recorded with different content; never trust or
-    // write cache rows for those.
-    bool cacheable = true;
-    for (const auto &spec : benchmarks) {
-        const auto colon = spec.find(':');
-        if (colon != std::string::npos &&
-            spec.compare(0, colon, "spec") != 0)
-            cacheable = false;
-    }
-    const bool use_cache = opt.use_cache && cacheable;
-
-    if (use_cache) {
-        auto cached = loadCache(file, benchmarks);
-        if (!cached.empty()) {
-            std::fprintf(stderr, "[sweep] loaded %zu benchmarks from %s\n",
-                         cached.size(), file.c_str());
-            return cached;
-        }
-    }
-
     const auto cfg = opt.config(llc_size, prefetch);
-    std::vector<BenchmarkSweep> sweeps;
-    for (const auto &spec : benchmarks) {
-        std::fprintf(stderr, "[sweep] %s (llc=%s%s)...\n", spec.c_str(),
-                     mib(llc_size).c_str(), prefetch ? ", prefetch" : "");
-        // Specs can be bare SPEC names, spec:, file:, or champsim:
-        // (workload/trace_registry.hh).
-        auto trace = makeTraceOrDie(spec);
-        BenchmarkSweep sw;
-        try {
-            sw.smarts = RunSummary::from(
-                sampling::SmartsMethod::run(*trace, cfg));
-            sw.coolsim = RunSummary::from(
-                sampling::CoolSimMethod::run(*trace, cfg));
-            sw.delorean = RunSummary::from(
-                core::DeloreanMethod::run(*trace, cfg));
-        } catch (const std::exception &e) {
-            // E.g. a recorded trace shorter than the schedule.
-            fatal("%s: %s", spec.c_str(), e.what());
-        }
-        // Rows (and figure output) are keyed by the *spec*, not the
-        // trace's display name: a recording of bzip2 and synthetic
-        // bzip2 are different workloads and must not share cache rows.
-        // Specs with whitespace defeat the TSV cache format; the
-        // loader then fails to parse and the sweep recomputes.
-        sw.smarts.benchmark = spec;
-        sw.coolsim.benchmark = spec;
-        sw.delorean.benchmark = spec;
-        sweeps.push_back(sw);
-    }
 
-    if (use_cache) {
-        std::ofstream os(file);
-        for (const auto &sw : sweeps) {
-            writeSummary(os, sw.smarts);
-            writeSummary(os, sw.coolsim);
-            writeSummary(os, sw.delorean);
-        }
+    std::fprintf(stderr, "[sweep] %zu benchmarks x 3 methods (llc=%s%s)\n",
+                 benchmarks.size(), mib(llc_size).c_str(),
+                 prefetch ? ", prefetch" : "");
+
+    // One cell per (workload, method); content keys make the cache
+    // safe for every spec kind — file:/champsim: workloads are keyed
+    // by file content, so re-recordings can never serve stale rows
+    // (docs/batch.md).
+    batch::BatchOptions bopt;
+    bopt.use_cache = opt.use_cache;
+    bopt.verbose = true;
+    const auto report = runPlanOrDie(
+        benchmarks, {{tag.empty() ? "sweep" : tag, cfg}},
+        {{"sched", cfg.schedule}}, {"smarts", "coolsim", "delorean"},
+        bopt);
+
+    // Plan order is workloads-major with methods innermost, so each
+    // benchmark owns three consecutive outcomes.
+    std::vector<BenchmarkSweep> sweeps;
+    for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+        BenchmarkSweep sw;
+        sw.smarts = RunSummary::from(report.outcomes[3 * i + 0].result);
+        sw.coolsim = RunSummary::from(report.outcomes[3 * i + 1].result);
+        sw.delorean = RunSummary::from(report.outcomes[3 * i + 2].result);
+        // Figure output is keyed by the *spec*, not the trace's
+        // display name: a recording of bzip2 and synthetic bzip2 are
+        // different workloads and must not share rows.
+        sw.smarts.benchmark = benchmarks[i];
+        sw.coolsim.benchmark = benchmarks[i];
+        sw.delorean.benchmark = benchmarks[i];
+        sweeps.push_back(sw);
     }
     return sweeps;
 }
@@ -367,6 +289,92 @@ multiSizeReference(const workload::TraceSource &master,
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic pop
 #endif
+
+MultiSizeReference
+cachedMultiSizeReference(const std::string &spec,
+                         const workload::TraceSource &master,
+                         const sampling::RegionSchedule &schedule,
+                         const cache::HierarchyConfig &base,
+                         const std::vector<std::uint64_t> &sizes,
+                         const cpu::DetailedSimConfig &sim_config,
+                         bool use_cache)
+{
+    std::unique_ptr<batch::ResultCache> cache;
+    batch::CacheKey key;
+    if (use_cache) {
+        cache = std::make_unique<batch::ResultCache>();
+        key = batch::KeyBuilder()
+                  .workload(spec)
+                  .str("msref")
+                  .schedule(schedule)
+                  .hierarchy(base)
+                  .simConfig(sim_config)
+                  .u64vec(sizes)
+                  .key();
+        if (const auto hit = cache->loadCurve(key)) {
+            std::fprintf(stderr, "[msref] %s: cached\n", spec.c_str());
+            MultiSizeReference ref;
+            ref.sizes = hit->sizes;
+            ref.mpki = hit->mpki;
+            ref.cpi = hit->cpi;
+            return ref;
+        }
+    }
+
+    const auto ref =
+        multiSizeReference(master, schedule, base, sizes, sim_config);
+    if (cache) {
+        batch::SizeCurve curve;
+        curve.sizes = ref.sizes;
+        curve.mpki = ref.mpki;
+        curve.cpi = ref.cpi;
+        cache->storeCurve(key, curve);
+    }
+    return ref;
+}
+
+std::vector<sampling::MethodResult>
+cachedDsePoints(const std::string &spec,
+                const workload::TraceSource &master,
+                const core::DeloreanConfig &base,
+                const std::vector<std::uint64_t> &sizes, bool use_cache)
+{
+    std::unique_ptr<batch::ResultCache> cache;
+    std::vector<batch::CacheKey> keys;
+    if (use_cache) {
+        cache = std::make_unique<batch::ResultCache>();
+        std::vector<sampling::MethodResult> cached;
+        // One workload digest (file-backed specs read the whole file),
+        // forked per point — the same prefix-sharing BatchPlan uses.
+        batch::KeyBuilder prefix;
+        prefix.workload(spec);
+        for (const auto size : sizes) {
+            keys.push_back(batch::KeyBuilder(prefix)
+                               .str("dse-point")
+                               .config(base)
+                               .u64vec(sizes)
+                               .u64(size)
+                               .key());
+            if (auto hit = cache->load(keys.back()))
+                cached.push_back(std::move(*hit));
+        }
+        if (cached.size() == sizes.size()) {
+            std::fprintf(stderr, "[dse] %s: %zu points cached\n",
+                         spec.c_str(), cached.size());
+            return cached;
+        }
+    }
+
+    // Any miss reruns the whole sweep: all points share one warm-up.
+    const auto out = core::DesignSpaceExplorer::run(master, base, sizes);
+    std::vector<sampling::MethodResult> results;
+    for (std::size_t i = 0; i < out.points.size(); ++i) {
+        if (cache)
+            cache->store(keys[i], out.points[i].result);
+        results.push_back(out.points[i].result);
+    }
+    return results;
+}
 
 void
 printHeading(const std::string &title, const std::string &paper_ref)

@@ -15,13 +15,18 @@
  *                   drive any figure, e.g.
  *                   fig05_speed --bench bzip2,file:bzip2.dlt
  *   --quick         1,000,000-instruction spacing, for smoke runs
- *   --no-cache      ignore the sweep cache
+ *   --no-cache      ignore the persistent result cache
  *
- * Environment: DELOREAN_SPACING, DELOREAN_QUICK=1, DELOREAN_BENCH.
+ * Environment: DELOREAN_SPACING, DELOREAN_QUICK=1, DELOREAN_BENCH,
+ * DELOREAN_CACHE_DIR.
  *
- * The 24-benchmark x 3-method sweep that figures 5-9 share is cached in
- * a TSV in the working directory keyed by its parameters, so each figure
- * binary after the first loads instead of recomputing.
+ * All expensive figure inputs run through the batch subsystem
+ * (src/batch/, docs/batch.md): each (workload, method, config) cell is
+ * memoized in the persistent result cache under a content key, so each
+ * figure binary after the first loads instead of recomputing — across
+ * processes, figures, and (via `tools/batch_run --shard`) hosts.
+ * File-backed workloads (file:/champsim:) are keyed by file *content*,
+ * so re-recording a path can never serve a stale result.
  */
 
 #ifndef DELOREAN_BENCH_COMMON_HH
@@ -33,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "batch/runner.hh"
 #include "core/delorean.hh"
 #include "sampling/coolsim.hh"
 #include "sampling/metrics.hh"
@@ -91,15 +97,31 @@ struct BenchmarkSweep
 };
 
 /**
- * Run (or load from cache) the full three-method sweep at @p llc_size
- * for the configured benchmarks.
+ * Run (or serve from the persistent result cache) the full
+ * three-method sweep at @p llc_size for the configured benchmarks, via
+ * the batch runner — one cell per (workload, method).
  *
- * @param tag distinguishes variant sweeps (e.g. "pref") in the cache
+ * @param tag names the config in progress output (e.g. "pf"); cache
+ *        identity comes from the config's content, not the tag
  */
 std::vector<BenchmarkSweep> runSweep(const Options &opt,
                                      std::uint64_t llc_size,
                                      bool prefetch = false,
                                      const std::string &tag = "");
+
+/**
+ * Expand and run a batch plan, converting any BatchError — thrown
+ * during plan construction (e.g. an unreadable workload file being
+ * digested for its cache key) or cell execution — into a fatal user
+ * error: the per-figure analogue of makeTraceOrDie. Figure binaries
+ * must never let an exception reach std::terminate.
+ */
+batch::BatchReport
+runPlanOrDie(const std::vector<std::string> &workloads,
+             const std::vector<batch::NamedConfig> &configs,
+             const std::vector<batch::NamedSchedule> &schedules,
+             const std::vector<std::string> &methods,
+             const batch::BatchOptions &opt);
 
 /**
  * SMARTS-style reference over many LLC sizes in ONE functional pass:
@@ -121,6 +143,40 @@ multiSizeReference(const workload::TraceSource &master,
                    const cache::HierarchyConfig &base,
                    const std::vector<std::uint64_t> &sizes,
                    const cpu::DetailedSimConfig &sim_config);
+
+/**
+ * multiSizeReference through the persistent result cache: the curve is
+ * stored as a batch::SizeCurve under a content key of (workload,
+ * schedule, hierarchy, sim config, size list). The reference is the
+ * most expensive part of figures 13/14; caching it makes their reruns
+ * incremental.
+ *
+ * @param spec the trace spec @p master was built from (key identity)
+ */
+MultiSizeReference
+cachedMultiSizeReference(const std::string &spec,
+                         const workload::TraceSource &master,
+                         const sampling::RegionSchedule &schedule,
+                         const cache::HierarchyConfig &base,
+                         const std::vector<std::uint64_t> &sizes,
+                         const cpu::DetailedSimConfig &sim_config,
+                         bool use_cache);
+
+/**
+ * DSE sweep results (core/dse.hh) through the persistent result
+ * cache, one MethodResult per LLC size. A DSE point is keyed by the
+ * base config *plus the full size list* (the shared Scout filter uses
+ * the smallest LLC of the sweep, so a point is only reusable within
+ * the same sweep). On any miss the whole sweep reruns — the shared
+ * warm-up cannot be replayed per point — and every point is
+ * (re)stored.
+ */
+std::vector<sampling::MethodResult>
+cachedDsePoints(const std::string &spec,
+                const workload::TraceSource &master,
+                const core::DeloreanConfig &base,
+                const std::vector<std::uint64_t> &sizes,
+                bool use_cache);
 
 /**
  * Resolve a trace spec (workload/trace_registry.hh) for a figure

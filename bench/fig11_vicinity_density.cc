@@ -19,40 +19,49 @@ main(int argc, char **argv)
     // SMARTS reference comes from the shared sweep (cached).
     const auto sweeps = bench::runSweep(opt, 8 * MiB);
 
+    // The off-default densities run as their own batch cells: the
+    // vicinity period is part of the content key, so each density is
+    // cached independently of the shared sweep.
+    auto cfg10k = opt.config(8 * MiB);
+    cfg10k.paper_vicinity_period = 10'000;
+    auto cfg1m = opt.config(8 * MiB);
+    cfg1m.paper_vicinity_period = 1'000'000;
+    batch::BatchOptions bopt;
+    bopt.use_cache = opt.use_cache;
+    bopt.verbose = true;
+    const auto report = bench::runPlanOrDie(
+        opt.benchmarkList(), {{"d10k", cfg10k}, {"d1m", cfg1m}},
+        {{"sched", cfg10k.schedule}}, {"delorean"}, bopt);
+
     bench::printHeading(
         "Speed vs accuracy across vicinity sampling densities",
         "Figure 11");
     std::printf("%-12s %12s %12s %14s\n", "density", "avg MIPS",
                 "avg err%", "avg samples");
 
+    const std::size_t n_bench = opt.benchmarkList().size();
     for (const std::uint64_t period :
          {10'000ull, 100'000ull, 1'000'000ull}) {
         double sum_mips = 0, sum_err = 0, sum_samples = 0;
-        std::size_t i = 0;
-        for (const auto &name : opt.benchmarkList()) {
+        for (std::size_t i = 0; i < n_bench; ++i) {
             if (period == 100'000) {
                 // The default density is exactly the shared sweep.
                 sum_mips += sweeps[i].delorean.mips;
                 sum_err += sampling::relativeErrorPct(
                     sweeps[i].smarts.cpi, sweeps[i].delorean.cpi);
                 sum_samples += double(sweeps[i].delorean.reuse_samples);
-                ++i;
                 continue;
             }
-            auto cfg = opt.config(8 * MiB);
-            cfg.paper_vicinity_period = period;
-            sampling::MethodResult d;
-            bench::guarded(name, [&] {
-                auto trace = bench::makeTraceOrDie(name);
-                d = core::DeloreanMethod::run(*trace, cfg);
-            });
+            // Plan order: per workload, config d10k then d1m.
+            const auto &d =
+                report.outcomes[2 * i + (period == 10'000 ? 0 : 1)]
+                    .result;
             sum_mips += d.mips;
             sum_err += sampling::relativeErrorPct(sweeps[i].smarts.cpi,
                                                   d.cpi());
             sum_samples += double(d.reuse_samples);
-            ++i;
         }
-        const double n = double(i);
+        const double n = double(n_bench);
         std::printf("1/%-10llu %12.1f %12.2f %14.0f\n",
                     (unsigned long long)period, sum_mips / n,
                     sum_err / n, sum_samples / n);

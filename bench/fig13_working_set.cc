@@ -39,10 +39,15 @@ main(int argc, char **argv)
         auto trace = bench::makeTraceOrDie(name);
         const auto cfg = opt.config(1 * MiB);
 
-        const auto ref = bench::multiSizeReference(
-            *trace, cfg.schedule, cfg.hier, sizes, cfg.sim);
-        const auto dse =
-            core::DesignSpaceExplorer::run(*trace, cfg, sizes);
+        // Both halves are memoized in the persistent result cache
+        // (docs/batch.md): the multi-size reference as one SizeCurve,
+        // the DSE sweep as one MethodResult per size.
+        const auto ref = bench::cachedMultiSizeReference(
+            name, *trace, cfg.schedule, cfg.hier, sizes, cfg.sim,
+            opt.use_cache);
+        const auto dse_points =
+            bench::cachedDsePoints(name, *trace, cfg, sizes,
+                                   opt.use_cache);
 
         std::printf("\n%s (MPKI; solid=SMARTS, dashed=DeLorean in the "
                     "paper)\n",
@@ -52,10 +57,9 @@ main(int argc, char **argv)
         for (std::size_t i = 0; i < sizes.size(); ++i) {
             std::printf("%10s %12.2f %12.2f\n",
                         bench::mib(sizes[i]).c_str(), ref.mpki[i],
-                        dse.points[i].result.mpki());
+                        dse_points[i].mpki());
             smarts_curve.addPoint(sizes[i], ref.mpki[i]);
-            delorean_curve.addPoint(sizes[i],
-                                    dse.points[i].result.mpki());
+            delorean_curve.addPoint(sizes[i], dse_points[i].mpki());
         }
         const auto knees = smarts_curve.knees(0.4, 0.5);
         std::printf("knees (SMARTS): ");

@@ -66,8 +66,12 @@ main(int argc, char **argv)
         auto trace = bench::makeTraceOrDie(name);
         auto cfg = opt.config(1 * MiB);
 
-        const auto ref = bench::multiSizeReference(
-            *trace, cfg.schedule, cfg.hier, sizes, cfg.sim);
+        // The reference curve is memoized in the persistent result
+        // cache; the DSE sweeps below stay live on purpose — this
+        // figure *measures* their serial-vs-parallel wall-clock.
+        const auto ref = bench::cachedMultiSizeReference(
+            name, *trace, cfg.schedule, cfg.hier, sizes, cfg.sim,
+            opt.use_cache);
 
         // The same sweep serially and with one Analyst per host
         // thread: identical points, different wall-clock.

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Error type shared by the batch execution subsystem.
+ */
+
+#ifndef DELOREAN_BATCH_ERROR_HH
+#define DELOREAN_BATCH_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace delorean::batch
+{
+
+/**
+ * Any user-facing failure in the batch layer: malformed manifests,
+ * unreadable workload files while computing cache keys, corrupt result
+ * files, failed cell executions. CLIs catch this and report via
+ * fatal(); it is never allowed to escape as std::terminate.
+ */
+class BatchError : public std::runtime_error
+{
+  public:
+    explicit BatchError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+} // namespace delorean::batch
+
+#endif // DELOREAN_BATCH_ERROR_HH

@@ -1,0 +1,379 @@
+#include "batch/plan.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "base/intmath.hh"
+#include "base/units.hh"
+#include "batch/error.hh"
+#include "workload/spec_profiles.hh"
+
+namespace delorean::batch
+{
+
+const std::vector<std::string> known_methods = {"smarts", "coolsim",
+                                                "delorean"};
+
+namespace
+{
+
+[[noreturn]] void
+parseError(const std::string &path, std::size_t line_no,
+           const std::string &what)
+{
+    throw BatchError("manifest " + path + ":" +
+                     std::to_string(line_no) + ": " + what);
+}
+
+/** "8MiB" / "512KiB" / "2M" / "64K" / "1G" / plain bytes. */
+std::uint64_t
+parseSize(const std::string &text)
+{
+    std::size_t idx = 0;
+    unsigned long long value = 0;
+    try {
+        // stoull accepts a leading '-' by wrapping modulo 2^64;
+        // reject it here so "llc=-2MiB" is a manifest error, not a
+        // silently enormous cache.
+        if (text.empty() || !std::isdigit((unsigned char)text[0]))
+            throw BatchError("");
+        value = std::stoull(text, &idx);
+    } catch (const std::exception &) {
+        throw BatchError("malformed size '" + text + "'");
+    }
+    std::string unit = text.substr(idx);
+    std::uint64_t mult = 1;
+    if (unit == "K" || unit == "KiB")
+        mult = KiB;
+    else if (unit == "M" || unit == "MiB")
+        mult = MiB;
+    else if (unit == "G" || unit == "GiB")
+        mult = GiB;
+    else if (!unit.empty())
+        throw BatchError("malformed size '" + text +
+                         "' (use K/KiB, M/MiB, G/GiB or plain bytes)");
+    if (mult != 1 &&
+        std::uint64_t(value) > std::numeric_limits<std::uint64_t>::max() / mult)
+        throw BatchError("size '" + text + "' overflows 64 bits");
+    return std::uint64_t(value) * mult;
+}
+
+cache::ReplKind
+parseRepl(const std::string &text)
+{
+    if (text == "lru")
+        return cache::ReplKind::LRU;
+    if (text == "random")
+        return cache::ReplKind::Random;
+    if (text == "treeplru")
+        return cache::ReplKind::TreePLRU;
+    if (text == "nmru")
+        return cache::ReplKind::NMRU;
+    throw BatchError("unknown replacement policy '" + text +
+                     "' (lru, random, treeplru, nmru)");
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+/** Split "k=v" (throws without '='). */
+std::pair<std::string, std::string>
+splitKv(const std::string &token)
+{
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0)
+        throw BatchError("expected key=value, got '" + token + "'");
+    return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+/**
+ * A typo'd spec must be a plan-time BatchError, not a fatal() from a
+ * worker thread hours into a sharded run: check the scheme and, for
+ * synthetic workloads, the profile name against the registry.
+ * (File-backed specs are additionally opened when their content is
+ * digested for the cache key.)
+ */
+void
+validateWorkloadSpec(const std::string &spec)
+{
+    const std::string norm = normalizeSpec(spec);
+    const auto colon = norm.find(':');
+    const std::string scheme = norm.substr(0, colon);
+    if (scheme != "spec" && scheme != "file" && scheme != "champsim")
+        throw BatchError("workload '" + spec + "': unknown scheme '" +
+                         scheme + "' (spec:, file:, champsim:)");
+    if (norm.size() == colon + 1)
+        throw BatchError("workload '" + spec + "': empty " + scheme +
+                         " argument");
+    if (scheme == "spec") {
+        const std::string name = norm.substr(colon + 1);
+        const auto &known = workload::specBenchmarkNames();
+        if (std::find(known.begin(), known.end(), name) == known.end())
+            throw BatchError("workload '" + spec +
+                             "': unknown SPEC-like benchmark '" + name +
+                             "'");
+    }
+}
+
+} // namespace
+
+std::uint64_t
+parseCount(const std::string &text)
+{
+    try {
+        if (text.empty() || !std::isdigit((unsigned char)text[0]))
+            throw BatchError("");
+        std::size_t idx = 0;
+        const unsigned long long v = std::stoull(text, &idx);
+        if (idx != text.size())
+            throw BatchError("");
+        return v;
+    } catch (const std::exception &) {
+        throw BatchError("malformed number '" + text + "'");
+    }
+}
+
+unsigned
+parseU32(const std::string &text)
+{
+    const std::uint64_t v = parseCount(text);
+    if (v > 0xffffffffull)
+        throw BatchError("number '" + text + "' out of range");
+    return unsigned(v);
+}
+
+BatchPlan::BatchPlan(std::vector<std::string> workloads,
+                     std::vector<NamedConfig> configs,
+                     std::vector<NamedSchedule> schedules,
+                     std::vector<std::string> methods)
+{
+    if (workloads.empty())
+        throw BatchError("batch plan: no workloads");
+    if (configs.empty())
+        throw BatchError("batch plan: no configs");
+    if (schedules.empty())
+        throw BatchError("batch plan: no schedules");
+    if (methods.empty())
+        methods = {"delorean"};
+    for (const auto &m : methods) {
+        if (std::find(known_methods.begin(), known_methods.end(), m) ==
+            known_methods.end())
+            throw BatchError("batch plan: unknown method '" + m +
+                             "' (smarts, coolsim, delorean)");
+    }
+
+    for (const auto &workload : workloads)
+        validateWorkloadSpec(workload);
+
+    cells_.reserve(workloads.size() * configs.size() *
+                   schedules.size() * methods.size());
+    for (const auto &workload : workloads) {
+        // The key stream starts with the workload, so its hash state
+        // — including a potentially large file-content digest — is
+        // computed once per workload and forked per cell. Byte-wise
+        // this is exactly cellKey() (asserted by tests/test_batch.cc).
+        KeyBuilder workload_prefix;
+        workload_prefix.workload(workload);
+        const CacheKey workload_identity = workload_prefix.key();
+        for (const auto &config : configs) {
+            for (const auto &schedule : schedules) {
+                for (const auto &method : methods) {
+                    BatchCell cell;
+                    cell.index = cells_.size();
+                    cell.workload = workload;
+                    cell.config_name = config.name;
+                    cell.schedule_name = schedule.name;
+                    cell.method = method;
+                    cell.config = config.config;
+                    cell.config.schedule = schedule.schedule;
+                    cell.key = KeyBuilder(workload_prefix)
+                                   .str(cell.method)
+                                   .config(cell.config)
+                                   .key();
+                    cell.workload_identity = workload_identity;
+                    cells_.push_back(std::move(cell));
+                }
+            }
+        }
+    }
+}
+
+BatchPlan
+BatchPlan::fromManifest(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        throw BatchError("cannot open manifest '" + path + "'");
+
+    std::vector<std::string> workloads;
+    std::vector<NamedConfig> configs;
+    std::vector<NamedSchedule> schedules;
+    std::vector<std::string> methods;
+
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        // '#' starts a comment only at a token boundary — a path like
+        // file:trace#3.dlt is a legal workload argument, not a
+        // half-comment.
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            if (line[i] == '#' &&
+                (i == 0 || std::isspace((unsigned char)line[i - 1]))) {
+                line.erase(i);
+                break;
+            }
+        }
+
+        std::istringstream ls(line);
+        std::string directive;
+        if (!(ls >> directive))
+            continue; // blank / comment-only line
+
+        try {
+            if (directive == "workload") {
+                std::string spec;
+                if (!(ls >> spec))
+                    throw BatchError("workload: missing trace spec");
+                std::string extra;
+                if (ls >> extra)
+                    throw BatchError("workload: unexpected trailing "
+                                     "token '" + extra + "'");
+                workloads.push_back(spec);
+            } else if (directive == "config") {
+                NamedConfig nc;
+                if (!(ls >> nc.name))
+                    throw BatchError("config: missing name");
+                for (const auto &existing : configs)
+                    if (existing.name == nc.name)
+                        throw BatchError("config: duplicate name '" +
+                                         nc.name + "'");
+                std::string token;
+                while (ls >> token) {
+                    const auto [k, v] = splitKv(token);
+                    if (k == "llc")
+                        nc.config.hier.llc.size = parseSize(v);
+                    else if (k == "assoc")
+                        nc.config.hier.llc.assoc = parseU32(v);
+                    else if (k == "repl")
+                        nc.config.hier.llc.repl = parseRepl(v);
+                    else if (k == "prefetch")
+                        nc.config.sim.prefetch = parseCount(v) != 0;
+                    else if (k == "vicinity")
+                        nc.config.paper_vicinity_period = parseCount(v);
+                    else
+                        throw BatchError("config: unknown key '" + k +
+                                         "' (llc, assoc, repl, "
+                                         "prefetch, vicinity)");
+                }
+                configs.push_back(std::move(nc));
+            } else if (directive == "schedule") {
+                NamedSchedule ns;
+                if (!(ls >> ns.name))
+                    throw BatchError("schedule: missing name");
+                for (const auto &existing : schedules)
+                    if (existing.name == ns.name)
+                        throw BatchError("schedule: duplicate name '" +
+                                         ns.name + "'");
+                std::string token;
+                while (ls >> token) {
+                    const auto [k, v] = splitKv(token);
+                    if (k == "spacing")
+                        ns.schedule.spacing = parseCount(v);
+                    else if (k == "regions")
+                        ns.schedule.num_regions = parseU32(v);
+                    else
+                        throw BatchError("schedule: unknown key '" + k +
+                                         "' (spacing, regions)");
+                }
+                schedules.push_back(std::move(ns));
+            } else if (directive == "methods") {
+                if (!methods.empty())
+                    throw BatchError("methods: directive repeated");
+                std::string list;
+                if (!(ls >> list))
+                    throw BatchError("methods: missing list");
+                std::string extra;
+                if (ls >> extra)
+                    throw BatchError(
+                        "methods: unexpected trailing token '" + extra +
+                        "' (one comma-separated list, no spaces)");
+                methods = splitCsv(list);
+                if (methods.empty())
+                    throw BatchError("methods: empty list");
+            } else {
+                throw BatchError("unknown directive '" + directive +
+                                 "' (workload, config, schedule, "
+                                 "methods)");
+            }
+        } catch (const BatchError &e) {
+            parseError(path, line_no, e.what());
+        }
+    }
+
+    if (workloads.empty())
+        throw BatchError("manifest " + path + ": no workload lines");
+    if (configs.empty()) {
+        NamedConfig def;
+        def.name = "default";
+        configs.push_back(std::move(def));
+    }
+    if (schedules.empty()) {
+        NamedSchedule def;
+        def.name = "default";
+        schedules.push_back(std::move(def));
+    }
+
+    // Nonsensical schedules and cache geometries would fatal() deep
+    // inside a method run — in a sharded run, after other cells have
+    // already executed. Surface them as manifest errors instead,
+    // mirroring RegionSchedule::validate / CacheConfig::validate.
+    for (const auto &ns : schedules) {
+        const auto &s = ns.schedule;
+        if (s.num_regions == 0 || s.region_len == 0 ||
+            s.spacing <= s.region_len + s.detailed_warming ||
+            s.spacing > sampling::RegionSchedule::paper_spacing)
+            throw BatchError("manifest " + path + ": schedule '" +
+                             ns.name + "' is invalid (spacing must "
+                             "exceed region+warming and stay within "
+                             "paper scale)");
+    }
+    for (const auto &nc : configs) {
+        const auto &llc = nc.config.hier.llc;
+        if (llc.assoc == 0 || llc.size < line_size ||
+            llc.size % (std::uint64_t(llc.assoc) * line_size) != 0 ||
+            !isPowerOf2(llc.sets()))
+            throw BatchError(
+                "manifest " + path + ": config '" + nc.name +
+                "' has invalid LLC geometry (need assoc >= 1, size a "
+                "multiple of assoc * " + std::to_string(line_size) +
+                " with a power-of-two set count)");
+    }
+
+    return BatchPlan(std::move(workloads), std::move(configs),
+                     std::move(schedules), std::move(methods));
+}
+
+std::vector<std::string>
+BatchPlan::keyHexes() const
+{
+    std::vector<std::string> out;
+    out.reserve(cells_.size());
+    for (const auto &cell : cells_)
+        out.push_back(cell.key.hex());
+    return out;
+}
+
+} // namespace delorean::batch

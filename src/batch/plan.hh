@@ -1,0 +1,123 @@
+/**
+ * @file
+ * BatchPlan: expansion of a batch manifest into independent cells.
+ *
+ * A plan is the cross product
+ *
+ *   workloads x configs x schedules x methods
+ *
+ * expanded in that nesting order (methods innermost), each cell an
+ * independent (trace spec, DeloreanConfig-with-schedule, method)
+ * triple with a precomputed content key (batch/cache_key.hh). The
+ * ordering is part of the API: callers like bench/common.cc index
+ * straight into cells()/outcomes, and sharding (cell index mod N)
+ * relies on every shard expanding the identical plan.
+ *
+ * Manifest format (one directive per line; '#' starts a comment):
+ *
+ *   workload <trace-spec>              at least one required
+ *   config   <name> [k=v ...]          default: one "default" config
+ *   schedule <name> [k=v ...]          default: one "default" schedule
+ *   methods  <m1,m2,...>               default: delorean
+ *
+ * config keys:   llc=SIZE (e.g. 8MiB, 512KiB), assoc=N, repl=lru|
+ *                random|treeplru|nmru, prefetch=0|1, vicinity=N
+ *                (paper-scale sampling period)
+ * schedule keys: spacing=N, regions=N
+ *
+ * Anything unparseable — unknown directive or key, malformed size,
+ * duplicate config/schedule name, unknown method, empty manifest —
+ * throws BatchError naming the offending line.
+ */
+
+#ifndef DELOREAN_BATCH_PLAN_HH
+#define DELOREAN_BATCH_PLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "batch/cache_key.hh"
+#include "core/delorean.hh"
+
+namespace delorean::batch
+{
+
+/** Methods a cell can run; validated by BatchPlan. */
+extern const std::vector<std::string> known_methods;
+
+/** A named cache/core configuration (schedule filled per cell). */
+struct NamedConfig
+{
+    std::string name;
+    core::DeloreanConfig config;
+};
+
+/** A named region schedule. */
+struct NamedSchedule
+{
+    std::string name;
+    sampling::RegionSchedule schedule;
+};
+
+/** One independent unit of work. */
+struct BatchCell
+{
+    std::size_t index = 0;      //!< position in plan order
+    std::string workload;       //!< trace spec, as written
+    std::string config_name;
+    std::string schedule_name;
+    std::string method;         //!< "delorean" | "smarts" | "coolsim"
+    core::DeloreanConfig config; //!< schedule already folded in
+    CacheKey key;
+
+    /**
+     * workloadIdentity() at plan time. For file-backed specs the
+     * runner re-computes it at execution time: a mismatch means the
+     * file was re-recorded mid-run and the fresh result must not be
+     * stored under this (stale-content) key.
+     */
+    CacheKey workload_identity;
+};
+
+/**
+ * Strict unsigned parsing shared by the manifest parser and CLIs
+ * (atoi-style silent zeros or wraparounds would run a different plan
+ * than written). Reject anything but a full decimal number; parseU32
+ * additionally rejects values that would truncate through unsigned.
+ * Both throw BatchError.
+ */
+std::uint64_t parseCount(const std::string &text);
+unsigned parseU32(const std::string &text);
+
+class BatchPlan
+{
+  public:
+    /**
+     * Expand the cross product. Empty @p methods defaults to
+     * {"delorean"}. Throws BatchError on empty workloads/configs/
+     * schedules, unknown methods or workload specs (scheme and
+     * synthetic-profile names are checked up front — a typo must not
+     * fatal() mid-run from a worker thread after hours of cells), or
+     * unreadable file-backed workloads (content keys are computed
+     * here).
+     */
+    BatchPlan(std::vector<std::string> workloads,
+              std::vector<NamedConfig> configs,
+              std::vector<NamedSchedule> schedules,
+              std::vector<std::string> methods = {});
+
+    /** Parse @p path (format above) and expand. Throws BatchError. */
+    static BatchPlan fromManifest(const std::string &path);
+
+    const std::vector<BatchCell> &cells() const { return cells_; }
+
+    /** Hex keys of every cell (for ResultCache::gc). */
+    std::vector<std::string> keyHexes() const;
+
+  private:
+    std::vector<BatchCell> cells_;
+};
+
+} // namespace delorean::batch
+
+#endif // DELOREAN_BATCH_PLAN_HH

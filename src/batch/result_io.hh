@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Versioned binary serialization of batch results.
+ *
+ * Two record kinds share one container format (all integers
+ * little-endian regardless of host, via the workload/endian.hh
+ * helpers; doubles are stored as the little-endian bytes of their
+ * exact IEEE-754 bit pattern, so a round trip reproduces every
+ * statistic *bitwise* — the same relation MethodResult::operator==
+ * tests and the parallel execution paths guarantee):
+ *
+ *   Header:
+ *     char[8]  magic     "DLRNRES1"
+ *     u32      version   1
+ *     u32      kind      1 = MethodResult, 2 = SizeCurve
+ *
+ *   MethodResult payload (kind 1):
+ *     str      method, benchmark         (u32 length + bytes)
+ *     u32      region count, then per region a RegionStats block
+ *     RegionStats                        (the aggregate `total`)
+ *     HostCostSnapshot                   (8 param doubles, 6 bucket
+ *                                         doubles, u64 trap count)
+ *     f64      wall_seconds, mips
+ *     u64      reuse_samples, traps, false_positives
+ *     u64[4]   keys_by_explorer
+ *     u64      keys_total, keys_explored, keys_unresolved
+ *     f64      avg_explorers
+ *
+ *   RegionStats block:
+ *     u64 instructions, f64 cycles, u64 mem_refs,
+ *     u32 class count + u64 per AccessClass,
+ *     u64 branches, branch_mispredicts, icache_misses,
+ *     u64 prefetches_issued, prefetches_nullified
+ *
+ *   SizeCurve payload (kind 2):
+ *     u32 point count, then per point: u64 size, f64 mpki, f64 cpi
+ *
+ * Readers validate everything — magic, version, kind, counts, string
+ * lengths, trailing bytes, host-cost parameter sanity — and throw
+ * BatchError on any violation; a corrupt cache entry must surface as a
+ * recoverable miss, never as a crash or a bogus result.
+ */
+
+#ifndef DELOREAN_BATCH_RESULT_IO_HH
+#define DELOREAN_BATCH_RESULT_IO_HH
+
+#include <iosfwd>
+#include <vector>
+
+#include "sampling/results.hh"
+
+namespace delorean::batch
+{
+
+/** Format constants shared by writer and reader. */
+struct ResultFormat
+{
+    static constexpr std::array<char, 8> magic = {'D', 'L', 'R', 'N',
+                                                  'R', 'E', 'S', '1'};
+    static constexpr std::uint32_t version = 1;
+    static constexpr std::uint32_t kind_method_result = 1;
+    static constexpr std::uint32_t kind_size_curve = 2;
+};
+
+/**
+ * A metric-vs-LLC-size curve (working-set / CPI sweeps, bench figures
+ * 13/14). Cached alongside MethodResults because the multi-size
+ * references are the most expensive part of those figures.
+ */
+struct SizeCurve
+{
+    std::vector<std::uint64_t> sizes;
+    std::vector<double> mpki;
+    std::vector<double> cpi;
+
+    bool operator==(const SizeCurve &other) const = default;
+};
+
+/** Serialize @p result to @p os. Throws BatchError on write failure. */
+void writeMethodResult(std::ostream &os,
+                       const sampling::MethodResult &result);
+
+/**
+ * Parse one MethodResult record. Throws BatchError on any malformed
+ * input. The returned value compares equal (operator==) to the one
+ * written.
+ */
+sampling::MethodResult readMethodResult(std::istream &is);
+
+void writeSizeCurve(std::ostream &os, const SizeCurve &curve);
+SizeCurve readSizeCurve(std::istream &is);
+
+} // namespace delorean::batch
+
+#endif // DELOREAN_BATCH_RESULT_IO_HH

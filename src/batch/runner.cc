@@ -1,0 +1,131 @@
+#include "batch/runner.hh"
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "batch/error.hh"
+#include "core/parallel.hh"
+#include "sampling/coolsim.hh"
+#include "sampling/smarts.hh"
+#include "workload/trace_registry.hh"
+
+namespace delorean::batch
+{
+
+sampling::MethodResult
+BatchRunner::runCell(const BatchCell &cell)
+{
+    try {
+        auto trace = workload::makeTrace(cell.workload);
+        if (cell.method == "smarts")
+            return sampling::SmartsMethod::run(*trace, cell.config);
+        if (cell.method == "coolsim")
+            return sampling::CoolSimMethod::run(*trace, cell.config);
+        if (cell.method == "delorean")
+            return core::DeloreanMethod::run(*trace, cell.config);
+    } catch (const std::exception &e) {
+        // E.g. a recording shorter than the schedule; tag with the
+        // workload so batch CLIs report which cell failed.
+        throw BatchError(cell.workload + " [" + cell.method +
+                         "]: " + e.what());
+    }
+    throw BatchError("unknown method '" + cell.method + "'");
+}
+
+BatchReport
+BatchRunner::run(const BatchPlan &plan, const BatchOptions &opt)
+{
+    if (opt.shard_count == 0 || opt.shard_index >= opt.shard_count)
+        throw BatchError("invalid shard " +
+                         std::to_string(opt.shard_index) + "/" +
+                         std::to_string(opt.shard_count));
+
+    std::unique_ptr<ResultCache> cache;
+    if (opt.use_cache)
+        cache = std::make_unique<ResultCache>(opt.cache_dir);
+
+    // Execution-time workload identities, memoized per run: the
+    // mid-run re-record check below re-digests each file-backed
+    // workload once, not once per cell (a multi-config plan over one
+    // big trace would otherwise re-read it per executed cell; the
+    // residual TOCTOU window is inherent — the check is best-effort).
+    std::mutex identity_mutex;
+    std::unordered_map<std::string, CacheKey> identities;
+    const auto identityNow = [&](const std::string &spec) {
+        {
+            std::lock_guard<std::mutex> lock(identity_mutex);
+            const auto it = identities.find(spec);
+            if (it != identities.end())
+                return it->second;
+        }
+        const CacheKey id = workloadIdentity(spec);
+        std::lock_guard<std::mutex> lock(identity_mutex);
+        return identities.try_emplace(spec, id).first->second;
+    };
+
+    std::vector<const BatchCell *> mine;
+    for (const auto &cell : plan.cells())
+        if (cell.index % opt.shard_count == opt.shard_index)
+            mine.push_back(&cell);
+
+    BatchReport report;
+    report.skipped = plan.cells().size() - mine.size();
+
+    auto outcomes = core::parallelMap(
+        mine.size(), opt.threads, [&](std::size_t i) {
+            const BatchCell &cell = *mine[i];
+            CellOutcome outcome;
+            outcome.cell = cell.index;
+            if (cache) {
+                if (auto hit = cache->load(cell.key)) {
+                    if (opt.verbose)
+                        std::fprintf(stderr,
+                                     "[batch] %s %s (%s/%s): cached\n",
+                                     cell.workload.c_str(),
+                                     cell.method.c_str(),
+                                     cell.config_name.c_str(),
+                                     cell.schedule_name.c_str());
+                    outcome.result = std::move(*hit);
+                    outcome.from_cache = true;
+                    return outcome;
+                }
+            }
+            if (opt.verbose)
+                std::fprintf(stderr, "[batch] %s %s (%s/%s): run...\n",
+                             cell.workload.c_str(), cell.method.c_str(),
+                             cell.config_name.c_str(),
+                             cell.schedule_name.c_str());
+            outcome.result = runCell(cell);
+            if (cache) {
+                // A file-backed workload re-recorded between plan
+                // keying and this execution would store the *new*
+                // content's result under the *old* content's key —
+                // poisoning a future run whose file matches the old
+                // bytes again. Refuse loudly instead.
+                if (specIsFileBacked(normalizeSpec(cell.workload)) &&
+                    identityNow(cell.workload) !=
+                        cell.workload_identity)
+                    throw BatchError(
+                        cell.workload +
+                        ": file changed during the batch run; "
+                        "result discarded — rerun the plan");
+                cache->store(cell.key, outcome.result);
+            }
+            return outcome;
+        });
+
+    report.outcomes = std::move(outcomes);
+    for (const auto &outcome : report.outcomes) {
+        if (outcome.from_cache)
+            ++report.cache_hits;
+        else
+            ++report.executed;
+    }
+    if (cache)
+        cache->recordRun(report.executed, report.cache_hits);
+    return report;
+}
+
+} // namespace delorean::batch

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * BatchRunner: sharded, cache-aware execution of a BatchPlan.
+ *
+ * Cells are independent by construction (each clones its own trace and
+ * owns its simulator state), so the runner exploits two levels of
+ * parallelism on top of whatever host_threads each cell's config
+ * requests internally:
+ *
+ *  - threads: cell-level fan-out on the PR-1 ThreadPool within one
+ *    process (core/parallel.hh; results are placed by cell index, so
+ *    output order is deterministic for any thread count);
+ *  - shards: `--shard i/N` partitions the plan across processes or
+ *    hosts — shard i executes the cells whose index satisfies
+ *    index % N == i. All shards expand the identical plan (the
+ *    expansion order is part of the BatchPlan API), and the shared
+ *    result cache merges their outputs: after every shard has run, any
+ *    process can read the full plan from cache alone.
+ *
+ * With use_cache, each cell first consults the persistent ResultCache
+ * under its content key; hits skip execution entirely and are counted
+ * separately (the `status`/stderr counters the CI smoke test pins).
+ * Execution failures (e.g. a recording shorter than the schedule)
+ * surface as BatchError tagged with the workload spec.
+ */
+
+#ifndef DELOREAN_BATCH_RUNNER_HH
+#define DELOREAN_BATCH_RUNNER_HH
+
+#include "batch/plan.hh"
+#include "batch/result_cache.hh"
+
+namespace delorean::batch
+{
+
+/** Execution knobs for one BatchRunner::run invocation. */
+struct BatchOptions
+{
+    unsigned threads = 1;     //!< cell-level fan-out (0 = hardware)
+    unsigned shard_index = 0; //!< this process's shard
+    unsigned shard_count = 1; //!< total shards
+    bool use_cache = true;
+    std::string cache_dir;    //!< empty = ResultCache::defaultDir()
+    bool verbose = false;     //!< per-cell progress on stderr
+};
+
+/** One finished cell. */
+struct CellOutcome
+{
+    std::size_t cell = 0; //!< index into plan.cells()
+    sampling::MethodResult result;
+    bool from_cache = false;
+};
+
+/** Everything one run produced. */
+struct BatchReport
+{
+    /** This shard's cells, in plan order. */
+    std::vector<CellOutcome> outcomes;
+
+    std::uint64_t executed = 0;   //!< cells actually simulated
+    std::uint64_t cache_hits = 0; //!< cells served from the cache
+    std::uint64_t skipped = 0;    //!< cells belonging to other shards
+};
+
+class BatchRunner
+{
+  public:
+    /**
+     * Execute @p plan's shard under @p opt. Updates the cache's
+     * RunStats counters when the cache is in use. Throws BatchError on
+     * invalid shard spec or failed cell execution.
+     */
+    static BatchReport run(const BatchPlan &plan,
+                           const BatchOptions &opt = {});
+
+    /**
+     * Execute one cell directly — no cache, no sharding. This is the
+     * reference the cached/sharded paths must match bit-for-bit
+     * (MethodResult::operator==), pinned by tests/test_batch.cc.
+     */
+    static sampling::MethodResult runCell(const BatchCell &cell);
+};
+
+} // namespace delorean::batch
+
+#endif // DELOREAN_BATCH_RUNNER_HH

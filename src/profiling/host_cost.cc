@@ -111,6 +111,35 @@ HostCostAccount::breakdown() const
     return os.str();
 }
 
+HostCostSnapshot
+HostCostAccount::snapshot() const
+{
+    HostCostSnapshot snap;
+    snap.params = params_;
+    snap.vff = vff_;
+    snap.functional = functional_;
+    snap.detailed = detailed_;
+    snap.traps = traps_;
+    snap.transfers = transfers_;
+    snap.total_cycles = total_cycles_;
+    snap.trap_count = trap_count_;
+    return snap;
+}
+
+HostCostAccount
+HostCostAccount::fromSnapshot(const HostCostSnapshot &snap)
+{
+    HostCostAccount account(snap.params);
+    account.vff_ = snap.vff;
+    account.functional_ = snap.functional;
+    account.detailed_ = snap.detailed;
+    account.traps_ = snap.traps;
+    account.transfers_ = snap.transfers;
+    account.total_cycles_ = snap.total_cycles;
+    account.trap_count_ = snap.trap_count;
+    return account;
+}
+
 double
 modeledMips(InstCount simulated_insts, double scale, double seconds)
 {

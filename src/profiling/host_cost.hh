@@ -58,6 +58,24 @@ struct HostCostParams
 };
 
 /**
+ * Value snapshot of a HostCostAccount: the calibration parameters and
+ * every charge bucket. Exists so accounts can cross a serialization
+ * boundary (src/batch/result_io.cc) and be restored exactly —
+ * HostCostAccount::operator== compares all of these fields bitwise.
+ */
+struct HostCostSnapshot
+{
+    HostCostParams params;
+    double vff = 0.0;
+    double functional = 0.0;
+    double detailed = 0.0;
+    double traps = 0.0;
+    double transfers = 0.0;
+    double total_cycles = 0.0;
+    Counter trap_count = 0;
+};
+
+/**
  * Accumulates modeled host cycles, split by activity for reporting.
  * "Scaled" charges are per-instruction costs over intervals that were
  * shrunk by S and are expanded back; "raw" charges are for the detailed
@@ -101,6 +119,15 @@ class HostCostAccount
 
     /** One-line human-readable breakdown. */
     std::string breakdown() const;
+
+    /** Capture every bucket (and the params) by value. */
+    HostCostSnapshot snapshot() const;
+
+    /**
+     * Rebuild an account that compares equal (operator==, bitwise
+     * doubles) to the one @p snap was captured from.
+     */
+    static HostCostAccount fromSnapshot(const HostCostSnapshot &snap);
 
     /** Exact equality of every charge bucket (and the params). */
     bool operator==(const HostCostAccount &other) const = default;

@@ -1,0 +1,579 @@
+/**
+ * @file
+ * Tests for the batch execution subsystem (src/batch/): content
+ * cache-key recipe (golden pin + sensitivity), versioned MethodResult
+ * serialization (exact round trip, corrupt-input robustness), the
+ * persistent result cache (store/load/gc, corruption as a miss),
+ * manifest parsing, and the BatchRunner guarantees — cached and
+ * sharded execution bit-identical (MethodResult::operator==) to
+ * direct serial runs, with a fully cached second run executing zero
+ * cells.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "batch/error.hh"
+#include "batch/runner.hh"
+#include "core/delorean.hh"
+#include "workload/spec_profiles.hh"
+#include "workload/trace_io.hh"
+
+namespace
+{
+
+using namespace delorean;
+using namespace delorean::batch;
+
+// ------------------------------------------------------------- helpers
+
+/** Unique temp path, removed (recursively) on scope exit. */
+struct TempPath
+{
+    std::string path;
+    ::pid_t owner;
+
+    explicit TempPath(const std::string &tag) : owner(::getpid())
+    {
+        static int counter = 0;
+        const auto dir = std::filesystem::temp_directory_path();
+        path = (dir / ("delorean_batch_" + tag + "_" +
+                       std::to_string(owner) + "_" +
+                       std::to_string(counter++)))
+                   .string();
+    }
+
+    ~TempPath()
+    {
+        // Only the creating process may clean up (death-test children
+        // exit() through static destructors).
+        if (::getpid() != owner)
+            return;
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+};
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << text;
+}
+
+/** Small schedule so whole-plan tests stay in the tier-1 budget. */
+core::DeloreanConfig
+tinyConfig(std::uint64_t llc_size = 2 * MiB)
+{
+    core::DeloreanConfig cfg;
+    cfg.schedule.num_regions = 2;
+    cfg.schedule.spacing = 200'000;
+    cfg.hier.llc.size = llc_size;
+    return cfg;
+}
+
+/** A short DeLorean run whose result exercises every field. */
+sampling::MethodResult
+tinyResult()
+{
+    auto trace = workload::makeSpecTrace("bzip2");
+    return core::DeloreanMethod::run(*trace, tinyConfig());
+}
+
+// ------------------------------------------------------------ cache key
+
+// Golden pin of the cache-key recipe for the default configuration.
+// If this moves, every previously written cache entry silently
+// invalidates (annoying) — or, if the change was meant to alter
+// results but forgot to, entries could *falsely hit* (dangerous).
+// Bump batch_code_version (or update this pin) only deliberately,
+// together with a review of src/batch/result_io.cc compatibility.
+TEST(CacheKey, GoldenDefaultConfigPin)
+{
+    // Named object: GCC 12 at -O3 emits a -Wmaybe-uninitialized false
+    // positive for a braced temporary's inner std::string members.
+    const core::DeloreanConfig default_config;
+    const CacheKey key =
+        cellKey("spec:bzip2", "delorean", default_config);
+    EXPECT_EQ(key.hex(), "f800f43a449f853bd025562b4afb161c");
+}
+
+TEST(CacheKey, HexIsStableAndWellFormed)
+{
+    const CacheKey key = cellKey("mcf", "smarts", tinyConfig());
+    EXPECT_EQ(key.hex().size(), 32u);
+    EXPECT_EQ(key.hex(),
+              cellKey("mcf", "smarts", tinyConfig()).hex());
+}
+
+TEST(CacheKey, BareAndExplicitSpecSchemeAgree)
+{
+    const auto cfg = tinyConfig();
+    EXPECT_EQ(cellKey("bzip2", "delorean", cfg),
+              cellKey("spec:bzip2", "delorean", cfg));
+}
+
+TEST(CacheKey, SensitiveToEverySemanticInput)
+{
+    const auto cfg = tinyConfig();
+    const CacheKey base = cellKey("bzip2", "delorean", cfg);
+
+    EXPECT_NE(cellKey("mcf", "delorean", cfg), base);
+    EXPECT_NE(cellKey("bzip2", "smarts", cfg), base);
+
+    auto c = cfg;
+    c.hier.llc.size = 4 * MiB;
+    EXPECT_NE(cellKey("bzip2", "delorean", c), base);
+
+    c = cfg;
+    c.schedule.spacing = 300'000;
+    EXPECT_NE(cellKey("bzip2", "delorean", c), base);
+
+    c = cfg;
+    c.sim.prefetch = true;
+    EXPECT_NE(cellKey("bzip2", "delorean", c), base);
+
+    c = cfg;
+    c.paper_vicinity_period = 10'000;
+    EXPECT_NE(cellKey("bzip2", "delorean", c), base);
+
+    c = cfg;
+    c.cost.trap_cycles = 1.0;
+    EXPECT_NE(cellKey("bzip2", "delorean", c), base);
+
+    c = cfg;
+    c.paper_horizons.pop_back();
+    EXPECT_NE(cellKey("bzip2", "delorean", c), base);
+}
+
+TEST(CacheKey, HostThreadsAndDisplayNamesDoNotFragment)
+{
+    const auto cfg = tinyConfig();
+    const CacheKey base = cellKey("bzip2", "delorean", cfg);
+
+    // Bit-identical results for any thread count (core/parallel.hh):
+    // the key must not depend on host_threads.
+    auto c = cfg;
+    c.host_threads = 7;
+    EXPECT_EQ(cellKey("bzip2", "delorean", c), base);
+
+    // Cache level names are display-only.
+    c = cfg;
+    c.hier.llc.name = "renamed";
+    EXPECT_EQ(cellKey("bzip2", "delorean", c), base);
+}
+
+TEST(CacheKey, FileWorkloadKeyedByContentNotPath)
+{
+    TempPath a("trace_a"), b("trace_b");
+    auto source = workload::makeSpecTrace("bzip2");
+    workload::recordTrace(*source, 1000, a.path);
+    source->reset();
+    workload::recordTrace(*source, 1000, b.path);
+
+    const auto cfg = tinyConfig();
+    const CacheKey ka = cellKey("file:" + a.path, "delorean", cfg);
+    const CacheKey kb = cellKey("file:" + b.path, "delorean", cfg);
+    // Identical content at different paths is the same workload...
+    EXPECT_EQ(ka, kb);
+
+    // ...and re-recorded content at the same path is a different one.
+    auto other = workload::makeSpecTrace("mcf");
+    workload::recordTrace(*other, 1000, a.path);
+    EXPECT_NE(cellKey("file:" + a.path, "delorean", cfg), ka);
+
+    // The scheme is part of the identity: the same bytes replayed
+    // through a different decoder are a different workload.
+    EXPECT_NE(KeyBuilder().workload("champsim:" + b.path).key(),
+              KeyBuilder().workload("file:" + b.path).key());
+
+    EXPECT_THROW(cellKey("file:/nonexistent/trace.dlt", "delorean", cfg),
+                 BatchError);
+}
+
+// ---------------------------------------------------------- result I/O
+
+TEST(ResultIo, MethodResultRoundTripIsExact)
+{
+    const auto result = tinyResult();
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    writeMethodResult(ss, result);
+    const auto back = readMethodResult(ss);
+    // Defaulted operator==: every statistic, per-region record and
+    // cost bucket, doubles compared bitwise.
+    EXPECT_EQ(back, result);
+}
+
+TEST(ResultIo, SizeCurveRoundTripIsExact)
+{
+    SizeCurve curve;
+    curve.sizes = {1 * MiB, 2 * MiB, 4 * MiB};
+    curve.mpki = {5.25, 3.125, 0.0078125};
+    curve.cpi = {1.5, 1.25, 1.125};
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    writeSizeCurve(ss, curve);
+    EXPECT_EQ(readSizeCurve(ss), curve);
+}
+
+TEST(ResultIo, RejectsCorruptInput)
+{
+    const auto result = tinyResult();
+    std::ostringstream os(std::ios::binary);
+    writeMethodResult(os, result);
+    const std::string good = os.str();
+
+    const auto expectThrows = [](std::string bytes) {
+        std::istringstream is(std::move(bytes), std::ios::binary);
+        EXPECT_THROW((void)readMethodResult(is), BatchError);
+    };
+
+    expectThrows("");                            // empty
+    expectThrows("DLRNTRC1" + good.substr(8));   // foreign magic
+    expectThrows(good.substr(0, good.size() / 2)); // truncated
+    expectThrows(good + "x");                    // trailing bytes
+
+    std::string bad_version = good;
+    bad_version[8] = char(0xee);
+    expectThrows(bad_version);
+
+    // A SizeCurve record is not a MethodResult (kind mismatch).
+    SizeCurve curve;
+    curve.sizes = {1};
+    curve.mpki = {0.0};
+    curve.cpi = {0.0};
+    std::ostringstream cs(std::ios::binary);
+    writeSizeCurve(cs, curve);
+    expectThrows(cs.str());
+
+    // And vice versa.
+    std::istringstream is(good, std::ios::binary);
+    EXPECT_THROW((void)readSizeCurve(is), BatchError);
+}
+
+// --------------------------------------------------------- result cache
+
+TEST(ResultCache, StoreLoadContainsGc)
+{
+    TempPath dir("cache");
+    const ResultCache cache(dir.path);
+    const auto result = tinyResult();
+    const CacheKey key = cellKey("bzip2", "delorean", tinyConfig());
+
+    EXPECT_FALSE(cache.contains(key));
+    EXPECT_FALSE(cache.load(key).has_value());
+
+    cache.store(key, result);
+    EXPECT_TRUE(cache.contains(key));
+    EXPECT_EQ(*cache.load(key), result);
+    ASSERT_EQ(cache.entries().size(), 1u);
+    EXPECT_EQ(cache.entries()[0], key.hex());
+
+    // gc keeps referenced entries, removes the rest.
+    EXPECT_EQ(cache.gc({key.hex()}), 0u);
+    EXPECT_EQ(cache.gc({}), 1u);
+    EXPECT_FALSE(cache.contains(key));
+}
+
+TEST(ResultCache, CorruptEntryIsAMissNotAnError)
+{
+    TempPath dir("corrupt");
+    const ResultCache cache(dir.path);
+    const CacheKey key = cellKey("bzip2", "delorean", tinyConfig());
+    writeFile(dir.path + "/" + key.hex() + ".res", "garbage bytes");
+
+    EXPECT_TRUE(cache.contains(key));
+    setLogQuiet(true);
+    EXPECT_FALSE(cache.load(key).has_value());
+    setLogQuiet(false);
+
+    // The next store repairs the entry.
+    const auto result = tinyResult();
+    cache.store(key, result);
+    EXPECT_EQ(*cache.load(key), result);
+}
+
+TEST(ResultCache, RunStatsAccumulate)
+{
+    TempPath dir("stats");
+    const ResultCache cache(dir.path);
+    EXPECT_EQ(cache.stats(), ResultCache::RunStats{});
+
+    cache.recordRun(5, 0);
+    cache.recordRun(1, 4);
+    const auto s = cache.stats();
+    EXPECT_EQ(s.last_run_executed, 1u);
+    EXPECT_EQ(s.last_run_cached, 4u);
+    EXPECT_EQ(s.total_executed, 6u);
+    EXPECT_EQ(s.total_cached, 4u);
+}
+
+// ------------------------------------------------------------- manifest
+
+TEST(Manifest, ExpandsCrossProductInDocumentedOrder)
+{
+    TempPath m("manifest");
+    writeFile(m.path,
+              "# comment\n"
+              "workload bzip2\n"
+              "workload mcf   # trailing comment\n"
+              "config small llc=2MiB\n"
+              "config big llc=8MiB prefetch=1\n"
+              "schedule quick spacing=200000 regions=2\n"
+              "methods smarts,delorean\n");
+    const auto plan = BatchPlan::fromManifest(m.path);
+
+    ASSERT_EQ(plan.cells().size(), 2u * 2u * 1u * 2u);
+    const auto &cells = plan.cells();
+    // workloads-major, then configs, then schedules, methods innermost.
+    EXPECT_EQ(cells[0].workload, "bzip2");
+    EXPECT_EQ(cells[0].config_name, "small");
+    EXPECT_EQ(cells[0].method, "smarts");
+    EXPECT_EQ(cells[1].method, "delorean");
+    EXPECT_EQ(cells[2].config_name, "big");
+    EXPECT_TRUE(cells[2].config.sim.prefetch);
+    EXPECT_EQ(cells[4].workload, "mcf");
+
+    for (const auto &cell : cells) {
+        EXPECT_EQ(cell.index, std::size_t(&cell - cells.data()));
+        EXPECT_EQ(cell.config.schedule.spacing, 200'000u);
+        EXPECT_EQ(cell.config.schedule.num_regions, 2u);
+        EXPECT_EQ(cell.schedule_name, "quick");
+        // The plan shares one workload hash prefix across cells (file
+        // digests read once); byte-wise it must equal cellKey().
+        EXPECT_EQ(cell.key,
+                  cellKey(cell.workload, cell.method, cell.config));
+    }
+    EXPECT_EQ(cells[0].config.hier.llc.size, 2 * MiB);
+    EXPECT_EQ(cells[2].config.hier.llc.size, 8 * MiB);
+}
+
+TEST(Manifest, DefaultsConfigScheduleAndMethods)
+{
+    TempPath m("defaults");
+    writeFile(m.path, "workload bzip2\n");
+    const auto plan = BatchPlan::fromManifest(m.path);
+    ASSERT_EQ(plan.cells().size(), 1u);
+    EXPECT_EQ(plan.cells()[0].config_name, "default");
+    EXPECT_EQ(plan.cells()[0].schedule_name, "default");
+    EXPECT_EQ(plan.cells()[0].method, "delorean");
+}
+
+TEST(Manifest, HashInsideAPathIsNotAComment)
+{
+    // '#' only starts a comment at a token boundary: a workload path
+    // containing '#' must survive parsing intact.
+    TempPath trace("has#hash"), m("hash_manifest");
+    auto source = workload::makeSpecTrace("bzip2");
+    workload::recordTrace(*source, 1000, trace.path);
+
+    writeFile(m.path, "workload file:" + trace.path +
+                          " # an actual comment\n");
+    const auto plan = BatchPlan::fromManifest(m.path);
+    ASSERT_EQ(plan.cells().size(), 1u);
+    EXPECT_EQ(plan.cells()[0].workload, "file:" + trace.path);
+}
+
+TEST(Manifest, RejectsMalformedInput)
+{
+    const auto expectRejected = [](const std::string &text) {
+        TempPath m("bad");
+        writeFile(m.path, text);
+        EXPECT_THROW((void)BatchPlan::fromManifest(m.path), BatchError)
+            << "accepted: " << text;
+    };
+
+    expectRejected("");                            // no workloads
+    expectRejected("frobnicate bzip2\n");          // unknown directive
+    expectRejected("workload\n");                  // missing spec
+    expectRejected("workload bzip2 extra\n");      // trailing token
+    expectRejected("workload bzip2\n"
+                   "methods delorean, smarts\n");  // space in the list
+    expectRejected("workload bzip2\nconfig a llc=-2MiB\n"); // negative
+    expectRejected("workload bzip2\n"                       // overflow
+                   "config a llc=18446744073709551615K\n");
+    expectRejected("workload bzip2\n"                 // u32 narrowing
+                   "config a assoc=4294967298\n");
+    expectRejected("workload bzip2\nconfig a assoc=0\n"); // geometry
+    expectRejected("workload bzip2\nconfig a llc=63\n");
+    expectRejected("workload bzip2\n"       // 3-way: non-pow2 sets
+                   "config a llc=2MiB assoc=3\n");
+    expectRejected("workload bzip2\n"
+                   "schedule s spacing=500000 regions=4294967298\n");
+    expectRejected("workload bzip2\n"
+                   "schedule s spacing=-1 regions=2\n");
+    expectRejected("workload bzip2\nconfig a llc=huge\n");
+    expectRejected("workload bzip2\nconfig a wat=1\n");
+    expectRejected("workload bzip2\nconfig a llc\n"); // not k=v
+    expectRejected("workload bzip2\nconfig a llc=2MiB\n"
+                   "config a llc=4MiB\n");         // duplicate name
+    expectRejected("workload bzzip2\n");        // typo'd profile name
+    expectRejected("workload warp:x\n");        // unknown scheme
+    expectRejected("workload bzip2\nmethods warp9\n");
+    expectRejected("workload bzip2\nmethods delorean\n"
+                   "methods smarts\n");            // repeated directive
+    expectRejected("workload bzip2\n"
+                   "schedule s spacing=1000 regions=2\n"); // too tight
+    EXPECT_THROW((void)BatchPlan::fromManifest("/nonexistent/manifest"),
+                 BatchError);
+}
+
+// --------------------------------------------------------------- runner
+
+TEST(Runner, InvalidShardRejected)
+{
+    const BatchPlan plan({"bzip2"}, {{"c", tinyConfig()}},
+                         {{"s", tinyConfig().schedule}});
+    BatchOptions opt;
+    opt.use_cache = false;
+    opt.shard_count = 0;
+    EXPECT_THROW((void)BatchRunner::run(plan, opt), BatchError);
+    opt.shard_count = 2;
+    opt.shard_index = 2;
+    EXPECT_THROW((void)BatchRunner::run(plan, opt), BatchError);
+}
+
+// The acceptance bar: a sharded batch_run over >= 3 workloads x 2
+// configs is bit-identical (MethodResult::operator==) to direct
+// serial DeloreanMethod::run calls, and a second invocation is served
+// entirely from the persistent cache (0 cells executed).
+TEST(Runner, ShardedAndCachedRunsMatchDirectBitwise)
+{
+    const std::vector<std::string> workloads = {"bzip2", "mcf",
+                                                "gamess"};
+    const BatchPlan plan(workloads,
+                         {{"small", tinyConfig(2 * MiB)},
+                          {"big", tinyConfig(8 * MiB)}},
+                         {{"tiny", tinyConfig().schedule}},
+                         {"delorean"});
+    ASSERT_EQ(plan.cells().size(), 6u);
+
+    // Direct serial reference, no batch machinery.
+    std::vector<sampling::MethodResult> direct;
+    for (const auto &cell : plan.cells())
+        direct.push_back(BatchRunner::runCell(cell));
+
+    TempPath dir("runner_cache");
+    BatchOptions opt;
+    opt.cache_dir = dir.path;
+    opt.shard_count = 2;
+
+    // Two shards of a cold cache partition the plan between them.
+    opt.shard_index = 0;
+    const auto shard0 = BatchRunner::run(plan, opt);
+    opt.shard_index = 1;
+    const auto shard1 = BatchRunner::run(plan, opt);
+    EXPECT_EQ(shard0.executed, 3u);
+    EXPECT_EQ(shard1.executed, 3u);
+    EXPECT_EQ(shard0.cache_hits, 0u);
+    EXPECT_EQ(shard0.skipped, 3u);
+
+    std::vector<bool> covered(plan.cells().size(), false);
+    for (const auto *report : {&shard0, &shard1}) {
+        for (const auto &outcome : report->outcomes) {
+            EXPECT_FALSE(covered[outcome.cell]) << "cell run twice";
+            covered[outcome.cell] = true;
+            EXPECT_EQ(outcome.result, direct[outcome.cell]);
+            EXPECT_FALSE(outcome.from_cache);
+        }
+    }
+    for (const auto c : covered)
+        EXPECT_TRUE(c);
+
+    // Second, unsharded invocation: everything from the cache, zero
+    // cells executed, still bit-identical — including through the
+    // threaded cell fan-out.
+    BatchOptions warm;
+    warm.cache_dir = dir.path;
+    warm.threads = 3;
+    const auto cached = BatchRunner::run(plan, warm);
+    EXPECT_EQ(cached.executed, 0u);
+    EXPECT_EQ(cached.cache_hits, plan.cells().size());
+    ASSERT_EQ(cached.outcomes.size(), plan.cells().size());
+    for (std::size_t i = 0; i < cached.outcomes.size(); ++i) {
+        EXPECT_TRUE(cached.outcomes[i].from_cache);
+        EXPECT_EQ(cached.outcomes[i].cell, i);
+        EXPECT_EQ(cached.outcomes[i].result, direct[i]);
+    }
+
+    // The status counters expose exactly that.
+    const auto stats = ResultCache(dir.path).stats();
+    EXPECT_EQ(stats.last_run_executed, 0u);
+    EXPECT_EQ(stats.last_run_cached, plan.cells().size());
+    EXPECT_EQ(stats.total_executed, plan.cells().size());
+}
+
+TEST(Runner, RefusesToCacheFileRerecordedMidRun)
+{
+    TempPath trace("midrun"), dir("midrun_cache");
+    auto source = workload::makeSpecTrace("bzip2");
+    workload::recordTrace(*source, 450'000, trace.path);
+
+    core::DeloreanConfig cfg = tinyConfig();
+    const BatchPlan plan({"file:" + trace.path}, {{"c", cfg}},
+                         {{"s", cfg.schedule}});
+
+    // Between plan keying and execution, the file is re-recorded with
+    // different content. Storing the fresh result under the stale key
+    // would poison any future run whose file matches the old bytes;
+    // the runner must refuse instead.
+    auto other = workload::makeSpecTrace("mcf");
+    workload::recordTrace(*other, 450'000, trace.path);
+
+    BatchOptions opt;
+    opt.cache_dir = dir.path;
+    EXPECT_THROW((void)BatchRunner::run(plan, opt), BatchError);
+    EXPECT_TRUE(ResultCache(dir.path).entries().empty());
+}
+
+TEST(ResultCache, GcReclaimsOrphanedTempFiles)
+{
+    TempPath dir("orphans");
+    const ResultCache cache(dir.path);
+    const CacheKey key = cellKey("bzip2", "delorean", tinyConfig());
+    cache.store(key, tinyResult());
+    // A writer killed before its rename leaves a temp file behind.
+    writeFile(dir.path + "/" + key.hex() + ".res.tmp.12345.0", "x");
+
+    EXPECT_EQ(cache.gc({key.hex()}), 1u); // orphan gone, entry kept
+    EXPECT_TRUE(cache.contains(key));
+    EXPECT_FALSE(std::filesystem::exists(
+        dir.path + "/" + key.hex() + ".res.tmp.12345.0"));
+}
+
+TEST(Runner, NoCacheModeWritesNothing)
+{
+    const BatchPlan plan({"bzip2"}, {{"c", tinyConfig()}},
+                         {{"s", tinyConfig().schedule}});
+    TempPath dir("nocache");
+    BatchOptions opt;
+    opt.use_cache = false;
+    opt.cache_dir = dir.path;
+    const auto report = BatchRunner::run(plan, opt);
+    EXPECT_EQ(report.executed, 1u);
+    EXPECT_FALSE(std::filesystem::exists(dir.path));
+}
+
+TEST(Runner, AllThreeMethodsRun)
+{
+    const BatchPlan plan({"bzip2"}, {{"c", tinyConfig()}},
+                         {{"s", tinyConfig().schedule}},
+                         {"smarts", "coolsim", "delorean"});
+    BatchOptions opt;
+    opt.use_cache = false;
+    const auto report = BatchRunner::run(plan, opt);
+    ASSERT_EQ(report.outcomes.size(), 3u);
+    EXPECT_EQ(report.outcomes[0].result.method, "SMARTS");
+    EXPECT_EQ(report.outcomes[1].result.method, "CoolSim");
+    EXPECT_EQ(report.outcomes[2].result.method, "DeLorean");
+}
+
+} // namespace

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Sharded multi-benchmark batch runner over the persistent result
+ * cache (src/batch/, docs/batch.md).
+ *
+ *   batch_run plan   <manifest> [--cache-dir D]
+ *   batch_run run    <manifest> [--shard I/N] [--threads T]
+ *                    [--cache-dir D] [--no-cache] [--json] [--quiet]
+ *   batch_run status <manifest> [--cache-dir D]
+ *   batch_run gc     <manifest> [--cache-dir D] [--force]
+ *
+ * `plan` prints the expanded cells (index, key, workload, config,
+ * schedule, method, cached?) without running anything. `run` executes
+ * this shard's cells — serving cache hits without simulating — and
+ * prints one TSV row (or JSON object) per cell to stdout; counters go
+ * to stderr so shard outputs can be diffed. `status` reports per-cell
+ * cache presence plus the cache's run counters (last_run_executed=0
+ * after a fully cached run is the CI smoke check). `gc` previews the
+ * cache entries the manifest no longer references and deletes them
+ * with --force (the default cache directory is shared across
+ * manifests and figure benchmarks, so "unreferenced by this
+ * manifest" is not "worthless").
+ *
+ * Numbers are printed with %.17g so a TSV row round-trips every double
+ * exactly: two runs (sharded + merged vs. unsharded, cached vs.
+ * direct) are bit-identical iff their outputs diff clean.
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+#include "base/logging.hh"
+#include "batch/error.hh"
+#include "batch/runner.hh"
+#include "workload/trace_registry.hh"
+
+namespace
+{
+
+using namespace delorean;
+using namespace delorean::batch;
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: batch_run plan   <manifest> [--cache-dir D]\n"
+        "       batch_run run    <manifest> [--shard I/N] [--threads T]\n"
+        "                        [--cache-dir D] [--no-cache] [--json]\n"
+        "                        [--quiet]\n"
+        "       batch_run status <manifest> [--cache-dir D]\n"
+        "       batch_run gc     <manifest> [--cache-dir D] [--force]\n"
+        "manifest directives: workload SPEC | config NAME k=v... |\n"
+        "                     schedule NAME k=v... | methods a,b,c\n"
+        "%s\n",
+        workload::traceSpecHelp());
+    std::exit(1);
+}
+
+struct CliOptions
+{
+    std::string manifest;
+    BatchOptions batch;
+    bool json = false;
+    bool force = false;
+};
+
+/** batch::parseU32 with CLI-flavoured fatal(): atoi's silent 0 on
+ *  junk would quietly run the wrong shard subset or thread count. */
+unsigned
+parseUnsigned(const std::string &text, const char *what)
+{
+    try {
+        return parseU32(text);
+    } catch (const BatchError &) {
+        fatal("%s: expected a number, got '%s'", what, text.c_str());
+    }
+    return 0;
+}
+
+CliOptions
+parseCli(int argc, char **argv, int first)
+{
+    CliOptions cli;
+    cli.batch.verbose = true;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            fatal_if(i + 1 >= argc, "missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--shard") {
+            const std::string spec = next();
+            const auto slash = spec.find('/');
+            fatal_if(slash == std::string::npos,
+                     "--shard wants I/N, got '%s'", spec.c_str());
+            cli.batch.shard_index =
+                parseUnsigned(spec.substr(0, slash), "--shard index");
+            cli.batch.shard_count =
+                parseUnsigned(spec.substr(slash + 1), "--shard count");
+        } else if (arg == "--threads") {
+            cli.batch.threads = parseUnsigned(next(), "--threads");
+        } else if (arg == "--cache-dir") {
+            cli.batch.cache_dir = next();
+        } else if (arg == "--no-cache") {
+            cli.batch.use_cache = false;
+        } else if (arg == "--json") {
+            cli.json = true;
+        } else if (arg == "--quiet") {
+            cli.batch.verbose = false;
+        } else if (arg == "--force") {
+            cli.force = true;
+        } else if (cli.manifest.empty() && arg[0] != '-') {
+            cli.manifest = arg;
+        } else {
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    if (cli.manifest.empty())
+        usage();
+    return cli;
+}
+
+/** Per-cell TSV table shared by plan/status. @return cells cached. */
+std::size_t
+printCellTable(const BatchPlan &plan, const ResultCache &cache)
+{
+    std::size_t cached = 0;
+    std::printf("#index\tkey\tworkload\tconfig\tschedule\tmethod\t"
+                "cached\n");
+    for (const auto &cell : plan.cells()) {
+        const bool hit = cache.contains(cell.key);
+        cached += hit;
+        std::printf("%zu\t%s\t%s\t%s\t%s\t%s\t%s\n", cell.index,
+                    cell.key.hex().c_str(), cell.workload.c_str(),
+                    cell.config_name.c_str(),
+                    cell.schedule_name.c_str(), cell.method.c_str(),
+                    hit ? "yes" : "no");
+    }
+    return cached;
+}
+
+int
+cmdPlan(const CliOptions &cli)
+{
+    const auto plan = BatchPlan::fromManifest(cli.manifest);
+    const ResultCache cache(cli.batch.cache_dir);
+    printCellTable(plan, cache);
+    std::fprintf(stderr, "[batch] %zu cells (cache: %s)\n",
+                 plan.cells().size(), cache.dir().c_str());
+    return 0;
+}
+
+void
+printResultTsv(const BatchCell &cell, const sampling::MethodResult &r)
+{
+    std::printf("%s\t%s\t%s\t%s\t%.17g\t%.17g\t%.17g\t%.17g\t%llu\t"
+                "%llu\t%llu\t%llu\t%llu\t%llu\t%.17g\n",
+                cell.workload.c_str(), cell.config_name.c_str(),
+                cell.schedule_name.c_str(), cell.method.c_str(),
+                r.cpi(), r.mpki(), r.mips, r.wall_seconds,
+                (unsigned long long)r.reuse_samples,
+                (unsigned long long)r.traps,
+                (unsigned long long)r.false_positives,
+                (unsigned long long)r.keys_total,
+                (unsigned long long)r.keys_explored,
+                (unsigned long long)r.keys_unresolved,
+                r.avg_explorers);
+}
+
+/** JSON string-literal escaping (quotes, backslashes, control bytes) —
+ *  file: workload specs can contain anything a path can. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if ((unsigned char)c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+void
+printResultJson(const BatchCell &cell, const sampling::MethodResult &r,
+                bool last)
+{
+    std::printf(
+        "  {\"workload\": \"%s\", \"config\": \"%s\", "
+        "\"schedule\": \"%s\", \"method\": \"%s\", "
+        "\"cpi\": %.17g, \"mpki\": %.17g, \"mips\": %.17g, "
+        "\"wall_seconds\": %.17g, \"reuse_samples\": %llu, "
+        "\"traps\": %llu, \"false_positives\": %llu, "
+        "\"keys_total\": %llu, \"keys_explored\": %llu, "
+        "\"keys_unresolved\": %llu, \"avg_explorers\": %.17g}%s\n",
+        jsonEscape(cell.workload).c_str(),
+        jsonEscape(cell.config_name).c_str(),
+        jsonEscape(cell.schedule_name).c_str(),
+        jsonEscape(cell.method).c_str(), r.cpi(),
+        r.mpki(), r.mips, r.wall_seconds,
+        (unsigned long long)r.reuse_samples,
+        (unsigned long long)r.traps,
+        (unsigned long long)r.false_positives,
+        (unsigned long long)r.keys_total,
+        (unsigned long long)r.keys_explored,
+        (unsigned long long)r.keys_unresolved, r.avg_explorers,
+        last ? "" : ",");
+}
+
+int
+cmdRun(const CliOptions &cli)
+{
+    const auto plan = BatchPlan::fromManifest(cli.manifest);
+    const auto report = BatchRunner::run(plan, cli.batch);
+
+    if (cli.json)
+        std::printf("[\n");
+    else
+        std::printf("#workload\tconfig\tschedule\tmethod\tcpi\tmpki\t"
+                    "mips\twall_seconds\treuse_samples\ttraps\t"
+                    "false_positives\tkeys_total\tkeys_explored\t"
+                    "keys_unresolved\tavg_explorers\n");
+    for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+        const auto &outcome = report.outcomes[i];
+        const auto &cell = plan.cells()[outcome.cell];
+        if (cli.json)
+            printResultJson(cell, outcome.result,
+                            i + 1 == report.outcomes.size());
+        else
+            printResultTsv(cell, outcome.result);
+    }
+    if (cli.json)
+        std::printf("]\n");
+
+    std::fprintf(stderr,
+                 "[batch] shard %u/%u: executed=%llu cached=%llu "
+                 "skipped=%llu\n",
+                 cli.batch.shard_index, cli.batch.shard_count,
+                 (unsigned long long)report.executed,
+                 (unsigned long long)report.cache_hits,
+                 (unsigned long long)report.skipped);
+    return 0;
+}
+
+int
+cmdStatus(const CliOptions &cli)
+{
+    const auto plan = BatchPlan::fromManifest(cli.manifest);
+    const ResultCache cache(cli.batch.cache_dir);
+    const std::size_t cached = printCellTable(plan, cache);
+    const auto stats = cache.stats();
+    std::printf("cells=%zu cached=%zu missing=%zu\n",
+                plan.cells().size(), cached,
+                plan.cells().size() - cached);
+    std::printf("last_run_executed=%llu last_run_cached=%llu "
+                "total_executed=%llu total_cached=%llu\n",
+                (unsigned long long)stats.last_run_executed,
+                (unsigned long long)stats.last_run_cached,
+                (unsigned long long)stats.total_executed,
+                (unsigned long long)stats.total_cached);
+    return 0;
+}
+
+int
+cmdGc(const CliOptions &cli)
+{
+    const auto plan = BatchPlan::fromManifest(cli.manifest);
+    const ResultCache cache(cli.batch.cache_dir);
+
+    std::unordered_set<std::string> keep;
+    for (const auto &hex : plan.keyHexes())
+        keep.insert(hex);
+
+    // gc is scoped to ONE manifest, but the default cache directory
+    // is shared by every manifest and figure benchmark — deleting
+    // "unreferenced" entries can destroy hours of other plans'
+    // results. Preview by default; destruction takes --force.
+    if (!cli.force) {
+        std::size_t stale = 0;
+        for (const auto &hex : cache.entries())
+            if (!keep.count(hex))
+                ++stale;
+        std::printf("gc (dry run): %zu stale of %zu entries in %s\n",
+                    stale, cache.entries().size(), cache.dir().c_str());
+        if (stale > 0)
+            std::printf("gc: entries from OTHER manifests/figures in "
+                        "a shared cache count as stale here; pass "
+                        "--force to delete\n");
+        return 0;
+    }
+    const std::size_t removed = cache.gc(keep);
+    std::printf("gc: removed %zu entries from %s (%zu kept)\n", removed,
+                cache.dir().c_str(), cache.entries().size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        usage();
+    const std::string cmd = argv[1];
+    try {
+        const auto cli = parseCli(argc, argv, 2);
+        if (cmd == "plan")
+            return cmdPlan(cli);
+        if (cmd == "run")
+            return cmdRun(cli);
+        if (cmd == "status")
+            return cmdStatus(cli);
+        if (cmd == "gc")
+            return cmdGc(cli);
+    } catch (const std::exception &e) {
+        fatal("%s", e.what());
+    }
+    usage();
+}

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Check intra-repo markdown links.
+
+Scans every tracked-ish *.md file (skipping build trees) for inline
+markdown links/images and verifies that relative targets exist, and
+that same-file/cross-file heading anchors resolve. External links
+(http/https/mailto) are not fetched — CI must not depend on the
+network. Exits 1 listing every broken link.
+
+Usage: python3 tools/check_md_links.py [repo-root]
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", ".delorean-cache", ".ccache", "Testing"}
+
+# Inline links/images: [text](target) — tolerates one level of nested
+# brackets in the text; reference-style links are not used in this repo.
+LINK_RE = re.compile(r"!?\[(?:[^\[\]]|\[[^\]]*\])*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style anchor: lowercase, drop punctuation, dashes."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading)  # unwrap code spans
+    heading = re.sub(r"[^\w\- ]", "", heading.lower())
+    return heading.strip().replace(" ", "-")
+
+
+def md_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def headings(path: str):
+    anchors = set()
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(anchor_of(m.group(1)))
+    return anchors
+
+
+def links(path: str):
+    """Yield (line_number, target) outside fenced code blocks."""
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                yield lineno, m.group(1)
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    anchor_cache = {}
+
+    def anchors_for(path):
+        if path not in anchor_cache:
+            anchor_cache[path] = headings(path)
+        return anchor_cache[path]
+
+    errors = []
+    checked = 0
+    for md in md_files(root):
+        rel_md = os.path.relpath(md, root)
+        for lineno, target in links(md):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:
+                continue
+            checked += 1
+            target_path, _, fragment = target.partition("#")
+            if target_path:
+                dest = os.path.normpath(
+                    os.path.join(os.path.dirname(md), target_path))
+            else:  # pure in-page anchor
+                dest = md
+            if not os.path.exists(dest):
+                errors.append(f"{rel_md}:{lineno}: broken link "
+                              f"'{target}' (no such file)")
+                continue
+            if fragment and dest.endswith(".md"):
+                if anchor_of(fragment) not in anchors_for(dest):
+                    errors.append(f"{rel_md}:{lineno}: broken anchor "
+                                  f"'{target}'")
+
+    for error in errors:
+        print(error)
+    print(f"checked {checked} intra-repo links; "
+          f"{len(errors)} broken", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
