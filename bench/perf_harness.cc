@@ -1,0 +1,225 @@
+#include "perf_harness.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "base/json.hh"
+#include "common.hh"
+#include "core/delorean.hh"
+#include "workload/trace_registry.hh"
+
+namespace delorean::bench
+{
+
+namespace
+{
+
+using profiling::HotPhase;
+using profiling::hot_phase_count;
+using profiling::hotPhaseName;
+
+core::DeloreanConfig
+pinnedConfig(const PerfOptions &opt)
+{
+    core::DeloreanConfig cfg;
+    cfg.schedule.spacing = opt.spacing;
+    cfg.schedule.num_regions = opt.regions;
+    cfg.hier.llc.size = opt.llc_size;
+    cfg.host_threads = opt.host_threads;
+    return cfg;
+}
+
+void
+putPhase(std::ostringstream &os, const profiling::PhaseTimings &t,
+         std::size_t p, bool last)
+{
+    const auto phase = HotPhase(p);
+    os << "      \"" << hotPhaseName(phase) << "\": {\"ns\": "
+       << t.ns[p] << ", \"calls\": " << t.calls[p]
+       << ", \"items\": " << t.items[p]
+       << ", \"items_per_sec\": " << t.itemsPerSecond(phase) << "}"
+       << (last ? "" : ",") << "\n";
+}
+
+/** Indent every line of an embedded JSON document by two spaces. */
+std::string
+indentJson(const std::string &json)
+{
+    std::string out;
+    out.reserve(json.size());
+    bool at_line_start = true;
+    for (const char c : json) {
+        if (at_line_start && c != '\n')
+            out += "  ";
+        at_line_start = c == '\n';
+        out += c;
+    }
+    while (!out.empty() && (out.back() == '\n' || out.back() == ' '))
+        out.pop_back();
+    return out;
+}
+
+} // namespace
+
+double
+PerfMeasurement::replayInstsPerSec() const
+{
+    return phases.itemsPerSecond(HotPhase::ExplorerReplay);
+}
+
+double
+PerfMeasurement::instsPerSec() const
+{
+    if (wall_seconds <= 0.0)
+        return 0.0;
+    return double(insts) / wall_seconds;
+}
+
+double
+PerfMeasurement::trapsPerSec() const
+{
+    const auto p = std::size_t(HotPhase::ExplorerReplay);
+    if (phases.ns[p] <= 0.0)
+        return 0.0;
+    return double(traps) * 1e9 / phases.ns[p];
+}
+
+std::string
+PerfReport::buildDescription()
+{
+    std::ostringstream os;
+#if defined(__clang__)
+    os << "clang " << __clang_major__ << "." << __clang_minor__;
+#elif defined(__GNUC__)
+    os << "gcc " << __GNUC__ << "." << __GNUC_MINOR__;
+#else
+    os << "unknown-compiler";
+#endif
+#ifdef NDEBUG
+    os << ", NDEBUG";
+#else
+    os << ", assertions";
+#endif
+    return os.str();
+}
+
+PerfReport
+runPerfSuite(const PerfOptions &options)
+{
+    PerfReport report;
+    report.options = options;
+    const auto cfg = pinnedConfig(options);
+
+    for (const auto &spec : options.workloads) {
+        auto master = workload::makeTrace(spec);
+
+        for (unsigned w = 0; w < options.warmups; ++w)
+            (void)core::DeloreanMethod::run(*master, cfg);
+
+        PerfMeasurement best;
+        best.workload = spec;
+        best.insts = cfg.schedule.totalInstructions();
+        for (unsigned rep = 0; rep < std::max(1u, options.repeats);
+             ++rep) {
+            const double t0 = profiling::nowNs();
+            const auto result = core::DeloreanMethod::run(*master, cfg);
+            const double wall = (profiling::nowNs() - t0) / 1e9;
+            std::fprintf(stderr,
+                         "[perf] %s rep %u/%u: wall=%.3fs replay=%.1f "
+                         "Minsts/s\n",
+                         spec.c_str(), rep + 1, options.repeats, wall,
+                         result.cost.measured().itemsPerSecond(
+                             HotPhase::ExplorerReplay) /
+                             1e6);
+            if (best.wall_seconds == 0.0 || wall < best.wall_seconds) {
+                best.wall_seconds = wall;
+                best.traps = result.traps;
+                best.phases = result.cost.measured();
+            }
+        }
+        report.measurements.push_back(std::move(best));
+    }
+    return report;
+}
+
+std::string
+writeBenchJson(const PerfReport &report, const std::string &path,
+               const std::string &baseline_json)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\n";
+    os << "  \"schema\": \"delorean-bench-1\",\n";
+    os << "  \"generated_by\": \"bench_report\",\n";
+    os << "  \"build\": \"" << PerfReport::buildDescription() << "\",\n";
+    os << "  \"config\": {\"spacing\": " << report.options.spacing
+       << ", \"regions\": " << report.options.regions << ", \"llc\": \""
+       << mib(report.options.llc_size) << "\", \"host_threads\": "
+       << report.options.host_threads << ", \"repeats\": "
+       << report.options.repeats << "},\n";
+    os << "  \"workloads\": {\n";
+    for (std::size_t i = 0; i < report.measurements.size(); ++i) {
+        const auto &m = report.measurements[i];
+        // Workload specs can contain anything a path can.
+        os << "    \"" << jsonEscape(m.workload) << "\": {\n";
+        os << "      \"wall_seconds\": " << m.wall_seconds << ",\n";
+        os << "      \"insts\": " << m.insts << ",\n";
+        os << "      \"insts_per_sec\": " << m.instsPerSec() << ",\n";
+        os << "      \"traps\": " << m.traps << ",\n";
+        os << "      \"traps_per_sec\": " << m.trapsPerSec() << ",\n";
+        os << "      \"phases\": {\n";
+        // Re-indent the phase block by rendering through putPhase at
+        // the same level and shifting two spaces.
+        std::ostringstream phases;
+        phases.precision(17);
+        for (std::size_t p = 0; p < hot_phase_count; ++p)
+            putPhase(phases, m.phases, p, p + 1 == hot_phase_count);
+        os << indentJson(phases.str()) << "\n";
+        os << "      }\n";
+        os << "    }" << (i + 1 == report.measurements.size() ? "" : ",")
+           << "\n";
+    }
+    os << "  }";
+    if (!baseline_json.empty())
+        os << ",\n  \"baseline\":\n" << indentJson(baseline_json);
+    os << "\n}\n";
+
+    const std::string text = os.str();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+    out.close();
+    if (out.fail())
+        throw std::runtime_error("cannot write bench report '" + path +
+                                 "'");
+    return text;
+}
+
+double
+replayInstsPerSecFromJson(const std::string &json,
+                          const std::string &workload)
+{
+    // Tolerant extraction: find the workload object (as written, i.e.
+    // escaped), then its explorer_replay block, then the insts_per_sec
+    // number. The harness writes this shape itself; a mismatch reads
+    // as 0. (Built with += rather than operator+ on the temporary:
+    // GCC 12 -Werror=restrict false positive, PR 105651.)
+    std::string needle = "\"";
+    needle += jsonEscape(workload);
+    needle += '"';
+    const auto wpos = json.find(needle);
+    if (wpos == std::string::npos)
+        return 0.0;
+    const auto rpos = json.find("\"explorer_replay\"", wpos);
+    if (rpos == std::string::npos)
+        return 0.0;
+    const auto kpos = json.find("\"items_per_sec\":", rpos);
+    if (kpos == std::string::npos)
+        return 0.0;
+    return std::strtod(json.c_str() + kpos + 16, nullptr);
+}
+
+} // namespace delorean::bench

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The measured performance harness behind `tools/bench_report`.
+ *
+ * Runs a pinned quick-schedule suite (fixed workloads, fixed schedule,
+ * serial execution) end to end through `DeloreanMethod::run`, collects
+ * the hot-path phase timers (src/profiling/hotpath.hh) from each
+ * result, and emits a `BENCH_*.json` report: per-phase nanoseconds,
+ * derived throughputs (insts/s, traps/s), and per-figure wall-clock.
+ * This file is the perf *trajectory* anchor — every committed
+ * `BENCH_pr*.json` is a measurement future PRs regress against
+ * (docs/performance.md documents the schema and methodology).
+ *
+ * Two deliberate choices keep reports comparable:
+ *
+ *  - best-of-N repeats (not mean): wall-clock noise on shared hosts is
+ *    one-sided, so the minimum is the stable estimator;
+ *  - the suite is *pinned*: changing workloads, schedule, or repeat
+ *    count is a schema-visible change, not a knob.
+ */
+
+#ifndef DELOREAN_BENCH_PERF_HARNESS_HH
+#define DELOREAN_BENCH_PERF_HARNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "profiling/hotpath.hh"
+#include "sampling/results.hh"
+
+namespace delorean::bench
+{
+
+/** Knobs of one harness invocation (defaults = the pinned suite). */
+struct PerfOptions
+{
+    /** Workload specs to measure (pinned default, bzip2 first). */
+    std::vector<std::string> workloads{"bzip2", "mcf", "gamess"};
+
+    /** Quick schedule: 1 M spacing x 10 regions (the `--quick` knobs
+     *  the figure binaries use). */
+    InstCount spacing = 1'000'000;
+    unsigned regions = 10;
+
+    /**
+     * Pinned LLC size: small enough that the lukewarm filter leaves
+     * real work for every Explorer, so the replay phase the report
+     * tracks is exercised (the quick-schedule golden configuration).
+     */
+    std::uint64_t llc_size = 2 * 1024 * 1024;
+
+    /** Serial on purpose: phase wall-clock equals phase CPU time. */
+    unsigned host_threads = 1;
+
+    /** Timed repetitions per workload; the best (minimum wall) run's
+     *  measurements are reported. */
+    unsigned repeats = 3;
+
+    /** Untimed warm-up runs per workload (page cache, allocator). */
+    unsigned warmups = 1;
+};
+
+/** Measured outcome for one workload of the suite. */
+struct PerfMeasurement
+{
+    std::string workload;
+
+    /** End-to-end wall seconds of the best repeat ("per-fig wall": one
+     *  full DeloreanMethod::run, the unit the figure binaries pay per
+     *  cell). */
+    double wall_seconds = 0.0;
+
+    /** Schedule instructions covered by one run (spacing x regions). */
+    InstCount insts = 0;
+
+    /** Watchpoint stops of one run (deterministic across repeats). */
+    Counter traps = 0;
+
+    /** Hot-path phase timers of the best repeat. */
+    profiling::PhaseTimings phases;
+
+    /** Explorer replay throughput: window insts / replay wall. */
+    double replayInstsPerSec() const;
+
+    /** Whole-run throughput: schedule insts / wall. */
+    double instsPerSec() const;
+
+    /** Watchpoint stops handled per second of replay wall. */
+    double trapsPerSec() const;
+};
+
+/** The full suite result plus run metadata. */
+struct PerfReport
+{
+    PerfOptions options;
+    std::vector<PerfMeasurement> measurements;
+
+    /** Compiler/build identification embedded in the JSON. */
+    static std::string buildDescription();
+};
+
+/** Run the pinned suite (prints progress to stderr). */
+PerfReport runPerfSuite(const PerfOptions &options);
+
+/**
+ * Serialize @p report as BENCH_*.json. If @p baseline_json is
+ * non-empty it must be the verbatim contents of an earlier report
+ * (same schema), which is embedded under "baseline" so a single
+ * committed file carries both sides of a before/after comparison.
+ *
+ * @return the JSON text written to @p path
+ */
+std::string writeBenchJson(const PerfReport &report,
+                           const std::string &path,
+                           const std::string &baseline_json);
+
+/**
+ * Pull `workloads.<workload>.phases.explorer_replay.insts_per_sec`
+ * out of a BENCH_*.json text (tolerant scanner, no JSON dependency).
+ * @return 0.0 when absent.
+ */
+double replayInstsPerSecFromJson(const std::string &json,
+                                 const std::string &workload);
+
+} // namespace delorean::bench
+
+#endif // DELOREAN_BENCH_PERF_HARNESS_HH

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Open-addressed flat hash map keyed by Addr.
+ *
+ * The directed-profiling and vicinity hot loops do one hash lookup per
+ * memory reference (src/profiling/). `std::unordered_map` pays a
+ * pointer chase per probe (node-based buckets) and a hash of poor
+ * quality for addresses (identity on most implementations, so
+ * same-stride keys cluster). This map stores keys and values in two
+ * contiguous arrays, probes linearly from a mixed (splitmix64) hash,
+ * and keeps the load factor at most 1/2 — a miss costs a handful of
+ * contiguous reads on one or two cachelines.
+ *
+ * Semantics match the `unordered_map` uses it replaces, with content
+ * equality asserted against a reference `unordered_map` by
+ * tests/test_base.cc on randomized key sets. Differences that are
+ * deliberate and safe:
+ *
+ *  - iteration order differs (slot order, not bucket order): every
+ *    caller either builds order-independent aggregates (histograms,
+ *    per-line maps) or feeds order-insensitive consumers;
+ *  - `invalid_addr` (~0) is reserved as the empty-slot sentinel — no
+ *    cacheline or page number can collide with it (it would imply an
+ *    address above 2^63 bytes).
+ *
+ * erase() uses backward-shift deletion, so probes never have to walk
+ * tombstones — lookup cost stays flat no matter how many samples a
+ * window retires.
+ */
+
+#ifndef DELOREAN_BASE_FLAT_HASH_HH
+#define DELOREAN_BASE_FLAT_HASH_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace delorean
+{
+
+/** Mix an address into a well-distributed 64-bit hash (splitmix64). */
+constexpr std::uint64_t
+mixAddr(Addr x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+/**
+ * Bit-packed membership prefilter over addresses: 2^16 bits (8 KiB,
+ * L1-resident), indexed by the low bits of mixAddr. A clear bit
+ * proves absence; a set bit means "probe the exact structure".
+ * Bits are only cleared wholesale (reset()), so there are never false
+ * negatives — the property the watchpoint and directed-profiling fast
+ * paths rely on for bit-identical trap accounting. Storage is
+ * allocated lazily on the first set().
+ */
+class AddrBitFilter
+{
+  public:
+    bool
+    mayContain(Addr key) const
+    {
+        if (words_.empty())
+            return false;
+        const std::uint64_t h = mixAddr(key) & (bits - 1);
+        return (words_[h >> 6] >> (h & 63)) & 1;
+    }
+
+    void
+    set(Addr key)
+    {
+        if (words_.empty())
+            words_.assign(bits / 64, 0);
+        const std::uint64_t h = mixAddr(key) & (bits - 1);
+        words_[h >> 6] |= std::uint64_t(1) << (h & 63);
+    }
+
+    /** Clear every bit (keeps the allocation). */
+    void
+    reset()
+    {
+        std::fill(words_.begin(), words_.end(), 0);
+    }
+
+  private:
+    static constexpr std::size_t bits = std::size_t(1) << 16;
+    std::vector<std::uint64_t> words_;
+};
+
+/**
+ * Open-addressed Addr -> V map (linear probing, power-of-two
+ * capacity, <= 1/2 load). V must be default-constructible and movable.
+ */
+template <typename V>
+class FlatAddrMap
+{
+  public:
+    FlatAddrMap() = default;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    void
+    clear()
+    {
+        keys_.assign(keys_.size(), invalid_addr);
+        size_ = 0;
+    }
+
+    /** Grow so @p n entries fit without rehashing. */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t cap = 16;
+        while (cap < 2 * n)
+            cap *= 2;
+        if (cap > keys_.size())
+            rehash(cap);
+    }
+
+    /** @return the value slot for @p key, or nullptr if absent. */
+    V *
+    find(Addr key)
+    {
+        if (keys_.empty())
+            return nullptr;
+        std::size_t i = mixAddr(key) & mask_;
+        while (true) {
+            const Addr k = keys_[i];
+            if (k == key)
+                return &vals_[i];
+            if (k == invalid_addr)
+                return nullptr;
+            i = (i + 1) & mask_;
+        }
+    }
+
+    const V *
+    find(Addr key) const
+    {
+        return const_cast<FlatAddrMap *>(this)->find(key);
+    }
+
+    bool contains(Addr key) const { return find(key) != nullptr; }
+
+    /**
+     * Insert (key, value) unless the key is present.
+     * @return pair of (value slot, inserted?) — try_emplace semantics.
+     */
+    std::pair<V *, bool>
+    emplace(Addr key, V value = V())
+    {
+        panic_if(key == invalid_addr,
+                 "FlatAddrMap: the ~0 sentinel cannot be a key");
+        if (2 * (size_ + 1) > keys_.size())
+            rehash(keys_.empty() ? 16 : 2 * keys_.size());
+        std::size_t i = mixAddr(key) & mask_;
+        while (true) {
+            const Addr k = keys_[i];
+            if (k == key)
+                return {&vals_[i], false};
+            if (k == invalid_addr) {
+                keys_[i] = key;
+                vals_[i] = std::move(value);
+                ++size_;
+                return {&vals_[i], true};
+            }
+            i = (i + 1) & mask_;
+        }
+    }
+
+    /** Remove @p key. @return true iff it was present. */
+    bool
+    erase(Addr key)
+    {
+        if (keys_.empty())
+            return false;
+        std::size_t i = mixAddr(key) & mask_;
+        while (true) {
+            const Addr k = keys_[i];
+            if (k == invalid_addr)
+                return false;
+            if (k == key)
+                break;
+            i = (i + 1) & mask_;
+        }
+        // Backward-shift deletion: close the probe chain so lookups
+        // never need tombstones.
+        std::size_t hole = i;
+        std::size_t j = i;
+        while (true) {
+            j = (j + 1) & mask_;
+            const Addr k = keys_[j];
+            if (k == invalid_addr)
+                break;
+            const std::size_t ideal = mixAddr(k) & mask_;
+            // Move k into the hole iff its probe chain passes through
+            // it (cyclic interval check).
+            const bool reachable =
+                hole <= j ? (ideal <= hole || ideal > j)
+                          : (ideal <= hole && ideal > j);
+            if (reachable) {
+                keys_[hole] = k;
+                vals_[hole] = std::move(vals_[j]);
+                hole = j;
+            }
+        }
+        keys_[hole] = invalid_addr;
+        vals_[hole] = V();
+        --size_;
+        return true;
+    }
+
+    /** Visit every (key, value) pair in slot order. */
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        for (std::size_t i = 0; i < keys_.size(); ++i)
+            if (keys_[i] != invalid_addr)
+                f(keys_[i], vals_[i]);
+    }
+
+  private:
+    void
+    rehash(std::size_t cap)
+    {
+        std::vector<Addr> old_keys = std::move(keys_);
+        std::vector<V> old_vals = std::move(vals_);
+        keys_.assign(cap, invalid_addr);
+        vals_.assign(cap, V());
+        mask_ = cap - 1;
+        size_ = 0;
+        for (std::size_t i = 0; i < old_keys.size(); ++i) {
+            if (old_keys[i] == invalid_addr)
+                continue;
+            std::size_t j = mixAddr(old_keys[i]) & mask_;
+            while (keys_[j] != invalid_addr)
+                j = (j + 1) & mask_;
+            keys_[j] = old_keys[i];
+            vals_[j] = std::move(old_vals[i]);
+            ++size_;
+        }
+    }
+
+    std::vector<Addr> keys_;
+    std::vector<V> vals_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace delorean
+
+#endif // DELOREAN_BASE_FLAT_HASH_HH

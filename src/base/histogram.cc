@@ -1,6 +1,7 @@
 #include "base/histogram.hh"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 
 #include "base/intmath.hh"
@@ -53,12 +54,41 @@ LogHistogram::bucketRange(std::size_t idx, std::uint64_t &low,
 }
 
 void
+LogHistogram::markOccupied(std::size_t idx)
+{
+    const std::size_t word = idx >> 6;
+    if (word >= occupied_.size())
+        occupied_.resize(word + 1, 0);
+    occupied_[word] |= std::uint64_t(1) << (idx & 63);
+}
+
+std::size_t
+LogHistogram::nextNonEmpty(std::size_t from) const
+{
+    for (std::size_t word = from >> 6; word < occupied_.size(); ++word) {
+        std::uint64_t bits = occupied_[word];
+        if (word == from >> 6)
+            bits &= ~std::uint64_t(0) << (from & 63);
+        while (bits) {
+            const std::size_t idx =
+                (word << 6) + std::size_t(std::countr_zero(bits));
+            // Occupancy is conservative; confirm real weight.
+            if (idx < weights_.size() && weights_[idx] > 0.0)
+                return idx;
+            bits &= bits - 1;
+        }
+    }
+    return npos;
+}
+
+void
 LogHistogram::add(std::uint64_t value, double weight)
 {
     const std::size_t idx = bucketIndex(value);
     if (idx >= weights_.size())
         weights_.resize(idx + 1, 0.0);
     weights_[idx] += weight;
+    markOccupied(idx);
     total_weight_ += weight;
 }
 
@@ -70,8 +100,14 @@ LogHistogram::merge(const LogHistogram &other)
              sub_buckets_, other.sub_buckets_);
     if (other.weights_.size() > weights_.size())
         weights_.resize(other.weights_.size(), 0.0);
+    // Contiguous array sums: in-order (bitwise-reproducible) but free
+    // of per-bucket indirection, and the occupancy words just OR.
     for (std::size_t i = 0; i < other.weights_.size(); ++i)
         weights_[i] += other.weights_[i];
+    if (other.occupied_.size() > occupied_.size())
+        occupied_.resize(other.occupied_.size(), 0);
+    for (std::size_t i = 0; i < other.occupied_.size(); ++i)
+        occupied_[i] |= other.occupied_[i];
     total_weight_ += other.total_weight_;
 }
 
@@ -79,14 +115,18 @@ void
 LogHistogram::clear()
 {
     weights_.clear();
+    occupied_.clear();
     total_weight_ = 0.0;
 }
 
 std::size_t
 LogHistogram::nonEmptyBuckets() const
 {
-    return std::size_t(std::count_if(weights_.begin(), weights_.end(),
-                                     [](double w) { return w > 0.0; }));
+    std::size_t n = 0;
+    for (std::size_t i = nextNonEmpty(0); i != npos;
+         i = nextNonEmpty(i + 1))
+        ++n;
+    return n;
 }
 
 double
@@ -95,9 +135,8 @@ LogHistogram::mean() const
     if (total_weight_ <= 0.0)
         return 0.0;
     double sum = 0.0;
-    for (std::size_t i = 0; i < weights_.size(); ++i) {
-        if (weights_[i] <= 0.0)
-            continue;
+    for (std::size_t i = nextNonEmpty(0); i != npos;
+         i = nextNonEmpty(i + 1)) {
         std::uint64_t low, high;
         bucketRange(i, low, high);
         sum += weights_[i] * (double(low) + double(high - low) / 2.0);
@@ -110,21 +149,22 @@ LogHistogram::cdf(std::uint64_t x) const
 {
     if (total_weight_ <= 0.0)
         return 0.0;
+
+    // Exactly one bucket can straddle x — the one whose index
+    // bucketIndex(x) names; every bucket below it lies entirely at or
+    // under x. The sum over the prefix is a contiguous in-order array
+    // walk (adding empty buckets' 0.0 is bitwise-neutral), with the
+    // single range computation reserved for the straddler.
+    const std::size_t straddle = bucketIndex(x);
+    const std::size_t full = std::min(straddle, weights_.size());
     double below = 0.0;
-    for (std::size_t i = 0; i < weights_.size(); ++i) {
-        if (weights_[i] <= 0.0)
-            continue;
+    for (std::size_t i = 0; i < full; ++i)
+        below += weights_[i];
+    if (straddle < weights_.size() && weights_[straddle] > 0.0) {
         std::uint64_t low, high;
-        bucketRange(i, low, high);
-        if (high <= x + 1) {
-            // Entire bucket covers values <= x.
-            below += weights_[i];
-        } else if (low <= x) {
-            // Straddling bucket: assume uniform density within it.
-            const double frac =
-                double(x - low + 1) / double(high - low);
-            below += weights_[i] * frac;
-        }
+        bucketRange(straddle, low, high);
+        const double frac = double(x - low + 1) / double(high - low);
+        below += weights_[straddle] * frac;
     }
     return below / total_weight_;
 }
@@ -137,14 +177,12 @@ LogHistogram::quantile(double q) const
     q = std::clamp(q, 0.0, 1.0);
     const double target = q * total_weight_;
     double acc = 0.0;
-    for (std::size_t i = 0; i < weights_.size(); ++i) {
-        if (weights_[i] <= 0.0)
-            continue;
-        std::uint64_t low, high;
-        bucketRange(i, low, high);
+    for (std::size_t i = nextNonEmpty(0); i != npos;
+         i = nextNonEmpty(i + 1)) {
         if (acc + weights_[i] >= target) {
-            const double frac =
-                weights_[i] > 0.0 ? (target - acc) / weights_[i] : 0.0;
+            std::uint64_t low, high;
+            bucketRange(i, low, high);
+            const double frac = (target - acc) / weights_[i];
             return low + std::uint64_t(frac * double(high - low));
         }
         acc += weights_[i];
@@ -159,13 +197,9 @@ LogHistogram::buckets() const
 {
     std::vector<Bucket> out;
     out.reserve(nonEmptyBuckets());
-    for (std::size_t i = 0; i < weights_.size(); ++i) {
-        if (weights_[i] <= 0.0)
-            continue;
-        std::uint64_t low, high;
-        bucketRange(i, low, high);
-        out.push_back({low, high, weights_[i]});
-    }
+    for (std::size_t i = nextNonEmpty(0); i != npos;
+         i = nextNonEmpty(i + 1))
+        out.push_back(bucketAt(i));
     return out;
 }
 

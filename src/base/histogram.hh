@@ -80,6 +80,63 @@ class LogHistogram
 
     std::vector<Bucket> buckets() const;
 
+    /** Sentinel for "no further non-empty bucket". */
+    static constexpr std::size_t npos = ~std::size_t(0);
+
+    /**
+     * Index of the first non-empty bucket at or after @p from, or
+     * npos. Scans the bit-packed occupancy words (one u64 covers 64
+     * buckets), so merge-walks over sparse histograms — the StatStack
+     * solver and the Kaplan-Meier estimator — skip empty runs in a
+     * couple of instructions instead of probing bucket by bucket.
+     */
+    std::size_t nextNonEmpty(std::size_t from) const;
+
+    /** The bucket at index @p idx (any occupancy), bounds included. */
+    Bucket
+    bucketAt(std::size_t idx) const
+    {
+        std::uint64_t low, high;
+        bucketRange(idx, low, high);
+        return {low, high, idx < weights_.size() ? weights_[idx] : 0.0};
+    }
+
+    /**
+     * Cursor over the non-empty buckets in increasing value order —
+     * the building block of the merge-walks (the StatStack solver and
+     * the Kaplan-Meier estimator walk an event and a censoring
+     * histogram in lockstep), so the walk convention lives in one
+     * place. Materializes nothing: it rides nextNonEmpty()/bucketAt().
+     */
+    class NonEmptyCursor
+    {
+      public:
+        explicit NonEmptyCursor(const LogHistogram &hist)
+            : hist_(hist), idx_(hist.nextNonEmpty(0))
+        {
+            if (valid())
+                bucket_ = hist_.bucketAt(idx_);
+        }
+
+        bool valid() const { return idx_ != npos; }
+
+        /** Current bucket; only meaningful while valid(). */
+        const Bucket &bucket() const { return bucket_; }
+
+        void
+        advance()
+        {
+            idx_ = hist_.nextNonEmpty(idx_ + 1);
+            if (valid())
+                bucket_ = hist_.bucketAt(idx_);
+        }
+
+      private:
+        const LogHistogram &hist_;
+        std::size_t idx_;
+        Bucket bucket_{};
+    };
+
     /** Human-readable dump (for debugging / stats output). */
     std::string toString() const;
 
@@ -91,9 +148,19 @@ class LogHistogram
     void bucketRange(std::size_t idx, std::uint64_t &low,
                      std::uint64_t &high) const;
 
+    /** Mark bucket @p idx in the occupancy bitmap. */
+    void markOccupied(std::size_t idx);
+
     unsigned sub_buckets_;
     int sub_shift_;
     std::vector<double> weights_;
+    /**
+     * Bit-packed occupancy: bit i set means bucket i has ever
+     * received weight (conservative — a zero-weight add sets it, so
+     * consumers still check weights_[i] > 0). Kept in lockstep by
+     * add/merge/clear.
+     */
+    std::vector<std::uint64_t> occupied_;
     double total_weight_;
 };
 

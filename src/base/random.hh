@@ -37,6 +37,8 @@
 #include <array>
 #include <cstdint>
 
+#include "base/logging.hh"
+
 namespace delorean
 {
 
@@ -53,20 +55,65 @@ class Rng
      *  independent streams. */
     explicit Rng(std::uint64_t seed = 0x5eed);
 
+    // The draw primitives below are defined in the header on purpose:
+    // the synthetic trace generator makes one to three draws per
+    // generated instruction, which makes cross-TU call overhead a
+    // measurable slice of the Explorer replay phase (bench_report).
+
     /** @return next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+
+        return result;
+    }
 
     /** @return uniform value in [0, bound) (bound > 0). */
-    std::uint64_t nextBounded(std::uint64_t bound);
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        panic_if(bound == 0, "Rng::nextBounded called with bound 0");
+        // Lemire's nearly-divisionless method would be overkill here;
+        // simple rejection keeps the stream layout obvious and still
+        // unbiased.
+        const std::uint64_t threshold = -bound % bound;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
 
     /** @return uniform value in [lo, hi] inclusive. */
     std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
 
     /** @return uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        // 53 high bits -> double in [0, 1).
+        return (next() >> 11) * 0x1.0p-53;
+    }
 
     /** @return true with probability @p p. */
-    bool chance(double p);
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return nextDouble() < p;
+    }
 
     /**
      * @return a sample from a geometric distribution with success
@@ -83,6 +130,12 @@ class Rng
     bool operator==(const Rng &other) const = default;
 
   private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::array<std::uint64_t, 4> state_;
 };
 

@@ -189,6 +189,11 @@ putCost(std::ostream &os, const profiling::HostCostAccount &cost)
     putF64(os, snap.transfers);
     putF64(os, snap.total_cycles);
     putU64(os, snap.trap_count);
+    for (std::size_t p = 0; p < profiling::hot_phase_count; ++p) {
+        putF64(os, snap.measured.ns[p]);
+        putU64(os, snap.measured.calls[p]);
+        putU64(os, snap.measured.items[p]);
+    }
 }
 
 profiling::HostCostAccount
@@ -214,6 +219,11 @@ getCost(std::istream &is)
     snap.transfers = getF64(is);
     snap.total_cycles = getF64(is);
     snap.trap_count = getU64(is);
+    for (std::size_t p = 0; p < profiling::hot_phase_count; ++p) {
+        snap.measured.ns[p] = getF64(is);
+        snap.measured.calls[p] = getU64(is);
+        snap.measured.items[p] = getU64(is);
+    }
     return profiling::HostCostAccount::fromSnapshot(snap);
 }
 

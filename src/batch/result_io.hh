@@ -11,7 +11,7 @@
  *
  *   Header:
  *     char[8]  magic     "DLRNRES1"
- *     u32      version   1
+ *     u32      version   2
  *     u32      kind      1 = MethodResult, 2 = SizeCurve
  *
  *   MethodResult payload (kind 1):
@@ -19,7 +19,12 @@
  *     u32      region count, then per region a RegionStats block
  *     RegionStats                        (the aggregate `total`)
  *     HostCostSnapshot                   (8 param doubles, 6 bucket
- *                                         doubles, u64 trap count)
+ *                                         doubles, u64 trap count,
+ *                                         PhaseTimings: per hot phase
+ *                                         f64 ns + u64 calls + u64
+ *                                         items — measured wall-clock
+ *                                         of the producing run, never
+ *                                         part of any key or equality)
  *     f64      wall_seconds, mips
  *     u64      reuse_samples, traps, false_positives
  *     u64[4]   keys_by_explorer
@@ -57,7 +62,14 @@ struct ResultFormat
 {
     static constexpr std::array<char, 8> magic = {'D', 'L', 'R', 'N',
                                                   'R', 'E', 'S', '1'};
-    static constexpr std::uint32_t version = 1;
+    /**
+     * Version 2 appended the measured PhaseTimings to the host-cost
+     * block. Version-1 entries in an existing cache read as
+     * "unsupported version" and surface as a repairable miss (the
+     * cache key recipe did not change: results are re-executed once
+     * and re-stored, never falsely hit).
+     */
+    static constexpr std::uint32_t version = 2;
     static constexpr std::uint32_t kind_method_result = 1;
     static constexpr std::uint32_t kind_size_curve = 2;
 };

@@ -153,6 +153,12 @@ DeloreanMethod::assembleArtifacts(const DeloreanConfig &config,
             art.cost.merge(e_cost);
         }
 
+        // Measured wall-clock rides along with the modeled cost; the
+        // per-region structs carried it out of the (possibly threaded)
+        // passes, so attribution is exact under any execution mode.
+        art.cost.measured().merge(keys.timing);
+        art.cost.measured().merge(explored.timing);
+
         engaged_total += explored.engaged;
         for (std::size_t k = 0; k < 4 && k < n_explorers; ++k) {
             art.keys_by_explorer[k] += explored.found_by[k];
@@ -268,13 +274,30 @@ DeloreanMethod::analyze(const workload::TraceSource &master,
             statmodel::AssocModel assoc(config.hier.llc.sets(),
                                         config.hier.llc.assoc);
             AssocTrainer trainer(assoc);
-            sim.warmRegion(*trace, sched.detailed_warming, &trainer);
 
+            double analyze_ns = -profiling::nowNs();
+            sim.warmRegion(*trace, sched.detailed_warming, &trainer);
+            analyze_ns += profiling::nowNs();
+
+            // The classifier constructor runs the StatStack solver
+            // precompute over the region's vicinity distribution;
+            // queries during the timed simulation are charged to the
+            // Analyze bucket (they are interleaved with it).
+            const double solve_t0 = profiling::nowNs();
             AnalystClassifier classifier(artifacts.keys[r],
                                          artifacts.explored[r],
                                          hier.llc(), assoc);
+            out.cost.measured().note(
+                profiling::HotPhase::StatStackSolve,
+                profiling::nowNs() - solve_t0,
+                Counter(artifacts.explored[r].vicinity_samples));
+
+            analyze_ns -= profiling::nowNs();
             out.stats =
                 sim.simulate(*trace, sched.region_len, &classifier);
+            analyze_ns += profiling::nowNs();
+            out.cost.measured().note(profiling::HotPhase::Analyze,
+                                     analyze_ns, region_total);
 
             out.cost.chargeVffScaled(sched.spacing - region_total);
             out.cost.chargeDetailedRaw(region_total);

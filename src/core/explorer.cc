@@ -1,5 +1,8 @@
 #include "core/explorer.hh"
 
+#include <algorithm>
+#include <array>
+
 #include "base/logging.hh"
 
 namespace delorean::core
@@ -57,14 +60,33 @@ ExplorerChain::exploreOne(std::size_t k, const std::vector<Addr> &keys,
         config_.seed + detailed_start + k * 0x9e37);
     vicinity.beginWindow(virtualized);
 
-    for (InstCount i = 0; i < window; ++i) {
-        const auto inst = trace->next();
-        if (!inst.isMem())
-            continue;
-        const Addr line = inst.line();
-        dp.observe(line);
-        vicinity.observe(line);
+    // Replay in chunks: one memLines() call per chunk hands the inner
+    // loops a dense array of memory-access lines, then the directed
+    // profiler and the vicinity sampler each sweep the chunk on its
+    // own. The two are independent observers of the same reference
+    // stream, so the split is result-identical to interleaving them
+    // per access — and it lets each phase's wall-clock be measured
+    // with a handful of clock reads per chunk instead of per access.
+    constexpr InstCount chunk = 4096;
+    std::array<Addr, chunk> lines;
+    double replay_ns = 0.0;
+    double vicinity_ns = 0.0;
+    RefCount mem_refs = 0;
+    for (InstCount done = 0; done < window;) {
+        const InstCount n = std::min(chunk, window - done);
+        const double t0 = profiling::nowNs();
+        const InstCount m = trace->memLines(lines.data(), n);
+        dp.observeAll(lines.data(), std::size_t(m));
+        const double t1 = profiling::nowNs();
+        vicinity.observeAll(lines.data(), std::size_t(m));
+        vicinity_ns += profiling::nowNs() - t1;
+        replay_ns += t1 - t0;
+        mem_refs += m;
+        done += n;
     }
+    res.timing.note(profiling::HotPhase::ExplorerReplay, replay_ns,
+                    window);
+    res.timing.note(profiling::HotPhase::Vicinity, vicinity_ns, mem_refs);
 
     vicinity.endWindow();
     auto profile = dp.end();

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "profiling/directed_profiler.hh"
+#include "profiling/hotpath.hh"
 #include "profiling/vicinity.hh"
 #include "sampling/region.hh"
 #include "statmodel/reuse_histogram.hh"
@@ -92,6 +93,15 @@ struct ExplorerResult
 
     /** Per-Explorer instructions actually profiled (cost accounting). */
     std::array<InstCount, 4> window_insts{};
+
+    /**
+     * Measured wall-clock of the producing Explorer windows
+     * (HotPhase::ExplorerReplay: window re-execution + directed
+     * profiling, items = instructions; HotPhase::Vicinity: vicinity
+     * sampling over the same windows, items = memory references).
+     * Excluded from every equality relation (src/profiling/hotpath.hh).
+     */
+    profiling::PhaseTimings timing;
 
     Counter
     totalTraps() const

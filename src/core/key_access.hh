@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "profiling/hotpath.hh"
 
 namespace delorean::core
 {
@@ -49,6 +50,14 @@ struct KeySet
 
     /** Memory references in the detailed region. */
     RefCount region_refs = 0;
+
+    /**
+     * Measured wall-clock of the producing Scout::scan (HotPhase::Scout
+     * bucket; items = instructions replayed). Nondeterministic by
+     * nature and excluded from every equality relation — see
+     * src/profiling/hotpath.hh.
+     */
+    profiling::PhaseTimings timing;
 
     /** All unique cachelines in the region (§3.2: avg 151 on SPEC). */
     std::size_t uniqueLines() const { return keys.size(); }

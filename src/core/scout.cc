@@ -11,6 +11,10 @@ Scout::scan(workload::TraceSource &trace,
             const cpu::DetailedSimConfig &sim_config, InstCount warming,
             InstCount region_len)
 {
+    KeySet set;
+    profiling::ScopedPhaseTimer timer(set.timing, profiling::HotPhase::Scout,
+                                      warming + region_len);
+
     // Scratch machine: cold, then detail-warmed exactly like the
     // Analyst's will be, so lukewarm_hit flags match the Analyst's
     // lukewarm lookups.
@@ -18,7 +22,6 @@ Scout::scan(workload::TraceSource &trace,
     cpu::DetailedSimulator sim(hier, sim_config);
     sim.warmRegion(trace, warming);
 
-    KeySet set;
     std::unordered_set<Addr> seen;
     Addr last_fetch_line = invalid_addr;
 
@@ -51,6 +54,9 @@ Scout::scan(workload::TraceSource &trace,
         ++set.region_refs;
     }
 
+    // Explicit stop: the timer must note into `set` before the return
+    // value leaves this frame (NRVO is likely but not guaranteed).
+    timer.stop();
     return set;
 }
 

@@ -1,5 +1,7 @@
 #include "profiling/directed_profiler.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 namespace delorean::profiling
@@ -15,10 +17,14 @@ DirectedProfiler::begin(const std::vector<Addr> &keys, bool virtualized)
     last_seen_.reserve(keys.size());
     pos_ = 0;
 
+    key_filter_.reset();
+
     for (const Addr line : keys) {
         last_seen_.emplace(line, never);
         if (virtualized_)
             engine_.watchLine(line);
+        else
+            key_filter_.set(line);
     }
 }
 
@@ -30,12 +36,14 @@ DirectedProfiler::end()
     res.false_positives = engine_.falsePositives();
     res.back_distance.reserve(last_seen_.size());
 
-    for (const auto &[line, last] : last_seen_) {
+    // Flat-table slot order, not insertion order: both consumers are
+    // order-insensitive (a map and a set-like remainder vector).
+    last_seen_.forEach([&](Addr line, RefCount last) {
         if (last == never)
             res.unresolved.push_back(line);
         else
             res.back_distance.emplace(line, pos_ - last);
-    }
+    });
 
     engine_.clear();
     last_seen_.clear();

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/flat_hash.hh"
 #include "profiling/watchpoint.hh"
 
 namespace delorean::profiling
@@ -69,18 +70,34 @@ class DirectedProfiler
     observe(Addr line)
     {
         if (virtualized_) {
+            // The engine's page prefilter screens this probe.
             if (engine_.active() &&
                 engine_.access(line) == Trap::Hit) {
                 // Keep the watchpoint armed: a later access would
                 // supersede this one as the "last" access.
-                last_seen_[line] = pos_;
+                *last_seen_.find(line) = pos_;
             }
         } else {
-            const auto it = last_seen_.find(line);
-            if (it != last_seen_.end())
-                it->second = pos_;
+            // Functional DP sees every access; the key-line bitmap
+            // (no false negatives) screens the table probe, so the
+            // common non-key access costs one load and a bit test.
+            if (key_filter_.mayContain(line)) {
+                if (RefCount *last = last_seen_.find(line))
+                    *last = pos_;
+            }
         }
         ++pos_;
+    }
+
+    /**
+     * Present a dense batch of memory-access lines (stream order) —
+     * one call per replay chunk, equivalent to observe() per line.
+     */
+    void
+    observeAll(const Addr *lines, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            observe(lines[i]);
     }
 
     /** Finish the window and report distances/unresolved keys. */
@@ -91,8 +108,16 @@ class DirectedProfiler
   private:
     bool virtualized_ = false;
     WatchpointEngine engine_;
-    /** key line -> last access position in the window (sentinel: none). */
-    std::unordered_map<Addr, RefCount> last_seen_;
+    /** Bit-packed key-line prefilter (functional mode's fast no). */
+    AddrBitFilter key_filter_;
+    /**
+     * key line -> last access position in the window (sentinel: none).
+     * Open-addressed flat table: one probe per memory reference of a
+     * functional window makes this the replay loop's hottest lookup
+     * (tests/test_profiling.cc asserts bit-identity against a
+     * reference unordered_map on randomized key sets).
+     */
+    FlatAddrMap<RefCount> last_seen_;
     static constexpr RefCount never = ~RefCount(0);
     RefCount pos_ = 0;
 };

@@ -91,6 +91,7 @@ HostCostAccount::merge(const HostCostAccount &other)
     transfers_ += other.transfers_;
     total_cycles_ += other.total_cycles_;
     trap_count_ += other.trap_count_;
+    measured_.merge(other.measured_);
 }
 
 double
@@ -123,6 +124,7 @@ HostCostAccount::snapshot() const
     snap.transfers = transfers_;
     snap.total_cycles = total_cycles_;
     snap.trap_count = trap_count_;
+    snap.measured = measured_;
     return snap;
 }
 
@@ -137,6 +139,7 @@ HostCostAccount::fromSnapshot(const HostCostSnapshot &snap)
     account.transfers_ = snap.transfers;
     account.total_cycles_ = snap.total_cycles;
     account.trap_count_ = snap.trap_count;
+    account.measured_ = snap.measured;
     return account;
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "base/types.hh"
+#include "profiling/hotpath.hh"
 
 namespace delorean::profiling
 {
@@ -73,6 +74,9 @@ struct HostCostSnapshot
     double transfers = 0.0;
     double total_cycles = 0.0;
     Counter trap_count = 0;
+
+    /** Measured (not modeled) hot-path wall-clock; never compared. */
+    PhaseTimings measured;
 };
 
 /**
@@ -102,8 +106,20 @@ class HostCostAccount
 
     void chargeStateTransfers(Counter transfers);
 
-    /** Fold another account (e.g. a pass) into this one. */
+    /**
+     * Fold another account (e.g. a pass) into this one; measured phase
+     * timings accumulate alongside the modeled buckets.
+     */
     void merge(const HostCostAccount &other);
+
+    /**
+     * Measured hot-path wall-clock (src/profiling/hotpath.hh). Unlike
+     * every other bucket this is real host time, not modeled time; it
+     * rides along through merges and serialization but never takes
+     * part in operator== (PhaseTimings compares identically true).
+     */
+    const PhaseTimings &measured() const { return measured_; }
+    PhaseTimings &measured() { return measured_; }
 
     double cycles() const { return total_cycles_; }
     double seconds() const;
@@ -141,6 +157,7 @@ class HostCostAccount
     double transfers_ = 0.0;
     double total_cycles_ = 0.0;
     Counter trap_count_ = 0;
+    PhaseTimings measured_;
 };
 
 /**

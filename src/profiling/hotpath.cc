@@ -1,0 +1,33 @@
+#include "profiling/hotpath.hh"
+
+namespace delorean::profiling
+{
+
+const char *
+hotPhaseName(HotPhase phase)
+{
+    switch (phase) {
+      case HotPhase::Scout:
+        return "scout";
+      case HotPhase::ExplorerReplay:
+        return "explorer_replay";
+      case HotPhase::Vicinity:
+        return "vicinity";
+      case HotPhase::StatStackSolve:
+        return "statstack_solve";
+      case HotPhase::Analyze:
+        return "analyze";
+    }
+    return "unknown";
+}
+
+double
+PhaseTimings::itemsPerSecond(HotPhase phase) const
+{
+    const auto p = std::size_t(phase);
+    if (ns[p] <= 0.0)
+        return 0.0;
+    return double(items[p]) * 1e9 / ns[p];
+}
+
+} // namespace delorean::profiling

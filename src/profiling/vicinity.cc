@@ -1,5 +1,7 @@
 #include "profiling/vicinity.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 namespace delorean::profiling
@@ -42,19 +44,18 @@ VicinitySampler::observe(Addr line)
                 is_reuse = t == Trap::Hit;
             }
         } else {
-            is_reuse = inflight_.count(line) != 0;
+            is_reuse = inflight_.contains(line);
         }
         if (is_reuse) {
-            const auto it = inflight_.find(line);
-            hist_.addReuse(pos_ - it->second);
-            inflight_.erase(it);
+            hist_.addReuse(pos_ - *inflight_.find(line));
+            inflight_.erase(line);
             if (virtualized_)
                 engine_.unwatchLine(line);
         }
     }
 
     if (pos_ >= next_sample_) {
-        if (inflight_.try_emplace(line, pos_).second && virtualized_)
+        if (inflight_.emplace(line, pos_).second && virtualized_)
             engine_.watchLine(line);
         armNext();
     }
@@ -63,10 +64,38 @@ VicinitySampler::observe(Addr line)
 }
 
 void
+VicinitySampler::observeAll(const Addr *lines, std::size_t n)
+{
+    std::size_t i = 0;
+    while (i < n) {
+        if (inflight_.empty() && pos_ < next_sample_) {
+            // Nothing armed and the next sample point still ahead:
+            // each observe() would only increment pos_. Jump straight
+            // to the sample point (or the end of the batch) — the RNG
+            // stream and every sample decision are untouched, so this
+            // is bit-identical to the per-access walk.
+            const std::uint64_t gap = next_sample_ - pos_;
+            const std::size_t jump = std::size_t(
+                std::min<std::uint64_t>(gap, std::uint64_t(n - i)));
+            pos_ += jump;
+            i += jump;
+            if (i >= n)
+                break;
+        }
+        observe(lines[i]);
+        ++i;
+    }
+}
+
+void
 VicinitySampler::endWindow()
 {
-    for (const auto &[line, set_at] : inflight_)
+    // Slot order, not insertion order: censored weights sum into
+    // histogram buckets, which is order-insensitive bitwise (integer
+    // weights well below 2^53).
+    inflight_.forEach([this](Addr, RefCount set_at) {
         hist_.addCensored(pos_ - set_at);
+    });
     inflight_.clear();
     engine_.clear();
 }

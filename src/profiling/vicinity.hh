@@ -14,8 +14,7 @@
 #ifndef DELOREAN_PROFILING_VICINITY_HH
 #define DELOREAN_PROFILING_VICINITY_HH
 
-#include <unordered_map>
-
+#include "base/flat_hash.hh"
 #include "base/random.hh"
 #include "profiling/watchpoint.hh"
 #include "statmodel/reuse_histogram.hh"
@@ -49,6 +48,14 @@ class VicinitySampler
     /** Present one memory access inside the window. */
     void observe(Addr line);
 
+    /**
+     * Present a dense batch of memory-access lines (stream order) —
+     * result-identical to observe() per line, but stretches with no
+     * sample in flight and the next sample point still ahead advance
+     * in one bound (the sampler is pure position arithmetic there).
+     */
+    void observeAll(const Addr *lines, std::size_t n);
+
     /** Close the window, censoring in-flight samples. */
     void endWindow();
 
@@ -69,7 +76,7 @@ class VicinitySampler
     bool virtualized_ = false;
 
     WatchpointEngine engine_;
-    std::unordered_map<Addr, RefCount> inflight_; //!< line -> sample pos
+    FlatAddrMap<RefCount> inflight_; //!< line -> sample position
     statmodel::ReuseHistogram hist_;
 
     RefCount pos_ = 0;

@@ -8,40 +8,34 @@ namespace delorean::profiling
 void
 WatchpointEngine::watchLine(Addr line)
 {
-    auto &lines = pages_[pageOfLine(line)];
-    if (std::find(lines.begin(), lines.end(), line) != lines.end())
-        return;
-    lines.push_back(line);
-    ++watched_lines_;
+    if (!lines_.emplace(line, 1).second)
+        return; // already watched
+    const Addr page = pageOfLine(line);
+    *pages_.emplace(page, 0).first += 1;
+    filter_.set(page);
 }
 
 void
 WatchpointEngine::unwatchLine(Addr line)
 {
-    const auto it = pages_.find(pageOfLine(line));
-    if (it == pages_.end())
+    if (!lines_.erase(line))
         return;
-    auto &lines = it->second;
-    const auto pos = std::find(lines.begin(), lines.end(), line);
-    if (pos == lines.end())
-        return;
-    *pos = lines.back();
-    lines.pop_back();
-    --watched_lines_;
-    if (lines.empty())
-        pages_.erase(it);
+    const Addr page = pageOfLine(line);
+    std::uint32_t *count = pages_.find(page);
+    if (count && --*count == 0)
+        pages_.erase(page);
+    // The filter bit stays set (other pages may hash to it); stale
+    // bits only cost a redundant exact probe, never a wrong answer.
 }
 
 Trap
-WatchpointEngine::access(Addr line)
+WatchpointEngine::accessProtected(Addr line, Addr page)
 {
-    const auto it = pages_.find(pageOfLine(line));
-    if (it == pages_.end())
-        return Trap::None;
+    if (!pages_.contains(page))
+        return Trap::None; // stale/aliased filter bit
 
     ++traps_;
-    const auto &lines = it->second;
-    if (std::find(lines.begin(), lines.end(), line) != lines.end()) {
+    if (lines_.contains(line)) {
         ++hits_;
         return Trap::Hit;
     }
@@ -52,18 +46,15 @@ WatchpointEngine::access(Addr line)
 bool
 WatchpointEngine::watching(Addr line) const
 {
-    const auto it = pages_.find(pageOfLine(line));
-    if (it == pages_.end())
-        return false;
-    const auto &lines = it->second;
-    return std::find(lines.begin(), lines.end(), line) != lines.end();
+    return lines_.contains(line);
 }
 
 void
 WatchpointEngine::clear()
 {
     pages_.clear();
-    watched_lines_ = 0;
+    lines_.clear();
+    filter_.reset();
 }
 
 void

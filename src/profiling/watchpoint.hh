@@ -9,15 +9,26 @@
  * like povray where rarely-reused lines share pages with hot data. Every
  * stop (true or false) costs trap_cycles in the host cost model; the
  * caller charges those.
+ *
+ * This is the single hottest predicate in the Explorer replay loop:
+ * every memory reference of every virtualized window asks "is this
+ * page protected?", and almost always the answer is no. access()
+ * therefore fronts the page map with a bit-packed hash prefilter — one
+ * load and one bit test on an 8 KiB bitmap that fits in L1 — and only
+ * falls into the exact map probe when the page's filter bit is set.
+ * The filter has no false negatives (bits are set on watch and only
+ * cleared wholesale), so trap/false-positive/hit counts are
+ * bit-identical to the unfiltered engine; stale bits from unwatched
+ * pages merely cost the occasional redundant map probe.
  */
 
 #ifndef DELOREAN_PROFILING_WATCHPOINT_HH
 #define DELOREAN_PROFILING_WATCHPOINT_HH
 
-#include <unordered_map>
 #include <vector>
 
 #include "base/addr.hh"
+#include "base/flat_hash.hh"
 #include "base/types.hh"
 
 namespace delorean::profiling
@@ -51,10 +62,19 @@ class WatchpointEngine
      * Call only when active() — the native-speed fast path is the
      * caller's branch, mirroring how unprotected pages never trap.
      */
-    Trap access(Addr line);
+    Trap
+    access(Addr line)
+    {
+        // Prefilter: a clear bit proves the page is unprotected, which
+        // is the overwhelmingly common case in a replay window.
+        const Addr page = pageOfLine(line);
+        if (!filter_.mayContain(page))
+            return Trap::None;
+        return accessProtected(line, page);
+    }
 
     /** @return true if any line is being watched. */
-    bool active() const { return watched_lines_ != 0; }
+    bool active() const { return !lines_.empty(); }
 
     /** @return true iff @p line itself is watched. */
     bool watching(Addr line) const;
@@ -65,15 +85,25 @@ class WatchpointEngine
     Counter traps() const { return traps_; }
     Counter falsePositives() const { return false_positives_; }
     Counter trueHits() const { return hits_; }
-    std::size_t watchedLines() const { return watched_lines_; }
+    std::size_t watchedLines() const { return lines_.size(); }
     std::size_t protectedPages() const { return pages_.size(); }
 
     void resetStats();
 
   private:
-    /** page -> watched lines on that page (few in practice). */
-    std::unordered_map<Addr, std::vector<Addr>> pages_;
-    std::size_t watched_lines_ = 0;
+    /** Exact check + stat accounting once the prefilter matched. */
+    Trap accessProtected(Addr line, Addr page);
+
+    /**
+     * page -> number of watched lines on it (protection refcount) and
+     * the set of watched lines, both open-addressed flat tables: a
+     * protected-page access resolves with two contiguous probes
+     * instead of a node walk plus a per-page line scan.
+     */
+    FlatAddrMap<std::uint32_t> pages_;
+    FlatAddrMap<std::uint8_t> lines_;
+    /** Conservative page-presence prefilter (never a false negative). */
+    AddrBitFilter filter_;
 
     Counter traps_ = 0;
     Counter false_positives_ = 0;

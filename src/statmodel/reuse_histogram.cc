@@ -13,33 +13,34 @@ ReuseHistogram::survivalKM(std::uint64_t t) const
     if (total <= 0.0)
         return 0.0;
 
-    const auto ev = events_.buckets();
-    const auto ce = censored_.buckets();
-
     double survival = 1.0;
     double at_risk = total;
-    std::size_t i = 0, j = 0;
 
-    // Merge-walk both bucket lists in increasing value order. Buckets
-    // are treated at their midpoint; censored mass leaves the risk set
-    // *after* events at the same point (the standard convention).
-    while (i < ev.size() || j < ce.size()) {
+    // Merge-walk both histograms in increasing value order, straight
+    // over their bit-packed buckets (LogHistogram::NonEmptyCursor) —
+    // no intermediate bucket vectors. Buckets are treated at their
+    // midpoint; censored mass leaves the risk set *after* events at
+    // the same point (the standard convention).
+    LogHistogram::NonEmptyCursor ev(events_);
+    LogHistogram::NonEmptyCursor ce(censored_);
+    while (ev.valid() || ce.valid()) {
         const bool take_event =
-            j >= ce.size() ||
-            (i < ev.size() && ev[i].mid() <= ce[j].mid());
+            !ce.valid() ||
+            (ev.valid() && ev.bucket().mid() <= ce.bucket().mid());
         const std::uint64_t value =
-            take_event ? ev[i].mid() : ce[j].mid();
+            take_event ? ev.bucket().mid() : ce.bucket().mid();
         if (value > t)
             break;
         if (at_risk <= 0.0)
             break;
         if (take_event) {
-            survival *= std::max(0.0, 1.0 - ev[i].weight / at_risk);
-            at_risk -= ev[i].weight;
-            ++i;
+            survival *=
+                std::max(0.0, 1.0 - ev.bucket().weight / at_risk);
+            at_risk -= ev.bucket().weight;
+            ev.advance();
         } else {
-            at_risk -= ce[j].weight;
-            ++j;
+            at_risk -= ce.bucket().weight;
+            ce.advance();
         }
     }
     return std::clamp(survival, 0.0, 1.0);

@@ -10,37 +10,40 @@ namespace delorean::statmodel
 
 StatStack::StatStack(const ReuseHistogram &reuse)
 {
-    const auto ev = reuse.events().buckets();
-    const auto ce = reuse.censoredHist().buckets();
-    total_ = reuse.events().totalWeight() +
-             reuse.censoredHist().totalWeight();
+    const LogHistogram &events = reuse.events();
+    const LogHistogram &censored = reuse.censoredHist();
+    total_ = events.totalWeight() + censored.totalWeight();
     if (total_ <= 0.0)
         return;
 
-    segments_.reserve(2 * ev.size() + 2);
+    segments_.reserve(2 * events.nonEmptyBuckets() + 2);
 
     // Kaplan-Meier walk over event and censoring buckets in value
     // order: events pull the survival down by a factor (1 - w/n) of the
     // population n still at risk; censored mass leaves the risk set
     // without moving the survival. Survival decreases linearly across
-    // an event bucket's width.
+    // an event bucket's width. The walk cursors run directly over the
+    // histograms' bit-packed buckets (LogHistogram::NonEmptyCursor) —
+    // the solver inner loop touches two contiguous arrays and
+    // materializes nothing.
     double at_risk = total_;
     double surv = 1.0;
     double integral = 0.0; // sum_{i<x} P(rd > i)
     std::uint64_t x = 0;
-    std::size_t i = 0, j = 0;
+    LogHistogram::NonEmptyCursor ev(events);
+    LogHistogram::NonEmptyCursor ce(censored);
 
-    while (i < ev.size() || j < ce.size()) {
+    while (ev.valid() || ce.valid()) {
         const bool take_event =
-            j >= ce.size() ||
-            (i < ev.size() && ev[i].mid() <= ce[j].mid());
+            !ce.valid() ||
+            (ev.valid() && ev.bucket().mid() <= ce.bucket().mid());
         if (!take_event) {
-            at_risk -= ce[j].weight;
-            ++j;
+            at_risk -= ce.bucket().weight;
+            ce.advance();
             continue;
         }
 
-        const auto &b = ev[i];
+        const auto &b = ev.bucket();
         if (b.low > x) {
             // Gap with no event mass: survival is flat.
             segments_.push_back({x, surv, 0.0, integral});
@@ -56,7 +59,7 @@ StatStack::StatStack(const ReuseHistogram &reuse)
         surv = next;
         at_risk -= b.weight;
         x = b.high;
-        ++i;
+        ev.advance();
     }
 
     // Tail: with heavy censoring the Kaplan-Meier survival stays

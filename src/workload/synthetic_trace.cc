@@ -109,6 +109,7 @@ SyntheticTrace::SyntheticTrace(const SyntheticTrace &other)
       pc_cursor_(other.pc_cursor_),
       rng_(other.rng_),
       pos_(other.pos_),
+      in_cycle_(other.in_cycle_),
       code_cursor_(other.code_cursor_),
       func_pos_(other.func_pos_)
 {
@@ -128,6 +129,7 @@ SyntheticTrace::reset()
 {
     rng_ = Rng(profile_->seed);
     pos_ = 0;
+    in_cycle_ = 0;
     code_cursor_ = 0;
     func_pos_ = 0;
     pc_cursor_.assign(kernels_.size(), 0);
@@ -148,9 +150,8 @@ SyntheticTrace::activeWeights() const
     const auto &t = *tables_;
     if (t.phase_ends.empty())
         return t.cum_weights[0];
-    const InstCount in_cycle = pos_ % t.phase_cycle;
     for (std::size_t i = 0; i < t.phase_ends.size(); ++i) {
-        if (in_cycle < t.phase_ends[i])
+        if (in_cycle_ < t.phase_ends[i])
             return t.cum_weights[i + 1];
     }
     return t.cum_weights.back();
@@ -167,23 +168,24 @@ SyntheticTrace::pickKernel(double u) const
     return cum.size() - 1;
 }
 
-void
-SyntheticTrace::step(Instruction *out)
+template <SyntheticTrace::StepMode Mode>
+bool
+SyntheticTrace::step(Instruction *out, Addr *mem_line)
 {
     const auto &prof = *profile_;
     const auto &t = *tables_;
 
     // Every RNG draw, kernel step, and cursor update below happens
-    // whether or not @p out is set — only the record writes are gated —
-    // so skip(n) leaves the generator in exactly the state n x next()
-    // would.
+    // for every Mode — only the record writes are gated — so skip(n)
+    // and memLines(n) leave the generator in exactly the state
+    // n x next() would.
     const double u = rng_.nextDouble();
 
     if (u < prof.mem_ratio) {
         const std::size_t k = pickKernel(rng_.nextDouble());
         const bool store = rng_.chance(prof.store_frac);
         const Addr addr = kernels_[k]->nextAddr();
-        if (out) {
+        if constexpr (Mode == StepMode::Full) {
             out->type = store ? InstType::Store : InstType::Load;
             out->addr = addr;
             // Pointer-chase loads carry a value dependence on the
@@ -199,18 +201,26 @@ SyntheticTrace::step(Instruction *out)
             // limited-associativity model.
             out->pc = pcs[(pc_cursor_[k] / 64) % pcs.size()];
             out->latency = 1;
+        } else if constexpr (Mode == StepMode::MemLine) {
+            *mem_line = lineOf(addr);
         }
         ++pc_cursor_[k];
-    } else if (u < prof.mem_ratio + prof.branch_ratio) {
+        advancePos();
+        return true;
+    }
+
+    if (u < prof.mem_ratio + prof.branch_ratio) {
         const auto &br =
             t.branches[rng_.nextBounded(t.branches.size())];
         const bool taken = rng_.chance(br.taken_bias);
-        if (out) {
+        if constexpr (Mode == StepMode::Full) {
             out->type = InstType::Branch;
             out->pc = br.pc;
             out->target = br.target;
             out->taken = taken;
             out->latency = 1;
+        } else {
+            (void)taken;
         }
     } else {
         // Instruction fetch shows locality, not a linear sweep: execution
@@ -232,23 +242,26 @@ SyntheticTrace::step(Instruction *out)
             func_pos_ = 0;
         }
         const bool fp = rng_.chance(prof.fp_frac);
-        if (out) {
+        if constexpr (Mode == StepMode::Full) {
             out->type = InstType::Other;
             out->pc = code_base +
                       ((code_cursor_ + func_pos_) % t.code_slots) * 4;
             out->latency = fp ? std::uint8_t(4) : std::uint8_t(1);
+        } else {
+            (void)fp;
         }
         func_pos_ = (func_pos_ + 1) % func_slots;
     }
 
-    ++pos_;
+    advancePos();
+    return false;
 }
 
 Instruction
 SyntheticTrace::next()
 {
     Instruction inst;
-    step(&inst);
+    step<StepMode::Full>(&inst, nullptr);
     return inst;
 }
 
@@ -256,7 +269,19 @@ void
 SyntheticTrace::skip(InstCount n)
 {
     for (InstCount i = 0; i < n; ++i)
-        step(nullptr);
+        step<StepMode::Skip>(nullptr, nullptr);
+}
+
+InstCount
+SyntheticTrace::memLines(Addr *lines, InstCount n)
+{
+    InstCount m = 0;
+    Addr line = 0;
+    for (InstCount i = 0; i < n; ++i) {
+        if (step<StepMode::MemLine>(nullptr, &line))
+            lines[m++] = line;
+    }
+    return m;
 }
 
 } // namespace delorean::workload

@@ -55,6 +55,13 @@ class SyntheticTrace : public TraceSource
      */
     void skip(InstCount n) override;
 
+    /**
+     * Explorer replay fast path: advances through step() like next()
+     * and skip() do, materializing nothing but the cacheline number of
+     * each memory access. Non-memory instructions cost skip()-speed.
+     */
+    InstCount memLines(Addr *lines, InstCount n) override;
+
     /** The profile this trace executes. */
     const BenchmarkProfile &profile() const { return *profile_; }
 
@@ -64,12 +71,27 @@ class SyntheticTrace : public TraceSource
   private:
     SyntheticTrace(const SyntheticTrace &other);
 
+    /** What step() materializes; state transitions never vary. */
+    enum class StepMode
+    {
+        Full,    //!< write the whole Instruction record
+        MemLine, //!< write only a memory access's cacheline number
+        Skip,    //!< write nothing
+    };
+
     /**
-     * Advance the generator by one instruction, writing the record to
-     * @p out unless it is null. next() and skip() both funnel through
-     * here so their state transitions can never diverge.
+     * Advance the generator by one instruction, materializing what
+     * @p Mode asks for. next(), skip() and memLines() all funnel
+     * through this one function so their state transitions can never
+     * diverge — the mode is a compile-time constant, so each caller
+     * gets a specialization of the same source with the record writes
+     * (and their branches) compiled out rather than tested per
+     * instruction.
+     *
+     * @return true iff the instruction was a memory access
      */
-    void step(Instruction *out);
+    template <StepMode Mode>
+    bool step(Instruction *out, Addr *mem_line);
 
     /** Immutable per-branch-PC behaviour, shared across clones. */
     struct BranchInfo
@@ -102,10 +124,27 @@ class SyntheticTrace : public TraceSource
     std::shared_ptr<const BenchmarkProfile> profile_;
     std::shared_ptr<const Tables> tables_;
 
+    /** Advance the position and the phase cursor together. */
+    void
+    advancePos()
+    {
+        ++pos_;
+        if (tables_->phase_cycle != 0 &&
+            ++in_cycle_ == tables_->phase_cycle)
+            in_cycle_ = 0;
+    }
+
     std::vector<std::unique_ptr<AccessKernel>> kernels_;
     std::vector<std::uint32_t> pc_cursor_; //!< round-robin per kernel
     Rng rng_;
     InstCount pos_;
+    /**
+     * pos_ % tables_->phase_cycle, maintained incrementally (0 when
+     * the profile is stationary): phased profiles would otherwise pay
+     * a 64-bit division per memory access in activeWeights(), one of
+     * the hottest single instructions in Explorer replay.
+     */
+    InstCount in_cycle_ = 0;
     std::uint64_t code_cursor_;
     std::uint64_t func_pos_ = 0;
 };

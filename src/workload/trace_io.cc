@@ -1,5 +1,6 @@
 #include "workload/trace_io.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 
@@ -247,6 +248,55 @@ TraceReader::next()
     return decodeRecord(rec, path_, pos_++);
 }
 
+InstCount
+TraceReader::memLines(Addr *lines, InstCount n)
+{
+    if (n > count_ - pos_)
+        throw TraceError("trace '" + path_ + "': exhausted after " +
+                         std::to_string(count_) + " instructions");
+
+    InstCount m = 0;
+    InstCount left = n;
+    while (left > 0) {
+        if (pos_ < buf_first_ || pos_ >= buf_first_ + buf_records_)
+            refill();
+        const InstCount avail =
+            std::min(left, buf_first_ + buf_records_ - pos_);
+        const std::uint8_t *rec =
+            buf_.data() +
+            std::size_t(pos_ - buf_first_) * TraceFormat::record_size;
+
+        // Branch-light sweep over the raw chunk: the validation below
+        // is byte-for-byte what decodeRecord() checks, but folded into
+        // one OR-accumulated predicate, and only type + address are
+        // ever materialized.
+        for (InstCount i = 0; i < avail;
+             ++i, rec += TraceFormat::record_size) {
+            const std::uint8_t type = rec[24];
+            const std::uint8_t flags = rec[25];
+            const std::uint8_t tail =
+                rec[27] | rec[28] | rec[29] | rec[30] | rec[31];
+            const bool garbage =
+                type > std::uint8_t(InstType::Other) ||
+                (flags & ~(TraceFormat::flag_taken |
+                           TraceFormat::flag_dep_load)) != 0 ||
+                tail != 0;
+            if (garbage) [[unlikely]] {
+                throw TraceError(
+                    "trace '" + path_ + "': garbage record at index " +
+                    std::to_string(pos_ + i) +
+                    " (bad type/flags/reserved bytes)");
+            }
+            if (type <= std::uint8_t(InstType::Store))
+                lines[m++] = lineOf(getU64(rec + 8));
+        }
+        decoded_ += avail;
+        pos_ += avail;
+        left -= avail;
+    }
+    return m;
+}
+
 // ----------------------------------------------------------- FileTrace
 
 FileTrace::FileTrace(const std::string &path, bool loop)
@@ -286,6 +336,25 @@ FileTrace::skip(InstCount n)
         reader_.seek(reader_pos + n);
     }
     pos_ += n;
+}
+
+InstCount
+FileTrace::memLines(Addr *lines, InstCount n)
+{
+    InstCount m = 0;
+    InstCount left = n;
+    while (left > 0) {
+        if (loop_ && reader_.position() == reader_.instCount())
+            reader_.seek(0);
+        const InstCount avail =
+            loop_ ? std::min(left,
+                             reader_.instCount() - reader_.position())
+                  : left;
+        m += reader_.memLines(lines + m, avail);
+        pos_ += avail;
+        left -= avail;
+    }
+    return m;
 }
 
 FileTrace::FileTrace(const FileTrace &other)

@@ -144,6 +144,17 @@ class TraceReader
      *  Throws TraceError past the last record. */
     Instruction next();
 
+    /**
+     * Decode @p n records in bulk, writing the cacheline number of
+     * each Load/Store to @p lines; @return the number written. Every
+     * record is validated exactly like next() would (garbage bytes
+     * throw at the same index), but the loop extracts only the type
+     * and address fields — the Explorer replay fast path. Counts all
+     * @p n records as decoded. Throws (before consuming anything) if
+     * fewer than @p n records remain.
+     */
+    InstCount memLines(Addr *lines, InstCount n);
+
     /** Jump to record @p pos (0..instCount(), the end being a valid
      *  "exhausted" position). O(1): no records are read or decoded. */
     void seek(InstCount pos);
@@ -191,6 +202,7 @@ class FileTrace : public TraceSource
     void reset() override;
     const std::string &name() const override { return reader_.name(); }
     void skip(InstCount n) override;
+    InstCount memLines(Addr *lines, InstCount n) override;
 
     /** Recorded length of the underlying file. */
     InstCount instCount() const { return reader_.instCount(); }

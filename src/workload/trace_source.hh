@@ -78,6 +78,31 @@ class TraceSource
         for (InstCount i = 0; i < n; ++i)
             (void)next();
     }
+
+    /**
+     * Advance exactly @p n instructions, writing the cacheline number
+     * of each memory access, in stream order, to @p lines (which must
+     * hold at least @p n entries). @return the number of lines written.
+     *
+     * State-equivalent to calling next() @p n times and keeping
+     * line() of the isMem() records — the contract tests assert this
+     * for every source. The default does exactly that; generators and
+     * file readers override it to elide record materialization and
+     * per-instruction virtual dispatch. This is the Explorer
+     * checkpoint-replay fast path: its inner loops only ever need the
+     * memory-reference line stream (docs/performance.md).
+     */
+    virtual InstCount
+    memLines(Addr *lines, InstCount n)
+    {
+        InstCount m = 0;
+        for (InstCount i = 0; i < n; ++i) {
+            const Instruction inst = next();
+            if (inst.isMem())
+                lines[m++] = inst.line();
+        }
+        return m;
+    }
 };
 
 } // namespace delorean::workload

@@ -7,10 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 
 #include "base/addr.hh"
+#include "base/flat_hash.hh"
 #include "base/histogram.hh"
 #include "base/intmath.hh"
 #include "base/logging.hh"
@@ -287,6 +290,114 @@ TEST(Stats, ResetAll)
     g.add(&s);
     g.resetAll();
     EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+// ----------------------------------------------------------- flat hash
+
+TEST(FlatAddrMap, BasicInsertFindErase)
+{
+    FlatAddrMap<int> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(42), nullptr);
+    EXPECT_FALSE(m.erase(42));
+
+    EXPECT_TRUE(m.emplace(42, 7).second);
+    EXPECT_FALSE(m.emplace(42, 9).second); // try_emplace semantics
+    ASSERT_NE(m.find(42), nullptr);
+    EXPECT_EQ(*m.find(42), 7);
+    EXPECT_EQ(m.size(), 1u);
+
+    *m.find(42) = 11;
+    EXPECT_EQ(*m.find(42), 11);
+
+    EXPECT_TRUE(m.erase(42));
+    EXPECT_EQ(m.find(42), nullptr);
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatAddrMap, ClusteringKeysSurviveBackwardShiftErase)
+{
+    // Sequential keys (cacheline numbers of a hot array) exercise the
+    // probe-chain repair of backward-shift deletion.
+    FlatAddrMap<Addr> m;
+    for (Addr k = 1000; k < 1512; ++k)
+        m.emplace(k, k * 3);
+    for (Addr k = 1000; k < 1512; k += 2)
+        EXPECT_TRUE(m.erase(k));
+    for (Addr k = 1000; k < 1512; ++k) {
+        const Addr *v = m.find(k);
+        if (k % 2 == 0) {
+            EXPECT_EQ(v, nullptr) << k;
+        } else {
+            ASSERT_NE(v, nullptr) << k;
+            EXPECT_EQ(*v, k * 3);
+        }
+    }
+}
+
+// Randomized bit-identity against the reference unordered_map: every
+// operation's outcome and the final contents must agree exactly. This
+// is the contract that lets the profiling hot paths swap their
+// unordered_maps for the flat table without any behaviour change.
+TEST(FlatAddrMap, RandomizedOpsMatchUnorderedMapReference)
+{
+    Rng rng(0xf1a7);
+    FlatAddrMap<std::uint64_t> flat;
+    std::unordered_map<Addr, std::uint64_t> ref;
+
+    for (int op = 0; op < 200'000; ++op) {
+        // Narrow key space so inserts, hits, and erases all happen.
+        const Addr key = rng.nextBounded(4096) * 64;
+        const int kind = int(rng.nextBounded(4));
+        if (kind == 0) {
+            const auto [slot, inserted] = flat.emplace(key, Addr(op));
+            const auto [it, ref_inserted] =
+                ref.try_emplace(key, Addr(op));
+            EXPECT_EQ(inserted, ref_inserted);
+            EXPECT_EQ(*slot, it->second);
+        } else if (kind == 1) {
+            std::uint64_t *v = flat.find(key);
+            const auto it = ref.find(key);
+            ASSERT_EQ(v != nullptr, it != ref.end());
+            if (v) {
+                EXPECT_EQ(*v, it->second);
+                *v = Addr(op);
+                it->second = Addr(op);
+            }
+        } else if (kind == 2) {
+            EXPECT_EQ(flat.erase(key), ref.erase(key) == 1);
+        } else {
+            EXPECT_EQ(flat.contains(key), ref.count(key) == 1);
+        }
+        ASSERT_EQ(flat.size(), ref.size());
+    }
+
+    // Final contents identical (order-independent comparison).
+    std::map<Addr, std::uint64_t> flat_sorted, ref_sorted(ref.begin(),
+                                                          ref.end());
+    flat.forEach([&](Addr k, std::uint64_t v) { flat_sorted[k] = v; });
+    EXPECT_EQ(flat_sorted, ref_sorted);
+}
+
+TEST(LogHistogram, NextNonEmptyWalksBitmap)
+{
+    LogHistogram h;
+    EXPECT_EQ(h.nextNonEmpty(0), LogHistogram::npos);
+
+    h.add(3);
+    h.add(1000);
+    h.add(1'000'000);
+
+    std::vector<std::uint64_t> lows;
+    for (std::size_t i = h.nextNonEmpty(0); i != LogHistogram::npos;
+         i = h.nextNonEmpty(i + 1))
+        lows.push_back(h.bucketAt(i).low);
+
+    const auto buckets = h.buckets();
+    ASSERT_EQ(lows.size(), buckets.size());
+    for (std::size_t i = 0; i < lows.size(); ++i)
+        EXPECT_EQ(lows[i], buckets[i].low);
+    EXPECT_EQ(h.nonEmptyBuckets(), buckets.size());
 }
 
 // ------------------------------------------------------------- logging

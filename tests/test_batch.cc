@@ -212,6 +212,33 @@ TEST(ResultIo, MethodResultRoundTripIsExact)
     EXPECT_EQ(back, result);
 }
 
+TEST(ResultIo, MeasuredTimingsRoundTripOutsideEquality)
+{
+    // Measured phase timings ride through serialization bit-exactly —
+    // a cache hit replays the producing run's wall-clock — but they
+    // are deliberately invisible to operator== (hotpath.hh), so two
+    // results that differ only in timings still compare equal.
+    const auto result = tinyResult();
+    const auto &m = result.cost.measured();
+    const auto replay =
+        std::size_t(profiling::HotPhase::ExplorerReplay);
+    ASSERT_GT(m.ns[replay], 0.0); // a real run measured something
+
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    writeMethodResult(ss, result);
+    const auto back = readMethodResult(ss);
+    for (std::size_t p = 0; p < profiling::hot_phase_count; ++p) {
+        EXPECT_EQ(back.cost.measured().ns[p], m.ns[p]);
+        EXPECT_EQ(back.cost.measured().calls[p], m.calls[p]);
+        EXPECT_EQ(back.cost.measured().items[p], m.items[p]);
+    }
+
+    auto other = result;
+    other.cost.measured().note(profiling::HotPhase::Scout, 123.0, 1);
+    EXPECT_EQ(other, result);
+}
+
 TEST(ResultIo, SizeCurveRoundTripIsExact)
 {
     SizeCurve curve;

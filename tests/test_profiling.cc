@@ -8,8 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <unordered_map>
+#include <vector>
 
+#include "base/random.hh"
 #include "profiling/directed_profiler.hh"
 #include "profiling/host_cost.hh"
 #include "profiling/reuse_profiler.hh"
@@ -332,6 +335,157 @@ TEST(HostCost, ModeledMips)
     // 1M simulated instructions at scale 100 in 1 second -> 100 MIPS.
     EXPECT_DOUBLE_EQ(modeledMips(1'000'000, 100.0, 1.0), 100.0);
     EXPECT_DOUBLE_EQ(modeledMips(1'000'000, 100.0, 0.0), 0.0);
+}
+
+TEST(HostCost, MeasuredTimingsRideAlongOutsideEquality)
+{
+    HostCostAccount a, b;
+    a.chargeTraps(3);
+    b.chargeTraps(3);
+    a.measured().note(HotPhase::ExplorerReplay, 1e6, 1000);
+    // Wall-clock differs, bit-identity relation must not see it.
+    EXPECT_EQ(a, b);
+
+    // ...but merge and snapshot carry it exactly.
+    HostCostAccount c;
+    c.merge(a);
+    const auto p = std::size_t(HotPhase::ExplorerReplay);
+    EXPECT_EQ(c.measured().ns[p], 1e6);
+    EXPECT_EQ(c.measured().items[p], 1000u);
+    const auto back = HostCostAccount::fromSnapshot(a.snapshot());
+    EXPECT_EQ(back.measured().ns[p], 1e6);
+    EXPECT_EQ(back.measured().calls[p], 1u);
+}
+
+// --------------------------------------- flat-table bit-identity pins
+
+/**
+ * Reference watchpoint resolution: the textbook page -> watched-lines
+ * structure the engine used before the open-addressed tables and the
+ * bit-packed page prefilter. The optimized engine must agree with it
+ * access for access — same Trap outcome, same running counters — on
+ * any stream (docs/performance.md).
+ */
+struct ReferenceWatchpoints
+{
+    std::unordered_map<Addr, std::vector<Addr>> pages;
+
+    void
+    watch(Addr line)
+    {
+        auto &lines = pages[pageOfLine(line)];
+        if (std::find(lines.begin(), lines.end(), line) == lines.end())
+            lines.push_back(line);
+    }
+
+    void
+    unwatch(Addr line)
+    {
+        const auto it = pages.find(pageOfLine(line));
+        if (it == pages.end())
+            return;
+        auto &lines = it->second;
+        const auto pos = std::find(lines.begin(), lines.end(), line);
+        if (pos == lines.end())
+            return;
+        lines.erase(pos);
+        if (lines.empty())
+            pages.erase(it);
+    }
+
+    Trap
+    access(Addr line) const
+    {
+        const auto it = pages.find(pageOfLine(line));
+        if (it == pages.end())
+            return Trap::None;
+        const auto &lines = it->second;
+        if (std::find(lines.begin(), lines.end(), line) != lines.end())
+            return Trap::Hit;
+        return Trap::FalsePositive;
+    }
+};
+
+TEST(Watchpoint, RandomizedStreamMatchesReferenceBitExactly)
+{
+    Rng rng(0x77a7);
+    WatchpointEngine engine;
+    ReferenceWatchpoints ref;
+
+    Counter ref_traps = 0, ref_fps = 0, ref_hits = 0;
+    for (int op = 0; op < 300'000; ++op) {
+        // A few hot pages plus a long tail, like a real key set.
+        const Addr line = rng.chance(0.5) ? rng.nextBounded(256)
+                                          : rng.nextBounded(1 << 20);
+        const int kind = int(rng.nextBounded(8));
+        if (kind == 0) {
+            engine.watchLine(line);
+            ref.watch(line);
+        } else if (kind == 1) {
+            engine.unwatchLine(line);
+            ref.unwatch(line);
+        } else {
+            const Trap expect = ref.access(line);
+            if (expect != Trap::None) {
+                ++ref_traps;
+                if (expect == Trap::Hit)
+                    ++ref_hits;
+                else
+                    ++ref_fps;
+            }
+            if (engine.active())
+                ASSERT_EQ(engine.access(line), expect) << line;
+            else
+                ASSERT_EQ(expect, Trap::None) << line;
+        }
+        ASSERT_EQ(engine.watching(line), ref.access(line) == Trap::Hit);
+    }
+    EXPECT_EQ(engine.traps(), ref_traps);
+    EXPECT_EQ(engine.falsePositives(), ref_fps);
+    EXPECT_EQ(engine.trueHits(), ref_hits);
+}
+
+TEST(DirectedProfiler, FlatTableMatchesUnorderedMapReference)
+{
+    Rng rng(0xd1f7);
+    for (const bool virtualized : {false, true}) {
+        // Randomized key set + access stream.
+        std::vector<Addr> keys;
+        std::unordered_map<Addr, RefCount> ref_last;
+        for (int i = 0; i < 400; ++i) {
+            const Addr line = rng.nextBounded(1 << 16);
+            if (ref_last.try_emplace(line, ~RefCount(0)).second)
+                keys.push_back(line);
+        }
+
+        DirectedProfiler dp;
+        dp.begin(keys, virtualized);
+        RefCount pos = 0;
+        for (int i = 0; i < 200'000; ++i) {
+            const Addr line = rng.nextBounded(1 << 16);
+            dp.observe(line);
+            const auto it = ref_last.find(line);
+            if (it != ref_last.end())
+                it->second = pos;
+            ++pos;
+        }
+        const auto res = dp.end();
+
+        // Reference resolution: last position per key, never-seen
+        // keys unresolved.
+        std::unordered_map<Addr, RefCount> ref_back;
+        std::size_t ref_unresolved = 0;
+        for (const auto &[line, last] : ref_last) {
+            if (last == ~RefCount(0))
+                ++ref_unresolved;
+            else
+                ref_back.emplace(line, pos - last);
+        }
+        EXPECT_EQ(res.back_distance, ref_back) << virtualized;
+        EXPECT_EQ(res.unresolved.size(), ref_unresolved);
+        for (const Addr line : res.unresolved)
+            EXPECT_EQ(ref_last.at(line), ~RefCount(0));
+    }
 }
 
 } // namespace

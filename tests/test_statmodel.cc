@@ -110,6 +110,97 @@ TEST(ReuseHistogram, MergeCombines)
     EXPECT_EQ(a.censored(), 1u);
 }
 
+// ------------------------------------- boundary-bucket golden pins
+//
+// The histogram / StatStack inner loops were rewritten over contiguous
+// bit-packed buckets; these pins hold the rewrite to the exact
+// semantics of the reference implementation at the shape extremes —
+// empty input, all mass in one bucket, and distances at the top of the
+// representable range.
+
+TEST(ReuseHistogram, BoundaryEmpty)
+{
+    ReuseHistogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_DOUBLE_EQ(h.survivalKM(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.survivalKM(~std::uint64_t(0)), 0.0);
+
+    StatStack stack(h);
+    EXPECT_TRUE(stack.empty());
+    EXPECT_DOUBLE_EQ(stack.stackDistance(12345), 0.0);
+    EXPECT_DOUBLE_EQ(stack.missRatio(512), 0.0);
+    EXPECT_EQ(stack.missThreshold(512),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ReuseHistogram, BoundarySingleBucket)
+{
+    // All mass at one value: the Kaplan-Meier curve is a step at that
+    // bucket's midpoint, exactly.
+    ReuseHistogram h;
+    for (int i = 0; i < 64; ++i)
+        h.addReuse(100);
+    const auto bucket = h.events().buckets().at(0);
+    EXPECT_DOUBLE_EQ(h.survivalKM(bucket.mid() - 1), 1.0);
+    EXPECT_DOUBLE_EQ(h.survivalKM(bucket.mid()), 0.0);
+
+    // E[SD(d)]: sum of survival, so it climbs 1 per reference up to
+    // the bucket and is flat beyond it.
+    StatStack stack(h);
+    EXPECT_DOUBLE_EQ(stack.stackDistance(0), 0.0);
+    EXPECT_DOUBLE_EQ(stack.stackDistance(bucket.low),
+                     double(bucket.low));
+    const double plateau = stack.stackDistance(10 * bucket.high);
+    EXPECT_DOUBLE_EQ(stack.stackDistance(100 * bucket.high), plateau);
+    EXPECT_GE(plateau, double(bucket.low));
+    EXPECT_LE(plateau, double(bucket.high));
+
+    // Threshold splits exactly at the plateau: a cache larger than the
+    // plateau never misses, a smaller one has a finite threshold.
+    EXPECT_EQ(stack.missThreshold(std::uint64_t(plateau) + 1),
+              std::numeric_limits<std::uint64_t>::max());
+    EXPECT_LE(stack.missThreshold(16), bucket.high);
+    EXPECT_DOUBLE_EQ(stack.missRatio(std::uint64_t(plateau) + 1), 0.0);
+}
+
+TEST(ReuseHistogram, BoundaryMaxDistance)
+{
+    // Distances at the top of the log-bucket range (2^62: the last
+    // octave whose bucket bounds cannot wrap). The solver must keep
+    // the tail linear and the quantile/cdf walks exact.
+    const std::uint64_t huge = std::uint64_t(1) << 62;
+    ReuseHistogram h;
+    for (int i = 0; i < 8; ++i)
+        h.addReuse(4);
+    h.addCensored(huge);
+
+    EXPECT_EQ(h.samples(), 9u);
+    EXPECT_EQ(h.censored(), 1u);
+    // 8 of 9 reuse at 4; the censored observation keeps survival at
+    // 1/9 out to its censoring point.
+    EXPECT_DOUBLE_EQ(h.survivalKM(4), 1.0 - 8.0 / 9.0);
+    EXPECT_DOUBLE_EQ(h.survivalKM(huge - 1), 1.0 - 8.0 / 9.0);
+
+    StatStack stack(h);
+    EXPECT_FALSE(stack.empty());
+    // Residual survival 1/9 -> stack distance grows ~d/9 in the tail.
+    const double sd1 = stack.stackDistance(1'000'000);
+    const double sd2 = stack.stackDistance(2'000'000);
+    EXPECT_NEAR(sd2 - sd1, 1'000'000.0 / 9.0, 1.0);
+
+    // The histogram itself stays exact at the extreme value.
+    LogHistogram raw;
+    raw.add(huge);
+    EXPECT_EQ(raw.quantile(0.0), huge);
+    const auto buckets = raw.buckets();
+    ASSERT_EQ(buckets.size(), 1u);
+    EXPECT_EQ(buckets[0].low, huge);
+    // Below the bucket the cdf is 0; at its top it is exactly 1.
+    EXPECT_DOUBLE_EQ(raw.cdf(huge - 1), 0.0);
+    EXPECT_DOUBLE_EQ(raw.cdf(buckets[0].high - 1), 1.0);
+}
+
 TEST(PcReuseProfile, PerPcSeparation)
 {
     PcReuseProfile p;

@@ -338,6 +338,35 @@ TEST_P(TraceContract, SkipMatchesNext)
     }
 }
 
+TEST_P(TraceContract, MemLinesMatchesNextFiltering)
+{
+    // memLines(n) must yield exactly the line() of each isMem() record
+    // that n x next() would produce — in order — and leave the source
+    // in the same state (the Explorer replay fast path's contract).
+    for (const InstCount n : {InstCount(1), InstCount(63),
+                              InstCount(4096), InstCount(17'321)}) {
+        auto a = GetParam().make();
+        auto b = GetParam().make();
+
+        std::vector<Addr> got(std::size_t(n), 0);
+        const InstCount m = a->memLines(got.data(), n);
+        got.resize(std::size_t(m));
+
+        std::vector<Addr> expect;
+        for (InstCount i = 0; i < n; ++i) {
+            const auto inst = b->next();
+            if (inst.isMem())
+                expect.push_back(inst.line());
+        }
+        ASSERT_EQ(got, expect) << n;
+        ASSERT_EQ(a->position(), b->position()) << n;
+
+        // State equivalence: both sources continue identically.
+        for (int i = 0; i < 100; ++i)
+            ASSERT_TRUE(sameInst(a->next(), b->next())) << n;
+    }
+}
+
 TEST_P(TraceContract, ResetReproducesPrefix)
 {
     auto t = GetParam().make();
@@ -396,6 +425,58 @@ TEST(FileTraceSkip, OverrunThrows)
     EXPECT_THROW((void)t.next(), TraceError);
     FileTrace u(f.path);
     EXPECT_THROW(u.skip(1'001), TraceError);
+}
+
+TEST(FileTraceMemLines, BulkDecodeCountsAndBounds)
+{
+    TempFile f("memlines");
+    recordSpec("bzip2", 10'000, f.path);
+
+    FileTrace t(f.path);
+    std::vector<Addr> lines(10'000);
+    const InstCount m = t.memLines(lines.data(), 10'000);
+    EXPECT_GT(m, 0u);
+    EXPECT_LT(m, 10'000u);
+    EXPECT_EQ(t.position(), 10'000u);
+    // Bulk decode counts every scanned record.
+    EXPECT_EQ(t.recordsDecoded(), 10'000u);
+    // Exhausted: one more instruction must throw, like next().
+    EXPECT_THROW((void)t.memLines(lines.data(), 1), TraceError);
+
+    // Looping wrap mid-batch equals the concatenated plain streams.
+    FileTrace looped(f.path, true);
+    FileTrace plain(f.path);
+    std::vector<Addr> wrap(15'000), flat(15'000);
+    const InstCount wm = looped.memLines(wrap.data(), 15'000);
+    InstCount fm = plain.memLines(flat.data(), 10'000);
+    plain.reset();
+    fm += plain.memLines(flat.data() + fm, 5'000);
+    ASSERT_EQ(wm, fm);
+    wrap.resize(wm);
+    flat.resize(fm);
+    EXPECT_EQ(wrap, flat);
+    EXPECT_EQ(looped.position(), 15'000u);
+}
+
+TEST(FileTraceMemLines, GarbageRecordThrowsAtExactIndex)
+{
+    TempFile f("memlines_garbage");
+    recordSpec("bzip2", 100, f.path);
+    auto bytes = readBytes(f.path);
+    bytes[37 + 60 * 32 + 24] = 9; // record 60, bad type byte
+    writeBytes(f.path, bytes);
+
+    FileTrace t(f.path);
+    std::vector<Addr> lines(100);
+    try {
+        (void)t.memLines(lines.data(), 100);
+        FAIL() << "expected TraceError";
+    } catch (const TraceError &e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "garbage record at index 60"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 TEST(FileTraceSkip, LoopWrapsModularly)

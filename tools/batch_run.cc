@@ -6,6 +6,7 @@
  *   batch_run plan   <manifest> [--cache-dir D]
  *   batch_run run    <manifest> [--shard I/N] [--threads T]
  *                    [--cache-dir D] [--no-cache] [--json] [--quiet]
+ *                    [--timings]
  *   batch_run status <manifest> [--cache-dir D]
  *   batch_run gc     <manifest> [--cache-dir D] [--force]
  *
@@ -24,6 +25,13 @@
  * Numbers are printed with %.17g so a TSV row round-trips every double
  * exactly: two runs (sharded + merged vs. unsharded, cached vs.
  * direct) are bit-identical iff their outputs diff clean.
+ *
+ * `--timings` appends the measured hot-path phase timings
+ * (src/profiling/hotpath.hh) of the run that *produced* each result —
+ * for a cache hit, the original executing run, replayed verbatim from
+ * the cache entry. Measured wall-clock is nondeterministic, so these
+ * columns are opt-in and excluded from the diff-clean contract above
+ * (docs/performance.md).
  */
 
 #include <cctype>
@@ -35,9 +43,11 @@
 #include <string>
 #include <unordered_set>
 
+#include "base/json.hh"
 #include "base/logging.hh"
 #include "batch/error.hh"
 #include "batch/runner.hh"
+#include "profiling/hotpath.hh"
 #include "workload/trace_registry.hh"
 
 namespace
@@ -54,7 +64,7 @@ usage()
         "usage: batch_run plan   <manifest> [--cache-dir D]\n"
         "       batch_run run    <manifest> [--shard I/N] [--threads T]\n"
         "                        [--cache-dir D] [--no-cache] [--json]\n"
-        "                        [--quiet]\n"
+        "                        [--quiet] [--timings]\n"
         "       batch_run status <manifest> [--cache-dir D]\n"
         "       batch_run gc     <manifest> [--cache-dir D] [--force]\n"
         "manifest directives: workload SPEC | config NAME k=v... |\n"
@@ -70,6 +80,7 @@ struct CliOptions
     BatchOptions batch;
     bool json = false;
     bool force = false;
+    bool timings = false;
 };
 
 /** batch::parseU32 with CLI-flavoured fatal(): atoi's silent 0 on
@@ -113,6 +124,8 @@ parseCli(int argc, char **argv, int first)
             cli.batch.use_cache = false;
         } else if (arg == "--json") {
             cli.json = true;
+        } else if (arg == "--timings") {
+            cli.timings = true;
         } else if (arg == "--quiet") {
             cli.batch.verbose = false;
         } else if (arg == "--force") {
@@ -159,10 +172,11 @@ cmdPlan(const CliOptions &cli)
 }
 
 void
-printResultTsv(const BatchCell &cell, const sampling::MethodResult &r)
+printResultTsv(const BatchCell &cell, const sampling::MethodResult &r,
+               bool timings)
 {
     std::printf("%s\t%s\t%s\t%s\t%.17g\t%.17g\t%.17g\t%.17g\t%llu\t"
-                "%llu\t%llu\t%llu\t%llu\t%llu\t%.17g\n",
+                "%llu\t%llu\t%llu\t%llu\t%llu\t%.17g",
                 cell.workload.c_str(), cell.config_name.c_str(),
                 cell.schedule_name.c_str(), cell.method.c_str(),
                 r.cpi(), r.mpki(), r.mips, r.wall_seconds,
@@ -173,33 +187,18 @@ printResultTsv(const BatchCell &cell, const sampling::MethodResult &r)
                 (unsigned long long)r.keys_explored,
                 (unsigned long long)r.keys_unresolved,
                 r.avg_explorers);
-}
-
-/** JSON string-literal escaping (quotes, backslashes, control bytes) —
- *  file: workload specs can contain anything a path can. */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        if (c == '"' || c == '\\') {
-            out += '\\';
-            out += c;
-        } else if ((unsigned char)c < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-            out += buf;
-        } else {
-            out += c;
-        }
+    if (timings) {
+        const auto &m = r.cost.measured();
+        for (std::size_t p = 0; p < profiling::hot_phase_count; ++p)
+            std::printf("\t%.17g\t%llu", m.ns[p],
+                        (unsigned long long)m.items[p]);
     }
-    return out;
+    std::printf("\n");
 }
 
 void
 printResultJson(const BatchCell &cell, const sampling::MethodResult &r,
-                bool last)
+                bool timings, bool last)
 {
     std::printf(
         "  {\"workload\": \"%s\", \"config\": \"%s\", "
@@ -208,7 +207,7 @@ printResultJson(const BatchCell &cell, const sampling::MethodResult &r,
         "\"wall_seconds\": %.17g, \"reuse_samples\": %llu, "
         "\"traps\": %llu, \"false_positives\": %llu, "
         "\"keys_total\": %llu, \"keys_explored\": %llu, "
-        "\"keys_unresolved\": %llu, \"avg_explorers\": %.17g}%s\n",
+        "\"keys_unresolved\": %llu, \"avg_explorers\": %.17g",
         jsonEscape(cell.workload).c_str(),
         jsonEscape(cell.config_name).c_str(),
         jsonEscape(cell.schedule_name).c_str(),
@@ -219,8 +218,22 @@ printResultJson(const BatchCell &cell, const sampling::MethodResult &r,
         (unsigned long long)r.false_positives,
         (unsigned long long)r.keys_total,
         (unsigned long long)r.keys_explored,
-        (unsigned long long)r.keys_unresolved, r.avg_explorers,
-        last ? "" : ",");
+        (unsigned long long)r.keys_unresolved, r.avg_explorers);
+    if (timings) {
+        const auto &m = r.cost.measured();
+        std::printf(", \"timings\": {");
+        for (std::size_t p = 0; p < profiling::hot_phase_count; ++p) {
+            const auto phase = profiling::HotPhase(p);
+            std::printf(
+                "%s\"%s\": {\"ns\": %.17g, \"calls\": %llu, "
+                "\"items\": %llu}",
+                p == 0 ? "" : ", ", profiling::hotPhaseName(phase),
+                m.ns[p], (unsigned long long)m.calls[p],
+                (unsigned long long)m.items[p]);
+        }
+        std::printf("}");
+    }
+    std::printf("}%s\n", last ? "" : ",");
 }
 
 int
@@ -229,21 +242,31 @@ cmdRun(const CliOptions &cli)
     const auto plan = BatchPlan::fromManifest(cli.manifest);
     const auto report = BatchRunner::run(plan, cli.batch);
 
-    if (cli.json)
+    if (cli.json) {
         std::printf("[\n");
-    else
+    } else {
         std::printf("#workload\tconfig\tschedule\tmethod\tcpi\tmpki\t"
                     "mips\twall_seconds\treuse_samples\ttraps\t"
                     "false_positives\tkeys_total\tkeys_explored\t"
-                    "keys_unresolved\tavg_explorers\n");
+                    "keys_unresolved\tavg_explorers");
+        if (cli.timings) {
+            for (std::size_t p = 0; p < profiling::hot_phase_count;
+                 ++p) {
+                const char *name =
+                    profiling::hotPhaseName(profiling::HotPhase(p));
+                std::printf("\t%s_ns\t%s_items", name, name);
+            }
+        }
+        std::printf("\n");
+    }
     for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
         const auto &outcome = report.outcomes[i];
         const auto &cell = plan.cells()[outcome.cell];
         if (cli.json)
-            printResultJson(cell, outcome.result,
+            printResultJson(cell, outcome.result, cli.timings,
                             i + 1 == report.outcomes.size());
         else
-            printResultTsv(cell, outcome.result);
+            printResultTsv(cell, outcome.result, cli.timings);
     }
     if (cli.json)
         std::printf("]\n");

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Measured performance report over the pinned quick-schedule suite
+ * (bench/perf_harness.hh, docs/performance.md).
+ *
+ *   bench_report [--quick] [--out FILE] [--baseline FILE]
+ *                [--bench a,b,c] [--repeats N]
+ *
+ * Runs the suite serially, prints a per-workload phase breakdown, and
+ * writes a BENCH_*.json report (default BENCH_pr4.json). `--quick`
+ * trims the suite to bzip2 with one repeat — the CI smoke
+ * configuration. `--baseline FILE` embeds an earlier report verbatim
+ * under "baseline" and prints the Explorer-replay speedup against it,
+ * so one committed file carries both sides of a before/after
+ * comparison.
+ *
+ * All timings here are measured host wall-clock (steady_clock), not
+ * the modeled host cost the figures report: run on an otherwise idle
+ * machine, and only compare numbers from the same machine and build
+ * flags.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "batch/error.hh"
+#include "batch/plan.hh"
+#include "perf_harness.hh"
+
+namespace
+{
+
+using namespace delorean;
+using namespace delorean::bench;
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: bench_report [--quick] [--out FILE]\n"
+                 "                    [--baseline FILE] [--bench a,b,c]\n"
+                 "                    [--repeats N]\n");
+    std::exit(1);
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatal_if(!in, "cannot read baseline '%s'", path.c_str());
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    PerfOptions opt;
+    std::string out_path = "BENCH_pr4.json";
+    std::string baseline_path;
+    bool quick = false;
+    bool bench_given = false;
+    bool repeats_given = false;
+    bool out_given = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            fatal_if(i + 1 >= argc, "missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--quick") {
+            quick = true;
+        } else if (arg == "--out") {
+            out_path = next();
+            out_given = true;
+        } else if (arg == "--baseline") {
+            baseline_path = next();
+        } else if (arg == "--bench") {
+            opt.workloads = splitCsv(next());
+            bench_given = true;
+        } else if (arg == "--repeats") {
+            // batch::parseU32 rejects atoi's silent junk/negatives.
+            const char *text = next();
+            try {
+                opt.repeats = delorean::batch::parseU32(text);
+            } catch (const delorean::batch::BatchError &) {
+                fatal("--repeats: expected a number, got '%s'", text);
+            }
+            fatal_if(opt.repeats == 0, "--repeats must be >= 1");
+            repeats_given = true;
+        } else {
+            usage();
+        }
+    }
+    // --quick only trims what wasn't chosen explicitly, so flag order
+    // never matters: `--bench mcf --quick` measures mcf, quickly.
+    if (quick) {
+        if (!bench_given)
+            opt.workloads = {"bzip2"};
+        if (!repeats_given)
+            opt.repeats = 1;
+    }
+    // Comparing against a committed trajectory file must not clobber
+    // it: when --baseline is given and --out is not, write elsewhere.
+    if (!out_given && baseline_path == out_path)
+        out_path = "BENCH_local.json";
+    if (opt.workloads.empty())
+        usage();
+
+    try {
+        const PerfReport report = runPerfSuite(opt);
+
+        std::printf("%-10s %9s %11s %11s  per-phase ns (scout/replay/"
+                    "vicinity/solve/analyze)\n",
+                    "workload", "wall_s", "Minsts/s", "replay_M/s");
+        for (const auto &m : report.measurements) {
+            std::printf("%-10s %9.3f %11.1f %11.1f  "
+                        "%.3g/%.3g/%.3g/%.3g/%.3g\n",
+                        m.workload.c_str(), m.wall_seconds,
+                        m.instsPerSec() / 1e6,
+                        m.replayInstsPerSec() / 1e6, m.phases.ns[0],
+                        m.phases.ns[1], m.phases.ns[2], m.phases.ns[3],
+                        m.phases.ns[4]);
+        }
+
+        std::string baseline_json;
+        if (!baseline_path.empty())
+            baseline_json = readFile(baseline_path);
+        const std::string json =
+            writeBenchJson(report, out_path, baseline_json);
+        std::fprintf(stderr, "[perf] wrote %s\n", out_path.c_str());
+
+        if (!baseline_json.empty()) {
+            for (const auto &m : report.measurements) {
+                const double base = replayInstsPerSecFromJson(
+                    baseline_json, m.workload);
+                if (base <= 0.0)
+                    continue;
+                std::printf("%s: explorer replay %.1f -> %.1f Minsts/s "
+                            "(%.2fx vs baseline)\n",
+                            m.workload.c_str(), base / 1e6,
+                            m.replayInstsPerSec() / 1e6,
+                            m.replayInstsPerSec() / base);
+            }
+        }
+    } catch (const std::exception &e) {
+        fatal("%s", e.what());
+    }
+    return 0;
+}

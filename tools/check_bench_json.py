@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Sanity-check a BENCH_*.json perf report (docs/performance.md).
+
+Validates — without any third-party dependency — that the report:
+  * parses as JSON with schema "delorean-bench-1";
+  * was produced by an assertions-off build (NDEBUG), since timings
+    from assertion builds are not comparable;
+  * contains at least one workload, each carrying every hot phase
+    with non-negative ns/calls/items and the derived throughput
+    fields;
+  * if a baseline is embedded, that it validates recursively.
+
+Usage: check_bench_json.py [BENCH_pr4.json ...]
+Exits non-zero with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+REQUIRED_PHASES = (
+    "scout",
+    "explorer_replay",
+    "vicinity",
+    "statstack_solve",
+    "analyze",
+)
+WORKLOAD_FIELDS = (
+    "wall_seconds",
+    "insts",
+    "insts_per_sec",
+    "traps",
+    "traps_per_sec",
+    "phases",
+)
+
+
+def fail(msg):
+    print(f"check_bench_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_report(report, path, *, is_baseline=False):
+    where = f"{path}{' (baseline)' if is_baseline else ''}"
+    if report.get("schema") != "delorean-bench-1":
+        fail(f"{where}: schema is {report.get('schema')!r}, "
+             "expected 'delorean-bench-1'")
+    build = report.get("build", "")
+    if "NDEBUG" not in build:
+        fail(f"{where}: build {build!r} is not an NDEBUG build; "
+             "perf numbers from assertion builds are not comparable")
+    workloads = report.get("workloads")
+    if not isinstance(workloads, dict) or not workloads:
+        fail(f"{where}: no workloads")
+    for name, w in workloads.items():
+        for field in WORKLOAD_FIELDS:
+            if field not in w:
+                fail(f"{where}: workload {name!r} missing {field!r}")
+        if w["wall_seconds"] <= 0:
+            fail(f"{where}: workload {name!r} has non-positive wall")
+        phases = w["phases"]
+        for phase in REQUIRED_PHASES:
+            if phase not in phases:
+                fail(f"{where}: workload {name!r} missing phase "
+                     f"{phase!r}")
+            p = phases[phase]
+            for key in ("ns", "calls", "items", "items_per_sec"):
+                if key not in p:
+                    fail(f"{where}: {name}/{phase} missing {key!r}")
+                if p[key] < 0:
+                    fail(f"{where}: {name}/{phase}/{key} is negative")
+        # The replay phase is the tracked trajectory: it must have
+        # actually measured something.
+        if phases["explorer_replay"]["ns"] <= 0:
+            fail(f"{where}: workload {name!r} measured no "
+                 "explorer_replay time")
+    baseline = report.get("baseline")
+    if baseline is not None:
+        check_report(baseline, path, is_baseline=True)
+
+
+def main(argv):
+    paths = argv[1:] or ["BENCH_pr4.json"]
+    for path in paths:
+        try:
+            with open(path, "rb") as f:
+                report = json.load(f)
+        except (OSError, ValueError) as e:
+            fail(f"{path}: {e}")
+        check_report(report, path)
+        n = len(report["workloads"])
+        print(f"check_bench_json: {path}: OK "
+              f"({n} workload{'s' if n != 1 else ''})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
