@@ -43,6 +43,36 @@ CacheKey::hex() const
     return buf;
 }
 
+CacheKey
+CacheKey::fromHex(const std::string &hex)
+{
+    // The input can be an untrusted request body up to the protocol's
+    // frame cap; echo only a prefix so a garbage megablob is not
+    // allocated a second time and shipped back in the error message.
+    const auto shown = [&] {
+        return hex.size() <= 40 ? hex : hex.substr(0, 40) + "...";
+    };
+    if (hex.size() != 32)
+        throw BatchError("cache key '" + shown() +
+                         "' is not 32 hex digits");
+    std::uint64_t words[2] = {};
+    for (std::size_t i = 0; i < 32; ++i) {
+        const char c = hex[i];
+        std::uint64_t nibble = 0;
+        if (c >= '0' && c <= '9')
+            nibble = std::uint64_t(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            nibble = std::uint64_t(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            nibble = std::uint64_t(c - 'A' + 10);
+        else
+            throw BatchError("cache key '" + shown() +
+                             "' is not 32 hex digits");
+        words[i / 16] = (words[i / 16] << 4) | nibble;
+    }
+    return CacheKey{words[0], words[1]};
+}
+
 KeyBuilder::KeyBuilder()
 {
     key_.hi = fnv_offset_hi;

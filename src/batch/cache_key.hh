@@ -67,6 +67,13 @@ struct CacheKey
     /** 32 lowercase hex digits; the cache file stem. */
     std::string hex() const;
 
+    /**
+     * Parse what hex() produced (case-insensitive). Throws BatchError
+     * on anything that is not exactly 32 hex digits — the service uses
+     * this on untrusted RESULT request bodies.
+     */
+    static CacheKey fromHex(const std::string &hex);
+
     bool operator==(const CacheKey &other) const = default;
 };
 

@@ -216,7 +216,20 @@ BatchPlan::fromManifest(const std::string &path)
     std::ifstream is(path);
     if (!is)
         throw BatchError("cannot open manifest '" + path + "'");
+    return fromStream(is, path);
+}
 
+BatchPlan
+BatchPlan::fromManifestText(const std::string &text,
+                            const std::string &name)
+{
+    std::istringstream is(text);
+    return fromStream(is, name);
+}
+
+BatchPlan
+BatchPlan::fromStream(std::istream &is, const std::string &path)
+{
     std::vector<std::string> workloads;
     std::vector<NamedConfig> configs;
     std::vector<NamedSchedule> schedules;

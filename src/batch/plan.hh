@@ -33,6 +33,7 @@
 #ifndef DELOREAN_BATCH_PLAN_HH
 #define DELOREAN_BATCH_PLAN_HH
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -109,12 +110,25 @@ class BatchPlan
     /** Parse @p path (format above) and expand. Throws BatchError. */
     static BatchPlan fromManifest(const std::string &path);
 
+    /**
+     * Parse manifest text that never touched the filesystem — a
+     * service SUBMIT body, a spool snapshot read before parsing so the
+     * bytes digested and the bytes parsed cannot diverge. @p name
+     * labels diagnostics the way the path does for fromManifest.
+     */
+    static BatchPlan fromManifestText(const std::string &text,
+                                      const std::string &name);
+
     const std::vector<BatchCell> &cells() const { return cells_; }
 
     /** Hex keys of every cell (for ResultCache::gc). */
     std::vector<std::string> keyHexes() const;
 
   private:
+    /** Shared manifest parser; @p path labels diagnostics. */
+    static BatchPlan fromStream(std::istream &is,
+                                const std::string &path);
+
     std::vector<BatchCell> cells_;
 };
 

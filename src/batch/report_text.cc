@@ -1,0 +1,54 @@
+#include "batch/report_text.hh"
+
+#include "profiling/hotpath.hh"
+
+namespace delorean::batch
+{
+
+void
+printResultHeaderTsv(std::FILE *os, bool timings)
+{
+    std::fprintf(os, "#workload\tconfig\tschedule\tmethod\tcpi\tmpki\t"
+                     "mips\twall_seconds\treuse_samples\ttraps\t"
+                     "false_positives\tkeys_total\tkeys_explored\t"
+                     "keys_unresolved\tavg_explorers");
+    if (timings) {
+        for (std::size_t p = 0; p < profiling::hot_phase_count; ++p) {
+            const char *name =
+                profiling::hotPhaseName(profiling::HotPhase(p));
+            std::fprintf(os, "\t%s_ns\t%s_items", name, name);
+        }
+    }
+    std::fprintf(os, "\n");
+}
+
+void
+printResultRowTsv(std::FILE *os, const std::string &workload,
+                  const std::string &config_name,
+                  const std::string &schedule_name,
+                  const std::string &method,
+                  const sampling::MethodResult &r, bool timings)
+{
+    std::fprintf(os,
+                 "%s\t%s\t%s\t%s\t%.17g\t%.17g\t%.17g\t%.17g\t%llu\t"
+                 "%llu\t%llu\t%llu\t%llu\t%llu\t%.17g",
+                 workload.c_str(), config_name.c_str(),
+                 schedule_name.c_str(), method.c_str(), r.cpi(),
+                 r.mpki(), r.mips, r.wall_seconds,
+                 (unsigned long long)r.reuse_samples,
+                 (unsigned long long)r.traps,
+                 (unsigned long long)r.false_positives,
+                 (unsigned long long)r.keys_total,
+                 (unsigned long long)r.keys_explored,
+                 (unsigned long long)r.keys_unresolved,
+                 r.avg_explorers);
+    if (timings) {
+        const auto &m = r.cost.measured();
+        for (std::size_t p = 0; p < profiling::hot_phase_count; ++p)
+            std::fprintf(os, "\t%.17g\t%llu", m.ns[p],
+                         (unsigned long long)m.items[p]);
+    }
+    std::fprintf(os, "\n");
+}
+
+} // namespace delorean::batch

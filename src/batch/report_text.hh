@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The canonical per-cell TSV rendering of a MethodResult.
+ *
+ * One format, two producers: `batch_run run` prints rows for the cells
+ * it just executed, and `batch_service result` prints rows for cells
+ * fetched over the socket. Sharing the formatter is what turns "the
+ * service round trip is bit-identical to a local run" into a plain
+ * `diff`: every double is printed with %.17g, which round-trips the
+ * exact IEEE-754 value, so two outputs are byte-identical iff the
+ * results are (the CI service-smoke job pins exactly that).
+ *
+ * The optional timing columns carry the measured hot-path phases of
+ * the run that *produced* the result (docs/performance.md). Wall-clock
+ * is nondeterministic, so they are opt-in and excluded from the
+ * diff-clean contract.
+ */
+
+#ifndef DELOREAN_BATCH_REPORT_TEXT_HH
+#define DELOREAN_BATCH_REPORT_TEXT_HH
+
+#include <cstdio>
+#include <string>
+
+#include "sampling/results.hh"
+
+namespace delorean::batch
+{
+
+/** Print the TSV header row ("#workload\tconfig\t..."). */
+void printResultHeaderTsv(std::FILE *os, bool timings);
+
+/** Print one cell's row: identity columns, then the %.17g metrics. */
+void printResultRowTsv(std::FILE *os, const std::string &workload,
+                       const std::string &config_name,
+                       const std::string &schedule_name,
+                       const std::string &method,
+                       const sampling::MethodResult &result,
+                       bool timings);
+
+} // namespace delorean::batch
+
+#endif // DELOREAN_BATCH_REPORT_TEXT_HH

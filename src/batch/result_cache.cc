@@ -98,6 +98,29 @@ ResultCache::load(const CacheKey &key) const
     }
 }
 
+std::optional<std::string>
+ResultCache::loadBytes(const CacheKey &key) const
+{
+    std::ifstream is(entryPath(key), std::ios::binary);
+    if (!is)
+        return std::nullopt;
+    std::ostringstream buffer(std::ios::binary);
+    buffer << is.rdbuf();
+    std::string bytes = buffer.str();
+    try {
+        // Serving a client means vouching for the payload: parse the
+        // whole record so corruption surfaces here as a miss, not in
+        // the client as a protocol-level surprise.
+        std::istringstream check(bytes, std::ios::binary);
+        (void)readMethodResult(check);
+    } catch (const std::exception &e) {
+        warn("cache entry %s is corrupt (%s); treating as a miss",
+             key.hex().c_str(), e.what());
+        return std::nullopt;
+    }
+    return bytes;
+}
+
 void
 ResultCache::storeBytes(const CacheKey &key,
                         const std::string &bytes) const

@@ -83,6 +83,16 @@ class ResultCache
     void store(const CacheKey &key,
                const sampling::MethodResult &result) const;
 
+    /**
+     * The raw serialized bytes of the MethodResult stored under
+     * @p key, *validated by a full parse* before being returned —
+     * what the batch service streams to RESULT clients. Because
+     * serialization is deterministic and bitwise-exact, these bytes
+     * equal writeMethodResult() of the original result; a corrupt
+     * entry is a miss (warn()ed), exactly like load().
+     */
+    std::optional<std::string> loadBytes(const CacheKey &key) const;
+
     /** SizeCurve flavours of load/store (bench figure references). */
     std::optional<SizeCurve> loadCurve(const CacheKey &key) const;
     void storeCurve(const CacheKey &key, const SizeCurve &curve) const;

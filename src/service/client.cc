@@ -1,0 +1,125 @@
+#include "service/client.hh"
+
+#include <unistd.h>
+
+#include <csignal>
+#include <sstream>
+
+#include "batch/result_io.hh"
+#include "service/server.hh"
+#include "workload/endian.hh"
+
+namespace delorean::service
+{
+
+ServiceClient::ServiceClient(const std::string &socket_path)
+{
+    // A server that dies mid-exchange must surface as a ServiceError
+    // on this thread, not kill the client process.
+    std::signal(SIGPIPE, SIG_IGN);
+    fd_ = connectToServer(socket_path);
+}
+
+ServiceClient::~ServiceClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+ServiceClient::ping(const std::string &socket_path)
+{
+    try {
+        ::close(connectToServer(socket_path));
+        return true;
+    } catch (const ServiceError &) {
+        return false;
+    }
+}
+
+std::string
+ServiceClient::call(protocol::Opcode op, std::string body)
+{
+    protocol::Request request;
+    request.op = op;
+    request.body = std::move(body);
+    protocol::writeRequest(fd_, request);
+    auto reply = protocol::readReply(fd_);
+    if (!reply.ok)
+        throw ServiceError(std::string(protocol::opcodeName(op)) +
+                           ": " + reply.body);
+    return std::move(reply.body);
+}
+
+ServiceClient::SubmitInfo
+ServiceClient::submit(const std::string &manifest_text,
+                      std::uint32_t priority)
+{
+    std::string body(4, '\0');
+    workload::le::putU32(reinterpret_cast<std::uint8_t *>(body.data()),
+                         priority);
+    body += manifest_text;
+    const std::string reply = call(protocol::Opcode::Submit,
+                                   std::move(body));
+
+    // "job=<id> cells=<n>\n"
+    SubmitInfo info;
+    std::istringstream is(reply);
+    std::string token;
+    while (is >> token) {
+        if (token.rfind("job=", 0) == 0)
+            info.job = std::stoull(token.substr(4));
+        else if (token.rfind("cells=", 0) == 0)
+            info.cells = std::stoull(token.substr(6));
+    }
+    if (info.job == 0)
+        throw ServiceError("SUBMIT: malformed reply '" + reply + "'");
+    return info;
+}
+
+std::string
+ServiceClient::status()
+{
+    return call(protocol::Opcode::Status, "");
+}
+
+std::string
+ServiceClient::jobStatus(std::uint64_t job)
+{
+    return call(protocol::Opcode::Status, std::to_string(job));
+}
+
+bool
+ServiceClient::jobDone(std::uint64_t job)
+{
+    const std::string line = jobStatus(job);
+    return line.find("state=done") != std::string::npos ||
+           line.find("state=failed") != std::string::npos;
+}
+
+std::string
+ServiceClient::resultBytes(const batch::CacheKey &key)
+{
+    return call(protocol::Opcode::Result, key.hex());
+}
+
+sampling::MethodResult
+ServiceClient::result(const batch::CacheKey &key)
+{
+    std::istringstream is(resultBytes(key), std::ios::binary);
+    return batch::readMethodResult(is);
+}
+
+std::string
+ServiceClient::stats()
+{
+    return call(protocol::Opcode::Stats, "");
+}
+
+void
+ServiceClient::shutdown()
+{
+    (void)call(protocol::Opcode::Shutdown, "");
+}
+
+} // namespace delorean::service

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * ServiceClient: typed client side of the DLRNSRV1 protocol.
+ *
+ * One instance owns one connection to a running batch service and
+ * turns the frame exchanges into typed calls. Server-side failures
+ * (error replies) and transport failures both surface as ServiceError;
+ * the CLI catches them and reports via fatal(), tests assert on them.
+ *
+ * A RESULT fetch parses the server's raw record bytes with the same
+ * batch/result_io.hh reader the local cache uses, so the returned
+ * MethodResult satisfies operator== against a direct BatchRunner run
+ * of the same cell — the service adds transport, never drift.
+ */
+
+#ifndef DELOREAN_SERVICE_CLIENT_HH
+#define DELOREAN_SERVICE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "batch/cache_key.hh"
+#include "sampling/results.hh"
+#include "service/protocol.hh"
+
+namespace delorean::service
+{
+
+class ServiceClient
+{
+  public:
+    /** What SUBMIT came back with. */
+    struct SubmitInfo
+    {
+        std::uint64_t job = 0;
+        std::uint64_t cells = 0;
+    };
+
+    /** Connect to the service at @p socket_path; throws ServiceError. */
+    explicit ServiceClient(const std::string &socket_path);
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    /** @return true if something is accepting connections at @p path. */
+    static bool ping(const std::string &socket_path);
+
+    /** Submit manifest text; higher @p priority pops first. */
+    SubmitInfo submit(
+        const std::string &manifest_text,
+        std::uint32_t priority = protocol::default_submit_priority);
+
+    /** Global status text (counters + one line per job). */
+    std::string status();
+
+    /** One job's status line; throws ServiceError for unknown ids. */
+    std::string jobStatus(std::uint64_t job);
+
+    /** @return true once the job completed (state done or failed). */
+    bool jobDone(std::uint64_t job);
+
+    /** Raw serialized record bytes for @p key (result_io format). */
+    std::string resultBytes(const batch::CacheKey &key);
+
+    /** resultBytes parsed back into a MethodResult. */
+    sampling::MethodResult result(const batch::CacheKey &key);
+
+    /** Cache + service counter text (docs/service.md). */
+    std::string stats();
+
+    /** Ask the daemon to drain and exit. */
+    void shutdown();
+
+  private:
+    /** One request/reply exchange; throws ServiceError on error replies. */
+    std::string call(protocol::Opcode op, std::string body);
+
+    int fd_ = -1;
+};
+
+} // namespace delorean::service
+
+#endif // DELOREAN_SERVICE_CLIENT_HH

@@ -1,0 +1,176 @@
+#include "service/protocol.hh"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "workload/endian.hh"
+
+namespace delorean::service::protocol
+{
+
+namespace le = workload::le;
+
+namespace
+{
+
+/** Shared frame prefix: magic + one u32 code + u32 body length. */
+constexpr std::size_t header_size = 8 + 4 + 4;
+
+void
+packHeader(std::uint8_t *p, std::uint32_t code, std::uint32_t length)
+{
+    std::memcpy(p, magic, 8);
+    le::putU32(p + 8, code);
+    le::putU32(p + 12, length);
+}
+
+/**
+ * @return (code, body) of one frame; nullopt on clean EOF before the
+ * first header byte.
+ */
+std::optional<std::pair<std::uint32_t, std::string>>
+readFrame(int fd, const char *what)
+{
+    std::uint8_t header[header_size];
+    if (!readExact(fd, header, sizeof(header)))
+        return std::nullopt;
+    if (std::memcmp(header, magic, 8) != 0)
+        throw ServiceError(std::string(what) + ": bad frame magic");
+    const std::uint32_t code = le::getU32(header + 8);
+    const std::uint32_t length = le::getU32(header + 12);
+    if (length > max_body)
+        throw ServiceError(std::string(what) + ": body length " +
+                           std::to_string(length) + " exceeds limit");
+    std::string body(length, '\0');
+    if (length > 0 && !readExact(fd, body.data(), length))
+        throw ServiceError(std::string(what) + ": truncated body");
+    return std::make_pair(code, std::move(body));
+}
+
+void
+writeFrame(int fd, std::uint32_t code, const std::string &body)
+{
+    if (body.size() > max_body)
+        throw ServiceError("frame body too large");
+    std::uint8_t header[header_size];
+    packHeader(header, code, std::uint32_t(body.size()));
+    writeAll(fd, header, sizeof(header));
+    if (!body.empty())
+        writeAll(fd, body.data(), body.size());
+}
+
+} // namespace
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Submit:
+        return "SUBMIT";
+      case Opcode::Status:
+        return "STATUS";
+      case Opcode::Result:
+        return "RESULT";
+      case Opcode::Stats:
+        return "STATS";
+      case Opcode::Shutdown:
+        return "SHUTDOWN";
+    }
+    return "?";
+}
+
+void
+writeAll(int fd, const void *data, std::size_t count)
+{
+    const char *p = static_cast<const char *>(data);
+    while (count > 0) {
+        const ssize_t n = ::write(fd, p, count);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ServiceError(std::string("socket write: ") +
+                               std::strerror(errno));
+        }
+        p += n;
+        count -= std::size_t(n);
+    }
+}
+
+bool
+readExact(int fd, void *data, std::size_t count)
+{
+    char *p = static_cast<char *>(data);
+    std::size_t got = 0;
+    while (got < count) {
+        const ssize_t n = ::read(fd, p + got, count - got);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ServiceError(std::string("socket read: ") +
+                               std::strerror(errno));
+        }
+        if (n == 0) {
+            if (got == 0)
+                return false; // clean EOF at a frame boundary
+            throw ServiceError("unexpected EOF inside a frame");
+        }
+        got += std::size_t(n);
+    }
+    return true;
+}
+
+void
+writeRequest(int fd, const Request &request)
+{
+    writeFrame(fd, std::uint32_t(request.op), request.body);
+}
+
+std::optional<Request>
+readRequest(int fd)
+{
+    auto frame = readFrame(fd, "request");
+    if (!frame)
+        return std::nullopt;
+    auto [code, body] = std::move(*frame);
+    switch (Opcode(code)) {
+      case Opcode::Submit:
+      case Opcode::Status:
+      case Opcode::Result:
+      case Opcode::Stats:
+      case Opcode::Shutdown:
+        break;
+      default:
+        throw ServiceError("request: unknown opcode " +
+                           std::to_string(code));
+    }
+    Request request;
+    request.op = Opcode(code);
+    request.body = std::move(body);
+    return request;
+}
+
+void
+writeReply(int fd, const Reply &reply)
+{
+    writeFrame(fd, reply.ok ? 0 : 1, reply.body);
+}
+
+Reply
+readReply(int fd)
+{
+    auto frame = readFrame(fd, "reply");
+    if (!frame)
+        throw ServiceError("connection closed before the reply");
+    auto [code, body] = std::move(*frame);
+    if (code > 1)
+        throw ServiceError("reply: unknown status " +
+                           std::to_string(code));
+    Reply reply;
+    reply.ok = code == 0;
+    reply.body = std::move(body);
+    return reply;
+}
+
+} // namespace delorean::service::protocol

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * DLRNSRV1: the batch service wire protocol.
+ *
+ * A connection carries a sequence of request/reply frames over a
+ * Unix-domain stream socket. Every frame is length-prefixed and fully
+ * little-endian (workload/endian.hh helpers), mirroring the trace and
+ * result file formats:
+ *
+ *   Request frame:
+ *     char[8]  magic     "DLRNSRV1"
+ *     u32      opcode    (Opcode below)
+ *     u32      length    body byte count, <= max_body
+ *     bytes    body
+ *
+ *   Reply frame:
+ *     char[8]  magic     "DLRNSRV1"
+ *     u32      status    0 = ok, 1 = error (body = message text)
+ *     u32      length    body byte count, <= max_body
+ *     bytes    body
+ *
+ * Request bodies:
+ *
+ *   SUBMIT    u32 priority + manifest text (batch/plan.hh format).
+ *             Ok body: "job=<id> cells=<n>\n".
+ *   STATUS    empty (global) or the decimal id of one job.
+ *             Ok body: counter/job lines (docs/service.md).
+ *   RESULT    32 lowercase hex digits: a cell's content cache key.
+ *             Ok body: the *raw serialized record* (batch/result_io.hh,
+ *             magic DLRNRES1) exactly as stored by the result cache —
+ *             a client-side readMethodResult() yields a MethodResult
+ *             that compares equal (operator==, doubles bitwise) to a
+ *             local BatchRunner run of the same cell.
+ *   STATS     empty. Ok body: cache stats.tsv counters + service
+ *             counters, one k=v per token.
+ *   SHUTDOWN  empty. Ok body: "ok\n"; the server stops accepting,
+ *             drains in-flight cells and exits.
+ *
+ * Readers validate everything (magic, opcode, length bound) and throw
+ * ServiceError on any violation; a malformed or oversized frame must
+ * drop the connection, never crash the daemon or allocate unbounded
+ * memory. A clean EOF *between* request frames is the normal way a
+ * client hangs up and is not an error.
+ */
+
+#ifndef DELOREAN_SERVICE_PROTOCOL_HH
+#define DELOREAN_SERVICE_PROTOCOL_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace delorean::service
+{
+
+/**
+ * Any user-facing failure in the service layer: malformed frames,
+ * unreachable or dead sockets, server-reported request errors. CLIs
+ * catch this and report via fatal(); the daemon catches it per
+ * connection and drops the offender.
+ */
+class ServiceError : public std::runtime_error
+{
+  public:
+    explicit ServiceError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+namespace protocol
+{
+
+constexpr char magic[8] = {'D', 'L', 'R', 'N', 'S', 'R', 'V', '1'};
+
+/**
+ * Frame body ceiling. Result records are a few KiB and manifests are
+ * text; anything near this bound is a confused or hostile peer, and
+ * the bound is what keeps a garbage length prefix from turning into a
+ * multi-gigabyte allocation inside the daemon.
+ */
+constexpr std::uint32_t max_body = 64u << 20;
+
+enum class Opcode : std::uint32_t
+{
+    Submit = 1,
+    Status = 2,
+    Result = 3,
+    Stats = 4,
+    Shutdown = 5,
+};
+
+/**
+ * The SUBMIT priority clients send when they don't care: above the
+ * spool's bulk priority (service.hh), so interactive work overtakes
+ * dropped manifests. The one definition both ServiceClient's default
+ * argument and documentation refer to.
+ */
+constexpr std::uint32_t default_submit_priority = 10;
+
+/** @return a human-readable opcode name for diagnostics. */
+const char *opcodeName(Opcode op);
+
+struct Request
+{
+    Opcode op = Opcode::Status;
+    std::string body;
+};
+
+struct Reply
+{
+    bool ok = true;
+    std::string body; //!< payload, or the error message when !ok
+
+    /**
+     * Run by the server *after* the reply frame is on the wire; never
+     * serialized. SHUTDOWN uses this to start the drain only once its
+     * "ok" has been sent — triggering it from the handler would race
+     * the server teardown against the reply write, and the shutdown
+     * client would intermittently see a dropped connection instead.
+     */
+    std::function<void()> after_send;
+
+    static Reply success(std::string payload)
+    {
+        return Reply{true, std::move(payload), nullptr};
+    }
+
+    static Reply error(const std::string &message)
+    {
+        return Reply{false, message, nullptr};
+    }
+};
+
+/**
+ * Write @p count bytes to @p fd, retrying on EINTR and short writes.
+ * Throws ServiceError if the peer is gone. (SIGPIPE must be disabled
+ * process-wide; the daemon and the CLI both ignore it at startup.)
+ */
+void writeAll(int fd, const void *data, std::size_t count);
+
+/**
+ * Read exactly @p count bytes. @return false on clean EOF *before the
+ * first byte*; throws ServiceError on EOF mid-buffer or read errors.
+ */
+bool readExact(int fd, void *data, std::size_t count);
+
+void writeRequest(int fd, const Request &request);
+
+/**
+ * Read one request frame. @return nullopt on clean EOF (client hung
+ * up); throws ServiceError on malformed input or truncation.
+ */
+std::optional<Request> readRequest(int fd);
+
+void writeReply(int fd, const Reply &reply);
+
+/**
+ * Read one reply frame. EOF is always an error here: a client that
+ * sent a request is owed a reply.
+ */
+Reply readReply(int fd);
+
+} // namespace protocol
+
+} // namespace delorean::service
+
+#endif // DELOREAN_SERVICE_PROTOCOL_HH

@@ -1,0 +1,342 @@
+#include "service/service.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+#include "base/logging.hh"
+#include "batch/error.hh"
+#include "batch/runner.hh"
+#include "core/parallel.hh"
+#include "service/server.hh"
+#include "workload/endian.hh"
+
+namespace delorean::service
+{
+
+namespace le = workload::le;
+
+BatchService::BatchService(ServiceConfig config)
+    : config_(std::move(config)), cache_(config_.cache_dir)
+{
+    if (config_.socket_path.empty())
+        throw ServiceError("service: no socket path");
+    if (config_.poll_ms == 0)
+        throw ServiceError("service: poll period must be non-zero");
+    if (!config_.spool_dir.empty())
+        watcher_ = std::make_unique<ManifestWatcher>(config_.spool_dir);
+}
+
+void
+BatchService::requestShutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(shutdown_mutex_);
+        shutdown_ = true;
+    }
+    shutdown_cv_.notify_all();
+}
+
+void
+BatchService::run()
+{
+    // Workers first: each drain-loop thunk occupies one pool worker
+    // until the queue closes, so sizes must match exactly.
+    core::ThreadPool pool(core::resolveThreads(config_.threads));
+    for (unsigned i = 0; i < pool.size(); ++i)
+        pool.submit([this] { drainLoop(); });
+
+    std::thread watch_thread;
+    if (watcher_) {
+        watch_thread = std::thread([this] {
+            std::unique_lock<std::mutex> lock(shutdown_mutex_);
+            while (!shutdown_) {
+                lock.unlock();
+                for (auto &pickup : watcher_->scan()) {
+                    try {
+                        const std::uint64_t id = queue_.addJob(
+                            pickup.plan, pickup.name, JobSource::Spool,
+                            spool_priority, pickup.path);
+                        if (config_.verbose)
+                            std::fprintf(stderr,
+                                         "[service] spool pickup %s "
+                                         "-> job %llu (%zu cells)\n",
+                                         pickup.name.c_str(),
+                                         (unsigned long long)id,
+                                         pickup.plan.cells().size());
+                    } catch (const ServiceError &) {
+                        break; // closed under us: shutting down
+                    }
+                }
+                lock.lock();
+                shutdown_cv_.wait_for(
+                    lock, std::chrono::milliseconds(config_.poll_ms),
+                    [&] { return shutdown_; });
+            }
+        });
+    }
+
+    // From here on the workers block in queue_.pop() and the watch
+    // thread in its timed wait: every exit path — including a failed
+    // server start (socket already taken) — must unblock both before
+    // the pool/thread destructors join, or run() deadlocks on its own
+    // stack unwind.
+    std::exception_ptr error;
+    try {
+        SocketServer server(config_.socket_path,
+                            [this](const protocol::Request &request) {
+                                return handle(request);
+                            });
+        server.start();
+        if (config_.verbose)
+            std::fprintf(stderr,
+                         "[service] listening on %s (cache %s, %u "
+                         "workers%s%s)\n",
+                         config_.socket_path.c_str(),
+                         cache_.dir().c_str(), pool.size(),
+                         watcher_ ? ", spool " : "",
+                         watcher_ ? watcher_->dir().c_str() : "");
+
+        std::unique_lock<std::mutex> lock(shutdown_mutex_);
+        shutdown_cv_.wait(lock, [&] { return shutdown_; });
+        // ~SocketServer stops accepting and joins connections.
+    } catch (...) {
+        error = std::current_exception();
+    }
+
+    // Graceful drain: no new connections or pickups, abandon queued
+    // tasks, let in-flight cells finish and publish their results.
+    requestShutdown();
+    if (watch_thread.joinable())
+        watch_thread.join();
+    queue_.close();
+    // ~ThreadPool joins the workers once their drain loops return.
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+BatchService::drainLoop()
+{
+    while (auto task = queue_.pop()) {
+        const batch::BatchCell &cell = task->cell;
+        bool ok = true;
+        bool executed = false;
+        std::string error;
+        try {
+            if (cache_.load(cell.key)) {
+                cache_hits_.fetch_add(1);
+            } else {
+                if (config_.verbose)
+                    std::fprintf(stderr, "[service] run %s %s (%s/%s)\n",
+                                 cell.workload.c_str(),
+                                 cell.method.c_str(),
+                                 cell.config_name.c_str(),
+                                 cell.schedule_name.c_str());
+                const auto result = batch::BatchRunner::runCell(cell);
+                // Same mid-run re-record guard as BatchRunner::run: a
+                // file workload whose content changed between keying
+                // and execution must not publish under the stale key.
+                if (batch::specIsFileBacked(
+                        batch::normalizeSpec(cell.workload)) &&
+                    workloadIdentityFor(task->jobs.front(),
+                                        cell.workload) !=
+                        cell.workload_identity)
+                    throw batch::BatchError(
+                        cell.workload +
+                        ": file changed while the job was queued; "
+                        "result discarded — resubmit the plan");
+                cache_.store(cell.key, result);
+                executed_.fetch_add(1);
+                executed = true;
+            }
+        } catch (const std::exception &e) {
+            ok = false;
+            error = e.what();
+            warn("service cell %s [%s] failed: %s",
+                 cell.workload.c_str(), cell.method.c_str(), e.what());
+        }
+        finishJobs(queue_.complete(*task, ok, error, executed));
+    }
+}
+
+batch::CacheKey
+BatchService::workloadIdentityFor(std::uint64_t job,
+                                  const std::string &spec)
+{
+    {
+        std::lock_guard<std::mutex> lock(identity_mutex_);
+        const auto jt = identities_.find(job);
+        if (jt != identities_.end()) {
+            const auto it = jt->second.find(spec);
+            if (it != jt->second.end())
+                return it->second;
+        }
+    }
+    // Digest outside the lock — big traces must not serialize every
+    // worker behind one file read.
+    const batch::CacheKey id = batch::workloadIdentity(spec);
+    std::lock_guard<std::mutex> lock(identity_mutex_);
+    return identities_[job].try_emplace(spec, id).first->second;
+}
+
+void
+BatchService::finishJobs(const std::vector<FinishedJob> &finished)
+{
+    for (const auto &job : finished) {
+        {
+            // The job's workload-identity memo dies with it.
+            std::lock_guard<std::mutex> lock(identity_mutex_);
+            identities_.erase(job.status.id);
+        }
+        // Mirror batch_run's per-invocation counters: one job = one
+        // logical "run" against the shared cache.
+        cache_.recordRun(job.executed, job.cached);
+        if (config_.verbose)
+            std::fprintf(stderr,
+                         "[service] job %llu %s: executed=%llu "
+                         "cached=%llu failed=%zu\n",
+                         (unsigned long long)job.status.id,
+                         job.status.state(),
+                         (unsigned long long)job.executed,
+                         (unsigned long long)job.cached,
+                         job.status.failed);
+
+        if (job.spool_path.empty())
+            continue;
+        if (job.status.failed > 0)
+            watcher_->moveFailed(job.spool_path,
+                                 job.status.first_error);
+        else
+            watcher_->moveDone(job.spool_path);
+    }
+}
+
+protocol::Reply
+BatchService::handle(const protocol::Request &request)
+{
+    switch (request.op) {
+      case protocol::Opcode::Submit:
+        return handleSubmit(request.body);
+      case protocol::Opcode::Status:
+        return handleStatus(request.body);
+      case protocol::Opcode::Result:
+        return handleResult(request.body);
+      case protocol::Opcode::Stats:
+        return handleStats();
+      case protocol::Opcode::Shutdown: {
+        // The drain starts only after "ok" is on the wire (see
+        // Reply::after_send) — the shutdown client must always get
+        // its acknowledgment.
+        protocol::Reply reply{true, "ok\n", nullptr};
+        reply.after_send = [this] { requestShutdown(); };
+        return reply;
+      }
+    }
+    return protocol::Reply::error("unhandled opcode");
+}
+
+protocol::Reply
+BatchService::handleSubmit(const std::string &body)
+{
+    if (body.size() < 4)
+        throw ServiceError("SUBMIT: missing priority prefix");
+    const std::uint32_t raw_priority = le::getU32(
+        reinterpret_cast<const std::uint8_t *>(body.data()));
+    // Keep client priorities in a sane band below nothing and above
+    // everything the spool uses.
+    const int priority = int(std::min(raw_priority, 1000u));
+    const std::string text = body.substr(4);
+
+    const auto plan = batch::BatchPlan::fromManifestText(text, "submit");
+    const std::uint64_t id =
+        queue_.addJob(plan, "socket", JobSource::Socket, priority);
+    if (config_.verbose)
+        std::fprintf(stderr, "[service] submit -> job %llu (%zu cells)\n",
+                     (unsigned long long)id, plan.cells().size());
+
+    std::ostringstream os;
+    os << "job=" << id << " cells=" << plan.cells().size() << "\n";
+    return protocol::Reply::success(os.str());
+}
+
+namespace
+{
+
+void
+appendJobLine(std::ostringstream &os, const JobStatus &job)
+{
+    os << "job=" << job.id << " state=" << job.state()
+       << " cells=" << job.cells << " done=" << job.done
+       << " failed=" << job.failed << " priority=" << job.priority
+       << " source="
+       << (job.source == JobSource::Socket ? "socket" : "spool")
+       << " name=" << job.name << "\n";
+    if (!job.first_error.empty())
+        os << "  error: " << job.first_error << "\n";
+}
+
+} // namespace
+
+protocol::Reply
+BatchService::handleStatus(const std::string &body)
+{
+    std::ostringstream os;
+    if (!body.empty()) {
+        const std::uint64_t id = batch::parseCount(body);
+        const auto job = queue_.job(id);
+        if (!job)
+            return protocol::Reply::error("unknown job " + body);
+        appendJobLine(os, *job);
+        return protocol::Reply::success(os.str());
+    }
+
+    const auto c = queue_.counters();
+    os << "jobs=" << c.jobs_submitted
+       << " completed=" << c.jobs_completed
+       << " job_failures=" << c.jobs_failed
+       << " queue_depth=" << c.queue_depth << " running=" << c.running
+       << " cells_enqueued=" << c.cells_enqueued
+       << " cells_deduped=" << c.cells_deduped
+       << " cells_executed=" << executed_.load()
+       << " cells_cached=" << cache_hits_.load() << "\n";
+    for (const auto &job : queue_.jobs())
+        appendJobLine(os, job);
+    return protocol::Reply::success(os.str());
+}
+
+protocol::Reply
+BatchService::handleResult(const std::string &body)
+{
+    const batch::CacheKey key = batch::CacheKey::fromHex(body);
+    auto bytes = cache_.loadBytes(key);
+    if (!bytes)
+        return protocol::Reply::error("no cached result for key " +
+                                      body);
+    return protocol::Reply::success(std::move(*bytes));
+}
+
+protocol::Reply
+BatchService::handleStats()
+{
+    const auto stats = cache_.stats();
+    const auto c = queue_.counters();
+    std::ostringstream os;
+    os << "last_run_executed=" << stats.last_run_executed
+       << " last_run_cached=" << stats.last_run_cached
+       << " total_executed=" << stats.total_executed
+       << " total_cached=" << stats.total_cached << "\n"
+       << "cells_executed=" << executed_.load()
+       << " cells_cached=" << cache_hits_.load()
+       << " cells_enqueued=" << c.cells_enqueued
+       << " cells_deduped=" << c.cells_deduped
+       << " queue_depth=" << c.queue_depth << " running=" << c.running
+       << " jobs=" << c.jobs_submitted
+       << " completed=" << c.jobs_completed
+       << " job_failures=" << c.jobs_failed << " spool_processed="
+       << (watcher_ ? watcher_->processed() : 0) << "\n";
+    return protocol::Reply::success(os.str());
+}
+
+} // namespace delorean::service

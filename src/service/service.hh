@@ -1,0 +1,143 @@
+/**
+ * @file
+ * BatchService: the long-running batch daemon.
+ *
+ * PR 3's `batch_run` is one-shot: parse a plan, run its cells, exit —
+ * fine for a laptop sweep, wasteful at fleet scale where thousands of
+ * (workload, config, method) cells arrive continuously and most of
+ * them are already cached. The service keeps the machinery resident
+ * and accepts work from two directions:
+ *
+ *  - a spool directory watched by ManifestWatcher (drop a `.plan`
+ *    file, collect it from `done/`), for bulk producers;
+ *  - a Unix-domain socket speaking DLRNSRV1 (service/protocol.hh),
+ *    for interactive clients (`tools/batch_service`).
+ *
+ * Both feed one JobQueue whose tasks drain on a PR-1 ThreadPool: each
+ * worker thread loops pop → consult ResultCache → simulate on miss →
+ * store → fan completion out to every attached job. All PR-3/PR-4
+ * guarantees carry over unchanged, because the service reuses the same
+ * BatchRunner::runCell, the same content keys and the same result
+ * serialization: a RESULT fetch returns bytes that parse into a
+ * MethodResult equal (operator==, doubles bitwise) to a local run,
+ * with the producing run's measured phase timings riding along.
+ *
+ * Shutdown (SHUTDOWN request or requestShutdown()) is graceful: stop
+ * accepting, stop scanning, abandon queued-but-unstarted tasks (their
+ * manifests stay in the spool for the next serve), finish in-flight
+ * cells and store their results before run() returns.
+ */
+
+#ifndef DELOREAN_SERVICE_SERVICE_HH
+#define DELOREAN_SERVICE_SERVICE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "batch/result_cache.hh"
+#include "service/protocol.hh"
+#include "service/queue.hh"
+#include "service/watcher.hh"
+
+namespace delorean::service
+{
+
+struct ServiceConfig
+{
+    std::string socket_path;    //!< required
+    std::string spool_dir;      //!< empty = no manifest watcher
+    std::string cache_dir;      //!< empty = ResultCache::defaultDir()
+    unsigned threads = 1;       //!< worker count (0 = hardware)
+    unsigned poll_ms = 200;     //!< spool scan period
+    bool verbose = false;       //!< per-event progress on stderr
+};
+
+/**
+ * Spool pickups enqueue below protocol::default_submit_priority so
+ * interactive submits overtake bulk work.
+ */
+constexpr int spool_priority = 0;
+
+class BatchService
+{
+  public:
+    /**
+     * Validate the config and open the cache. Throws ServiceError /
+     * BatchError on an empty socket path or unusable directories.
+     */
+    explicit BatchService(ServiceConfig config);
+
+    /**
+     * Serve until shutdown: start workers, watcher and server, block,
+     * then drain. Callable once per instance.
+     */
+    void run();
+
+    /** Trigger the same graceful shutdown a SHUTDOWN request does. */
+    void requestShutdown();
+
+    /** The queue's counters (testing / STATS). */
+    JobQueue::Counters counters() const { return queue_.counters(); }
+
+    /** Cells this process simulated / served from cache (lifetime). */
+    std::uint64_t cellsExecuted() const { return executed_.load(); }
+    std::uint64_t cellsFromCache() const { return cache_hits_.load(); }
+
+    const batch::ResultCache &cache() const { return cache_; }
+
+  private:
+    /**
+     * Dispatch one request. Called concurrently from the server's
+     * connection threads; everything it touches (queue, cache,
+     * atomics, watcher counters) is thread-safe by construction.
+     */
+    protocol::Reply handle(const protocol::Request &request);
+
+    protocol::Reply handleSubmit(const std::string &body);
+    protocol::Reply handleStatus(const std::string &body);
+    protocol::Reply handleResult(const std::string &body);
+    protocol::Reply handleStats();
+
+    /** Worker-thread body: pop/execute/complete until closed. */
+    void drainLoop();
+
+    /**
+     * Execution-time identity of a file-backed workload, memoized per
+     * owning job — the same once-per-plan cost BatchRunner::run pays
+     * for its mid-run re-record guard, instead of re-digesting a big
+     * trace for every executed cell of a multi-config job. Entries
+     * die with the job, so the daemon's guard window stays job-sized.
+     */
+    batch::CacheKey workloadIdentityFor(std::uint64_t job,
+                                        const std::string &spec);
+
+    /** Act on jobs that just completed (spool moves, run counters). */
+    void finishJobs(const std::vector<FinishedJob> &finished);
+
+    ServiceConfig config_;
+    batch::ResultCache cache_;
+    JobQueue queue_;
+    std::unique_ptr<ManifestWatcher> watcher_; //!< null without spool
+
+    std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> cache_hits_{0};
+
+    std::mutex shutdown_mutex_;
+    std::condition_variable shutdown_cv_;
+    bool shutdown_ = false;
+
+    /** Per-job workload identities (guarded by identity_mutex_). */
+    std::mutex identity_mutex_;
+    std::unordered_map<std::uint64_t,
+                       std::unordered_map<std::string, batch::CacheKey>>
+        identities_;
+};
+
+} // namespace delorean::service
+
+#endif // DELOREAN_SERVICE_SERVICE_HH

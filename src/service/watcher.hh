@@ -1,0 +1,122 @@
+/**
+ * @file
+ * ManifestWatcher: spool-directory polling for the batch service.
+ *
+ * The watcher turns a directory into a drop-box: writing
+ * `<spool>/anything.plan` (batch/plan.hh manifest format) submits that
+ * plan exactly as a socket SUBMIT would. Detection is pure polling —
+ * stat + content digest, no inotify dependency — so the spool can live
+ * on NFS or any other filesystem without native change notification:
+ *
+ *  1. a `.plan` file is a *candidate* when its (mtime, size) pair is
+ *     unchanged across two consecutive scans (a writer still appending
+ *     moves the pair every scan, so half-written manifests are never
+ *     picked up — writers need no rename discipline, though
+ *     write-to-temp + rename into the spool remains the sharpest
+ *     hand-off);
+ *  2. a stable candidate is read and content-digested; it is picked up
+ *     only when the digest differs from the last digest this watcher
+ *     processed at that path, so a manifest that failed to move away
+ *     (e.g. spool permissions) is not resubmitted every poll —
+ *     mtime+digest, not mtime alone, is the change test;
+ *  3. a picked-up manifest parses into a BatchPlan. Parse failures move
+ *     the file to `<spool>/failed/` next to a `<name>.err` diagnostic;
+ *     successful plans are handed to the caller, which enqueues them
+ *     and — once every cell completed — moves the file to
+ *     `<spool>/done/` (or `failed/` if any cell failed) via
+ *     moveDone/moveFailed. Name collisions in done/failed get a
+ *     numeric suffix rather than overwriting history.
+ *
+ * scan() performs exactly one poll pass and returns the manifests that
+ * became ready, which makes the whole lifecycle unit-testable without
+ * threads or sleeps; the service runs scan() on a timer thread. All
+ * methods are thread-safe: moveDone/moveFailed arrive from worker
+ * threads when a spool job's last cell completes, concurrently with
+ * the polling thread's scan().
+ */
+
+#ifndef DELOREAN_SERVICE_WATCHER_HH
+#define DELOREAN_SERVICE_WATCHER_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "batch/plan.hh"
+
+namespace delorean::service
+{
+
+/** One manifest ready to enqueue. */
+struct SpoolPickup
+{
+    std::string path;      //!< full path inside the spool
+    std::string name;      //!< file name (job display name)
+    batch::BatchPlan plan; //!< parsed, keys computed
+};
+
+class ManifestWatcher
+{
+  public:
+    /**
+     * Watch @p spool_dir, creating it (plus done/ and failed/) if
+     * needed. Throws ServiceError when a directory cannot be created.
+     */
+    explicit ManifestWatcher(const std::string &spool_dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * One poll pass over the spool. Never throws for per-file trouble:
+     * malformed manifests are moved to failed/ with a diagnostic, and
+     * files that vanish mid-scan are skipped.
+     */
+    std::vector<SpoolPickup> scan();
+
+    /** Move a completed manifest to done/ (collision-safe). */
+    void moveDone(const std::string &path);
+
+    /**
+     * Move a manifest to failed/ and write `<name>.err` beside it
+     * containing @p error.
+     */
+    void moveFailed(const std::string &path, const std::string &error);
+
+    /** Spool files processed (picked up or failed) so far. */
+    std::uint64_t processed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return processed_;
+    }
+
+  private:
+    /**
+     * Stability is implicit: a file is a pickup candidate when a scan
+     * observes the same (mtime_ns, size) it recorded before — the
+     * mtime_ns = -1 initial value can never match a real stat, so the
+     * first sighting only registers.
+     */
+    struct Entry
+    {
+        std::int64_t mtime_ns = -1;
+        std::uint64_t size = 0;
+        bool in_flight = false;       //!< picked up, job not done yet
+        std::optional<std::uint64_t> processed_digest;
+    };
+
+    /** Move into a subdir; caller holds mutex_. Never throws. */
+    void moveLocked(const std::string &path, const std::string &subdir,
+                    const std::string *error);
+
+    mutable std::mutex mutex_;
+    std::string dir_;
+    std::map<std::string, Entry> entries_; //!< keyed by file name
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace delorean::service
+
+#endif // DELOREAN_SERVICE_WATCHER_HH

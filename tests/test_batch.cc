@@ -14,6 +14,7 @@
 
 #include <unistd.h>
 
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -574,6 +575,106 @@ TEST(ResultCache, GcReclaimsOrphanedTempFiles)
     EXPECT_TRUE(cache.contains(key));
     EXPECT_FALSE(std::filesystem::exists(
         dir.path + "/" + key.hex() + ".res.tmp.12345.0"));
+}
+
+// The re-submission contract, CLI path: the same manifest *content* —
+// whether from the same file or a byte-identical copy at another path
+// — expands to the same content keys, so a second BatchRunner::run
+// executes zero cells and serves everything from the cache. (The
+// batch service pins the same contract over its socket in
+// tests/test_service.cc.)
+TEST(Runner, SameManifestContentResubmittedExecutesZero)
+{
+    const std::string text = "workload bzip2\n"
+                             "config c llc=2MiB\n"
+                             "schedule s spacing=200000 regions=2\n"
+                             "methods delorean\n";
+    TempPath first("resub_a"), second("resub_b"), dir("resub_cache");
+    writeFile(first.path, text);
+    writeFile(second.path, text);
+
+    BatchOptions opt;
+    opt.cache_dir = dir.path;
+
+    const auto cold =
+        BatchRunner::run(BatchPlan::fromManifest(first.path), opt);
+    EXPECT_EQ(cold.executed, 1u);
+    EXPECT_EQ(cold.cache_hits, 0u);
+
+    const auto warm =
+        BatchRunner::run(BatchPlan::fromManifest(second.path), opt);
+    EXPECT_EQ(warm.executed, 0u);
+    EXPECT_EQ(warm.cache_hits, 1u);
+    EXPECT_EQ(warm.outcomes[0].result, cold.outcomes[0].result);
+
+    const auto stats = ResultCache(dir.path).stats();
+    EXPECT_EQ(stats.last_run_executed, 0u);
+    EXPECT_EQ(stats.last_run_cached, 1u);
+}
+
+TEST(Manifest, TextAndFileParsingAgree)
+{
+    const std::string text = "workload bzip2\n"
+                             "config c llc=2MiB\n"
+                             "schedule s spacing=200000 regions=2\n"
+                             "methods smarts,delorean\n";
+    TempPath m("text_vs_file");
+    writeFile(m.path, text);
+
+    const auto from_file = BatchPlan::fromManifest(m.path);
+    const auto from_text = BatchPlan::fromManifestText(text, "inline");
+    ASSERT_EQ(from_text.cells().size(), from_file.cells().size());
+    for (std::size_t i = 0; i < from_text.cells().size(); ++i)
+        EXPECT_EQ(from_text.cells()[i].key, from_file.cells()[i].key);
+
+    // Diagnostics carry the caller's label instead of a path.
+    try {
+        (void)BatchPlan::fromManifestText("frobnicate\n", "submit#7");
+        FAIL() << "malformed text accepted";
+    } catch (const BatchError &e) {
+        EXPECT_NE(std::string(e.what()).find("submit#7"),
+                  std::string::npos);
+    }
+}
+
+TEST(CacheKey, HexRoundTripAndRejects)
+{
+    const CacheKey key = cellKey("bzip2", "delorean", tinyConfig());
+    EXPECT_EQ(CacheKey::fromHex(key.hex()), key);
+
+    std::string upper = key.hex();
+    for (auto &c : upper)
+        c = char(std::toupper((unsigned char)c));
+    EXPECT_EQ(CacheKey::fromHex(upper), key);
+
+    EXPECT_THROW((void)CacheKey::fromHex(""), BatchError);
+    EXPECT_THROW((void)CacheKey::fromHex("abc"), BatchError);
+    EXPECT_THROW((void)CacheKey::fromHex(key.hex() + "0"), BatchError);
+    std::string bad = key.hex();
+    bad[7] = 'g';
+    EXPECT_THROW((void)CacheKey::fromHex(bad), BatchError);
+}
+
+TEST(ResultCache, LoadBytesMatchesSerializationAndRejectsCorrupt)
+{
+    TempPath dir("loadbytes");
+    const ResultCache cache(dir.path);
+    const CacheKey key = cellKey("bzip2", "delorean", tinyConfig());
+    EXPECT_FALSE(cache.loadBytes(key).has_value());
+
+    const auto result = tinyResult();
+    cache.store(key, result);
+    std::ostringstream os(std::ios::binary);
+    writeMethodResult(os, result);
+    const auto bytes = cache.loadBytes(key);
+    ASSERT_TRUE(bytes.has_value());
+    EXPECT_EQ(*bytes, os.str()); // what the service streams to clients
+
+    // Corruption is a validated miss, exactly like load().
+    writeFile(dir.path + "/" + key.hex() + ".res", "garbage");
+    setLogQuiet(true);
+    EXPECT_FALSE(cache.loadBytes(key).has_value());
+    setLogQuiet(false);
 }
 
 TEST(Runner, NoCacheModeWritesNothing)

@@ -1,0 +1,712 @@
+/**
+ * @file
+ * Tests for the batch service (src/service/): DLRNSRV1 frame protocol
+ * (round trip, malformed-input rejection), the priority JobQueue
+ * (ordering, in-flight dedupe, close semantics), the spool
+ * ManifestWatcher (stability gate, pickup, failure handling — all via
+ * manual scan() calls, no timing dependence), and the end-to-end
+ * daemon: a SUBMIT → STATUS → RESULT round trip over a real Unix
+ * socket is bit-identical (MethodResult::operator==) to a direct
+ * serial BatchRunner run, concurrent submitters of the same plan
+ * execute each cell once, and re-submitting the same manifest content
+ * executes zero cells.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/units.hh"
+#include "batch/result_io.hh"
+#include "batch/runner.hh"
+#include "service/client.hh"
+#include "service/queue.hh"
+#include "service/server.hh"
+#include "service/service.hh"
+#include "service/watcher.hh"
+#include "workload/trace_io.hh"
+#include "workload/trace_registry.hh"
+
+namespace
+{
+
+using namespace delorean;
+using namespace delorean::service;
+namespace proto = delorean::service::protocol;
+
+// ------------------------------------------------------------- helpers
+
+/** Unique temp path, removed (recursively) on scope exit. */
+struct TempPath
+{
+    std::string path;
+    ::pid_t owner;
+
+    explicit TempPath(const std::string &tag) : owner(::getpid())
+    {
+        static int counter = 0;
+        const auto dir = std::filesystem::temp_directory_path();
+        path = (dir / ("delorean_service_" + tag + "_" +
+                       std::to_string(owner) + "_" +
+                       std::to_string(counter++)))
+                   .string();
+    }
+
+    ~TempPath()
+    {
+        if (::getpid() != owner)
+            return;
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+};
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << text;
+}
+
+/** The tiny manifest every end-to-end test runs (fast under ASan). */
+constexpr const char *tiny_manifest =
+    "workload bzip2\n"
+    "config c llc=2MiB\n"
+    "schedule s spacing=200000 regions=2\n"
+    "methods delorean\n";
+
+/** A 2-cell flavour for multi-cell checks. */
+constexpr const char *two_cell_manifest =
+    "workload bzip2\n"
+    "config small llc=2MiB\n"
+    "config big llc=8MiB\n"
+    "schedule s spacing=200000 regions=2\n"
+    "methods delorean\n";
+
+batch::BatchPlan
+tinyPlan(const char *text = tiny_manifest)
+{
+    return batch::BatchPlan::fromManifestText(text, "test");
+}
+
+/** Both ends of a socketpair, closed on scope exit. */
+struct FdPair
+{
+    int fds[2] = {-1, -1};
+
+    FdPair()
+    {
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    }
+
+    ~FdPair()
+    {
+        for (const int fd : fds)
+            if (fd >= 0)
+                ::close(fd);
+    }
+};
+
+/**
+ * A BatchService running on its own thread against temp directories,
+ * joined (via client SHUTDOWN or requestShutdown) on scope exit.
+ */
+struct ServiceFixture
+{
+    TempPath root{"svc"};
+    ServiceConfig config;
+    std::unique_ptr<BatchService> service;
+    std::thread runner;
+
+    explicit ServiceFixture(bool with_spool = false)
+    {
+        std::filesystem::create_directories(root.path);
+        config.socket_path = root.path + "/srv.sock";
+        config.cache_dir = root.path + "/cache";
+        if (with_spool)
+            config.spool_dir = root.path + "/spool";
+        config.threads = 2;
+        config.poll_ms = 20; // fast spool polls keep tests snappy
+        service = std::make_unique<BatchService>(config);
+        runner = std::thread([this] { service->run(); });
+        waitFor([&] { return ServiceClient::ping(config.socket_path); },
+                "socket to come up");
+    }
+
+    ~ServiceFixture()
+    {
+        service->requestShutdown();
+        runner.join();
+    }
+
+    /** Poll @p done (with a generous deadline: CI + ASan are slow). */
+    static void waitFor(const std::function<bool()> &done,
+                        const char *what)
+    {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(120);
+        while (!done()) {
+            ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+                << "timed out waiting for " << what;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+    }
+};
+
+// ------------------------------------------------------------- protocol
+
+TEST(Protocol, RequestAndReplyRoundTrip)
+{
+    FdPair pair;
+    proto::Request request;
+    request.op = proto::Opcode::Submit;
+    request.body = std::string("priority") + '\0' + "and text";
+    proto::writeRequest(pair.fds[0], request);
+
+    const auto got = proto::readRequest(pair.fds[1]);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->op, proto::Opcode::Submit);
+    EXPECT_EQ(got->body, request.body);
+
+    proto::writeReply(pair.fds[1], proto::Reply::success("payload"));
+    const auto reply = proto::readReply(pair.fds[0]);
+    EXPECT_TRUE(reply.ok);
+    EXPECT_EQ(reply.body, "payload");
+
+    proto::writeReply(pair.fds[1], proto::Reply::error("boom"));
+    const auto error = proto::readReply(pair.fds[0]);
+    EXPECT_FALSE(error.ok);
+    EXPECT_EQ(error.body, "boom");
+}
+
+TEST(Protocol, CleanEofBetweenFramesIsHangupNotError)
+{
+    FdPair pair;
+    ::close(pair.fds[0]);
+    pair.fds[0] = -1;
+    EXPECT_FALSE(proto::readRequest(pair.fds[1]).has_value());
+}
+
+TEST(Protocol, RejectsMalformedFrames)
+{
+    // Bad magic.
+    {
+        FdPair pair;
+        proto::writeAll(pair.fds[0], "DLRNTRC1\0\0\0\0\0\0\0\0", 16);
+        EXPECT_THROW((void)proto::readRequest(pair.fds[1]),
+                     ServiceError);
+    }
+    // Unknown opcode.
+    {
+        FdPair pair;
+        std::uint8_t frame[16] = {};
+        std::memcpy(frame, proto::magic, 8);
+        frame[8] = 0x7f; // opcode 127
+        proto::writeAll(pair.fds[0], frame, sizeof(frame));
+        EXPECT_THROW((void)proto::readRequest(pair.fds[1]),
+                     ServiceError);
+    }
+    // Oversized body length: must throw before allocating it.
+    {
+        FdPair pair;
+        std::uint8_t frame[16] = {};
+        std::memcpy(frame, proto::magic, 8);
+        frame[8] = 2; // STATUS
+        frame[12] = frame[13] = frame[14] = frame[15] = 0xff;
+        proto::writeAll(pair.fds[0], frame, sizeof(frame));
+        EXPECT_THROW((void)proto::readRequest(pair.fds[1]),
+                     ServiceError);
+    }
+    // Truncated body: header promises more bytes than ever arrive.
+    {
+        FdPair pair;
+        std::uint8_t frame[16] = {};
+        std::memcpy(frame, proto::magic, 8);
+        frame[8] = 1;  // SUBMIT
+        frame[12] = 8; // body length 8, but we send nothing more
+        proto::writeAll(pair.fds[0], frame, sizeof(frame));
+        ::close(pair.fds[0]);
+        pair.fds[0] = -1;
+        EXPECT_THROW((void)proto::readRequest(pair.fds[1]),
+                     ServiceError);
+    }
+    // Reply truncated mid-header.
+    {
+        FdPair pair;
+        proto::writeAll(pair.fds[0], proto::magic, 8);
+        ::close(pair.fds[0]);
+        pair.fds[0] = -1;
+        EXPECT_THROW((void)proto::readReply(pair.fds[1]),
+                     ServiceError);
+    }
+}
+
+// ------------------------------------------------------------ job queue
+
+TEST(Queue, PriorityThenFifoOrder)
+{
+    JobQueue queue;
+    const auto plan_a = tinyPlan();         // 1 cell (llc=2MiB)
+    const auto plan_b = tinyPlan(
+        "workload bzip2\n"
+        "config c llc=4MiB\n"
+        "schedule s spacing=200000 regions=2\n");
+    const auto plan_c = tinyPlan(
+        "workload bzip2\n"
+        "config c llc=8MiB\n"
+        "schedule s spacing=200000 regions=2\n");
+
+    const auto low = queue.addJob(plan_a, "low", JobSource::Spool, 0);
+    const auto mid = queue.addJob(plan_b, "mid", JobSource::Spool, 0);
+    const auto high =
+        queue.addJob(plan_c, "high", JobSource::Socket, 10);
+
+    // Highest priority first; FIFO within equal priority.
+    const auto t1 = queue.pop();
+    const auto t2 = queue.pop();
+    const auto t3 = queue.pop();
+    ASSERT_TRUE(t1 && t2 && t3);
+    EXPECT_EQ(t1->jobs, std::vector<std::uint64_t>{high});
+    EXPECT_EQ(t2->jobs, std::vector<std::uint64_t>{low});
+    EXPECT_EQ(t3->jobs, std::vector<std::uint64_t>{mid});
+
+    for (const auto *t : {&*t1, &*t2, &*t3})
+        (void)queue.complete(*t, true, "", true);
+    EXPECT_EQ(queue.counters().jobs_completed, 3u);
+}
+
+TEST(Queue, ConcurrentKeysDedupeToOneTask)
+{
+    JobQueue queue;
+    const auto plan = tinyPlan();
+    const auto a = queue.addJob(plan, "a", JobSource::Socket, 10);
+    const auto b = queue.addJob(plan, "b", JobSource::Socket, 10);
+
+    // Identical content: one task, two attached jobs.
+    auto counters = queue.counters();
+    EXPECT_EQ(counters.cells_enqueued, 1u);
+    EXPECT_EQ(counters.cells_deduped, 1u);
+
+    auto task = queue.pop();
+    ASSERT_TRUE(task.has_value());
+
+    // Dedupe also applies while the task is *running* (popped but not
+    // completed): a third submitter attaches to the in-flight task.
+    const auto c = queue.addJob(plan, "c", JobSource::Socket, 10);
+    EXPECT_EQ(queue.counters().cells_deduped, 2u);
+
+    const auto finished = queue.complete(*task, true, "", true);
+    ASSERT_EQ(finished.size(), 3u);
+    for (const auto &job : finished) {
+        EXPECT_TRUE(job.status.complete());
+        EXPECT_EQ(job.status.failed, 0u);
+    }
+    // Exactly one of the three owns the execution.
+    std::uint64_t executed = 0, cached = 0;
+    for (const auto &job : finished) {
+        executed += job.executed;
+        cached += job.cached;
+    }
+    EXPECT_EQ(executed, 1u);
+    EXPECT_EQ(cached, 2u);
+
+    for (const auto id : {a, b, c})
+        EXPECT_TRUE(queue.job(id)->complete());
+}
+
+TEST(Queue, FailureFansOutToEveryAttachedJob)
+{
+    JobQueue queue;
+    const auto plan = tinyPlan();
+    (void)queue.addJob(plan, "a", JobSource::Socket, 0);
+    (void)queue.addJob(plan, "b", JobSource::Spool, 0);
+
+    auto task = queue.pop();
+    ASSERT_TRUE(task.has_value());
+    const auto finished =
+        queue.complete(*task, false, "cell exploded", false);
+    ASSERT_EQ(finished.size(), 2u);
+    for (const auto &job : finished) {
+        EXPECT_STREQ(job.status.state(), "failed");
+        EXPECT_EQ(job.status.first_error, "cell exploded");
+    }
+    EXPECT_EQ(queue.counters().jobs_failed, 2u);
+}
+
+TEST(Queue, CloseAbandonsQueuedAndUnblocksPop)
+{
+    JobQueue queue;
+    (void)queue.addJob(tinyPlan(), "a", JobSource::Socket, 0);
+
+    std::thread blocked([&] {
+        // Drain the one queued task, then block until close().
+        auto task = queue.pop();
+        ASSERT_TRUE(task.has_value());
+        (void)queue.complete(*task, true, "", true);
+        EXPECT_FALSE(queue.pop().has_value());
+    });
+    // Give the thread time to reach the blocking pop, then close.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    queue.close();
+    blocked.join();
+
+    EXPECT_TRUE(queue.closed());
+    EXPECT_THROW(
+        (void)queue.addJob(tinyPlan(), "late", JobSource::Socket, 0),
+        ServiceError);
+    EXPECT_EQ(queue.counters().queue_depth, 0u);
+}
+
+TEST(Queue, FinishedJobHistoryIsBounded)
+{
+    // A long-running daemon must not grow job records forever: only
+    // the newest max_finished_jobs completed jobs are queryable.
+    JobQueue queue;
+    const auto plan = tinyPlan();
+    const std::size_t total = JobQueue::max_finished_jobs + 50;
+    std::uint64_t first = 0, last = 0;
+    for (std::size_t i = 0; i < total; ++i) {
+        last = queue.addJob(plan, "j", JobSource::Socket, 0);
+        if (first == 0)
+            first = last;
+    }
+
+    // All cells share one content key: one task, `total` attached
+    // jobs, one completion finishing all of them at once.
+    auto task = queue.pop();
+    ASSERT_TRUE(task.has_value());
+    const auto finished = queue.complete(*task, true, "", true);
+    EXPECT_EQ(finished.size(), total);
+
+    // The oldest 50 fell off; the newest max_finished_jobs remain.
+    EXPECT_FALSE(queue.job(first).has_value());
+    ASSERT_TRUE(queue.job(last).has_value());
+    EXPECT_TRUE(queue.job(last)->complete());
+    EXPECT_EQ(queue.jobs().size(), JobQueue::max_finished_jobs);
+    // Lifetime counters are unaffected by eviction.
+    EXPECT_EQ(queue.counters().jobs_completed, total);
+}
+
+// -------------------------------------------------------------- watcher
+
+TEST(Watcher, PicksUpStableManifestsOnly)
+{
+    TempPath spool("spool");
+    ManifestWatcher watcher(spool.path);
+
+    writeFile(spool.path + "/job.plan", tiny_manifest);
+    // First sight registers the file; nothing is ready yet (it could
+    // still be mid-write).
+    EXPECT_TRUE(watcher.scan().empty());
+    // Second scan: (mtime, size) unchanged -> stable -> picked up.
+    auto ready = watcher.scan();
+    ASSERT_EQ(ready.size(), 1u);
+    EXPECT_EQ(ready[0].name, "job.plan");
+    EXPECT_EQ(ready[0].plan.cells().size(), 1u);
+
+    // In-flight: not picked up again while the job runs.
+    EXPECT_TRUE(watcher.scan().empty());
+
+    watcher.moveDone(ready[0].path);
+    EXPECT_TRUE(
+        std::filesystem::exists(spool.path + "/done/job.plan"));
+    EXPECT_FALSE(std::filesystem::exists(ready[0].path));
+    EXPECT_TRUE(watcher.scan().empty());
+    EXPECT_EQ(watcher.processed(), 1u);
+}
+
+TEST(Watcher, NonPlanFilesAreIgnored)
+{
+    TempPath spool("spool_ignore");
+    ManifestWatcher watcher(spool.path);
+    writeFile(spool.path + "/notes.txt", "not a manifest");
+    writeFile(spool.path + "/.plan", "suffix only");
+    EXPECT_TRUE(watcher.scan().empty());
+    EXPECT_TRUE(watcher.scan().empty());
+    EXPECT_EQ(watcher.processed(), 0u);
+}
+
+TEST(Watcher, MalformedManifestMovesToFailedWithDiagnostic)
+{
+    TempPath spool("spool_bad");
+    ManifestWatcher watcher(spool.path);
+    writeFile(spool.path + "/bad.plan", "frobnicate bzip2\n");
+
+    EXPECT_TRUE(watcher.scan().empty()); // register
+    EXPECT_TRUE(watcher.scan().empty()); // stable -> parse -> failed/
+    EXPECT_TRUE(
+        std::filesystem::exists(spool.path + "/failed/bad.plan"));
+
+    std::ifstream err(spool.path + "/failed/bad.plan.err");
+    std::string diagnostic((std::istreambuf_iterator<char>(err)),
+                           std::istreambuf_iterator<char>());
+    EXPECT_NE(diagnostic.find("unknown directive"), std::string::npos);
+    EXPECT_EQ(watcher.processed(), 1u);
+}
+
+TEST(Watcher, EditedWhileInFlightIsNotArchived)
+{
+    TempPath spool("spool_edit");
+    ManifestWatcher watcher(spool.path);
+
+    writeFile(spool.path + "/job.plan", tiny_manifest);
+    (void)watcher.scan();
+    auto ready = watcher.scan();
+    ASSERT_EQ(ready.size(), 1u);
+
+    // The manifest is edited while its job runs. Archiving would file
+    // the new, never-executed content under done/ — the move must be
+    // refused and the new content picked up on a later scan.
+    writeFile(spool.path + "/job.plan", two_cell_manifest);
+    setLogQuiet(true);
+    watcher.moveDone(ready[0].path);
+    setLogQuiet(false);
+    EXPECT_FALSE(
+        std::filesystem::exists(spool.path + "/done/job.plan"));
+    EXPECT_TRUE(std::filesystem::exists(ready[0].path));
+
+    (void)watcher.scan(); // re-stabilize the edited file
+    auto again = watcher.scan();
+    ASSERT_EQ(again.size(), 1u);
+    EXPECT_EQ(again[0].plan.cells().size(), 2u);
+    watcher.moveDone(again[0].path);
+    EXPECT_TRUE(
+        std::filesystem::exists(spool.path + "/done/job.plan"));
+}
+
+TEST(Watcher, DoneCollisionsGetNumericSuffixes)
+{
+    TempPath spool("spool_collide");
+    ManifestWatcher watcher(spool.path);
+
+    for (int round = 0; round < 2; ++round) {
+        writeFile(spool.path + "/same.plan", tiny_manifest);
+        (void)watcher.scan();
+        auto ready = watcher.scan();
+        ASSERT_EQ(ready.size(), 1u) << "round " << round;
+        watcher.moveDone(ready[0].path);
+    }
+    EXPECT_TRUE(
+        std::filesystem::exists(spool.path + "/done/same.plan"));
+    EXPECT_TRUE(
+        std::filesystem::exists(spool.path + "/done/same.plan.1"));
+}
+
+// ------------------------------------------------- service, end to end
+
+// The acceptance bar: a SUBMIT -> STATUS -> RESULT round trip over the
+// real socket parses into a MethodResult equal (operator==, doubles
+// bitwise) to a direct serial BatchRunner::runCell of the same cell.
+TEST(Service, SocketRoundTripIsBitIdenticalToDirectRun)
+{
+    const auto plan = tinyPlan(two_cell_manifest);
+    std::vector<sampling::MethodResult> direct;
+    for (const auto &cell : plan.cells())
+        direct.push_back(batch::BatchRunner::runCell(cell));
+
+    ServiceFixture fixture;
+    ServiceClient client(fixture.config.socket_path);
+    const auto info = client.submit(two_cell_manifest);
+    EXPECT_EQ(info.cells, 2u);
+
+    ServiceFixture::waitFor([&] { return client.jobDone(info.job); },
+                            "job completion");
+    EXPECT_NE(client.jobStatus(info.job).find("state=done"),
+              std::string::npos);
+
+    for (std::size_t i = 0; i < plan.cells().size(); ++i) {
+        const auto fetched = client.result(plan.cells()[i].key);
+        EXPECT_EQ(fetched, direct[i]) << "cell " << i;
+    }
+
+    // The raw bytes are the canonical serialization of the *service's*
+    // producing run: parsing and re-encoding reproduces them exactly.
+    // (Re-encoding `direct` would NOT match byte-for-byte — the
+    // measured phase timings of two separate runs differ, which is
+    // precisely why they are excluded from operator==.)
+    const std::string bytes = client.resultBytes(plan.cells()[0].key);
+    std::istringstream parse(bytes, std::ios::binary);
+    std::ostringstream reencoded(std::ios::binary);
+    batch::writeMethodResult(reencoded, batch::readMethodResult(parse));
+    EXPECT_EQ(reencoded.str(), bytes);
+}
+
+TEST(Service, ResubmittedManifestExecutesZeroCells)
+{
+    ServiceFixture fixture;
+    ServiceClient client(fixture.config.socket_path);
+
+    const auto first = client.submit(tiny_manifest);
+    ServiceFixture::waitFor([&] { return client.jobDone(first.job); },
+                            "first job");
+    EXPECT_EQ(fixture.service->cellsExecuted(), 1u);
+
+    // Same manifest content again: served entirely from the result
+    // cache, zero additional executions (the BatchPlan re-submission
+    // contract, service path).
+    const auto second = client.submit(tiny_manifest);
+    ServiceFixture::waitFor([&] { return client.jobDone(second.job); },
+                            "second job");
+    EXPECT_EQ(fixture.service->cellsExecuted(), 1u);
+    EXPECT_EQ(fixture.service->cellsFromCache(), 1u);
+
+    // recordRun happens just *after* the job flips to done; poll the
+    // stats until the second (fully cached) run is folded in.
+    ServiceFixture::waitFor(
+        [&] {
+            return client.stats().find("last_run_executed=0") !=
+                   std::string::npos;
+        },
+        "run counters to settle");
+    EXPECT_NE(client.stats().find("cells_executed=1"),
+              std::string::npos);
+}
+
+TEST(Service, ConcurrentSubmittersExecuteEachCellOnce)
+{
+    ServiceFixture fixture;
+
+    // Several clients race the same plan into a cold cache; dedupe
+    // (queue attach for in-flight cells, content cache for the rest)
+    // must keep the execution count at exactly one per distinct cell.
+    constexpr int clients = 6;
+    std::vector<std::uint64_t> jobs(clients, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            ServiceClient client(fixture.config.socket_path);
+            jobs[std::size_t(c)] = client.submit(two_cell_manifest).job;
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    ServiceClient client(fixture.config.socket_path);
+    for (const auto job : jobs) {
+        ASSERT_NE(job, 0u);
+        ServiceFixture::waitFor([&] { return client.jobDone(job); },
+                                "concurrent job");
+        EXPECT_NE(client.jobStatus(job).find("state=done"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(fixture.service->cellsExecuted(), 2u);
+}
+
+TEST(Service, SpoolManifestRunsAndMovesToDone)
+{
+    ServiceFixture fixture(/*with_spool=*/true);
+    const std::string spool = fixture.config.spool_dir;
+    writeFile(spool + "/drop.plan", tiny_manifest);
+
+    ServiceFixture::waitFor(
+        [&] {
+            return std::filesystem::exists(spool + "/done/drop.plan");
+        },
+        "spool manifest to finish");
+
+    // The result landed in the cache under the same content key a
+    // local expansion computes.
+    const auto plan = tinyPlan();
+    ServiceClient client(fixture.config.socket_path);
+    const auto fetched = client.result(plan.cells()[0].key);
+    EXPECT_EQ(fetched,
+              batch::BatchRunner::runCell(plan.cells()[0]));
+}
+
+TEST(Service, SpoolManifestWithBadCellMovesToFailed)
+{
+    ServiceFixture fixture(/*with_spool=*/true);
+    const std::string spool = fixture.config.spool_dir;
+
+    // Parses fine, but the recording is too short for the schedule:
+    // the *cell* fails at execution time, so the manifest must land in
+    // failed/ with the cell diagnostic.
+    TempPath trace("short_trace");
+    auto source = workload::makeTrace("spec:bzip2");
+    workload::recordTrace(*source, 1000, trace.path);
+    writeFile(spool + "/short.plan",
+              "workload file:" + trace.path +
+                  "\n"
+                  "config c llc=2MiB\n"
+                  "schedule s spacing=200000 regions=2\n");
+
+    setLogQuiet(true);
+    ServiceFixture::waitFor(
+        [&] {
+            return std::filesystem::exists(spool +
+                                           "/failed/short.plan");
+        },
+        "failing spool manifest");
+    setLogQuiet(false);
+    std::ifstream err(spool + "/failed/short.plan.err");
+    std::string diagnostic((std::istreambuf_iterator<char>(err)),
+                           std::istreambuf_iterator<char>());
+    EXPECT_NE(diagnostic.find("file:"), std::string::npos);
+}
+
+TEST(Service, SecondServerOnLiveSocketRefusesPromptly)
+{
+    ServiceFixture fixture;
+    // Two daemons on one socket (and so one spool/queue) would
+    // double-execute; the second must refuse. Regression: the failed
+    // start must also unwind past the already-running worker pool
+    // without deadlocking on threads blocked in the queue.
+    setLogQuiet(true);
+    BatchService second(fixture.config);
+    EXPECT_THROW(second.run(), ServiceError);
+    setLogQuiet(false);
+
+    // The incumbent is unharmed.
+    ServiceClient client(fixture.config.socket_path);
+    EXPECT_NE(client.status().find("jobs="), std::string::npos);
+}
+
+TEST(Service, ErrorRepliesForBadRequests)
+{
+    ServiceFixture fixture;
+    ServiceClient client(fixture.config.socket_path);
+
+    // Malformed manifest in SUBMIT.
+    EXPECT_THROW((void)client.submit("frobnicate bzip2\n"),
+                 ServiceError);
+    // Unknown job id.
+    EXPECT_THROW((void)client.jobStatus(999), ServiceError);
+    // RESULT for a key nobody computed.
+    batch::CacheKey missing;
+    missing.hi = 0x1234;
+    missing.lo = 0x5678;
+    EXPECT_THROW((void)client.result(missing), ServiceError);
+
+    // RESULT whose body is not a key at all (raw frame: the typed
+    // client cannot even express this). The server answers with an
+    // error reply and keeps the connection usable.
+    const int fd = connectToServer(fixture.config.socket_path);
+    proto::Request request;
+    request.op = proto::Opcode::Result;
+    request.body = "definitely-not-32-hex-digits";
+    proto::writeRequest(fd, request);
+    const auto reply = proto::readReply(fd);
+    EXPECT_FALSE(reply.ok);
+    EXPECT_NE(reply.body.find("not 32 hex digits"), std::string::npos);
+
+    request.op = proto::Opcode::Stats;
+    request.body.clear();
+    proto::writeRequest(fd, request);
+    EXPECT_TRUE(proto::readReply(fd).ok);
+    ::close(fd);
+}
+
+} // namespace

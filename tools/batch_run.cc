@@ -16,7 +16,10 @@
  * prints one TSV row (or JSON object) per cell to stdout; counters go
  * to stderr so shard outputs can be diffed. `status` reports per-cell
  * cache presence plus the cache's run counters (last_run_executed=0
- * after a fully cached run is the CI smoke check). `gc` previews the
+ * after a fully cached run is the CI smoke check); when the manifest
+ * is absent or malformed it warn()s and still reports the counters,
+ * which fleet monitors and the batch service's STATS path rely on.
+ * `gc` previews the
  * cache entries the manifest no longer references and deletes them
  * with --force (the default cache directory is shared across
  * manifests and figure benchmarks, so "unreferenced by this
@@ -39,6 +42,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <unordered_set>
@@ -46,6 +50,7 @@
 #include "base/json.hh"
 #include "base/logging.hh"
 #include "batch/error.hh"
+#include "batch/report_text.hh"
 #include "batch/runner.hh"
 #include "profiling/hotpath.hh"
 #include "workload/trace_registry.hh"
@@ -172,31 +177,6 @@ cmdPlan(const CliOptions &cli)
 }
 
 void
-printResultTsv(const BatchCell &cell, const sampling::MethodResult &r,
-               bool timings)
-{
-    std::printf("%s\t%s\t%s\t%s\t%.17g\t%.17g\t%.17g\t%.17g\t%llu\t"
-                "%llu\t%llu\t%llu\t%llu\t%llu\t%.17g",
-                cell.workload.c_str(), cell.config_name.c_str(),
-                cell.schedule_name.c_str(), cell.method.c_str(),
-                r.cpi(), r.mpki(), r.mips, r.wall_seconds,
-                (unsigned long long)r.reuse_samples,
-                (unsigned long long)r.traps,
-                (unsigned long long)r.false_positives,
-                (unsigned long long)r.keys_total,
-                (unsigned long long)r.keys_explored,
-                (unsigned long long)r.keys_unresolved,
-                r.avg_explorers);
-    if (timings) {
-        const auto &m = r.cost.measured();
-        for (std::size_t p = 0; p < profiling::hot_phase_count; ++p)
-            std::printf("\t%.17g\t%llu", m.ns[p],
-                        (unsigned long long)m.items[p]);
-    }
-    std::printf("\n");
-}
-
-void
 printResultJson(const BatchCell &cell, const sampling::MethodResult &r,
                 bool timings, bool last)
 {
@@ -242,23 +222,10 @@ cmdRun(const CliOptions &cli)
     const auto plan = BatchPlan::fromManifest(cli.manifest);
     const auto report = BatchRunner::run(plan, cli.batch);
 
-    if (cli.json) {
+    if (cli.json)
         std::printf("[\n");
-    } else {
-        std::printf("#workload\tconfig\tschedule\tmethod\tcpi\tmpki\t"
-                    "mips\twall_seconds\treuse_samples\ttraps\t"
-                    "false_positives\tkeys_total\tkeys_explored\t"
-                    "keys_unresolved\tavg_explorers");
-        if (cli.timings) {
-            for (std::size_t p = 0; p < profiling::hot_phase_count;
-                 ++p) {
-                const char *name =
-                    profiling::hotPhaseName(profiling::HotPhase(p));
-                std::printf("\t%s_ns\t%s_items", name, name);
-            }
-        }
-        std::printf("\n");
-    }
+    else
+        printResultHeaderTsv(stdout, cli.timings);
     for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
         const auto &outcome = report.outcomes[i];
         const auto &cell = plan.cells()[outcome.cell];
@@ -266,7 +233,9 @@ cmdRun(const CliOptions &cli)
             printResultJson(cell, outcome.result, cli.timings,
                             i + 1 == report.outcomes.size());
         else
-            printResultTsv(cell, outcome.result, cli.timings);
+            printResultRowTsv(stdout, cell.workload, cell.config_name,
+                              cell.schedule_name, cell.method,
+                              outcome.result, cli.timings);
     }
     if (cli.json)
         std::printf("]\n");
@@ -284,13 +253,26 @@ cmdRun(const CliOptions &cli)
 int
 cmdStatus(const CliOptions &cli)
 {
-    const auto plan = BatchPlan::fromManifest(cli.manifest);
     const ResultCache cache(cli.batch.cache_dir);
-    const std::size_t cached = printCellTable(plan, cache);
+
+    // The cache's run counters exist independently of any one plan:
+    // an absent or malformed manifest (a fleet monitor — or the batch
+    // service's STATS path — often has only the cache directory)
+    // degrades to counters-only reporting instead of erroring out.
+    std::optional<BatchPlan> plan;
+    try {
+        plan.emplace(BatchPlan::fromManifest(cli.manifest));
+    } catch (const BatchError &e) {
+        warn("%s; reporting cache counters only", e.what());
+    }
+
+    if (plan) {
+        const std::size_t cached = printCellTable(*plan, cache);
+        std::printf("cells=%zu cached=%zu missing=%zu\n",
+                    plan->cells().size(), cached,
+                    plan->cells().size() - cached);
+    }
     const auto stats = cache.stats();
-    std::printf("cells=%zu cached=%zu missing=%zu\n",
-                plan.cells().size(), cached,
-                plan.cells().size() - cached);
     std::printf("last_run_executed=%llu last_run_cached=%llu "
                 "total_executed=%llu total_cached=%llu\n",
                 (unsigned long long)stats.last_run_executed,

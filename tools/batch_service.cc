@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Long-running batch service: daemon entry point and socket client
+ * (src/service/, docs/service.md).
+ *
+ *   batch_service serve    --socket S [--spool DIR] [--cache-dir D]
+ *                          [--threads T] [--poll-ms M] [--daemon]
+ *                          [--log FILE] [--quiet]
+ *   batch_service submit   <manifest> --socket S [--priority P]
+ *                          [--wait [--timeout-s T]]
+ *   batch_service status   --socket S [--job ID]
+ *   batch_service result   <manifest> --socket S [--timings]
+ *   batch_service result-raw <key-hex> --socket S [--out FILE]
+ *   batch_service stats    --socket S
+ *   batch_service shutdown --socket S
+ *
+ * `serve` runs the daemon: a manifest watcher over the spool directory
+ * (drop `.plan` files, collect them from `done/`) plus a Unix-domain
+ * socket speaking DLRNSRV1, draining one shared priority queue into
+ * the persistent result cache. `--daemon` detaches (fork + setsid,
+ * stdio to --log or /dev/null); without it the server runs in the
+ * foreground, which is what CI and process supervisors want.
+ *
+ * `result` expands the manifest locally (the same BatchPlan expansion
+ * `batch_run` uses, so content keys match by construction), fetches
+ * every cell over the socket and prints the canonical TSV
+ * (batch/report_text.hh) — byte-identical to `batch_run run` output
+ * of the same plan iff the results are bit-identical, which the CI
+ * service-smoke job checks with a plain `diff`.
+ *
+ * `submit --wait` polls the job until it completes and exits non-zero
+ * if any cell failed, so shell pipelines can treat the service like a
+ * blocking runner.
+ */
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "base/logging.hh"
+#include "batch/error.hh"
+#include "batch/plan.hh"
+#include "batch/report_text.hh"
+#include "service/client.hh"
+#include "service/service.hh"
+
+namespace
+{
+
+using namespace delorean;
+using namespace delorean::service;
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: batch_service serve    --socket S [--spool DIR]\n"
+        "                              [--cache-dir D] [--threads T]\n"
+        "                              [--poll-ms M] [--daemon]\n"
+        "                              [--log FILE] [--quiet]\n"
+        "       batch_service submit   <manifest> --socket S\n"
+        "                              [--priority P] [--wait]\n"
+        "                              [--timeout-s T]\n"
+        "       batch_service status   --socket S [--job ID]\n"
+        "       batch_service result   <manifest> --socket S"
+        " [--timings]\n"
+        "       batch_service result-raw <key-hex> --socket S"
+        " [--out F]\n"
+        "       batch_service stats    --socket S\n"
+        "       batch_service shutdown --socket S\n");
+    std::exit(1);
+}
+
+struct CliOptions
+{
+    std::string positional; //!< manifest path or key hex
+    ServiceConfig service;
+    unsigned priority = protocol::default_submit_priority;
+    std::uint64_t job = 0;
+    bool wait = false;
+    unsigned timeout_s = 600;
+    bool timings = false;
+    bool daemonize = false;
+    std::string log_file;
+    std::string out_file;
+};
+
+unsigned
+parseUnsigned(const std::string &text, const char *what)
+{
+    try {
+        return batch::parseU32(text);
+    } catch (const batch::BatchError &) {
+        fatal("%s: expected a number, got '%s'", what, text.c_str());
+    }
+    return 0;
+}
+
+CliOptions
+parseCli(int argc, char **argv, int first)
+{
+    CliOptions cli;
+    cli.service.verbose = true;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> const char * {
+            fatal_if(i + 1 >= argc, "missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            cli.service.socket_path = next();
+        } else if (arg == "--spool") {
+            cli.service.spool_dir = next();
+        } else if (arg == "--cache-dir") {
+            cli.service.cache_dir = next();
+        } else if (arg == "--threads") {
+            cli.service.threads = parseUnsigned(next(), "--threads");
+        } else if (arg == "--poll-ms") {
+            cli.service.poll_ms = parseUnsigned(next(), "--poll-ms");
+        } else if (arg == "--priority") {
+            cli.priority = parseUnsigned(next(), "--priority");
+        } else if (arg == "--job") {
+            cli.job = parseUnsigned(next(), "--job");
+        } else if (arg == "--timeout-s") {
+            cli.timeout_s = parseUnsigned(next(), "--timeout-s");
+        } else if (arg == "--wait") {
+            cli.wait = true;
+        } else if (arg == "--timings") {
+            cli.timings = true;
+        } else if (arg == "--daemon") {
+            cli.daemonize = true;
+        } else if (arg == "--log") {
+            cli.log_file = next();
+        } else if (arg == "--out") {
+            cli.out_file = next();
+        } else if (arg == "--quiet") {
+            cli.service.verbose = false;
+        } else if (cli.positional.empty() && arg[0] != '-') {
+            cli.positional = arg;
+        } else {
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+    fatal_if(cli.service.socket_path.empty(),
+             "--socket is required (the service address)");
+    return cli;
+}
+
+/**
+ * Classic daemonization: detach from the launching terminal so `serve
+ * --daemon` survives the shell. stdout/stderr continue into --log (or
+ * /dev/null) — the service's progress lines are its logbook.
+ */
+void
+daemonize(const std::string &log_file)
+{
+    const ::pid_t pid = ::fork();
+    fatal_if(pid < 0, "fork: %s", std::strerror(errno));
+    if (pid > 0)
+        std::exit(0); // launcher returns once the daemon is off
+    fatal_if(::setsid() < 0, "setsid: %s", std::strerror(errno));
+
+    const std::string sink =
+        log_file.empty() ? "/dev/null" : log_file;
+    const int log_fd =
+        ::open(sink.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    fatal_if(log_fd < 0, "cannot open log '%s': %s", sink.c_str(),
+             std::strerror(errno));
+    const int null_fd = ::open("/dev/null", O_RDONLY);
+    fatal_if(null_fd < 0, "cannot open /dev/null: %s",
+             std::strerror(errno));
+    ::dup2(null_fd, STDIN_FILENO);
+    ::dup2(log_fd, STDOUT_FILENO);
+    ::dup2(log_fd, STDERR_FILENO);
+    ::close(null_fd);
+    ::close(log_fd);
+}
+
+int
+cmdServe(const CliOptions &cli)
+{
+    if (cli.daemonize)
+        daemonize(cli.log_file);
+    BatchService service(cli.service);
+    service.run();
+    return 0;
+}
+
+std::string
+readManifestFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    fatal_if(!is, "cannot open manifest '%s'", path.c_str());
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    return buffer.str();
+}
+
+int
+cmdSubmit(const CliOptions &cli)
+{
+    fatal_if(cli.positional.empty(), "submit: missing manifest path");
+    const std::string text = readManifestFile(cli.positional);
+
+    ServiceClient client(cli.service.socket_path);
+    const auto info = client.submit(text, cli.priority);
+    std::printf("job=%llu cells=%llu\n", (unsigned long long)info.job,
+                (unsigned long long)info.cells);
+    if (!cli.wait)
+        return 0;
+
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(cli.timeout_s);
+    while (!client.jobDone(info.job)) {
+        fatal_if(std::chrono::steady_clock::now() >= deadline,
+                 "job %llu still running after %us",
+                 (unsigned long long)info.job, cli.timeout_s);
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    const std::string line = client.jobStatus(info.job);
+    std::fputs(line.c_str(), stdout);
+    return line.find("state=done") != std::string::npos ? 0 : 2;
+}
+
+int
+cmdStatus(const CliOptions &cli)
+{
+    ServiceClient client(cli.service.socket_path);
+    std::fputs(cli.job != 0 ? client.jobStatus(cli.job).c_str()
+                            : client.status().c_str(),
+               stdout);
+    return 0;
+}
+
+int
+cmdResult(const CliOptions &cli)
+{
+    fatal_if(cli.positional.empty(), "result: missing manifest path");
+    // Expanding locally reuses the exact key recipe batch_run uses, so
+    // "the cell I ask for" and "the cell the service ran" can only be
+    // the same content.
+    const auto plan = batch::BatchPlan::fromManifest(cli.positional);
+    ServiceClient client(cli.service.socket_path);
+
+    batch::printResultHeaderTsv(stdout, cli.timings);
+    for (const auto &cell : plan.cells()) {
+        const auto result = client.result(cell.key);
+        batch::printResultRowTsv(stdout, cell.workload,
+                                 cell.config_name, cell.schedule_name,
+                                 cell.method, result, cli.timings);
+    }
+    return 0;
+}
+
+int
+cmdResultRaw(const CliOptions &cli)
+{
+    fatal_if(cli.positional.empty(), "result-raw: missing key hex");
+    const auto key = batch::CacheKey::fromHex(cli.positional);
+    ServiceClient client(cli.service.socket_path);
+    const std::string bytes = client.resultBytes(key);
+
+    if (cli.out_file.empty()) {
+        std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+        return 0;
+    }
+    std::ofstream os(cli.out_file, std::ios::binary | std::ios::trunc);
+    fatal_if(!os, "cannot write '%s'", cli.out_file.c_str());
+    os.write(bytes.data(), std::streamsize(bytes.size()));
+    fatal_if(!os.flush(), "short write to '%s'", cli.out_file.c_str());
+    return 0;
+}
+
+int
+cmdStats(const CliOptions &cli)
+{
+    ServiceClient client(cli.service.socket_path);
+    std::fputs(client.stats().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdShutdown(const CliOptions &cli)
+{
+    ServiceClient client(cli.service.socket_path);
+    client.shutdown();
+    std::printf("shutdown requested\n");
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string cmd = argv[1];
+    try {
+        const auto cli = parseCli(argc, argv, 2);
+        if (cmd == "serve")
+            return cmdServe(cli);
+        if (cmd == "submit")
+            return cmdSubmit(cli);
+        if (cmd == "status")
+            return cmdStatus(cli);
+        if (cmd == "result")
+            return cmdResult(cli);
+        if (cmd == "result-raw")
+            return cmdResultRaw(cli);
+        if (cmd == "stats")
+            return cmdStats(cli);
+        if (cmd == "shutdown")
+            return cmdShutdown(cli);
+    } catch (const std::exception &e) {
+        fatal("%s", e.what());
+    }
+    usage();
+}
