@@ -8,6 +8,8 @@
 
 #include "base/logging.hh"
 #include "base/units.hh"
+#include "batch/error.hh"
+#include "batch/plan.hh"
 #include "core/dse.hh"
 #include "workload/trace_registry.hh"
 
@@ -30,6 +32,31 @@ splitCsv(const std::string &s)
     return out;
 }
 
+// Strict parse (batch/plan.hh) with a CLI/env-flavoured fatal():
+// atoll's silent junk-to-zero would run a different schedule than
+// asked for.
+std::uint64_t
+parseCountArg(const char *text, const char *what)
+{
+    try {
+        return batch::parseCount(text);
+    } catch (const batch::BatchError &e) {
+        fatal("%s: %s", what, e.what());
+    }
+    return 0;
+}
+
+unsigned
+parseU32Arg(const char *text, const char *what)
+{
+    try {
+        return batch::parseU32(text);
+    } catch (const batch::BatchError &e) {
+        fatal("%s: %s", what, e.what());
+    }
+    return 0;
+}
+
 } // namespace
 
 Options
@@ -38,7 +65,7 @@ Options::parse(int argc, char **argv)
     Options opt;
 
     if (const char *env = std::getenv("DELOREAN_SPACING"))
-        opt.spacing = InstCount(std::atoll(env));
+        opt.spacing = parseCountArg(env, "DELOREAN_SPACING");
     if (const char *env = std::getenv("DELOREAN_QUICK")) {
         if (std::strcmp(env, "0") != 0)
             opt.spacing = 1'000'000;
@@ -53,9 +80,9 @@ Options::parse(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--spacing") {
-            opt.spacing = InstCount(std::atoll(next()));
+            opt.spacing = parseCountArg(next(), "--spacing");
         } else if (arg == "--regions") {
-            opt.regions = unsigned(std::atoi(next()));
+            opt.regions = parseU32Arg(next(), "--regions");
         } else if (arg == "--bench") {
             opt.benchmarks = splitCsv(next());
         } else if (arg == "--quick") {

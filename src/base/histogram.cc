@@ -203,6 +203,54 @@ LogHistogram::buckets() const
     return out;
 }
 
+LogHistogram::Snapshot
+LogHistogram::snapshot() const
+{
+    Snapshot snap;
+    snap.sub_buckets = sub_buckets_;
+    snap.total_weight = total_weight_;
+    for (std::size_t i = nextNonEmpty(0); i != npos;
+         i = nextNonEmpty(i + 1))
+        snap.cells.emplace_back(std::uint64_t(i), weights_[i]);
+    return snap;
+}
+
+LogHistogram
+LogHistogram::fromSnapshot(const Snapshot &snap)
+{
+    LogHistogram h(snap.sub_buckets);
+    for (const auto &[idx, weight] : snap.cells) {
+        panic_if(weight <= 0.0,
+                 "LogHistogram snapshot cell with non-positive weight");
+        if (idx >= h.weights_.size())
+            h.weights_.resize(std::size_t(idx) + 1, 0.0);
+        h.weights_[std::size_t(idx)] = weight;
+        h.markOccupied(std::size_t(idx));
+    }
+    // Restored verbatim, never recomputed: the original accumulation
+    // order is gone, and resumming would change the low bits.
+    h.total_weight_ = snap.total_weight;
+    return h;
+}
+
+bool
+LogHistogram::operator==(const LogHistogram &other) const
+{
+    if (sub_buckets_ != other.sub_buckets_ ||
+        total_weight_ != other.total_weight_)
+        return false;
+    const std::size_t n =
+        std::max(weights_.size(), other.weights_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = i < weights_.size() ? weights_[i] : 0.0;
+        const double b =
+            i < other.weights_.size() ? other.weights_[i] : 0.0;
+        if (a != b)
+            return false;
+    }
+    return true;
+}
+
 std::string
 LogHistogram::toString() const
 {

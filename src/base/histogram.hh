@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace delorean
@@ -139,6 +140,35 @@ class LogHistogram
 
     /** Human-readable dump (for debugging / stats output). */
     std::string toString() const;
+
+    /**
+     * Exact, order-independent serialization of the histogram state:
+     * the layout, the *accumulated* total weight (kept verbatim rather
+     * than recomputed — floating-point summation order would otherwise
+     * perturb it), and one (bucket index, weight) cell per bucket with
+     * weight > 0, in increasing index order. Zero-weight occupancy
+     * bits are dropped; they are conservative hints no consumer
+     * observes. fromSnapshot() round-trips to an operator==-equal
+     * histogram, which is what lets Explorer warm state persist to
+     * disk (src/checkpoint/) without breaking bit-identical resume.
+     */
+    struct Snapshot
+    {
+        unsigned sub_buckets = 8;
+        double total_weight = 0.0;
+        std::vector<std::pair<std::uint64_t, double>> cells;
+    };
+
+    Snapshot snapshot() const;
+    static LogHistogram fromSnapshot(const Snapshot &snap);
+
+    /**
+     * Exact equality: same sub-bucket layout, bitwise-identical
+     * accumulated total weight, and bitwise-identical weight in every
+     * bucket (absent cells count as 0.0, so trailing zeros and
+     * conservative occupancy bits do not break equality).
+     */
+    bool operator==(const LogHistogram &other) const;
 
   private:
     /** Map a value to a dense bucket index. */

@@ -275,6 +275,15 @@ KeyBuilder::config(const core::DeloreanConfig &c)
     str("delorean");
     u64vec(c.paper_horizons);
     u64(c.paper_vicinity_period);
+    // Early stopping shapes which windows contribute to the result, so
+    // every knob is keyed. livepoint_file is excluded like host_threads:
+    // resuming from valid live-points is bit-identical to a fresh
+    // warm-up (src/checkpoint/), so it must not fragment the cache.
+    str("earlystop");
+    f64(c.confidence);
+    f64(c.target_error);
+    u64(c.window_seed);
+    u32(c.min_windows);
     return *this;
 }
 

@@ -21,8 +21,14 @@
  * until `batch_run gc`). DeloreanConfig::host_threads is deliberately
  * excluded: results are bit-identical for every value (the
  * core/parallel.hh contract), so it must not fragment the cache.
- * Display-only fields (cache level names) are excluded for the same
- * reason.
+ * DeloreanConfig::livepoint_file is excluded for the same reason —
+ * resuming from valid live-points is bit-identical to a fresh warm-up
+ * (src/checkpoint/). Display-only fields (cache level names) are
+ * excluded too. The early-stop knobs (confidence, target_error,
+ * window_seed, min_windows) ARE keyed: they change which windows
+ * contribute to the result. Adding them moved every key once (the
+ * test_batch.cc golden pin was re-derived deliberately with the
+ * recipe change that introduced them — see docs/batch.md).
  *
  * The hash is two independent 64-bit FNV-1a streams over the same
  * little-endian byte sequence (doubles contribute their exact bit

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -154,6 +155,23 @@ parseU32(const std::string &text)
     return unsigned(v);
 }
 
+double
+parseReal(const std::string &text)
+{
+    try {
+        if (text.empty() ||
+            (!std::isdigit((unsigned char)text[0]) && text[0] != '.'))
+            throw BatchError("");
+        std::size_t idx = 0;
+        const double v = std::stod(text, &idx);
+        if (idx != text.size() || !std::isfinite(v) || v < 0.0)
+            throw BatchError("");
+        return v;
+    } catch (const std::exception &) {
+        throw BatchError("malformed real number '" + text + "'");
+    }
+}
+
 BatchPlan::BatchPlan(std::vector<std::string> workloads,
                      std::vector<NamedConfig> configs,
                      std::vector<NamedSchedule> schedules,
@@ -286,10 +304,22 @@ BatchPlan::fromStream(std::istream &is, const std::string &path)
                         nc.config.sim.prefetch = parseCount(v) != 0;
                     else if (k == "vicinity")
                         nc.config.paper_vicinity_period = parseCount(v);
+                    else if (k == "confidence")
+                        nc.config.confidence = parseReal(v);
+                    else if (k == "error")
+                        nc.config.target_error = parseReal(v);
+                    else if (k == "seed")
+                        nc.config.window_seed = parseCount(v);
+                    else if (k == "minwindows")
+                        nc.config.min_windows = parseU32(v);
+                    else if (k == "livepoints")
+                        nc.config.livepoint_file = v;
                     else
                         throw BatchError("config: unknown key '" + k +
                                          "' (llc, assoc, repl, "
-                                         "prefetch, vicinity)");
+                                         "prefetch, vicinity, "
+                                         "confidence, error, seed, "
+                                         "minwindows, livepoints)");
                 }
                 configs.push_back(std::move(nc));
             } else if (directive == "schedule") {
@@ -373,6 +403,12 @@ BatchPlan::fromStream(std::istream &is, const std::string &path)
                 "' has invalid LLC geometry (need assoc >= 1, size a "
                 "multiple of assoc * " + std::to_string(line_size) +
                 " with a power-of-two set count)");
+        // zForConfidence fatal()s on an out-of-range level; make a
+        // bad manifest value a plan-time error like the geometry ones.
+        if (nc.config.confidence >= 100.0)
+            throw BatchError("manifest " + path + ": config '" +
+                             nc.name + "' has invalid confidence (need "
+                             "0 <= confidence < 100; 0 = exact mode)");
     }
 
     return BatchPlan(std::move(workloads), std::move(configs),

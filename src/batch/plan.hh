@@ -22,7 +22,12 @@
  *
  * config keys:   llc=SIZE (e.g. 8MiB, 512KiB), assoc=N, repl=lru|
  *                random|treeplru|nmru, prefetch=0|1, vicinity=N
- *                (paper-scale sampling period)
+ *                (paper-scale sampling period),
+ *                confidence=P (percent, 0 = exact mode),
+ *                error=E (relative CPI bound, 0 never stops),
+ *                seed=N (window-shuffle seed), minwindows=N,
+ *                livepoints=PATH (DLRNLVP1 warm-state file; not part
+ *                of the cache key — see src/checkpoint/)
  * schedule keys: spacing=N, regions=N
  *
  * Anything unparseable — unknown directive or key, malformed size,
@@ -89,6 +94,12 @@ struct BatchCell
  */
 std::uint64_t parseCount(const std::string &text);
 unsigned parseU32(const std::string &text);
+
+/**
+ * Strict non-negative real parsing for confidence/error knobs: a full
+ * finite decimal number >= 0, nothing else. Throws BatchError.
+ */
+double parseReal(const std::string &text);
 
 class BatchPlan
 {

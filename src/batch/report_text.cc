@@ -11,7 +11,8 @@ printResultHeaderTsv(std::FILE *os, bool timings)
     std::fprintf(os, "#workload\tconfig\tschedule\tmethod\tcpi\tmpki\t"
                      "mips\twall_seconds\treuse_samples\ttraps\t"
                      "false_positives\tkeys_total\tkeys_explored\t"
-                     "keys_unresolved\tavg_explorers");
+                     "keys_unresolved\tavg_explorers\twindows_total\t"
+                     "windows_replayed\tconfidence\tci_error");
     if (timings) {
         for (std::size_t p = 0; p < profiling::hot_phase_count; ++p) {
             const char *name =
@@ -42,6 +43,10 @@ printResultRowTsv(std::FILE *os, const std::string &workload,
                  (unsigned long long)r.keys_explored,
                  (unsigned long long)r.keys_unresolved,
                  r.avg_explorers);
+    std::fprintf(os, "\t%llu\t%llu\t%.17g\t%.17g",
+                 (unsigned long long)r.windows_total,
+                 (unsigned long long)r.windows_replayed, r.confidence,
+                 r.ci_error);
     if (timings) {
         const auto &m = r.cost.measured();
         for (std::size_t p = 0; p < profiling::hot_phase_count; ++p)

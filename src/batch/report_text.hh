@@ -14,6 +14,13 @@
  * the run that *produced* the result (docs/performance.md). Wall-clock
  * is nondeterministic, so they are opt-in and excluded from the
  * diff-clean contract.
+ *
+ * The window-coverage columns (windows_total, windows_replayed,
+ * confidence, ci_error) report the confidence-driven driver
+ * (docs/checkpoints.md): an exact-mode run shows replayed == total and
+ * confidence 0; an early-stopped run shows how many shuffled windows
+ * the stop rule actually consumed and the relative CI half-width it
+ * ended at.
  */
 
 #ifndef DELOREAN_BATCH_REPORT_TEXT_HH

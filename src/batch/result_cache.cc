@@ -10,6 +10,7 @@
 
 #include "base/logging.hh"
 #include "batch/error.hh"
+#include "batch/plan.hh"
 
 namespace delorean::batch
 {
@@ -253,14 +254,55 @@ ResultCache::RunStats
 ResultCache::stats() const
 {
     RunStats s;
-    std::ifstream is(dir_ + "/" + stats_name);
+    const std::string path = dir_ + "/" + stats_name;
+    std::ifstream is(path);
     if (!is)
         return s;
-    RunStats parsed;
-    is >> parsed.last_run_executed >> parsed.last_run_cached >>
-        parsed.total_executed >> parsed.total_cached;
-    if (is.fail())
+
+    // Strict row parse: exactly four tab-separated decimal counters on
+    // the first line. Stream extraction (`is >> a >> b >> ...`) would
+    // happily pull fields across a truncated row's newline and report
+    // shifted columns as if they were real counters; a malformed file
+    // instead warns and reads as zeros (counters are best-effort
+    // bookkeeping, so "fresh" is the safe fallback).
+    std::string line;
+    if (!std::getline(is, line)) {
+        warn("%s: empty stats file ignored", path.c_str());
         return s;
+    }
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t tab = line.find('\t', start);
+        fields.push_back(line.substr(start, tab - start));
+        if (tab == std::string::npos)
+            break;
+        start = tab + 1;
+    }
+    if (fields.size() != 4) {
+        warn("%s: malformed stats row (%zu fields, expected 4) ignored",
+             path.c_str(), fields.size());
+        return s;
+    }
+    RunStats parsed;
+    try {
+        parsed.last_run_executed = parseCount(fields[0]);
+        parsed.last_run_cached = parseCount(fields[1]);
+        parsed.total_executed = parseCount(fields[2]);
+        parsed.total_cached = parseCount(fields[3]);
+    } catch (const BatchError &e) {
+        warn("%s: malformed stats row ignored (%s)", path.c_str(),
+             e.what());
+        return s;
+    }
+    std::string extra;
+    while (std::getline(is, extra)) {
+        if (!extra.empty()) {
+            warn("%s: trailing junk after stats row ignored",
+                 path.c_str());
+            break;
+        }
+    }
     return parsed;
 }
 

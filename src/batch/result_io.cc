@@ -251,6 +251,10 @@ writeMethodResult(std::ostream &os, const sampling::MethodResult &result)
     putU64(os, result.keys_explored);
     putU64(os, result.keys_unresolved);
     putF64(os, result.avg_explorers);
+    putU64(os, result.windows_total);
+    putU64(os, result.windows_replayed);
+    putF64(os, result.confidence);
+    putF64(os, result.ci_error);
     os.flush();
     if (!os)
         throw BatchError("result write failed");
@@ -282,6 +286,10 @@ readMethodResult(std::istream &is)
     result.keys_explored = getU64(is);
     result.keys_unresolved = getU64(is);
     result.avg_explorers = getF64(is);
+    result.windows_total = getU64(is);
+    result.windows_replayed = getU64(is);
+    result.confidence = getF64(is);
+    result.ci_error = getF64(is);
     expectEnd(is);
     return result;
 }

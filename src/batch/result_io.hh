@@ -11,7 +11,7 @@
  *
  *   Header:
  *     char[8]  magic     "DLRNRES1"
- *     u32      version   2
+ *     u32      version   3
  *     u32      kind      1 = MethodResult, 2 = SizeCurve
  *
  *   MethodResult payload (kind 1):
@@ -30,6 +30,8 @@
  *     u64[4]   keys_by_explorer
  *     u64      keys_total, keys_explored, keys_unresolved
  *     f64      avg_explorers
+ *     u64      windows_total, windows_replayed
+ *     f64      confidence, ci_error
  *
  *   RegionStats block:
  *     u64 instructions, f64 cycles, u64 mem_refs,
@@ -64,12 +66,15 @@ struct ResultFormat
                                                   'R', 'E', 'S', '1'};
     /**
      * Version 2 appended the measured PhaseTimings to the host-cost
-     * block. Version-1 entries in an existing cache read as
-     * "unsupported version" and surface as a repairable miss (the
-     * cache key recipe did not change: results are re-executed once
-     * and re-stored, never falsely hit).
+     * block; version 3 appended the window-coverage block
+     * (windows_total/windows_replayed/confidence/ci_error) for the
+     * confidence-driven driver. Older-version entries in an existing
+     * cache read as "unsupported version" and surface as a repairable
+     * miss — results are re-executed once and re-stored, never falsely
+     * hit. (The v2→v3 bump coincided with the early-stop cache-key
+     * recipe change, so old keys miss anyway.)
      */
-    static constexpr std::uint32_t version = 2;
+    static constexpr std::uint32_t version = 3;
     static constexpr std::uint32_t kind_method_result = 1;
     static constexpr std::uint32_t kind_size_curve = 2;
 };

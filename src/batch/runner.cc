@@ -5,7 +5,9 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "base/logging.hh"
 #include "batch/error.hh"
+#include "checkpoint/livepoint.hh"
 #include "core/parallel.hh"
 #include "sampling/coolsim.hh"
 #include "sampling/smarts.hh"
@@ -23,8 +25,24 @@ BatchRunner::runCell(const BatchCell &cell)
             return sampling::SmartsMethod::run(*trace, cell.config);
         if (cell.method == "coolsim")
             return sampling::CoolSimMethod::run(*trace, cell.config);
-        if (cell.method == "delorean")
+        if (cell.method == "delorean") {
+            // Live-points are an accelerator, never a correctness
+            // input: a missing/corrupt/mismatched file degrades to a
+            // fresh warm-up (which produces bit-identical results).
+            if (!cell.config.livepoint_file.empty()) {
+                try {
+                    const auto warm = checkpoint::loadForRun(
+                        cell.workload, cell.config,
+                        cell.config.livepoint_file);
+                    return core::DeloreanMethod::run(*trace,
+                                                     cell.config, &warm);
+                } catch (const checkpoint::CheckpointError &e) {
+                    warn("%s: %s; falling back to a fresh warm-up",
+                         cell.workload.c_str(), e.what());
+                }
+            }
             return core::DeloreanMethod::run(*trace, cell.config);
+        }
     } catch (const std::exception &e) {
         // E.g. a recording shorter than the schedule; tag with the
         // workload so batch CLIs report which cell failed.

@@ -1,9 +1,13 @@
 #include "core/delorean.hh"
 
+#include <numeric>
+
 #include "base/logging.hh"
+#include "base/random.hh"
 #include "core/analyst.hh"
 #include "core/parallel.hh"
 #include "core/scout.hh"
+#include "sampling/confidence.hh"
 #include "statmodel/assoc_model.hh"
 
 namespace delorean::core
@@ -28,6 +32,138 @@ class AssocTrainer : public cpu::MemObserver
   private:
     statmodel::AssocModel &model_;
 };
+
+/** One region's Analyst output (stats + its pass cost). */
+struct RegionAnalysis
+{
+    cpu::RegionStats stats;
+    profiling::HostCostAccount cost;
+};
+
+/**
+ * Scout + Explorer chain for one region — the body both warmup()'s
+ * region fan-out and the confidence loop's one-window-at-a-time replay
+ * share, so the two drivers cannot drift apart.
+ */
+RegionWarm
+warmRegion(const ExplorerChain &chain,
+           const sampling::TraceCheckpointer &checkpoints,
+           const DeloreanConfig &config,
+           const cache::HierarchyConfig &scout_hier, unsigned r)
+{
+    const auto &sched = config.schedule;
+    RegionWarm w;
+    auto scout_trace = checkpoints.at(sched.warmingStart(r));
+    w.keys = Scout::scan(*scout_trace, scout_hier, config.sim,
+                         sched.detailed_warming, sched.region_len);
+    w.explored = chain.explore(w.keys.linesNeedingExploration(),
+                               sched.detailedStart(r));
+    return w;
+}
+
+/**
+ * One Analyst pass over one region — extracted from analyze()'s
+ * region fan-out so the confidence loop replays the byte-identical
+ * computation per window.
+ */
+RegionAnalysis
+analyzeRegion(const DeloreanConfig &config,
+              const sampling::TraceCheckpointer &checkpoints,
+              const KeySet &keys, const ExplorerResult &explored,
+              unsigned r)
+{
+    const auto &sched = config.schedule;
+    const InstCount region_total =
+        sched.detailed_warming + sched.region_len;
+
+    RegionAnalysis out;
+    out.cost = profiling::HostCostAccount(config.scaledCost());
+    auto trace = checkpoints.at(sched.warmingStart(r));
+
+    cache::CacheHierarchy hier(config.hier);
+    cpu::DetailedSimulator sim(hier, config.sim);
+    statmodel::AssocModel assoc(config.hier.llc.sets(),
+                                config.hier.llc.assoc);
+    AssocTrainer trainer(assoc);
+
+    double analyze_ns = -profiling::nowNs();
+    sim.warmRegion(*trace, sched.detailed_warming, &trainer);
+    analyze_ns += profiling::nowNs();
+
+    // The classifier constructor runs the StatStack solver precompute
+    // over the region's vicinity distribution; queries during the
+    // timed simulation are charged to the Analyze bucket (they are
+    // interleaved with it).
+    const double solve_t0 = profiling::nowNs();
+    AnalystClassifier classifier(keys, explored, hier.llc(), assoc);
+    out.cost.measured().note(profiling::HotPhase::StatStackSolve,
+                             profiling::nowNs() - solve_t0,
+                             Counter(explored.vicinity_samples));
+
+    analyze_ns -= profiling::nowNs();
+    out.stats = sim.simulate(*trace, sched.region_len, &classifier);
+    analyze_ns += profiling::nowNs();
+    out.cost.measured().note(profiling::HotPhase::Analyze, analyze_ns,
+                             region_total);
+
+    out.cost.chargeVffScaled(sched.spacing - region_total);
+    out.cost.chargeDetailedRaw(region_total);
+    out.cost.chargeStateTransfers(2);
+    return out;
+}
+
+/**
+ * Fold per-region Analyst outputs (in ascending region order) plus the
+ * warm-up artifacts into the final MethodResult — shared by analyze()
+ * and the confidence loop so a full confidence-mode replay assembles
+ * the bit-identical result the exact path does.
+ *
+ * @param covered_insts trace instructions the replayed windows stand
+ *        for (spacing x replayed windows); the MIPS denominator.
+ */
+sampling::MethodResult
+finishResult(const DeloreanConfig &config, const std::string &benchmark,
+             const WarmupArtifacts &artifacts,
+             const std::vector<RegionAnalysis> &per_region,
+             InstCount covered_insts)
+{
+    const auto &sched = config.schedule;
+
+    sampling::MethodResult result;
+    result.method = "DeLorean";
+    result.benchmark = benchmark;
+    result.cost = profiling::HostCostAccount(config.scaledCost());
+    result.cost.merge(artifacts.cost);
+
+    PassCosts analyst_pass;
+    analyst_pass.name = "analyst";
+    for (const auto &region : per_region) {
+        analyst_pass.per_region_seconds.push_back(
+            region.cost.seconds());
+        result.cost.merge(region.cost);
+        result.addRegion(region.stats);
+    }
+
+    // Shared warm-up statistics surface in every analyzed result.
+    result.reuse_samples = artifacts.reuse_samples;
+    result.traps = artifacts.traps;
+    result.false_positives = artifacts.false_positives;
+    result.keys_by_explorer = artifacts.keys_by_explorer;
+    result.keys_total = artifacts.keys_total;
+    result.keys_explored = artifacts.keys_explored;
+    result.keys_unresolved = artifacts.keys_unresolved;
+    result.avg_explorers = artifacts.avg_explorers;
+    result.windows_total = sched.num_regions;
+    result.windows_replayed = per_region.size();
+
+    std::vector<PassCosts> pipeline = artifacts.passes;
+    pipeline.push_back(std::move(analyst_pass));
+    result.wall_seconds = pipelineWallSeconds(pipeline);
+    result.mips = profiling::modeledMips(covered_insts,
+                                         sched.scaleFactor(),
+                                         result.wall_seconds);
+    return result;
+}
 
 } // namespace
 
@@ -102,7 +238,10 @@ DeloreanMethod::assembleArtifacts(const DeloreanConfig &config,
         sched.detailed_warming + sched.region_len;
     unsigned engaged_total = 0;
 
-    for (unsigned r = 0; r < sched.num_regions; ++r) {
+    // Iterate the windows actually present: the full schedule for the
+    // exact path, the replayed subset for an early-stopped run.
+    const std::size_t n_windows = art.keys.size();
+    for (std::size_t r = 0; r < n_windows; ++r) {
         const KeySet &keys = art.keys[r];
         const ExplorerResult &explored = art.explored[r];
         const auto need = keys.linesNeedingExploration();
@@ -174,7 +313,9 @@ DeloreanMethod::assembleArtifacts(const DeloreanConfig &config,
                              explored.vicinity_samples;
     }
 
-    art.avg_explorers = double(engaged_total) / double(sched.num_regions);
+    art.avg_explorers =
+        n_windows == 0 ? 0.0
+                       : double(engaged_total) / double(n_windows);
     return art;
 }
 
@@ -196,23 +337,10 @@ DeloreanMethod::warmup(const workload::TraceSource &master,
     // Regions are independent: each works from its own checkpoint clone
     // against the shared read-only checkpoint store, so they fan out
     // across host threads with bit-identical results (core/parallel.hh).
-    struct RegionWarmup
-    {
-        KeySet keys;
-        ExplorerResult explored;
-    };
     auto per_region = parallelMap(
         sched.num_regions, config.host_threads, [&](std::size_t r) {
-            RegionWarmup w;
-            auto scout_trace =
-                checkpoints.at(sched.warmingStart(unsigned(r)));
-            w.keys = Scout::scan(*scout_trace, scout_hier, config.sim,
-                                 sched.detailed_warming,
-                                 sched.region_len);
-            w.explored =
-                chain.explore(w.keys.linesNeedingExploration(),
-                              sched.detailedStart(unsigned(r)));
-            return w;
+            return warmRegion(chain, checkpoints, config, scout_hier,
+                              unsigned(r));
         });
 
     std::vector<KeySet> keys;
@@ -235,118 +363,158 @@ DeloreanMethod::analyze(const workload::TraceSource &master,
 {
     config.hier.validate();
     const auto &sched = config.schedule;
-    const auto cost_params = config.scaledCost();
 
     panic_if(artifacts.keys.size() != sched.num_regions,
              "warm-up artifacts cover %zu regions, schedule has %u",
              artifacts.keys.size(), sched.num_regions);
 
-    sampling::MethodResult result;
-    result.method = "DeLorean";
-    result.benchmark = master.name();
-    result.cost = profiling::HostCostAccount(cost_params);
-    result.cost.merge(artifacts.cost);
-
-    PassCosts analyst_pass;
-    analyst_pass.name = "analyst";
-
-    const InstCount region_total =
-        sched.detailed_warming + sched.region_len;
-
     // One Analyst per region, each with its own simulator state (the
     // paper boots every Analyst from its own checkpoint). Regions fan
     // out across host threads; folding below stays in region order, so
     // results are bit-identical to the serial path.
-    struct RegionAnalysis
-    {
-        cpu::RegionStats stats;
-        profiling::HostCostAccount cost;
-    };
     auto per_region = parallelMap(
-        sched.num_regions, config.host_threads, [&](std::size_t ri) {
-            const unsigned r = unsigned(ri);
-            RegionAnalysis out;
-            out.cost = profiling::HostCostAccount(cost_params);
-            auto trace = checkpoints.at(sched.warmingStart(r));
-
-            cache::CacheHierarchy hier(config.hier);
-            cpu::DetailedSimulator sim(hier, config.sim);
-            statmodel::AssocModel assoc(config.hier.llc.sets(),
-                                        config.hier.llc.assoc);
-            AssocTrainer trainer(assoc);
-
-            double analyze_ns = -profiling::nowNs();
-            sim.warmRegion(*trace, sched.detailed_warming, &trainer);
-            analyze_ns += profiling::nowNs();
-
-            // The classifier constructor runs the StatStack solver
-            // precompute over the region's vicinity distribution;
-            // queries during the timed simulation are charged to the
-            // Analyze bucket (they are interleaved with it).
-            const double solve_t0 = profiling::nowNs();
-            AnalystClassifier classifier(artifacts.keys[r],
-                                         artifacts.explored[r],
-                                         hier.llc(), assoc);
-            out.cost.measured().note(
-                profiling::HotPhase::StatStackSolve,
-                profiling::nowNs() - solve_t0,
-                Counter(artifacts.explored[r].vicinity_samples));
-
-            analyze_ns -= profiling::nowNs();
-            out.stats =
-                sim.simulate(*trace, sched.region_len, &classifier);
-            analyze_ns += profiling::nowNs();
-            out.cost.measured().note(profiling::HotPhase::Analyze,
-                                     analyze_ns, region_total);
-
-            out.cost.chargeVffScaled(sched.spacing - region_total);
-            out.cost.chargeDetailedRaw(region_total);
-            out.cost.chargeStateTransfers(2);
-            return out;
+        sched.num_regions, config.host_threads, [&](std::size_t r) {
+            return analyzeRegion(config, checkpoints, artifacts.keys[r],
+                                 artifacts.explored[r], unsigned(r));
         });
 
-    for (const auto &region : per_region) {
-        analyst_pass.per_region_seconds.push_back(
-            region.cost.seconds());
-        result.cost.merge(region.cost);
-        result.addRegion(region.stats);
+    return finishResult(config, master.name(), artifacts, per_region,
+                        sched.totalInstructions());
+}
+
+namespace
+{
+
+/**
+ * The confidence-driven driver (SMARTS live-points regime): replay
+ * windows one at a time in a seeded-shuffled order, feed each window's
+ * CPI to a running confidence interval, and stop once the relative
+ * half-width at the requested confidence reaches the target error.
+ * target_error == 0 never stops: the resulting shuffled full replay
+ * assembles — via the same assembleArtifacts/finishResult the exact
+ * path uses, over windows re-sorted into ascending region order — a
+ * result bit-identical to exact mode except for the confidence/
+ * ci_error report fields.
+ */
+sampling::MethodResult
+runConfident(const workload::TraceSource &master,
+             const DeloreanConfig &config,
+             const sampling::TraceCheckpointer &checkpoints,
+             const std::vector<RegionWarm> *warm)
+{
+    config.schedule.validate();
+    config.hier.validate();
+    fatal_if(config.target_error < 0.0,
+             "DeloreanConfig::target_error must be >= 0, got %g",
+             config.target_error);
+    const double z = sampling::zForConfidence(config.confidence);
+
+    const auto &sched = config.schedule;
+    const unsigned n_regions = sched.num_regions;
+
+    ExplorerChain chain({config.scaledHorizons(), config.paper_horizons,
+                         config.paper_vicinity_period,
+                         std::hash<std::string>{}(master.name())},
+                        checkpoints);
+
+    // Seeded Fisher-Yates shuffle: the window order is a pure function
+    // of window_seed, never of time or thread scheduling.
+    std::vector<unsigned> order(n_regions);
+    std::iota(order.begin(), order.end(), 0u);
+    Rng rng(config.window_seed);
+    for (std::size_t i = order.size(); i > 1; --i)
+        std::swap(order[i - 1], order[rng.nextBounded(i)]);
+
+    std::vector<RegionWarm> warm_store(n_regions);
+    std::vector<RegionAnalysis> analyses(n_regions);
+    std::vector<bool> replayed(n_regions, false);
+    sampling::RunningCI ci;
+    const std::uint64_t need =
+        std::max<std::uint64_t>(2, config.min_windows);
+
+    for (const unsigned r : order) {
+        RegionWarm w = warm
+                           ? (*warm)[r]
+                           : warmRegion(chain, checkpoints, config,
+                                        config.hier, r);
+        analyses[r] =
+            analyzeRegion(config, checkpoints, w.keys, w.explored, r);
+        warm_store[r] = std::move(w);
+        replayed[r] = true;
+        ci.add(analyses[r].stats.cpi());
+        if (config.target_error > 0.0 && ci.count() >= need &&
+            ci.relativeHalfWidth(z) <= config.target_error)
+            break;
     }
 
-    // Shared warm-up statistics surface in every analyzed result.
-    result.reuse_samples = artifacts.reuse_samples;
-    result.traps = artifacts.traps;
-    result.false_positives = artifacts.false_positives;
-    result.keys_by_explorer = artifacts.keys_by_explorer;
-    result.keys_total = artifacts.keys_total;
-    result.keys_explored = artifacts.keys_explored;
-    result.keys_unresolved = artifacts.keys_unresolved;
-    result.avg_explorers = artifacts.avg_explorers;
+    // Assemble over the replayed windows in ascending region order —
+    // the exact path's folding order, which is what makes a full
+    // confidence-mode replay bit-identical to exact mode.
+    std::vector<KeySet> keys;
+    std::vector<ExplorerResult> explored;
+    std::vector<RegionAnalysis> per_region;
+    for (unsigned r = 0; r < n_regions; ++r) {
+        if (!replayed[r])
+            continue;
+        keys.push_back(std::move(warm_store[r].keys));
+        explored.push_back(std::move(warm_store[r].explored));
+        per_region.push_back(std::move(analyses[r]));
+    }
 
-    std::vector<PassCosts> pipeline = artifacts.passes;
-    pipeline.push_back(std::move(analyst_pass));
-    result.wall_seconds = pipelineWallSeconds(pipeline);
-    result.mips = profiling::modeledMips(sched.totalInstructions(),
-                                         sched.scaleFactor(),
-                                         result.wall_seconds);
+    const WarmupArtifacts artifacts = DeloreanMethod::assembleArtifacts(
+        config, std::move(keys), std::move(explored));
+    sampling::MethodResult result = finishResult(
+        config, master.name(), artifacts, per_region,
+        sched.spacing * InstCount(per_region.size()));
+    result.confidence = config.confidence;
+    result.ci_error = ci.relativeHalfWidth(z);
     return result;
 }
 
+} // namespace
+
 sampling::MethodResult
 DeloreanMethod::run(const workload::TraceSource &master,
-                    const DeloreanConfig &config)
+                    const DeloreanConfig &config,
+                    const std::vector<RegionWarm> *warm)
 {
     sampling::TraceCheckpointer checkpoints(master);
     checkpoints.prepare(checkpointPositions(config));
-    return run(master, config, checkpoints);
+    return run(master, config, checkpoints, warm);
 }
 
 sampling::MethodResult
 DeloreanMethod::run(const workload::TraceSource &master,
                     const DeloreanConfig &config,
-                    const sampling::TraceCheckpointer &checkpoints)
+                    const sampling::TraceCheckpointer &checkpoints,
+                    const std::vector<RegionWarm> *warm)
 {
-    const WarmupArtifacts artifacts =
-        warmup(master, config, checkpoints, config.hier);
+    if (warm)
+        fatal_if(warm->size() != config.schedule.num_regions,
+                 "live-point warm state covers %zu regions, schedule "
+                 "has %u",
+                 warm->size(), config.schedule.num_regions);
+    if (config.confidence > 0.0)
+        return runConfident(master, config, checkpoints, warm);
+
+    WarmupArtifacts artifacts;
+    if (warm) {
+        // Resume: the persisted warm state replaces Scout + Explorers;
+        // assembly from it is bit-identical to a fresh warm-up.
+        config.schedule.validate();
+        std::vector<KeySet> keys;
+        std::vector<ExplorerResult> explored;
+        keys.reserve(warm->size());
+        explored.reserve(warm->size());
+        for (const auto &w : *warm) {
+            keys.push_back(w.keys);
+            explored.push_back(w.explored);
+        }
+        artifacts = assembleArtifacts(config, std::move(keys),
+                                      std::move(explored));
+    } else {
+        artifacts = warmup(master, config, checkpoints, config.hier);
+    }
     return analyze(master, config, checkpoints, artifacts);
 }
 

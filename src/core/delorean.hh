@@ -18,6 +18,10 @@
 #ifndef DELOREAN_CORE_DELOREAN_HH
 #define DELOREAN_CORE_DELOREAN_HH
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "core/explorer.hh"
 #include "core/key_access.hh"
 #include "core/pipeline.hh"
@@ -52,11 +56,62 @@ struct DeloreanConfig : sampling::MethodConfig
      */
     unsigned host_threads = 1;
 
+    // --- Confidence-driven early stopping -------------------------------
+    /**
+     * Requested confidence level in percent (e.g. 95, 99.7). 0
+     * (default) selects exact mode: every region replayed in order,
+     * bit-identical to prior releases. A positive value switches the
+     * driver to the SMARTS/live-points regime: regions are replayed in
+     * a window_seed-shuffled order while a running confidence interval
+     * over per-window CPIs narrows, and the run stops once its
+     * relative half-width reaches target_error (after min_windows
+     * windows at least).
+     */
+    double confidence = 0.0;
+
+    /**
+     * Relative CPI error bound the confidence interval must reach
+     * before stopping (e.g. 0.03 = +-3%). 0 never stops early: the
+     * shuffled full replay it produces is pinned bit-identical to
+     * exact mode (tests/test_checkpoint.cc).
+     */
+    double target_error = 0.0;
+
+    /** Seed of the window-order shuffle (configuration-only, per
+     *  base/random.hh's seeding contract). */
+    std::uint64_t window_seed = 0xde107ea9;
+
+    /** Windows to replay before the stop rule may trigger (floored at
+     *  2 — a one-sample variance is undefined). */
+    unsigned min_windows = 3;
+
+    /**
+     * Optional path to a DLRNLVP1 live-point file recorded for this
+     * workload/config (src/checkpoint/). Excluded from the cache key
+     * like host_threads: resuming from valid live-points is
+     * bit-identical to a fresh warm-up, so it must not fragment the
+     * cache.
+     */
+    std::string livepoint_file;
+
     /** Scaled horizons for the current schedule. */
     std::vector<InstCount> scaledHorizons() const;
 
     /** Scaled vicinity period for the current schedule. */
     std::uint64_t scaledVicinityPeriod() const;
+};
+
+/**
+ * One region's complete warm state — the Scout's key set plus the
+ * Explorer chain's measurements. This is the unit a live-point file
+ * persists (src/checkpoint/) and the confidence loop replays.
+ */
+struct RegionWarm
+{
+    KeySet keys;
+    ExplorerResult explored;
+
+    bool operator==(const RegionWarm &other) const = default;
 };
 
 /**
@@ -89,9 +144,17 @@ struct WarmupArtifacts
 class DeloreanMethod
 {
   public:
-    /** Run the schedule over a clone of @p master. */
-    static sampling::MethodResult run(const workload::TraceSource &master,
-                                      const DeloreanConfig &config);
+    /**
+     * Run the schedule over a clone of @p master. When @p warm is
+     * non-null it must hold one RegionWarm per region (e.g. loaded
+     * from a live-point file); the Scout/Explorer passes are skipped
+     * and the result is bit-identical to a fresh warm-up. With
+     * config.confidence > 0 the confidence-driven driver runs instead
+     * of the exact in-order one (see DeloreanConfig).
+     */
+    static sampling::MethodResult
+    run(const workload::TraceSource &master, const DeloreanConfig &config,
+        const std::vector<RegionWarm> *warm = nullptr);
 
     /**
      * Same, but reusing an externally prepared checkpoint store (the
@@ -99,7 +162,8 @@ class DeloreanMethod
      */
     static sampling::MethodResult
     run(const workload::TraceSource &master, const DeloreanConfig &config,
-        const sampling::TraceCheckpointer &checkpoints);
+        const sampling::TraceCheckpointer &checkpoints,
+        const std::vector<RegionWarm> *warm = nullptr);
 
     /**
      * Phase 1: Scout + Explorers for every region.

@@ -122,6 +122,14 @@ struct ExplorerResult
                  vicinity_false_positives[std::size_t(k)];
         return n;
     }
+
+    /**
+     * Exact equality of the measured warm state (timing excluded via
+     * PhaseTimings' always-true operator==; back_distance compares
+     * order-insensitively as unordered_map does) — the relation
+     * live-point round trips preserve (src/checkpoint/).
+     */
+    bool operator==(const ExplorerResult &other) const = default;
 };
 
 /**

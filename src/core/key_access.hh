@@ -41,6 +41,8 @@ struct KeyAccess
      * lukewarm cache resolves most accesses).
      */
     bool lukewarm_hit = false;
+
+    bool operator==(const KeyAccess &other) const = default;
 };
 
 /** The Scout's product for one detailed region. */
@@ -67,6 +69,13 @@ struct KeySet
 
     /** Lookup table line -> key record. */
     std::unordered_map<Addr, const KeyAccess *> index() const;
+
+    /**
+     * Exact equality of the warm-state payload (timing is excluded by
+     * PhaseTimings' always-true operator==) — what live-point verify
+     * compares against a fresh warm-up (src/checkpoint/).
+     */
+    bool operator==(const KeySet &other) const = default;
 };
 
 } // namespace delorean::core

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Running confidence intervals for statistical early stopping.
+ *
+ * The SMARTS/live-points lineage (TurboSMARTSim-style checkpoint
+ * libraries) turns "replay every sampled window" into "replay windows
+ * until the estimate is statistically done": maintain a running mean
+ * and variance over per-window CPIs and stop once the confidence
+ * interval's relative half-width drops below the requested error
+ * bound. This header provides the two pieces the DeLorean driver
+ * needs: Welford's online mean/variance (numerically stable, one pass,
+ * deterministic for a given sequence of doubles) and the two-sided
+ * normal z-value for a confidence level.
+ *
+ * Everything here is a pure function of the input doubles — no RNG, no
+ * clocks — so early-stopped runs remain bit-reproducible.
+ */
+
+#ifndef DELOREAN_SAMPLING_CONFIDENCE_HH
+#define DELOREAN_SAMPLING_CONFIDENCE_HH
+
+#include <cstdint>
+
+namespace delorean::sampling
+{
+
+/**
+ * Welford's online mean/variance accumulator with confidence-interval
+ * queries. Sample variance (n-1 denominator) matches the SMARTS
+ * methodology for matched-pair window sampling.
+ */
+class RunningCI
+{
+  public:
+    void
+    add(double x)
+    {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / double(n_);
+        m2_ += delta * (x - mean_);
+    }
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return mean_; }
+
+    /** Sample variance (0 for fewer than two samples). */
+    double
+    variance() const
+    {
+        return n_ < 2 ? 0.0 : m2_ / double(n_ - 1);
+    }
+
+    /** z * stderr = z * sqrt(var / n); 0 for fewer than two samples. */
+    double halfWidth(double z) const;
+
+    /**
+     * halfWidth(z) / |mean|: the relative error bound the estimate has
+     * reached. Returns +infinity when the mean is 0 but the half-width
+     * is not (the stop condition can then never be met — fail safe
+     * toward full replay), and 0 when both are 0.
+     */
+    double relativeHalfWidth(double z) const;
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/**
+ * Two-sided z-value for a confidence level in percent: the standard
+ * normal quantile at (1 + pct/100) / 2. zForConfidence(95) ~ 1.960,
+ * zForConfidence(99.7) ~ 2.968. fatal()s unless 0 < pct < 100.
+ */
+double zForConfidence(double pct);
+
+} // namespace delorean::sampling
+
+#endif // DELOREAN_SAMPLING_CONFIDENCE_HH

@@ -196,6 +196,8 @@ CoolSimMethod::run(const workload::TraceSource &master,
 
     result.traps = sampler.traps();
     result.false_positives = sampler.falsePositives();
+    result.windows_total = sched.num_regions;
+    result.windows_replayed = sched.num_regions;
     result.wall_seconds = result.cost.seconds();
     result.mips = profiling::modeledMips(sched.totalInstructions(),
                                          sched.scaleFactor(),

@@ -64,6 +64,27 @@ struct MethodResult
     /** Average number of Explorers engaged per region (Figure 8). */
     double avg_explorers = 0.0;
 
+    // --- Statistical early stopping (src/sampling/confidence.hh) --------
+    /** Detailed windows (regions) in the schedule. */
+    Counter windows_total = 0;
+
+    /**
+     * Windows actually replayed. Equal to windows_total except for a
+     * confidence-driven DeLorean run that stopped early; aggregates
+     * (total, cpi(), mpki()) then cover only the replayed windows.
+     */
+    Counter windows_replayed = 0;
+
+    /** Requested confidence level in percent; 0 = exact mode. */
+    double confidence = 0.0;
+
+    /**
+     * Relative confidence-interval half-width over per-window CPIs at
+     * the end of the run (0 when no interval was tracked). An
+     * early-stopped run satisfied ci_error <= the requested error.
+     */
+    double ci_error = 0.0;
+
     double cpi() const { return total.cpi(); }
     double mpki() const { return total.mpki(); }
 

@@ -40,6 +40,8 @@ SmartsMethod::run(const workload::TraceSource &master,
         result.addRegion(stats);
     }
 
+    result.windows_total = sched.num_regions;
+    result.windows_replayed = sched.num_regions;
     result.wall_seconds = result.cost.seconds();
     result.mips = profiling::modeledMips(sched.totalInstructions(),
                                          sched.scaleFactor(),

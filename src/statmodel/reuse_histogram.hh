@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 
 #include "base/histogram.hh"
 #include "base/types.hh"
@@ -35,6 +36,15 @@ class ReuseHistogram
   public:
     explicit ReuseHistogram(unsigned sub_buckets = 8)
         : events_(sub_buckets), censored_(sub_buckets)
+    {}
+
+    /**
+     * Reconstruct from previously snapshotted component histograms
+     * (LogHistogram::snapshot/fromSnapshot) — the live-point reader's
+     * path back to an operator==-equal distribution.
+     */
+    ReuseHistogram(LogHistogram events, LogHistogram censored)
+        : events_(std::move(events)), censored_(std::move(censored))
     {}
 
     /** Record an observed reuse of distance @p rd (weight @p w). */
@@ -98,6 +108,9 @@ class ReuseHistogram
         events_.clear();
         censored_.clear();
     }
+
+    /** Exact equality of both component histograms. */
+    bool operator==(const ReuseHistogram &other) const = default;
 
   private:
     LogHistogram events_;

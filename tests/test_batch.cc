@@ -103,7 +103,10 @@ TEST(CacheKey, GoldenDefaultConfigPin)
     const core::DeloreanConfig default_config;
     const CacheKey key =
         cellKey("spec:bzip2", "delorean", default_config);
-    EXPECT_EQ(key.hex(), "f800f43a449f853bd025562b4afb161c");
+    // Pin history: f800f43a449f853bd025562b4afb161c before the
+    // early-stop knobs entered the recipe (docs/batch.md) — that move
+    // was deliberate and coincided with the result_io v2→v3 bump.
+    EXPECT_EQ(key.hex(), "3fdd50dab304ffabae93e7203e2a435c");
 }
 
 TEST(CacheKey, HexIsStableAndWellFormed)
@@ -168,6 +171,37 @@ TEST(CacheKey, HostThreadsAndDisplayNamesDoNotFragment)
     // Cache level names are display-only.
     c = cfg;
     c.hier.llc.name = "renamed";
+    EXPECT_EQ(cellKey("bzip2", "delorean", c), base);
+}
+
+TEST(CacheKey, EarlyStopKnobsAreKeyedLivepointFileIsNot)
+{
+    const auto cfg = tinyConfig();
+    const CacheKey base = cellKey("bzip2", "delorean", cfg);
+
+    // The stop rule changes which windows contribute: every knob must
+    // move the key.
+    auto c = cfg;
+    c.confidence = 95.0;
+    EXPECT_NE(cellKey("bzip2", "delorean", c), base);
+
+    c = cfg;
+    c.target_error = 0.03;
+    EXPECT_NE(cellKey("bzip2", "delorean", c), base);
+
+    c = cfg;
+    c.window_seed = 42;
+    EXPECT_NE(cellKey("bzip2", "delorean", c), base);
+
+    c = cfg;
+    c.min_windows = 5;
+    EXPECT_NE(cellKey("bzip2", "delorean", c), base);
+
+    // Resuming from valid live-points is bit-identical to a fresh
+    // warm-up (src/checkpoint/), so the path must not fragment the
+    // cache — mirroring host_threads.
+    c = cfg;
+    c.livepoint_file = "/some/warm.dlvp";
     EXPECT_EQ(cellKey("bzip2", "delorean", c), base);
 }
 
@@ -238,6 +272,30 @@ TEST(ResultIo, MeasuredTimingsRoundTripOutsideEquality)
     auto other = result;
     other.cost.measured().note(profiling::HotPhase::Scout, 123.0, 1);
     EXPECT_EQ(other, result);
+}
+
+TEST(ResultIo, WindowCoverageFieldsRoundTrip)
+{
+    // The v3 window-coverage block must survive serialization exactly
+    // and participate in equality (unlike the timing block).
+    auto result = tinyResult();
+    result.windows_total = 10;
+    result.windows_replayed = 4;
+    result.confidence = 99.7;
+    result.ci_error = 0.0123456789012345678;
+    std::stringstream ss(std::ios::in | std::ios::out |
+                         std::ios::binary);
+    writeMethodResult(ss, result);
+    const auto back = readMethodResult(ss);
+    EXPECT_EQ(back.windows_total, 10u);
+    EXPECT_EQ(back.windows_replayed, 4u);
+    EXPECT_EQ(back.confidence, 99.7);
+    EXPECT_EQ(back.ci_error, 0.0123456789012345678);
+    EXPECT_EQ(back, result);
+
+    auto other = result;
+    other.windows_replayed = 5;
+    EXPECT_NE(other, result);
 }
 
 TEST(ResultIo, SizeCurveRoundTripIsExact)
@@ -344,6 +402,47 @@ TEST(ResultCache, RunStatsAccumulate)
     EXPECT_EQ(s.total_cached, 4u);
 }
 
+TEST(ResultCache, MalformedStatsRowsWarnAndReadAsZeros)
+{
+    // Regression: stats() used stream extraction, which skips
+    // whitespace — a truncated row pulled counters across the newline
+    // and `batch_run status` printed shifted columns as real numbers.
+    // Every malformed shape must warn and read as a fresh RunStats.
+    TempPath dir("badstats");
+    const ResultCache cache(dir.path);
+    const std::string stats_path = dir.path + "/stats.tsv";
+    const ResultCache::RunStats zeros;
+
+    const char *bad[] = {
+        "",                        // empty file
+        "1\t2\t3\n",               // truncated row (3 fields)
+        "1\t2\t3\t4\t5\n",         // too many fields
+        "1\t2\tthree\t4\n",        // junk counter
+        "1\t2\t-3\t4\n",           // negative would wrap via stoull
+        "1 2 3 4\n",               // space-separated, not tabs
+        "1\t2\t3\n9\t9\t9\t9\n",   // short row + spillover line
+    };
+    for (const char *text : bad) {
+        writeFile(stats_path, text);
+        setLogQuiet(true);
+        const auto before = warnCount();
+        EXPECT_EQ(cache.stats(), zeros) << "input: " << text;
+        EXPECT_GT(warnCount(), before) << "input: " << text;
+        setLogQuiet(false);
+    }
+
+    // A well-formed row still parses, and trailing junk after it
+    // warns without discarding the valid counters.
+    writeFile(stats_path, "1\t2\t3\t4\ngarbage\n");
+    setLogQuiet(true);
+    const auto s = cache.stats();
+    setLogQuiet(false);
+    EXPECT_EQ(s.last_run_executed, 1u);
+    EXPECT_EQ(s.last_run_cached, 2u);
+    EXPECT_EQ(s.total_executed, 3u);
+    EXPECT_EQ(s.total_cached, 4u);
+}
+
 // ------------------------------------------------------------- manifest
 
 TEST(Manifest, ExpandsCrossProductInDocumentedOrder)
@@ -395,6 +494,24 @@ TEST(Manifest, DefaultsConfigScheduleAndMethods)
     EXPECT_EQ(plan.cells()[0].method, "delorean");
 }
 
+TEST(Manifest, EarlyStopConfigKeysParse)
+{
+    TempPath m("earlystop");
+    writeFile(m.path,
+              "workload bzip2\n"
+              "config conf confidence=95 error=0.03 seed=7 "
+              "minwindows=4 livepoints=/tmp/warm.dlvp\n"
+              "schedule quick spacing=200000 regions=2\n");
+    const auto plan = BatchPlan::fromManifest(m.path);
+    ASSERT_EQ(plan.cells().size(), 1u);
+    const auto &c = plan.cells()[0].config;
+    EXPECT_EQ(c.confidence, 95.0);
+    EXPECT_EQ(c.target_error, 0.03);
+    EXPECT_EQ(c.window_seed, 7u);
+    EXPECT_EQ(c.min_windows, 4u);
+    EXPECT_EQ(c.livepoint_file, "/tmp/warm.dlvp");
+}
+
 TEST(Manifest, HashInsideAPathIsNotAComment)
 {
     // '#' only starts a comment at a token boundary: a workload path
@@ -440,6 +557,11 @@ TEST(Manifest, RejectsMalformedInput)
                    "schedule s spacing=-1 regions=2\n");
     expectRejected("workload bzip2\nconfig a llc=huge\n");
     expectRejected("workload bzip2\nconfig a wat=1\n");
+    expectRejected("workload bzip2\nconfig a confidence=junk\n");
+    expectRejected("workload bzip2\nconfig a confidence=-5\n");
+    expectRejected("workload bzip2\nconfig a confidence=100\n");
+    expectRejected("workload bzip2\nconfig a error=nan\n");
+    expectRejected("workload bzip2\nconfig a error=0.03x\n");
     expectRejected("workload bzip2\nconfig a llc\n"); // not k=v
     expectRejected("workload bzip2\nconfig a llc=2MiB\n"
                    "config a llc=4MiB\n");         // duplicate name

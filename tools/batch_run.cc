@@ -187,7 +187,9 @@ printResultJson(const BatchCell &cell, const sampling::MethodResult &r,
         "\"wall_seconds\": %.17g, \"reuse_samples\": %llu, "
         "\"traps\": %llu, \"false_positives\": %llu, "
         "\"keys_total\": %llu, \"keys_explored\": %llu, "
-        "\"keys_unresolved\": %llu, \"avg_explorers\": %.17g",
+        "\"keys_unresolved\": %llu, \"avg_explorers\": %.17g, "
+        "\"windows_total\": %llu, \"windows_replayed\": %llu, "
+        "\"confidence\": %.17g, \"ci_error\": %.17g",
         jsonEscape(cell.workload).c_str(),
         jsonEscape(cell.config_name).c_str(),
         jsonEscape(cell.schedule_name).c_str(),
@@ -198,7 +200,10 @@ printResultJson(const BatchCell &cell, const sampling::MethodResult &r,
         (unsigned long long)r.false_positives,
         (unsigned long long)r.keys_total,
         (unsigned long long)r.keys_explored,
-        (unsigned long long)r.keys_unresolved, r.avg_explorers);
+        (unsigned long long)r.keys_unresolved, r.avg_explorers,
+        (unsigned long long)r.windows_total,
+        (unsigned long long)r.windows_replayed, r.confidence,
+        r.ci_error);
     if (timings) {
         const auto &m = r.cost.measured();
         std::printf(", \"timings\": {");

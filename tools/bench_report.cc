@@ -7,7 +7,7 @@
  *                [--bench a,b,c] [--repeats N]
  *
  * Runs the suite serially, prints a per-workload phase breakdown, and
- * writes a BENCH_*.json report (default BENCH_pr4.json). `--quick`
+ * writes a BENCH_*.json report (default BENCH_pr6.json). `--quick`
  * trims the suite to bzip2 with one repeat — the CI smoke
  * configuration. `--baseline FILE` embeds an earlier report verbatim
  * under "baseline" and prints the Explorer-replay speedup against it,
@@ -77,7 +77,7 @@ int
 main(int argc, char **argv)
 {
     PerfOptions opt;
-    std::string out_path = "BENCH_pr4.json";
+    std::string out_path = "BENCH_pr6.json";
     std::string baseline_path;
     bool quick = false;
     bool bench_given = false;

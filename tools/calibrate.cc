@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "batch/error.hh"
+#include "batch/plan.hh"
 #include "core/delorean.hh"
 #include "sampling/coolsim.hh"
 #include "sampling/metrics.hh"
@@ -29,8 +31,16 @@ main(int argc, char **argv)
 {
     using namespace delorean;
 
-    const InstCount spacing =
-        argc > 1 ? InstCount(std::atoll(argv[1])) : 5'000'000;
+    // Strict parse (batch/plan.hh): atoll would turn "5m" into 5 and
+    // "junk" into a zero spacing that fatal()s much later, mid-run.
+    InstCount spacing = 5'000'000;
+    if (argc > 1) {
+        try {
+            spacing = batch::parseCount(argv[1]);
+        } catch (const batch::BatchError &e) {
+            fatal("spacing: %s", e.what());
+        }
+    }
     std::vector<std::string> names;
     for (int i = 2; i < argc; ++i)
         names.push_back(argv[i]);

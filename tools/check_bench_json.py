@@ -10,7 +10,7 @@ Validates — without any third-party dependency — that the report:
     fields;
   * if a baseline is embedded, that it validates recursively.
 
-Usage: check_bench_json.py [BENCH_pr4.json ...]
+Usage: check_bench_json.py [BENCH_pr6.json ...]
 Exits non-zero with a diagnostic on the first violation.
 """
 
@@ -79,7 +79,7 @@ def check_report(report, path, *, is_baseline=False):
 
 
 def main(argv):
-    paths = argv[1:] or ["BENCH_pr4.json"]
+    paths = argv[1:] or ["BENCH_pr6.json"]
     for path in paths:
         try:
             with open(path, "rb") as f:

@@ -26,6 +26,8 @@
 #include <string>
 
 #include "base/logging.hh"
+#include "batch/error.hh"
+#include "batch/plan.hh"
 #include "workload/trace_io.hh"
 #include "workload/trace_registry.hh"
 
@@ -51,13 +53,19 @@ int
 cmdRecord(const std::string &spec, const std::string &count_arg,
           const std::string &out)
 {
-    const long long count = std::atoll(count_arg.c_str());
-    fatal_if(count <= 0, "record: instruction count '%s' must be a "
+    // Strict parse (batch/plan.hh): atoll quietly accepted "100x" as
+    // 100 and overflowed large counts into negatives.
+    InstCount count = 0;
+    try {
+        count = batch::parseCount(count_arg);
+    } catch (const batch::BatchError &e) {
+        fatal("record: instruction count: %s", e.what());
+    }
+    fatal_if(count == 0, "record: instruction count '%s' must be a "
              "positive integer", count_arg.c_str());
 
     auto source = makeTrace(spec);
-    const InstCount written =
-        recordTrace(*source, InstCount(count), out);
+    const InstCount written = recordTrace(*source, count, out);
     std::printf("recorded %llu instructions of '%s' to %s\n",
                 (unsigned long long)written, source->name().c_str(),
                 out.c_str());
@@ -128,6 +136,9 @@ main(int argc, char **argv)
     if (argc < 2)
         usage();
     const std::string cmd = argv[1];
+    // Each subcommand pins its exact arity before touching argv[2..4]:
+    // extra or missing operands fall through to usage() rather than
+    // reading out of bounds or silently ignoring arguments.
     try {
         if (cmd == "record" && argc == 5)
             return cmdRecord(argv[2], argv[3], argv[4]);
