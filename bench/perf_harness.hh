@@ -52,6 +52,17 @@ struct PerfOptions
     /** Serial on purpose: phase wall-clock equals phase CPU time. */
     unsigned host_threads = 1;
 
+    /**
+     * Cells co-scheduled per workload: an LLC sweep of group_size
+     * doublings starting at llc_size (2/4/8 MiB at the default 3),
+     * run through DeloreanMethod::runGroup so every cell shares one
+     * trace decode per window. 1 = solo run() (the pre-PR-7 suite
+     * shape). The report aggregates phases across the group's cells:
+     * shared work is attributed once, so items_per_sec is the honest
+     * batch throughput a multi-config DSE sees.
+     */
+    unsigned group_size = 3;
+
     /** Timed repetitions per workload; the best (minimum wall) run's
      *  measurements are reported. */
     unsigned repeats = 3;
@@ -70,13 +81,17 @@ struct PerfMeasurement
      *  cell). */
     double wall_seconds = 0.0;
 
-    /** Schedule instructions covered by one run (spacing x regions). */
+    /** Schedule instructions covered by one repeat: spacing x regions,
+     *  times the co-scheduled group size (total simulated cells). */
     InstCount insts = 0;
 
-    /** Watchpoint stops of one run (deterministic across repeats). */
+    /** Watchpoint stops of one repeat, summed over the group's cells
+     *  (deterministic across repeats). */
     Counter traps = 0;
 
-    /** Hot-path phase timers of the best repeat. */
+    /** Hot-path phase timers of the best repeat, merged across the
+     *  group's cells (shared decode is attributed once, split evenly
+     *  by the runner, so the sum equals the real wall spent). */
     profiling::PhaseTimings phases;
 
     /** Explorer replay throughput: window insts / replay wall. */

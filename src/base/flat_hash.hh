@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "base/simd.hh"
 #include "base/types.hh"
 
 namespace delorean
@@ -73,6 +74,24 @@ class AddrBitFilter
             return false;
         const std::uint64_t h = mixAddr(key) & (bits - 1);
         return (words_[h >> 6] >> (h & 63)) & 1;
+    }
+
+    /**
+     * Batched probe: may[i] = mayContain(keys[i]) for i in [0, n) —
+     * the vector backends hash four keys per step (base/simd.hh). The
+     * answers are bit-identical to n scalar mayContain() calls, so
+     * batch-prefiltered consumers keep exact trap accounting.
+     */
+    void
+    mayContainAll(const Addr *keys, std::size_t n, std::uint8_t *may) const
+    {
+        if (words_.empty()) {
+            std::fill(may, may + n, std::uint8_t(0));
+            return;
+        }
+        static_assert(bits == std::size_t(1) << 16,
+                      "probeFilter16 hard-codes the filter geometry");
+        simd::probeFilter16(words_.data(), keys, n, may);
     }
 
     void

@@ -6,6 +6,7 @@
 
 #include "base/intmath.hh"
 #include "base/logging.hh"
+#include "base/simd.hh"
 
 namespace delorean
 {
@@ -65,10 +66,13 @@ LogHistogram::markOccupied(std::size_t idx)
 std::size_t
 LogHistogram::nextNonEmpty(std::size_t from) const
 {
-    for (std::size_t word = from >> 6; word < occupied_.size(); ++word) {
-        std::uint64_t bits = occupied_[word];
-        if (word == from >> 6)
-            bits &= ~std::uint64_t(0) << (from & 63);
+    const std::size_t nwords = occupied_.size();
+    std::size_t word = from >> 6;
+    if (word >= nwords)
+        return npos;
+    std::uint64_t bits =
+        occupied_[word] & (~std::uint64_t(0) << (from & 63));
+    while (true) {
         while (bits) {
             const std::size_t idx =
                 (word << 6) + std::size_t(std::countr_zero(bits));
@@ -77,8 +81,13 @@ LogHistogram::nextNonEmpty(std::size_t from) const
                 return idx;
             bits &= bits - 1;
         }
+        // Empty runs dominate sparse histograms; the vectorized word
+        // scan (base/simd.hh) clears them 4 words per step.
+        word = simd::findNonZeroWord(occupied_.data(), word + 1, nwords);
+        if (word >= nwords)
+            return npos;
+        bits = occupied_[word];
     }
-    return npos;
 }
 
 void
@@ -100,14 +109,15 @@ LogHistogram::merge(const LogHistogram &other)
              sub_buckets_, other.sub_buckets_);
     if (other.weights_.size() > weights_.size())
         weights_.resize(other.weights_.size(), 0.0);
-    // Contiguous array sums: in-order (bitwise-reproducible) but free
-    // of per-bucket indirection, and the occupancy words just OR.
-    for (std::size_t i = 0; i < other.weights_.size(); ++i)
-        weights_[i] += other.weights_[i];
+    // Contiguous elementwise sums: each bucket adds the same operand
+    // pair under any vector width, so the SIMD kernels are exact
+    // (base/simd.hh), and the occupancy words just OR.
+    simd::addDoubles(weights_.data(), other.weights_.data(),
+                     other.weights_.size());
     if (other.occupied_.size() > occupied_.size())
         occupied_.resize(other.occupied_.size(), 0);
-    for (std::size_t i = 0; i < other.occupied_.size(); ++i)
-        occupied_[i] |= other.occupied_[i];
+    simd::orWords(occupied_.data(), other.occupied_.data(),
+                  other.occupied_.size());
     total_weight_ += other.total_weight_;
 }
 
@@ -152,13 +162,17 @@ LogHistogram::cdf(std::uint64_t x) const
 
     // Exactly one bucket can straddle x — the one whose index
     // bucketIndex(x) names; every bucket below it lies entirely at or
-    // under x. The sum over the prefix is a contiguous in-order array
-    // walk (adding empty buckets' 0.0 is bitwise-neutral), with the
-    // single range computation reserved for the straddler.
+    // under x. The prefix sum rides the sparse occupancy walk (and so
+    // the SIMD word scan): adding an empty bucket's +0.0 to a
+    // non-negative partial sum is bitwise-neutral, so skipping empty
+    // runs keeps the in-order sum bit-identical to a dense walk. The
+    // sum itself stays serial — lane-splitting a running FP sum would
+    // reassociate it.
     const std::size_t straddle = bucketIndex(x);
     const std::size_t full = std::min(straddle, weights_.size());
     double below = 0.0;
-    for (std::size_t i = 0; i < full; ++i)
+    for (std::size_t i = nextNonEmpty(0); i != npos && i < full;
+         i = nextNonEmpty(i + 1))
         below += weights_[i];
     if (straddle < weights_.size() && weights_[straddle] > 0.0) {
         std::uint64_t low, high;

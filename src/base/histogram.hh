@@ -73,7 +73,14 @@ class LogHistogram
     struct Bucket
     {
         std::uint64_t low;
-        std::uint64_t high; //!< exclusive
+        /**
+         * Exclusive upper bound. Caveat: the topmost sub-bucket's
+         * bound is 2^64, which wraps to 0 — `high - low` still wraps
+         * back to the true width, so derive widths and containment
+         * from it (`x - low < high - low`) instead of comparing high
+         * directly.
+         */
+        std::uint64_t high;
         double weight;
         /** Midpoint used when a single representative value is needed. */
         std::uint64_t mid() const { return low + (high - low) / 2; }

@@ -37,6 +37,7 @@
 #include <array>
 #include <cstdint>
 
+#include "base/fastdiv.hh"
 #include "base/logging.hh"
 
 namespace delorean
@@ -90,6 +91,25 @@ class Rng
             const std::uint64_t r = next();
             if (r >= threshold)
                 return r % bound;
+        }
+    }
+
+    /**
+     * @return uniform value in [0, fd.divisor()), drawing exactly the
+     * same stream (and returning exactly the same values) as
+     * nextBounded(fd.divisor()). The synthetic trace generator draws
+     * by the same loop-invariant bound millions of times per window;
+     * this overload replaces both runtime divisions of the plain
+     * overload with FastDiv multiplications.
+     */
+    std::uint64_t
+    nextBounded(const FastDiv &fd)
+    {
+        const std::uint64_t threshold = fd.negMod();
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold)
+                return fd.mod(r);
         }
     }
 

@@ -1,0 +1,208 @@
+#include "base/simd.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "base/flat_hash.hh"
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace delorean::simd
+{
+
+namespace detail
+{
+
+void
+addDoublesScalar(double *dst, const double *src, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] += src[i];
+}
+
+void
+orWordsScalar(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] |= src[i];
+}
+
+std::size_t
+findNonZeroWordScalar(const std::uint64_t *words, std::size_t from,
+                      std::size_t n)
+{
+    for (std::size_t i = from; i < n; ++i)
+        if (words[i] != 0)
+            return i;
+    return n;
+}
+
+void
+probeFilter16Scalar(const std::uint64_t *words, const Addr *keys,
+                    std::size_t n, std::uint8_t *out)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t h = mixAddr(keys[i]) & 0xffffu;
+        out[i] = std::uint8_t((words[h >> 6] >> (h & 63)) & 1);
+    }
+}
+
+#if defined(__aarch64__)
+
+namespace
+{
+
+void
+addDoublesNeon(double *dst, const double *src, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        // Elementwise vaddq keeps each lane's operand pair — exact.
+        vst1q_f64(dst + i,
+                  vaddq_f64(vld1q_f64(dst + i), vld1q_f64(src + i)));
+    }
+    for (; i < n; ++i)
+        dst[i] += src[i];
+}
+
+void
+orWordsNeon(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        vst1q_u64(dst + i,
+                  vorrq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+    }
+    for (; i < n; ++i)
+        dst[i] |= src[i];
+}
+
+std::size_t
+findNonZeroWordNeon(const std::uint64_t *words, std::size_t from,
+                    std::size_t n)
+{
+    std::size_t i = from;
+    for (; i + 2 <= n; i += 2) {
+        const uint64x2_t v = vld1q_u64(words + i);
+        if (vmaxvq_u32(vreinterpretq_u32_u64(v)) != 0)
+            break;
+    }
+    for (; i < n; ++i)
+        if (words[i] != 0)
+            return i;
+    return n;
+}
+
+} // namespace
+
+#endif // __aarch64__
+
+} // namespace detail
+
+namespace
+{
+
+struct Kernels
+{
+    Backend backend;
+    const char *name;
+    void (*add_doubles)(double *, const double *, std::size_t);
+    void (*or_words)(std::uint64_t *, const std::uint64_t *, std::size_t);
+    std::size_t (*find_nonzero)(const std::uint64_t *, std::size_t,
+                                std::size_t);
+    void (*probe_filter16)(const std::uint64_t *, const Addr *,
+                           std::size_t, std::uint8_t *);
+};
+
+constexpr Kernels scalar_kernels = {
+    Backend::Scalar,
+    "scalar",
+    detail::addDoublesScalar,
+    detail::orWordsScalar,
+    detail::findNonZeroWordScalar,
+    detail::probeFilter16Scalar,
+};
+
+Kernels
+resolveKernels()
+{
+#if !defined(DELOREAN_FORCE_SCALAR)
+    // Runtime escape hatch: the forced-scalar CI job and the
+    // SIMD-vs-scalar bit-identity tests set DELOREAN_SIMD=scalar.
+    const char *env = std::getenv("DELOREAN_SIMD");
+    if (env && std::strcmp(env, "scalar") == 0)
+        return scalar_kernels;
+#if defined(__x86_64__) || defined(_M_X64)
+    if (detail::avx2Compiled() && __builtin_cpu_supports("avx2")) {
+        return {Backend::Avx2,
+                "avx2",
+                detail::addDoublesAvx2,
+                detail::orWordsAvx2,
+                detail::findNonZeroWordAvx2,
+                detail::probeFilter16Avx2};
+    }
+#elif defined(__aarch64__)
+    // NEON is baseline on aarch64 — no runtime probe needed. The
+    // filter probe stays scalar there: without a 64-bit gather the
+    // vectorized mix does not pay for itself.
+    return {Backend::Neon,
+            "neon",
+            detail::addDoublesNeon,
+            detail::orWordsNeon,
+            detail::findNonZeroWordNeon,
+            detail::probeFilter16Scalar};
+#endif
+#endif // !DELOREAN_FORCE_SCALAR
+    return scalar_kernels;
+}
+
+const Kernels &
+kernels()
+{
+    static const Kernels k = resolveKernels();
+    return k;
+}
+
+} // namespace
+
+Backend
+backend()
+{
+    return kernels().backend;
+}
+
+const char *
+backendName()
+{
+    return kernels().name;
+}
+
+void
+addDoubles(double *dst, const double *src, std::size_t n)
+{
+    kernels().add_doubles(dst, src, n);
+}
+
+void
+orWords(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    kernels().or_words(dst, src, n);
+}
+
+std::size_t
+findNonZeroWord(const std::uint64_t *words, std::size_t from,
+                std::size_t n)
+{
+    return kernels().find_nonzero(words, from, n);
+}
+
+void
+probeFilter16(const std::uint64_t *words, const Addr *keys, std::size_t n,
+              std::uint8_t *out)
+{
+    kernels().probe_filter16(words, keys, n, out);
+}
+
+} // namespace delorean::simd

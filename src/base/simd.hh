@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Portable SIMD kernels for the merge-walk and prefilter hot loops.
+ *
+ * A deliberately tiny surface: four kernels, each one an operation the
+ * library's hot paths spend real time in and each one *bit-identical*
+ * to its scalar loop by construction —
+ *
+ *  - addDoubles: elementwise dst[i] += src[i]. IEEE-754 addition is
+ *    deterministic per element, and elementwise vector adds keep every
+ *    element's operand pair unchanged, so the vector form is exact.
+ *    (Reductions are NOT offered: lane-splitting a running sum
+ *    reassociates it and changes the low bits.)
+ *  - orWords / findNonZeroWord: bitwise OR and first-nonzero scan over
+ *    u64 words — integer ops, trivially exact.
+ *  - probeFilter16: batched AddrBitFilter probes (splitmix64 mix + bit
+ *    test on a 2^16-bit filter). Pure integer arithmetic, exact.
+ *
+ * Backend selection: the AVX2 kernels live in their own translation
+ * unit (simd_avx2.cc) compiled with -mavx2 while the rest of the
+ * library keeps the default ISA — nothing outside that TU can emit
+ * AVX/FMA encodings and perturb pinned floating-point results. At
+ * startup the dispatcher picks AVX2 when the TU was compiled with it
+ * AND the CPU reports it (x86-64), NEON on aarch64 (baseline there),
+ * and the scalar loops otherwise. `DELOREAN_SIMD=scalar` in the
+ * environment forces the scalar backend at run time (the CI
+ * forced-scalar job and the bit-identity tests use this), and
+ * configuring with -DDELOREAN_FORCE_SCALAR=ON removes the vector
+ * backends at build time.
+ */
+
+#ifndef DELOREAN_BASE_SIMD_HH
+#define DELOREAN_BASE_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace delorean::simd
+{
+
+enum class Backend
+{
+    Scalar,
+    Avx2,
+    Neon,
+};
+
+/** The backend selected for this process (resolved once, at first use). */
+Backend backend();
+
+/** Human-readable backend name ("scalar", "avx2", "neon"). */
+const char *backendName();
+
+/** dst[i] += src[i] for i in [0, n). Elementwise — bit-exact. */
+void addDoubles(double *dst, const double *src, std::size_t n);
+
+/** dst[i] |= src[i] for i in [0, n). */
+void orWords(std::uint64_t *dst, const std::uint64_t *src, std::size_t n);
+
+/**
+ * @return the smallest i in [from, n) with words[i] != 0, or n.
+ * (Callers scan occupancy bitmaps; the common case is long zero runs.)
+ */
+std::size_t findNonZeroWord(const std::uint64_t *words, std::size_t from,
+                            std::size_t n);
+
+/**
+ * Batched AddrBitFilter probe: out[i] = bit mixAddr(keys[i]) & 0xffff
+ * of the 2^16-bit filter backed by @p words (1024 u64 words). Matches
+ * AddrBitFilter::mayContain exactly; the caller handles the
+ * empty-filter (unallocated) case.
+ */
+void probeFilter16(const std::uint64_t *words, const Addr *keys,
+                   std::size_t n, std::uint8_t *out);
+
+namespace detail
+{
+
+// Scalar reference kernels (simd.cc) — also the tail loops of the
+// vector backends.
+void addDoublesScalar(double *dst, const double *src, std::size_t n);
+void orWordsScalar(std::uint64_t *dst, const std::uint64_t *src,
+                   std::size_t n);
+std::size_t findNonZeroWordScalar(const std::uint64_t *words,
+                                  std::size_t from, std::size_t n);
+void probeFilter16Scalar(const std::uint64_t *words, const Addr *keys,
+                         std::size_t n, std::uint8_t *out);
+
+// AVX2 kernels (simd_avx2.cc). When that TU is built without -mavx2
+// (non-x86 or forced-scalar builds) these compile to the scalar
+// kernels and avx2Compiled() reports false, so the dispatcher never
+// selects them.
+bool avx2Compiled();
+void addDoublesAvx2(double *dst, const double *src, std::size_t n);
+void orWordsAvx2(std::uint64_t *dst, const std::uint64_t *src,
+                 std::size_t n);
+std::size_t findNonZeroWordAvx2(const std::uint64_t *words,
+                                std::size_t from, std::size_t n);
+void probeFilter16Avx2(const std::uint64_t *words, const Addr *keys,
+                       std::size_t n, std::uint8_t *out);
+
+} // namespace detail
+
+} // namespace delorean::simd
+
+#endif // DELOREAN_BASE_SIMD_HH

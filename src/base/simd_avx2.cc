@@ -1,0 +1,179 @@
+/**
+ * @file
+ * AVX2 kernel bodies — the ONLY translation unit compiled with -mavx2
+ * (CMakeLists.txt sets the flag per-file on x86-64). Keeping AVX2
+ * codegen confined here guarantees the compiler cannot auto-vectorize
+ * or FMA-contract any other floating-point code in the library, which
+ * is what keeps results bit-identical across build hosts.
+ *
+ * When built without -mavx2 (non-x86 targets, or -DDELOREAN_FORCE_SCALAR)
+ * the kernels degrade to the scalar reference loops and avx2Compiled()
+ * reports false, so the dispatcher never selects this backend.
+ */
+
+#include "base/simd.hh"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace delorean::simd::detail
+{
+
+#if defined(__AVX2__)
+
+bool
+avx2Compiled()
+{
+    return true;
+}
+
+void
+addDoublesAvx2(double *dst, const double *src, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        // Elementwise vaddpd: every lane adds the same operand pair
+        // the scalar loop would — exact. No FMA contraction is
+        // possible (there is no multiply to fuse).
+        _mm256_storeu_pd(dst + i,
+                         _mm256_add_pd(_mm256_loadu_pd(dst + i),
+                                       _mm256_loadu_pd(src + i)));
+    }
+    for (; i < n; ++i)
+        dst[i] += src[i];
+}
+
+void
+orWordsAvx2(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i a =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(dst + i));
+        const __m256i b =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(src + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(dst + i),
+                            _mm256_or_si256(a, b));
+    }
+    for (; i < n; ++i)
+        dst[i] |= src[i];
+}
+
+std::size_t
+findNonZeroWordAvx2(const std::uint64_t *words, std::size_t from,
+                    std::size_t n)
+{
+    std::size_t i = from;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(words + i));
+        if (!_mm256_testz_si256(v, v))
+            break; // some lane is nonzero; pinpoint it below
+    }
+    for (; i < n; ++i)
+        if (words[i] != 0)
+            return i;
+    return n;
+}
+
+namespace
+{
+
+/**
+ * Lane-wise low-64 product x * c for a compile-time constant c. AVX2
+ * has no 64x64 multiply, so build it from 32x32 partial products:
+ * low64(x*c) = lo(x)*lo(c) + ((lo(x)*hi(c) + hi(x)*lo(c)) << 32).
+ */
+template <std::uint64_t c>
+inline __m256i
+mullo64(__m256i x)
+{
+    const __m256i cl = _mm256_set1_epi64x(std::int64_t(c & 0xffffffffu));
+    const __m256i ch = _mm256_set1_epi64x(std::int64_t(c >> 32));
+    const __m256i xh = _mm256_srli_epi64(x, 32);
+    const __m256i lo = _mm256_mul_epu32(x, cl);
+    const __m256i mid =
+        _mm256_add_epi64(_mm256_mul_epu32(x, ch), _mm256_mul_epu32(xh, cl));
+    return _mm256_add_epi64(lo, _mm256_slli_epi64(mid, 32));
+}
+
+/** Four-lane splitmix64 — bit-for-bit the scalar mixAddr. */
+inline __m256i
+mixAddr4(__m256i x)
+{
+    x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 30));
+    x = mullo64<0xbf58476d1ce4e5b9ull>(x);
+    x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 27));
+    x = mullo64<0x94d049bb133111ebull>(x);
+    return _mm256_xor_si256(x, _mm256_srli_epi64(x, 31));
+}
+
+} // namespace
+
+void
+probeFilter16Avx2(const std::uint64_t *words, const Addr *keys,
+                  std::size_t n, std::uint8_t *out)
+{
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256i k = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(keys + i));
+        const __m256i h =
+            _mm256_and_si256(mixAddr4(k), _mm256_set1_epi64x(0xffff));
+        // Gather the four filter words, then test each lane's bit.
+        const __m256i w = _mm256_i64gather_epi64(
+            reinterpret_cast<const long long *>(words),
+            _mm256_srli_epi64(h, 6), 8);
+        const __m256i bit = _mm256_and_si256(
+            _mm256_srlv_epi64(
+                w, _mm256_and_si256(h, _mm256_set1_epi64x(63))),
+            _mm256_set1_epi64x(1));
+        alignas(32) std::uint64_t lanes[4];
+        _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), bit);
+        out[i + 0] = std::uint8_t(lanes[0]);
+        out[i + 1] = std::uint8_t(lanes[1]);
+        out[i + 2] = std::uint8_t(lanes[2]);
+        out[i + 3] = std::uint8_t(lanes[3]);
+    }
+    if (i < n)
+        probeFilter16Scalar(words, keys + i, n - i, out + i);
+}
+
+#else // !__AVX2__
+
+bool
+avx2Compiled()
+{
+    return false;
+}
+
+void
+addDoublesAvx2(double *dst, const double *src, std::size_t n)
+{
+    addDoublesScalar(dst, src, n);
+}
+
+void
+orWordsAvx2(std::uint64_t *dst, const std::uint64_t *src, std::size_t n)
+{
+    orWordsScalar(dst, src, n);
+}
+
+std::size_t
+findNonZeroWordAvx2(const std::uint64_t *words, std::size_t from,
+                    std::size_t n)
+{
+    return findNonZeroWordScalar(words, from, n);
+}
+
+void
+probeFilter16Avx2(const std::uint64_t *words, const Addr *keys,
+                  std::size_t n, std::uint8_t *out)
+{
+    probeFilter16Scalar(words, keys, n, out);
+}
+
+#endif // __AVX2__
+
+} // namespace delorean::simd::detail

@@ -8,6 +8,7 @@
 #include "base/logging.hh"
 #include "batch/error.hh"
 #include "checkpoint/livepoint.hh"
+#include "core/delorean.hh"
 #include "core/parallel.hh"
 #include "sampling/coolsim.hh"
 #include "sampling/smarts.hh"
@@ -15,6 +16,46 @@
 
 namespace delorean::batch
 {
+
+namespace
+{
+
+/**
+ * Cells eligible for co-scheduled execution: exact-mode DeLorean with
+ * no live-point file. Everything else runs solo through runCell.
+ */
+bool
+coSchedulable(const BatchCell &cell)
+{
+    return cell.method == "delorean" && cell.config.confidence == 0.0 &&
+           cell.config.livepoint_file.empty();
+}
+
+/**
+ * Cells in one co-scheduled group must share everything that shapes
+ * the group's decode pass: the trace, the region schedule, the
+ * Explorer geometry and the thread fan-out
+ * (core::DeloreanMethod::runGroup's contract). The hierarchy, detailed
+ * simulator and cost model may differ freely — they are per-cell.
+ */
+std::string
+groupKey(const BatchCell &cell)
+{
+    const auto &c = cell.config;
+    const auto &s = c.schedule;
+    std::string key = normalizeSpec(cell.workload);
+    key += '|' + std::to_string(s.num_regions);
+    key += '|' + std::to_string(s.spacing);
+    key += '|' + std::to_string(s.region_len);
+    key += '|' + std::to_string(s.detailed_warming);
+    key += '|' + std::to_string(c.paper_vicinity_period);
+    key += '|' + std::to_string(c.host_threads);
+    for (const auto h : c.paper_horizons)
+        key += ',' + std::to_string(h);
+    return key;
+}
+
+} // namespace
 
 sampling::MethodResult
 BatchRunner::runCell(const BatchCell &cell)
@@ -91,10 +132,56 @@ BatchRunner::run(const BatchPlan &plan, const BatchOptions &opt)
     BatchReport report;
     report.skipped = plan.cells().size() - mine.size();
 
-    auto outcomes = core::parallelMap(
-        mine.size(), opt.threads, [&](std::size_t i) {
+    // Co-scheduling: cells that share a trace and Explorer geometry
+    // execute as one unit — the group decodes each Explorer window
+    // once and fans the reference stream out to every cell's profiler
+    // (core::DeloreanMethod::runGroup). Grouping changes execution
+    // only: each cell's result, and the key it is cached under, is
+    // bit-identical to a solo runCell. Units preserve first-member
+    // order, and outcomes scatter back by position, so report order
+    // is unchanged for any grouping.
+    std::vector<std::vector<std::size_t>> units;
+    {
+        std::unordered_map<std::string, std::size_t> group_of;
+        for (std::size_t i = 0; i < mine.size(); ++i) {
+            if (!coSchedulable(*mine[i])) {
+                units.push_back({i});
+                continue;
+            }
+            const auto [it, fresh] =
+                group_of.try_emplace(groupKey(*mine[i]), units.size());
+            if (fresh)
+                units.push_back({i});
+            else
+                units[it->second].push_back(i);
+        }
+    }
+
+    // Stores a freshly computed result, guarding against a file-backed
+    // workload re-recorded between plan keying and this execution: the
+    // store would file the *new* content's result under the *old*
+    // content's key — poisoning a future run whose file matches the
+    // old bytes again. Refuse loudly instead.
+    const auto storeResult = [&](const BatchCell &cell,
+                                 const sampling::MethodResult &result) {
+        if (!cache)
+            return;
+        if (specIsFileBacked(normalizeSpec(cell.workload)) &&
+            identityNow(cell.workload) != cell.workload_identity)
+            throw BatchError(cell.workload +
+                             ": file changed during the batch run; "
+                             "result discarded — rerun the plan");
+        cache->store(cell.key, result);
+    };
+
+    std::vector<CellOutcome> outcomes(mine.size());
+    core::parallelMap(units.size(), opt.threads, [&](std::size_t u) {
+        // Probe the cache per member first; only the misses run, and
+        // a group's misses still co-schedule (any subset is valid).
+        std::vector<std::size_t> misses;
+        for (const std::size_t i : units[u]) {
             const BatchCell &cell = *mine[i];
-            CellOutcome outcome;
+            CellOutcome &outcome = outcomes[i];
             outcome.cell = cell.index;
             if (cache) {
                 if (auto hit = cache->load(cell.key)) {
@@ -107,32 +194,58 @@ BatchRunner::run(const BatchPlan &plan, const BatchOptions &opt)
                                      cell.schedule_name.c_str());
                     outcome.result = std::move(*hit);
                     outcome.from_cache = true;
-                    return outcome;
+                    continue;
                 }
             }
-            if (opt.verbose)
-                std::fprintf(stderr, "[batch] %s %s (%s/%s): run...\n",
+            misses.push_back(i);
+        }
+        if (misses.empty())
+            return 0;
+        if (opt.verbose) {
+            for (const std::size_t i : misses) {
+                const BatchCell &cell = *mine[i];
+                std::fprintf(stderr,
+                             "[batch] %s %s (%s/%s): run%s...\n",
                              cell.workload.c_str(), cell.method.c_str(),
                              cell.config_name.c_str(),
-                             cell.schedule_name.c_str());
-            outcome.result = runCell(cell);
-            if (cache) {
-                // A file-backed workload re-recorded between plan
-                // keying and this execution would store the *new*
-                // content's result under the *old* content's key —
-                // poisoning a future run whose file matches the old
-                // bytes again. Refuse loudly instead.
-                if (specIsFileBacked(normalizeSpec(cell.workload)) &&
-                    identityNow(cell.workload) !=
-                        cell.workload_identity)
-                    throw BatchError(
-                        cell.workload +
-                        ": file changed during the batch run; "
-                        "result discarded — rerun the plan");
-                cache->store(cell.key, outcome.result);
+                             cell.schedule_name.c_str(),
+                             misses.size() > 1 ? " (co-scheduled)"
+                                               : "");
             }
-            return outcome;
-        });
+        }
+        if (misses.size() == 1) {
+            const BatchCell &cell = *mine[misses.front()];
+            CellOutcome &outcome = outcomes[misses.front()];
+            outcome.result = runCell(cell);
+            storeResult(cell, outcome.result);
+            return 0;
+        }
+        const BatchCell &lead = *mine[misses.front()];
+        std::vector<core::DeloreanConfig> configs;
+        configs.reserve(misses.size());
+        for (const std::size_t i : misses)
+            configs.push_back(mine[i]->config);
+        std::vector<sampling::MethodResult> results;
+        try {
+            const auto trace = workload::makeTrace(lead.workload);
+            results =
+                core::DeloreanMethod::runGroup(*trace, configs);
+        } catch (const BatchError &) {
+            throw;
+        } catch (const std::exception &e) {
+            throw BatchError(lead.workload +
+                             " [delorean, co-scheduled x" +
+                             std::to_string(misses.size()) +
+                             "]: " + e.what());
+        }
+        for (std::size_t j = 0; j < misses.size(); ++j) {
+            const BatchCell &cell = *mine[misses[j]];
+            CellOutcome &outcome = outcomes[misses[j]];
+            outcome.result = std::move(results[j]);
+            storeResult(cell, outcome.result);
+        }
+        return 0;
+    });
 
     report.outcomes = std::move(outcomes);
     for (const auto &outcome : report.outcomes) {

@@ -473,6 +473,93 @@ runConfident(const workload::TraceSource &master,
 
 } // namespace
 
+std::vector<sampling::MethodResult>
+DeloreanMethod::runGroup(const workload::TraceSource &master,
+                         const std::vector<DeloreanConfig> &configs)
+{
+    if (configs.empty())
+        return {};
+    if (configs.size() == 1)
+        return {run(master, configs.front())};
+
+    // Grouping is an execution strategy: everything that shapes the
+    // shared decode — schedule, Explorer geometry, threading and the
+    // exact (in-order) driver — must match across the group. The
+    // caller (batch/runner.cc) groups by the same criteria; this is
+    // the backstop for direct API users.
+    const DeloreanConfig &lead = configs.front();
+    for (const auto &c : configs) {
+        const auto &a = lead.schedule, &b = c.schedule;
+        fatal_if(a.num_regions != b.num_regions ||
+                     a.spacing != b.spacing ||
+                     a.region_len != b.region_len ||
+                     a.detailed_warming != b.detailed_warming,
+                 "runGroup: configs disagree on the region schedule");
+        fatal_if(c.paper_horizons != lead.paper_horizons ||
+                     c.paper_vicinity_period !=
+                         lead.paper_vicinity_period,
+                 "runGroup: configs disagree on Explorer geometry");
+        fatal_if(c.host_threads != lead.host_threads,
+                 "runGroup: configs disagree on host_threads");
+        fatal_if(c.confidence > 0.0 || !c.livepoint_file.empty(),
+                 "runGroup requires exact mode without live-points");
+        c.schedule.validate();
+        c.hier.validate();
+    }
+
+    const auto &sched = lead.schedule;
+    const std::size_t n_cells = configs.size();
+
+    // One checkpoint store and one Explorer chain for the whole group:
+    // positions and chain geometry derive from the shared schedule.
+    sampling::TraceCheckpointer checkpoints(master);
+    checkpoints.prepare(checkpointPositions(lead));
+    ExplorerChain chain({lead.scaledHorizons(), lead.paper_horizons,
+                         lead.paper_vicinity_period,
+                         std::hash<std::string>{}(master.name())},
+                        checkpoints);
+
+    // Per region: per-cell Scouts (key sets depend on the hierarchy),
+    // then one co-scheduled Explorer replay for all cells.
+    auto per_region = parallelMap(
+        sched.num_regions, lead.host_threads, [&](std::size_t r) {
+            std::vector<RegionWarm> warms(n_cells);
+            std::vector<GroupExploreCell> gcells(n_cells);
+            for (std::size_t i = 0; i < n_cells; ++i) {
+                auto scout_trace =
+                    checkpoints.at(sched.warmingStart(unsigned(r)));
+                warms[i].keys = Scout::scan(
+                    *scout_trace, configs[i].hier, configs[i].sim,
+                    sched.detailed_warming, sched.region_len);
+                gcells[i].keys = warms[i].keys.linesNeedingExploration();
+            }
+            chain.exploreGroup(gcells,
+                               sched.detailedStart(unsigned(r)));
+            for (std::size_t i = 0; i < n_cells; ++i)
+                warms[i].explored = std::move(gcells[i].result);
+            return warms;
+        });
+
+    // Per-cell assembly and Analyst passes, exactly the solo path.
+    std::vector<sampling::MethodResult> results;
+    results.reserve(n_cells);
+    for (std::size_t i = 0; i < n_cells; ++i) {
+        std::vector<KeySet> keys;
+        std::vector<ExplorerResult> explored;
+        keys.reserve(per_region.size());
+        explored.reserve(per_region.size());
+        for (auto &warms : per_region) {
+            keys.push_back(std::move(warms[i].keys));
+            explored.push_back(std::move(warms[i].explored));
+        }
+        const auto artifacts = assembleArtifacts(
+            configs[i], std::move(keys), std::move(explored));
+        results.push_back(
+            analyze(master, configs[i], checkpoints, artifacts));
+    }
+    return results;
+}
+
 sampling::MethodResult
 DeloreanMethod::run(const workload::TraceSource &master,
                     const DeloreanConfig &config,

@@ -166,6 +166,23 @@ class DeloreanMethod
         const std::vector<RegionWarm> *warm = nullptr);
 
     /**
+     * Co-scheduled run of several configurations over one trace: per
+     * region, each config's Scout scans on its own (key sets depend on
+     * the hierarchy), then the Explorer windows are replayed with the
+     * reference stream decoded ONCE and fanned out to every config's
+     * directed profiler (ExplorerChain::exploreGroup); the Analyst
+     * passes stay per config. Requires every config to share the
+     * schedule, Explorer geometry (paper_horizons,
+     * paper_vicinity_period), host_threads, exact mode
+     * (confidence == 0) and no live-point file — grouping is an
+     * execution strategy only, so results (and any caching of them)
+     * are bit-identical per config to a solo run().
+     */
+    static std::vector<sampling::MethodResult>
+    runGroup(const workload::TraceSource &master,
+             const std::vector<DeloreanConfig> &configs);
+
+    /**
      * Phase 1: Scout + Explorers for every region.
      *
      * @param scout_hier machine configuration used for the Scout's

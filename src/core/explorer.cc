@@ -8,6 +8,36 @@
 namespace delorean::core
 {
 
+namespace
+{
+
+/**
+ * Fold one window's directed-profiling and vicinity outputs into a
+ * cell's result — the common tail of exploreOne and exploreGroup, so
+ * solo and co-scheduled runs cannot drift apart.
+ *
+ * @return the keys still unresolved (the next Explorer's input)
+ */
+std::vector<Addr>
+foldWindow(ExplorerResult &res, std::size_t k,
+           profiling::DirectedProfileResult profile,
+           const profiling::VicinitySampler &vicinity)
+{
+    res.found_by[k] = profile.back_distance.size();
+    res.dp_traps[k] = profile.traps;
+    res.dp_false_positives[k] = profile.false_positives;
+    res.vicinity_traps[k] = vicinity.traps();
+    res.vicinity_false_positives[k] = vicinity.falsePositives();
+    res.vicinity_samples += vicinity.samples();
+    res.vicinity.merge(vicinity.histogram());
+
+    for (const auto &[line, back] : profile.back_distance)
+        res.back_distance.emplace(line, back);
+    return std::move(profile.unresolved);
+}
+
+} // namespace
+
 std::uint64_t
 ExplorerConfig::vicinityPeriod(std::size_t k) const
 {
@@ -37,8 +67,8 @@ ExplorerChain::ExplorerChain(const ExplorerConfig &config,
 
 std::vector<Addr>
 ExplorerChain::exploreOne(std::size_t k, const std::vector<Addr> &keys,
-                          InstCount detailed_start,
-                          ExplorerResult &res) const
+                          InstCount detailed_start, ExplorerResult &res,
+                          WindowLineCache *cache) const
 {
     res.engaged = std::max(res.engaged, unsigned(k + 1));
 
@@ -52,7 +82,22 @@ ExplorerChain::exploreOne(std::size_t k, const std::vector<Addr> &keys,
     // use virtualized directed profiling with watchpoint traps (§3.3).
     const bool virtualized = k > 0;
 
-    auto trace = checkpoints_.at(window_start);
+    // Nested-window replay reuse: only the fresh prefix
+    // [window_start, fresh_end) needs trace re-execution; the suffix
+    // [fresh_end, detailed_start) replays from the cached line stream
+    // of the previous (inner) window. See WindowLineCache.
+    const bool have_cache = cache && cache->valid;
+    fatal_if(have_cache && (cache->end != detailed_start ||
+                            cache->start < window_start),
+             "WindowLineCache does not nest inside Explorer-%zu's "
+             "window (cache [%llu, %llu), window [%llu, %llu))",
+             k, (unsigned long long)cache->start,
+             (unsigned long long)cache->end,
+             (unsigned long long)window_start,
+             (unsigned long long)detailed_start);
+    const InstCount fresh_end = have_cache ? cache->start : detailed_start;
+    const InstCount fresh = fresh_end - window_start;
+
     profiling::DirectedProfiler dp;
     dp.begin(keys, virtualized);
     profiling::VicinitySampler vicinity(
@@ -69,39 +114,185 @@ ExplorerChain::exploreOne(std::size_t k, const std::vector<Addr> &keys,
     // with a handful of clock reads per chunk instead of per access.
     constexpr InstCount chunk = 4096;
     std::array<Addr, chunk> lines;
+    std::vector<Addr> fresh_lines;
+    if (cache && fresh > 0) {
+        // Memory instructions are typically 20-40% of the stream;
+        // reserving half avoids regrowth without overcommitting.
+        fresh_lines.reserve(std::size_t(fresh / 2));
+    }
     double replay_ns = 0.0;
     double vicinity_ns = 0.0;
     RefCount mem_refs = 0;
-    for (InstCount done = 0; done < window;) {
-        const InstCount n = std::min(chunk, window - done);
+    if (fresh > 0) {
+        auto trace = checkpoints_.at(window_start);
+        for (InstCount done = 0; done < fresh;) {
+            const InstCount n = std::min(chunk, fresh - done);
+            const double t0 = profiling::nowNs();
+            const InstCount m = trace->memLines(lines.data(), n);
+            dp.observeAll(lines.data(), std::size_t(m));
+            if (cache) {
+                // Cache maintenance is charged to the replay phase:
+                // it is the cost of making later windows cheap.
+                fresh_lines.insert(fresh_lines.end(), lines.data(),
+                                   lines.data() + m);
+            }
+            const double t1 = profiling::nowNs();
+            vicinity.observeAll(lines.data(), std::size_t(m));
+            vicinity_ns += profiling::nowNs() - t1;
+            replay_ns += t1 - t0;
+            mem_refs += m;
+            done += n;
+        }
+    }
+    if (have_cache && !cache->lines.empty()) {
         const double t0 = profiling::nowNs();
-        const InstCount m = trace->memLines(lines.data(), n);
-        dp.observeAll(lines.data(), std::size_t(m));
+        dp.observeAll(cache->lines.data(), cache->lines.size());
         const double t1 = profiling::nowNs();
-        vicinity.observeAll(lines.data(), std::size_t(m));
+        vicinity.observeAll(cache->lines.data(), cache->lines.size());
         vicinity_ns += profiling::nowNs() - t1;
         replay_ns += t1 - t0;
-        mem_refs += m;
-        done += n;
+        mem_refs += cache->lines.size();
     }
     res.timing.note(profiling::HotPhase::ExplorerReplay, replay_ns,
                     window);
     res.timing.note(profiling::HotPhase::Vicinity, vicinity_ns, mem_refs);
 
+    if (cache) {
+        if (have_cache) {
+            fresh_lines.insert(fresh_lines.end(), cache->lines.begin(),
+                               cache->lines.end());
+        }
+        cache->lines = std::move(fresh_lines);
+        cache->start = window_start;
+        cache->end = detailed_start;
+        cache->valid = true;
+    }
+
     vicinity.endWindow();
-    auto profile = dp.end();
+    return foldWindow(res, k, dp.end(), vicinity);
+}
 
-    res.found_by[k] = profile.back_distance.size();
-    res.dp_traps[k] = profile.traps;
-    res.dp_false_positives[k] = profile.false_positives;
-    res.vicinity_traps[k] = vicinity.traps();
-    res.vicinity_false_positives[k] = vicinity.falsePositives();
-    res.vicinity_samples += vicinity.samples();
-    res.vicinity.merge(vicinity.histogram());
+void
+ExplorerChain::exploreGroup(std::vector<GroupExploreCell> &cells,
+                            InstCount detailed_start) const
+{
+    std::vector<std::vector<Addr>> remaining(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        remaining[i] = cells[i].keys;
 
-    for (const auto &[line, back] : profile.back_distance)
-        res.back_distance.emplace(line, back);
-    return std::move(profile.unresolved);
+    WindowLineCache cache;
+    constexpr InstCount chunk = 4096;
+    std::array<Addr, chunk> lines;
+
+    for (std::size_t k = 0; k < config_.horizons.size(); ++k) {
+        // A cell participates while it still has unresolved keys —
+        // the solo engagement rule, evaluated per cell.
+        std::vector<std::size_t> parts;
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            if (!remaining[i].empty())
+                parts.push_back(i);
+        if (parts.empty())
+            break;
+
+        const InstCount horizon = config_.horizons[k];
+        const InstCount window_start =
+            detailed_start >= horizon ? detailed_start - horizon : 0;
+        const InstCount window = detailed_start - window_start;
+        const bool virtualized = k > 0;
+
+        const bool have_cache = cache.valid;
+        const InstCount fresh_end =
+            have_cache ? cache.start : detailed_start;
+        const InstCount fresh = fresh_end - window_start;
+
+        std::vector<profiling::DirectedProfiler> dps(parts.size());
+        std::vector<double> dp_ns(parts.size(), 0.0);
+        for (std::size_t p = 0; p < parts.size(); ++p) {
+            ExplorerResult &res = cells[parts[p]].result;
+            res.engaged = std::max(res.engaged, unsigned(k + 1));
+            res.window_insts[k] = window;
+            dps[p].begin(remaining[parts[p]], virtualized);
+        }
+
+        // The vicinity sampler is seeded from the shared trace and
+        // window only, so every participant would compute the same
+        // stream: run it once and fold it into each of them.
+        profiling::VicinitySampler vicinity(
+            config_.vicinityPeriod(k),
+            config_.seed + detailed_start + k * 0x9e37);
+        vicinity.beginWindow(virtualized);
+
+        std::vector<Addr> fresh_lines;
+        if (fresh > 0)
+            fresh_lines.reserve(std::size_t(fresh / 2));
+        double shared_ns = 0.0; // decode + line-cache maintenance
+        double vicinity_ns = 0.0;
+        RefCount mem_refs = 0;
+
+        // Decode the fresh prefix once, fanning each chunk out to
+        // every participant's profiler; replay the nested-window
+        // suffix from the cached line stream (see WindowLineCache).
+        if (fresh > 0) {
+            auto trace = checkpoints_.at(window_start);
+            for (InstCount done = 0; done < fresh;) {
+                const InstCount n = std::min(chunk, fresh - done);
+                double t0 = profiling::nowNs();
+                const InstCount m = trace->memLines(lines.data(), n);
+                fresh_lines.insert(fresh_lines.end(), lines.data(),
+                                   lines.data() + m);
+                shared_ns += profiling::nowNs() - t0;
+                for (std::size_t p = 0; p < dps.size(); ++p) {
+                    t0 = profiling::nowNs();
+                    dps[p].observeAll(lines.data(), std::size_t(m));
+                    dp_ns[p] += profiling::nowNs() - t0;
+                }
+                t0 = profiling::nowNs();
+                vicinity.observeAll(lines.data(), std::size_t(m));
+                vicinity_ns += profiling::nowNs() - t0;
+                mem_refs += m;
+                done += n;
+            }
+        }
+        if (have_cache && !cache.lines.empty()) {
+            for (std::size_t p = 0; p < dps.size(); ++p) {
+                const double t0 = profiling::nowNs();
+                dps[p].observeAll(cache.lines.data(),
+                                  cache.lines.size());
+                dp_ns[p] += profiling::nowNs() - t0;
+            }
+            const double t0 = profiling::nowNs();
+            vicinity.observeAll(cache.lines.data(), cache.lines.size());
+            vicinity_ns += profiling::nowNs() - t0;
+            mem_refs += cache.lines.size();
+        }
+
+        vicinity.endWindow();
+
+        // Shared decode and vicinity costs are split evenly across the
+        // window's participants: per-cell numbers are attributions,
+        // but their sum equals the work actually done.
+        const double share = 1.0 / double(parts.size());
+        for (std::size_t p = 0; p < parts.size(); ++p) {
+            ExplorerResult &res = cells[parts[p]].result;
+            res.timing.note(profiling::HotPhase::ExplorerReplay,
+                            shared_ns * share + dp_ns[p], window);
+            res.timing.note(profiling::HotPhase::Vicinity,
+                            vicinity_ns * share, mem_refs);
+            remaining[parts[p]] =
+                foldWindow(res, k, dps[p].end(), vicinity);
+        }
+
+        if (have_cache)
+            fresh_lines.insert(fresh_lines.end(), cache.lines.begin(),
+                               cache.lines.end());
+        cache.lines = std::move(fresh_lines);
+        cache.start = window_start;
+        cache.end = detailed_start;
+        cache.valid = true;
+    }
+
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        cells[i].result.unresolved = std::move(remaining[i]);
 }
 
 ExplorerResult
@@ -111,9 +302,10 @@ ExplorerChain::explore(const std::vector<Addr> &keys,
     ExplorerResult res;
     std::vector<Addr> remaining = keys;
 
+    WindowLineCache cache;
     for (std::size_t k = 0;
          k < config_.horizons.size() && !remaining.empty(); ++k) {
-        remaining = exploreOne(k, remaining, detailed_start, res);
+        remaining = exploreOne(k, remaining, detailed_start, res, &cache);
     }
 
     res.unresolved = std::move(remaining);

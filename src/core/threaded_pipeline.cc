@@ -19,6 +19,8 @@ struct RegionWork
     KeySet keys;
     std::vector<Addr> remaining;
     ExplorerResult explored;
+    /** Decoded-line carry between this region's nested windows. */
+    WindowLineCache cache;
 };
 
 using WorkPtr = std::unique_ptr<RegionWork>;
@@ -73,7 +75,7 @@ ThreadedTimeTravel::run(const workload::TraceSource &master,
                     (*work)->remaining = chain.exploreOne(
                         k, (*work)->remaining,
                         sched.detailedStart((*work)->region),
-                        (*work)->explored);
+                        (*work)->explored, &(*work)->cache);
                 }
                 pipes[k + 1].push(std::move(*work));
             }

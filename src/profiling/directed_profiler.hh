@@ -91,13 +91,51 @@ class DirectedProfiler
 
     /**
      * Present a dense batch of memory-access lines (stream order) —
-     * one call per replay chunk, equivalent to observe() per line.
+     * one call per replay chunk, bit-identical to observe() per line
+     * (same screens, same statistics, same positions) but with the
+     * page/key prefilter probes hashed in SIMD batches: the
+     * overwhelmingly common all-clear chunk never touches the exact
+     * tables. The engine is never re-armed mid-window, so hoisting
+     * the active() test out of the loop is exact too.
      */
     void
     observeAll(const Addr *lines, std::size_t n)
     {
-        for (std::size_t i = 0; i < n; ++i)
-            observe(lines[i]);
+        constexpr std::size_t batch = 256;
+        std::uint8_t may[batch];
+        if (virtualized_) {
+            if (!engine_.active()) {
+                pos_ += n;
+                return;
+            }
+            while (n > 0) {
+                const std::size_t b = n < batch ? n : batch;
+                engine_.prefilterPages(lines, b, may);
+                for (std::size_t i = 0; i < b; ++i) {
+                    if (may[i] && engine_.accessPrefiltered(lines[i]) ==
+                                      Trap::Hit) {
+                        *last_seen_.find(lines[i]) = pos_;
+                    }
+                    ++pos_;
+                }
+                lines += b;
+                n -= b;
+            }
+        } else {
+            while (n > 0) {
+                const std::size_t b = n < batch ? n : batch;
+                key_filter_.mayContainAll(lines, b, may);
+                for (std::size_t i = 0; i < b; ++i) {
+                    if (may[i]) {
+                        if (RefCount *last = last_seen_.find(lines[i]))
+                            *last = pos_;
+                    }
+                    ++pos_;
+                }
+                lines += b;
+                n -= b;
+            }
+        }
     }
 
     /** Finish the window and report distances/unresolved keys. */

@@ -73,6 +73,42 @@ class WatchpointEngine
         return accessProtected(line, page);
     }
 
+    /**
+     * Batched page prefilter over a chunk of the reference stream:
+     * may[i] = the page of lines[i] has its filter bit set — exactly
+     * the screen access() applies per line, but hashed four lanes at a
+     * time (base/simd.hh). No statistics are touched (the prefilter
+     * never counts), so splitting access() into prefilterPages() +
+     * accessPrefiltered() keeps trap accounting bit-identical.
+     */
+    void
+    prefilterPages(const Addr *lines, std::size_t n,
+                   std::uint8_t *may) const
+    {
+        constexpr std::size_t batch = 256;
+        Addr pages[batch];
+        while (n > 0) {
+            const std::size_t b = n < batch ? n : batch;
+            for (std::size_t i = 0; i < b; ++i)
+                pages[i] = pageOfLine(lines[i]);
+            filter_.mayContainAll(pages, b, may);
+            lines += b;
+            may += b;
+            n -= b;
+        }
+    }
+
+    /**
+     * access() for a line whose page already passed prefilterPages().
+     * Call only for lines with may[i] set; clear lines are Trap::None
+     * with no statistics, exactly as access() leaves them.
+     */
+    Trap
+    accessPrefiltered(Addr line)
+    {
+        return accessProtected(line, pageOfLine(line));
+    }
+
     /** @return true if any line is being watched. */
     bool active() const { return !lines_.empty(); }
 

@@ -5,6 +5,8 @@
 #include <csignal>
 #include <sstream>
 
+#include "batch/error.hh"
+#include "batch/plan.hh"
 #include "batch/result_io.hh"
 #include "service/server.hh"
 #include "workload/endian.hh"
@@ -62,15 +64,24 @@ ServiceClient::submit(const std::string &manifest_text,
     const std::string reply = call(protocol::Opcode::Submit,
                                    std::move(body));
 
-    // "job=<id> cells=<n>\n"
+    // "job=<id> cells=<n>\n". The values cross a process boundary, so
+    // parse strictly (batch::parseCount: digits only, no sign, no
+    // trailing junk, range-checked) — a raw std::stoull would accept
+    // "-1" by wraparound, stop silently at "12x"'s junk, and escape as
+    // a bare std::invalid_argument on "abc" instead of a ServiceError.
     SubmitInfo info;
     std::istringstream is(reply);
     std::string token;
-    while (is >> token) {
-        if (token.rfind("job=", 0) == 0)
-            info.job = std::stoull(token.substr(4));
-        else if (token.rfind("cells=", 0) == 0)
-            info.cells = std::stoull(token.substr(6));
+    try {
+        while (is >> token) {
+            if (token.rfind("job=", 0) == 0)
+                info.job = batch::parseCount(token.substr(4));
+            else if (token.rfind("cells=", 0) == 0)
+                info.cells = batch::parseCount(token.substr(6));
+        }
+    } catch (const batch::BatchError &e) {
+        throw ServiceError("SUBMIT: malformed reply '" + reply +
+                           "': " + e.what());
     }
     if (info.job == 0)
         throw ServiceError("SUBMIT: malformed reply '" + reply + "'");
@@ -92,9 +103,21 @@ ServiceClient::jobStatus(std::uint64_t job)
 bool
 ServiceClient::jobDone(std::uint64_t job)
 {
+    // Parse the state *token* instead of substring-searching the whole
+    // line: the trailing name= field echoes a client-controlled job
+    // name, so a manifest called "state=done.plan" would otherwise make
+    // every poll of its still-running job report finished. The first
+    // state= token is the genuine one (name= comes last).
     const std::string line = jobStatus(job);
-    return line.find("state=done") != std::string::npos ||
-           line.find("state=failed") != std::string::npos;
+    std::istringstream is(line);
+    std::string token;
+    while (is >> token) {
+        if (token.rfind("state=", 0) == 0) {
+            const std::string state = token.substr(6);
+            return state == "done" || state == "failed";
+        }
+    }
+    throw ServiceError("STATUS: no state in reply '" + line + "'");
 }
 
 std::string

@@ -249,8 +249,17 @@ ManifestWatcher::moveLocked(const std::string &path,
         return;
     }
     if (error) {
-        std::ofstream os(target + ".err", std::ios::trunc);
+        // The .err sidecar is the only place the failure reason
+        // survives — if it cannot be written (permissions, full disk),
+        // say so in the log rather than archiving a silent failure.
+        const std::string err_path = target + ".err";
+        std::ofstream os(err_path, std::ios::trunc);
         os << *error << "\n";
+        os.flush();
+        if (!os)
+            warn("spool: cannot write failure reason to %s (job "
+                 "archived without it): %s", err_path.c_str(),
+                 error->c_str());
     }
     // Moved away: forget the path entirely. A later drop at the same
     // name — even with identical content — is a fresh submission.

@@ -58,7 +58,10 @@ StatStack::StatStack(const ReuseHistogram &reuse)
         integral += 0.5 * (surv + next) * width;
         surv = next;
         at_risk -= b.weight;
-        x = b.high;
+        // The topmost bucket's exclusive bound 2^64 wraps to 0
+        // (LogHistogram::Bucket); saturate so the tail segment keeps
+        // the table ascending for segmentFor's binary search.
+        x = b.high > b.low ? b.high : ~std::uint64_t(0);
         ev.advance();
     }
 

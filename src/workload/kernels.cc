@@ -17,15 +17,6 @@ StreamKernel::StreamKernel(Addr base, std::uint64_t ws_bytes,
              (unsigned long long)ws_bytes, (unsigned long long)stride);
 }
 
-Addr
-StreamKernel::nextAddr()
-{
-    const Addr a = base_ + offset_;
-    offset_ += stride_;
-    if (offset_ >= ws_)
-        offset_ = 0;
-    return a;
-}
 
 std::unique_ptr<AccessKernel>
 StreamKernel::clone() const
@@ -51,15 +42,6 @@ StrideKernel::StrideKernel(Addr base, std::uint64_t ws_bytes,
     fatal_if(ws_bytes < stride, "StrideKernel: ws smaller than stride");
 }
 
-Addr
-StrideKernel::nextAddr()
-{
-    const Addr a = base_ + offset_;
-    offset_ += stride_;
-    if (offset_ >= ws_)
-        offset_ = 0;
-    return a;
-}
 
 std::unique_ptr<AccessKernel>
 StrideKernel::clone() const
@@ -81,14 +63,9 @@ RandomKernel::RandomKernel(Addr base, std::uint64_t ws_bytes,
       seed_(seed), rng_(seed)
 {
     fatal_if(lines_ == 0, "RandomKernel: working set below one line");
+    lines_div_ = FastDiv(lines_);
 }
 
-Addr
-RandomKernel::nextAddr()
-{
-    const std::uint64_t line = rng_.nextBounded(lines_);
-    return base_ + line * line_size;
-}
 
 std::unique_ptr<AccessKernel>
 RandomKernel::clone() const
@@ -140,13 +117,6 @@ ChaseKernel::ChaseKernel(Addr base, std::uint64_t ws_bytes,
     start_ = cur_;
 }
 
-Addr
-ChaseKernel::nextAddr()
-{
-    const Addr a = base_ + cur_ * line_size;
-    cur_ = (cur_ * mult_ + inc_) & (lines_ - 1);
-    return a;
-}
 
 std::unique_ptr<AccessKernel>
 ChaseKernel::clone() const
@@ -172,22 +142,6 @@ BlockKernel::BlockKernel(Addr base, std::uint64_t ws_bytes,
     fatal_if(repeats == 0, "BlockKernel: repeats must be >= 1");
 }
 
-Addr
-BlockKernel::nextAddr()
-{
-    const Addr a = base_ + block_start_ + offset_;
-    offset_ += line_size;
-    if (offset_ >= block_) {
-        offset_ = 0;
-        if (++pass_ >= repeats_) {
-            pass_ = 0;
-            block_start_ += block_;
-            if (block_start_ + block_ > ws_)
-                block_start_ = 0;
-        }
-    }
-    return a;
-}
 
 std::unique_ptr<AccessKernel>
 BlockKernel::clone() const
@@ -219,6 +173,11 @@ HotColdKernel::HotColdKernel(Addr base, std::uint64_t hot_bytes,
              "interleaved mode, where cold lines live in hot pages)");
     fatal_if(hot_frac <= 0.0 || hot_frac >= 1.0,
              "HotColdKernel hot_frac must be in (0, 1), got %f", hot_frac);
+    const std::uint64_t hot_pages = hot_bytes_ / page_size;
+    pages_div_ = FastDiv(hot_pages);
+    line_pick_div_ = FastDiv(lines_per_page - (interleaved_ ? 1 : 0));
+    cold_div_ = FastDiv(interleaved_ ? hot_pages
+                                     : cold_bytes_ / line_size);
 }
 
 std::uint64_t
@@ -227,33 +186,6 @@ HotColdKernel::footprint() const
     return interleaved_ ? hot_bytes_ : hot_bytes_ + cold_bytes_;
 }
 
-Addr
-HotColdKernel::nextAddr()
-{
-    const std::uint64_t hot_pages = hot_bytes_ / page_size;
-    if (rng_.chance(hot_frac_)) {
-        // Hot access: any line in a hot page except the reserved cold
-        // line (line 0 of each page) when interleaved.
-        const std::uint64_t pg = rng_.nextBounded(hot_pages);
-        const std::uint64_t first = interleaved_ ? 1 : 0;
-        const std::uint64_t ln =
-            first + rng_.nextBounded(lines_per_page - first);
-        return base_ + pg * page_size + ln * line_size;
-    }
-    if (interleaved_) {
-        // Cold lines live at line 0 of each hot page, visited round-robin
-        // so each has a long, regular reuse distance but shares its page
-        // with constant hot traffic (watchpoint false-positive storm).
-        const std::uint64_t pg = cold_cursor_ % hot_pages;
-        ++cold_cursor_;
-        return base_ + pg * page_size;
-    }
-    // Separate cold region, swept sequentially.
-    const std::uint64_t cold_lines = cold_bytes_ / line_size;
-    const std::uint64_t ln = cold_cursor_ % cold_lines;
-    ++cold_cursor_;
-    return base_ + hot_bytes_ + ln * line_size;
-}
 
 std::unique_ptr<AccessKernel>
 HotColdKernel::clone() const
@@ -280,18 +212,11 @@ EpochKernel::EpochKernel(Addr base, std::uint64_t ws_bytes,
     fatal_if(epoch_len == 0, "EpochKernel: epoch length must be >= 1");
     fatal_if(ws_bytes / regions < line_size,
              "EpochKernel: sub-region below one line");
+    epoch_div_ = FastDiv(epoch_len_);
+    regions_div_ = FastDiv(regions_);
+    lines_div_ = FastDiv(ws_ / regions_ / line_size);
 }
 
-Addr
-EpochKernel::nextAddr()
-{
-    const std::uint64_t region_bytes = ws_ / regions_;
-    const std::uint64_t region_lines = region_bytes / line_size;
-    const unsigned active = unsigned((count_ / epoch_len_) % regions_);
-    ++count_;
-    const std::uint64_t ln = rng_.nextBounded(region_lines);
-    return base_ + Addr(active) * region_bytes + ln * line_size;
-}
 
 std::unique_ptr<AccessKernel>
 EpochKernel::clone() const

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "base/addr.hh"
+#include "base/fastdiv.hh"
 #include "base/random.hh"
 #include "base/types.hh"
 
@@ -64,7 +65,7 @@ class AccessKernel
 };
 
 /** Sequential sweep over [base, base+ws) with a fixed element stride. */
-class StreamKernel : public AccessKernel
+class StreamKernel final : public AccessKernel
 {
   public:
     StreamKernel(Addr base, std::uint64_t ws_bytes, std::uint64_t stride);
@@ -83,7 +84,7 @@ class StreamKernel : public AccessKernel
 };
 
 /** Large-stride sweep; touches only every stride-th cacheline. */
-class StrideKernel : public AccessKernel
+class StrideKernel final : public AccessKernel
 {
   public:
     StrideKernel(Addr base, std::uint64_t ws_bytes, std::uint64_t stride);
@@ -102,7 +103,7 @@ class StrideKernel : public AccessKernel
 };
 
 /** Uniform random line accesses within the working set. */
-class RandomKernel : public AccessKernel
+class RandomKernel final : public AccessKernel
 {
   public:
     RandomKernel(Addr base, std::uint64_t ws_bytes, std::uint64_t seed);
@@ -117,6 +118,7 @@ class RandomKernel : public AccessKernel
     Addr base_;
     std::uint64_t ws_;
     std::uint64_t lines_;
+    FastDiv lines_div_;
     std::uint64_t seed_;
     Rng rng_;
 };
@@ -126,7 +128,7 @@ class RandomKernel : public AccessKernel
  * cachelines: storage-free stand-in for linked data structures (mcf,
  * omnetpp, xalancbmk).
  */
-class ChaseKernel : public AccessKernel
+class ChaseKernel final : public AccessKernel
 {
   public:
     ChaseKernel(Addr base, std::uint64_t ws_bytes, std::uint64_t seed);
@@ -154,7 +156,7 @@ class ChaseKernel : public AccessKernel
  * Blocked loop nest: sweep a small block @p repeats times, then move to
  * the next block; wraps around the working set.
  */
-class BlockKernel : public AccessKernel
+class BlockKernel final : public AccessKernel
 {
   public:
     BlockKernel(Addr base, std::uint64_t ws_bytes,
@@ -183,7 +185,7 @@ class BlockKernel : public AccessKernel
  * pages (one cold line per hot page) so that a watchpoint on a cold line
  * traps on every hot access to the page — the paper's povray pathology.
  */
-class HotColdKernel : public AccessKernel
+class HotColdKernel final : public AccessKernel
 {
   public:
     HotColdKernel(Addr base, std::uint64_t hot_bytes,
@@ -205,6 +207,9 @@ class HotColdKernel : public AccessKernel
     std::uint64_t seed_;
     Rng rng_;
     std::uint64_t cold_cursor_;
+    FastDiv pages_div_;     //!< bound = hot pages
+    FastDiv line_pick_div_; //!< bound = pickable lines per page
+    FastDiv cold_div_;      //!< cold-cursor wrap divisor
 };
 
 /**
@@ -214,7 +219,7 @@ class HotColdKernel : public AccessKernel
  * after a full rotation produce very long reuse distances (calculix's
  * single outlier region; GemsFDTD's long tails).
  */
-class EpochKernel : public AccessKernel
+class EpochKernel final : public AccessKernel
 {
   public:
     EpochKernel(Addr base, std::uint64_t ws_bytes, unsigned regions,
@@ -234,7 +239,104 @@ class EpochKernel : public AccessKernel
     std::uint64_t seed_;
     Rng rng_;
     std::uint64_t count_;
+    FastDiv epoch_div_;   //!< divisor = epoch_len
+    FastDiv regions_div_; //!< divisor = regions
+    FastDiv lines_div_;   //!< bound = lines per sub-region
 };
+
+// The nextAddr bodies live in the header: the synthetic trace
+// generator calls one of them per generated memory access, and
+// SyntheticTrace::step dispatches on the profile's kernel kind (the
+// classes are final) precisely so these inline into the decode loop
+// instead of going through the vtable.
+
+inline Addr
+StreamKernel::nextAddr()
+{
+    const Addr a = base_ + offset_;
+    offset_ += stride_;
+    if (offset_ >= ws_)
+        offset_ = 0;
+    return a;
+}
+
+inline Addr
+StrideKernel::nextAddr()
+{
+    const Addr a = base_ + offset_;
+    offset_ += stride_;
+    if (offset_ >= ws_)
+        offset_ = 0;
+    return a;
+}
+
+inline Addr
+RandomKernel::nextAddr()
+{
+    const std::uint64_t line = rng_.nextBounded(lines_div_);
+    return base_ + line * line_size;
+}
+
+inline Addr
+ChaseKernel::nextAddr()
+{
+    const Addr a = base_ + cur_ * line_size;
+    cur_ = (cur_ * mult_ + inc_) & (lines_ - 1);
+    return a;
+}
+
+inline Addr
+BlockKernel::nextAddr()
+{
+    const Addr a = base_ + block_start_ + offset_;
+    offset_ += line_size;
+    if (offset_ >= block_) {
+        offset_ = 0;
+        if (++pass_ >= repeats_) {
+            pass_ = 0;
+            block_start_ += block_;
+            if (block_start_ + block_ > ws_)
+                block_start_ = 0;
+        }
+    }
+    return a;
+}
+
+inline Addr
+HotColdKernel::nextAddr()
+{
+    if (rng_.chance(hot_frac_)) {
+        // Hot access: any line in a hot page except the reserved cold
+        // line (line 0 of each page) when interleaved.
+        const std::uint64_t pg = rng_.nextBounded(pages_div_);
+        const std::uint64_t first = interleaved_ ? 1 : 0;
+        const std::uint64_t ln = first + rng_.nextBounded(line_pick_div_);
+        return base_ + pg * page_size + ln * line_size;
+    }
+    if (interleaved_) {
+        // Cold lines live at line 0 of each hot page, visited round-robin
+        // so each has a long, regular reuse distance but shares its page
+        // with constant hot traffic (watchpoint false-positive storm).
+        const std::uint64_t pg = cold_div_.mod(cold_cursor_);
+        ++cold_cursor_;
+        return base_ + pg * page_size;
+    }
+    // Separate cold region, swept sequentially.
+    const std::uint64_t ln = cold_div_.mod(cold_cursor_);
+    ++cold_cursor_;
+    return base_ + hot_bytes_ + ln * line_size;
+}
+
+inline Addr
+EpochKernel::nextAddr()
+{
+    const std::uint64_t region_bytes = ws_ / regions_;
+    const unsigned active =
+        unsigned(regions_div_.mod(epoch_div_.div(count_)));
+    ++count_;
+    const std::uint64_t ln = rng_.nextBounded(lines_div_);
+    return base_ + Addr(active) * region_bytes + ln * line_size;
+}
 
 } // namespace delorean::workload
 

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/fastdiv.hh"
 #include "workload/benchmark_profile.hh"
 #include "workload/trace_source.hh"
 
@@ -113,6 +114,19 @@ class SyntheticTrace : public TraceSource
         std::vector<InstCount> phase_ends;
         InstCount phase_cycle = 0;
         std::uint64_t code_slots = 1;
+        // Precomputed reciprocals for every loop-invariant divisor the
+        // per-instruction step() touches; a hardware divide here is
+        // one of the most expensive instructions in Explorer replay.
+        FastDiv branch_div;            //!< bound = branches.size()
+        FastDiv code_slots_div;        //!< divisor = code_slots
+        std::vector<FastDiv> pc_divs;  //!< divisor = mem_pcs[k].size()
+        // Loop-invariant pieces of the non-memory fast path (see
+        // step() for the equivalence argument).
+        double mem_plus_branch = 0.0;  //!< mem_ratio + branch_ratio
+        std::uint64_t call_m_bound = 0; //!< chance(call) as integer cmp
+        std::uint64_t n_funcs = 1;
+        std::uint64_t hot_funcs = 1;
+        bool fp_draws = false;         //!< chance(fp_frac) draws at all
     };
 
     /** Pick the active phase's cumulative weight vector. */
@@ -129,9 +143,18 @@ class SyntheticTrace : public TraceSource
     advancePos()
     {
         ++pos_;
-        if (tables_->phase_cycle != 0 &&
-            ++in_cycle_ == tables_->phase_cycle)
-            in_cycle_ = 0;
+        const auto &t = *tables_;
+        if (t.phase_cycle != 0) {
+            if (++in_cycle_ == t.phase_cycle) {
+                in_cycle_ = 0;
+                phase_idx_ = 0;
+            }
+            // Zero-length phases make phase_ends non-strictly
+            // increasing, hence a loop rather than a single bump.
+            while (phase_idx_ + 1 < t.phase_ends.size() &&
+                   in_cycle_ >= t.phase_ends[phase_idx_])
+                ++phase_idx_;
+        }
     }
 
     std::vector<std::unique_ptr<AccessKernel>> kernels_;
@@ -145,6 +168,13 @@ class SyntheticTrace : public TraceSource
      * the hottest single instructions in Explorer replay.
      */
     InstCount in_cycle_ = 0;
+    /**
+     * Index into tables_->phase_ends of the phase containing
+     * in_cycle_ (0 when stationary), maintained incrementally by
+     * advancePos() so activeWeights() — called once per generated
+     * memory access — is a table lookup instead of a scan.
+     */
+    std::size_t phase_idx_ = 0;
     std::uint64_t code_cursor_;
     std::uint64_t func_pos_ = 0;
 };

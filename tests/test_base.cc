@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "base/addr.hh"
+#include "base/fastdiv.hh"
 #include "base/flat_hash.hh"
 #include "base/histogram.hh"
 #include "base/intmath.hh"
@@ -409,6 +410,71 @@ TEST(Logging, WarnCountsAndQuiet)
     warn("expected test warning %d", 1);
     EXPECT_EQ(warnCount(), before + 1);
     setLogQuiet(false);
+}
+
+// ------------------------------------------------------------- fastdiv
+
+// FastDiv is a drop-in for `/` and `%` by an invariant divisor — the
+// synthetic trace generator's draw streams are bit-identical only if
+// it is *exact* for every (n, d). Sweep adversarial divisors (1,
+// powers of two +-1, extremes) with adversarial and random numerators
+// against the hardware operators.
+TEST(FastDiv, AdversarialAndRandomPairsMatchHardware)
+{
+    std::vector<std::uint64_t> divisors = {
+        1,
+        2,
+        3,
+        5,
+        7,
+        10,
+        63,
+        64,
+        65,
+        (std::uint64_t(1) << 32) - 1,
+        std::uint64_t(1) << 32,
+        (std::uint64_t(1) << 32) + 1,
+        (std::uint64_t(1) << 63) - 1,
+        std::uint64_t(1) << 63,
+        ~std::uint64_t(0) - 1,
+        ~std::uint64_t(0),
+    };
+    Rng rng(0xfa57d1);
+    for (int i = 0; i < 64; ++i)
+        divisors.push_back(1 + rng.next() % 1'000'000);
+    for (int i = 0; i < 64; ++i)
+        divisors.push_back(std::max<std::uint64_t>(1, rng.next()));
+
+    for (const std::uint64_t d : divisors) {
+        const FastDiv fd(d);
+        EXPECT_EQ(fd.divisor(), d);
+        EXPECT_EQ(fd.negMod(), (std::uint64_t(0) - d) % d);
+        std::vector<std::uint64_t> numerators = {
+            0, 1, d - 1, d, d + 1, 2 * d - 1, 2 * d,
+            ~std::uint64_t(0), ~std::uint64_t(0) - 1,
+        };
+        for (int i = 0; i < 64; ++i)
+            numerators.push_back(rng.next());
+        for (const std::uint64_t n : numerators) {
+            ASSERT_EQ(fd.div(n), n / d) << "n=" << n << " d=" << d;
+            ASSERT_EQ(fd.mod(n), n % d) << "n=" << n << " d=" << d;
+        }
+    }
+}
+
+// The overload must consume the identical RNG stream and return the
+// identical values as the plain bounded draw.
+TEST(FastDiv, RngBoundedOverloadMatchesPlainDraw)
+{
+    for (const std::uint64_t bound :
+         {std::uint64_t(1), std::uint64_t(3), std::uint64_t(64),
+          std::uint64_t(12345), (std::uint64_t(1) << 40) + 9}) {
+        Rng a(0x5eed), b(0x5eed);
+        const FastDiv fd(bound);
+        for (int i = 0; i < 2000; ++i)
+            ASSERT_EQ(a.nextBounded(bound), b.nextBounded(fd))
+                << "bound=" << bound << " draw " << i;
+    }
 }
 
 } // namespace

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -485,6 +486,97 @@ TEST(DirectedProfiler, FlatTableMatchesUnorderedMapReference)
         EXPECT_EQ(res.unresolved.size(), ref_unresolved);
         for (const Addr line : res.unresolved)
             EXPECT_EQ(ref_last.at(line), ~RefCount(0));
+    }
+}
+
+// The SIMD-batched prefilter split (prefilterPages + accessPrefiltered)
+// must leave trap accounting bit-identical to per-line access(): the
+// prefilter answers exactly the same screen, only hashed four lanes at
+// a time, and never counts anything itself.
+TEST(Watchpoint, BatchedPrefilterMatchesPerLineAccess)
+{
+    Rng rng(0xba7c);
+    WatchpointEngine batched, ref;
+    // A clustered key set: some pages carry several watched lines, so
+    // both FalsePositive and Hit outcomes occur.
+    for (int i = 0; i < 64; ++i) {
+        const Addr line = rng.nextBounded(1 << 12);
+        batched.watchLine(line);
+        ref.watchLine(line);
+    }
+
+    std::vector<Addr> stream(20'000);
+    for (auto &line : stream)
+        line = rng.chance(0.5) ? rng.nextBounded(1 << 12)
+                               : rng.nextBounded(1 << 22);
+
+    std::vector<std::uint8_t> may(stream.size(), 0xcc);
+    batched.prefilterPages(stream.data(), stream.size(), may.data());
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const Trap expect = ref.access(stream[i]);
+        if (!may[i]) {
+            // A clear prefilter bit must prove Trap::None (no false
+            // negatives) — the batched caller skips these lines.
+            ASSERT_EQ(expect, Trap::None) << stream[i];
+            continue;
+        }
+        ASSERT_EQ(batched.accessPrefiltered(stream[i]), expect)
+            << stream[i];
+    }
+    EXPECT_EQ(batched.traps(), ref.traps());
+    EXPECT_EQ(batched.falsePositives(), ref.falsePositives());
+    EXPECT_EQ(batched.trueHits(), ref.trueHits());
+}
+
+// observeAll() is the chunked replay entry point; it must be
+// bit-identical to observe() per line in both DP modes — same
+// last-access positions, same unresolved set, same trap statistics —
+// for any chunking of the same stream.
+TEST(DirectedProfiler, BatchedObserveAllMatchesPerLineObserve)
+{
+    Rng rng(0x0b5e);
+    for (const bool virtualized : {false, true}) {
+        std::vector<Addr> keys;
+        std::set<Addr> seen;
+        for (int i = 0; i < 50; ++i) {
+            const Addr line = rng.nextBounded(1 << 14);
+            if (seen.insert(line).second)
+                keys.push_back(line);
+        }
+
+        std::vector<Addr> stream(20'000);
+        for (auto &line : stream)
+            line = rng.chance(0.5) ? rng.nextBounded(1 << 14)
+                                   : rng.nextBounded(1 << 24);
+
+        DirectedProfiler batched, per_line;
+        batched.begin(keys, virtualized);
+        per_line.begin(keys, virtualized);
+
+        // Random chunk sizes straddling the internal batch width.
+        std::size_t off = 0;
+        while (off < stream.size()) {
+            const std::size_t n =
+                std::min<std::size_t>(1 + rng.nextBounded(700),
+                                      stream.size() - off);
+            batched.observeAll(stream.data() + off, n);
+            off += n;
+        }
+        for (const Addr line : stream)
+            per_line.observe(line);
+
+        EXPECT_EQ(batched.position(), per_line.position());
+        const auto got = batched.end();
+        const auto want = per_line.end();
+        EXPECT_EQ(got.back_distance, want.back_distance) << virtualized;
+        EXPECT_EQ(got.traps, want.traps) << virtualized;
+        EXPECT_EQ(got.false_positives, want.false_positives)
+            << virtualized;
+        std::set<Addr> got_unresolved(got.unresolved.begin(),
+                                      got.unresolved.end());
+        std::set<Addr> want_unresolved(want.unresolved.begin(),
+                                       want.unresolved.end());
+        EXPECT_EQ(got_unresolved, want_unresolved) << virtualized;
     }
 }
 

@@ -19,7 +19,9 @@
 
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <filesystem>
+#include <mutex>
 #include <fstream>
 #include <functional>
 #include <sstream>
@@ -707,6 +709,102 @@ TEST(Service, ErrorRepliesForBadRequests)
     proto::writeRequest(fd, request);
     EXPECT_TRUE(proto::readReply(fd).ok);
     ::close(fd);
+}
+
+// --------------------------------------------- malformed server replies
+
+/**
+ * A SocketServer that answers every request with the next canned reply
+ * body, regardless of the request — the harness for exercising the
+ * typed client's *reply* parsing against a server it cannot trust.
+ */
+struct ScriptedServer
+{
+    TempPath root{"scripted"};
+    std::mutex mutex;
+    std::deque<std::string> replies;
+    SocketServer server;
+
+    ScriptedServer()
+        : server(root.path + "/srv.sock",
+                 [this](const proto::Request &) {
+                     std::lock_guard<std::mutex> lock(mutex);
+                     if (replies.empty())
+                         return proto::Reply::error("script exhausted");
+                     proto::Reply reply =
+                         proto::Reply::success(std::move(replies.front()));
+                     replies.pop_front();
+                     return reply;
+                 })
+    {
+        std::filesystem::create_directories(root.path);
+        server.start();
+    }
+
+    ~ScriptedServer() { server.stop(); }
+
+    void
+    push(std::string body)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        replies.push_back(std::move(body));
+    }
+};
+
+TEST(Service, MalformedSubmitReplyFieldsAreRejected)
+{
+    ScriptedServer scripted;
+    ServiceClient client(scripted.server.path());
+
+    // Every malformed job=/cells= value must surface as a ServiceError
+    // from the strict parser — not whatever a raw std::stoull would
+    // improvise ("-1" accepted by wraparound, "12x" silently truncated,
+    // "abc" escaping as std::invalid_argument) — and must not poison
+    // the connection for the next exchange.
+    for (const char *reply : {
+             "job=abc cells=2\n",                     // non-numeric
+             "job=-1 cells=2\n",                      // signed
+             "job=12x cells=2\n",                     // trailing junk
+             "job=99999999999999999999999 cells=1\n", // overflow
+             "job=7 cells=2x\n",                      // junk in cells=
+             "cells=2\n",                             // job= missing
+         }) {
+        scripted.push(reply);
+        EXPECT_THROW((void)client.submit(tiny_manifest), ServiceError)
+            << reply;
+    }
+
+    // The same connection still completes a well-formed exchange.
+    scripted.push("job=7 cells=3\n");
+    const auto info = client.submit(tiny_manifest);
+    EXPECT_EQ(info.job, 7u);
+    EXPECT_EQ(info.cells, 3u);
+}
+
+TEST(Service, JobDoneParsesStateTokenNotSubstring)
+{
+    ScriptedServer scripted;
+    ServiceClient client(scripted.server.path());
+
+    // Regression: the status line ends with the client-controlled job
+    // name. A manifest named "state=done.plan" must not spoof
+    // completion of its still-running job via substring search.
+    scripted.push("job=9 state=queued cells=4 done=0 failed=0 "
+                  "priority=100 source=spool name=state=done.plan\n");
+    EXPECT_FALSE(client.jobDone(9));
+
+    scripted.push("job=9 state=done cells=4 done=4 failed=0 "
+                  "priority=100 source=spool name=state=done.plan\n");
+    EXPECT_TRUE(client.jobDone(9));
+
+    scripted.push("job=9 state=failed cells=4 done=3 failed=1 "
+                  "priority=100 source=socket name=short.plan\n");
+    EXPECT_TRUE(client.jobDone(9));
+
+    // A reply with no state token at all is malformed, not "not done":
+    // treating it as false would spin a polling loop forever.
+    scripted.push("job=9 cells=4\n");
+    EXPECT_THROW((void)client.jobDone(9), ServiceError);
 }
 
 } // namespace

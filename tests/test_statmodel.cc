@@ -8,11 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <limits>
 #include <set>
 #include <unordered_map>
+#include <vector>
 
+#include "base/histogram.hh"
 #include "base/random.hh"
+#include "base/simd.hh"
 #include "base/units.hh"
 #include "statmodel/assoc_model.hh"
 #include "statmodel/reuse_histogram.hh"
@@ -485,6 +489,113 @@ TEST(WorkingSet, ModelCurveMonotone)
     for (std::size_t i = 1; i < curve.points().size(); ++i) {
         EXPECT_LE(curve.points()[i].mpki,
                   curve.points()[i - 1].mpki + 1e-9);
+    }
+}
+
+// ----------------------------------------------------------------- simd
+
+// The merge-walk kernels (base/simd.hh) back LogHistogram::merge, the
+// nextNonEmpty occupancy scan under the StatStack/Kaplan-Meier cursor
+// walks, and the cdf prefix sum. The dispatched backend (AVX2 here
+// when the host supports it) must be BIT-identical to the scalar
+// reference on randomized inputs — EXPECT_EQ on the raw bit patterns,
+// not approximate comparison.
+TEST(Simd, DispatchedKernelsMatchScalarBitwise)
+{
+    Rng rng(0x51bd);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t n = 1 + rng.nextBounded(300);
+
+        std::vector<double> dst(n), src(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            // Mixed magnitudes so lane reordering would actually show.
+            dst[i] = double(rng.next() >> 11) * 0x1.0p-30;
+            src[i] = double(rng.next() >> 11) * 0x1.0p-45;
+        }
+        std::vector<double> a = dst, b = dst;
+        simd::addDoubles(a.data(), src.data(), n);
+        simd::detail::addDoublesScalar(b.data(), src.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+                      std::bit_cast<std::uint64_t>(b[i]))
+                << "lane " << i << " of " << n;
+
+        std::vector<std::uint64_t> wdst(n), wsrc(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            wdst[i] = rng.chance(0.2) ? rng.next() : 0;
+            wsrc[i] = rng.chance(0.2) ? rng.next() : 0;
+        }
+        std::vector<std::uint64_t> wa = wdst, wb = wdst;
+        simd::orWords(wa.data(), wsrc.data(), n);
+        simd::detail::orWordsScalar(wb.data(), wsrc.data(), n);
+        EXPECT_EQ(wa, wb);
+
+        for (std::size_t from = 0; from <= n; ++from)
+            ASSERT_EQ(simd::findNonZeroWord(wa.data(), from, n),
+                      simd::detail::findNonZeroWordScalar(wa.data(),
+                                                          from, n))
+                << "from " << from << " of " << n;
+    }
+}
+
+TEST(Simd, FilterProbeKernelMatchesScalarBitwise)
+{
+    Rng rng(0xf117e6);
+    for (int trial = 0; trial < 20; ++trial) {
+        // A 2^16-bit filter (1024 words) with random occupancy.
+        std::vector<std::uint64_t> words(1024, 0);
+        for (int i = 0; i < 2000; ++i) {
+            const std::uint64_t h = rng.next() & 0xffff;
+            words[h >> 6] |= std::uint64_t(1) << (h & 63);
+        }
+        const std::size_t n = 1 + rng.nextBounded(600);
+        std::vector<Addr> keys(n);
+        for (auto &k : keys)
+            k = rng.next() >> rng.nextBounded(40);
+        std::vector<std::uint8_t> got(n, 0xcc), want(n, 0xcc);
+        simd::probeFilter16(words.data(), keys.data(), n, got.data());
+        simd::detail::probeFilter16Scalar(words.data(), keys.data(), n,
+                                          want.data());
+        EXPECT_EQ(got, want);
+    }
+}
+
+// The cdf prefix sum now rides the sparse occupancy walk (and so the
+// SIMD word scan); skipping empty buckets' +0.0 must leave every
+// result bitwise equal to an independent in-order walk over the
+// public bucket iteration.
+TEST(Simd, SparseCdfMatchesBucketWalkBitwise)
+{
+    Rng rng(0xcdf);
+    for (int trial = 0; trial < 20; ++trial) {
+        LogHistogram hist;
+        const int samples = 1 + int(rng.nextBounded(500));
+        for (int i = 0; i < samples; ++i)
+            hist.add(rng.next() >> rng.nextBounded(50),
+                     0.25 * double(1 + rng.nextBounded(8)));
+        for (int probe = 0; probe < 200; ++probe) {
+            const std::uint64_t x = rng.next() >> rng.nextBounded(50);
+            double below = 0.0;
+            for (const auto &bucket : hist.buckets()) {
+                if (bucket.low > x)
+                    break;
+                // Width-based containment: the top bucket's exclusive
+                // high wraps to 0 (LogHistogram::Bucket), but the
+                // width wraps back exact.
+                const std::uint64_t width = bucket.high - bucket.low;
+                if (x - bucket.low >= width)
+                    below += bucket.weight;
+                else
+                    below += bucket.weight *
+                             (double(x - bucket.low + 1) /
+                              double(width));
+            }
+            ASSERT_EQ(
+                std::bit_cast<std::uint64_t>(hist.cdf(x)),
+                std::bit_cast<std::uint64_t>(below /
+                                             hist.totalWeight()))
+                << "x=" << x << " trial " << trial;
+        }
     }
 }
 

@@ -6,11 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "base/random.hh"
 #include "workload/benchmark_profile.hh"
 #include "workload/kernels.hh"
 #include "workload/spec_profiles.hh"
@@ -357,6 +359,41 @@ TEST(SpecProfiles, DistinctSeedsProduceDistinctStreams)
     for (int i = 0; i < 100 && !differ; ++i)
         differ = a->next().addr != b->next().addr;
     EXPECT_TRUE(differ);
+}
+
+// The generator's step path replaces Rng::chance(step_call_prob) —
+// "(r >> 11) * 2^-53 < p" — with the integer comparison
+// "(r >> 11) < ceil(p * 2^53)" (synthetic_trace.cc, call_m_bound).
+// Pin the equivalence for every draw: the left side of the double
+// predicate is an integer < 2^53 scaled by an exact power of two, so
+// the two predicates must agree at the threshold and everywhere else.
+TEST(SyntheticTrace, CallChanceIntegerBoundMatchesDoublePredicate)
+{
+    const auto agree = [](double p, std::uint64_t r) {
+        const std::uint64_t hi = r >> 11;
+        const std::uint64_t m = std::uint64_t(std::ceil(p * 0x1.0p53));
+        const bool as_double = double(hi) * 0x1.0p-53 < p;
+        const bool as_int = hi < m;
+        ASSERT_EQ(as_double, as_int)
+            << "p=" << p << " r=" << r << " hi=" << hi << " m=" << m;
+    };
+    // step_call_prob plus probabilities exactly on / off a 2^-53 grid
+    // point, at every threshold-adjacent draw and a random sweep.
+    const double probs[] = {0.001, 0.5, 0x1.0p-53, 3 * 0x1.0p-53,
+                            0.3333333333333333, 1.0 - 0x1.0p-53};
+    delorean::Rng rng(0xca11);
+    for (const double p : probs) {
+        const std::uint64_t m = std::uint64_t(std::ceil(p * 0x1.0p53));
+        for (const std::uint64_t hi :
+             {std::uint64_t(0), m - 1, m, m + 1,
+              (std::uint64_t(1) << 53) - 1}) {
+            if (hi >= (std::uint64_t(1) << 53))
+                continue;
+            agree(p, hi << 11);
+        }
+        for (int i = 0; i < 5000; ++i)
+            agree(p, rng.next());
+    }
 }
 
 class SpecProfileDeterminism

@@ -205,6 +205,22 @@ readManifestFile(const std::string &path)
     return buffer.str();
 }
 
+/**
+ * First state= token of a job status line ("" if absent). The line's
+ * trailing name= field echoes the client-controlled job name — which
+ * can itself contain "state=done" — so no substring matching.
+ */
+std::string
+jobState(const std::string &line)
+{
+    std::istringstream is(line);
+    std::string token;
+    while (is >> token)
+        if (token.rfind("state=", 0) == 0)
+            return token.substr(6);
+    return "";
+}
+
 int
 cmdSubmit(const CliOptions &cli)
 {
@@ -228,7 +244,7 @@ cmdSubmit(const CliOptions &cli)
     }
     const std::string line = client.jobStatus(info.job);
     std::fputs(line.c_str(), stdout);
-    return line.find("state=done") != std::string::npos ? 0 : 2;
+    return jobState(line) == "done" ? 0 : 2;
 }
 
 int

@@ -4,15 +4,17 @@
  * (bench/perf_harness.hh, docs/performance.md).
  *
  *   bench_report [--quick] [--out FILE] [--baseline FILE]
- *                [--bench a,b,c] [--repeats N]
+ *                [--bench a,b,c] [--repeats N] [--group N]
  *
  * Runs the suite serially, prints a per-workload phase breakdown, and
- * writes a BENCH_*.json report (default BENCH_pr6.json). `--quick`
+ * writes a BENCH_*.json report (default BENCH_pr7.json). `--quick`
  * trims the suite to bzip2 with one repeat — the CI smoke
- * configuration. `--baseline FILE` embeds an earlier report verbatim
- * under "baseline" and prints the Explorer-replay speedup against it,
- * so one committed file carries both sides of a before/after
- * comparison.
+ * configuration. `--group N` sets how many LLC-sweep cells are
+ * co-scheduled per workload (default 3; `--group 1` reproduces the
+ * pre-PR-7 solo shape). `--baseline FILE` embeds an earlier report
+ * verbatim under "baseline" and prints the Explorer-replay speedup
+ * against it, so one committed file carries both sides of a
+ * before/after comparison.
  *
  * All timings here are measured host wall-clock (steady_clock), not
  * the modeled host cost the figures report: run on an otherwise idle
@@ -45,7 +47,7 @@ usage()
     std::fprintf(stderr,
                  "usage: bench_report [--quick] [--out FILE]\n"
                  "                    [--baseline FILE] [--bench a,b,c]\n"
-                 "                    [--repeats N]\n");
+                 "                    [--repeats N] [--group N]\n");
     std::exit(1);
 }
 
@@ -77,7 +79,7 @@ int
 main(int argc, char **argv)
 {
     PerfOptions opt;
-    std::string out_path = "BENCH_pr6.json";
+    std::string out_path = "BENCH_pr7.json";
     std::string baseline_path;
     bool quick = false;
     bool bench_given = false;
@@ -110,6 +112,14 @@ main(int argc, char **argv)
             }
             fatal_if(opt.repeats == 0, "--repeats must be >= 1");
             repeats_given = true;
+        } else if (arg == "--group") {
+            const char *text = next();
+            try {
+                opt.group_size = delorean::batch::parseU32(text);
+            } catch (const delorean::batch::BatchError &) {
+                fatal("--group: expected a number, got '%s'", text);
+            }
+            fatal_if(opt.group_size == 0, "--group must be >= 1");
         } else {
             usage();
         }
