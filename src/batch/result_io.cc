@@ -261,7 +261,7 @@ writeMethodResult(std::ostream &os, const sampling::MethodResult &result)
 }
 
 sampling::MethodResult
-readMethodResult(std::istream &is)
+readMethodResult(std::istream &is, bool expect_end)
 {
     getHeader(is, ResultFormat::kind_method_result);
     sampling::MethodResult result;
@@ -290,7 +290,8 @@ readMethodResult(std::istream &is)
     result.windows_replayed = getU64(is);
     result.confidence = getF64(is);
     result.ci_error = getF64(is);
-    expectEnd(is);
+    if (expect_end)
+        expectEnd(is);
     return result;
 }
 

@@ -101,8 +101,15 @@ void writeMethodResult(std::ostream &os,
  * Parse one MethodResult record. Throws BatchError on any malformed
  * input. The returned value compares equal (operator==) to the one
  * written.
+ *
+ * Records are self-delimiting (every field is fixed-size or
+ * length-prefixed), so streams may concatenate them: pass
+ * @p expect_end = false to leave @p is positioned at the next record
+ * instead of requiring EOF — how the fleet coordinator reads a
+ * COMPLETE payload of one record per leased cell.
  */
-sampling::MethodResult readMethodResult(std::istream &is);
+sampling::MethodResult readMethodResult(std::istream &is,
+                                        bool expect_end = true);
 
 void writeSizeCurve(std::ostream &os, const SizeCurve &curve);
 SizeCurve readSizeCurve(std::istream &is);

@@ -57,6 +57,68 @@ groupKey(const BatchCell &cell)
 
 } // namespace
 
+std::vector<std::vector<std::size_t>>
+planWorkUnits(const std::vector<const BatchCell *> &cells)
+{
+    std::vector<std::vector<std::size_t>> units;
+    std::unordered_map<std::string, std::size_t> group_of;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (!coSchedulable(*cells[i])) {
+            units.push_back({i});
+            continue;
+        }
+        const auto [it, fresh] =
+            group_of.try_emplace(groupKey(*cells[i]), units.size());
+        if (fresh)
+            units.push_back({i});
+        else
+            units[it->second].push_back(i);
+    }
+    return units;
+}
+
+std::vector<sampling::MethodResult>
+BatchRunner::runUnit(const std::vector<const BatchCell *> &cells)
+{
+    if (cells.empty())
+        return {};
+    if (cells.size() == 1)
+        return {runCell(*cells.front())};
+
+    // A multi-cell unit co-schedules only if every member still
+    // qualifies and agrees on the group key — a unit straight from
+    // planWorkUnits does by construction, but a unit that crossed the
+    // wire (coordinator lease) is untrusted input and degrades to
+    // solo execution rather than corrupting a group decode.
+    bool groupable = coSchedulable(*cells.front());
+    for (std::size_t i = 1; groupable && i < cells.size(); ++i)
+        groupable = coSchedulable(*cells[i]) &&
+                    groupKey(*cells[i]) == groupKey(*cells.front());
+    if (!groupable) {
+        std::vector<sampling::MethodResult> results;
+        results.reserve(cells.size());
+        for (const BatchCell *cell : cells)
+            results.push_back(runCell(*cell));
+        return results;
+    }
+
+    const BatchCell &lead = *cells.front();
+    std::vector<core::DeloreanConfig> configs;
+    configs.reserve(cells.size());
+    for (const BatchCell *cell : cells)
+        configs.push_back(cell->config);
+    try {
+        const auto trace = workload::makeTrace(lead.workload);
+        return core::DeloreanMethod::runGroup(*trace, configs);
+    } catch (const BatchError &) {
+        throw;
+    } catch (const std::exception &e) {
+        throw BatchError(lead.workload + " [delorean, co-scheduled x" +
+                         std::to_string(cells.size()) +
+                         "]: " + e.what());
+    }
+}
+
 sampling::MethodResult
 BatchRunner::runCell(const BatchCell &cell)
 {
@@ -139,23 +201,11 @@ BatchRunner::run(const BatchPlan &plan, const BatchOptions &opt)
     // only: each cell's result, and the key it is cached under, is
     // bit-identical to a solo runCell. Units preserve first-member
     // order, and outcomes scatter back by position, so report order
-    // is unchanged for any grouping.
-    std::vector<std::vector<std::size_t>> units;
-    {
-        std::unordered_map<std::string, std::size_t> group_of;
-        for (std::size_t i = 0; i < mine.size(); ++i) {
-            if (!coSchedulable(*mine[i])) {
-                units.push_back({i});
-                continue;
-            }
-            const auto [it, fresh] =
-                group_of.try_emplace(groupKey(*mine[i]), units.size());
-            if (fresh)
-                units.push_back({i});
-            else
-                units[it->second].push_back(i);
-        }
-    }
+    // is unchanged for any grouping. The same planWorkUnits feeds the
+    // fleet coordinator's leases, so a fleet run executes identical
+    // groupings.
+    const std::vector<std::vector<std::size_t>> units =
+        planWorkUnits(mine);
 
     // Stores a freshly computed result, guarding against a file-backed
     // workload re-recorded between plan keying and this execution: the
@@ -213,31 +263,11 @@ BatchRunner::run(const BatchPlan &plan, const BatchOptions &opt)
                                                : "");
             }
         }
-        if (misses.size() == 1) {
-            const BatchCell &cell = *mine[misses.front()];
-            CellOutcome &outcome = outcomes[misses.front()];
-            outcome.result = runCell(cell);
-            storeResult(cell, outcome.result);
-            return 0;
-        }
-        const BatchCell &lead = *mine[misses.front()];
-        std::vector<core::DeloreanConfig> configs;
-        configs.reserve(misses.size());
+        std::vector<const BatchCell *> to_run;
+        to_run.reserve(misses.size());
         for (const std::size_t i : misses)
-            configs.push_back(mine[i]->config);
-        std::vector<sampling::MethodResult> results;
-        try {
-            const auto trace = workload::makeTrace(lead.workload);
-            results =
-                core::DeloreanMethod::runGroup(*trace, configs);
-        } catch (const BatchError &) {
-            throw;
-        } catch (const std::exception &e) {
-            throw BatchError(lead.workload +
-                             " [delorean, co-scheduled x" +
-                             std::to_string(misses.size()) +
-                             "]: " + e.what());
-        }
+            to_run.push_back(mine[i]);
+        auto results = runUnit(to_run);
         for (std::size_t j = 0; j < misses.size(); ++j) {
             const BatchCell &cell = *mine[misses[j]];
             CellOutcome &outcome = outcomes[misses[j]];

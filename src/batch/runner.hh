@@ -63,6 +63,24 @@ struct BatchReport
     std::uint64_t skipped = 0;    //!< cells belonging to other shards
 };
 
+/**
+ * Partition @p cells into co-schedulable work units: cells eligible
+ * for grouped execution (exact-mode DeLorean sharing a trace, region
+ * schedule, Explorer geometry and thread fan-out) land in one unit
+ * and decode each Explorer window once; everything else runs solo.
+ * Unit members are indices into @p cells; units preserve first-member
+ * order and members keep their relative order, so scattering results
+ * back by index reproduces the input order for any grouping.
+ *
+ * This is the public work-unit API: BatchRunner::run schedules these
+ * units on its thread pool, and the fleet coordinator leases them to
+ * worker daemons (src/service/coordinator.hh) — both paths execute
+ * the identical groupings, which is one half of the "fleet output is
+ * bit-identical to a local run" guarantee.
+ */
+std::vector<std::vector<std::size_t>>
+planWorkUnits(const std::vector<const BatchCell *> &cells);
+
 class BatchRunner
 {
   public:
@@ -80,6 +98,18 @@ class BatchRunner
      * (MethodResult::operator==), pinned by tests/test_batch.cc.
      */
     static sampling::MethodResult runCell(const BatchCell &cell);
+
+    /**
+     * Execute one work unit's cells together, results in @p cells
+     * order. A unit from planWorkUnits co-schedules through
+     * DeloreanMethod::runGroup (any subset of a unit — e.g. after
+     * cache hits pruned some members — is still a valid group); cells
+     * that turn out not to be groupable fall back to solo runCell
+     * calls. Either way every result is bit-identical to a solo
+     * runCell of the same cell. Throws BatchError on failure.
+     */
+    static std::vector<sampling::MethodResult>
+    runUnit(const std::vector<const BatchCell *> &cells);
 };
 
 } // namespace delorean::batch

@@ -2,8 +2,10 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <csignal>
 #include <sstream>
+#include <thread>
 
 #include "batch/error.hh"
 #include "batch/plan.hh"
@@ -13,6 +15,52 @@
 
 namespace delorean::service
 {
+
+namespace
+{
+
+/** Comma-separated values split out of one "k=v,v,v" token value. */
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(text.substr(start));
+            break;
+        }
+        out.push_back(text.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+unsigned
+pollBackoffMs(unsigned attempt, unsigned base_ms, unsigned cap_ms,
+              std::uint64_t seed)
+{
+    if (base_ms == 0)
+        base_ms = 1;
+    if (cap_ms < base_ms)
+        cap_ms = base_ms;
+    std::uint64_t delay = base_ms;
+    for (unsigned i = 0; i < attempt && delay < cap_ms; ++i)
+        delay *= 2;
+    if (delay > cap_ms)
+        delay = cap_ms;
+    // splitmix64 of (seed, attempt): deterministic, no global state.
+    std::uint64_t z =
+        seed + 0x9e3779b97f4a7c15ull * (std::uint64_t(attempt) + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    // Jitter subtracts only (up to delay/4), so the cap stays a cap.
+    return unsigned(delay - (z % (delay / 4 + 1)));
+}
 
 ServiceClient::ServiceClient(const std::string &socket_path)
 {
@@ -118,6 +166,127 @@ ServiceClient::jobDone(std::uint64_t job)
         }
     }
     throw ServiceError("STATUS: no state in reply '" + line + "'");
+}
+
+bool
+ServiceClient::waitForJob(std::uint64_t job, double timeout_s)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(timeout_s));
+    unsigned attempt = 0;
+    for (;;) {
+        if (jobDone(job))
+            return true;
+        if (Clock::now() >= deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            pollBackoffMs(attempt++, poll_base_ms, poll_cap_ms, job)));
+    }
+}
+
+ServiceClient::LeaseInfo
+ServiceClient::lease(const std::string &worker_name)
+{
+    const std::string body =
+        worker_name.empty() ? "" : "worker=" + worker_name + "\n";
+    const std::string reply = call(protocol::Opcode::Lease, body);
+
+    LeaseInfo info;
+    if (reply == "none\n" || reply == "none")
+        return info;
+
+    const std::size_t eol = reply.find('\n');
+    const std::string header =
+        eol == std::string::npos ? reply : reply.substr(0, eol);
+    info.manifest =
+        eol == std::string::npos ? "" : reply.substr(eol + 1);
+    std::istringstream is(header);
+    std::string token;
+    try {
+        while (is >> token) {
+            if (token.rfind("lease=", 0) == 0) {
+                info.lease = batch::parseCount(token.substr(6));
+            } else if (token.rfind("deadline-ms=", 0) == 0) {
+                info.deadline_ms =
+                    unsigned(batch::parseCount(token.substr(12)));
+            } else if (token.rfind("job=", 0) == 0) {
+                info.job = batch::parseCount(token.substr(4));
+            } else if (token.rfind("cells=", 0) == 0) {
+                for (const auto &v : splitCommas(token.substr(6)))
+                    info.cells.push_back(
+                        std::size_t(batch::parseCount(v)));
+            } else if (token.rfind("keys=", 0) == 0) {
+                for (const auto &v : splitCommas(token.substr(5)))
+                    info.keys.push_back(batch::CacheKey::fromHex(v));
+            }
+        }
+    } catch (const batch::BatchError &e) {
+        throw ServiceError("LEASE: malformed reply header '" + header +
+                           "': " + e.what());
+    }
+    if (info.lease == 0 || info.job == 0 || info.cells.empty() ||
+        info.keys.size() != info.cells.size())
+        throw ServiceError("LEASE: malformed reply header '" + header +
+                           "'");
+    info.idle = false;
+    return info;
+}
+
+unsigned
+ServiceClient::renew(std::uint64_t lease)
+{
+    const std::string reply =
+        call(protocol::Opcode::Renew, "lease=" + std::to_string(lease));
+    std::istringstream is(reply);
+    std::string token;
+    try {
+        while (is >> token)
+            if (token.rfind("deadline-ms=", 0) == 0)
+                return unsigned(batch::parseCount(token.substr(12)));
+    } catch (const batch::BatchError &) {
+    }
+    throw ServiceError("RENEW: malformed reply '" + reply + "'");
+}
+
+ServiceClient::CompleteInfo
+ServiceClient::complete(std::uint64_t lease, const std::string &payload)
+{
+    return completeCall(lease, true, payload);
+}
+
+ServiceClient::CompleteInfo
+ServiceClient::completeError(std::uint64_t lease,
+                             const std::string &message)
+{
+    return completeCall(lease, false, message);
+}
+
+ServiceClient::CompleteInfo
+ServiceClient::completeCall(std::uint64_t lease, bool ok,
+                            const std::string &payload)
+{
+    protocol::writeCompleteRequest(fd_, lease, ok, payload);
+    auto reply = protocol::readReply(fd_);
+    if (!reply.ok)
+        throw ServiceError("COMPLETE: " + reply.body);
+
+    CompleteInfo info;
+    std::istringstream is(reply.body);
+    std::string token;
+    try {
+        while (is >> token) {
+            if (token.rfind("stored=", 0) == 0)
+                info.stored = batch::parseCount(token.substr(7));
+            else if (token.rfind("discarded=", 0) == 0)
+                info.discarded = batch::parseCount(token.substr(10));
+        }
+    } catch (const batch::BatchError &e) {
+        throw ServiceError("COMPLETE: malformed reply '" + reply.body +
+                           "': " + e.what());
+    }
+    return info;
 }
 
 std::string

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "batch/cache_key.hh"
 #include "sampling/results.hh"
@@ -25,6 +26,17 @@
 
 namespace delorean::service
 {
+
+/**
+ * Delay before poll attempt @p attempt (0-based): capped exponential
+ * backoff with deterministic jitter. The base doubles per attempt and
+ * saturates at @p cap_ms; jitter only ever *subtracts* (up to a
+ * quarter of the delay), so the cap is a true upper bound — the
+ * property tests/test_service.cc pins. @p seed decorrelates concurrent
+ * pollers (e.g. the job id) without any global RNG state.
+ */
+unsigned pollBackoffMs(unsigned attempt, unsigned base_ms,
+                       unsigned cap_ms, std::uint64_t seed);
 
 class ServiceClient
 {
@@ -34,6 +46,27 @@ class ServiceClient
     {
         std::uint64_t job = 0;
         std::uint64_t cells = 0;
+    };
+
+    /** What LEASE came back with (idle == true means no work). */
+    struct LeaseInfo
+    {
+        bool idle = true;
+        std::uint64_t lease = 0;
+        unsigned deadline_ms = 0;
+        std::uint64_t job = 0;
+        std::vector<std::size_t> cells; //!< plan cell indices
+        /** The coordinator's content keys, parallel to cells; the
+         *  worker verifies its re-expansion reproduces them. */
+        std::vector<batch::CacheKey> keys;
+        std::string manifest; //!< the owning job's manifest text
+    };
+
+    /** What COMPLETE came back with. */
+    struct CompleteInfo
+    {
+        std::uint64_t stored = 0;    //!< results that won first write
+        std::uint64_t discarded = 0; //!< duplicates acked + dropped
     };
 
     /** Connect to the service at @p socket_path; throws ServiceError. */
@@ -60,6 +93,27 @@ class ServiceClient
     /** @return true once the job completed (state done or failed). */
     bool jobDone(std::uint64_t job);
 
+    /**
+     * Poll jobDone with pollBackoffMs delays until the job completes
+     * or @p timeout_s elapses. @return true when the job finished.
+     */
+    bool waitForJob(std::uint64_t job, double timeout_s);
+
+    /** Pull one work unit from a coordinator (fleet workers only). */
+    LeaseInfo lease(const std::string &worker_name = "");
+
+    /** Extend a live lease. @return the fresh validity in ms. */
+    unsigned renew(std::uint64_t lease);
+
+    /** Return serialized MethodResult records (unit order) for a
+     *  lease; payloads past the frame cap stream in chunks. */
+    CompleteInfo complete(std::uint64_t lease,
+                          const std::string &payload);
+
+    /** Report a failed lease with a diagnostic instead of results. */
+    CompleteInfo completeError(std::uint64_t lease,
+                               const std::string &message);
+
     /** Raw serialized record bytes for @p key (result_io format). */
     std::string resultBytes(const batch::CacheKey &key);
 
@@ -72,9 +126,17 @@ class ServiceClient
     /** Ask the daemon to drain and exit. */
     void shutdown();
 
+    /** waitForJob's backoff band: 25 ms doubling up to 1 s. */
+    static constexpr unsigned poll_base_ms = 25;
+    static constexpr unsigned poll_cap_ms = 1000;
+
   private:
     /** One request/reply exchange; throws ServiceError on error replies. */
     std::string call(protocol::Opcode op, std::string body);
+
+    /** Shared body of complete()/completeError() (chunked framing). */
+    CompleteInfo completeCall(std::uint64_t lease, bool ok,
+                              const std::string &payload);
 
     int fd_ = -1;
 };

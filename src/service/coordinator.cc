@@ -1,0 +1,658 @@
+#include "service/coordinator.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <sstream>
+#include <unordered_set>
+
+#include "base/logging.hh"
+#include "batch/error.hh"
+#include "batch/result_io.hh"
+#include "batch/runner.hh"
+#include "service/server.hh"
+#include "workload/endian.hh"
+
+namespace delorean::service
+{
+
+namespace le = workload::le;
+
+namespace
+{
+
+/**
+ * Expired leases kept around so a zombie's COMPLETE can still be
+ * interpreted (stored if it wins the first write, discarded
+ * otherwise). Beyond this, a zombie is acked blind — harmless, the
+ * re-lease re-executes.
+ */
+constexpr std::size_t max_retained_expired = 1024;
+
+/** Split one header line into its space-separated k=v tokens. */
+std::vector<std::string>
+headerTokens(const std::string &body)
+{
+    const std::size_t eol = body.find('\n');
+    const std::string line =
+        eol == std::string::npos ? body : body.substr(0, eol);
+    std::vector<std::string> tokens;
+    std::istringstream is(line);
+    std::string token;
+    while (is >> token)
+        tokens.push_back(token);
+    return tokens;
+}
+
+/** The value of the first "<key>=" token, or nullopt. */
+std::optional<std::string>
+tokenValue(const std::vector<std::string> &tokens,
+           const std::string &key)
+{
+    const std::string prefix = key + "=";
+    for (const auto &token : tokens)
+        if (token.rfind(prefix, 0) == 0)
+            return token.substr(prefix.size());
+    return std::nullopt;
+}
+
+} // namespace
+
+Coordinator::Coordinator(CoordinatorConfig config)
+    : config_(std::move(config)), cache_(config_.cache_dir)
+{
+    if (config_.socket_path.empty())
+        throw ServiceError("coordinator: no socket path");
+    if (config_.lease_ms == 0)
+        throw ServiceError("coordinator: lease period must be non-zero");
+}
+
+void
+Coordinator::requestShutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(shutdown_mutex_);
+        shutdown_ = true;
+    }
+    shutdown_cv_.notify_all();
+}
+
+void
+Coordinator::run()
+{
+    SocketServer server(config_.socket_path,
+                        [this](const protocol::Request &request,
+                               std::uint64_t client) {
+                            return handle(request, client);
+                        });
+    server.start();
+    if (config_.verbose)
+        std::fprintf(stderr,
+                     "[coordinator] listening on %s (cache %s, "
+                     "lease %u ms)\n",
+                     config_.socket_path.c_str(), cache_.dir().c_str(),
+                     config_.lease_ms);
+    std::unique_lock<std::mutex> lock(shutdown_mutex_);
+    shutdown_cv_.wait(lock, [&] { return shutdown_; });
+    // ~SocketServer stops accepting and joins connections.
+}
+
+Coordinator::Counters
+Coordinator::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+protocol::Reply
+Coordinator::handle(const protocol::Request &request,
+                    std::uint64_t client)
+{
+    switch (request.op) {
+      case protocol::Opcode::Submit:
+        return handleSubmit(request.body, client);
+      case protocol::Opcode::Status:
+        return handleStatus(request.body);
+      case protocol::Opcode::Result:
+        return handleResult(request.body);
+      case protocol::Opcode::Stats:
+        return handleStats();
+      case protocol::Opcode::Lease:
+        return handleLease(request.body);
+      case protocol::Opcode::Renew:
+        return handleRenew(request.body);
+      case protocol::Opcode::Complete:
+        return handleComplete(request.body);
+      case protocol::Opcode::Shutdown: {
+        protocol::Reply reply{true, "ok\n", nullptr};
+        reply.after_send = [this] { requestShutdown(); };
+        return reply;
+      }
+      case protocol::Opcode::ResultPart:
+      case protocol::Opcode::ResultEnd:
+        // readRequest() rejects these standalone; belt and braces.
+        return protocol::Reply::error(
+            "continuation frame outside a COMPLETE stream");
+    }
+    return protocol::Reply::error("unhandled opcode");
+}
+
+namespace
+{
+
+/** Ready-heap order: highest priority, then oldest, first. */
+struct UnitBelow
+{
+    template <typename Unit>
+    bool
+    operator()(const Unit &a, const Unit &b) const
+    {
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        return a.seq > b.seq;
+    }
+};
+
+} // namespace
+
+void
+Coordinator::enqueueUnitLocked(Unit unit)
+{
+    ready_.push_back(std::move(unit));
+    std::push_heap(ready_.begin(), ready_.end(), UnitBelow{});
+    counters_.units_ready = ready_.size();
+}
+
+protocol::Reply
+Coordinator::handleSubmit(const std::string &body,
+                          std::uint64_t client)
+{
+    if (body.size() < 4)
+        throw ServiceError("SUBMIT: missing priority prefix");
+    const std::uint32_t raw_priority = le::getU32(
+        reinterpret_cast<const std::uint8_t *>(body.data()));
+    const int priority = int(std::min(raw_priority, 1000u));
+    const std::string text = body.substr(4);
+
+    const auto plan =
+        batch::BatchPlan::fromManifestText(text, "submit");
+
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    if (config_.submit_quota != 0 &&
+        jobs_by_client_[client] >= config_.submit_quota) {
+        ++counters_.quota_rejections;
+        return protocol::Reply::error(
+            "submit quota exceeded (" +
+            std::to_string(config_.submit_quota) +
+            " jobs in flight for this connection); retry when one "
+            "completes");
+    }
+
+    // Classify every cell before mutating anything, so a backlog
+    // rejection leaves no half-registered job behind.
+    enum class Fate
+    {
+        Cached,  //!< already in the result cache
+        Attach,  //!< key pending for an earlier job (or earlier cell)
+        Fresh,   //!< needs a new work unit
+    };
+    std::vector<Fate> fates(plan.cells().size(), Fate::Fresh);
+    std::vector<const batch::BatchCell *> fresh;
+    std::unordered_set<std::string> fresh_hexes;
+    for (const auto &cell : plan.cells()) {
+        const std::string hex = cell.key.hex();
+        if (waiters_.count(hex) || fresh_hexes.count(hex)) {
+            fates[cell.index] = Fate::Attach;
+        } else if (cache_.load(cell.key)) {
+            fates[cell.index] = Fate::Cached;
+        } else {
+            fresh_hexes.insert(hex);
+            fresh.push_back(&cell);
+        }
+    }
+    const auto unit_indices = batch::planWorkUnits(fresh);
+    if (ready_.size() + unit_indices.size() > config_.max_ready_units) {
+        ++counters_.quota_rejections;
+        return protocol::Reply::error(
+            "coordinator backlog full (" +
+            std::to_string(ready_.size()) +
+            " units awaiting workers); retry later");
+    }
+
+    const std::uint64_t id = next_job_++;
+    JobRec record;
+    record.status.id = id;
+    record.status.name = "socket";
+    record.status.source = JobSource::Socket;
+    record.status.priority = priority;
+    record.status.cells = plan.cells().size();
+    record.manifest = text;
+    record.client = client;
+    ++counters_.jobs_submitted;
+    counters_.cells_total += plan.cells().size();
+    ++jobs_by_client_[client];
+    auto &job = jobs_.emplace(id, std::move(record)).first->second;
+    job_order_.push_back(id);
+
+    for (const auto &cell : plan.cells()) {
+        const std::string hex = cell.key.hex();
+        switch (fates[cell.index]) {
+          case Fate::Cached:
+            ++job.status.done;
+            ++job.cached;
+            ++counters_.cells_cached;
+            break;
+          case Fate::Attach:
+            waiters_[hex].push_back({id, cell.index});
+            ++counters_.cells_deduped;
+            break;
+          case Fate::Fresh:
+            waiters_[hex].push_back({id, cell.index});
+            break;
+        }
+    }
+    for (const auto &members : unit_indices) {
+        Unit unit;
+        unit.job = id;
+        unit.priority = priority;
+        unit.seq = next_seq_++;
+        for (const std::size_t j : members) {
+            unit.indices.push_back(fresh[j]->index);
+            unit.keys.push_back(fresh[j]->key);
+        }
+        enqueueUnitLocked(std::move(unit));
+    }
+    if (config_.verbose)
+        std::fprintf(stderr,
+                     "[coordinator] submit -> job %llu (%zu cells, "
+                     "%zu units)\n",
+                     (unsigned long long)id, plan.cells().size(),
+                     unit_indices.size());
+
+    if (job.status.complete())
+        finishJobLocked(job);
+
+    std::ostringstream os;
+    os << "job=" << id << " cells=" << plan.cells().size() << "\n";
+    return protocol::Reply::success(os.str());
+}
+
+protocol::Reply
+Coordinator::handleLease(const std::string &body)
+{
+    const auto tokens = headerTokens(body);
+    const std::string worker =
+        tokenValue(tokens, "worker").value_or("");
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    sweepExpiredLocked(Clock::now());
+
+    while (!ready_.empty()) {
+        std::pop_heap(ready_.begin(), ready_.end(), UnitBelow{});
+        Unit unit = std::move(ready_.back());
+        ready_.pop_back();
+        counters_.units_ready = ready_.size();
+
+        // Prune members resolved since the unit was queued (a zombie
+        // COMPLETE that won the first write, or a failure fan-out).
+        Unit live;
+        live.job = unit.job;
+        live.priority = unit.priority;
+        live.seq = unit.seq;
+        for (std::size_t i = 0; i < unit.keys.size(); ++i) {
+            if (!waiters_.count(unit.keys[i].hex()))
+                continue;
+            live.indices.push_back(unit.indices[i]);
+            live.keys.push_back(unit.keys[i]);
+        }
+        if (live.indices.empty())
+            continue; // fully resolved while queued; nothing to lease
+
+        const auto jt = jobs_.find(live.job);
+        if (jt == jobs_.end())
+            continue; // unreachable: waiters keep the job alive
+
+        Lease lease;
+        lease.id = next_lease_++;
+        lease.unit = std::move(live);
+        lease.worker = worker;
+        lease.deadline =
+            Clock::now() + std::chrono::milliseconds(config_.lease_ms);
+        deadlines_.emplace(lease.deadline, lease.id);
+        ++counters_.leases_granted;
+        ++counters_.units_leased;
+
+        std::ostringstream os;
+        os << "lease=" << lease.id
+           << " deadline-ms=" << config_.lease_ms
+           << " job=" << lease.unit.job << " cells=";
+        for (std::size_t i = 0; i < lease.unit.indices.size(); ++i)
+            os << (i ? "," : "") << lease.unit.indices[i];
+        os << " keys=";
+        for (std::size_t i = 0; i < lease.unit.keys.size(); ++i)
+            os << (i ? "," : "") << lease.unit.keys[i].hex();
+        os << "\n" << jt->second.manifest;
+        if (config_.verbose)
+            std::fprintf(stderr,
+                         "[coordinator] lease %llu -> %s (job %llu, "
+                         "%zu cells)\n",
+                         (unsigned long long)lease.id,
+                         worker.empty() ? "worker" : worker.c_str(),
+                         (unsigned long long)lease.unit.job,
+                         lease.unit.indices.size());
+        const std::uint64_t lease_id = lease.id;
+        leases_.emplace(lease_id, std::move(lease));
+        return protocol::Reply::success(os.str());
+    }
+    return protocol::Reply::success("none\n");
+}
+
+protocol::Reply
+Coordinator::handleRenew(const std::string &body)
+{
+    const auto tokens = headerTokens(body);
+    const auto id_text = tokenValue(tokens, "lease");
+    if (!id_text)
+        return protocol::Reply::error("RENEW: missing lease id");
+    const std::uint64_t id = batch::parseCount(*id_text);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    sweepExpiredLocked(Clock::now());
+    const auto it = leases_.find(id);
+    if (it == leases_.end() || it->second.expired)
+        return protocol::Reply::error("RENEW: lease " + *id_text +
+                                      " is not active");
+    it->second.deadline =
+        Clock::now() + std::chrono::milliseconds(config_.lease_ms);
+    deadlines_.emplace(it->second.deadline, id);
+    ++counters_.leases_renewed;
+    return protocol::Reply::success(
+        "deadline-ms=" + std::to_string(config_.lease_ms) + "\n");
+}
+
+protocol::Reply
+Coordinator::handleComplete(const std::string &body)
+{
+    const auto tokens = headerTokens(body);
+    const auto id_text = tokenValue(tokens, "lease");
+    const auto status = tokenValue(tokens, "status");
+    if (!id_text || !status ||
+        (*status != "ok" && *status != "error"))
+        return protocol::Reply::error(
+            "COMPLETE: malformed header (want lease=<id> "
+            "status=ok|error)");
+    const std::uint64_t id = batch::parseCount(*id_text);
+    const std::size_t eol = body.find('\n');
+    const std::string payload =
+        eol == std::string::npos ? "" : body.substr(eol + 1);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    sweepExpiredLocked(Clock::now());
+
+    const auto it = leases_.find(id);
+    if (it == leases_.end()) {
+        // A zombie so stale its lease record is gone. Ack: the
+        // worker did nothing wrong, and the work was re-run anyway.
+        return protocol::Reply::success("stored=0 discarded=0\n");
+    }
+    Lease lease = std::move(it->second);
+    leases_.erase(it);
+    if (!lease.expired)
+        --counters_.units_leased;
+
+    std::uint64_t stored = 0, discarded = 0;
+    if (*status == "ok") {
+        // Parse every record up front: a malformed payload must not
+        // resolve a prefix of the unit and then fail the rest.
+        std::vector<sampling::MethodResult> results;
+        try {
+            std::istringstream is(payload, std::ios::binary);
+            for (std::size_t i = 0; i < lease.unit.keys.size(); ++i)
+                results.push_back(
+                    batch::readMethodResult(is, /*expect_end=*/false));
+            if (is.peek() != std::char_traits<char>::eof())
+                throw batch::BatchError(
+                    "trailing bytes after the last record");
+        } catch (const batch::BatchError &e) {
+            if (!lease.expired) {
+                for (const auto &key : lease.unit.keys)
+                    resolveKeyLocked(
+                        key.hex(), false,
+                        std::string("worker returned a malformed "
+                                    "result payload: ") +
+                            e.what(),
+                        false);
+            }
+            return protocol::Reply::error(
+                std::string("COMPLETE: malformed payload: ") +
+                e.what());
+        }
+        for (std::size_t i = 0; i < lease.unit.keys.size(); ++i) {
+            const std::string hex = lease.unit.keys[i].hex();
+            if (!waiters_.count(hex)) {
+                // First write won already: ack and discard (the
+                // zombie-duplicate contract).
+                ++discarded;
+                ++counters_.results_discarded;
+                continue;
+            }
+            cache_.store(lease.unit.keys[i], results[i]);
+            ++stored;
+            ++counters_.results_stored;
+            resolveKeyLocked(hex, true, "", true);
+        }
+    } else {
+        // Execution failed on the worker. Only an *active* lease may
+        // fail cells — a zombie's error must not poison a re-lease
+        // that might still succeed.
+        if (!lease.expired) {
+            for (const auto &key : lease.unit.keys) {
+                const std::string hex = key.hex();
+                if (waiters_.count(hex))
+                    resolveKeyLocked(hex, false, payload, false);
+            }
+        } else {
+            discarded += lease.unit.keys.size();
+            counters_.results_discarded += lease.unit.keys.size();
+        }
+    }
+    if (config_.verbose)
+        std::fprintf(stderr,
+                     "[coordinator] complete lease %llu: %s "
+                     "stored=%llu discarded=%llu\n",
+                     (unsigned long long)id, status->c_str(),
+                     (unsigned long long)stored,
+                     (unsigned long long)discarded);
+    return protocol::Reply::success(
+        "stored=" + std::to_string(stored) +
+        " discarded=" + std::to_string(discarded) + "\n");
+}
+
+void
+Coordinator::sweepExpiredLocked(Clock::time_point now)
+{
+    while (!deadlines_.empty() && deadlines_.top().first <= now) {
+        const auto [deadline, id] = deadlines_.top();
+        deadlines_.pop();
+        const auto it = leases_.find(id);
+        if (it == leases_.end() || it->second.expired ||
+            it->second.deadline != deadline)
+            continue; // completed, already expired, or renewed
+        Lease &lease = it->second;
+        lease.expired = true;
+        ++counters_.leases_expired;
+        --counters_.units_leased;
+        if (config_.verbose)
+            std::fprintf(stderr,
+                         "[coordinator] lease %llu expired; "
+                         "re-queueing\n",
+                         (unsigned long long)id);
+
+        // Re-queue what is still unresolved; the lease record stays
+        // (bounded) so the zombie's eventual COMPLETE is understood.
+        Unit retry;
+        retry.job = lease.unit.job;
+        retry.priority = lease.unit.priority;
+        retry.seq = lease.unit.seq;
+        for (std::size_t i = 0; i < lease.unit.keys.size(); ++i) {
+            if (!waiters_.count(lease.unit.keys[i].hex()))
+                continue;
+            retry.indices.push_back(lease.unit.indices[i]);
+            retry.keys.push_back(lease.unit.keys[i]);
+        }
+        if (!retry.indices.empty())
+            enqueueUnitLocked(std::move(retry));
+
+        expired_order_.push_back(id);
+        while (expired_order_.size() > max_retained_expired) {
+            const std::uint64_t old = expired_order_.front();
+            expired_order_.pop_front();
+            const auto ot = leases_.find(old);
+            if (ot != leases_.end() && ot->second.expired)
+                leases_.erase(ot);
+        }
+    }
+}
+
+void
+Coordinator::resolveKeyLocked(const std::string &hex, bool ok,
+                              const std::string &error, bool executed)
+{
+    const auto it = waiters_.find(hex);
+    if (it == waiters_.end())
+        return;
+    const std::vector<CellRef> waiting = std::move(it->second);
+    waiters_.erase(it);
+
+    bool first = true;
+    for (const CellRef &ref : waiting) {
+        const auto jt = jobs_.find(ref.job);
+        if (jt == jobs_.end())
+            continue;
+        JobRec &job = jt->second;
+        ++job.status.done;
+        if (!ok) {
+            ++job.status.failed;
+            if (job.status.first_error.empty())
+                job.status.first_error = error;
+        } else if (executed && first) {
+            // Only the first waiter "owns" the execution; everyone
+            // else got the cell cache-hit-equivalent.
+            ++job.executed;
+        } else {
+            ++job.cached;
+        }
+        first = false;
+        if (job.status.complete())
+            finishJobLocked(job);
+    }
+}
+
+void
+Coordinator::finishJobLocked(JobRec &job)
+{
+    ++counters_.jobs_completed;
+    if (job.status.failed > 0)
+        ++counters_.jobs_failed;
+    const auto ct = jobs_by_client_.find(job.client);
+    if (ct != jobs_by_client_.end() && ct->second > 0 &&
+        --ct->second == 0)
+        jobs_by_client_.erase(ct);
+    cache_.recordRun(job.executed, job.cached);
+    if (config_.verbose)
+        std::fprintf(stderr,
+                     "[coordinator] job %llu %s: executed=%llu "
+                     "cached=%llu failed=%zu\n",
+                     (unsigned long long)job.status.id,
+                     job.status.state(),
+                     (unsigned long long)job.executed,
+                     (unsigned long long)job.cached,
+                     job.status.failed);
+
+    finished_order_.push_back(job.status.id);
+    while (finished_order_.size() > JobQueue::max_finished_jobs) {
+        jobs_.erase(finished_order_.front());
+        finished_order_.pop_front();
+    }
+    if (job_order_.size() > 2 * jobs_.size() + 16) {
+        std::deque<std::uint64_t> kept;
+        for (const std::uint64_t id : job_order_)
+            if (jobs_.count(id))
+                kept.push_back(id);
+        job_order_ = std::move(kept);
+    }
+}
+
+protocol::Reply
+Coordinator::handleStatus(const std::string &body)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!body.empty()) {
+        const std::uint64_t id = batch::parseCount(body);
+        const auto it = jobs_.find(id);
+        if (it == jobs_.end())
+            return protocol::Reply::error("unknown job " + body);
+        return protocol::Reply::success(
+            jobStatusLine(it->second.status));
+    }
+    std::ostringstream os;
+    const Counters &c = counters_;
+    os << "jobs=" << c.jobs_submitted
+       << " completed=" << c.jobs_completed
+       << " job_failures=" << c.jobs_failed
+       << " units_ready=" << c.units_ready
+       << " units_leased=" << c.units_leased
+       << " leases_granted=" << c.leases_granted
+       << " leases_expired=" << c.leases_expired
+       << " cells_total=" << c.cells_total
+       << " cells_cached=" << c.cells_cached
+       << " cells_deduped=" << c.cells_deduped << "\n";
+    for (const std::uint64_t id : job_order_) {
+        const auto it = jobs_.find(id);
+        if (it != jobs_.end())
+            os << jobStatusLine(it->second.status);
+    }
+    return protocol::Reply::success(os.str());
+}
+
+protocol::Reply
+Coordinator::handleResult(const std::string &body)
+{
+    const batch::CacheKey key = batch::CacheKey::fromHex(body);
+    auto bytes = cache_.loadBytes(key);
+    if (!bytes)
+        return protocol::Reply::error("no cached result for key " +
+                                      body);
+    return protocol::Reply::success(std::move(*bytes));
+}
+
+protocol::Reply
+Coordinator::handleStats()
+{
+    const auto stats = cache_.stats();
+    std::lock_guard<std::mutex> lock(mutex_);
+    const Counters &c = counters_;
+    std::ostringstream os;
+    os << "last_run_executed=" << stats.last_run_executed
+       << " last_run_cached=" << stats.last_run_cached
+       << " total_executed=" << stats.total_executed
+       << " total_cached=" << stats.total_cached << "\n"
+       << "jobs=" << c.jobs_submitted
+       << " completed=" << c.jobs_completed
+       << " job_failures=" << c.jobs_failed
+       << " cells_total=" << c.cells_total
+       << " cells_cached=" << c.cells_cached
+       << " cells_deduped=" << c.cells_deduped
+       << " units_ready=" << c.units_ready
+       << " units_leased=" << c.units_leased
+       << " leases_granted=" << c.leases_granted
+       << " leases_renewed=" << c.leases_renewed
+       << " leases_expired=" << c.leases_expired
+       << " results_stored=" << c.results_stored
+       << " results_discarded=" << c.results_discarded
+       << " quota_rejections=" << c.quota_rejections << "\n";
+    return protocol::Reply::success(os.str());
+}
+
+} // namespace delorean::service

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Coordinator: fleet-scale fan-out of batch plans over DLRNSRV1.
+ *
+ * The single-host BatchService drains one ThreadPool; the coordinator
+ * drains a *fleet*. It accepts the same client-facing requests
+ * (SUBMIT/STATUS/RESULT/STATS/SHUTDOWN, identical wire bodies, so
+ * every existing client and the `batch_service` CLI work unchanged)
+ * but executes nothing itself: submitted plans expand into the same
+ * co-schedulable work units a local run uses
+ * (batch::planWorkUnits), and worker daemons — today's batch_service
+ * with a `--worker <coordinator-socket>` pull loop
+ * (service/worker.hh) — pull them over three new opcodes:
+ *
+ *   LEASE     a worker asks for a unit and gets a lease id with a
+ *             deadline plus the owning job's manifest text and cell
+ *             indices (expansion order is part of the BatchPlan API,
+ *             so re-expansion on the worker reproduces the identical
+ *             cells and content keys — verified against the keys the
+ *             lease carries).
+ *   RENEW     extends a live lease's deadline (long cells).
+ *   COMPLETE  returns the serialized MethodResult bytes (chunked via
+ *             RESULT-PART/RESULT-END past the frame cap). The
+ *             coordinator stores them through its own ResultCache, so
+ *             a cell computed on one worker is a cache hit for every
+ *             later job — the fleet's cache-entry exchange.
+ *
+ * Leases live in a deadline heap. A worker that crashes or stalls
+ * past its deadline has its unit re-queued and re-leased; that
+ * at-least-once execution is safe because cells are content-keyed and
+ * idempotent — whoever finishes first wins the store, and a zombie's
+ * late duplicate COMPLETE is acked and discarded. The result of a
+ * plan run through N workers (with or without mid-plan worker deaths)
+ * is therefore bit-identical to a serial local `batch_run`
+ * (MethodResult::operator==; pinned in tests/test_service.cc and the
+ * fleet-smoke CI job).
+ *
+ * Cells dedupe exactly like the single-host queue: a cell already in
+ * the result cache completes at submit time; a cell already pending
+ * (queued or leased) for any job attaches to it, and the one COMPLETE
+ * fans out to every waiter. SUBMIT is bounded two ways: a per-client
+ * quota on in-flight jobs (client = the accepting connection) and a
+ * global ready-unit ceiling; both reject with an error reply the
+ * client can back off on — backpressure, not disconnection.
+ */
+
+#ifndef DELOREAN_SERVICE_COORDINATOR_HH
+#define DELOREAN_SERVICE_COORDINATOR_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "batch/plan.hh"
+#include "batch/result_cache.hh"
+#include "service/protocol.hh"
+#include "service/queue.hh"
+
+namespace delorean::service
+{
+
+struct CoordinatorConfig
+{
+    std::string socket_path; //!< required
+    std::string cache_dir;   //!< empty = ResultCache::defaultDir()
+    unsigned lease_ms = 10000; //!< lease validity; renewable
+    /** Max in-flight (incomplete) jobs per client connection;
+     *  0 disables the quota. */
+    std::size_t submit_quota = 64;
+    /** Global ceiling on units awaiting a worker; SUBMITs that would
+     *  push past it are rejected (backpressure). */
+    std::size_t max_ready_units = 100000;
+    bool verbose = false;
+};
+
+class Coordinator
+{
+  public:
+    /** Aggregate counters (STATUS/STATS and tests). */
+    struct Counters
+    {
+        std::uint64_t jobs_submitted = 0;
+        std::uint64_t jobs_completed = 0;
+        std::uint64_t jobs_failed = 0;
+        std::uint64_t cells_total = 0;   //!< cells across all jobs
+        std::uint64_t cells_cached = 0;  //!< done from cache at submit
+        std::uint64_t cells_deduped = 0; //!< attached to pending cells
+        std::uint64_t units_ready = 0;   //!< awaiting a worker
+        std::uint64_t units_leased = 0;  //!< currently out on lease
+        std::uint64_t leases_granted = 0;
+        std::uint64_t leases_renewed = 0;
+        std::uint64_t leases_expired = 0;  //!< re-queued after timeout
+        std::uint64_t results_stored = 0;  //!< first-write COMPLETEs
+        std::uint64_t results_discarded = 0; //!< zombie duplicates
+        std::uint64_t quota_rejections = 0;  //!< SUBMITs bounced
+    };
+
+    /** Validate the config and open the cache. Throws ServiceError. */
+    explicit Coordinator(CoordinatorConfig config);
+
+    /**
+     * Serve until shutdown: start the socket server and block.
+     * Callable once per instance. Outstanding leases are simply
+     * dropped at exit — their workers' COMPLETEs fail on a dead
+     * socket and the cells re-run on the next submission (the same
+     * "results simply re-execute" contract a killed daemon has).
+     */
+    void run();
+
+    /** Trigger the same graceful shutdown a SHUTDOWN request does. */
+    void requestShutdown();
+
+    Counters counters() const;
+
+    const batch::ResultCache &cache() const { return cache_; }
+
+    /**
+     * Dispatch one request as if it arrived on connection @p client.
+     * Public for in-process tests; run() wires it to the server.
+     */
+    protocol::Reply handle(const protocol::Request &request,
+                           std::uint64_t client);
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    /** One leasable group of cells (indices into the owning job's
+     *  plan), formed by batch::planWorkUnits at submit time. */
+    struct Unit
+    {
+        std::uint64_t job = 0; //!< owning (first-submitter) job
+        std::vector<std::size_t> indices; //!< plan cell indices
+        std::vector<batch::CacheKey> keys; //!< parallel to indices
+        int priority = 0;
+        std::uint64_t seq = 0; //!< FIFO tiebreak within a priority
+    };
+
+    struct Lease
+    {
+        std::uint64_t id = 0;
+        Unit unit;
+        std::string worker;
+        Clock::time_point deadline;
+        /** Expired and re-queued; retained so a zombie COMPLETE can
+         *  still be interpreted (and discarded or, if it raced the
+         *  re-lease, win the first write). */
+        bool expired = false;
+    };
+
+    /** A cell of one job awaiting a pending key's result. */
+    struct CellRef
+    {
+        std::uint64_t job = 0;
+        std::size_t index = 0;
+    };
+
+    struct JobRec
+    {
+        JobStatus status;
+        std::string manifest; //!< text re-sent with each lease
+        std::uint64_t client = 0;
+        std::uint64_t executed = 0;
+        std::uint64_t cached = 0;
+    };
+
+    protocol::Reply handleSubmit(const std::string &body,
+                                 std::uint64_t client);
+    protocol::Reply handleStatus(const std::string &body);
+    protocol::Reply handleResult(const std::string &body);
+    protocol::Reply handleStats();
+    protocol::Reply handleLease(const std::string &body);
+    protocol::Reply handleRenew(const std::string &body);
+    protocol::Reply handleComplete(const std::string &body);
+
+    /** Re-queue every lease whose deadline has passed (locked). */
+    void sweepExpiredLocked(Clock::time_point now);
+
+    /** Push @p unit into the ready heap (locked). */
+    void enqueueUnitLocked(Unit unit);
+
+    /** Record one resolved cell on every waiter of @p hex; @p ok
+     *  false marks it failed with @p error (locked). */
+    void resolveKeyLocked(const std::string &hex, bool ok,
+                          const std::string &error, bool executed);
+
+    /** Completion bookkeeping once @p job reached done == cells
+     *  (locked). */
+    void finishJobLocked(JobRec &job);
+
+    CoordinatorConfig config_;
+    batch::ResultCache cache_;
+
+    mutable std::mutex mutex_;
+    std::uint64_t next_job_ = 1;
+    std::uint64_t next_lease_ = 1;
+    std::uint64_t next_seq_ = 0;
+    Counters counters_;
+
+    std::unordered_map<std::uint64_t, JobRec> jobs_;
+    std::deque<std::uint64_t> job_order_;
+    std::deque<std::uint64_t> finished_order_; //!< eviction queue
+    /** In-flight jobs per client connection (quota accounting). */
+    std::unordered_map<std::uint64_t, std::size_t> jobs_by_client_;
+
+    /** Pending cells by key hex: queued or leased, not yet resolved.
+     *  Presence here *is* the "needs execution" state; COMPLETEs for
+     *  keys absent from this map are duplicates and are discarded. */
+    std::unordered_map<std::string, std::vector<CellRef>> waiters_;
+
+    /** Ready units, highest priority first (FIFO within). */
+    std::vector<Unit> ready_;
+
+    std::unordered_map<std::uint64_t, Lease> leases_;
+    /** Min-heap of (deadline, lease id); entries whose deadline no
+     *  longer matches the lease (renewed) are skipped lazily. */
+    std::priority_queue<
+        std::pair<Clock::time_point, std::uint64_t>,
+        std::vector<std::pair<Clock::time_point, std::uint64_t>>,
+        std::greater<>>
+        deadlines_;
+    /** Expired leases retained for zombie COMPLETEs, oldest first
+     *  (bounded; see max_retained_expired in coordinator.cc). */
+    std::deque<std::uint64_t> expired_order_;
+
+    std::mutex shutdown_mutex_;
+    std::condition_variable shutdown_cv_;
+    bool shutdown_ = false;
+};
+
+} // namespace delorean::service
+
+#endif // DELOREAN_SERVICE_COORDINATOR_HH

@@ -77,6 +77,16 @@ opcodeName(Opcode op)
         return "STATS";
       case Opcode::Shutdown:
         return "SHUTDOWN";
+      case Opcode::Lease:
+        return "LEASE";
+      case Opcode::Renew:
+        return "RENEW";
+      case Opcode::Complete:
+        return "COMPLETE";
+      case Opcode::ResultPart:
+        return "RESULT-PART";
+      case Opcode::ResultEnd:
+        return "RESULT-END";
     }
     return "?";
 }
@@ -121,6 +131,63 @@ readExact(int fd, void *data, std::size_t count)
     return true;
 }
 
+namespace
+{
+
+/**
+ * Does the first line of a COMPLETE body carry the exact token
+ * "more=1"? Anything else (including a malformed header) means no
+ * continuation frames follow — the handler reports the malformation
+ * as a request-level error on a healthy connection.
+ */
+bool
+completeWantsMore(const std::string &body)
+{
+    const std::size_t eol = body.find('\n');
+    const std::string line =
+        eol == std::string::npos ? body : body.substr(0, eol);
+    std::size_t pos = 0;
+    while (pos < line.size()) {
+        std::size_t end = line.find(' ', pos);
+        if (end == std::string::npos)
+            end = line.size();
+        if (line.compare(pos, end - pos, "more=1") == 0)
+            return true;
+        pos = end + 1;
+    }
+    return false;
+}
+
+/**
+ * Drain the RESULT-PART/RESULT-END continuation of a COMPLETE into
+ * @p body. Any other opcode mid-stream, truncation, or a reassembled
+ * total above max_stream is a protocol violation.
+ */
+void
+readCompleteContinuation(int fd, std::string &body)
+{
+    for (;;) {
+        auto frame = readFrame(fd, "request");
+        if (!frame)
+            throw ServiceError(
+                "request: EOF inside a COMPLETE stream");
+        auto [code, chunk] = std::move(*frame);
+        if (Opcode(code) != Opcode::ResultPart &&
+            Opcode(code) != Opcode::ResultEnd)
+            throw ServiceError("request: opcode " +
+                               std::to_string(code) +
+                               " inside a COMPLETE stream");
+        if (body.size() + chunk.size() > max_stream)
+            throw ServiceError(
+                "request: COMPLETE stream exceeds limit");
+        body += chunk;
+        if (Opcode(code) == Opcode::ResultEnd)
+            return;
+    }
+}
+
+} // namespace
+
 void
 writeRequest(int fd, const Request &request)
 {
@@ -140,11 +207,24 @@ readRequest(int fd)
       case Opcode::Result:
       case Opcode::Stats:
       case Opcode::Shutdown:
+      case Opcode::Lease:
+      case Opcode::Renew:
+      case Opcode::Complete:
         break;
+      case Opcode::ResultPart:
+      case Opcode::ResultEnd:
+        // Continuation frames are only meaningful inside a COMPLETE
+        // stream (consumed below); a standalone one is a confused or
+        // hostile peer.
+        throw ServiceError(std::string("request: ") +
+                           opcodeName(Opcode(code)) +
+                           " outside a COMPLETE stream");
       default:
         throw ServiceError("request: unknown opcode " +
                            std::to_string(code));
     }
+    if (Opcode(code) == Opcode::Complete && completeWantsMore(body))
+        readCompleteContinuation(fd, body);
     Request request;
     request.op = Opcode(code);
     request.body = std::move(body);
@@ -154,23 +234,74 @@ readRequest(int fd)
 void
 writeReply(int fd, const Reply &reply)
 {
-    writeFrame(fd, reply.ok ? 0 : 1, reply.body);
+    if (!reply.ok) {
+        // Error bodies are short diagnostics; splitting them across
+        // frames would complicate every client for no real payload.
+        writeFrame(fd, status_error, reply.body);
+        return;
+    }
+    std::size_t offset = 0;
+    while (reply.body.size() - offset > max_body) {
+        writeFrame(fd, status_part,
+                   reply.body.substr(offset, max_body));
+        offset += max_body;
+    }
+    writeFrame(fd, status_ok,
+               offset == 0 ? reply.body : reply.body.substr(offset));
 }
 
 Reply
 readReply(int fd)
 {
-    auto frame = readFrame(fd, "reply");
-    if (!frame)
-        throw ServiceError("connection closed before the reply");
-    auto [code, body] = std::move(*frame);
-    if (code > 1)
-        throw ServiceError("reply: unknown status " +
-                           std::to_string(code));
-    Reply reply;
-    reply.ok = code == 0;
-    reply.body = std::move(body);
-    return reply;
+    std::string body;
+    for (;;) {
+        auto frame = readFrame(fd, "reply");
+        if (!frame)
+            throw ServiceError("connection closed before the reply");
+        auto [code, chunk] = std::move(*frame);
+        if (code != status_ok && code != status_error &&
+            code != status_part)
+            throw ServiceError("reply: unknown status " +
+                               std::to_string(code));
+        if (body.size() + chunk.size() > max_stream)
+            throw ServiceError("reply: chunked body exceeds limit");
+        if (body.empty())
+            body = std::move(chunk);
+        else
+            body += chunk;
+        if (code == status_part)
+            continue;
+        Reply reply;
+        reply.ok = code == status_ok;
+        reply.body = std::move(body);
+        return reply;
+    }
+}
+
+void
+writeCompleteRequest(int fd, std::uint64_t lease, bool ok,
+                     const std::string &payload)
+{
+    std::string header = "lease=" + std::to_string(lease) +
+                         " status=" + (ok ? "ok" : "error");
+    if (header.size() + sizeof(" more=0\n") - 1 + payload.size() <=
+        max_body) {
+        Request request;
+        request.op = Opcode::Complete;
+        request.body = header + " more=0\n" + payload;
+        writeRequest(fd, request);
+        return;
+    }
+    writeFrame(fd, std::uint32_t(Opcode::Complete),
+               header + " more=1\n");
+    std::size_t offset = 0;
+    while (payload.size() - offset > max_body) {
+        writeFrame(fd, std::uint32_t(Opcode::ResultPart),
+                   payload.substr(offset, max_body));
+        offset += max_body;
+    }
+    writeFrame(fd, std::uint32_t(Opcode::ResultEnd),
+               payload.substr(offset));
 }
 
 } // namespace delorean::service::protocol

@@ -36,6 +36,38 @@
  *   SHUTDOWN  empty. Ok body: "ok\n"; the server stops accepting,
  *             drains in-flight cells and exits.
  *
+ * Fleet opcodes (coordinator/worker; docs/service.md):
+ *
+ *   LEASE     optional "worker=<name>". Ok body: "none\n" when idle,
+ *             else a header line "lease=<id> deadline-ms=<ms>
+ *             job=<job> cells=<i,j,...>\n" followed by the owning
+ *             job's manifest text; the worker re-expands the plan
+ *             (expansion order is part of the BatchPlan API) and
+ *             executes the named cells.
+ *   RENEW     "lease=<id>". Ok body: "deadline-ms=<ms>\n"; error once
+ *             the lease expired or was never granted.
+ *   COMPLETE  header line "lease=<id> status=ok|error more=0|1\n",
+ *             then the payload: concatenated serialized MethodResult
+ *             records (batch/result_io.hh) in unit order for ok, the
+ *             diagnostic text for error. more=1 moves the payload out
+ *             of this frame into a RESULT-PART/RESULT-END stream.
+ *             Ok body: "stored=<n> discarded=<m>\n" — a zombie
+ *             worker's duplicate COMPLETE is acked and discarded,
+ *             never an error.
+ *   RESULT-PART / RESULT-END
+ *             payload chunks of a COMPLETE with more=1 (RESULT-END
+ *             carries the final, possibly empty, chunk). Only valid
+ *             inside such a stream; standalone frames are protocol
+ *             violations. readRequest() reassembles the stream into
+ *             one Request transparently, bounded by max_stream.
+ *
+ * Replies larger than one frame stream the same way in the other
+ * direction: writeReply() splits an oversized body into partial
+ * frames (status 2, the reply-side RESULT-PART) closed by a final
+ * status-0 frame, and readReply() reassembles them — a RESULT fetch
+ * bigger than the 64 MiB frame cap round-trips without either side
+ * ever allocating from an unvalidated length prefix.
+ *
  * Readers validate everything (magic, opcode, length bound) and throw
  * ServiceError on any violation; a malformed or oversized frame must
  * drop the connection, never crash the daemon or allocate unbounded
@@ -82,6 +114,20 @@ constexpr char magic[8] = {'D', 'L', 'R', 'N', 'S', 'R', 'V', '1'};
  */
 constexpr std::uint32_t max_body = 64u << 20;
 
+/**
+ * Ceiling on a *reassembled* chunked payload (COMPLETE streams and
+ * partial replies). Each chunk still obeys max_body; this bounds how
+ * many of them one logical payload may carry, so a hostile peer
+ * cannot stream unbounded memory either.
+ */
+constexpr std::uint64_t max_stream = 1ull << 30;
+
+/** Reply status codes (the u32 where requests carry an opcode). */
+constexpr std::uint32_t status_ok = 0;
+constexpr std::uint32_t status_error = 1;
+/** A partial body chunk; more frames follow, a status_ok frame ends. */
+constexpr std::uint32_t status_part = 2;
+
 enum class Opcode : std::uint32_t
 {
     Submit = 1,
@@ -89,6 +135,11 @@ enum class Opcode : std::uint32_t
     Result = 3,
     Stats = 4,
     Shutdown = 5,
+    Lease = 6,
+    Renew = 7,
+    Complete = 8,
+    ResultPart = 9,
+    ResultEnd = 10,
 };
 
 /**
@@ -149,18 +200,38 @@ bool readExact(int fd, void *data, std::size_t count);
 void writeRequest(int fd, const Request &request);
 
 /**
- * Read one request frame. @return nullopt on clean EOF (client hung
- * up); throws ServiceError on malformed input or truncation.
+ * Read one request. @return nullopt on clean EOF (client hung up);
+ * throws ServiceError on malformed input or truncation. A COMPLETE
+ * whose header says more=1 is reassembled from its RESULT-PART/
+ * RESULT-END continuation frames into one Request (body bounded by
+ * max_stream); a standalone RESULT-PART/RESULT-END is rejected.
  */
 std::optional<Request> readRequest(int fd);
 
+/**
+ * Write one reply. Bodies above max_body are split into status_part
+ * frames closed by a final status_ok frame; error bodies must fit one
+ * frame (they are short diagnostics by construction).
+ */
 void writeReply(int fd, const Reply &reply);
 
 /**
- * Read one reply frame. EOF is always an error here: a client that
- * sent a request is owed a reply.
+ * Read one reply, reassembling status_part chunks (total bounded by
+ * max_stream). EOF is always an error here: a client that sent a
+ * request is owed a reply.
  */
 Reply readReply(int fd);
+
+/**
+ * Send a COMPLETE for @p lease. When header + payload fit one frame
+ * the payload rides inline (more=0); otherwise the header frame says
+ * more=1 and the payload follows as RESULT-PART frames closed by a
+ * RESULT-END — the request-side mirror of the chunked reply path.
+ * @p ok selects status=ok (payload = serialized records) versus
+ * status=error (payload = diagnostic text).
+ */
+void writeCompleteRequest(int fd, std::uint64_t lease, bool ok,
+                          const std::string &payload);
 
 } // namespace protocol
 

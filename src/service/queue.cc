@@ -1,6 +1,7 @@
 #include "service/queue.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "service/protocol.hh"
 
@@ -25,6 +26,21 @@ taskBelow(const std::shared_ptr<Task> &a, const std::shared_ptr<Task> &b)
 }
 
 } // namespace
+
+std::string
+jobStatusLine(const JobStatus &status)
+{
+    std::ostringstream os;
+    os << "job=" << status.id << " state=" << status.state()
+       << " cells=" << status.cells << " done=" << status.done
+       << " failed=" << status.failed
+       << " priority=" << status.priority << " source="
+       << (status.source == JobSource::Socket ? "socket" : "spool")
+       << " name=" << status.name << "\n";
+    if (!status.first_error.empty())
+        os << "  error: " << status.first_error << "\n";
+    return os.str();
+}
 
 std::uint64_t
 JobQueue::addJob(const batch::BatchPlan &plan, const std::string &name,

@@ -82,6 +82,14 @@ struct JobStatus
     }
 };
 
+/**
+ * Render @p status as its canonical STATUS line (plus the indented
+ * `error:` line when a diagnostic exists). One formatter for the
+ * single-host service and the fleet coordinator, so clients parsing
+ * the state= token (ServiceClient::jobDone) see one format.
+ */
+std::string jobStatusLine(const JobStatus &status);
+
 /** A job that just reached done == cells (returned by complete()). */
 struct FinishedJob
 {

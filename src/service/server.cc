@@ -239,8 +239,9 @@ SocketServer::acceptLoop()
         auto conn = std::make_unique<Connection>();
         Connection *raw = conn.get();
         raw->fd = fd;
-        raw->thread = std::thread([this, raw] {
-            serveConnection(raw->fd);
+        const std::uint64_t client = next_client_.fetch_add(1);
+        raw->thread = std::thread([this, raw, client] {
+            serveConnection(raw->fd, client);
             raw->finished.store(true); // reaped by the accept loop / stop()
         });
         connections_.push_back(std::move(conn));
@@ -248,7 +249,7 @@ SocketServer::acceptLoop()
 }
 
 void
-SocketServer::serveConnection(int fd)
+SocketServer::serveConnection(int fd, std::uint64_t client)
 {
     // One connection carries any number of request/reply exchanges;
     // a clean EOF between frames ends it. Stop serving mid-connection
@@ -260,7 +261,7 @@ SocketServer::serveConnection(int fd)
                 return;
             protocol::Reply reply;
             try {
-                reply = handler_(*request);
+                reply = handler_(*request, client);
             } catch (const ServiceError &e) {
                 reply = protocol::Reply::error(e.what());
             } catch (const batch::BatchError &e) {

@@ -51,10 +51,12 @@ class SocketServer
      * per-connection threads (up to max_connections at once), so it
      * must be thread-safe; it must not block on simulation work.
      * Thrown ServiceError/BatchError become error replies; anything
-     * else drops the connection.
+     * else drops the connection. @p client identifies the connection
+     * the request arrived on (monotonic per accept, never reused) —
+     * the coordinator keys its per-client SUBMIT quotas on it.
      */
     using Handler = std::function<protocol::Reply(
-        const protocol::Request &request)>;
+        const protocol::Request &request, std::uint64_t client)>;
 
     /**
      * Hard cap on simultaneously served connections; accepts beyond
@@ -88,7 +90,7 @@ class SocketServer
 
   private:
     void acceptLoop();
-    void serveConnection(int fd);
+    void serveConnection(int fd, std::uint64_t client);
     void reapFinished();
 
     /** Release the takeover lock (no-op if not held). */
@@ -99,6 +101,7 @@ class SocketServer
     int listen_fd_ = -1;
     int lock_fd_ = -1; //!< flock'd "<path>.lock", held while serving
     std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> next_client_{1};
     std::thread thread_;
 
     /** Live connections (list guarded by conn_mutex_). */

@@ -85,7 +85,8 @@ BatchService::run()
     std::exception_ptr error;
     try {
         SocketServer server(config_.socket_path,
-                            [this](const protocol::Request &request) {
+                            [this](const protocol::Request &request,
+                                   std::uint64_t) {
                                 return handle(request);
                             });
         server.start();
@@ -233,6 +234,19 @@ BatchService::handle(const protocol::Request &request)
         reply.after_send = [this] { requestShutdown(); };
         return reply;
       }
+      case protocol::Opcode::Lease:
+      case protocol::Opcode::Renew:
+      case protocol::Opcode::Complete:
+        // A worker pointed at a plain batch service, not a fleet
+        // coordinator: tell it precisely what went wrong.
+        return protocol::Reply::error(
+            "this is a batch service socket, not a fleet coordinator; "
+            "start one with 'batch_service coordinate'");
+      case protocol::Opcode::ResultPart:
+      case protocol::Opcode::ResultEnd:
+        // readRequest() rejects these standalone; belt and braces.
+        return protocol::Reply::error(
+            "continuation frame outside a COMPLETE stream");
     }
     return protocol::Reply::error("unhandled opcode");
 }
@@ -261,24 +275,6 @@ BatchService::handleSubmit(const std::string &body)
     return protocol::Reply::success(os.str());
 }
 
-namespace
-{
-
-void
-appendJobLine(std::ostringstream &os, const JobStatus &job)
-{
-    os << "job=" << job.id << " state=" << job.state()
-       << " cells=" << job.cells << " done=" << job.done
-       << " failed=" << job.failed << " priority=" << job.priority
-       << " source="
-       << (job.source == JobSource::Socket ? "socket" : "spool")
-       << " name=" << job.name << "\n";
-    if (!job.first_error.empty())
-        os << "  error: " << job.first_error << "\n";
-}
-
-} // namespace
-
 protocol::Reply
 BatchService::handleStatus(const std::string &body)
 {
@@ -288,8 +284,7 @@ BatchService::handleStatus(const std::string &body)
         const auto job = queue_.job(id);
         if (!job)
             return protocol::Reply::error("unknown job " + body);
-        appendJobLine(os, *job);
-        return protocol::Reply::success(os.str());
+        return protocol::Reply::success(jobStatusLine(*job));
     }
 
     const auto c = queue_.counters();
@@ -302,7 +297,7 @@ BatchService::handleStatus(const std::string &body)
        << " cells_executed=" << executed_.load()
        << " cells_cached=" << cache_hits_.load() << "\n";
     for (const auto &job : queue_.jobs())
-        appendJobLine(os, job);
+        os << jobStatusLine(job);
     return protocol::Reply::success(os.str());
 }
 

@@ -1,0 +1,184 @@
+#include "service/worker.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "base/logging.hh"
+#include "batch/error.hh"
+#include "batch/plan.hh"
+#include "batch/runner.hh"
+#include "service/client.hh"
+
+namespace delorean::service
+{
+
+WorkerLoop::WorkerLoop(WorkerConfig config)
+    : config_(std::move(config)), cache_(config_.cache_dir)
+{
+    if (config_.coordinator.empty())
+        throw ServiceError("worker: no coordinator socket path");
+    if (config_.threads == 0)
+        throw ServiceError("worker: thread count must be non-zero");
+    if (config_.idle_ms == 0)
+        config_.idle_ms = 1;
+}
+
+WorkerLoop::~WorkerLoop()
+{
+    stop();
+}
+
+void
+WorkerLoop::start()
+{
+    if (started_.exchange(true))
+        throw ServiceError("worker: already started");
+    threads_.reserve(config_.threads);
+    for (unsigned i = 0; i < config_.threads; ++i)
+        threads_.emplace_back([this, i] { pullLoop(i); });
+}
+
+void
+WorkerLoop::stop()
+{
+    stop_.store(true);
+    for (auto &thread : threads_)
+        if (thread.joinable())
+            thread.join();
+    threads_.clear();
+}
+
+void
+WorkerLoop::kill()
+{
+    killed_.store(true);
+    stop();
+}
+
+WorkerLoop::Counters
+WorkerLoop::counters() const
+{
+    return {units_completed_.load(), units_failed_.load(),
+            cells_executed_.load(), cells_from_cache_.load()};
+}
+
+void
+WorkerLoop::pullLoop(unsigned thread_index)
+{
+    const std::string name =
+        (config_.name.empty() ? "worker" : config_.name) + "/" +
+        std::to_string(thread_index);
+    std::unique_ptr<ServiceClient> client;
+    unsigned idle_attempt = 0;
+
+    // Sleep in short slices so stop()/kill() joins promptly even from
+    // a long idle backoff.
+    const auto nap = [&](unsigned attempt) {
+        unsigned left = pollBackoffMs(attempt, config_.idle_ms,
+                                      8 * config_.idle_ms,
+                                      0x776f726bull + thread_index);
+        while (left > 0 && !stop_.load()) {
+            const unsigned slice = std::min(left, 10u);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(slice));
+            left -= slice;
+        }
+    };
+
+    while (!stop_.load()) {
+        try {
+            if (!client)
+                client = std::make_unique<ServiceClient>(
+                    config_.coordinator);
+            const auto lease = client->lease(name);
+            if (lease.idle) {
+                nap(idle_attempt++);
+                continue;
+            }
+            idle_attempt = 0;
+
+            // Re-expand the manifest and verify the leased cells
+            // against the coordinator's keys: expansion order is part
+            // of the BatchPlan API, so a mismatch means a file-backed
+            // workload changed since submit — results must not
+            // publish under the coordinator's (now stale) keys.
+            try {
+                const auto plan = batch::BatchPlan::fromManifestText(
+                    lease.manifest, "lease");
+                std::vector<const batch::BatchCell *> unit;
+                for (std::size_t i = 0; i < lease.cells.size(); ++i) {
+                    const std::size_t index = lease.cells[i];
+                    if (index >= plan.cells().size() ||
+                        !(plan.cells()[index].key == lease.keys[i]))
+                        throw batch::BatchError(
+                            "leased cell " + std::to_string(index) +
+                            ": key mismatch after re-expansion; plan "
+                            "changed between submit and lease — "
+                            "resubmit");
+                    unit.push_back(&plan.cells()[index]);
+                }
+
+                std::vector<const batch::BatchCell *> misses;
+                for (const auto *cell : unit)
+                    if (!cache_.load(cell->key))
+                        misses.push_back(cell);
+                cells_from_cache_.fetch_add(unit.size() -
+                                            misses.size());
+
+                if (!misses.empty()) {
+                    // Refresh the lease before the expensive part so
+                    // a long unit is not re-queued under us.
+                    (void)client->renew(lease.lease);
+                    if (config_.verbose)
+                        std::fprintf(stderr,
+                                     "[%s] lease %llu: running %zu of "
+                                     "%zu cells\n",
+                                     name.c_str(),
+                                     (unsigned long long)lease.lease,
+                                     misses.size(), unit.size());
+                    const auto results =
+                        batch::BatchRunner::runUnit(misses);
+                    for (std::size_t i = 0; i < misses.size(); ++i)
+                        cache_.store(misses[i]->key, results[i]);
+                    cells_executed_.fetch_add(misses.size());
+                }
+
+                // Serialize from the cache, not the in-memory
+                // results: loadBytes is the canonical byte form, so
+                // the coordinator's re-store is bit-identical.
+                std::string payload;
+                for (const auto *cell : unit) {
+                    auto bytes = cache_.loadBytes(cell->key);
+                    if (!bytes)
+                        throw batch::BatchError(
+                            "result for " + cell->workload +
+                            " vanished from the local cache");
+                    payload += *bytes;
+                }
+
+                if (killed_.load())
+                    return; // crashed: never COMPLETE, lease expires
+                (void)client->complete(lease.lease, payload);
+                units_completed_.fetch_add(1);
+            } catch (const batch::BatchError &e) {
+                if (killed_.load())
+                    return;
+                (void)client->completeError(lease.lease, e.what());
+                units_failed_.fetch_add(1);
+            }
+        } catch (const ServiceError &e) {
+            // Coordinator gone or mid-exchange failure: drop the
+            // connection and retry with backoff.
+            client.reset();
+            if (stop_.load())
+                return;
+            if (config_.verbose)
+                std::fprintf(stderr, "[%s] %s\n", name.c_str(),
+                             e.what());
+            nap(idle_attempt++);
+        }
+    }
+}
+
+} // namespace delorean::service

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * WorkerLoop: the pull side of the fleet coordinator protocol.
+ *
+ * Each worker thread runs an independent LEASE → execute → COMPLETE
+ * loop against one coordinator socket (service/coordinator.hh):
+ *
+ *  1. LEASE pulls a work unit: lease id, deadline, the owning job's
+ *     manifest text, plus the unit's cell indices and content keys.
+ *  2. The worker re-expands the manifest with the same BatchPlan code
+ *     the coordinator used and verifies each leased cell's key matches
+ *     the key the lease carries. A mismatch (a file-backed workload
+ *     changed between submit and lease) COMPLETEs with status=error
+ *     instead of publishing results under a stale key.
+ *  3. Cells already in the worker's *local* result cache are served
+ *     from it; the rest run through batch::BatchRunner::runUnit — the
+ *     exact scheduler a local batch_run uses, which is half of the
+ *     fleet's bit-identity guarantee.
+ *  4. The lease is RENEWed once just before execution, then COMPLETE
+ *     returns the serialized records in unit order (chunked past the
+ *     frame cap by the protocol layer).
+ *
+ * An idle coordinator ("none") backs off with pollBackoffMs. stop()
+ * finishes in-flight units and COMPLETEs them; kill() abandons them —
+ * the lease expires and the coordinator re-queues, which is the fault
+ * the fleet tests inject.
+ */
+
+#ifndef DELOREAN_SERVICE_WORKER_HH
+#define DELOREAN_SERVICE_WORKER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "batch/result_cache.hh"
+
+namespace delorean::service
+{
+
+struct WorkerConfig
+{
+    std::string coordinator; //!< coordinator socket path (required)
+    std::string cache_dir;   //!< empty = ResultCache::defaultDir()
+    unsigned threads = 1;    //!< concurrent pull loops
+    /** Idle backoff band: pollBackoffMs(attempt, idle_ms, 8*idle_ms). */
+    unsigned idle_ms = 100;
+    std::string name;        //!< reported with each LEASE
+    bool verbose = false;
+};
+
+class WorkerLoop
+{
+  public:
+    struct Counters
+    {
+        std::uint64_t units_completed = 0;
+        std::uint64_t units_failed = 0;   //!< COMPLETEd status=error
+        std::uint64_t cells_executed = 0;
+        std::uint64_t cells_from_cache = 0; //!< worker-local hits
+    };
+
+    /** Validate the config and open the cache. Throws ServiceError. */
+    explicit WorkerLoop(WorkerConfig config);
+    ~WorkerLoop(); //!< stop()s if still running
+
+    WorkerLoop(const WorkerLoop &) = delete;
+    WorkerLoop &operator=(const WorkerLoop &) = delete;
+
+    /** Launch the pull threads. Callable once. */
+    void start();
+
+    /** Graceful: finish and COMPLETE in-flight units, then join. */
+    void stop();
+
+    /**
+     * Crash simulation: abandon in-flight units (their COMPLETEs are
+     * never sent, so the leases expire and re-queue), then join. The
+     * fault the multi-worker harness injects mid-plan.
+     */
+    void kill();
+
+    Counters counters() const;
+
+  private:
+    void pullLoop(unsigned thread_index);
+
+    WorkerConfig config_;
+    batch::ResultCache cache_;
+
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> killed_{false};
+    std::atomic<std::uint64_t> units_completed_{0};
+    std::atomic<std::uint64_t> units_failed_{0};
+    std::atomic<std::uint64_t> cells_executed_{0};
+    std::atomic<std::uint64_t> cells_from_cache_{0};
+    std::vector<std::thread> threads_;
+};
+
+} // namespace delorean::service
+
+#endif // DELOREAN_SERVICE_WORKER_HH

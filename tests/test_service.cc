@@ -10,6 +10,20 @@
  * serial BatchRunner run, concurrent submitters of the same plan
  * execute each cell once, and re-submitting the same manifest content
  * executes zero cells.
+ *
+ * Fleet layer (src/service/coordinator.hh, worker.hh): a randomized
+ * frame fuzzer (500+ seeded corrupt/truncated frames, every one a
+ * ServiceError, never a crash — and no leaked connection slots on
+ * the real server), chunked-frame boundary round trips (one byte
+ * under, at, and over the 64 MiB frame cap in both directions), a
+ * coordinator + two-worker run that is bit-identical to a serial
+ * local run, fault injection (expired leases re-queue; a worker
+ * killed mid-plan does not change the merged result; a zombie's
+ * duplicate COMPLETE is acked and discarded with first write
+ * winning), SUBMIT quota/backlog backpressure, JobQueue edge cases
+ * (exact eviction boundary, concurrent same-priority submits,
+ * close() racing an in-flight completion), and the capped
+ * exponential poll backoff.
  */
 
 #include <gtest/gtest.h>
@@ -33,10 +47,13 @@
 #include "batch/result_io.hh"
 #include "batch/runner.hh"
 #include "service/client.hh"
+#include "service/coordinator.hh"
 #include "service/queue.hh"
 #include "service/server.hh"
 #include "service/service.hh"
 #include "service/watcher.hh"
+#include "service/worker.hh"
+#include "workload/endian.hh"
 #include "workload/trace_io.hh"
 #include "workload/trace_registry.hh"
 
@@ -727,7 +744,7 @@ struct ScriptedServer
 
     ScriptedServer()
         : server(root.path + "/srv.sock",
-                 [this](const proto::Request &) {
+                 [this](const proto::Request &, std::uint64_t) {
                      std::lock_guard<std::mutex> lock(mutex);
                      if (replies.empty())
                          return proto::Reply::error("script exhausted");
@@ -805,6 +822,881 @@ TEST(Service, JobDoneParsesStateTokenNotSubstring)
     // treating it as false would spin a polling loop forever.
     scripted.push("job=9 cells=4\n");
     EXPECT_THROW((void)client.jobDone(9), ServiceError);
+}
+
+// -------------------------------------------------------- frame fuzzer
+
+/** splitmix64: tiny, seedable, good enough to drive a fuzz corpus. */
+struct FuzzRng
+{
+    std::uint64_t state;
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+};
+
+/** A well-formed frame (request opcode or reply status @p code). */
+std::string
+rawFrame(std::uint32_t code, const std::string &body)
+{
+    std::string frame(16 + body.size(), '\0');
+    std::memcpy(frame.data(), proto::magic, 8);
+    workload::le::putU32(
+        reinterpret_cast<std::uint8_t *>(frame.data()) + 8, code);
+    workload::le::putU32(
+        reinterpret_cast<std::uint8_t *>(frame.data()) + 12,
+        std::uint32_t(body.size()));
+    std::memcpy(frame.data() + 16, body.data(), body.size());
+    return frame;
+}
+
+/**
+ * The fuzz corpus: 600+ seeded-random frames, each corrupted in a way
+ * that *guarantees* invalidity (so "throws ServiceError" is a stable
+ * assertion under any refactoring of the parser). Every case must
+ * throw — never crash, never hang, never allocate from the corrupted
+ * length. Runs under ASan/UBSan in the sanitize CI job like the rest
+ * of this binary.
+ */
+TEST(ProtocolFuzz, CorruptFramesAlwaysThrowNeverCrash)
+{
+    FuzzRng rng{0xd15ea5ef0221ull};
+    int request_cases = 0, reply_cases = 0;
+
+    for (int i = 0; i < 640; ++i) {
+        const bool fuzz_request = (rng.next() & 1) != 0;
+        // A random but structurally valid starting frame.
+        const std::uint32_t good_code =
+            fuzz_request ? 1 + std::uint32_t(rng.next() % 8)
+                         : std::uint32_t(rng.next() % 3);
+        std::string body(rng.next() % 48, '\0');
+        for (auto &c : body)
+            c = char(rng.next() & 0xff);
+        // A COMPLETE whose random body happens to say more=1 would
+        // legitimately wait for continuation frames; pin more=0 so the
+        // base frame is self-contained and only our corruption breaks
+        // it.
+        if (fuzz_request && good_code == 8)
+            body = "lease=1 status=ok more=0\n" + body;
+        std::string frame = rawFrame(good_code, body);
+
+        enum
+        {
+            BadMagic,
+            BadCode,
+            OversizedLength,
+            Truncated,
+            StrayContinuation,
+            BrokenStream,
+            Corruptions
+        };
+        const auto corruption = int(rng.next() % Corruptions);
+        bool stray_is_request = fuzz_request;
+        switch (corruption) {
+          case BadMagic: {
+            const std::size_t at = rng.next() % 8;
+            frame[at] = char(frame[at] ^ (1 + (rng.next() % 255)));
+            break;
+          }
+          case BadCode: {
+            // Requests: opcodes past RESULT-END are unknown. Replies:
+            // statuses past status_part are unknown.
+            const std::uint32_t bad =
+                (fuzz_request ? 11 : 3) +
+                std::uint32_t(rng.next() % 100000);
+            workload::le::putU32(
+                reinterpret_cast<std::uint8_t *>(frame.data()) + 8,
+                bad);
+            break;
+          }
+          case OversizedLength: {
+            const std::uint32_t bad =
+                proto::max_body + 1 +
+                std::uint32_t(rng.next() % 100000);
+            workload::le::putU32(
+                reinterpret_cast<std::uint8_t *>(frame.data()) + 12,
+                bad);
+            // No body follows: the reader must reject the length
+            // *before* trying to allocate or read it.
+            frame.resize(16);
+            break;
+          }
+          case Truncated: {
+            // Any strict, non-empty prefix: a cut header, or a body
+            // shorter than the header promised. (A zero-byte prefix
+            // would be a clean EOF, which is legal between frames.)
+            if (body.empty()) // make sure there is a body to cut
+                frame = rawFrame(good_code, "x");
+            frame.resize(1 + rng.next() % (frame.size() - 1));
+            break;
+          }
+          case StrayContinuation: {
+            // RESULT-PART/RESULT-END outside a COMPLETE stream is a
+            // protocol violation even though the frame is well-formed.
+            frame = rawFrame(9 + std::uint32_t(rng.next() % 2), body);
+            stray_is_request = true;
+            break;
+          }
+          case BrokenStream: {
+            // A COMPLETE that opens a stream, then violates it: a
+            // non-continuation opcode mid-stream or EOF before
+            // RESULT-END.
+            frame = rawFrame(8, "lease=1 status=ok more=1\n");
+            if (rng.next() & 1)
+                frame += rawFrame(1 + std::uint32_t(rng.next() % 5),
+                                  "not a continuation");
+            stray_is_request = true;
+            break;
+          }
+        }
+
+        FdPair pair;
+        proto::writeAll(pair.fds[0], frame.data(), frame.size());
+        ::close(pair.fds[0]);
+        pair.fds[0] = -1;
+        const bool as_request =
+            corruption == StrayContinuation ||
+            corruption == BrokenStream ? stray_is_request
+                                       : fuzz_request;
+        if (as_request) {
+            EXPECT_THROW((void)proto::readRequest(pair.fds[1]),
+                         ServiceError)
+                << "case " << i << " corruption " << corruption;
+            ++request_cases;
+        } else {
+            EXPECT_THROW((void)proto::readReply(pair.fds[1]),
+                         ServiceError)
+                << "case " << i << " corruption " << corruption;
+            ++reply_cases;
+        }
+    }
+    // The corpus genuinely exercised both directions at scale.
+    EXPECT_GE(request_cases + reply_cases, 500);
+    EXPECT_GE(request_cases, 100);
+    EXPECT_GE(reply_cases, 100);
+}
+
+TEST(ProtocolFuzz, GarbageConnectionsDoNotLeakServerSlots)
+{
+    // Hammer a live daemon with malformed openings; every connection
+    // must be dropped and its slot reclaimed, leaving the server fully
+    // usable for a well-formed client afterwards.
+    ServiceFixture fixture;
+    FuzzRng rng{42};
+    for (int i = 0; i < 32; ++i) {
+        const int fd = connectToServer(fixture.config.socket_path);
+        std::string garbage(1 + rng.next() % 64, '\0');
+        for (auto &c : garbage)
+            c = char(rng.next() & 0xff);
+        garbage[0] = 'X'; // never a valid magic
+        try {
+            proto::writeAll(fd, garbage.data(), garbage.size());
+            // Half-close so a server still waiting for header bytes
+            // sees EOF at once (instead of its read timeout), then
+            // drain until it drops us — the write is known-delivered
+            // before the next round.
+            ::shutdown(fd, SHUT_WR);
+            char sink[64];
+            while (::read(fd, sink, sizeof(sink)) > 0) {}
+        } catch (const ServiceError &) {
+            // Server already dropped us mid-write: equally fine.
+        }
+        ::close(fd);
+    }
+
+    ServiceClient client(fixture.config.socket_path);
+    const auto info = client.submit(tiny_manifest);
+    ServiceFixture::waitFor([&] { return client.jobDone(info.job); },
+                            "job after garbage storm");
+    EXPECT_NE(client.status().find("jobs="), std::string::npos);
+}
+
+// --------------------------------------------- chunked frame boundaries
+
+/**
+ * Reply bodies one byte under, at, and over the frame cap round-trip
+ * through writeReply/readReply; past the cap they travel as
+ * status_part chunks. A writer thread keeps the socketpair from
+ * deadlocking on its finite buffer.
+ */
+TEST(ProtocolChunk, ReplyBoundariesRoundTrip)
+{
+    for (const std::size_t size :
+         {std::size_t(proto::max_body) - 1,
+          std::size_t(proto::max_body),
+          std::size_t(proto::max_body) + 1,
+          2 * std::size_t(proto::max_body) + 5}) {
+        FdPair pair;
+        std::string body(size, '\0');
+        for (std::size_t i = 0; i < size; i += 4096)
+            body[i] = char('a' + (i / 4096) % 26);
+        body.back() = 'z';
+
+        std::thread writer([&] {
+            proto::writeReply(pair.fds[0],
+                              proto::Reply::success(body));
+        });
+        const auto reply = proto::readReply(pair.fds[1]);
+        writer.join();
+        EXPECT_TRUE(reply.ok);
+        ASSERT_EQ(reply.body.size(), size);
+        EXPECT_EQ(reply.body, body);
+    }
+}
+
+TEST(ProtocolChunk, CompleteRequestBoundariesRoundTrip)
+{
+    // The COMPLETE header is part of the frame, so the inline/chunked
+    // switch happens at max_body - |header + " more=0\n"|: probe one
+    // byte under, at, and over that exact point, plus a payload past
+    // the cap itself (two continuation frames).
+    const std::string header = "lease=7 status=ok more=0\n";
+    const std::size_t inline_max =
+        std::size_t(proto::max_body) - header.size();
+    for (const std::size_t size :
+         {inline_max - 1, inline_max, inline_max + 1,
+          std::size_t(proto::max_body) + 3}) {
+        FdPair pair;
+        std::string payload(size, '\0');
+        for (std::size_t i = 0; i < size; i += 4096)
+            payload[i] = char('A' + (i / 4096) % 26);
+        payload.back() = 'Z';
+
+        std::thread writer([&] {
+            proto::writeCompleteRequest(pair.fds[0], 7, true, payload);
+        });
+        const auto request = proto::readRequest(pair.fds[1]);
+        writer.join();
+        ASSERT_TRUE(request.has_value());
+        EXPECT_EQ(request->op, proto::Opcode::Complete);
+
+        // Header line intact (modulo the more= transport detail), the
+        // payload byte-identical.
+        const std::size_t eol = request->body.find('\n');
+        ASSERT_NE(eol, std::string::npos);
+        EXPECT_NE(request->body.substr(0, eol).find("lease=7"),
+                  std::string::npos);
+        EXPECT_NE(request->body.substr(0, eol).find("status=ok"),
+                  std::string::npos);
+        const std::string got = request->body.substr(eol + 1);
+        ASSERT_EQ(got.size(), size);
+        EXPECT_EQ(got, payload);
+    }
+}
+
+// ------------------------------------------------------- poll backoff
+
+TEST(Client, PollBackoffIsCappedDeterministicAndGrows)
+{
+    constexpr unsigned base = 25, cap = 1000;
+    for (const std::uint64_t seed : {0ull, 1ull, 42ull, 0xdeadull}) {
+        for (unsigned attempt = 0; attempt < 64; ++attempt) {
+            const unsigned delay =
+                pollBackoffMs(attempt, base, cap, seed);
+            // Nominal (pre-jitter) delay: base doubling, saturating.
+            std::uint64_t nominal = base;
+            for (unsigned i = 0; i < attempt && nominal < cap; ++i)
+                nominal *= 2;
+            if (nominal > cap)
+                nominal = cap;
+            // The cap is a *cap*: jitter only subtracts (regression —
+            // additive jitter would overshoot it).
+            EXPECT_LE(delay, cap) << "attempt " << attempt;
+            EXPECT_LE(delay, nominal) << "attempt " << attempt;
+            EXPECT_GE(delay, nominal - nominal / 4)
+                << "attempt " << attempt;
+            // Deterministic: same (attempt, seed) -> same delay.
+            EXPECT_EQ(delay, pollBackoffMs(attempt, base, cap, seed));
+        }
+    }
+    // Degenerate parameters stay sane: huge attempts don't overflow
+    // past the cap, zero base is bumped to 1 ms (jitter span 1 ->
+    // exactly 1), an inverted cap clamps to the base.
+    EXPECT_LE(pollBackoffMs(100000, base, cap, 7), cap);
+    EXPECT_EQ(pollBackoffMs(0, 0, cap, 7), 1u);
+    EXPECT_LE(pollBackoffMs(9, 100, 1, 3), 100u);
+}
+
+// ----------------------------------------------- JobQueue edge cases
+
+TEST(Queue, EvictionBoundaryIsExact)
+{
+    // Job #1 must survive exactly max_finished_jobs completions
+    // (itself included) and fall off on completion number
+    // max_finished_jobs + 1 — an off-by-one here silently shrinks or
+    // grows the STATUS window.
+    JobQueue queue;
+    const auto plan_a = tinyPlan();
+    const auto plan_b = tinyPlan(
+        "workload bzip2\n"
+        "config c llc=4MiB\n"
+        "schedule s spacing=200000 regions=2\n");
+    const auto plan_c = tinyPlan(
+        "workload bzip2\n"
+        "config c llc=8MiB\n"
+        "schedule s spacing=200000 regions=2\n");
+
+    const auto first = queue.addJob(plan_a, "first", JobSource::Socket, 0);
+    auto task = queue.pop();
+    ASSERT_TRUE(task.has_value());
+    ASSERT_EQ(queue.complete(*task, true, "", true).size(), 1u);
+
+    // max_finished_jobs - 1 more completions (one fan-out): total
+    // finished is now exactly max_finished_jobs -> first still there.
+    std::uint64_t second = 0;
+    for (std::size_t i = 0; i < JobQueue::max_finished_jobs - 1; ++i) {
+        const auto id = queue.addJob(plan_b, "bulk", JobSource::Socket, 0);
+        if (second == 0)
+            second = id;
+    }
+    task = queue.pop();
+    ASSERT_TRUE(task.has_value());
+    ASSERT_EQ(queue.complete(*task, true, "", true).size(),
+              JobQueue::max_finished_jobs - 1);
+    EXPECT_TRUE(queue.job(first).has_value())
+        << "evicted at the boundary, one completion too early";
+
+    // One more completed job pushes the count to max_finished_jobs + 1:
+    // now (and only now) the oldest falls off.
+    (void)queue.addJob(plan_c, "straw", JobSource::Socket, 0);
+    task = queue.pop();
+    ASSERT_TRUE(task.has_value());
+    (void)queue.complete(*task, true, "", true);
+    EXPECT_FALSE(queue.job(first).has_value());
+    EXPECT_TRUE(queue.job(second).has_value());
+    EXPECT_EQ(queue.jobs().size(), JobQueue::max_finished_jobs);
+}
+
+TEST(Queue, ConcurrentEqualPrioritySubmitsPopCompletely)
+{
+    // Three distinct plans race in from three threads, two of them at
+    // the same priority, while a popped task is in flight. Every task
+    // must pop exactly once, the high-priority one first and the tied
+    // pair in submission (seq/job-id) order.
+    JobQueue queue;
+    const auto plan_hot = tinyPlan();
+    const auto plan_a = tinyPlan(
+        "workload bzip2\n"
+        "config c llc=4MiB\n"
+        "schedule s spacing=200000 regions=2\n");
+    const auto plan_b = tinyPlan(
+        "workload bzip2\n"
+        "config c llc=8MiB\n"
+        "schedule s spacing=200000 regions=2\n");
+
+    // An in-flight task keeps the queue "running" while the threads
+    // attach and add.
+    (void)queue.addJob(plan_hot, "hot", JobSource::Socket, 0);
+    auto running = queue.pop();
+    ASSERT_TRUE(running.has_value());
+
+    std::vector<std::uint64_t> tie_jobs(2, 0);
+    std::uint64_t high_job = 0;
+    std::thread t1([&] {
+        tie_jobs[0] = queue.addJob(plan_a, "tie-a", JobSource::Spool, 5);
+    });
+    std::thread t2([&] {
+        tie_jobs[1] = queue.addJob(plan_b, "tie-b", JobSource::Spool, 5);
+    });
+    std::thread t3([&] {
+        // Same content as the in-flight task: attaches, enqueues
+        // nothing.
+        high_job = queue.addJob(plan_hot, "attach", JobSource::Socket, 9);
+    });
+    t1.join();
+    t2.join();
+    t3.join();
+    EXPECT_EQ(queue.counters().cells_deduped, 1u);
+
+    const auto p1 = queue.pop();
+    const auto p2 = queue.pop();
+    ASSERT_TRUE(p1 && p2);
+    EXPECT_EQ(p1->priority, 5);
+    EXPECT_EQ(p2->priority, 5);
+    // FIFO within the tie: whichever thread won addJob's mutex got
+    // the lower job id *and* the lower seq, so pop order follows ids.
+    EXPECT_LT(p1->jobs.front(), p2->jobs.front());
+
+    (void)queue.complete(*p1, true, "", true);
+    (void)queue.complete(*p2, true, "", true);
+    const auto finished = queue.complete(*running, true, "", true);
+    ASSERT_EQ(finished.size(), 2u); // "hot" + the attached job
+    EXPECT_EQ(queue.counters().jobs_completed, 4u);
+    EXPECT_TRUE(queue.job(high_job)->complete());
+}
+
+TEST(Queue, CloseRacingInFlightCompletionIsSafe)
+{
+    // close() abandons *queued* tasks but must let a popped (running)
+    // task drain through complete() from another thread — in any
+    // interleaving, without deadlock or lost fan-out.
+    for (int round = 0; round < 32; ++round) {
+        JobQueue queue;
+        (void)queue.addJob(tinyPlan(), "inflight", JobSource::Socket, 0);
+        (void)queue.addJob(tinyPlan(
+                               "workload bzip2\n"
+                               "config c llc=4MiB\n"
+                               "schedule s spacing=200000 regions=2\n"),
+                           "doomed", JobSource::Socket, 0);
+        auto task = queue.pop();
+        ASSERT_TRUE(task.has_value());
+
+        std::vector<FinishedJob> finished;
+        std::thread completer([&] {
+            finished = queue.complete(*task, true, "", true);
+        });
+        std::thread closer([&] { queue.close(); });
+        completer.join();
+        closer.join();
+
+        ASSERT_EQ(finished.size(), 1u);
+        EXPECT_TRUE(finished[0].status.complete());
+        EXPECT_EQ(queue.counters().queue_depth, 0u);
+        EXPECT_FALSE(queue.pop().has_value());
+    }
+}
+
+// -------------------------------------------------- fleet coordinator
+
+/**
+ * A four-cell plan that forms exactly TWO work units. Co-scheduling
+ * groups by trace + schedule (geometry is per-cell — one decode pass
+ * covers many cache sizes), so the two geometries share a unit while
+ * the two schedules split them: unit A = {c1/s1, c2/s1}, unit B =
+ * {c1/s2, c2/s2}. Two units give two workers real concurrent leases.
+ */
+constexpr const char *fleet_manifest =
+    "workload bzip2\n"
+    "config c1 llc=2MiB\n"
+    "config c2 llc=8MiB\n"
+    "schedule s1 spacing=200000 regions=2\n"
+    "schedule s2 spacing=300000 regions=2\n"
+    "methods delorean\n";
+
+/** SUBMIT body: u32 LE priority + manifest text. */
+std::string
+submitBody(const std::string &text, std::uint32_t priority = 10)
+{
+    std::string body(4, '\0');
+    workload::le::putU32(reinterpret_cast<std::uint8_t *>(body.data()),
+                         priority);
+    return body + text;
+}
+
+proto::Request
+makeRequest(proto::Opcode op, std::string body)
+{
+    proto::Request request;
+    request.op = op;
+    request.body = std::move(body);
+    return request;
+}
+
+/** First "<key>=" token value on the first line of @p text ("" if
+ *  absent). */
+std::string
+tokenOf(const std::string &text, const std::string &key)
+{
+    const std::size_t eol = text.find('\n');
+    std::istringstream is(
+        eol == std::string::npos ? text : text.substr(0, eol));
+    std::string token;
+    const std::string prefix = key + "=";
+    while (is >> token)
+        if (token.rfind(prefix, 0) == 0)
+            return token.substr(prefix.size());
+    return "";
+}
+
+/**
+ * A Coordinator serving on its own thread against temp directories,
+ * shut down on scope exit. Workers attach via workerConfig().
+ */
+struct CoordinatorFixture
+{
+    TempPath root{"coord"};
+    CoordinatorConfig config;
+    std::unique_ptr<Coordinator> coordinator;
+    std::thread runner;
+
+    explicit CoordinatorFixture(unsigned lease_ms = 10000)
+    {
+        std::filesystem::create_directories(root.path);
+        config.socket_path = root.path + "/coord.sock";
+        config.cache_dir = root.path + "/cache";
+        config.lease_ms = lease_ms;
+        coordinator = std::make_unique<Coordinator>(config);
+        runner = std::thread([this] { coordinator->run(); });
+        ServiceFixture::waitFor(
+            [&] { return ServiceClient::ping(config.socket_path); },
+            "coordinator socket to come up");
+    }
+
+    ~CoordinatorFixture()
+    {
+        coordinator->requestShutdown();
+        runner.join();
+    }
+
+    WorkerConfig
+    workerConfig(const std::string &name) const
+    {
+        WorkerConfig worker;
+        worker.coordinator = config.socket_path;
+        worker.cache_dir = root.path + "/wcache_" + name;
+        worker.threads = 1;
+        worker.idle_ms = 5;
+        worker.name = name;
+        return worker;
+    }
+};
+
+// The fleet acceptance bar: a coordinator + two workers produce
+// results bit-identical (MethodResult::operator==) to a direct serial
+// run of the same plan.
+TEST(Coordinator, TwoWorkerFleetIsBitIdenticalToSerialRun)
+{
+    const auto plan = tinyPlan(fleet_manifest);
+    std::vector<sampling::MethodResult> direct;
+    for (const auto &cell : plan.cells())
+        direct.push_back(batch::BatchRunner::runCell(cell));
+
+    // A lease long enough that even a sanitizer-slowed unit cannot
+    // expire: this test pins the *no-fault* counters exactly
+    // (executed == 4, discarded == 0), so no unit may ever re-queue.
+    CoordinatorFixture fixture(/*lease_ms=*/120000);
+    WorkerLoop alpha(fixture.workerConfig("alpha"));
+    WorkerLoop beta(fixture.workerConfig("beta"));
+    alpha.start();
+    beta.start();
+
+    ServiceClient client(fixture.config.socket_path);
+    const auto info = client.submit(fleet_manifest);
+    EXPECT_EQ(info.cells, 4u);
+    ASSERT_TRUE(client.waitForJob(info.job, 120.0));
+    ASSERT_NE(client.jobStatus(info.job).find("state=done"),
+              std::string::npos)
+        << client.jobStatus(info.job);
+
+    for (std::size_t i = 0; i < plan.cells().size(); ++i)
+        EXPECT_EQ(client.result(plan.cells()[i].key), direct[i])
+            << "cell " << i;
+
+    alpha.stop();
+    beta.stop();
+    const auto counters = fixture.coordinator->counters();
+    EXPECT_EQ(counters.jobs_completed, 1u);
+    EXPECT_EQ(counters.results_stored, 4u);
+    EXPECT_EQ(counters.results_discarded, 0u);
+    // Both workers' pull loops participated... or one raced ahead;
+    // either way every cell ran exactly once across the fleet.
+    const auto a = alpha.counters(), b = beta.counters();
+    EXPECT_EQ(a.cells_executed + b.cells_executed, 4u);
+
+    // Re-submission is served from the coordinator's cache: zero new
+    // leases needed.
+    const auto again = client.submit(fleet_manifest);
+    ASSERT_TRUE(client.waitForJob(again.job, 120.0));
+    const auto after = fixture.coordinator->counters();
+    EXPECT_EQ(after.cells_cached, 4u);
+    EXPECT_EQ(after.results_stored, 4u);
+}
+
+TEST(Coordinator, WorkerKilledMidPlanDoesNotChangeResults)
+{
+    const auto plan = tinyPlan(fleet_manifest);
+    std::vector<sampling::MethodResult> direct;
+    for (const auto &cell : plan.cells())
+        direct.push_back(batch::BatchRunner::runCell(cell));
+
+    // Short leases so the victim's abandoned unit re-queues quickly.
+    CoordinatorFixture fixture(/*lease_ms=*/400);
+    ServiceClient client(fixture.config.socket_path);
+    const auto info = client.submit(fleet_manifest);
+
+    // The victim pulls at least one lease, then "crashes": its
+    // in-flight unit is never COMPLETEd, the lease expires, and the
+    // survivor re-runs it.
+    WorkerLoop victim(fixture.workerConfig("victim"));
+    victim.start();
+    ServiceFixture::waitFor(
+        [&] {
+            return fixture.coordinator->counters().leases_granted >= 1;
+        },
+        "victim to take a lease");
+    victim.kill();
+
+    WorkerLoop survivor(fixture.workerConfig("survivor"));
+    survivor.start();
+    ASSERT_TRUE(client.waitForJob(info.job, 120.0));
+    ASSERT_NE(client.jobStatus(info.job).find("state=done"),
+              std::string::npos)
+        << client.jobStatus(info.job);
+    survivor.stop();
+
+    // Bit-identical merged results despite the mid-plan crash.
+    for (std::size_t i = 0; i < plan.cells().size(); ++i)
+        EXPECT_EQ(client.result(plan.cells()[i].key), direct[i])
+            << "cell " << i;
+    EXPECT_EQ(fixture.coordinator->counters().jobs_completed, 1u);
+}
+
+// In-process fault injection: drive Coordinator::handle() directly so
+// lease expiry, re-leasing and zombie COMPLETEs are exercised without
+// real sockets or worker threads — fully deterministic.
+TEST(Coordinator, ExpiredLeaseRequeuesAndZombieDuplicateIsDiscarded)
+{
+    TempPath root("coord_zombie");
+    std::filesystem::create_directories(root.path);
+    CoordinatorConfig config;
+    config.socket_path = root.path + "/coord.sock"; // never served
+    config.cache_dir = root.path + "/cache";
+    // Short enough for a quick test, long enough that the in-memory
+    // submit/lease/renew calls cannot straddle it even under ASan.
+    config.lease_ms = 200;
+    Coordinator coordinator(config);
+
+    const auto submitted = coordinator.handle(
+        makeRequest(proto::Opcode::Submit, submitBody(tiny_manifest)),
+        /*client=*/1);
+    ASSERT_TRUE(submitted.ok) << submitted.body;
+    const std::string job = tokenOf(submitted.body, "job");
+
+    // Worker A takes the lease... and dies (never COMPLETEs).
+    const auto leased_a = coordinator.handle(
+        makeRequest(proto::Opcode::Lease, "worker=a\n"), 2);
+    ASSERT_TRUE(leased_a.ok);
+    ASSERT_NE(leased_a.body, "none\n");
+    const std::string lease_a = tokenOf(leased_a.body, "lease");
+    // The lease carries the expected content keys for verification.
+    EXPECT_FALSE(tokenOf(leased_a.body, "keys").empty());
+
+    // RENEW works while the lease lives...
+    EXPECT_TRUE(coordinator
+                    .handle(makeRequest(proto::Opcode::Renew,
+                                        "lease=" + lease_a),
+                            2)
+                    .ok);
+
+    // ...but past the deadline the unit re-queues and worker B gets it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(450));
+    const auto leased_b = coordinator.handle(
+        makeRequest(proto::Opcode::Lease, "worker=b\n"), 3);
+    ASSERT_TRUE(leased_b.ok);
+    ASSERT_NE(leased_b.body, "none\n") << "expired unit not re-leased";
+    const std::string lease_b = tokenOf(leased_b.body, "lease");
+    EXPECT_NE(lease_a, lease_b);
+    EXPECT_GE(coordinator.counters().leases_expired, 1u);
+    // A zombie's RENEW is refused.
+    EXPECT_FALSE(coordinator
+                     .handle(makeRequest(proto::Opcode::Renew,
+                                         "lease=" + lease_a),
+                             2)
+                     .ok);
+
+    // Worker B executes the cell and COMPLETEs: stored.
+    const auto plan = tinyPlan();
+    std::ostringstream payload(std::ios::binary);
+    batch::writeMethodResult(
+        payload, batch::BatchRunner::runCell(plan.cells()[0]));
+    const auto done_b = coordinator.handle(
+        makeRequest(proto::Opcode::Complete,
+                    "lease=" + lease_b + " status=ok more=0\n" +
+                        payload.str()),
+        3);
+    ASSERT_TRUE(done_b.ok) << done_b.body;
+    EXPECT_EQ(tokenOf(done_b.body, "stored"), "1");
+    EXPECT_EQ(tokenOf(done_b.body, "discarded"), "0");
+
+    // The zombie's late duplicate: acked (ok reply), discarded, and
+    // the stored result untouched (first write wins).
+    const auto done_a = coordinator.handle(
+        makeRequest(proto::Opcode::Complete,
+                    "lease=" + lease_a + " status=ok more=0\n" +
+                        payload.str()),
+        2);
+    ASSERT_TRUE(done_a.ok) << done_a.body;
+    EXPECT_EQ(tokenOf(done_a.body, "stored"), "0");
+    EXPECT_EQ(tokenOf(done_a.body, "discarded"), "1");
+
+    const auto status = coordinator.handle(
+        makeRequest(proto::Opcode::Status, job), 1);
+    EXPECT_NE(status.body.find("state=done"), std::string::npos);
+    const auto counters = coordinator.counters();
+    EXPECT_EQ(counters.results_stored, 1u);
+    EXPECT_EQ(counters.results_discarded, 1u);
+    EXPECT_EQ(counters.jobs_completed, 1u);
+
+    // And the merged result equals a direct serial run bit-for-bit.
+    const auto fetched = coordinator.handle(
+        makeRequest(proto::Opcode::Result, plan.cells()[0].key.hex()),
+        1);
+    ASSERT_TRUE(fetched.ok);
+    std::istringstream parse(fetched.body, std::ios::binary);
+    EXPECT_EQ(batch::readMethodResult(parse),
+              batch::BatchRunner::runCell(plan.cells()[0]));
+}
+
+TEST(Coordinator, ZombieErrorCannotFailRescuedCells)
+{
+    // A zombie that comes back with status=error must not mark cells
+    // failed: its lease already expired and a re-lease may (and here
+    // does) still succeed.
+    TempPath root("coord_zerr");
+    std::filesystem::create_directories(root.path);
+    CoordinatorConfig config;
+    config.socket_path = root.path + "/coord.sock";
+    config.cache_dir = root.path + "/cache";
+    config.lease_ms = 200;
+    Coordinator coordinator(config);
+
+    (void)coordinator.handle(
+        makeRequest(proto::Opcode::Submit, submitBody(tiny_manifest)),
+        1);
+    const auto leased_a = coordinator.handle(
+        makeRequest(proto::Opcode::Lease, "worker=a\n"), 2);
+    const std::string lease_a = tokenOf(leased_a.body, "lease");
+    std::this_thread::sleep_for(std::chrono::milliseconds(450));
+    const auto leased_b = coordinator.handle(
+        makeRequest(proto::Opcode::Lease, "worker=b\n"), 3);
+    ASSERT_NE(leased_b.body, "none\n");
+
+    // Zombie error arrives while B is still working: discarded.
+    const auto zerr = coordinator.handle(
+        makeRequest(proto::Opcode::Complete,
+                    "lease=" + lease_a +
+                        " status=error more=0\nworker a exploded"),
+        2);
+    ASSERT_TRUE(zerr.ok);
+    EXPECT_EQ(tokenOf(zerr.body, "stored"), "0");
+
+    // B succeeds; the job must come out clean.
+    const auto plan = tinyPlan();
+    std::ostringstream payload(std::ios::binary);
+    batch::writeMethodResult(
+        payload, batch::BatchRunner::runCell(plan.cells()[0]));
+    ASSERT_TRUE(coordinator
+                    .handle(makeRequest(
+                                proto::Opcode::Complete,
+                                "lease=" +
+                                    tokenOf(leased_b.body, "lease") +
+                                    " status=ok more=0\n" +
+                                    payload.str()),
+                            3)
+                    .ok);
+    const auto status =
+        coordinator.handle(makeRequest(proto::Opcode::Status, ""), 1);
+    EXPECT_NE(status.body.find("state=done"), std::string::npos);
+    EXPECT_EQ(status.body.find("state=failed"), std::string::npos);
+}
+
+TEST(Coordinator, ActiveErrorFailsCellsAndQuotaBackpressures)
+{
+    TempPath root("coord_quota");
+    std::filesystem::create_directories(root.path);
+    CoordinatorConfig config;
+    config.socket_path = root.path + "/coord.sock";
+    config.cache_dir = root.path + "/cache";
+    config.submit_quota = 2;
+    Coordinator coordinator(config);
+
+    // An *active* lease's status=error fails the cells for real.
+    (void)coordinator.handle(
+        makeRequest(proto::Opcode::Submit, submitBody(tiny_manifest)),
+        1);
+    const auto leased = coordinator.handle(
+        makeRequest(proto::Opcode::Lease, ""), 2);
+    ASSERT_NE(leased.body, "none\n");
+    const auto failed = coordinator.handle(
+        makeRequest(proto::Opcode::Complete,
+                    "lease=" + tokenOf(leased.body, "lease") +
+                        " status=error more=0\nsimulator exploded"),
+        2);
+    ASSERT_TRUE(failed.ok);
+    const auto status =
+        coordinator.handle(makeRequest(proto::Opcode::Status, ""), 1);
+    EXPECT_NE(status.body.find("state=failed"), std::string::npos);
+    EXPECT_NE(status.body.find("simulator exploded"),
+              std::string::npos);
+
+    // Per-client SUBMIT quota: the first job completed (failed counts
+    // as complete), so two more in-flight jobs fit; the third bounces
+    // with a quota diagnostic, while another client is unaffected.
+    ASSERT_TRUE(coordinator
+                    .handle(makeRequest(proto::Opcode::Submit,
+                                        submitBody(two_cell_manifest)),
+                            1)
+                    .ok);
+    ASSERT_TRUE(
+        coordinator
+            .handle(makeRequest(proto::Opcode::Submit,
+                                submitBody(fleet_manifest)),
+                    1)
+            .ok);
+    const auto bounced = coordinator.handle(
+        makeRequest(proto::Opcode::Submit,
+                    submitBody(
+                        "workload bzip2\n"
+                        "config c llc=16MiB\n"
+                        "schedule s spacing=200000 regions=2\n")),
+        1);
+    EXPECT_FALSE(bounced.ok);
+    EXPECT_NE(bounced.body.find("quota"), std::string::npos);
+    EXPECT_EQ(coordinator.counters().quota_rejections, 1u);
+    EXPECT_TRUE(
+        coordinator
+            .handle(makeRequest(proto::Opcode::Submit,
+                                submitBody(
+                                    "workload bzip2\n"
+                                    "config c llc=16MiB\n"
+                                    "schedule s spacing=200000 "
+                                    "regions=2\n")),
+                    /*client=*/99)
+            .ok);
+}
+
+TEST(Coordinator, ReadyBacklogCeilingRejectsWholeSubmit)
+{
+    TempPath root("coord_backlog");
+    std::filesystem::create_directories(root.path);
+    CoordinatorConfig config;
+    config.socket_path = root.path + "/coord.sock";
+    config.cache_dir = root.path + "/cache";
+    config.max_ready_units = 2;
+    Coordinator coordinator(config);
+
+    // Units are co-scheduled groups, one per distinct schedule here,
+    // so three schedules = three units: too many for a 2-unit
+    // ceiling. Rejected atomically — no half-registered job, no
+    // stranded units, no dangling waiters.
+    const auto bounced = coordinator.handle(
+        makeRequest(proto::Opcode::Submit,
+                    submitBody("workload bzip2\n"
+                               "config c llc=2MiB\n"
+                               "schedule s1 spacing=200000 regions=2\n"
+                               "schedule s2 spacing=300000 regions=2\n"
+                               "schedule s3 spacing=400000 regions=2\n"
+                               "methods delorean\n")),
+        1);
+    EXPECT_FALSE(bounced.ok) << bounced.body;
+    EXPECT_NE(bounced.body.find("backlog"), std::string::npos);
+    const auto counters = coordinator.counters();
+    EXPECT_EQ(counters.jobs_submitted, 0u);
+    EXPECT_EQ(counters.units_ready, 0u);
+
+    // The two-unit fleet plan exactly fills the ceiling: accepted.
+    EXPECT_TRUE(coordinator
+                    .handle(makeRequest(proto::Opcode::Submit,
+                                        submitBody(fleet_manifest)),
+                            1)
+                    .ok);
+    EXPECT_EQ(coordinator.counters().units_ready, 2u);
 }
 
 } // namespace

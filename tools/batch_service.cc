@@ -3,9 +3,15 @@
  * Long-running batch service: daemon entry point and socket client
  * (src/service/, docs/service.md).
  *
- *   batch_service serve    --socket S [--spool DIR] [--cache-dir D]
+ *   batch_service serve    [--socket S] [--spool DIR] [--cache-dir D]
  *                          [--threads T] [--poll-ms M] [--daemon]
  *                          [--log FILE] [--quiet]
+ *                          [--worker COORD_SOCK [--name N]]
+ *                          (--socket, --worker, or both)
+ *   batch_service coordinate --socket S [--cache-dir D]
+ *                          [--lease-ms M] [--quota N]
+ *                          [--max-ready N] [--daemon] [--log FILE]
+ *                          [--quiet]
  *   batch_service submit   <manifest> --socket S [--priority P]
  *                          [--wait [--timeout-s T]]
  *   batch_service status   --socket S [--job ID]
@@ -13,6 +19,12 @@
  *   batch_service result-raw <key-hex> --socket S [--out FILE]
  *   batch_service stats    --socket S
  *   batch_service shutdown --socket S
+ *
+ * `coordinate` runs the fleet coordinator (docs/service.md): same
+ * client-facing protocol as `serve`, but cells execute on worker
+ * daemons — `serve --worker COORD_SOCK` adds a pull loop that leases
+ * work units from the coordinator alongside (or instead of) local
+ * spool/socket duty. One binary plays every fleet role.
  *
  * `serve` runs the daemon: a manifest watcher over the spool directory
  * (drop `.plan` files, collect them from `done/`) plus a Unix-domain
@@ -41,6 +53,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -50,7 +63,9 @@
 #include "batch/plan.hh"
 #include "batch/report_text.hh"
 #include "service/client.hh"
+#include "service/coordinator.hh"
 #include "service/service.hh"
+#include "service/worker.hh"
 
 namespace
 {
@@ -63,9 +78,16 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: batch_service serve    --socket S [--spool DIR]\n"
+        "usage: batch_service serve    [--socket S] [--spool DIR]\n"
         "                              [--cache-dir D] [--threads T]\n"
         "                              [--poll-ms M] [--daemon]\n"
+        "                              [--log FILE] [--quiet]\n"
+        "                              [--worker COORD_SOCK"
+        " [--name N]]\n"
+        "                              (--socket, --worker, or both)\n"
+        "       batch_service coordinate --socket S [--cache-dir D]\n"
+        "                              [--lease-ms M] [--quota N]\n"
+        "                              [--max-ready N] [--daemon]\n"
         "                              [--log FILE] [--quiet]\n"
         "       batch_service submit   <manifest> --socket S\n"
         "                              [--priority P] [--wait]\n"
@@ -92,6 +114,11 @@ struct CliOptions
     bool daemonize = false;
     std::string log_file;
     std::string out_file;
+    std::string worker_socket; //!< serve: pull from this coordinator
+    std::string worker_name;   //!< serve --worker: reported name
+    unsigned lease_ms = 10000;
+    unsigned quota = 64;
+    unsigned max_ready = 100000;
 };
 
 unsigned
@@ -126,6 +153,16 @@ parseCli(int argc, char **argv, int first)
             cli.service.threads = parseUnsigned(next(), "--threads");
         } else if (arg == "--poll-ms") {
             cli.service.poll_ms = parseUnsigned(next(), "--poll-ms");
+        } else if (arg == "--worker") {
+            cli.worker_socket = next();
+        } else if (arg == "--name") {
+            cli.worker_name = next();
+        } else if (arg == "--lease-ms") {
+            cli.lease_ms = parseUnsigned(next(), "--lease-ms");
+        } else if (arg == "--quota") {
+            cli.quota = parseUnsigned(next(), "--quota");
+        } else if (arg == "--max-ready") {
+            cli.max_ready = parseUnsigned(next(), "--max-ready");
         } else if (arg == "--priority") {
             cli.priority = parseUnsigned(next(), "--priority");
         } else if (arg == "--job") {
@@ -150,7 +187,10 @@ parseCli(int argc, char **argv, int first)
             fatal("unknown option '%s'", arg.c_str());
         }
     }
-    fatal_if(cli.service.socket_path.empty(),
+    // A pure fleet worker (serve --worker, no --socket) needs no
+    // listening address of its own; everything else does.
+    fatal_if(cli.service.socket_path.empty() &&
+                 cli.worker_socket.empty(),
              "--socket is required (the service address)");
     return cli;
 }
@@ -190,8 +230,49 @@ cmdServe(const CliOptions &cli)
 {
     if (cli.daemonize)
         daemonize(cli.log_file);
+
+    // --worker: lease units from a coordinator — alongside local duty
+    // when --socket is also given (the pull loop shares the cache
+    // directory, so cells computed for the fleet are cache hits for
+    // local jobs and vice versa), or as a pure pull loop without one
+    // (the normal per-machine fleet deployment; stopped by signal).
+    std::unique_ptr<WorkerLoop> worker;
+    if (!cli.worker_socket.empty()) {
+        WorkerConfig config;
+        config.coordinator = cli.worker_socket;
+        config.cache_dir = cli.service.cache_dir;
+        config.threads =
+            cli.service.threads == 0 ? 1 : cli.service.threads;
+        config.name = cli.worker_name;
+        config.verbose = cli.service.verbose;
+        worker = std::make_unique<WorkerLoop>(config);
+        worker->start();
+    }
+    if (cli.service.socket_path.empty()) {
+        while (true)
+            std::this_thread::sleep_for(std::chrono::seconds(1));
+    }
     BatchService service(cli.service);
     service.run();
+    if (worker)
+        worker->stop();
+    return 0;
+}
+
+int
+cmdCoordinate(const CliOptions &cli)
+{
+    if (cli.daemonize)
+        daemonize(cli.log_file);
+    CoordinatorConfig config;
+    config.socket_path = cli.service.socket_path;
+    config.cache_dir = cli.service.cache_dir;
+    config.lease_ms = cli.lease_ms;
+    config.submit_quota = cli.quota;
+    config.max_ready_units = cli.max_ready;
+    config.verbose = cli.service.verbose;
+    Coordinator coordinator(config);
+    coordinator.run();
     return 0;
 }
 
@@ -234,14 +315,12 @@ cmdSubmit(const CliOptions &cli)
     if (!cli.wait)
         return 0;
 
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::seconds(cli.timeout_s);
-    while (!client.jobDone(info.job)) {
-        fatal_if(std::chrono::steady_clock::now() >= deadline,
-                 "job %llu still running after %us",
-                 (unsigned long long)info.job, cli.timeout_s);
-        std::this_thread::sleep_for(std::chrono::milliseconds(100));
-    }
+    // Capped exponential backoff (pollBackoffMs), not a fixed-period
+    // spin: short jobs still return promptly, long jobs stop hammering
+    // the daemon with STATUS frames every 100 ms.
+    fatal_if(!client.waitForJob(info.job, double(cli.timeout_s)),
+             "job %llu still running after %us",
+             (unsigned long long)info.job, cli.timeout_s);
     const std::string line = client.jobStatus(info.job);
     std::fputs(line.c_str(), stdout);
     return jobState(line) == "done" ? 0 : 2;
@@ -325,6 +404,8 @@ main(int argc, char **argv)
         const auto cli = parseCli(argc, argv, 2);
         if (cmd == "serve")
             return cmdServe(cli);
+        if (cmd == "coordinate")
+            return cmdCoordinate(cli);
         if (cmd == "submit")
             return cmdSubmit(cli);
         if (cmd == "status")
