@@ -245,8 +245,8 @@ BatchPlan::fromManifestText(const std::string &text,
     return fromStream(is, name);
 }
 
-BatchPlan
-BatchPlan::fromStream(std::istream &is, const std::string &path)
+ManifestDirectives
+parseDirectives(std::istream &is, const std::string &path)
 {
     std::vector<std::string> workloads;
     std::vector<NamedConfig> configs;
@@ -366,8 +366,6 @@ BatchPlan::fromStream(std::istream &is, const std::string &path)
         }
     }
 
-    if (workloads.empty())
-        throw BatchError("manifest " + path + ": no workload lines");
     if (configs.empty()) {
         NamedConfig def;
         def.name = "default";
@@ -411,8 +409,29 @@ BatchPlan::fromStream(std::istream &is, const std::string &path)
                              "0 <= confidence < 100; 0 = exact mode)");
     }
 
-    return BatchPlan(std::move(workloads), std::move(configs),
-                     std::move(schedules), std::move(methods));
+    ManifestDirectives out;
+    out.workloads = std::move(workloads);
+    out.configs = std::move(configs);
+    out.schedules = std::move(schedules);
+    out.methods = std::move(methods);
+    return out;
+}
+
+ManifestDirectives
+parseDirectivesText(const std::string &text, const std::string &name)
+{
+    std::istringstream is(text);
+    return parseDirectives(is, name);
+}
+
+BatchPlan
+BatchPlan::fromStream(std::istream &is, const std::string &path)
+{
+    ManifestDirectives d = parseDirectives(is, path);
+    if (d.workloads.empty())
+        throw BatchError("manifest " + path + ": no workload lines");
+    return BatchPlan(std::move(d.workloads), std::move(d.configs),
+                     std::move(d.schedules), std::move(d.methods));
 }
 
 std::vector<std::string>

@@ -101,6 +101,34 @@ unsigned parseU32(const std::string &text);
  */
 double parseReal(const std::string &text);
 
+/**
+ * The raw outcome of parsing manifest directives, before plan
+ * expansion: workloads as written, configs/schedules defaulted to one
+ * "default" entry when absent and validated (geometry, schedule
+ * bounds, confidence range), methods possibly empty (= delorean).
+ */
+struct ManifestDirectives
+{
+    std::vector<std::string> workloads;
+    std::vector<NamedConfig> configs;
+    std::vector<NamedSchedule> schedules;
+    std::vector<std::string> methods;
+};
+
+/**
+ * Parse manifest directives (format above) without requiring a
+ * workload line or expanding a plan — the service's TRACE-STREAM open
+ * body is a manifest whose workload is the streamed trace itself.
+ * @p name labels diagnostics. Throws BatchError on anything
+ * unparseable, exactly like BatchPlan::fromManifest.
+ */
+ManifestDirectives parseDirectives(std::istream &is,
+                                   const std::string &name);
+
+/** Same, over in-memory text. */
+ManifestDirectives parseDirectivesText(const std::string &text,
+                                       const std::string &name);
+
 class BatchPlan
 {
   public:

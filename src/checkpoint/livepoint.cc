@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "base/intmath.hh"
+#include "core/session.hh"
 #include "workload/endian.hh"
 #include "workload/trace_registry.hh"
 
@@ -348,9 +349,10 @@ void
 writeLivePoints(std::ostream &os, const LivePointFile &file)
 {
     const auto &sched = file.schedule;
-    if (file.windows.size() != sched.num_regions)
-        throw CheckpointError("live-point write: window count "
-                              "disagrees with the schedule");
+    if (file.windows.empty() ||
+        file.windows.size() > sched.num_regions)
+        throw CheckpointError("live-point write: windows must form a "
+                              "non-empty prefix of the schedule");
 
     putBytes(os, LivePointFormat::magic.data(),
              LivePointFormat::magic.size());
@@ -404,9 +406,10 @@ readLivePoints(std::istream &is)
             "live-point file: invalid recorded schedule");
 
     const std::uint32_t n_windows = getU32(is);
-    if (n_windows != file.schedule.num_regions)
-        throw CheckpointError("live-point file: window count "
-                              "disagrees with the recorded schedule");
+    if (n_windows == 0 || n_windows > file.schedule.num_regions)
+        throw CheckpointError(
+            "live-point file: window count is not a non-empty prefix "
+            "of the recorded schedule");
     file.windows.reserve(n_windows);
     for (std::uint32_t i = 0; i < n_windows; ++i) {
         LivePointWindow w = getWindow(is, file.schedule);
@@ -475,9 +478,14 @@ readLivePointFile(const std::string &path)
     return readLivePoints(is);
 }
 
+namespace
+{
+
+/** loadForRun/loadPrefixForRun's shared validation. */
 std::vector<core::RegionWarm>
-loadForRun(const std::string &spec, const core::DeloreanConfig &config,
-           const std::string &path)
+loadValidated(const std::string &spec,
+              const core::DeloreanConfig &config,
+              const std::string &path)
 {
     LivePointFile file = readLivePointFile(path);
 
@@ -504,6 +512,57 @@ loadForRun(const std::string &spec, const core::DeloreanConfig &config,
     for (auto &w : file.windows)
         warm.push_back(std::move(w.warm));
     return warm;
+}
+
+} // namespace
+
+std::vector<core::RegionWarm>
+loadForRun(const std::string &spec, const core::DeloreanConfig &config,
+           const std::string &path)
+{
+    std::vector<core::RegionWarm> warm =
+        loadValidated(spec, config, path);
+    if (warm.size() != config.schedule.num_regions)
+        throw CheckpointError(
+            "live-point file '" + path + "' holds a " +
+            std::to_string(warm.size()) + "-window prefix of the " +
+            std::to_string(config.schedule.num_regions) +
+            "-region schedule; resume it through a DeloreanSession "
+            "(loadPrefixForRun)");
+    return warm;
+}
+
+std::vector<core::RegionWarm>
+loadPrefixForRun(const std::string &spec,
+                 const core::DeloreanConfig &config,
+                 const std::string &path)
+{
+    return loadValidated(spec, config, path);
+}
+
+LivePointFile
+sessionLivePoints(const core::DeloreanSession &session,
+                  const std::string &spec)
+{
+    if (session.windowsFed() == 0)
+        throw CheckpointError(
+            "cannot suspend a session before any fed window");
+
+    const core::DeloreanConfig &config = session.config();
+    LivePointFile file;
+    file.key = livePointKey(spec, config);
+    file.workload = session.benchmark();
+    file.schedule = config.schedule;
+    const auto &warm = session.warmWindows();
+    file.windows.reserve(warm.size());
+    for (std::size_t r = 0; r < warm.size(); ++r) {
+        LivePointWindow w;
+        w.region = std::uint32_t(r);
+        w.warming_start = config.schedule.warmingStart(unsigned(r));
+        w.warm = warm[r];
+        file.windows.push_back(std::move(w));
+    }
+    return file;
 }
 
 } // namespace delorean::checkpoint

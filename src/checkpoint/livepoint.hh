@@ -24,9 +24,13 @@
  *     str      workload display name       (u32 length + bytes)
  *     u32      num_regions, u64 spacing, u64 region_len,
  *     u64      detailed_warming            (the recorded schedule)
- *     u32      window count               (== num_regions)
+ *     u32      window count  (1..num_regions — windows 0..count-1, a
+ *                             contiguous prefix of the schedule; a
+ *                             complete file has count == num_regions,
+ *                             a suspended streaming session persists
+ *                             the windows fed so far)
  *
- *   Per window (ascending region order, one per region):
+ *   Per window (ascending region order, contiguous from region 0):
  *     u32      region index
  *     u64      warming_start              (trace offset of the window)
  *     KeySet:
@@ -84,6 +88,11 @@
 #include "core/delorean.hh"
 #include "sampling/region.hh"
 
+namespace delorean::core
+{
+class DeloreanSession;
+} // namespace delorean::core
+
 namespace delorean::checkpoint
 {
 
@@ -118,7 +127,13 @@ struct LivePointFile
     batch::CacheKey key;    //!< livePointKey() of the producing run
     std::string workload;   //!< trace source display name
     sampling::RegionSchedule schedule;
-    std::vector<LivePointWindow> windows; //!< one per region, ascending
+
+    /**
+     * Warm windows for regions 0..size()-1, ascending — a contiguous
+     * prefix of the schedule. Complete files cover every region; a
+     * suspended DeloreanSession persists just the fed prefix.
+     */
+    std::vector<LivePointWindow> windows;
 };
 
 /**
@@ -158,14 +173,36 @@ LivePointFile readLivePointFile(const std::string &path);
 /**
  * Load @p path and validate it against (spec, config): the embedded
  * key must equal livePointKey(spec, config) — a re-recorded trace or
- * changed configuration therefore invalidates the file — and the
- * recorded schedule must match. @return per-region warm state in
- * region order, ready for core::DeloreanMethod::run's warm parameter.
- * Throws CheckpointError on any mismatch or corruption.
+ * changed configuration therefore invalidates the file — the recorded
+ * schedule must match, and the file must cover *every* region of the
+ * schedule (a suspended prefix resumes through loadPrefixForRun
+ * instead). @return per-region warm state in region order, ready for
+ * core::DeloreanMethod::run's warm parameter. Throws CheckpointError
+ * on any mismatch or corruption.
  */
 std::vector<core::RegionWarm>
 loadForRun(const std::string &spec, const core::DeloreanConfig &config,
            const std::string &path);
+
+/**
+ * Same validation as loadForRun, but accepts any contiguous window
+ * prefix: @return warm state for regions 0..k-1 where 1 <= k <=
+ * num_regions — feed it to DeloreanSession::feedWarmWindows and
+ * continue feeding fresh windows from there. Resuming is
+ * bit-identical to having never suspended.
+ */
+std::vector<core::RegionWarm>
+loadPrefixForRun(const std::string &spec,
+                 const core::DeloreanConfig &config,
+                 const std::string &path);
+
+/**
+ * Suspend @p session: package its fed windows' warm state (a prefix
+ * of the schedule) as a live-point file keyed for @p spec, ready for
+ * writeLivePointFile. Requires at least one fed window.
+ */
+LivePointFile sessionLivePoints(const core::DeloreanSession &session,
+                                const std::string &spec);
 
 } // namespace delorean::checkpoint
 

@@ -4,168 +4,13 @@
 
 #include "base/logging.hh"
 #include "base/random.hh"
-#include "core/analyst.hh"
 #include "core/parallel.hh"
 #include "core/scout.hh"
+#include "core/session.hh"
 #include "sampling/confidence.hh"
-#include "statmodel/assoc_model.hh"
 
 namespace delorean::core
 {
-
-namespace
-{
-
-/** Adapter feeding detailed-warming accesses into the stride model. */
-class AssocTrainer : public cpu::MemObserver
-{
-  public:
-    explicit AssocTrainer(statmodel::AssocModel &model) : model_(model) {}
-
-    void
-    memAccess(Addr pc, Addr line, bool write) override
-    {
-        (void)write;
-        model_.observe(pc, line);
-    }
-
-  private:
-    statmodel::AssocModel &model_;
-};
-
-/** One region's Analyst output (stats + its pass cost). */
-struct RegionAnalysis
-{
-    cpu::RegionStats stats;
-    profiling::HostCostAccount cost;
-};
-
-/**
- * Scout + Explorer chain for one region — the body both warmup()'s
- * region fan-out and the confidence loop's one-window-at-a-time replay
- * share, so the two drivers cannot drift apart.
- */
-RegionWarm
-warmRegion(const ExplorerChain &chain,
-           const sampling::TraceCheckpointer &checkpoints,
-           const DeloreanConfig &config,
-           const cache::HierarchyConfig &scout_hier, unsigned r)
-{
-    const auto &sched = config.schedule;
-    RegionWarm w;
-    auto scout_trace = checkpoints.at(sched.warmingStart(r));
-    w.keys = Scout::scan(*scout_trace, scout_hier, config.sim,
-                         sched.detailed_warming, sched.region_len);
-    w.explored = chain.explore(w.keys.linesNeedingExploration(),
-                               sched.detailedStart(r));
-    return w;
-}
-
-/**
- * One Analyst pass over one region — extracted from analyze()'s
- * region fan-out so the confidence loop replays the byte-identical
- * computation per window.
- */
-RegionAnalysis
-analyzeRegion(const DeloreanConfig &config,
-              const sampling::TraceCheckpointer &checkpoints,
-              const KeySet &keys, const ExplorerResult &explored,
-              unsigned r)
-{
-    const auto &sched = config.schedule;
-    const InstCount region_total =
-        sched.detailed_warming + sched.region_len;
-
-    RegionAnalysis out;
-    out.cost = profiling::HostCostAccount(config.scaledCost());
-    auto trace = checkpoints.at(sched.warmingStart(r));
-
-    cache::CacheHierarchy hier(config.hier);
-    cpu::DetailedSimulator sim(hier, config.sim);
-    statmodel::AssocModel assoc(config.hier.llc.sets(),
-                                config.hier.llc.assoc);
-    AssocTrainer trainer(assoc);
-
-    double analyze_ns = -profiling::nowNs();
-    sim.warmRegion(*trace, sched.detailed_warming, &trainer);
-    analyze_ns += profiling::nowNs();
-
-    // The classifier constructor runs the StatStack solver precompute
-    // over the region's vicinity distribution; queries during the
-    // timed simulation are charged to the Analyze bucket (they are
-    // interleaved with it).
-    const double solve_t0 = profiling::nowNs();
-    AnalystClassifier classifier(keys, explored, hier.llc(), assoc);
-    out.cost.measured().note(profiling::HotPhase::StatStackSolve,
-                             profiling::nowNs() - solve_t0,
-                             Counter(explored.vicinity_samples));
-
-    analyze_ns -= profiling::nowNs();
-    out.stats = sim.simulate(*trace, sched.region_len, &classifier);
-    analyze_ns += profiling::nowNs();
-    out.cost.measured().note(profiling::HotPhase::Analyze, analyze_ns,
-                             region_total);
-
-    out.cost.chargeVffScaled(sched.spacing - region_total);
-    out.cost.chargeDetailedRaw(region_total);
-    out.cost.chargeStateTransfers(2);
-    return out;
-}
-
-/**
- * Fold per-region Analyst outputs (in ascending region order) plus the
- * warm-up artifacts into the final MethodResult — shared by analyze()
- * and the confidence loop so a full confidence-mode replay assembles
- * the bit-identical result the exact path does.
- *
- * @param covered_insts trace instructions the replayed windows stand
- *        for (spacing x replayed windows); the MIPS denominator.
- */
-sampling::MethodResult
-finishResult(const DeloreanConfig &config, const std::string &benchmark,
-             const WarmupArtifacts &artifacts,
-             const std::vector<RegionAnalysis> &per_region,
-             InstCount covered_insts)
-{
-    const auto &sched = config.schedule;
-
-    sampling::MethodResult result;
-    result.method = "DeLorean";
-    result.benchmark = benchmark;
-    result.cost = profiling::HostCostAccount(config.scaledCost());
-    result.cost.merge(artifacts.cost);
-
-    PassCosts analyst_pass;
-    analyst_pass.name = "analyst";
-    for (const auto &region : per_region) {
-        analyst_pass.per_region_seconds.push_back(
-            region.cost.seconds());
-        result.cost.merge(region.cost);
-        result.addRegion(region.stats);
-    }
-
-    // Shared warm-up statistics surface in every analyzed result.
-    result.reuse_samples = artifacts.reuse_samples;
-    result.traps = artifacts.traps;
-    result.false_positives = artifacts.false_positives;
-    result.keys_by_explorer = artifacts.keys_by_explorer;
-    result.keys_total = artifacts.keys_total;
-    result.keys_explored = artifacts.keys_explored;
-    result.keys_unresolved = artifacts.keys_unresolved;
-    result.avg_explorers = artifacts.avg_explorers;
-    result.windows_total = sched.num_regions;
-    result.windows_replayed = per_region.size();
-
-    std::vector<PassCosts> pipeline = artifacts.passes;
-    pipeline.push_back(std::move(analyst_pass));
-    result.wall_seconds = pipelineWallSeconds(pipeline);
-    result.mips = profiling::modeledMips(covered_insts,
-                                         sched.scaleFactor(),
-                                         result.wall_seconds);
-    return result;
-}
-
-} // namespace
 
 std::vector<InstCount>
 DeloreanConfig::scaledHorizons() const
@@ -540,22 +385,18 @@ DeloreanMethod::runGroup(const workload::TraceSource &master,
             return warms;
         });
 
-    // Per-cell assembly and Analyst passes, exactly the solo path.
+    // Per-cell Analyst passes through the session's warm-feed path,
+    // exactly the solo resume path.
     std::vector<sampling::MethodResult> results;
     results.reserve(n_cells);
     for (std::size_t i = 0; i < n_cells; ++i) {
-        std::vector<KeySet> keys;
-        std::vector<ExplorerResult> explored;
-        keys.reserve(per_region.size());
-        explored.reserve(per_region.size());
-        for (auto &warms : per_region) {
-            keys.push_back(std::move(warms[i].keys));
-            explored.push_back(std::move(warms[i].explored));
-        }
-        const auto artifacts = assembleArtifacts(
-            configs[i], std::move(keys), std::move(explored));
-        results.push_back(
-            analyze(master, configs[i], checkpoints, artifacts));
+        std::vector<RegionWarm> cell_warm;
+        cell_warm.reserve(per_region.size());
+        for (auto &warms : per_region)
+            cell_warm.push_back(std::move(warms[i]));
+        DeloreanSession session(configs[i]);
+        session.feedWarmWindows(master, checkpoints, cell_warm);
+        results.push_back(session.finish());
     }
     return results;
 }
@@ -584,25 +425,19 @@ DeloreanMethod::run(const workload::TraceSource &master,
     if (config.confidence > 0.0)
         return runConfident(master, config, checkpoints, warm);
 
-    WarmupArtifacts artifacts;
+    // The exact in-order driver is the resumable pipeline run to
+    // completion in one sitting; goldens predating the session are
+    // pinned against exactly this composition.
+    DeloreanSession session(config);
     if (warm) {
         // Resume: the persisted warm state replaces Scout + Explorers;
-        // assembly from it is bit-identical to a fresh warm-up.
-        config.schedule.validate();
-        std::vector<KeySet> keys;
-        std::vector<ExplorerResult> explored;
-        keys.reserve(warm->size());
-        explored.reserve(warm->size());
-        for (const auto &w : *warm) {
-            keys.push_back(w.keys);
-            explored.push_back(w.explored);
-        }
-        artifacts = assembleArtifacts(config, std::move(keys),
-                                      std::move(explored));
+        // analysis from it is bit-identical to a fresh warm-up.
+        session.feedWarmWindows(master, checkpoints, *warm);
     } else {
-        artifacts = warmup(master, config, checkpoints, config.hier);
+        session.feedWindows(master, checkpoints,
+                            config.schedule.num_regions);
     }
-    return analyze(master, config, checkpoints, artifacts);
+    return session.finish();
 }
 
 } // namespace delorean::core

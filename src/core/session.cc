@@ -1,0 +1,337 @@
+#include "core/session.hh"
+
+#include <functional>
+
+#include "base/logging.hh"
+#include "core/analyst.hh"
+#include "core/parallel.hh"
+#include "core/scout.hh"
+#include "statmodel/assoc_model.hh"
+
+namespace delorean::core
+{
+
+namespace
+{
+
+/** Adapter feeding detailed-warming accesses into the stride model. */
+class AssocTrainer : public cpu::MemObserver
+{
+  public:
+    explicit AssocTrainer(statmodel::AssocModel &model) : model_(model) {}
+
+    void
+    memAccess(Addr pc, Addr line, bool write) override
+    {
+        (void)write;
+        model_.observe(pc, line);
+    }
+
+  private:
+    statmodel::AssocModel &model_;
+};
+
+/**
+ * Every checkpoint position windows [first, first + n) read from:
+ * warmingStart(r) for the Scout and Analyst, detailedStart(r) minus
+ * each Explorer horizon. The per-window subset of
+ * sampling::checkpointPositions, for feeds over a growing trace where
+ * later windows' positions do not exist yet.
+ */
+std::vector<InstCount>
+windowPositions(const DeloreanConfig &config, unsigned first, unsigned n)
+{
+    const auto &sched = config.schedule;
+    const auto horizons = config.scaledHorizons();
+    std::vector<InstCount> positions;
+    positions.reserve(std::size_t(n) * (horizons.size() + 1));
+    for (unsigned r = first; r < first + n; ++r) {
+        const InstCount ds = sched.detailedStart(r);
+        positions.push_back(sched.warmingStart(r));
+        for (const InstCount h : horizons)
+            positions.push_back(ds >= h ? ds - h : 0);
+    }
+    return positions;
+}
+
+} // namespace
+
+RegionWarm
+warmRegion(const ExplorerChain &chain,
+           const sampling::TraceCheckpointer &checkpoints,
+           const DeloreanConfig &config,
+           const cache::HierarchyConfig &scout_hier, unsigned r)
+{
+    const auto &sched = config.schedule;
+    RegionWarm w;
+    auto scout_trace = checkpoints.at(sched.warmingStart(r));
+    w.keys = Scout::scan(*scout_trace, scout_hier, config.sim,
+                         sched.detailed_warming, sched.region_len);
+    w.explored = chain.explore(w.keys.linesNeedingExploration(),
+                               sched.detailedStart(r));
+    return w;
+}
+
+RegionAnalysis
+analyzeRegion(const DeloreanConfig &config,
+              const sampling::TraceCheckpointer &checkpoints,
+              const KeySet &keys, const ExplorerResult &explored,
+              unsigned r)
+{
+    const auto &sched = config.schedule;
+    const InstCount region_total =
+        sched.detailed_warming + sched.region_len;
+
+    RegionAnalysis out;
+    out.cost = profiling::HostCostAccount(config.scaledCost());
+    auto trace = checkpoints.at(sched.warmingStart(r));
+
+    cache::CacheHierarchy hier(config.hier);
+    cpu::DetailedSimulator sim(hier, config.sim);
+    statmodel::AssocModel assoc(config.hier.llc.sets(),
+                                config.hier.llc.assoc);
+    AssocTrainer trainer(assoc);
+
+    double analyze_ns = -profiling::nowNs();
+    sim.warmRegion(*trace, sched.detailed_warming, &trainer);
+    analyze_ns += profiling::nowNs();
+
+    // The classifier constructor runs the StatStack solver precompute
+    // over the region's vicinity distribution; queries during the
+    // timed simulation are charged to the Analyze bucket (they are
+    // interleaved with it).
+    const double solve_t0 = profiling::nowNs();
+    AnalystClassifier classifier(keys, explored, hier.llc(), assoc);
+    out.cost.measured().note(profiling::HotPhase::StatStackSolve,
+                             profiling::nowNs() - solve_t0,
+                             Counter(explored.vicinity_samples));
+
+    analyze_ns -= profiling::nowNs();
+    out.stats = sim.simulate(*trace, sched.region_len, &classifier);
+    analyze_ns += profiling::nowNs();
+    out.cost.measured().note(profiling::HotPhase::Analyze, analyze_ns,
+                             region_total);
+
+    out.cost.chargeVffScaled(sched.spacing - region_total);
+    out.cost.chargeDetailedRaw(region_total);
+    out.cost.chargeStateTransfers(2);
+    return out;
+}
+
+sampling::MethodResult
+finishResult(const DeloreanConfig &config, const std::string &benchmark,
+             const WarmupArtifacts &artifacts,
+             const std::vector<RegionAnalysis> &per_region,
+             InstCount covered_insts)
+{
+    const auto &sched = config.schedule;
+
+    sampling::MethodResult result;
+    result.method = "DeLorean";
+    result.benchmark = benchmark;
+    result.cost = profiling::HostCostAccount(config.scaledCost());
+    result.cost.merge(artifacts.cost);
+
+    PassCosts analyst_pass;
+    analyst_pass.name = "analyst";
+    for (const auto &region : per_region) {
+        analyst_pass.per_region_seconds.push_back(
+            region.cost.seconds());
+        result.cost.merge(region.cost);
+        result.addRegion(region.stats);
+    }
+
+    // Shared warm-up statistics surface in every analyzed result.
+    result.reuse_samples = artifacts.reuse_samples;
+    result.traps = artifacts.traps;
+    result.false_positives = artifacts.false_positives;
+    result.keys_by_explorer = artifacts.keys_by_explorer;
+    result.keys_total = artifacts.keys_total;
+    result.keys_explored = artifacts.keys_explored;
+    result.keys_unresolved = artifacts.keys_unresolved;
+    result.avg_explorers = artifacts.avg_explorers;
+    result.windows_total = sched.num_regions;
+    result.windows_replayed = per_region.size();
+
+    std::vector<PassCosts> pipeline = artifacts.passes;
+    pipeline.push_back(std::move(analyst_pass));
+    result.wall_seconds = pipelineWallSeconds(pipeline);
+    result.mips = profiling::modeledMips(covered_insts,
+                                         sched.scaleFactor(),
+                                         result.wall_seconds);
+    return result;
+}
+
+DeloreanSession::DeloreanSession(DeloreanConfig config)
+    : config_(std::move(config))
+{
+    config_.schedule.validate();
+    config_.hier.validate();
+    fatal_if(config_.confidence > 0.0,
+             "DeloreanSession requires exact mode (confidence == 0): "
+             "the shuffled early-stopping driver needs the whole trace");
+}
+
+void
+DeloreanSession::bindBenchmark(const workload::TraceSource &master)
+{
+    if (benchmark_.empty()) {
+        benchmark_ = master.name();
+        return;
+    }
+    fatal_if(master.name() != benchmark_,
+             "DeloreanSession bound to benchmark '%s', fed trace '%s'",
+             benchmark_.c_str(), master.name().c_str());
+}
+
+void
+DeloreanSession::feedWindows(const workload::TraceSource &master,
+                             const sampling::TraceCheckpointer &checkpoints,
+                             unsigned n)
+{
+    if (n == 0)
+        return;
+    bindBenchmark(master);
+    const unsigned first = windowsFed();
+    fatal_if(first + n > windowsTotal(),
+             "DeloreanSession: feeding %u windows past the %u-region "
+             "schedule (%u already fed)",
+             n, windowsTotal(), first);
+
+    // Chain geometry is a pure function of the config and the
+    // benchmark name, so rebuilding it per feed changes nothing.
+    ExplorerChain chain({config_.scaledHorizons(),
+                         config_.paper_horizons,
+                         config_.paper_vicinity_period,
+                         std::hash<std::string>{}(master.name())},
+                        checkpoints);
+
+    // Windows are independent; fusing each window's warm-up and
+    // Analyst pass into one unit computes the same values the offline
+    // driver's two region-ordered fan-outs do, and parallelMap folds
+    // by index, so results stay bit-identical under any host_threads.
+    struct Window
+    {
+        RegionWarm warm;
+        RegionAnalysis analysis;
+    };
+    auto windows = parallelMap(
+        n, config_.host_threads, [&](std::size_t i) {
+            const unsigned r = first + unsigned(i);
+            Window w;
+            w.warm = warmRegion(chain, checkpoints, config_,
+                                config_.hier, r);
+            w.analysis = analyzeRegion(config_, checkpoints, w.warm.keys,
+                                       w.warm.explored, r);
+            return w;
+        });
+    for (auto &w : windows)
+        store(std::move(w.warm), std::move(w.analysis));
+}
+
+void
+DeloreanSession::feedWindows(const workload::TraceSource &master,
+                             unsigned n)
+{
+    if (n == 0)
+        return;
+    const unsigned first = windowsFed();
+    fatal_if(first + n > windowsTotal(),
+             "DeloreanSession: feeding %u windows past the %u-region "
+             "schedule (%u already fed)",
+             n, windowsTotal(), first);
+
+    // Snapshot only the new windows' positions: nothing past
+    // regionEnd(first + n - 1) is read, so the master may be a
+    // partial prefix of a still-growing trace.
+    sampling::TraceCheckpointer checkpoints(master);
+    checkpoints.prepare(windowPositions(config_, first, n));
+    feedWindows(master, checkpoints, n);
+}
+
+void
+DeloreanSession::feedWarmWindows(
+    const workload::TraceSource &master,
+    const sampling::TraceCheckpointer &checkpoints,
+    const std::vector<RegionWarm> &warm)
+{
+    if (warm.empty())
+        return;
+    bindBenchmark(master);
+    const unsigned first = windowsFed();
+    const unsigned n = unsigned(warm.size());
+    fatal_if(first + n > windowsTotal(),
+             "DeloreanSession: feeding %u warm windows past the "
+             "%u-region schedule (%u already fed)",
+             n, windowsTotal(), first);
+
+    auto analyses = parallelMap(
+        n, config_.host_threads, [&](std::size_t i) {
+            return analyzeRegion(config_, checkpoints, warm[i].keys,
+                                 warm[i].explored, first + unsigned(i));
+        });
+    for (unsigned i = 0; i < n; ++i)
+        store(warm[i], std::move(analyses[i]));
+}
+
+void
+DeloreanSession::store(RegionWarm warm, RegionAnalysis analysis)
+{
+    ci_.add(analysis.stats.cpi());
+    warm_.push_back(std::move(warm));
+    analyses_.push_back(std::move(analysis));
+}
+
+SessionEstimate
+DeloreanSession::estimate() const
+{
+    SessionEstimate est;
+    est.windows_fed = windowsFed();
+    est.windows_total = windowsTotal();
+    est.mean_cpi = ci_.count() > 0 ? ci_.mean() : 0.0;
+    est.ci_error =
+        ci_.relativeHalfWidth(sampling::zForConfidence(95.0));
+    return est;
+}
+
+sampling::MethodResult
+DeloreanSession::assemble(const DeloreanConfig &config,
+                          InstCount covered_insts) const
+{
+    std::vector<KeySet> keys;
+    std::vector<ExplorerResult> explored;
+    keys.reserve(warm_.size());
+    explored.reserve(warm_.size());
+    for (const auto &w : warm_) {
+        keys.push_back(w.keys);
+        explored.push_back(w.explored);
+    }
+    const WarmupArtifacts artifacts = DeloreanMethod::assembleArtifacts(
+        config, std::move(keys), std::move(explored));
+    return finishResult(config, benchmark_, artifacts, analyses_,
+                        covered_insts);
+}
+
+sampling::MethodResult
+DeloreanSession::partialResult() const
+{
+    fatal_if(windowsFed() == 0,
+             "DeloreanSession::partialResult before any fed window");
+    // Per-window outputs never depend on num_regions, so assembling
+    // under a schedule truncated to the fed windows reproduces a
+    // fresh offline run of that shorter schedule bit for bit.
+    DeloreanConfig truncated = config_;
+    truncated.schedule.num_regions = windowsFed();
+    return assemble(truncated, truncated.schedule.totalInstructions());
+}
+
+sampling::MethodResult
+DeloreanSession::finish() const
+{
+    fatal_if(windowsFed() != windowsTotal(),
+             "DeloreanSession::finish with %u of %u windows fed",
+             windowsFed(), windowsTotal());
+    return assemble(config_, config_.schedule.totalInstructions());
+}
+
+} // namespace delorean::core

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * DeloreanSession: the resumable per-window pipeline.
+ *
+ * DeloreanMethod::run() is "run to completion over a TraceSource":
+ * fine offline, useless for a trace that is still growing. The session
+ * factors the driver's per-window loop — Scout + Explorer warm-up,
+ * then the Analyst pass, then folding the window's CPI into a running
+ * confidence interval — into an object that can suspend at any window
+ * boundary and resume later, possibly in another process via the
+ * DLRNLVP1 live-point format (src/checkpoint/).
+ *
+ * The contract that makes streaming trustworthy (pinned by
+ * tests/test_session.cc and tests/test_service.cc):
+ *
+ *  - Feeding windows one at a time, in bulk, or resuming from
+ *    serialized warm state all produce *bit-identical* results —
+ *    windows are independent, and assembly always folds them in
+ *    ascending region order, exactly like the offline driver.
+ *  - finish() after all windows equals DeloreanMethod::run() over the
+ *    same bytes (MethodResult::operator==, doubles bitwise).
+ *  - partialResult() after k windows equals a fresh offline run whose
+ *    schedule was truncated to k regions: nothing a window computes
+ *    depends on num_regions, only the report's windows_total does.
+ *
+ * Windows only ever read the trace up to regionEnd(r) = spacing*(r+1)
+ * — the Scout and Analyst both stop there and every Explorer horizon
+ * reaches *backward* from detailedStart(r) — so window r can be fed as
+ * soon as spacing*(r+1) instructions of the trace exist. That bound is
+ * what the service's TRACE-STREAM ingestion (src/service/stream.hh)
+ * builds on, and tests/test_session.cc pins it with a truncated trace.
+ *
+ * The shared per-window helpers (warmRegion / analyzeRegion /
+ * finishResult) live here so the session, the exact driver and the
+ * confidence-driven driver (core/delorean.cc) are one implementation
+ * that cannot drift apart.
+ */
+
+#ifndef DELOREAN_CORE_SESSION_HH
+#define DELOREAN_CORE_SESSION_HH
+
+#include <string>
+#include <vector>
+
+#include "core/delorean.hh"
+#include "sampling/confidence.hh"
+#include "sampling/region.hh"
+
+namespace delorean::core
+{
+
+/** One region's Analyst output (stats + its pass cost). */
+struct RegionAnalysis
+{
+    cpu::RegionStats stats;
+    profiling::HostCostAccount cost;
+};
+
+/**
+ * Scout + Explorer chain for one region — the body the session's
+ * window feed and the confidence loop's one-window-at-a-time replay
+ * share, so the two drivers cannot drift apart.
+ */
+RegionWarm warmRegion(const ExplorerChain &chain,
+                      const sampling::TraceCheckpointer &checkpoints,
+                      const DeloreanConfig &config,
+                      const cache::HierarchyConfig &scout_hier,
+                      unsigned r);
+
+/**
+ * One Analyst pass over one region — extracted from the region fan-out
+ * so every driver replays the byte-identical computation per window.
+ */
+RegionAnalysis analyzeRegion(const DeloreanConfig &config,
+                             const sampling::TraceCheckpointer &checkpoints,
+                             const KeySet &keys,
+                             const ExplorerResult &explored, unsigned r);
+
+/**
+ * Fold per-region Analyst outputs (in ascending region order) plus the
+ * warm-up artifacts into the final MethodResult — shared by every
+ * driver so a full replay assembles the bit-identical result whichever
+ * path produced the windows.
+ *
+ * @param covered_insts trace instructions the replayed windows stand
+ *        for (spacing x replayed windows); the MIPS denominator.
+ */
+sampling::MethodResult
+finishResult(const DeloreanConfig &config, const std::string &benchmark,
+             const WarmupArtifacts &artifacts,
+             const std::vector<RegionAnalysis> &per_region,
+             InstCount covered_insts);
+
+/** A running estimate over the windows fed so far. */
+struct SessionEstimate
+{
+    unsigned windows_fed = 0;
+    unsigned windows_total = 0;
+    double mean_cpi = 0.0;
+
+    /**
+     * Relative half-width of the 95% confidence interval over the
+     * per-window CPIs (0 until two windows exist). Purely a report —
+     * the session replays windows in trace order and never stops
+     * early, so this tightens monotonically in expectation as data
+     * arrives without ever changing the final result.
+     */
+    double ci_error = 0.0;
+};
+
+/**
+ * The resumable window pipeline. Construct with an exact-mode config
+ * (confidence == 0 — shuffled early-stopping replay is inherently
+ * offline), feed windows as their trace bytes become available, query
+ * the running estimate between feeds, and finish() once every
+ * scheduled window has been fed.
+ */
+class DeloreanSession
+{
+  public:
+    /** Validates the schedule/hierarchy; fatal_if confidence > 0. */
+    explicit DeloreanSession(DeloreanConfig config);
+
+    /**
+     * Run Scout + Explorers + Analyst for the next @p n windows,
+     * reading from @p master via @p checkpoints (which must cover the
+     * windows' positions). Windows fan out across config.host_threads
+     * with bit-identical results. @p master must present the same
+     * name() on every feed (the benchmark identity of the session).
+     */
+    void feedWindows(const workload::TraceSource &master,
+                     const sampling::TraceCheckpointer &checkpoints,
+                     unsigned n);
+
+    /**
+     * Same, but building a checkpoint store internally for just the
+     * new windows — the streaming path, where each feed sees a fresh
+     * (longer) snapshot of a growing trace. @p master needs only
+     * regionEnd(last new window) instructions to exist.
+     */
+    void feedWindows(const workload::TraceSource &master, unsigned n = 1);
+
+    /**
+     * Feed precomputed warm state (live-point resume, co-scheduled
+     * group warm-up) for the next warm.size() windows: the
+     * Scout/Explorer passes are skipped and only the Analyst runs,
+     * bit-identically to a fresh warm-up of the same windows.
+     */
+    void feedWarmWindows(const workload::TraceSource &master,
+                         const sampling::TraceCheckpointer &checkpoints,
+                         const std::vector<RegionWarm> &warm);
+
+    unsigned windowsFed() const { return unsigned(analyses_.size()); }
+    unsigned windowsTotal() const { return config_.schedule.num_regions; }
+
+    /** The running CPI estimate and its 95% relative half-width. */
+    SessionEstimate estimate() const;
+
+    /**
+     * Assemble the windows fed so far into a MethodResult, as if the
+     * schedule had ended after them: bit-identical to a fresh offline
+     * run with num_regions = windowsFed(). Requires at least one fed
+     * window.
+     */
+    sampling::MethodResult partialResult() const;
+
+    /**
+     * The full-schedule result; requires windowsFed() ==
+     * windowsTotal(). Bit-identical to DeloreanMethod::run() over the
+     * same trace and config.
+     */
+    sampling::MethodResult finish() const;
+
+    /** Benchmark name captured from the first fed trace ("" before). */
+    const std::string &benchmark() const { return benchmark_; }
+
+    const DeloreanConfig &config() const { return config_; }
+
+    /** Per-window warm state in region order (live-point suspend). */
+    const std::vector<RegionWarm> &warmWindows() const { return warm_; }
+
+  private:
+    /** Capture/verify the benchmark identity of @p master. */
+    void bindBenchmark(const workload::TraceSource &master);
+
+    /** Append one window's outputs (ascending region order). */
+    void store(RegionWarm warm, RegionAnalysis analysis);
+
+    sampling::MethodResult assemble(const DeloreanConfig &config,
+                                    InstCount covered_insts) const;
+
+    DeloreanConfig config_;
+    std::string benchmark_;
+    std::vector<RegionWarm> warm_;          //!< per fed window
+    std::vector<RegionAnalysis> analyses_;  //!< per fed window
+    sampling::RunningCI ci_;                //!< CPIs, feed order
+};
+
+} // namespace delorean::core
+
+#endif // DELOREAN_CORE_SESSION_HH

@@ -289,6 +289,115 @@ ServiceClient::completeCall(std::uint64_t lease, bool ok,
     return info;
 }
 
+std::uint64_t
+ServiceClient::streamOpen(const std::string &directives)
+{
+    const std::string reply =
+        call(protocol::Opcode::StreamOpen, directives);
+    std::istringstream is(reply);
+    std::string token;
+    try {
+        while (is >> token)
+            if (token.rfind("stream=", 0) == 0)
+                return batch::parseCount(token.substr(7));
+    } catch (const batch::BatchError &) {
+    }
+    throw ServiceError("STREAM-OPEN: malformed reply '" + reply + "'");
+}
+
+ServiceClient::StreamAppendInfo
+ServiceClient::streamAppend(std::uint64_t stream,
+                            const std::string &bytes)
+{
+    std::string body = "stream=" + std::to_string(stream) + "\n";
+    body += bytes;
+    const std::string reply =
+        call(protocol::Opcode::StreamAppend, std::move(body));
+
+    StreamAppendInfo info;
+    std::istringstream is(reply);
+    std::string token;
+    try {
+        while (is >> token) {
+            if (token.rfind("received=", 0) == 0)
+                info.received = batch::parseCount(token.substr(9));
+            else if (token.rfind("records=", 0) == 0)
+                info.records = batch::parseCount(token.substr(8));
+            else if (token.rfind("windows_fed=", 0) == 0)
+                info.windows_fed =
+                    unsigned(batch::parseCount(token.substr(12)));
+        }
+    } catch (const batch::BatchError &e) {
+        throw ServiceError("STREAM-APPEND: malformed reply '" + reply +
+                           "': " + e.what());
+    }
+    return info;
+}
+
+ServiceClient::StreamCloseInfo
+ServiceClient::streamClose(std::uint64_t stream)
+{
+    const std::string reply = call(protocol::Opcode::StreamClose,
+                                   "stream=" + std::to_string(stream));
+
+    StreamCloseInfo info;
+    bool have_key = false;
+    std::istringstream is(reply);
+    std::string token;
+    try {
+        while (is >> token) {
+            if (token.rfind("key=", 0) == 0) {
+                info.key = batch::CacheKey::fromHex(token.substr(4));
+                have_key = true;
+            } else if (token.rfind("windows=", 0) == 0) {
+                info.windows =
+                    unsigned(batch::parseCount(token.substr(8)));
+            }
+        }
+    } catch (const batch::BatchError &e) {
+        throw ServiceError("STREAM-CLOSE: malformed reply '" + reply +
+                           "': " + e.what());
+    }
+    if (!have_key)
+        throw ServiceError("STREAM-CLOSE: malformed reply '" + reply +
+                           "'");
+    return info;
+}
+
+ServiceClient::StreamStatus
+ServiceClient::streamStatus(std::uint64_t stream)
+{
+    const std::string reply = call(protocol::Opcode::Status,
+                                   "stream=" + std::to_string(stream));
+
+    StreamStatus info;
+    std::istringstream is(reply);
+    std::string token;
+    try {
+        while (is >> token) {
+            if (token.rfind("records=", 0) == 0)
+                info.records = batch::parseCount(token.substr(8));
+            else if (token.rfind("windows_fed=", 0) == 0)
+                info.windows_fed =
+                    unsigned(batch::parseCount(token.substr(12)));
+            else if (token.rfind("windows_total=", 0) == 0)
+                info.windows_total =
+                    unsigned(batch::parseCount(token.substr(14)));
+            else if (token.rfind("est_cpi=", 0) == 0)
+                info.est_cpi = batch::parseReal(token.substr(8));
+            else if (token.rfind("ci_error=", 0) == 0)
+                info.ci_error = batch::parseReal(token.substr(9));
+        }
+    } catch (const batch::BatchError &e) {
+        throw ServiceError("STATUS: malformed stream reply '" + reply +
+                           "': " + e.what());
+    }
+    if (info.windows_total == 0)
+        throw ServiceError("STATUS: malformed stream reply '" + reply +
+                           "'");
+    return info;
+}
+
 std::string
 ServiceClient::resultBytes(const batch::CacheKey &key)
 {

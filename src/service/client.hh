@@ -114,6 +114,48 @@ class ServiceClient
     CompleteInfo completeError(std::uint64_t lease,
                                const std::string &message);
 
+    /** What STREAM-APPEND came back with. */
+    struct StreamAppendInfo
+    {
+        std::uint64_t received = 0; //!< total stream bytes so far
+        std::uint64_t records = 0;  //!< complete records spooled
+        unsigned windows_fed = 0;   //!< schedule windows analyzed
+    };
+
+    /** What STREAM-CLOSE came back with. */
+    struct StreamCloseInfo
+    {
+        batch::CacheKey key; //!< fetch the final result via result()
+        unsigned windows = 0;
+    };
+
+    /** A stream STATUS poll (docs/service.md, "Streaming warming"). */
+    struct StreamStatus
+    {
+        std::uint64_t records = 0;
+        unsigned windows_fed = 0;
+        unsigned windows_total = 0;
+        double est_cpi = 0.0;  //!< running mean CPI (0 before data)
+        double ci_error = 0.0; //!< 95% relative half-width
+    };
+
+    /**
+     * Open a TRACE-STREAM. @p directives is manifest text describing
+     * at most one config and schedule — no workload line; the workload
+     * is the trace subsequently appended. @return the stream id.
+     */
+    std::uint64_t streamOpen(const std::string &directives);
+
+    /** Append raw DLRNTRC1 bytes (any chunking, even mid-record). */
+    StreamAppendInfo streamAppend(std::uint64_t stream,
+                                  const std::string &bytes);
+
+    /** Close a complete stream; its result is cached under .key. */
+    StreamCloseInfo streamClose(std::uint64_t stream);
+
+    /** Poll the running estimate of an open stream. */
+    StreamStatus streamStatus(std::uint64_t stream);
+
     /** Raw serialized record bytes for @p key (result_io format). */
     std::string resultBytes(const batch::CacheKey &key);
 

@@ -133,6 +133,14 @@ Coordinator::handle(const protocol::Request &request,
         // readRequest() rejects these standalone; belt and braces.
         return protocol::Reply::error(
             "continuation frame outside a COMPLETE stream");
+      case protocol::Opcode::StreamOpen:
+      case protocol::Opcode::StreamAppend:
+      case protocol::Opcode::StreamClose:
+        // Streaming feeds a local warming session; a coordinator only
+        // brokers leased work units.
+        return protocol::Reply::error(
+            "this is a fleet coordinator socket; trace streaming "
+            "needs a batch service ('batch_service serve')");
     }
     return protocol::Reply::error("unhandled opcode");
 }

@@ -87,6 +87,12 @@ opcodeName(Opcode op)
         return "RESULT-PART";
       case Opcode::ResultEnd:
         return "RESULT-END";
+      case Opcode::StreamOpen:
+        return "STREAM-OPEN";
+      case Opcode::StreamAppend:
+        return "STREAM-APPEND";
+      case Opcode::StreamClose:
+        return "STREAM-CLOSE";
     }
     return "?";
 }
@@ -210,6 +216,9 @@ readRequest(int fd)
       case Opcode::Lease:
       case Opcode::Renew:
       case Opcode::Complete:
+      case Opcode::StreamOpen:
+      case Opcode::StreamAppend:
+      case Opcode::StreamClose:
         break;
       case Opcode::ResultPart:
       case Opcode::ResultEnd:
@@ -254,10 +263,22 @@ Reply
 readReply(int fd)
 {
     std::string body;
+    std::size_t frames = 0;
     for (;;) {
         auto frame = readFrame(fd, "reply");
-        if (!frame)
+        if (!frame) {
+            // A clean EOF at a frame boundary is still a truncated
+            // reply once partial frames have arrived: the status_ok
+            // terminator never came, so the reassembled body is
+            // incomplete and must not be surfaced as a short reply.
+            if (frames > 0)
+                throw ServiceError(
+                    "reply: connection closed mid-reassembly after " +
+                    std::to_string(frames) + " partial frame" +
+                    (frames == 1 ? "" : "s"));
             throw ServiceError("connection closed before the reply");
+        }
+        ++frames;
         auto [code, chunk] = std::move(*frame);
         if (code != status_ok && code != status_error &&
             code != status_part)

@@ -61,6 +61,27 @@
  *             violations. readRequest() reassembles the stream into
  *             one Request transparently, bounded by max_stream.
  *
+ * TRACE-STREAM opcodes (streaming warming; docs/service.md):
+ *
+ *   STREAM-OPEN
+ *             batch-manifest directives (config/schedule/methods only
+ *             — the workload is the streamed trace itself). Ok body:
+ *             "stream=<id>\n". The service starts a spooled trace and
+ *             a resumable warming session for the stream.
+ *   STREAM-APPEND
+ *             "stream=<id>\n" + raw DLRNTRC1 bytes — any chunking,
+ *             including mid-record and mid-header splits. Complete
+ *             windows are analyzed as their bytes arrive. Ok body:
+ *             "received=<bytes> records=<n> windows_fed=<k>\n".
+ *   STREAM-CLOSE
+ *             "stream=<id>". Requires exactly the byte count the
+ *             stream's DLRNTRC1 header declared. Ok body:
+ *             "key=<32 hex> windows=<n>\n" — the final MethodResult
+ *             is in the result cache under that content key (RESULT
+ *             fetches it), bit-identical to an offline run over the
+ *             same bytes. STATUS with body "stream=<id>" polls the
+ *             running estimate of an open stream.
+ *
  * Replies larger than one frame stream the same way in the other
  * direction: writeReply() splits an oversized body into partial
  * frames (status 2, the reply-side RESULT-PART) closed by a final
@@ -140,6 +161,9 @@ enum class Opcode : std::uint32_t
     Complete = 8,
     ResultPart = 9,
     ResultEnd = 10,
+    StreamOpen = 11,
+    StreamAppend = 12,
+    StreamClose = 13,
 };
 
 /**

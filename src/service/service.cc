@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <sstream>
 #include <thread>
 
@@ -11,6 +12,7 @@
 #include "core/parallel.hh"
 #include "service/server.hh"
 #include "workload/endian.hh"
+#include "workload/trace_io.hh"
 
 namespace delorean::service
 {
@@ -234,6 +236,12 @@ BatchService::handle(const protocol::Request &request)
         reply.after_send = [this] { requestShutdown(); };
         return reply;
       }
+      case protocol::Opcode::StreamOpen:
+        return handleStreamOpen(request.body);
+      case protocol::Opcode::StreamAppend:
+        return handleStreamAppend(request.body);
+      case protocol::Opcode::StreamClose:
+        return handleStreamClose(request.body);
       case protocol::Opcode::Lease:
       case protocol::Opcode::Renew:
       case protocol::Opcode::Complete:
@@ -279,6 +287,8 @@ protocol::Reply
 BatchService::handleStatus(const std::string &body)
 {
     std::ostringstream os;
+    if (body.rfind("stream=", 0) == 0)
+        return handleStreamStatus(body);
     if (!body.empty()) {
         const std::uint64_t id = batch::parseCount(body);
         const auto job = queue_.job(id);
@@ -310,6 +320,159 @@ BatchService::handleResult(const std::string &body)
         return protocol::Reply::error("no cached result for key " +
                                       body);
     return protocol::Reply::success(std::move(*bytes));
+}
+
+namespace
+{
+
+/** Parse a "stream=<id>" token (optional trailing newline). */
+std::uint64_t
+parseStreamId(std::string text, const char *what)
+{
+    if (!text.empty() && text.back() == '\n')
+        text.pop_back();
+    if (text.rfind("stream=", 0) != 0)
+        throw ServiceError(std::string(what) +
+                           ": expected stream=<id>, got '" + text + "'");
+    try {
+        return batch::parseCount(text.substr(sizeof("stream=") - 1));
+    } catch (const batch::BatchError &e) {
+        throw ServiceError(std::string(what) + ": " + e.what());
+    }
+}
+
+} // namespace
+
+std::shared_ptr<BatchService::StreamEntry>
+BatchService::findStream(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(streams_mutex_);
+    const auto it = streams_.find(id);
+    if (it == streams_.end())
+        throw ServiceError("unknown stream " + std::to_string(id));
+    return it->second;
+}
+
+void
+BatchService::eraseStream(std::uint64_t id)
+{
+    std::shared_ptr<StreamEntry> doomed;
+    {
+        std::lock_guard<std::mutex> lock(streams_mutex_);
+        const auto it = streams_.find(id);
+        if (it == streams_.end())
+            return;
+        doomed = std::move(it->second);
+        streams_.erase(it);
+    }
+    // The entry (and its spool file) dies here — outside the map lock,
+    // and after any concurrent holder drops its reference.
+}
+
+protocol::Reply
+BatchService::handleStreamOpen(const std::string &body)
+{
+    const std::string dir = cache_.dir() + "/streams";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        throw ServiceError("STREAM-OPEN: cannot create spool "
+                           "directory '" + dir + "': " + ec.message());
+
+    std::uint64_t id;
+    {
+        std::lock_guard<std::mutex> lock(streams_mutex_);
+        id = ++next_stream_;
+    }
+    // Construct outside the map lock: directive parsing and spool
+    // creation must not stall unrelated streams.
+    auto entry = std::make_shared<StreamEntry>(
+        id, dir + "/" + std::to_string(id) + ".dlt", body,
+        config_.stream_threads);
+    {
+        std::lock_guard<std::mutex> lock(streams_mutex_);
+        streams_.emplace(id, std::move(entry));
+    }
+    if (config_.verbose)
+        std::fprintf(stderr, "[service] stream %llu opened\n",
+                     (unsigned long long)id);
+    return protocol::Reply::success("stream=" + std::to_string(id) +
+                                    "\n");
+}
+
+protocol::Reply
+BatchService::handleStreamAppend(const std::string &body)
+{
+    const std::size_t eol = body.find('\n');
+    if (eol == std::string::npos)
+        throw ServiceError(
+            "STREAM-APPEND: missing stream=<id> header line");
+    const std::uint64_t id =
+        parseStreamId(body.substr(0, eol), "STREAM-APPEND");
+    auto entry = findStream(id);
+
+    TraceStream::AppendInfo info;
+    try {
+        std::lock_guard<std::mutex> lock(entry->mutex);
+        info = entry->stream.append(body.substr(eol + 1));
+    } catch (const ServiceError &) {
+        // Malformed header, overflow, spool I/O: the stream's state
+        // is unrecoverable. Drop it so its spool is reclaimed.
+        eraseStream(id);
+        throw;
+    } catch (const workload::TraceError &e) {
+        // Garbage record bytes surfaced from a window feed.
+        eraseStream(id);
+        throw ServiceError("stream " + std::to_string(id) + ": " +
+                           e.what());
+    }
+
+    std::ostringstream os;
+    os << "received=" << info.received << " records=" << info.records
+       << " windows_fed=" << info.windows_fed << "\n";
+    return protocol::Reply::success(os.str());
+}
+
+protocol::Reply
+BatchService::handleStreamClose(const std::string &body)
+{
+    const std::uint64_t id = parseStreamId(body, "STREAM-CLOSE");
+    auto entry = findStream(id);
+
+    TraceStream::CloseInfo info;
+    try {
+        std::lock_guard<std::mutex> lock(entry->mutex);
+        info = entry->stream.close();
+    } catch (const workload::TraceError &e) {
+        eraseStream(id);
+        throw ServiceError("stream " + std::to_string(id) + ": " +
+                           e.what());
+    }
+    // A ServiceError close (incomplete stream, livepoint write
+    // failure) propagates WITHOUT erasing: the stream stays open for
+    // the missing appends or a retried close.
+
+    cache_.store(info.key, info.result);
+    executed_.fetch_add(1);
+    eraseStream(id);
+    if (config_.verbose)
+        std::fprintf(stderr,
+                     "[service] stream %llu closed -> key %s "
+                     "(%u windows)\n",
+                     (unsigned long long)id, info.key.hex().c_str(),
+                     info.windows);
+    return protocol::Reply::success(
+        "key=" + info.key.hex() +
+        " windows=" + std::to_string(info.windows) + "\n");
+}
+
+protocol::Reply
+BatchService::handleStreamStatus(const std::string &body)
+{
+    const std::uint64_t id = parseStreamId(body, "STATUS");
+    auto entry = findStream(id);
+    std::lock_guard<std::mutex> lock(entry->mutex);
+    return protocol::Reply::success(entry->stream.statusLine());
 }
 
 protocol::Reply

@@ -34,6 +34,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -42,6 +43,7 @@
 #include "batch/result_cache.hh"
 #include "service/protocol.hh"
 #include "service/queue.hh"
+#include "service/stream.hh"
 #include "service/watcher.hh"
 
 namespace delorean::service
@@ -55,6 +57,14 @@ struct ServiceConfig
     unsigned threads = 1;       //!< worker count (0 = hardware)
     unsigned poll_ms = 200;     //!< spool scan period
     bool verbose = false;       //!< per-event progress on stderr
+
+    /**
+     * Windows fanned out per TRACE-STREAM feed (0 = hardware).
+     * Results are bit-identical for every value (core/parallel.hh),
+     * so this is purely a latency knob for appends that complete
+     * several windows at once.
+     */
+    unsigned stream_threads = 1;
 };
 
 /**
@@ -103,6 +113,34 @@ class BatchService
     protocol::Reply handleResult(const std::string &body);
     protocol::Reply handleStats();
 
+    protocol::Reply handleStreamOpen(const std::string &body);
+    protocol::Reply handleStreamAppend(const std::string &body);
+    protocol::Reply handleStreamClose(const std::string &body);
+    protocol::Reply handleStreamStatus(const std::string &body);
+
+    /**
+     * One open TRACE-STREAM. The per-stream mutex serializes its
+     * (stateful) appends; streams_mutex_ only guards the map, so a
+     * long window feed on one stream never blocks another stream's
+     * appends or any other request.
+     */
+    struct StreamEntry
+    {
+        std::mutex mutex;
+        TraceStream stream;
+
+        StreamEntry(std::uint64_t id, std::string spool_path,
+                    const std::string &directives, unsigned threads)
+            : stream(id, std::move(spool_path), directives, threads)
+        {}
+    };
+
+    /** @return the entry for @p id or throw ServiceError. */
+    std::shared_ptr<StreamEntry> findStream(std::uint64_t id);
+
+    /** Drop @p id (poisoned or closed); its spool file goes with it. */
+    void eraseStream(std::uint64_t id);
+
     /** Worker-thread body: pop/execute/complete until closed. */
     void drainLoop();
 
@@ -130,6 +168,11 @@ class BatchService
     std::mutex shutdown_mutex_;
     std::condition_variable shutdown_cv_;
     bool shutdown_ = false;
+
+    /** Open trace streams by id (guarded by streams_mutex_). */
+    std::mutex streams_mutex_;
+    std::uint64_t next_stream_ = 0;
+    std::map<std::uint64_t, std::shared_ptr<StreamEntry>> streams_;
 
     /** Per-job workload identities (guarded by identity_mutex_). */
     std::mutex identity_mutex_;

@@ -1,0 +1,303 @@
+#include "service/stream.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "batch/error.hh"
+#include "batch/plan.hh"
+#include "checkpoint/livepoint.hh"
+#include "workload/endian.hh"
+#include "workload/trace_io.hh"
+
+namespace delorean::service
+{
+
+namespace le = workload::le;
+using workload::TraceFormat;
+
+namespace
+{
+
+/**
+ * Parse and vet the STREAM-OPEN directives. Everything a session
+ * fatal_if()s on — a non-exact confidence, an invalid schedule or
+ * hierarchy — must be rejected here with an exception: the directives
+ * come from a peer, and fatal() takes the whole service down. The
+ * directive parser already surfaces schedule/geometry/confidence-range
+ * problems as BatchError; the stream-specific shape checks live here.
+ */
+core::DeloreanConfig
+streamConfig(std::uint64_t id, const std::string &directives,
+             unsigned host_threads)
+{
+    batch::ManifestDirectives d;
+    try {
+        d = batch::parseDirectivesText(
+            directives, "stream-" + std::to_string(id));
+    } catch (const batch::BatchError &e) {
+        throw ServiceError(e.what());
+    }
+    if (!d.workloads.empty())
+        throw ServiceError(
+            "STREAM-OPEN: directives must not name a workload; the "
+            "workload is the streamed trace itself");
+    if (d.configs.size() != 1)
+        throw ServiceError("STREAM-OPEN: a stream runs exactly one "
+                           "config (got " +
+                           std::to_string(d.configs.size()) + ")");
+    if (d.schedules.size() != 1)
+        throw ServiceError("STREAM-OPEN: a stream runs exactly one "
+                           "schedule (got " +
+                           std::to_string(d.schedules.size()) + ")");
+    if (d.methods.size() > 1 ||
+        (d.methods.size() == 1 && d.methods[0] != "delorean"))
+        throw ServiceError(
+            "STREAM-OPEN: only the delorean method can run "
+            "incrementally over a stream");
+
+    core::DeloreanConfig config = d.configs[0].config;
+    config.schedule = d.schedules[0].schedule;
+    if (config.confidence > 0.0)
+        throw ServiceError(
+            "STREAM-OPEN: confidence-driven early stopping replays "
+            "shuffled windows and needs the whole trace up front; "
+            "streams require exact mode (confidence=0)");
+    config.host_threads = host_threads == 0 ? 1 : host_threads;
+    return config;
+}
+
+} // namespace
+
+TraceStream::TraceStream(std::uint64_t id, std::string spool_path,
+                         const std::string &directives,
+                         unsigned host_threads)
+    : id_(id),
+      spool_path_(std::move(spool_path)),
+      directives_(directives),
+      config_(streamConfig(id, directives, host_threads)),
+      out_(spool_path_, std::ios::binary | std::ios::trunc),
+      session_(config_)
+{
+    if (!out_)
+        throw ServiceError("stream " + std::to_string(id_) +
+                           ": cannot create spool file '" +
+                           spool_path_ + "'");
+}
+
+TraceStream::~TraceStream()
+{
+    out_.close();
+    std::remove(spool_path_.c_str());
+}
+
+namespace
+{
+
+std::string
+streamErr(std::uint64_t id)
+{
+    return "stream " + std::to_string(id) + ": ";
+}
+
+} // namespace
+
+void
+TraceStream::parseHeader()
+{
+    if (pending_.size() < TraceFormat::header_size)
+        return;
+    const auto *p =
+        reinterpret_cast<const std::uint8_t *>(pending_.data());
+    if (std::memcmp(p, TraceFormat::magic.data(), 8) != 0)
+        throw ServiceError(streamErr(id_) +
+                           "bad trace magic (want DLRNTRC1)");
+    if (le::getU32(p + 8) != TraceFormat::version)
+        throw ServiceError(streamErr(id_) +
+                           "unsupported trace version " +
+                           std::to_string(le::getU32(p + 8)));
+    if (le::getU32(p + 12) != TraceFormat::record_size)
+        throw ServiceError(streamErr(id_) + "unsupported record size " +
+                           std::to_string(le::getU32(p + 12)));
+    if (le::getU32(p + 24) != 0)
+        throw ServiceError(streamErr(id_) +
+                           "reserved header bytes set");
+    const std::uint32_t name_len = le::getU32(p + 28);
+    if (name_len > TraceFormat::max_name_len)
+        throw ServiceError(streamErr(id_) + "trace name length " +
+                           std::to_string(name_len) + " exceeds " +
+                           std::to_string(TraceFormat::max_name_len));
+
+    declared_ = le::getU64(p + 16);
+    const std::uint64_t need = config_.schedule.totalInstructions();
+    if (declared_ < need)
+        throw ServiceError(
+            streamErr(id_) + "trace declares " +
+            std::to_string(declared_) + " records; the schedule "
+            "spans " + std::to_string(need));
+    if (declared_ >
+            (protocol::max_stream - TraceFormat::header_size -
+             name_len) / TraceFormat::record_size)
+        throw ServiceError(streamErr(id_) +
+                           "declared trace size exceeds the " +
+                           std::to_string(protocol::max_stream) +
+                           "-byte stream limit");
+
+    header_bytes_ = TraceFormat::header_size + name_len;
+    if (pending_.size() < header_bytes_)
+        return;
+    out_.write(pending_.data(), std::streamsize(header_bytes_));
+    if (!out_)
+        throw ServiceError(streamErr(id_) + "spool write failed");
+    pending_.erase(0, header_bytes_);
+    header_done_ = true;
+}
+
+void
+TraceStream::spoolRecords()
+{
+    const std::uint64_t remaining = declared_ - records_;
+    if (pending_.size() > remaining * TraceFormat::record_size)
+        throw ServiceError(
+            streamErr(id_) + "overflow: bytes past the " +
+            std::to_string(declared_) + " records the header declared");
+    const std::uint64_t complete =
+        pending_.size() / TraceFormat::record_size;
+    if (complete == 0)
+        return;
+    const std::size_t n =
+        std::size_t(complete * TraceFormat::record_size);
+    out_.write(pending_.data(), std::streamsize(n));
+    if (!out_)
+        throw ServiceError(streamErr(id_) + "spool write failed");
+    pending_.erase(0, n);
+    records_ += complete;
+}
+
+void
+TraceStream::feedReady()
+{
+    if (!header_done_)
+        return;
+    const auto &sched = config_.schedule;
+    // Window r only reads the trace up to regionEnd(r) = spacing *
+    // (r+1), so it becomes feedable the moment that many records are
+    // spooled (core/session.hh).
+    const std::uint64_t feedable = std::min<std::uint64_t>(
+        sched.num_regions, records_ / sched.spacing);
+    const unsigned fed = session_.windowsFed();
+    if (feedable <= fed)
+        return;
+    // TraceReader insists the file size matches the header count
+    // exactly, so present the spool as a (valid) trace of precisely
+    // the records received so far.
+    patchHeaderCount(records_);
+    workload::FileTrace trace(spool_path_);
+    session_.feedWindows(trace, unsigned(feedable) - fed);
+}
+
+void
+TraceStream::patchHeaderCount(std::uint64_t count)
+{
+    std::uint8_t buf[8];
+    le::putU64(buf, count);
+    out_.seekp(16);
+    out_.write(reinterpret_cast<const char *>(buf), sizeof(buf));
+    out_.seekp(0, std::ios::end);
+    out_.flush();
+    if (!out_)
+        throw ServiceError(streamErr(id_) + "spool write failed");
+}
+
+TraceStream::AppendInfo
+TraceStream::append(const std::string &bytes)
+{
+    received_ += bytes.size();
+    if (received_ > protocol::max_stream)
+        throw ServiceError(streamErr(id_) + "stream exceeds the " +
+                           std::to_string(protocol::max_stream) +
+                           "-byte limit");
+    pending_ += bytes;
+    if (!header_done_)
+        parseHeader();
+    if (header_done_)
+        spoolRecords();
+    feedReady();
+
+    AppendInfo info;
+    info.received = received_;
+    info.records = records_;
+    info.windows_fed = session_.windowsFed();
+    return info;
+}
+
+TraceStream::CloseInfo
+TraceStream::close()
+{
+    if (!header_done_)
+        throw ServiceError(streamErr(id_) +
+                           "closed before a complete trace header");
+    if (!pending_.empty())
+        throw ServiceError(streamErr(id_) + "closed mid-record (" +
+                           std::to_string(pending_.size()) +
+                           " dangling bytes)");
+    if (records_ != declared_)
+        throw ServiceError(streamErr(id_) + "closed after " +
+                           std::to_string(records_) + " of " +
+                           std::to_string(declared_) +
+                           " declared records");
+
+    // Restore the declared count: the spool is now byte-identical to
+    // the trace the client streamed, which is what makes the content
+    // key below equal an offline run's key for the original file.
+    patchHeaderCount(declared_);
+    feedReady();
+
+    CloseInfo info;
+    info.result = session_.finish();
+    info.windows = session_.windowsFed();
+
+    std::string manifest = directives_;
+    if (!manifest.empty() && manifest.back() != '\n')
+        manifest += '\n';
+    manifest += "workload file:" + spool_path_ + "\n";
+    try {
+        const batch::BatchPlan plan = batch::BatchPlan::fromManifestText(
+            manifest, "stream-" + std::to_string(id_));
+        info.key = plan.cells().at(0).key;
+    } catch (const batch::BatchError &e) {
+        throw ServiceError(streamErr(id_) + e.what());
+    }
+
+    if (!config_.livepoint_file.empty()) {
+        // The live-point key hashes the workload's *content* identity,
+        // so warm state recorded against the spool resumes cleanly
+        // against any byte-identical copy of the trace.
+        try {
+            checkpoint::writeLivePointFile(
+                config_.livepoint_file,
+                checkpoint::sessionLivePoints(
+                    session_, "file:" + spool_path_));
+        } catch (const checkpoint::CheckpointError &e) {
+            throw ServiceError(streamErr(id_) + e.what());
+        }
+    }
+    return info;
+}
+
+std::string
+TraceStream::statusLine() const
+{
+    const core::SessionEstimate est = session_.estimate();
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "stream=%llu records=%llu windows_fed=%u "
+                  "windows_total=%u est_cpi=%.17g ci_error=%.17g\n",
+                  static_cast<unsigned long long>(id_),
+                  static_cast<unsigned long long>(records_),
+                  est.windows_fed, est.windows_total, est.mean_cpi,
+                  est.ci_error);
+    return buf;
+}
+
+} // namespace delorean::service

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * TraceStream: one TRACE-STREAM ingestion in the batch service.
+ *
+ * A client opens a stream with batch-manifest directives (config/
+ * schedule/methods — no workload line: the workload is the trace
+ * being streamed), then appends the raw bytes of a DLRNTRC1 trace in
+ * arbitrary chunks. The stream spools the bytes to a trace file and,
+ * whenever enough complete records exist for the next schedule
+ * window(s) — window r only ever reads the trace up to regionEnd(r) =
+ * spacing * (r + 1), see core/session.hh — feeds them to a resumable
+ * DeloreanSession. STATUS polls between appends return the running
+ * CPI estimate, whose 95% confidence half-width tightens as windows
+ * arrive without ever changing the final result.
+ *
+ * Closing requires exactly the bytes the stream's own DLRNTRC1 header
+ * declared (a mid-record tail or a shortfall is an error and leaves
+ * the stream open). At that point the spool file is byte-identical to
+ * the trace the client read, so the cell's content key — computed by
+ * expanding the open directives plus a workload line naming the spool
+ * — equals the key an offline `batch_run` computes for the original
+ * file (workload identity is content, not path), and the cached final
+ * MethodResult is bit-identical to the offline run over the same
+ * bytes (pinned by tests/test_service.cc and the CI stream-smoke
+ * job).
+ *
+ * Everything a peer controls is validated with ServiceError before it
+ * can reach a fatal() path: the directives must describe exactly one
+ * exact-mode delorean cell, the header must be a well-formed DLRNTRC1
+ * header long enough for the schedule, and record bytes past the
+ * declared count are an overflow error. A TraceError from garbage
+ * record bytes surfaces on the append that feeds the poisoned window;
+ * the service then discards the stream.
+ */
+
+#ifndef DELOREAN_SERVICE_STREAM_HH
+#define DELOREAN_SERVICE_STREAM_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "batch/cache_key.hh"
+#include "core/session.hh"
+#include "service/protocol.hh"
+
+namespace delorean::service
+{
+
+class TraceStream
+{
+  public:
+    /**
+     * Open a stream: parse and validate @p directives (see above) and
+     * create the spool file at @p spool_path. @p host_threads fans
+     * each feed's windows out (ServiceConfig::stream_threads);
+     * results are bit-identical for every value. Throws ServiceError
+     * (or BatchError from the directive parser) on invalid input.
+     */
+    TraceStream(std::uint64_t id, std::string spool_path,
+                const std::string &directives, unsigned host_threads);
+
+    /** Removes the spool file. */
+    ~TraceStream();
+
+    TraceStream(const TraceStream &) = delete;
+    TraceStream &operator=(const TraceStream &) = delete;
+
+    struct AppendInfo
+    {
+        std::uint64_t received = 0; //!< total stream bytes so far
+        std::uint64_t records = 0;  //!< complete records spooled
+        unsigned windows_fed = 0;   //!< schedule windows analyzed
+    };
+
+    /**
+     * Ingest the next chunk — any split, including mid-header and
+     * mid-record — and feed every window whose bytes are now
+     * complete. Throws ServiceError on malformed headers or overflow
+     * past the declared record count, TraceError on garbage records.
+     */
+    AppendInfo append(const std::string &bytes);
+
+    struct CloseInfo
+    {
+        batch::CacheKey key;       //!< the cell's content cache key
+        sampling::MethodResult result;
+        unsigned windows = 0;
+    };
+
+    /**
+     * Finish the stream: requires every declared record (and no
+     * partial tail), feeds any remaining windows, restores the
+     * spooled header's declared count, and assembles the final
+     * result + its offline-equal content key. When the open
+     * directives named a livepoints= file, the session's warm state
+     * is also persisted there (DLRNLVP1). Throws ServiceError if the
+     * stream is incomplete — it stays open for further appends.
+     */
+    CloseInfo close();
+
+    /** One "stream=<id> ... ci_error=...\n" line for STATUS polls. */
+    std::string statusLine() const;
+
+    std::uint64_t id() const { return id_; }
+
+  private:
+    /** Try to complete header parsing from pending_. */
+    void parseHeader();
+
+    /** Move complete records from pending_ to the spool file. */
+    void spoolRecords();
+
+    /** Feed every window whose trace bytes are complete. */
+    void feedReady();
+
+    /** Patch the spooled header's inst_count field to @p count. */
+    void patchHeaderCount(std::uint64_t count);
+
+    std::uint64_t id_;
+    std::string spool_path_;
+    std::string directives_;
+    core::DeloreanConfig config_;
+
+    std::ofstream out_;
+    std::string pending_;          //!< bytes not yet spooled
+    bool header_done_ = false;
+    std::uint64_t header_bytes_ = 0;   //!< fixed header + name length
+    std::uint64_t declared_ = 0;       //!< header's inst_count
+    std::uint64_t records_ = 0;        //!< complete records spooled
+    std::uint64_t received_ = 0;       //!< total bytes ingested
+    core::DeloreanSession session_;
+};
+
+} // namespace delorean::service
+
+#endif // DELOREAN_SERVICE_STREAM_HH

@@ -24,6 +24,15 @@
  * (exact eviction boundary, concurrent same-priority submits,
  * close() racing an in-flight completion), and the capped
  * exponential poll backoff.
+ *
+ * Streaming warming (TRACE-STREAM, src/service/stream.hh): the
+ * streamed-equals-offline pin — a recorded trace streamed at several
+ * chunk boundaries (mid-header, mid-record, mid-window; serial and
+ * stream_threads=3) closes to a MethodResult bit-identical to the
+ * offline run, under the offline content key — plus an abuse suite
+ * (corrupt ids, bad headers, overflow, mid-record close, append after
+ * close) where every case is an error reply and the service stays
+ * fully usable.
  */
 
 #include <gtest/gtest.h>
@@ -148,7 +157,8 @@ struct ServiceFixture
     std::unique_ptr<BatchService> service;
     std::thread runner;
 
-    explicit ServiceFixture(bool with_spool = false)
+    explicit ServiceFixture(bool with_spool = false,
+                            unsigned stream_threads = 1)
     {
         std::filesystem::create_directories(root.path);
         config.socket_path = root.path + "/srv.sock";
@@ -156,6 +166,7 @@ struct ServiceFixture
         if (with_spool)
             config.spool_dir = root.path + "/spool";
         config.threads = 2;
+        config.stream_threads = stream_threads;
         config.poll_ms = 20; // fast spool polls keep tests snappy
         service = std::make_unique<BatchService>(config);
         runner = std::thread([this] { service->run(); });
@@ -269,6 +280,40 @@ TEST(Protocol, RejectsMalformedFrames)
         pair.fds[0] = -1;
         EXPECT_THROW((void)proto::readReply(pair.fds[1]),
                      ServiceError);
+    }
+}
+
+std::string rawFrame(std::uint32_t code, const std::string &body);
+
+// Regression: a clean EOF *between* frames is only a benign hangup
+// before the first frame. Once status_part chunks of a multi-frame
+// reply have arrived, the terminator never coming means the body is
+// truncated — that must surface as a ServiceError carrying the
+// frames-so-far count, never as a silently short reply.
+TEST(Protocol, CleanEofDuringPartialReplyIsTruncationError)
+{
+    for (const std::size_t parts : {std::size_t(1), std::size_t(2)}) {
+        FdPair pair;
+        for (std::size_t p = 0; p < parts; ++p) {
+            const std::string frame =
+                rawFrame(proto::status_part, "chunk");
+            proto::writeAll(pair.fds[0], frame.data(), frame.size());
+        }
+        ::close(pair.fds[0]);
+        pair.fds[0] = -1;
+        try {
+            (void)proto::readReply(pair.fds[1]);
+            FAIL() << "expected ServiceError after " << parts
+                   << " partial frames";
+        } catch (const ServiceError &e) {
+            const std::string what = e.what();
+            EXPECT_NE(what.find("mid-reassembly"), std::string::npos)
+                << what;
+            EXPECT_NE(what.find(std::to_string(parts) +
+                                " partial frame"),
+                      std::string::npos)
+                << what;
+        }
     }
 }
 
@@ -728,6 +773,202 @@ TEST(Service, ErrorRepliesForBadRequests)
     ::close(fd);
 }
 
+// ------------------------------------------------------ trace streaming
+
+/** The stream directives matching tiny_manifest minus its workload. */
+constexpr const char *stream_directives =
+    "config c llc=2MiB\n"
+    "schedule s spacing=200000 regions=2\n"
+    "methods delorean\n";
+
+/** Record @p insts of bzip2 to @p path, return the file's raw bytes. */
+std::string
+recordTraceBytes(const std::string &path, std::uint64_t insts)
+{
+    auto source = workload::makeTrace("spec:bzip2");
+    workload::recordTrace(*source, insts, path);
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    return buffer.str();
+}
+
+// The tentpole acceptance pin: streaming a recorded trace in chunks —
+// cut mid-header, mid-record, and mid-window — produces a final
+// MethodResult bit-identical (operator==, doubles bitwise) to an
+// offline DeloreanMethod run of the same file, cached under the very
+// key an offline plan expansion computes. Checked serially and with
+// stream_threads=3 (window fan-out must not change any bit).
+TEST(Stream, StreamedEqualsOfflineAcrossChunkSplits)
+{
+    TempPath trace("stream_trace");
+    const std::string bytes = recordTraceBytes(trace.path, 400000);
+    const std::string plan_text =
+        "workload file:" + trace.path + "\n" + stream_directives;
+    const auto plan = tinyPlan(plan_text.c_str());
+    ASSERT_EQ(plan.cells().size(), 1u);
+    const auto golden = batch::BatchRunner::runCell(plan.cells()[0]);
+
+    // Record layout: 32-byte fixed header + name, then 32-byte
+    // records. All cut positions below are deliberately unaligned.
+    const std::size_t records_at = bytes.size() - 400000ull * 32;
+    const std::vector<std::vector<std::size_t>> splits = {
+        // Mid-header: the fixed header itself arrives in two pieces.
+        {13},
+        // Mid-record inside window 1, rest in one piece.
+        {records_at + 17},
+        // Window boundary + 5 bytes (mid-record), then mid-window-2.
+        {records_at + 200000ull * 32 + 5, records_at + 300000ull * 32},
+        // Byte-count thirds: both cuts land mid-record, mid-window.
+        {bytes.size() / 3, 2 * bytes.size() / 3},
+    };
+
+    for (const unsigned threads : {1u, 3u}) {
+        for (std::size_t s = 0; s < splits.size(); ++s) {
+            // A fresh fixture per split: every run must produce (not
+            // merely fetch) its result, so a drifting split could
+            // never hide behind an earlier run's cache entry.
+            ServiceFixture fixture(false, threads);
+            ServiceClient client(fixture.config.socket_path);
+            const std::uint64_t id =
+                client.streamOpen(stream_directives);
+
+            std::size_t at = 0;
+            unsigned last_fed = 0;
+            for (const std::size_t cut : splits[s]) {
+                ASSERT_LT(at, cut);
+                const auto info = client.streamAppend(
+                    id, bytes.substr(at, cut - at));
+                EXPECT_EQ(info.received, cut);
+                EXPECT_GE(info.windows_fed, last_fed);
+                last_fed = info.windows_fed;
+                const auto st = client.streamStatus(id);
+                EXPECT_EQ(st.windows_fed, last_fed);
+                EXPECT_EQ(st.windows_total, 2u);
+                at = cut;
+            }
+            client.streamAppend(id, bytes.substr(at));
+
+            const auto closed = client.streamClose(id);
+            EXPECT_EQ(closed.windows, 2u)
+                << "split " << s << " threads " << threads;
+            // The content key equals the offline plan's cell key...
+            EXPECT_EQ(closed.key, plan.cells()[0].key);
+            // ...and the cached result is bit-identical to the
+            // offline run over the same bytes.
+            EXPECT_EQ(client.result(closed.key), golden)
+                << "split " << s << " threads " << threads;
+
+            // The stream is gone: further appends are an error.
+            EXPECT_THROW((void)client.streamAppend(id, "x"),
+                         ServiceError);
+        }
+    }
+}
+
+TEST(Stream, AbusiveStreamsErrorCleanlyAndReclaimState)
+{
+    // One window is enough to exercise every failure path cheaply:
+    // spacing just over the region+warming floor keeps the trace and
+    // the (single) window feed small.
+    constexpr const char *directives =
+        "config c llc=2MiB\n"
+        "schedule s spacing=41000 regions=1\n";
+    TempPath trace("abuse_trace");
+    const std::string bytes = recordTraceBytes(trace.path, 41000);
+
+    ServiceFixture fixture;
+    ServiceClient client(fixture.config.socket_path);
+
+    // Unknown / corrupt stream ids.
+    EXPECT_THROW((void)client.streamAppend(999, "x"), ServiceError);
+    EXPECT_THROW((void)client.streamStatus(999), ServiceError);
+    EXPECT_THROW((void)client.streamClose(999), ServiceError);
+    {
+        const int fd = connectToServer(fixture.config.socket_path);
+        for (const char *body :
+             {"stream=-1", "stream=abc", "stream=", "strea",
+              "stream=1x"}) {
+            proto::Request request;
+            request.op = proto::Opcode::StreamClose;
+            request.body = body;
+            proto::writeRequest(fd, request);
+            EXPECT_FALSE(proto::readReply(fd).ok) << body;
+        }
+        // STREAM-APPEND with no id line at all.
+        proto::Request request;
+        request.op = proto::Opcode::StreamAppend;
+        request.body = "no newline anywhere";
+        proto::writeRequest(fd, request);
+        EXPECT_FALSE(proto::readReply(fd).ok);
+        ::close(fd);
+    }
+
+    // Directives the session layer would fatal() on must be rejected
+    // as error replies at open.
+    EXPECT_THROW((void)client.streamOpen("workload bzip2\n"),
+                 ServiceError);
+    EXPECT_THROW((void)client.streamOpen("config c confidence=95\n"),
+                 ServiceError);
+    EXPECT_THROW((void)client.streamOpen("methods smarts\n"),
+                 ServiceError);
+    EXPECT_THROW((void)client.streamOpen("gibberish line\n"),
+                 ServiceError);
+
+    // Garbage header bytes poison the stream: the append errors and
+    // the id is reclaimed.
+    {
+        const std::uint64_t id = client.streamOpen(directives);
+        EXPECT_THROW((void)client.streamAppend(id, std::string(64, 'Z')),
+                     ServiceError);
+        EXPECT_THROW((void)client.streamStatus(id), ServiceError);
+    }
+
+    // A header declaring fewer records than the schedule needs.
+    {
+        const std::uint64_t id = client.streamOpen(directives);
+        std::string small = bytes;
+        workload::le::putU64(
+            reinterpret_cast<std::uint8_t *>(small.data()) + 16, 7);
+        EXPECT_THROW((void)client.streamAppend(id, small),
+                     ServiceError);
+    }
+
+    // Overflow: bytes past the declared record count, delivered in
+    // one oversized append. Must error before any window feed.
+    {
+        const std::uint64_t id = client.streamOpen(directives);
+        EXPECT_THROW((void)client.streamAppend(
+                         id, bytes + std::string(32, '\0')),
+                     ServiceError);
+        EXPECT_THROW((void)client.streamStatus(id), ServiceError);
+    }
+
+    // Mid-record tail at close: the close errors but the stream stays
+    // open, and completing the record lets it close cleanly.
+    {
+        const std::uint64_t id = client.streamOpen(directives);
+        client.streamAppend(id, bytes.substr(0, bytes.size() - 13));
+        EXPECT_THROW((void)client.streamClose(id), ServiceError);
+        const auto st = client.streamStatus(id); // still alive
+        EXPECT_EQ(st.windows_total, 1u);
+        client.streamAppend(id, bytes.substr(bytes.size() - 13));
+        const auto closed = client.streamClose(id);
+        EXPECT_EQ(closed.windows, 1u);
+        // Append after close: the id no longer exists.
+        EXPECT_THROW((void)client.streamAppend(id, "x"), ServiceError);
+        EXPECT_THROW((void)client.streamClose(id), ServiceError);
+    }
+
+    // After all that abuse the service still runs normal work: no
+    // leaked state, no poisoned connection slots.
+    const auto info = client.submit(tiny_manifest);
+    ServiceFixture::waitFor([&] { return client.jobDone(info.job); },
+                            "job after stream abuse");
+    EXPECT_NE(client.jobStatus(info.job).find("state=done"),
+              std::string::npos);
+}
+
 // --------------------------------------------- malformed server replies
 
 /**
@@ -871,9 +1112,13 @@ TEST(ProtocolFuzz, CorruptFramesAlwaysThrowNeverCrash)
 
     for (int i = 0; i < 640; ++i) {
         const bool fuzz_request = (rng.next() & 1) != 0;
-        // A random but structurally valid starting frame.
+        // A random but structurally valid starting frame (every
+        // client-originated opcode, including the TRACE-STREAM trio).
+        static constexpr std::uint32_t request_codes[] = {
+            1, 2, 3, 4, 5, 6, 7, 8, 11, 12, 13};
         const std::uint32_t good_code =
-            fuzz_request ? 1 + std::uint32_t(rng.next() % 8)
+            fuzz_request ? request_codes[rng.next() %
+                                         std::size(request_codes)]
                          : std::uint32_t(rng.next() % 3);
         std::string body(rng.next() % 48, '\0');
         for (auto &c : body)
@@ -905,10 +1150,10 @@ TEST(ProtocolFuzz, CorruptFramesAlwaysThrowNeverCrash)
             break;
           }
           case BadCode: {
-            // Requests: opcodes past RESULT-END are unknown. Replies:
-            // statuses past status_part are unknown.
+            // Requests: opcodes past STREAM-CLOSE are unknown.
+            // Replies: statuses past status_part are unknown.
             const std::uint32_t bad =
-                (fuzz_request ? 11 : 3) +
+                (fuzz_request ? 14 : 3) +
                 std::uint32_t(rng.next() % 100000);
             workload::le::putU32(
                 reinterpret_cast<std::uint8_t *>(frame.data()) + 8,

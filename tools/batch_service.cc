@@ -17,6 +17,8 @@
  *   batch_service status   --socket S [--job ID]
  *   batch_service result   <manifest> --socket S [--timings]
  *   batch_service result-raw <key-hex> --socket S [--out FILE]
+ *   batch_service stream   <trace.dlt> --socket S [--plan FILE]
+ *                          [--chunks N]
  *   batch_service stats    --socket S
  *   batch_service shutdown --socket S
  *
@@ -43,11 +45,22 @@
  * `submit --wait` polls the job until it completes and exits non-zero
  * if any cell failed, so shell pipelines can treat the service like a
  * blocking runner.
+ *
+ * `stream` feeds a recorded DLRNTRC1 trace to the service over the
+ * TRACE-STREAM opcodes in --chunks pieces (cut by byte count, so cuts
+ * land mid-record and mid-window — the wire format is chunking-
+ * agnostic), printing the running estimate after every chunk and the
+ * final cache key on close. `--plan FILE` supplies manifest directives
+ * (config/schedule lines only, no workload); feed the key to
+ * `result-raw`, or run `result` with a manifest naming the original
+ * trace file — the streamed result is cached under the same content
+ * key an offline run of that file produces.
  */
 
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -80,6 +93,7 @@ usage()
         stderr,
         "usage: batch_service serve    [--socket S] [--spool DIR]\n"
         "                              [--cache-dir D] [--threads T]\n"
+        "                              [--stream-threads T]\n"
         "                              [--poll-ms M] [--daemon]\n"
         "                              [--log FILE] [--quiet]\n"
         "                              [--worker COORD_SOCK"
@@ -97,6 +111,8 @@ usage()
         " [--timings]\n"
         "       batch_service result-raw <key-hex> --socket S"
         " [--out F]\n"
+        "       batch_service stream   <trace.dlt> --socket S\n"
+        "                              [--plan FILE] [--chunks N]\n"
         "       batch_service stats    --socket S\n"
         "       batch_service shutdown --socket S\n");
     std::exit(1);
@@ -119,6 +135,8 @@ struct CliOptions
     unsigned lease_ms = 10000;
     unsigned quota = 64;
     unsigned max_ready = 100000;
+    std::string plan_file; //!< stream: manifest directives
+    unsigned chunks = 3;   //!< stream: append pieces
 };
 
 unsigned
@@ -163,6 +181,13 @@ parseCli(int argc, char **argv, int first)
             cli.quota = parseUnsigned(next(), "--quota");
         } else if (arg == "--max-ready") {
             cli.max_ready = parseUnsigned(next(), "--max-ready");
+        } else if (arg == "--stream-threads") {
+            cli.service.stream_threads =
+                parseUnsigned(next(), "--stream-threads");
+        } else if (arg == "--plan") {
+            cli.plan_file = next();
+        } else if (arg == "--chunks") {
+            cli.chunks = parseUnsigned(next(), "--chunks");
         } else if (arg == "--priority") {
             cli.priority = parseUnsigned(next(), "--priority");
         } else if (arg == "--job") {
@@ -376,6 +401,50 @@ cmdResultRaw(const CliOptions &cli)
 }
 
 int
+cmdStream(const CliOptions &cli)
+{
+    fatal_if(cli.positional.empty(), "stream: missing trace path");
+    std::ifstream is(cli.positional, std::ios::binary);
+    fatal_if(!is, "cannot open trace '%s'", cli.positional.c_str());
+    std::ostringstream buffer;
+    buffer << is.rdbuf();
+    const std::string bytes = buffer.str();
+    fatal_if(bytes.empty(), "trace '%s' is empty",
+             cli.positional.c_str());
+
+    const std::string directives =
+        cli.plan_file.empty() ? "" : readManifestFile(cli.plan_file);
+    const unsigned chunks = cli.chunks == 0 ? 1 : cli.chunks;
+
+    ServiceClient client(cli.service.socket_path);
+    const std::uint64_t id = client.streamOpen(directives);
+    std::printf("stream=%llu bytes=%zu chunks=%u\n",
+                (unsigned long long)id, bytes.size(), chunks);
+
+    // Chunk boundaries by plain byte arithmetic: they land mid-record
+    // and mid-window, which the stream must (and does) absorb. Each
+    // chunk still respects the 64 MiB frame cap via sub-appends.
+    constexpr std::size_t max_append = 32u << 20;
+    for (unsigned c = 0; c < chunks; ++c) {
+        const std::size_t begin = bytes.size() * c / chunks;
+        const std::size_t end = bytes.size() * (c + 1) / chunks;
+        for (std::size_t at = begin; at < end; at += max_append)
+            client.streamAppend(
+                id, bytes.substr(at, std::min(max_append, end - at)));
+        const auto st = client.streamStatus(id);
+        std::printf("chunk=%u windows_fed=%u windows_total=%u "
+                    "est_cpi=%.17g ci_error=%.17g\n",
+                    c + 1, st.windows_fed, st.windows_total,
+                    st.est_cpi, st.ci_error);
+    }
+
+    const auto info = client.streamClose(id);
+    std::printf("key=%s windows=%u\n", info.key.hex().c_str(),
+                info.windows);
+    return 0;
+}
+
+int
 cmdStats(const CliOptions &cli)
 {
     ServiceClient client(cli.service.socket_path);
@@ -414,6 +483,8 @@ main(int argc, char **argv)
             return cmdResult(cli);
         if (cmd == "result-raw")
             return cmdResultRaw(cli);
+        if (cmd == "stream")
+            return cmdStream(cli);
         if (cmd == "stats")
             return cmdStats(cli);
         if (cmd == "shutdown")
