@@ -7,6 +7,7 @@
 #include "core/parallel.hh"
 #include "core/scout.hh"
 #include "statmodel/assoc_model.hh"
+#include "statmodel/statstack.hh"
 
 namespace delorean::core
 {
@@ -275,6 +276,23 @@ DeloreanSession::feedWarmWindows(
 }
 
 void
+DeloreanSession::feedWarmWindows(const workload::TraceSource &master,
+                                 const std::vector<RegionWarm> &warm)
+{
+    if (warm.empty())
+        return;
+    const unsigned first = windowsFed();
+    const unsigned n = unsigned(warm.size());
+    fatal_if(first + n > windowsTotal(),
+             "DeloreanSession: feeding %u warm windows past the "
+             "%u-region schedule (%u already fed)",
+             n, windowsTotal(), first);
+    sampling::TraceCheckpointer checkpoints(master);
+    checkpoints.prepare(windowPositions(config_, first, n));
+    feedWarmWindows(master, checkpoints, warm);
+}
+
+void
 DeloreanSession::store(RegionWarm warm, RegionAnalysis analysis)
 {
     ci_.add(analysis.stats.cpi());
@@ -291,6 +309,36 @@ DeloreanSession::estimate() const
     est.mean_cpi = ci_.count() > 0 ? ci_.mean() : 0.0;
     est.ci_error =
         ci_.relativeHalfWidth(sampling::zForConfidence(95.0));
+
+    InstCount instructions = 0;
+    Counter llc_misses = 0;
+    for (const auto &a : analyses_) {
+        instructions += a.stats.instructions;
+        llc_misses += a.stats.llcMisses();
+    }
+    est.mpki = instructions > 0
+                   ? 1000.0 * double(llc_misses) / double(instructions)
+                   : 0.0;
+
+    // The MRC rides the same per-window vicinity distributions the
+    // Analyst's capacity classifier uses: merge them and read the
+    // StatStack miss ratio at a spread of cache sizes around the
+    // configured LLC.
+    statmodel::ReuseHistogram merged;
+    for (const auto &w : warm_)
+        merged.merge(w.explored.vicinity);
+    if (!merged.empty()) {
+        const statmodel::StatStack stack(merged);
+        const std::uint64_t llc_size = config_.hier.llc.size;
+        for (const std::uint64_t size :
+             {llc_size / 4, llc_size / 2, llc_size, 2 * llc_size,
+              4 * llc_size}) {
+            if (size < line_size)
+                continue;
+            est.mrc.emplace_back(size,
+                                 stack.missRatio(size / line_size));
+        }
+    }
     return est;
 }
 

@@ -39,7 +39,9 @@
 #ifndef DELOREAN_CORE_SESSION_HH
 #define DELOREAN_CORE_SESSION_HH
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/delorean.hh"
@@ -106,6 +108,18 @@ struct SessionEstimate
      * arrives without ever changing the final result.
      */
     double ci_error = 0.0;
+
+    /** Modeled LLC misses per kilo-instruction over the fed windows. */
+    double mpki = 0.0;
+
+    /**
+     * Running miss-ratio curve: (cache size in bytes, miss ratio)
+     * points from a StatStack model over the fed windows' merged
+     * vicinity reuse distributions, at llc/4 .. 4*llc — the MRC a
+     * STATUS poll publishes alongside the CPI. Empty until a fed
+     * window has vicinity samples.
+     */
+    std::vector<std::pair<std::uint64_t, double>> mrc;
 };
 
 /**
@@ -148,6 +162,15 @@ class DeloreanSession
      */
     void feedWarmWindows(const workload::TraceSource &master,
                          const sampling::TraceCheckpointer &checkpoints,
+                         const std::vector<RegionWarm> &warm);
+
+    /**
+     * Same, but building the checkpoint store internally for just the
+     * resumed windows — the migration path, where a worker loads a
+     * live-point prefix and replays it against a snapshot of the
+     * still-growing spooled trace.
+     */
+    void feedWarmWindows(const workload::TraceSource &master,
                          const std::vector<RegionWarm> &warm);
 
     unsigned windowsFed() const { return unsigned(analyses_.size()); }

@@ -4,6 +4,7 @@
 
 #include <chrono>
 #include <csignal>
+#include <iomanip>
 #include <sstream>
 #include <thread>
 
@@ -35,6 +36,30 @@ splitCommas(const std::string &text)
         start = comma + 1;
     }
     return out;
+}
+
+/** Shared STREAM-HANDOFF ack parse ("committed= stored= discarded="). */
+ServiceClient::StreamHandoffInfo
+parseHandoffReply(const std::string &reply)
+{
+    ServiceClient::StreamHandoffInfo info;
+    std::istringstream is(reply);
+    std::string token;
+    try {
+        while (is >> token) {
+            if (token.rfind("committed=", 0) == 0)
+                info.committed =
+                    unsigned(batch::parseCount(token.substr(10)));
+            else if (token.rfind("stored=", 0) == 0)
+                info.stored = batch::parseCount(token.substr(7));
+            else if (token.rfind("discarded=", 0) == 0)
+                info.discarded = batch::parseCount(token.substr(10));
+        }
+    } catch (const batch::BatchError &e) {
+        throw ServiceError("STREAM-HANDOFF: malformed reply '" + reply +
+                           "': " + e.what());
+    }
+    return info;
 }
 
 } // namespace
@@ -137,35 +162,129 @@ ServiceClient::submit(const std::string &manifest_text,
 }
 
 std::string
-ServiceClient::status()
+ServiceClient::statusText()
 {
     return call(protocol::Opcode::Status, "");
 }
 
-std::string
+ServiceStatus
+ServiceClient::status()
+{
+    const std::string reply = statusText();
+    ServiceStatus info;
+
+    // Line 1 is the counter header; every line after it belongs to a
+    // job record. The header must be parsed on its own because job
+    // records end in a client-controlled name that can embed key=value
+    // lookalikes.
+    const std::size_t eol = reply.find('\n');
+    const std::string header =
+        eol == std::string::npos ? reply : reply.substr(0, eol);
+    std::istringstream is(header);
+    std::string token;
+    try {
+        while (is >> token) {
+            if (token.rfind("jobs=", 0) == 0)
+                info.jobs_submitted =
+                    batch::parseCount(token.substr(5));
+            else if (token.rfind("completed=", 0) == 0)
+                info.jobs_completed =
+                    batch::parseCount(token.substr(10));
+            else if (token.rfind("job_failures=", 0) == 0)
+                info.job_failures = batch::parseCount(token.substr(13));
+            else if (token.rfind("queue_depth=", 0) == 0)
+                info.queue_depth = batch::parseCount(token.substr(12));
+            else if (token.rfind("running=", 0) == 0)
+                info.running = batch::parseCount(token.substr(8));
+            else if (token.rfind("cells_enqueued=", 0) == 0)
+                info.cells_enqueued =
+                    batch::parseCount(token.substr(15));
+            else if (token.rfind("cells_deduped=", 0) == 0)
+                info.cells_deduped =
+                    batch::parseCount(token.substr(14));
+            else if (token.rfind("cells_executed=", 0) == 0)
+                info.cells_executed =
+                    batch::parseCount(token.substr(15));
+            else if (token.rfind("cells_cached=", 0) == 0)
+                info.cells_cached = batch::parseCount(token.substr(13));
+            else if (token.rfind("cells_total=", 0) == 0)
+                info.fleet_stats.cells_total =
+                    batch::parseCount(token.substr(12));
+            else if (token.rfind("units_ready=", 0) == 0) {
+                info.fleet = true;
+                info.fleet_stats.units_ready =
+                    batch::parseCount(token.substr(12));
+            } else if (token.rfind("units_leased=", 0) == 0)
+                info.fleet_stats.units_leased =
+                    batch::parseCount(token.substr(13));
+            else if (token.rfind("leases_granted=", 0) == 0)
+                info.fleet_stats.leases_granted =
+                    batch::parseCount(token.substr(15));
+            else if (token.rfind("leases_expired=", 0) == 0)
+                info.fleet_stats.leases_expired =
+                    batch::parseCount(token.substr(15));
+            else if (token.rfind("streams=", 0) == 0)
+                info.fleet_stats.streams =
+                    batch::parseCount(token.substr(8));
+            else if (token.rfind("stream_leases=", 0) == 0)
+                info.fleet_stats.stream_leases =
+                    batch::parseCount(token.substr(14));
+            else if (token.rfind("stream_windows=", 0) == 0)
+                info.fleet_stats.stream_windows =
+                    batch::parseCount(token.substr(15));
+            else if (token.rfind("streams_finished=", 0) == 0)
+                info.fleet_stats.streams_finished =
+                    batch::parseCount(token.substr(17));
+            else if (token.rfind("streams_failed=", 0) == 0)
+                info.fleet_stats.streams_failed =
+                    batch::parseCount(token.substr(15));
+        }
+    } catch (const batch::BatchError &e) {
+        throw ServiceError("STATUS: malformed reply header '" + header +
+                           "': " + e.what());
+    }
+
+    // Job records: a "job=" line opens one, indented lines (the
+    // "  error:" diagnostic) attach to the open record.
+    std::vector<std::string> records;
+    std::size_t pos = eol == std::string::npos ? reply.size() : eol + 1;
+    while (pos < reply.size()) {
+        const std::size_t next = reply.find('\n', pos);
+        const std::string line =
+            next == std::string::npos ? reply.substr(pos)
+                                      : reply.substr(pos, next - pos);
+        pos = next == std::string::npos ? reply.size() : next + 1;
+        if (line.empty())
+            continue;
+        if (line.rfind("job=", 0) == 0)
+            records.push_back(line + "\n");
+        else if (!records.empty())
+            records.back() += line + "\n";
+        else
+            throw ServiceError("STATUS: unexpected line '" + line +
+                               "'");
+    }
+    info.jobs.reserve(records.size());
+    for (const auto &record : records)
+        info.jobs.push_back(parseJobStatusLine(record));
+    return info;
+}
+
+JobStatus
 ServiceClient::jobStatus(std::uint64_t job)
 {
-    return call(protocol::Opcode::Status, std::to_string(job));
+    return parseJobStatusLine(
+        call(protocol::Opcode::Status, std::to_string(job)));
 }
 
 bool
 ServiceClient::jobDone(std::uint64_t job)
 {
-    // Parse the state *token* instead of substring-searching the whole
-    // line: the trailing name= field echoes a client-controlled job
-    // name, so a manifest called "state=done.plan" would otherwise make
-    // every poll of its still-running job report finished. The first
-    // state= token is the genuine one (name= comes last).
-    const std::string line = jobStatus(job);
-    std::istringstream is(line);
-    std::string token;
-    while (is >> token) {
-        if (token.rfind("state=", 0) == 0) {
-            const std::string state = token.substr(6);
-            return state == "done" || state == "failed";
-        }
-    }
-    throw ServiceError("STATUS: no state in reply '" + line + "'");
+    // The typed parse is what makes this robust: jobs are named by a
+    // client-controlled string, so any substring search over the raw
+    // line would let a manifest called "state=done.plan" make every
+    // poll of its still-running job report finished.
+    return jobStatus(job).complete();
 }
 
 bool
@@ -387,6 +506,22 @@ ServiceClient::streamStatus(std::uint64_t stream)
                 info.est_cpi = batch::parseReal(token.substr(8));
             else if (token.rfind("ci_error=", 0) == 0)
                 info.ci_error = batch::parseReal(token.substr(9));
+            else if (token.rfind("mpki=", 0) == 0)
+                info.mpki = batch::parseReal(token.substr(5));
+            else if (token.rfind("complete=", 0) == 0)
+                info.complete =
+                    batch::parseCount(token.substr(9)) != 0;
+            else if (token.rfind("mrc=", 0) == 0) {
+                for (const auto &point : splitCommas(token.substr(4))) {
+                    const std::size_t colon = point.find(':');
+                    if (colon == std::string::npos)
+                        throw batch::BatchError("mrc point '" + point +
+                                                "' has no ':'");
+                    info.mrc.emplace_back(
+                        batch::parseCount(point.substr(0, colon)),
+                        batch::parseReal(point.substr(colon + 1)));
+                }
+            }
         }
     } catch (const batch::BatchError &e) {
         throw ServiceError("STATUS: malformed stream reply '" + reply +
@@ -396,6 +531,99 @@ ServiceClient::streamStatus(std::uint64_t stream)
         throw ServiceError("STATUS: malformed stream reply '" + reply +
                            "'");
     return info;
+}
+
+ServiceClient::StreamLeaseInfo
+ServiceClient::streamLease(const std::string &worker_name)
+{
+    const std::string body =
+        worker_name.empty() ? "" : "worker=" + worker_name + "\n";
+    const std::string reply =
+        call(protocol::Opcode::StreamLease, body);
+
+    StreamLeaseInfo info;
+    if (reply == "none\n" || reply == "none")
+        return info;
+
+    const std::size_t eol = reply.find('\n');
+    const std::string header =
+        eol == std::string::npos ? reply : reply.substr(0, eol);
+    info.directives =
+        eol == std::string::npos ? "" : reply.substr(eol + 1);
+    bool have_lease = false, have_stream = false, have_to = false;
+    std::istringstream is(header);
+    std::string token;
+    try {
+        while (is >> token) {
+            if (token.rfind("lease=", 0) == 0) {
+                info.lease = batch::parseCount(token.substr(6));
+                have_lease = true;
+            } else if (token.rfind("deadline-ms=", 0) == 0) {
+                info.deadline_ms =
+                    unsigned(batch::parseCount(token.substr(12)));
+            } else if (token.rfind("stream=", 0) == 0) {
+                info.stream = batch::parseCount(token.substr(7));
+                have_stream = true;
+            } else if (token.rfind("from=", 0) == 0) {
+                info.from =
+                    unsigned(batch::parseCount(token.substr(5)));
+            } else if (token.rfind("to=", 0) == 0) {
+                info.to = unsigned(batch::parseCount(token.substr(3)));
+                have_to = true;
+            } else if (token.rfind("finish=", 0) == 0) {
+                info.finish =
+                    batch::parseCount(token.substr(7)) != 0;
+            } else if (token.rfind("records=", 0) == 0) {
+                info.records = batch::parseCount(token.substr(8));
+            } else if (token.rfind("trace=", 0) == 0) {
+                info.trace = token.substr(6);
+            } else if (token.rfind("prefix=", 0) == 0) {
+                info.prefix = token.substr(7);
+            }
+        }
+    } catch (const batch::BatchError &e) {
+        throw ServiceError("STREAM-LEASE: malformed reply header '" +
+                           header + "': " + e.what());
+    }
+    if (!have_lease || !have_stream || !have_to ||
+        info.trace.empty() || info.prefix.empty() ||
+        info.to < info.from)
+        throw ServiceError("STREAM-LEASE: malformed reply header '" +
+                           header + "'");
+    info.idle = false;
+    return info;
+}
+
+ServiceClient::StreamHandoffInfo
+ServiceClient::streamHandoff(std::uint64_t lease, unsigned windows,
+                             const std::string &prefix, double est_cpi,
+                             double ci_error, double mpki,
+                             const std::string &mrc,
+                             const std::string &payload)
+{
+    // %.17g-equivalent precision: the estimates round-trip exactly, so
+    // a migrated stream's STATUS shows the same digits an unmigrated
+    // one would.
+    std::ostringstream os;
+    os << "lease=" << lease << " status=ok windows=" << windows
+       << " prefix=" << (prefix.empty() ? "-" : prefix)
+       << std::setprecision(17) << " est_cpi=" << est_cpi
+       << " ci_error=" << ci_error << " mpki=" << mpki;
+    if (!mrc.empty())
+        os << " mrc=" << mrc;
+    os << "\n" << payload;
+    return parseHandoffReply(
+        call(protocol::Opcode::StreamHandoff, os.str()));
+}
+
+ServiceClient::StreamHandoffInfo
+ServiceClient::streamHandoffError(std::uint64_t lease,
+                                  const std::string &message)
+{
+    const std::string body = "lease=" + std::to_string(lease) +
+                             " status=error\n" + message;
+    return parseHandoffReply(
+        call(protocol::Opcode::StreamHandoff, body));
 }
 
 std::string
@@ -412,9 +640,112 @@ ServiceClient::result(const batch::CacheKey &key)
 }
 
 std::string
-ServiceClient::stats()
+ServiceClient::statsText()
 {
     return call(protocol::Opcode::Stats, "");
+}
+
+ServiceStats
+ServiceClient::stats()
+{
+    const std::string reply = statsText();
+    ServiceStats info;
+    // Unlike STATUS, a STATS reply carries no client-controlled text,
+    // and its key names are unique across both lines — one token scan
+    // over the whole reply covers daemon and coordinator variants.
+    std::istringstream is(reply);
+    std::string token;
+    try {
+        while (is >> token) {
+            if (token.rfind("last_run_executed=", 0) == 0)
+                info.last_run_executed =
+                    batch::parseCount(token.substr(18));
+            else if (token.rfind("last_run_cached=", 0) == 0)
+                info.last_run_cached =
+                    batch::parseCount(token.substr(16));
+            else if (token.rfind("total_executed=", 0) == 0)
+                info.total_executed =
+                    batch::parseCount(token.substr(15));
+            else if (token.rfind("total_cached=", 0) == 0)
+                info.total_cached = batch::parseCount(token.substr(13));
+            else if (token.rfind("jobs=", 0) == 0)
+                info.jobs_submitted =
+                    batch::parseCount(token.substr(5));
+            else if (token.rfind("completed=", 0) == 0)
+                info.jobs_completed =
+                    batch::parseCount(token.substr(10));
+            else if (token.rfind("job_failures=", 0) == 0)
+                info.job_failures = batch::parseCount(token.substr(13));
+            else if (token.rfind("cells_executed=", 0) == 0)
+                info.cells_executed =
+                    batch::parseCount(token.substr(15));
+            else if (token.rfind("cells_cached=", 0) == 0)
+                info.cells_cached = batch::parseCount(token.substr(13));
+            else if (token.rfind("cells_enqueued=", 0) == 0)
+                info.cells_enqueued =
+                    batch::parseCount(token.substr(15));
+            else if (token.rfind("cells_deduped=", 0) == 0)
+                info.cells_deduped =
+                    batch::parseCount(token.substr(14));
+            else if (token.rfind("queue_depth=", 0) == 0)
+                info.queue_depth = batch::parseCount(token.substr(12));
+            else if (token.rfind("running=", 0) == 0)
+                info.running = batch::parseCount(token.substr(8));
+            else if (token.rfind("spool_processed=", 0) == 0)
+                info.spool_processed =
+                    batch::parseCount(token.substr(16));
+            else if (token.rfind("cells_total=", 0) == 0)
+                info.fleet_stats.cells_total =
+                    batch::parseCount(token.substr(12));
+            else if (token.rfind("units_ready=", 0) == 0) {
+                info.fleet = true;
+                info.fleet_stats.units_ready =
+                    batch::parseCount(token.substr(12));
+            } else if (token.rfind("units_leased=", 0) == 0)
+                info.fleet_stats.units_leased =
+                    batch::parseCount(token.substr(13));
+            else if (token.rfind("leases_granted=", 0) == 0)
+                info.fleet_stats.leases_granted =
+                    batch::parseCount(token.substr(15));
+            else if (token.rfind("leases_renewed=", 0) == 0)
+                info.fleet_stats.leases_renewed =
+                    batch::parseCount(token.substr(15));
+            else if (token.rfind("leases_expired=", 0) == 0)
+                info.fleet_stats.leases_expired =
+                    batch::parseCount(token.substr(15));
+            else if (token.rfind("results_stored=", 0) == 0)
+                info.fleet_stats.results_stored =
+                    batch::parseCount(token.substr(15));
+            else if (token.rfind("results_discarded=", 0) == 0)
+                info.fleet_stats.results_discarded =
+                    batch::parseCount(token.substr(18));
+            else if (token.rfind("quota_rejections=", 0) == 0)
+                info.fleet_stats.quota_rejections =
+                    batch::parseCount(token.substr(17));
+            else if (token.rfind("streams=", 0) == 0)
+                info.fleet_stats.streams =
+                    batch::parseCount(token.substr(8));
+            else if (token.rfind("stream_leases=", 0) == 0)
+                info.fleet_stats.stream_leases =
+                    batch::parseCount(token.substr(14));
+            else if (token.rfind("stream_handoffs=", 0) == 0)
+                info.fleet_stats.stream_handoffs =
+                    batch::parseCount(token.substr(16));
+            else if (token.rfind("stream_windows=", 0) == 0)
+                info.fleet_stats.stream_windows =
+                    batch::parseCount(token.substr(15));
+            else if (token.rfind("streams_finished=", 0) == 0)
+                info.fleet_stats.streams_finished =
+                    batch::parseCount(token.substr(17));
+            else if (token.rfind("streams_failed=", 0) == 0)
+                info.fleet_stats.streams_failed =
+                    batch::parseCount(token.substr(15));
+        }
+    } catch (const batch::BatchError &e) {
+        throw ServiceError("STATS: malformed reply '" + reply + "': " +
+                           e.what());
+    }
+    return info;
 }
 
 void

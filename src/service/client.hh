@@ -7,6 +7,15 @@
  * (error replies) and transport failures both surface as ServiceError;
  * the CLI catches them and reports via fatal(), tests assert on them.
  *
+ * Replies are structured `key=value` lines (the grammar is documented
+ * in docs/service.md, "Reply grammar") and every accessor parses them
+ * into a typed struct — status() → ServiceStatus, jobStatus() →
+ * JobStatus, stats() → ServiceStats — so no caller outside the CLI's
+ * display path ever string-matches raw reply text. The CLI renders
+ * the raw text (statusText()/statsText()) because that text *is* the
+ * human-readable format; everything programmatic goes through the
+ * typed structs.
+ *
  * A RESULT fetch parses the server's raw record bytes with the same
  * batch/result_io.hh reader the local cache uses, so the returned
  * MethodResult satisfies operator== against a direct BatchRunner run
@@ -18,14 +27,93 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "batch/cache_key.hh"
 #include "sampling/results.hh"
 #include "service/protocol.hh"
+#include "service/queue.hh"
 
 namespace delorean::service
 {
+
+/**
+ * Fleet-coordinator counters, nested in ServiceStatus/ServiceStats
+ * when the peer is a coordinator (detected by the units_ready= key,
+ * which only coordinators emit). Single-host daemons leave it zeroed.
+ */
+struct FleetStats
+{
+    std::uint64_t cells_total = 0;
+    std::uint64_t units_ready = 0;
+    std::uint64_t units_leased = 0;
+    std::uint64_t leases_granted = 0;
+    std::uint64_t leases_renewed = 0; //!< STATS only
+    std::uint64_t leases_expired = 0;
+    std::uint64_t results_stored = 0;    //!< STATS only
+    std::uint64_t results_discarded = 0; //!< STATS only
+    std::uint64_t quota_rejections = 0;  //!< STATS only
+    std::uint64_t streams = 0;           //!< fleet streams opened
+    std::uint64_t stream_leases = 0;
+    std::uint64_t stream_handoffs = 0; //!< STATS only
+    std::uint64_t stream_windows = 0;  //!< windows committed via handoff
+    std::uint64_t streams_finished = 0;
+    std::uint64_t streams_failed = 0;
+};
+
+/**
+ * Typed global STATUS reply. The daemon and the coordinator share the
+ * job-level counters; the per-process execution counters live on the
+ * daemon side and the lease/stream bookkeeping on the fleet side.
+ */
+struct ServiceStatus
+{
+    bool fleet = false; //!< reply came from a fleet coordinator
+
+    std::uint64_t jobs_submitted = 0;
+    std::uint64_t jobs_completed = 0;
+    std::uint64_t job_failures = 0;
+    std::uint64_t cells_deduped = 0;
+    std::uint64_t cells_cached = 0;
+
+    // Single-host daemon only.
+    std::uint64_t queue_depth = 0;
+    std::uint64_t running = 0;
+    std::uint64_t cells_enqueued = 0;
+    std::uint64_t cells_executed = 0;
+
+    FleetStats fleet_stats; //!< meaningful when fleet
+
+    std::vector<JobStatus> jobs; //!< submission order
+};
+
+/** Typed STATS reply (result-cache + service counters). */
+struct ServiceStats
+{
+    bool fleet = false; //!< reply came from a fleet coordinator
+
+    // Result-cache run counters (batch::ResultCache::stats()).
+    std::uint64_t last_run_executed = 0;
+    std::uint64_t last_run_cached = 0;
+    std::uint64_t total_executed = 0;
+    std::uint64_t total_cached = 0;
+
+    std::uint64_t jobs_submitted = 0;
+    std::uint64_t jobs_completed = 0;
+    std::uint64_t job_failures = 0;
+    std::uint64_t cells_deduped = 0;
+    std::uint64_t cells_cached = 0;
+
+    // Single-host daemon only.
+    std::uint64_t cells_executed = 0;
+    std::uint64_t cells_enqueued = 0;
+    std::uint64_t queue_depth = 0;
+    std::uint64_t running = 0;
+    std::uint64_t spool_processed = 0;
+
+    FleetStats fleet_stats; //!< meaningful when fleet
+};
 
 /**
  * Delay before poll attempt @p attempt (0-based): capped exponential
@@ -84,11 +172,18 @@ class ServiceClient
         const std::string &manifest_text,
         std::uint32_t priority = protocol::default_submit_priority);
 
-    /** Global status text (counters + one line per job). */
-    std::string status();
+    /** Typed global status (counters + one record per job). */
+    ServiceStatus status();
 
-    /** One job's status line; throws ServiceError for unknown ids. */
-    std::string jobStatus(std::uint64_t job);
+    /**
+     * The raw STATUS reply text, for the CLI's display path only —
+     * the server's key=value rendering *is* the human-readable
+     * format. Programmatic callers use status().
+     */
+    std::string statusText();
+
+    /** One job's typed status; throws ServiceError for unknown ids. */
+    JobStatus jobStatus(std::uint64_t job);
 
     /** @return true once the job completed (state done or failed). */
     bool jobDone(std::uint64_t job);
@@ -137,6 +232,11 @@ class ServiceClient
         unsigned windows_total = 0;
         double est_cpi = 0.0;  //!< running mean CPI (0 before data)
         double ci_error = 0.0; //!< 95% relative half-width
+        double mpki = 0.0;     //!< running LLC misses per kilo-inst
+        bool complete = false; //!< every declared record spooled
+        /** Running miss-ratio curve over the fed windows: (cache
+         *  bytes, miss ratio) points, ascending; empty before data. */
+        std::vector<std::pair<std::uint64_t, double>> mrc;
     };
 
     /**
@@ -156,14 +256,62 @@ class ServiceClient
     /** Poll the running estimate of an open stream. */
     StreamStatus streamStatus(std::uint64_t stream);
 
+    /** What STREAM-LEASE came back with (idle == no stream work). */
+    struct StreamLeaseInfo
+    {
+        bool idle = true;
+        std::uint64_t lease = 0;
+        unsigned deadline_ms = 0;
+        std::uint64_t stream = 0;
+        unsigned from = 0;      //!< windows already committed
+        unsigned to = 0;        //!< feed [from, to)
+        bool finish = false;    //!< also produce the final result
+        std::uint64_t records = 0; //!< spooled records safe to read
+        std::string trace;      //!< spool path (shared filesystem)
+        std::string prefix;     //!< committed DLRNLVP1 path, "-" = none
+        std::string directives; //!< the stream's open directives
+    };
+
+    /** What STREAM-HANDOFF came back with. */
+    struct StreamHandoffInfo
+    {
+        unsigned committed = 0;      //!< stream's committed windows now
+        std::uint64_t stored = 0;    //!< handoff won first write
+        std::uint64_t discarded = 0; //!< stale duplicate acked
+    };
+
+    /** Pull one stream work unit from a coordinator (fleet workers). */
+    StreamLeaseInfo streamLease(const std::string &worker_name = "");
+
+    /**
+     * Report a stream lease's outcome. @p prefix is the worker's
+     * DLRNLVP1 file covering windows [0, @p windows) ("-" on a finish
+     * lease, which ships @p payload — the serialized MethodResult —
+     * instead). @p mrc is a pre-rendered formatMrcPoints() token value
+     * (empty = omit).
+     */
+    StreamHandoffInfo streamHandoff(std::uint64_t lease,
+                                    unsigned windows,
+                                    const std::string &prefix,
+                                    double est_cpi, double ci_error,
+                                    double mpki, const std::string &mrc,
+                                    const std::string &payload);
+
+    /** Report a failed stream lease with a diagnostic. */
+    StreamHandoffInfo streamHandoffError(std::uint64_t lease,
+                                         const std::string &message);
+
     /** Raw serialized record bytes for @p key (result_io format). */
     std::string resultBytes(const batch::CacheKey &key);
 
     /** resultBytes parsed back into a MethodResult. */
     sampling::MethodResult result(const batch::CacheKey &key);
 
-    /** Cache + service counter text (docs/service.md). */
-    std::string stats();
+    /** Typed cache + service counters (docs/service.md). */
+    ServiceStats stats();
+
+    /** The raw STATS reply text (CLI display path only). */
+    std::string statsText();
 
     /** Ask the daemon to drain and exit. */
     void shutdown();

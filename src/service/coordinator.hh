@@ -42,6 +42,38 @@
  * quota on in-flight jobs (client = the accepting connection) and a
  * global ready-unit ceiling; both reject with an error reply the
  * client can back off on — backpressure, not disconnection.
+ *
+ * Migrating streams
+ * -----------------
+ *
+ * The coordinator also hosts TRACE-STREAMs, but unlike the local
+ * service it never feeds a session itself: it only spools the bytes
+ * (service/stream.hh TraceSpool) and leases *window ranges* to
+ * workers over two more opcodes (wire formats in protocol.hh):
+ *
+ *   STREAM-LEASE    an idle worker asks for stream work and gets
+ *                   [from, to) windows of some stream, the spool path
+ *                   to read (shared filesystem), the committed warm
+ *                   prefix to resume from (a DLRNLVP1 file, or "-"
+ *                   from window 0), and the open directives.
+ *   STREAM-HANDOFF  the worker returns either a *longer* warm prefix
+ *                   (checkpoint::sessionLivePoints written next to
+ *                   the spool) or, for a finish lease, the final
+ *                   serialized MethodResult.
+ *
+ * Commits are first-write-wins per *window count*: any handoff whose
+ * prefix strictly extends the committed one is validated
+ * (checkpoint::loadPrefixForRun against the stream's own config and
+ * the synthetic spec "stream:<id>") and installed — even from an
+ * expired lease, because a window's warm state is a pure function of
+ * the trace bytes and the config, so duplicates are bit-identical by
+ * construction. A worker that dies mid-lease simply expires; the
+ * stream is re-leased from the last committed prefix and the final
+ * CLOSE result is bit-identical to an unmigrated or offline run over
+ * the same bytes (the content key is computed from the spool, which
+ * stays byte-identical to the streamed trace throughout). CLOSE
+ * blocks (up to close_wait_ms) until a finish handoff lands, then
+ * stores the result under the offline-equal content key.
  */
 
 #ifndef DELOREAN_SERVICE_COORDINATOR_HH
@@ -51,6 +83,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <string>
@@ -61,6 +95,7 @@
 #include "batch/result_cache.hh"
 #include "service/protocol.hh"
 #include "service/queue.hh"
+#include "service/stream.hh"
 
 namespace delorean::service
 {
@@ -76,6 +111,9 @@ struct CoordinatorConfig
     /** Global ceiling on units awaiting a worker; SUBMITs that would
      *  push past it are rejected (backpressure). */
     std::size_t max_ready_units = 100000;
+    /** How long STREAM-CLOSE blocks for the fleet to finish the
+     *  stream before telling the client to retry. */
+    unsigned close_wait_ms = 120000;
     bool verbose = false;
 };
 
@@ -99,10 +137,19 @@ class Coordinator
         std::uint64_t results_stored = 0;  //!< first-write COMPLETEs
         std::uint64_t results_discarded = 0; //!< zombie duplicates
         std::uint64_t quota_rejections = 0;  //!< SUBMITs bounced
+        std::uint64_t streams_opened = 0;
+        std::uint64_t stream_leases = 0;   //!< stream leases granted
+        std::uint64_t stream_handoffs = 0; //!< handoffs received
+        std::uint64_t stream_windows = 0;  //!< windows committed
+        std::uint64_t streams_finished = 0;
+        std::uint64_t streams_failed = 0;
     };
 
     /** Validate the config and open the cache. Throws ServiceError. */
     explicit Coordinator(CoordinatorConfig config);
+
+    /** Reclaims every hosted stream's spool and prefix files. */
+    ~Coordinator();
 
     /**
      * Serve until shutdown: start the socket server and block.
@@ -141,16 +188,54 @@ class Coordinator
         std::uint64_t seq = 0; //!< FIFO tiebreak within a priority
     };
 
+    enum class LeaseKind
+    {
+        Cell,   //!< a work unit of plan cells (LEASE/COMPLETE)
+        Stream, //!< a window range of a hosted stream (STREAM-*)
+    };
+
     struct Lease
     {
         std::uint64_t id = 0;
-        Unit unit;
+        LeaseKind kind = LeaseKind::Cell;
+        Unit unit;          //!< Cell leases only
         std::string worker;
         Clock::time_point deadline;
-        /** Expired and re-queued; retained so a zombie COMPLETE can
-         *  still be interpreted (and discarded or, if it raced the
-         *  re-lease, win the first write). */
+        /** Expired and re-queued; retained so a zombie COMPLETE or
+         *  STREAM-HANDOFF can still be interpreted (and discarded or,
+         *  if it raced the re-lease, win the first write). */
         bool expired = false;
+        /** Stream leases: the leased window range [from, to) of
+         *  stream, and whether the worker should finish() it. */
+        std::uint64_t stream = 0;
+        unsigned from = 0;
+        unsigned to = 0;
+        bool finish = false;
+    };
+
+    /** One coordinator-hosted, fleet-executed stream. */
+    struct FleetStream
+    {
+        std::uint64_t id = 0;
+        std::string directives;
+        core::DeloreanConfig config;
+        std::unique_ptr<TraceSpool> spool;
+        /** Windows covered by the installed warm prefix. */
+        unsigned committed = 0;
+        std::string prefix_path; //!< "<spool>.lvp" once committed > 0
+        bool leased = false;     //!< a window range is out on lease
+        std::uint64_t lease_id = 0;
+        bool closing = false;  //!< CLOSE received; finish lease open
+        bool finished = false; //!< finish handoff landed
+        bool failed = false;
+        std::string error;
+        sampling::MethodResult result; //!< valid once finished
+        unsigned windows = 0;          //!< windows in the result
+        /** Running estimate published by the last accepted handoff. */
+        double est_cpi = 0.0;
+        double ci_error = 0.0;
+        double mpki = 0.0;
+        std::string mrc; //!< formatted "bytes:ratio,..." token value
     };
 
     /** A cell of one job awaiting a pending key's result. */
@@ -177,9 +262,18 @@ class Coordinator
     protocol::Reply handleLease(const std::string &body);
     protocol::Reply handleRenew(const std::string &body);
     protocol::Reply handleComplete(const std::string &body);
+    protocol::Reply handleStreamOpen(const std::string &body);
+    protocol::Reply handleStreamAppend(const std::string &body);
+    protocol::Reply handleStreamClose(const std::string &body);
+    protocol::Reply handleStreamLease(const std::string &body);
+    protocol::Reply handleStreamHandoff(const std::string &body);
 
     /** Re-queue every lease whose deadline has passed (locked). */
     void sweepExpiredLocked(Clock::time_point now);
+
+    /** Retain expired lease @p id for zombie replies, bounded
+     *  (locked). */
+    void retainExpiredLocked(std::uint64_t id);
 
     /** Push @p unit into the ready heap (locked). */
     void enqueueUnitLocked(Unit unit);
@@ -193,6 +287,11 @@ class Coordinator
      *  (locked). */
     void finishJobLocked(JobRec &job);
 
+    /** Remove the stream's committed prefix and any orphaned worker
+     *  prefix files ("<spool>.lvp*"); the spool file itself dies with
+     *  the TraceSpool. */
+    static void removeStreamArtifacts(const FleetStream &stream);
+
     CoordinatorConfig config_;
     batch::ResultCache cache_;
 
@@ -200,6 +299,7 @@ class Coordinator
     std::uint64_t next_job_ = 1;
     std::uint64_t next_lease_ = 1;
     std::uint64_t next_seq_ = 0;
+    std::uint64_t next_stream_ = 0;
     Counters counters_;
 
     std::unordered_map<std::uint64_t, JobRec> jobs_;
@@ -227,6 +327,11 @@ class Coordinator
     /** Expired leases retained for zombie COMPLETEs, oldest first
      *  (bounded; see max_retained_expired in coordinator.cc). */
     std::deque<std::uint64_t> expired_order_;
+
+    /** Hosted streams in id order (stream leases scan in order). */
+    std::map<std::uint64_t, FleetStream> streams_;
+    /** Signals finish/failure handoffs to blocked STREAM-CLOSEs. */
+    std::condition_variable streams_cv_;
 
     std::mutex shutdown_mutex_;
     std::condition_variable shutdown_cv_;

@@ -93,6 +93,10 @@ opcodeName(Opcode op)
         return "STREAM-APPEND";
       case Opcode::StreamClose:
         return "STREAM-CLOSE";
+      case Opcode::StreamLease:
+        return "STREAM-LEASE";
+      case Opcode::StreamHandoff:
+        return "STREAM-HANDOFF";
     }
     return "?";
 }
@@ -219,6 +223,8 @@ readRequest(int fd)
       case Opcode::StreamOpen:
       case Opcode::StreamAppend:
       case Opcode::StreamClose:
+      case Opcode::StreamLease:
+      case Opcode::StreamHandoff:
         break;
       case Opcode::ResultPart:
       case Opcode::ResultEnd:

@@ -82,6 +82,29 @@
  *             same bytes. STATUS with body "stream=<id>" polls the
  *             running estimate of an open stream.
  *
+ * Stream-migration opcodes (fleet-hosted streams; docs/service.md):
+ *
+ *   STREAM-LEASE
+ *             optional "worker=<name>". Ok body: "none\n" when no
+ *             stream has leasable windows, else a header line
+ *             "lease=<id> deadline-ms=<ms> stream=<sid>
+ *             from=<window> to=<window> finish=0|1 records=<n>
+ *             trace=<spool path> prefix=<lvp path or ->\n" followed by
+ *             the stream's directives text. The worker resumes the
+ *             session from the DLRNLVP1 prefix (loadPrefixForRun +
+ *             feedWarmWindows), feeds windows [from, to), and reports
+ *             back via STREAM-HANDOFF.
+ *   STREAM-HANDOFF
+ *             header line "lease=<id> status=ok|error windows=<n>
+ *             prefix=<lvp path or -> est_cpi=<f> ci_error=<f>
+ *             mpki=<f> mrc=<bytes>:<ratio>,...\n" followed by the
+ *             payload: a serialized MethodResult record when the lease
+ *             was a finish lease, the diagnostic text on error, empty
+ *             otherwise. Ok body: "committed=<windows> stored=<0|1>
+ *             discarded=<0|1>\n" — like COMPLETE, a zombie worker's
+ *             duplicate handoff is acked and discarded, never an
+ *             error.
+ *
  * Replies larger than one frame stream the same way in the other
  * direction: writeReply() splits an oversized body into partial
  * frames (status 2, the reply-side RESULT-PART) closed by a final
@@ -164,6 +187,8 @@ enum class Opcode : std::uint32_t
     StreamOpen = 11,
     StreamAppend = 12,
     StreamClose = 13,
+    StreamLease = 14,
+    StreamHandoff = 15,
 };
 
 /**

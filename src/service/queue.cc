@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "batch/error.hh"
 #include "service/protocol.hh"
 
 namespace delorean::service
@@ -40,6 +41,91 @@ jobStatusLine(const JobStatus &status)
     if (!status.first_error.empty())
         os << "  error: " << status.first_error << "\n";
     return os.str();
+}
+
+JobStatus
+parseJobStatusLine(const std::string &text)
+{
+    const std::size_t eol = text.find('\n');
+    std::string line =
+        eol == std::string::npos ? text : text.substr(0, eol);
+
+    JobStatus status;
+    // The name echoes a client-controlled string that may contain
+    // spaces (or even key=value lookalikes), so split it off before
+    // tokenizing: every token ahead of it is space-free, which makes
+    // the *first* " name=" the genuine marker.
+    const std::size_t name_at = line.find(" name=");
+    if (name_at == std::string::npos)
+        throw ServiceError("STATUS: no name= in job line '" + line +
+                           "'");
+    status.name = line.substr(name_at + 6);
+    line.resize(name_at);
+
+    std::string state;
+    bool have_job = false, have_state = false;
+    bool have_cells = false, have_done = false;
+    try {
+        std::istringstream is(line);
+        std::string token;
+        while (is >> token) {
+            if (token.rfind("job=", 0) == 0) {
+                status.id = batch::parseCount(token.substr(4));
+                have_job = true;
+            } else if (token.rfind("state=", 0) == 0) {
+                state = token.substr(6);
+                have_state = true;
+            } else if (token.rfind("cells=", 0) == 0) {
+                status.cells =
+                    std::size_t(batch::parseCount(token.substr(6)));
+                have_cells = true;
+            } else if (token.rfind("done=", 0) == 0) {
+                status.done =
+                    std::size_t(batch::parseCount(token.substr(5)));
+                have_done = true;
+            } else if (token.rfind("failed=", 0) == 0) {
+                status.failed =
+                    std::size_t(batch::parseCount(token.substr(7)));
+            } else if (token.rfind("priority=", 0) == 0) {
+                status.priority =
+                    int(batch::parseCount(token.substr(9)));
+            } else if (token.rfind("source=", 0) == 0) {
+                const std::string v = token.substr(7);
+                if (v == "socket")
+                    status.source = JobSource::Socket;
+                else if (v == "spool")
+                    status.source = JobSource::Spool;
+                else
+                    throw batch::BatchError("unknown source '" + v +
+                                            "'");
+            }
+        }
+    } catch (const batch::BatchError &e) {
+        throw ServiceError("STATUS: malformed job line '" + line +
+                           "': " + e.what());
+    }
+    if (!have_job || !have_state || !have_cells || !have_done)
+        throw ServiceError("STATUS: malformed job line '" + line +
+                           "'");
+    // The state token is redundant with the counters; insisting they
+    // agree catches truncated or reassembled lines that still happen
+    // to tokenize.
+    if (state != status.state())
+        throw ServiceError("STATUS: job line state '" + state +
+                           "' contradicts its counters ('" +
+                           status.state() + "')");
+
+    if (eol != std::string::npos && eol + 1 < text.size()) {
+        const std::string rest = text.substr(eol + 1);
+        if (rest.rfind("  error: ", 0) != 0)
+            throw ServiceError(
+                "STATUS: unexpected job continuation '" + rest + "'");
+        status.first_error = rest.substr(9);
+        if (!status.first_error.empty() &&
+            status.first_error.back() == '\n')
+            status.first_error.pop_back();
+    }
+    return status;
 }
 
 std::uint64_t

@@ -90,6 +90,20 @@ struct JobStatus
  */
 std::string jobStatusLine(const JobStatus &status);
 
+/**
+ * Parse jobStatusLine() text back into a JobStatus — the typed side
+ * of the reply grammar (docs/service.md, "Reply grammar"). Strict:
+ * job=, state=, cells= and done= are required, the state token must
+ * agree with the state the parsed counters imply (a job name that
+ * *contains* "state=done" cannot spoof completion), and name=
+ * captures the rest of the line — every earlier token is space-free,
+ * so the first " name=" marker is the genuine one. An indented
+ * "  error: " second line restores first_error. Round-trips:
+ * jobStatusLine(parseJobStatusLine(text)) == text for any text
+ * jobStatusLine produced. Throws ServiceError on malformed text.
+ */
+JobStatus parseJobStatusLine(const std::string &text);
+
 /** A job that just reached done == cells (returned by complete()). */
 struct FinishedJob
 {

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
@@ -113,6 +114,15 @@ BatchService::run()
     requestShutdown();
     if (watch_thread.joinable())
         watch_thread.join();
+    {
+        // No new tailers start once the server is down; join the
+        // survivors (they observe shutdown_ within one poll).
+        std::lock_guard<std::mutex> lock(tailers_mutex_);
+        for (auto &tailer : tailers_)
+            if (tailer.joinable())
+                tailer.join();
+        tailers_.clear();
+    }
     queue_.close();
     // ~ThreadPool joins the workers once their drain loops return.
     if (error)
@@ -245,6 +255,8 @@ BatchService::handle(const protocol::Request &request)
       case protocol::Opcode::Lease:
       case protocol::Opcode::Renew:
       case protocol::Opcode::Complete:
+      case protocol::Opcode::StreamLease:
+      case protocol::Opcode::StreamHandoff:
         // A worker pointed at a plain batch service, not a fleet
         // coordinator: tell it precisely what went wrong.
         return protocol::Reply::error(
@@ -372,6 +384,23 @@ BatchService::eraseStream(std::uint64_t id)
 protocol::Reply
 BatchService::handleStreamOpen(const std::string &body)
 {
+    // An optional "tail=<path>" first line puts the stream in tail
+    // mode: the service itself follows the named (growing) trace file
+    // and feeds it, instead of the client shipping bytes over the
+    // socket. The remaining lines are the usual directives.
+    std::string directives = body;
+    std::string tail_path;
+    if (body.rfind("tail=", 0) == 0) {
+        const std::size_t eol = body.find('\n');
+        tail_path = body.substr(5, eol == std::string::npos
+                                       ? std::string::npos
+                                       : eol - 5);
+        directives =
+            eol == std::string::npos ? "" : body.substr(eol + 1);
+        if (tail_path.empty())
+            throw ServiceError("STREAM-OPEN: tail= needs a file path");
+    }
+
     const std::string dir = cache_.dir() + "/streams";
     std::error_code ec;
     std::filesystem::create_directories(dir, ec);
@@ -387,34 +416,33 @@ BatchService::handleStreamOpen(const std::string &body)
     // Construct outside the map lock: directive parsing and spool
     // creation must not stall unrelated streams.
     auto entry = std::make_shared<StreamEntry>(
-        id, dir + "/" + std::to_string(id) + ".dlt", body,
+        id, dir + "/" + std::to_string(id) + ".dlt", directives,
         config_.stream_threads);
     {
         std::lock_guard<std::mutex> lock(streams_mutex_);
         streams_.emplace(id, std::move(entry));
     }
+    if (!tail_path.empty()) {
+        std::lock_guard<std::mutex> lock(tailers_mutex_);
+        tailers_.emplace_back(
+            [this, id, tail_path] { tailLoop(id, tail_path); });
+    }
     if (config_.verbose)
-        std::fprintf(stderr, "[service] stream %llu opened\n",
-                     (unsigned long long)id);
+        std::fprintf(stderr, "[service] stream %llu opened%s%s\n",
+                     (unsigned long long)id,
+                     tail_path.empty() ? "" : ", tailing ",
+                     tail_path.c_str());
     return protocol::Reply::success("stream=" + std::to_string(id) +
                                     "\n");
 }
 
-protocol::Reply
-BatchService::handleStreamAppend(const std::string &body)
+TraceStream::AppendInfo
+BatchService::appendToStream(std::uint64_t id, const std::string &bytes)
 {
-    const std::size_t eol = body.find('\n');
-    if (eol == std::string::npos)
-        throw ServiceError(
-            "STREAM-APPEND: missing stream=<id> header line");
-    const std::uint64_t id =
-        parseStreamId(body.substr(0, eol), "STREAM-APPEND");
     auto entry = findStream(id);
-
-    TraceStream::AppendInfo info;
     try {
         std::lock_guard<std::mutex> lock(entry->mutex);
-        info = entry->stream.append(body.substr(eol + 1));
+        return entry->stream.append(bytes);
     } catch (const ServiceError &) {
         // Malformed header, overflow, spool I/O: the stream's state
         // is unrecoverable. Drop it so its spool is reclaimed.
@@ -426,11 +454,107 @@ BatchService::handleStreamAppend(const std::string &body)
         throw ServiceError("stream " + std::to_string(id) + ": " +
                            e.what());
     }
+}
+
+protocol::Reply
+BatchService::handleStreamAppend(const std::string &body)
+{
+    const std::size_t eol = body.find('\n');
+    if (eol == std::string::npos)
+        throw ServiceError(
+            "STREAM-APPEND: missing stream=<id> header line");
+    const std::uint64_t id =
+        parseStreamId(body.substr(0, eol), "STREAM-APPEND");
+    const TraceStream::AppendInfo info =
+        appendToStream(id, body.substr(eol + 1));
 
     std::ostringstream os;
     os << "received=" << info.received << " records=" << info.records
        << " windows_fed=" << info.windows_fed << "\n";
     return protocol::Reply::success(os.str());
+}
+
+void
+BatchService::tailLoop(std::uint64_t id, const std::string &path)
+{
+    std::uint64_t offset = 0;
+    std::uint64_t prev_size = 0;
+    bool have_prev = false;
+    bool seen_file = false;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(shutdown_mutex_);
+            if (shutdown_)
+                return;
+        }
+        std::error_code ec;
+        const std::uint64_t size =
+            std::filesystem::file_size(path, ec);
+        if (ec) {
+            if (seen_file) {
+                // The recording vanished under us; the stream cannot
+                // complete, so reclaim it (status polls then report
+                // an unknown stream).
+                eraseStream(id);
+                return;
+            }
+            // Not created yet: tailing may legitimately start before
+            // the recorder's first write. Keep polling.
+            std::unique_lock<std::mutex> lock(shutdown_mutex_);
+            shutdown_cv_.wait_for(
+                lock,
+                std::chrono::milliseconds(config_.tail_poll_ms),
+                [&] { return shutdown_; });
+            if (shutdown_)
+                return;
+            continue;
+        }
+        seen_file = true;
+        // Stability gate: only bytes that already existed at the
+        // previous poll are ingested, so a recorder's half-flushed
+        // tail is never fed. A file that stopped growing drains
+        // completely on the next poll.
+        const std::uint64_t target =
+            have_prev ? std::min(size, prev_size) : 0;
+        prev_size = size;
+        have_prev = true;
+        if (target > offset) {
+            std::ifstream in(path, std::ios::binary);
+            std::string bytes(std::size_t(target - offset), '\0');
+            in.seekg(std::streamoff(offset));
+            in.read(bytes.data(), std::streamsize(bytes.size()));
+            if (!in || std::uint64_t(in.gcount()) != bytes.size()) {
+                eraseStream(id);
+                return;
+            }
+            try {
+                appendToStream(id, bytes);
+            } catch (const ServiceError &e) {
+                // Stream discarded (poisoned bytes) or already gone.
+                if (config_.verbose)
+                    std::fprintf(stderr, "[service] tail of %s: %s\n",
+                                 path.c_str(), e.what());
+                return;
+            }
+            offset = target;
+        }
+        // Stop following once every declared byte is in: the client
+        // observes complete=1 via STATUS and issues the CLOSE.
+        try {
+            const auto entry = findStream(id);
+            std::lock_guard<std::mutex> lock(entry->mutex);
+            if (entry->stream.complete())
+                return;
+        } catch (const ServiceError &) {
+            return; // closed or discarded under us
+        }
+        std::unique_lock<std::mutex> lock(shutdown_mutex_);
+        shutdown_cv_.wait_for(
+            lock, std::chrono::milliseconds(config_.tail_poll_ms),
+            [&] { return shutdown_; });
+        if (shutdown_)
+            return;
+    }
 }
 
 protocol::Reply

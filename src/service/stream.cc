@@ -16,9 +16,6 @@ namespace delorean::service
 namespace le = workload::le;
 using workload::TraceFormat;
 
-namespace
-{
-
 /**
  * Parse and vet the STREAM-OPEN directives. Everything a session
  * fatal_if()s on — a non-exact confidence, an invalid schedule or
@@ -67,28 +64,40 @@ streamConfig(std::uint64_t id, const std::string &directives,
     return config;
 }
 
-} // namespace
-
-TraceStream::TraceStream(std::uint64_t id, std::string spool_path,
-                         const std::string &directives,
-                         unsigned host_threads)
-    : id_(id),
-      spool_path_(std::move(spool_path)),
-      directives_(directives),
-      config_(streamConfig(id, directives, host_threads)),
-      out_(spool_path_, std::ios::binary | std::ios::trunc),
-      session_(config_)
+std::string
+formatMrcPoints(const std::vector<std::pair<std::uint64_t, double>> &mrc)
 {
-    if (!out_)
-        throw ServiceError("stream " + std::to_string(id_) +
-                           ": cannot create spool file '" +
-                           spool_path_ + "'");
+    std::string text;
+    char buf[64];
+    for (const auto &[bytes, ratio] : mrc) {
+        std::snprintf(buf, sizeof(buf), "%s%llu:%.17g",
+                      text.empty() ? "" : ",",
+                      static_cast<unsigned long long>(bytes), ratio);
+        text += buf;
+    }
+    return text;
 }
 
-TraceStream::~TraceStream()
+std::string
+streamStatusLine(std::uint64_t id, std::uint64_t records,
+                 unsigned windows_fed, unsigned windows_total,
+                 double est_cpi, double ci_error, double mpki,
+                 bool complete, const std::string &mrc)
 {
-    out_.close();
-    std::remove(spool_path_.c_str());
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "stream=%llu records=%llu windows_fed=%u "
+                  "windows_total=%u est_cpi=%.17g ci_error=%.17g "
+                  "mpki=%.17g complete=%u",
+                  static_cast<unsigned long long>(id),
+                  static_cast<unsigned long long>(records), windows_fed,
+                  windows_total, est_cpi, ci_error, mpki,
+                  complete ? 1u : 0u);
+    std::string line = buf;
+    if (!mrc.empty())
+        line += " mrc=" + mrc;
+    line += '\n';
+    return line;
 }
 
 namespace
@@ -102,8 +111,26 @@ streamErr(std::uint64_t id)
 
 } // namespace
 
+TraceSpool::TraceSpool(std::uint64_t id, std::string path,
+                       std::uint64_t min_records)
+    : id_(id),
+      path_(std::move(path)),
+      min_records_(min_records),
+      out_(path_, std::ios::binary | std::ios::trunc)
+{
+    if (!out_)
+        throw ServiceError(streamErr(id_) +
+                           "cannot create spool file '" + path_ + "'");
+}
+
+TraceSpool::~TraceSpool()
+{
+    out_.close();
+    std::remove(path_.c_str());
+}
+
 void
-TraceStream::parseHeader()
+TraceSpool::parseHeader()
 {
     if (pending_.size() < TraceFormat::header_size)
         return;
@@ -129,12 +156,11 @@ TraceStream::parseHeader()
                            std::to_string(TraceFormat::max_name_len));
 
     declared_ = le::getU64(p + 16);
-    const std::uint64_t need = config_.schedule.totalInstructions();
-    if (declared_ < need)
+    if (declared_ < min_records_)
         throw ServiceError(
             streamErr(id_) + "trace declares " +
             std::to_string(declared_) + " records; the schedule "
-            "spans " + std::to_string(need));
+            "spans " + std::to_string(min_records_));
     if (declared_ >
             (protocol::max_stream - TraceFormat::header_size -
              name_len) / TraceFormat::record_size)
@@ -154,7 +180,7 @@ TraceStream::parseHeader()
 }
 
 void
-TraceStream::spoolRecords()
+TraceSpool::spoolRecords()
 {
     const std::uint64_t remaining = declared_ - records_;
     if (pending_.size() > remaining * TraceFormat::record_size)
@@ -175,42 +201,7 @@ TraceStream::spoolRecords()
 }
 
 void
-TraceStream::feedReady()
-{
-    if (!header_done_)
-        return;
-    const auto &sched = config_.schedule;
-    // Window r only reads the trace up to regionEnd(r) = spacing *
-    // (r+1), so it becomes feedable the moment that many records are
-    // spooled (core/session.hh).
-    const std::uint64_t feedable = std::min<std::uint64_t>(
-        sched.num_regions, records_ / sched.spacing);
-    const unsigned fed = session_.windowsFed();
-    if (feedable <= fed)
-        return;
-    // TraceReader insists the file size matches the header count
-    // exactly, so present the spool as a (valid) trace of precisely
-    // the records received so far.
-    patchHeaderCount(records_);
-    workload::FileTrace trace(spool_path_);
-    session_.feedWindows(trace, unsigned(feedable) - fed);
-}
-
-void
-TraceStream::patchHeaderCount(std::uint64_t count)
-{
-    std::uint8_t buf[8];
-    le::putU64(buf, count);
-    out_.seekp(16);
-    out_.write(reinterpret_cast<const char *>(buf), sizeof(buf));
-    out_.seekp(0, std::ios::end);
-    out_.flush();
-    if (!out_)
-        throw ServiceError(streamErr(id_) + "spool write failed");
-}
-
-TraceStream::AppendInfo
-TraceStream::append(const std::string &bytes)
+TraceSpool::append(const std::string &bytes)
 {
     received_ += bytes.size();
     if (received_ > protocol::max_stream)
@@ -222,17 +213,18 @@ TraceStream::append(const std::string &bytes)
         parseHeader();
     if (header_done_)
         spoolRecords();
-    feedReady();
-
-    AppendInfo info;
-    info.received = received_;
-    info.records = records_;
-    info.windows_fed = session_.windowsFed();
-    return info;
 }
 
-TraceStream::CloseInfo
-TraceStream::close()
+void
+TraceSpool::flush()
+{
+    out_.flush();
+    if (!out_)
+        throw ServiceError(streamErr(id_) + "spool write failed");
+}
+
+void
+TraceSpool::requireComplete() const
 {
     if (!header_done_)
         throw ServiceError(streamErr(id_) +
@@ -246,21 +238,72 @@ TraceStream::close()
                            std::to_string(records_) + " of " +
                            std::to_string(declared_) +
                            " declared records");
+}
 
-    // Restore the declared count: the spool is now byte-identical to
-    // the trace the client streamed, which is what makes the content
-    // key below equal an offline run's key for the original file.
-    patchHeaderCount(declared_);
+TraceStream::TraceStream(std::uint64_t id, std::string spool_path,
+                         const std::string &directives,
+                         unsigned host_threads)
+    : id_(id),
+      directives_(directives),
+      config_(streamConfig(id, directives, host_threads)),
+      spool_(id, std::move(spool_path),
+             config_.schedule.totalInstructions()),
+      session_(config_)
+{}
+
+void
+TraceStream::feedReady()
+{
+    if (!spool_.headerDone())
+        return;
+    const auto &sched = config_.schedule;
+    // Window r only reads the trace up to regionEnd(r) = spacing *
+    // (r+1), so it becomes feedable the moment that many records are
+    // spooled (core/session.hh).
+    const std::uint64_t feedable = std::min<std::uint64_t>(
+        sched.num_regions, spool_.records() / sched.spacing);
+    const unsigned fed = session_.windowsFed();
+    if (feedable <= fed)
+        return;
+    // Replay the spooled prefix in place: the limit reader tolerates
+    // the growing file, so the spool stays byte-identical to the
+    // streamed trace (no header patching).
+    spool_.flush();
+    workload::FileTrace trace(spool_.path(), false, spool_.records());
+    session_.feedWindows(trace, unsigned(feedable) - fed);
+}
+
+TraceStream::AppendInfo
+TraceStream::append(const std::string &bytes)
+{
+    spool_.append(bytes);
+    feedReady();
+
+    AppendInfo info;
+    info.received = spool_.received();
+    info.records = spool_.records();
+    info.windows_fed = session_.windowsFed();
+    return info;
+}
+
+TraceStream::CloseInfo
+TraceStream::close()
+{
+    spool_.requireComplete();
     feedReady();
 
     CloseInfo info;
     info.result = session_.finish();
     info.windows = session_.windowsFed();
 
+    // The spool is byte-identical to the trace the client streamed,
+    // which is what makes the content key below equal an offline run's
+    // key for the original file.
+    spool_.flush();
     std::string manifest = directives_;
     if (!manifest.empty() && manifest.back() != '\n')
         manifest += '\n';
-    manifest += "workload file:" + spool_path_ + "\n";
+    manifest += "workload file:" + spool_.path() + "\n";
     try {
         const batch::BatchPlan plan = batch::BatchPlan::fromManifestText(
             manifest, "stream-" + std::to_string(id_));
@@ -277,7 +320,7 @@ TraceStream::close()
             checkpoint::writeLivePointFile(
                 config_.livepoint_file,
                 checkpoint::sessionLivePoints(
-                    session_, "file:" + spool_path_));
+                    session_, "file:" + spool_.path()));
         } catch (const checkpoint::CheckpointError &e) {
             throw ServiceError(streamErr(id_) + e.what());
         }
@@ -289,15 +332,10 @@ std::string
 TraceStream::statusLine() const
 {
     const core::SessionEstimate est = session_.estimate();
-    char buf[192];
-    std::snprintf(buf, sizeof(buf),
-                  "stream=%llu records=%llu windows_fed=%u "
-                  "windows_total=%u est_cpi=%.17g ci_error=%.17g\n",
-                  static_cast<unsigned long long>(id_),
-                  static_cast<unsigned long long>(records_),
-                  est.windows_fed, est.windows_total, est.mean_cpi,
-                  est.ci_error);
-    return buf;
+    return streamStatusLine(id_, spool_.records(), est.windows_fed,
+                            est.windows_total, est.mean_cpi,
+                            est.ci_error, est.mpki, spool_.complete(),
+                            formatMrcPoints(est.mrc));
 }
 
 } // namespace delorean::service

@@ -10,19 +10,27 @@
  * window(s) — window r only ever reads the trace up to regionEnd(r) =
  * spacing * (r + 1), see core/session.hh — feeds them to a resumable
  * DeloreanSession. STATUS polls between appends return the running
- * CPI estimate, whose 95% confidence half-width tightens as windows
- * arrive without ever changing the final result.
+ * CPI estimate (and MPKI / miss-ratio-curve points from the fed
+ * windows' vicinity distributions), whose 95% confidence half-width
+ * tightens as windows arrive without ever changing the final result.
  *
  * Closing requires exactly the bytes the stream's own DLRNTRC1 header
  * declared (a mid-record tail or a shortfall is an error and leaves
- * the stream open). At that point the spool file is byte-identical to
- * the trace the client read, so the cell's content key — computed by
- * expanding the open directives plus a workload line naming the spool
- * — equals the key an offline `batch_run` computes for the original
- * file (workload identity is content, not path), and the cached final
- * MethodResult is bit-identical to the offline run over the same
- * bytes (pinned by tests/test_service.cc and the CI stream-smoke
- * job).
+ * the stream open). The spool file is *byte-identical* to the trace
+ * the client read at all times — partial reads go through
+ * TraceReader's limit_records prefix mode instead of rewriting the
+ * header — so the cell's content key — computed by expanding the open
+ * directives plus a workload line naming the spool — equals the key
+ * an offline `batch_run` computes for the original file (workload
+ * identity is content, not path), and the cached final MethodResult
+ * is bit-identical to the offline run over the same bytes (pinned by
+ * tests/test_service.cc and the CI stream-smoke job).
+ *
+ * The byte-ingestion half lives in TraceSpool so the fleet
+ * coordinator can host a *migrating* stream — spooling bytes and
+ * leasing window ranges to workers (service/coordinator.hh) — with
+ * the exact same header validation, overflow checks and close
+ * discipline as the local session-feeding stream.
  *
  * Everything a peer controls is validated with ServiceError before it
  * can reach a fatal() path: the directives must describe exactly one
@@ -39,6 +47,8 @@
 #include <cstdint>
 #include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "batch/cache_key.hh"
 #include "core/session.hh"
@@ -46,6 +56,102 @@
 
 namespace delorean::service
 {
+
+/**
+ * Parse and vet STREAM-OPEN directives into the one exact-mode
+ * delorean config a stream runs. Shared by the local stream, the
+ * coordinator's migrating streams, and the workers resuming them — so
+ * all three expand the byte-identical configuration. Throws
+ * ServiceError on anything a session would fatal() on.
+ */
+core::DeloreanConfig streamConfig(std::uint64_t id,
+                                  const std::string &directives,
+                                  unsigned host_threads);
+
+/** Format MRC points as the wire token value "bytes:ratio,...". */
+std::string
+formatMrcPoints(const std::vector<std::pair<std::uint64_t, double>> &mrc);
+
+/**
+ * One "stream=<id> ... complete=0|1[ mrc=...]\n" STATUS line — the one
+ * formatter for local and coordinator-hosted streams, so
+ * ServiceClient::streamStatus parses one grammar.
+ */
+std::string streamStatusLine(std::uint64_t id, std::uint64_t records,
+                             unsigned windows_fed, unsigned windows_total,
+                             double est_cpi, double ci_error, double mpki,
+                             bool complete, const std::string &mrc);
+
+/**
+ * The byte-ingestion half of a stream: validate the DLRNTRC1 header,
+ * spool complete records to a trace file (mid-record splits buffer
+ * until their record completes), police the declared record count and
+ * the protocol's total stream ceiling. The spool file stays
+ * byte-identical to the streamed prefix at all times; readers use
+ * TraceReader's limit_records mode to replay it while it grows.
+ */
+class TraceSpool
+{
+  public:
+    /**
+     * Create the spool at @p path. @p min_records rejects headers
+     * declaring fewer records than the schedule needs (at parse time,
+     * not at the first starved feed). Throws ServiceError.
+     */
+    TraceSpool(std::uint64_t id, std::string path,
+               std::uint64_t min_records);
+
+    /** Removes the spool file. */
+    ~TraceSpool();
+
+    TraceSpool(const TraceSpool &) = delete;
+    TraceSpool &operator=(const TraceSpool &) = delete;
+
+    /**
+     * Ingest the next chunk — any split, including mid-header and
+     * mid-record. Throws ServiceError on malformed headers or
+     * overflow past the declared record count.
+     */
+    void append(const std::string &bytes);
+
+    /** Flush spooled bytes so an independent reader sees them. */
+    void flush();
+
+    const std::string &path() const { return path_; }
+    bool headerDone() const { return header_done_; }
+    std::uint64_t declared() const { return declared_; }
+    std::uint64_t records() const { return records_; }
+    std::uint64_t received() const { return received_; }
+    std::size_t pendingBytes() const { return pending_.size(); }
+
+    /** Every declared record spooled, nothing dangling. */
+    bool complete() const
+    {
+        return header_done_ && pending_.empty() && records_ == declared_;
+    }
+
+    /** Throw the precise close-time diagnostic unless complete(). */
+    void requireComplete() const;
+
+  private:
+    /** Try to complete header parsing from pending_. */
+    void parseHeader();
+
+    /** Move complete records from pending_ to the spool file. */
+    void spoolRecords();
+
+    std::uint64_t id_;
+    std::string path_;
+    std::uint64_t min_records_;
+
+    std::ofstream out_;
+    std::string pending_;          //!< bytes not yet spooled
+    bool header_done_ = false;
+    std::uint64_t header_bytes_ = 0;   //!< fixed header + name length
+    std::uint64_t declared_ = 0;       //!< header's inst_count
+    std::uint64_t records_ = 0;        //!< complete records spooled
+    std::uint64_t received_ = 0;       //!< total bytes ingested
+};
 
 class TraceStream
 {
@@ -59,9 +165,6 @@ class TraceStream
      */
     TraceStream(std::uint64_t id, std::string spool_path,
                 const std::string &directives, unsigned host_threads);
-
-    /** Removes the spool file. */
-    ~TraceStream();
 
     TraceStream(const TraceStream &) = delete;
     TraceStream &operator=(const TraceStream &) = delete;
@@ -90,45 +193,30 @@ class TraceStream
 
     /**
      * Finish the stream: requires every declared record (and no
-     * partial tail), feeds any remaining windows, restores the
-     * spooled header's declared count, and assembles the final
-     * result + its offline-equal content key. When the open
+     * partial tail), feeds any remaining windows, and assembles the
+     * final result + its offline-equal content key. When the open
      * directives named a livepoints= file, the session's warm state
      * is also persisted there (DLRNLVP1). Throws ServiceError if the
      * stream is incomplete — it stays open for further appends.
      */
     CloseInfo close();
 
-    /** One "stream=<id> ... ci_error=...\n" line for STATUS polls. */
+    /** One streamStatusLine() for STATUS polls. */
     std::string statusLine() const;
 
     std::uint64_t id() const { return id_; }
 
+    /** All declared bytes arrived (the tail follower's stop signal). */
+    bool complete() const { return spool_.complete(); }
+
   private:
-    /** Try to complete header parsing from pending_. */
-    void parseHeader();
-
-    /** Move complete records from pending_ to the spool file. */
-    void spoolRecords();
-
     /** Feed every window whose trace bytes are complete. */
     void feedReady();
 
-    /** Patch the spooled header's inst_count field to @p count. */
-    void patchHeaderCount(std::uint64_t count);
-
     std::uint64_t id_;
-    std::string spool_path_;
     std::string directives_;
     core::DeloreanConfig config_;
-
-    std::ofstream out_;
-    std::string pending_;          //!< bytes not yet spooled
-    bool header_done_ = false;
-    std::uint64_t header_bytes_ = 0;   //!< fixed header + name length
-    std::uint64_t declared_ = 0;       //!< header's inst_count
-    std::uint64_t records_ = 0;        //!< complete records spooled
-    std::uint64_t received_ = 0;       //!< total bytes ingested
+    TraceSpool spool_;
     core::DeloreanSession session_;
 };
 

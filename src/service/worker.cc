@@ -3,12 +3,18 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <sstream>
 
 #include "base/logging.hh"
 #include "batch/error.hh"
 #include "batch/plan.hh"
+#include "batch/result_io.hh"
 #include "batch/runner.hh"
+#include "checkpoint/livepoint.hh"
+#include "core/session.hh"
 #include "service/client.hh"
+#include "service/stream.hh"
+#include "workload/trace_io.hh"
 
 namespace delorean::service
 {
@@ -59,8 +65,10 @@ WorkerLoop::kill()
 WorkerLoop::Counters
 WorkerLoop::counters() const
 {
-    return {units_completed_.load(), units_failed_.load(),
-            cells_executed_.load(), cells_from_cache_.load()};
+    return {units_completed_.load(),       units_failed_.load(),
+            cells_executed_.load(),        cells_from_cache_.load(),
+            stream_leases_completed_.load(),
+            stream_leases_failed_.load(),  windows_warmed_.load()};
 }
 
 void
@@ -93,7 +101,16 @@ WorkerLoop::pullLoop(unsigned thread_index)
                     config_.coordinator);
             const auto lease = client->lease(name);
             if (lease.idle) {
-                nap(idle_attempt++);
+                // No work unit; a suspended stream may still have
+                // windows to feed (docs/service.md, "Stream
+                // migration").
+                const auto stream = client->streamLease(name);
+                if (stream.idle) {
+                    nap(idle_attempt++);
+                    continue;
+                }
+                idle_attempt = 0;
+                runStreamLease(*client, stream, name);
                 continue;
             }
             idle_attempt = 0;
@@ -178,6 +195,107 @@ WorkerLoop::pullLoop(unsigned thread_index)
                              e.what());
             nap(idle_attempt++);
         }
+    }
+}
+
+void
+WorkerLoop::runStreamLease(ServiceClient &client,
+                           const ServiceClient::StreamLeaseInfo &lease,
+                           const std::string &name)
+{
+    try {
+        const std::string spec =
+            "stream:" + std::to_string(lease.stream);
+        // host_threads stays at 1: it is excluded from content keys
+        // and every fan-out is bit-identical, so this is purely a
+        // local latency knob — and stream leases are already one per
+        // stream.
+        const core::DeloreanConfig config =
+            streamConfig(lease.stream, lease.directives, 1);
+
+        // Resume from the committed prefix instead of re-warming from
+        // byte zero — the point of migration.
+        std::vector<core::RegionWarm> warm;
+        if (lease.prefix != "-")
+            warm = checkpoint::loadPrefixForRun(spec, config,
+                                                lease.prefix);
+        if (warm.size() > lease.from) {
+            // A zombie's first-write-wins handoff extended the
+            // committed prefix after this lease was granted. The
+            // extra windows are still correct warm state (pure
+            // function of trace bytes + config), but the lease
+            // contract is [from, to) — truncate rather than fail a
+            // healthy stream.
+            warm.resize(lease.from);
+        }
+        if (warm.size() < lease.from)
+            throw batch::BatchError(
+                "committed prefix covers " +
+                std::to_string(warm.size()) +
+                " windows but the lease starts at window " +
+                std::to_string(lease.from));
+
+        if (config_.verbose)
+            std::fprintf(stderr,
+                         "[%s] stream lease %llu: stream %llu windows "
+                         "[%u, %u)%s\n",
+                         name.c_str(), (unsigned long long)lease.lease,
+                         (unsigned long long)lease.stream, lease.from,
+                         lease.to, lease.finish ? ", finish" : "");
+
+        // The spool may still be growing; present exactly the records
+        // the lease covers so every worker sees the same snapshot.
+        workload::FileTrace master(lease.trace, false, lease.records);
+        core::DeloreanSession session(config);
+        if (!warm.empty())
+            session.feedWarmWindows(master, warm);
+
+        // Refresh the lease before the expensive part so a long warm
+        // stretch is not re-leased under us.
+        (void)client.renew(lease.lease);
+
+        // A finish lease granted after every window was already
+        // committed has nothing left to warm.
+        if (lease.to > session.windowsFed())
+            session.feedWindows(master,
+                                lease.to - session.windowsFed());
+        windows_warmed_.fetch_add(lease.to - lease.from);
+
+        const core::SessionEstimate est = session.estimate();
+        const std::string mrc = formatMrcPoints(est.mrc);
+
+        if (lease.finish) {
+            const sampling::MethodResult result = session.finish();
+            std::ostringstream os(std::ios::binary);
+            batch::writeMethodResult(os, result);
+            if (killed_.load())
+                return; // crashed: lease expires, stream re-leases
+            (void)client.streamHandoff(lease.lease, lease.to, "-",
+                                       est.mean_cpi, est.ci_error,
+                                       est.mpki, mrc, os.str());
+        } else {
+            // Suspend: ship the fed prefix as a live-point file next
+            // to the spool (shared filesystem); the coordinator
+            // validates and installs it, or deletes it on rejection.
+            const checkpoint::LivePointFile file =
+                checkpoint::sessionLivePoints(session, spec);
+            const std::string path = lease.trace + ".lvp." +
+                                     std::to_string(lease.lease);
+            checkpoint::writeLivePointFile(path, file);
+            if (killed_.load())
+                return;
+            (void)client.streamHandoff(lease.lease, lease.to, path,
+                                       est.mean_cpi, est.ci_error,
+                                       est.mpki, mrc, "");
+        }
+        stream_leases_completed_.fetch_add(1);
+    } catch (const ServiceError &) {
+        throw; // transport: reconnect in pullLoop
+    } catch (const std::exception &e) {
+        if (killed_.load())
+            return;
+        (void)client.streamHandoffError(lease.lease, e.what());
+        stream_leases_failed_.fetch_add(1);
     }
 }
 

@@ -20,6 +20,16 @@
  *     returns the serialized records in unit order (chunked past the
  *     frame cap by the protocol layer).
  *
+ * Workers also execute *stream* leases (docs/service.md, "Stream
+ * migration"): when no work unit is available, STREAM-LEASE may hand
+ * out a window range of a fleet-hosted TRACE-STREAM. The worker
+ * resumes from the stream's committed DLRNLVP1 prefix (instead of
+ * re-warming from byte zero), feeds the leased windows from the
+ * shared spool file, and STREAM-HANDOFFs either a longer prefix or —
+ * on a finish lease — the final serialized MethodResult. Because warm
+ * state is a pure function of trace bytes + config, a migrated
+ * stream's final result is bit-identical to an unmigrated one.
+ *
  * An idle coordinator ("none") backs off with pollBackoffMs. stop()
  * finishes in-flight units and COMPLETEs them; kill() abandons them —
  * the lease expires and the coordinator re-queues, which is the fault
@@ -36,6 +46,7 @@
 #include <vector>
 
 #include "batch/result_cache.hh"
+#include "service/client.hh"
 
 namespace delorean::service
 {
@@ -60,6 +71,12 @@ class WorkerLoop
         std::uint64_t units_failed = 0;   //!< COMPLETEd status=error
         std::uint64_t cells_executed = 0;
         std::uint64_t cells_from_cache = 0; //!< worker-local hits
+        std::uint64_t stream_leases_completed = 0;
+        std::uint64_t stream_leases_failed = 0;
+        /** Windows this worker Scout+Explorer-warmed (not resumed from
+         *  a prefix) — the no-migration control test sums this across
+         *  workers to prove no window is ever warmed twice. */
+        std::uint64_t windows_warmed = 0;
     };
 
     /** Validate the config and open the cache. Throws ServiceError. */
@@ -87,6 +104,17 @@ class WorkerLoop
   private:
     void pullLoop(unsigned thread_index);
 
+    /**
+     * Execute one stream lease end to end: resume from the committed
+     * prefix, feed windows [from, to), hand off a longer prefix or the
+     * final result. Execution failures turn into an error handoff;
+     * transport failures (ServiceError) propagate to pullLoop's
+     * reconnect path.
+     */
+    void runStreamLease(ServiceClient &client,
+                        const ServiceClient::StreamLeaseInfo &lease,
+                        const std::string &name);
+
     WorkerConfig config_;
     batch::ResultCache cache_;
 
@@ -97,6 +125,9 @@ class WorkerLoop
     std::atomic<std::uint64_t> units_failed_{0};
     std::atomic<std::uint64_t> cells_executed_{0};
     std::atomic<std::uint64_t> cells_from_cache_{0};
+    std::atomic<std::uint64_t> stream_leases_completed_{0};
+    std::atomic<std::uint64_t> stream_leases_failed_{0};
+    std::atomic<std::uint64_t> windows_warmed_{0};
     std::vector<std::thread> threads_;
 };
 

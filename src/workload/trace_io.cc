@@ -94,6 +94,25 @@ TraceWriter::TraceWriter(const std::string &path, const std::string &name)
         throw TraceError("write error on trace file '" + path + "'");
 }
 
+TraceWriter::TraceWriter(const std::string &path, const std::string &name,
+                         InstCount declared)
+    : out_(path, std::ios::binary | std::ios::trunc),
+      path_(path),
+      declared_(declared),
+      declared_mode_(true)
+{
+    if (!out_)
+        throw TraceError("cannot create trace file '" + path + "'");
+    if (name.size() > TraceFormat::max_name_len)
+        throw TraceError("trace name too long (" +
+                         std::to_string(name.size()) + " bytes)");
+    const auto header = encodeHeader(name, declared);
+    out_.write(reinterpret_cast<const char *>(header.data()),
+               std::streamsize(header.size()));
+    if (!out_)
+        throw TraceError("write error on trace file '" + path + "'");
+}
+
 TraceWriter::~TraceWriter()
 {
     try {
@@ -109,6 +128,10 @@ TraceWriter::append(const Instruction &inst)
 {
     if (finished_)
         throw TraceError("append to finished trace '" + path_ + "'");
+    if (declared_mode_ && written_ == declared_)
+        throw TraceError("trace '" + path_ + "': append past the " +
+                         std::to_string(declared_) +
+                         " declared records");
     std::uint8_t rec[TraceFormat::record_size];
     encodeRecord(rec, inst);
     out_.write(reinterpret_cast<const char *>(rec), sizeof(rec));
@@ -122,10 +145,18 @@ TraceWriter::finish()
 {
     if (finished_)
         return;
-    std::uint8_t count[8];
-    putU64(count, written_);
-    out_.seekp(16); // inst_count field
-    out_.write(reinterpret_cast<const char *>(count), sizeof(count));
+    if (declared_mode_ && written_ != declared_)
+        throw TraceError("trace '" + path_ + "': finished after " +
+                         std::to_string(written_) + " of " +
+                         std::to_string(declared_) +
+                         " declared records");
+    if (!declared_mode_) {
+        std::uint8_t count[8];
+        putU64(count, written_);
+        out_.seekp(16); // inst_count field
+        out_.write(reinterpret_cast<const char *>(count),
+                   sizeof(count));
+    }
     out_.close();
     if (out_.fail())
         throw TraceError("close error on trace file '" + path_ + "'");
@@ -136,7 +167,8 @@ TraceWriter::finish()
 
 // -------------------------------------------------------------- reader
 
-TraceReader::TraceReader(const std::string &path)
+TraceReader::TraceReader(const std::string &path,
+                         InstCount limit_records)
     : path_(path), in_(path, std::ios::binary)
 {
     if (!in_)
@@ -180,6 +212,28 @@ TraceReader::TraceReader(const std::string &path)
     if (ec)
         throw TraceError("trace '" + path + "': cannot stat: " +
                          ec.message());
+    if (limit_records > 0) {
+        // Prefix mode: the file may still be growing, so only the
+        // first limit_records records need to exist — but the header
+        // must already declare at least that many, so a prefix read
+        // can never outrun the final recording.
+        if (limit_records > count_)
+            throw TraceError(
+                "trace '" + path + "': limit of " +
+                std::to_string(limit_records) + " records exceeds the " +
+                std::to_string(count_) + " the header declares");
+        const std::uint64_t needed =
+            data_offset_ +
+            limit_records * std::uint64_t(TraceFormat::record_size);
+        if (file_size < needed)
+            throw TraceError(
+                "trace '" + path + "': truncated payload (" +
+                std::to_string(file_size) + " bytes, a " +
+                std::to_string(limit_records) +
+                "-record prefix needs " + std::to_string(needed) + ")");
+        count_ = limit_records;
+        return;
+    }
     const std::uint64_t expected =
         data_offset_ + count_ * std::uint64_t(TraceFormat::record_size);
     if (file_size < expected)
@@ -299,8 +353,9 @@ TraceReader::memLines(Addr *lines, InstCount n)
 
 // ----------------------------------------------------------- FileTrace
 
-FileTrace::FileTrace(const std::string &path, bool loop)
-    : reader_(path), loop_(loop)
+FileTrace::FileTrace(const std::string &path, bool loop,
+                     InstCount limit_records)
+    : reader_(path, limit_records), loop_(loop)
 {
     if (loop_ && reader_.instCount() == 0)
         throw TraceError("trace '" + path +

@@ -88,6 +88,16 @@ class TraceWriter
     /** Create/truncate @p path for a trace named @p name. */
     TraceWriter(const std::string &path, const std::string &name);
 
+    /**
+     * Declared-count mode: the header's inst_count is written up front
+     * as @p declared instead of being patched at finish(), so a reader
+     * tailing the growing file (TraceReader's limit_records) sees the
+     * final record count from the first byte. finish() throws unless
+     * exactly @p declared records were appended.
+     */
+    TraceWriter(const std::string &path, const std::string &name,
+                InstCount declared);
+
     /** Flushes and closes via finish(); swallows errors (use finish()
      *  explicitly to observe them). */
     ~TraceWriter();
@@ -108,6 +118,8 @@ class TraceWriter
     std::ofstream out_;
     std::string path_;
     InstCount written_ = 0;
+    InstCount declared_ = 0; //!< declared-count mode target
+    bool declared_mode_ = false;
     bool finished_ = false;
 };
 
@@ -123,7 +135,19 @@ class TraceWriter
 class TraceReader
 {
   public:
-    explicit TraceReader(const std::string &path);
+    /**
+     * @param limit_records 0 validates the file length exactly against
+     *        the header's inst_count (a complete recording). Nonzero
+     *        presents exactly that many records from a file that may
+     *        still be *growing*: the limit must not exceed the header's
+     *        declared count, at least limit x 32 record bytes must
+     *        already exist, and any bytes past the limit are ignored —
+     *        the reader for a spooled stream prefix or a tailed
+     *        recording, where the on-disk bytes stay byte-identical to
+     *        the final trace at all times.
+     */
+    explicit TraceReader(const std::string &path,
+                         InstCount limit_records = 0);
 
     /**
      * Reopen @p other's file at the same position, reusing its
@@ -194,7 +218,13 @@ class TraceReader
 class FileTrace : public TraceSource
 {
   public:
-    explicit FileTrace(const std::string &path, bool loop = false);
+    /**
+     * @param limit_records forwarded to TraceReader: 0 replays the
+     *        complete recording, nonzero replays exactly that prefix of
+     *        a possibly-growing file.
+     */
+    explicit FileTrace(const std::string &path, bool loop = false,
+                       InstCount limit_records = 0);
 
     Instruction next() override;
     InstCount position() const override { return pos_; }

@@ -168,6 +168,7 @@ struct ServiceFixture
         config.threads = 2;
         config.stream_threads = stream_threads;
         config.poll_ms = 20; // fast spool polls keep tests snappy
+        config.tail_poll_ms = 25; // ...and fast trace-tail polls
         service = std::make_unique<BatchService>(config);
         runner = std::thread([this] { service->run(); });
         waitFor([&] { return ServiceClient::ping(config.socket_path); },
@@ -587,8 +588,7 @@ TEST(Service, SocketRoundTripIsBitIdenticalToDirectRun)
 
     ServiceFixture::waitFor([&] { return client.jobDone(info.job); },
                             "job completion");
-    EXPECT_NE(client.jobStatus(info.job).find("state=done"),
-              std::string::npos);
+    EXPECT_STREQ(client.jobStatus(info.job).state(), "done");
 
     for (std::size_t i = 0; i < plan.cells().size(); ++i) {
         const auto fetched = client.result(plan.cells()[i].key);
@@ -630,12 +630,14 @@ TEST(Service, ResubmittedManifestExecutesZeroCells)
     // stats until the second (fully cached) run is folded in.
     ServiceFixture::waitFor(
         [&] {
-            return client.stats().find("last_run_executed=0") !=
-                   std::string::npos;
+            return client.stats().last_run_executed == 0 &&
+                   client.stats().last_run_cached == 1;
         },
         "run counters to settle");
-    EXPECT_NE(client.stats().find("cells_executed=1"),
-              std::string::npos);
+    const ServiceStats stats = client.stats();
+    EXPECT_FALSE(stats.fleet);
+    EXPECT_EQ(stats.cells_executed, 1u);
+    EXPECT_EQ(stats.jobs_submitted, 2u);
 }
 
 TEST(Service, ConcurrentSubmittersExecuteEachCellOnce)
@@ -663,8 +665,7 @@ TEST(Service, ConcurrentSubmittersExecuteEachCellOnce)
         ASSERT_NE(job, 0u);
         ServiceFixture::waitFor([&] { return client.jobDone(job); },
                                 "concurrent job");
-        EXPECT_NE(client.jobStatus(job).find("state=done"),
-                  std::string::npos);
+        EXPECT_STREQ(client.jobStatus(job).state(), "done");
     }
     EXPECT_EQ(fixture.service->cellsExecuted(), 2u);
 }
@@ -733,9 +734,9 @@ TEST(Service, SecondServerOnLiveSocketRefusesPromptly)
     EXPECT_THROW(second.run(), ServiceError);
     setLogQuiet(false);
 
-    // The incumbent is unharmed.
+    // The incumbent is unharmed (and identifies as a plain daemon).
     ServiceClient client(fixture.config.socket_path);
-    EXPECT_NE(client.status().find("jobs="), std::string::npos);
+    EXPECT_FALSE(client.status().fleet);
 }
 
 TEST(Service, ErrorRepliesForBadRequests)
@@ -965,8 +966,7 @@ TEST(Stream, AbusiveStreamsErrorCleanlyAndReclaimState)
     const auto info = client.submit(tiny_manifest);
     ServiceFixture::waitFor([&] { return client.jobDone(info.job); },
                             "job after stream abuse");
-    EXPECT_NE(client.jobStatus(info.job).find("state=done"),
-              std::string::npos);
+    EXPECT_STREQ(client.jobStatus(info.job).state(), "done");
 }
 
 // --------------------------------------------- malformed server replies
@@ -1055,13 +1055,19 @@ TEST(Service, JobDoneParsesStateTokenNotSubstring)
                   "priority=100 source=spool name=state=done.plan\n");
     EXPECT_TRUE(client.jobDone(9));
 
-    scripted.push("job=9 state=failed cells=4 done=3 failed=1 "
+    scripted.push("job=9 state=failed cells=4 done=4 failed=1 "
                   "priority=100 source=socket name=short.plan\n");
     EXPECT_TRUE(client.jobDone(9));
 
     // A reply with no state token at all is malformed, not "not done":
     // treating it as false would spin a polling loop forever.
     scripted.push("job=9 cells=4\n");
+    EXPECT_THROW((void)client.jobDone(9), ServiceError);
+
+    // The state token is redundant with the counters; a line where
+    // they disagree is truncated or reassembled, never canonical.
+    scripted.push("job=9 state=done cells=4 done=2 failed=0 "
+                  "priority=100 source=socket name=short.plan\n");
     EXPECT_THROW((void)client.jobDone(9), ServiceError);
 }
 
@@ -1113,9 +1119,10 @@ TEST(ProtocolFuzz, CorruptFramesAlwaysThrowNeverCrash)
     for (int i = 0; i < 640; ++i) {
         const bool fuzz_request = (rng.next() & 1) != 0;
         // A random but structurally valid starting frame (every
-        // client-originated opcode, including the TRACE-STREAM trio).
+        // client-originated opcode, including the TRACE-STREAM trio
+        // and the stream-migration pair STREAM-LEASE/STREAM-HANDOFF).
         static constexpr std::uint32_t request_codes[] = {
-            1, 2, 3, 4, 5, 6, 7, 8, 11, 12, 13};
+            1, 2, 3, 4, 5, 6, 7, 8, 11, 12, 13, 14, 15};
         const std::uint32_t good_code =
             fuzz_request ? request_codes[rng.next() %
                                          std::size(request_codes)]
@@ -1150,10 +1157,10 @@ TEST(ProtocolFuzz, CorruptFramesAlwaysThrowNeverCrash)
             break;
           }
           case BadCode: {
-            // Requests: opcodes past STREAM-CLOSE are unknown.
+            // Requests: opcodes past STREAM-HANDOFF are unknown.
             // Replies: statuses past status_part are unknown.
             const std::uint32_t bad =
-                (fuzz_request ? 14 : 3) +
+                (fuzz_request ? 16 : 3) +
                 std::uint32_t(rng.next() % 100000);
             workload::le::putU32(
                 reinterpret_cast<std::uint8_t *>(frame.data()) + 8,
@@ -1259,7 +1266,7 @@ TEST(ProtocolFuzz, GarbageConnectionsDoNotLeakServerSlots)
     const auto info = client.submit(tiny_manifest);
     ServiceFixture::waitFor([&] { return client.jobDone(info.job); },
                             "job after garbage storm");
-    EXPECT_NE(client.status().find("jobs="), std::string::npos);
+    EXPECT_EQ(client.status().jobs_submitted, 1u);
 }
 
 // --------------------------------------------- chunked frame boundaries
@@ -1625,9 +1632,8 @@ TEST(Coordinator, TwoWorkerFleetIsBitIdenticalToSerialRun)
     const auto info = client.submit(fleet_manifest);
     EXPECT_EQ(info.cells, 4u);
     ASSERT_TRUE(client.waitForJob(info.job, 120.0));
-    ASSERT_NE(client.jobStatus(info.job).find("state=done"),
-              std::string::npos)
-        << client.jobStatus(info.job);
+    ASSERT_STREQ(client.jobStatus(info.job).state(), "done")
+        << jobStatusLine(client.jobStatus(info.job));
 
     for (std::size_t i = 0; i < plan.cells().size(); ++i)
         EXPECT_EQ(client.result(plan.cells()[i].key), direct[i])
@@ -1680,9 +1686,8 @@ TEST(Coordinator, WorkerKilledMidPlanDoesNotChangeResults)
     WorkerLoop survivor(fixture.workerConfig("survivor"));
     survivor.start();
     ASSERT_TRUE(client.waitForJob(info.job, 120.0));
-    ASSERT_NE(client.jobStatus(info.job).find("state=done"),
-              std::string::npos)
-        << client.jobStatus(info.job);
+    ASSERT_STREQ(client.jobStatus(info.job).state(), "done")
+        << jobStatusLine(client.jobStatus(info.job));
     survivor.stop();
 
     // Bit-identical merged results despite the mid-plan crash.
@@ -1942,6 +1947,444 @@ TEST(Coordinator, ReadyBacklogCeilingRejectsWholeSubmit)
                             1)
                     .ok);
     EXPECT_EQ(coordinator.counters().units_ready, 2u);
+}
+
+// ---------------------------------------------- typed status replies
+
+TEST(Queue, JobStatusLineRoundTripsThroughTypedParse)
+{
+    JobStatus status;
+    status.id = 42;
+    // A hostile name full of key=value lookalikes: the name is the
+    // last token, so none of these may leak into other fields.
+    status.name = "state=done cells=9 name=trap .plan";
+    status.source = JobSource::Spool;
+    status.priority = 7;
+    status.cells = 5;
+    status.done = 3;
+    status.failed = 1;
+    status.first_error = "cell 2: simulator exploded";
+
+    const JobStatus parsed = parseJobStatusLine(jobStatusLine(status));
+    EXPECT_EQ(parsed.id, 42u);
+    EXPECT_EQ(parsed.name, status.name);
+    EXPECT_EQ(parsed.source, JobSource::Spool);
+    EXPECT_EQ(parsed.priority, 7);
+    EXPECT_EQ(parsed.cells, 5u);
+    EXPECT_EQ(parsed.done, 3u);
+    EXPECT_EQ(parsed.failed, 1u);
+    EXPECT_EQ(parsed.first_error, status.first_error);
+    EXPECT_STREQ(parsed.state(), "running");
+    // Exact round trip: re-rendering the parse reproduces the line.
+    EXPECT_EQ(jobStatusLine(parsed), jobStatusLine(status));
+
+    // Malformed lines are errors, never silently-zero statuses.
+    const char *bad[] = {
+        "",
+        // No name token (everything after it would be ambiguous).
+        "job=1 state=queued cells=1 done=0",
+        // Missing required keys.
+        "job=1 cells=1 done=0 name=x\n",
+        "job=1 state=queued done=0 name=x\n",
+        // Unparseable numbers / unknown enum values.
+        "job=zzz state=queued cells=1 done=0 name=x\n",
+        "job=1 state=queued cells=1 done=0 source=mars name=x\n",
+        // State token contradicting the counters (truncated or
+        // reassembled line that still tokenizes).
+        "job=1 state=done cells=2 done=1 failed=0 priority=1 "
+        "source=socket name=x\n",
+        "job=1 state=queued cells=2 done=2 failed=0 priority=1 "
+        "source=socket name=x\n",
+        // Stray continuation line.
+        "job=1 state=done cells=1 done=1 failed=0 priority=1 "
+        "source=socket name=x\nnot an error line\n",
+    };
+    for (const char *text : bad)
+        EXPECT_THROW((void)parseJobStatusLine(text), ServiceError)
+            << "'" << text << "'";
+}
+
+TEST(Service, TypedStatusAndStatsMatchDaemonCounters)
+{
+    ServiceFixture fixture;
+    ServiceClient client(fixture.config.socket_path);
+    const auto info = client.submit(tiny_manifest);
+    ASSERT_TRUE(client.waitForJob(info.job, 120.0));
+
+    const ServiceStatus status = client.status();
+    EXPECT_FALSE(status.fleet);
+    EXPECT_EQ(status.jobs_submitted, 1u);
+    EXPECT_EQ(status.jobs_completed, 1u);
+    EXPECT_EQ(status.job_failures, 0u);
+    EXPECT_EQ(status.cells_executed, 1u);
+    EXPECT_EQ(status.queue_depth, 0u);
+    ASSERT_EQ(status.jobs.size(), 1u);
+    EXPECT_EQ(status.jobs[0].id, info.job);
+    EXPECT_TRUE(status.jobs[0].complete());
+    EXPECT_STREQ(status.jobs[0].state(), "done");
+
+    const ServiceStats stats = client.stats();
+    EXPECT_FALSE(stats.fleet);
+    EXPECT_EQ(stats.last_run_executed, 1u);
+    EXPECT_EQ(stats.last_run_cached, 0u);
+    EXPECT_EQ(stats.total_executed, 1u);
+    EXPECT_EQ(stats.jobs_submitted, 1u);
+    EXPECT_EQ(stats.cells_executed, 1u);
+
+    // The human renderings survive for the CLI; the typed accessors
+    // parse exactly those texts, so the counters must agree.
+    EXPECT_NE(client.statusText().find("jobs=1"), std::string::npos);
+    EXPECT_NE(client.statsText().find("total_executed=1"),
+              std::string::npos);
+}
+
+// ------------------------------------------------- stream migration
+
+TEST(Coordinator, StreamMigratesAcrossWorkerKillBitIdentically)
+{
+    TempPath trace("mig_trace");
+    const std::string bytes = recordTraceBytes(trace.path, 400000);
+    const std::string plan_text =
+        "workload file:" + trace.path + "\n" + stream_directives;
+    const auto plan = tinyPlan(plan_text.c_str());
+    ASSERT_EQ(plan.cells().size(), 1u);
+    const auto golden = batch::BatchRunner::runCell(plan.cells()[0]);
+
+    // Long leases: the victim commits window 1 and is killed while
+    // *idle*, so nothing here depends on expiry timing — the handoff
+    // sequence is fully deterministic.
+    CoordinatorFixture fixture(/*lease_ms=*/120000);
+    ServiceClient client(fixture.config.socket_path);
+    EXPECT_TRUE(client.status().fleet);
+
+    const std::uint64_t id = client.streamOpen(stream_directives);
+    const std::size_t records_at = bytes.size() - 400000ull * 32;
+    const std::size_t w1_end = records_at + 200000ull * 32;
+    client.streamAppend(id, bytes.substr(0, w1_end));
+
+    WorkerLoop victim(fixture.workerConfig("victim"));
+    victim.start();
+    ServiceFixture::waitFor(
+        [&] {
+            return fixture.coordinator->counters().stream_windows >= 1;
+        },
+        "victim to commit window 1");
+    // The half-fed stream now carries a running estimate: STATUS
+    // publishes CPI, CI and the miss-ratio curve mid-recording.
+    const auto running = client.streamStatus(id);
+    EXPECT_EQ(running.windows_fed, 1u);
+    EXPECT_EQ(running.windows_total, 2u);
+    EXPECT_FALSE(running.complete);
+    EXPECT_GT(running.est_cpi, 0.0);
+    EXPECT_FALSE(running.mrc.empty());
+    victim.kill();
+
+    WorkerLoop survivor(fixture.workerConfig("survivor"));
+    survivor.start();
+    client.streamAppend(id, bytes.substr(w1_end));
+    const auto closed = client.streamClose(id);
+    survivor.stop();
+
+    // The migrated stream's CLOSE is bit-identical to the offline
+    // run, under the offline content key.
+    EXPECT_EQ(closed.windows, 2u);
+    EXPECT_EQ(closed.key, plan.cells()[0].key);
+    EXPECT_EQ(client.result(closed.key), golden);
+
+    const auto counters = fixture.coordinator->counters();
+    EXPECT_EQ(counters.streams_finished, 1u);
+    EXPECT_EQ(counters.streams_failed, 0u);
+    EXPECT_EQ(counters.stream_windows, 2u);
+    EXPECT_GE(counters.stream_leases, 2u);
+    // The victim warmed window 1; the survivor resumed from the
+    // committed DLRNLVP1 prefix and warmed ONLY window 2 — never
+    // from byte zero.
+    EXPECT_EQ(victim.counters().windows_warmed, 1u);
+    EXPECT_EQ(survivor.counters().windows_warmed, 1u);
+
+    // The fleet STATS surface the stream counters in typed form.
+    const ServiceStats stats = client.stats();
+    EXPECT_TRUE(stats.fleet);
+    EXPECT_EQ(stats.fleet_stats.streams_finished, 1u);
+    EXPECT_EQ(stats.fleet_stats.stream_windows, 2u);
+    EXPECT_GE(stats.fleet_stats.stream_handoffs, 2u);
+}
+
+TEST(Coordinator, WorkerKilledHoldingStreamLeaseStillFinishes)
+{
+    TempPath trace("mig_kill_trace");
+    const std::string bytes = recordTraceBytes(trace.path, 400000);
+    const std::string plan_text =
+        "workload file:" + trace.path + "\n" + stream_directives;
+    const auto plan = tinyPlan(plan_text.c_str());
+    const auto golden = batch::BatchRunner::runCell(plan.cells()[0]);
+
+    // Short leases: the victim is killed while *holding* a stream
+    // lease (the kill -9 analogue — its handoff is never sent), the
+    // lease expires, and the survivor re-leases the windows.
+    CoordinatorFixture fixture(/*lease_ms=*/400);
+    ServiceClient client(fixture.config.socket_path);
+    const std::uint64_t id = client.streamOpen(stream_directives);
+    const std::size_t records_at = bytes.size() - 400000ull * 32;
+    client.streamAppend(
+        id, bytes.substr(0, records_at + 200000ull * 32));
+
+    WorkerLoop victim(fixture.workerConfig("victim"));
+    victim.start();
+    ServiceFixture::waitFor(
+        [&] {
+            return fixture.coordinator->counters().stream_leases >= 1;
+        },
+        "victim to take the stream lease");
+    victim.kill(); // usually mid-warm; either way no double commit
+
+    WorkerLoop survivor(fixture.workerConfig("survivor"));
+    survivor.start();
+    client.streamAppend(id,
+                        bytes.substr(records_at + 200000ull * 32));
+    const auto closed = client.streamClose(id);
+    survivor.stop();
+
+    EXPECT_EQ(closed.windows, 2u);
+    EXPECT_EQ(closed.key, plan.cells()[0].key);
+    EXPECT_EQ(client.result(closed.key), golden);
+    const auto counters = fixture.coordinator->counters();
+    EXPECT_EQ(counters.streams_finished, 1u);
+    EXPECT_EQ(counters.streams_failed, 0u);
+}
+
+TEST(Coordinator, UnmigratedStreamWarmsEachWindowOnce)
+{
+    // The no-migration control: one worker, no faults. Exactly two
+    // windows exist and exactly two windows are warmed across the
+    // fleet — no window is ever warmed twice, so migration (the
+    // previous tests) and normal operation share one accounting.
+    TempPath trace("solo_trace");
+    const std::string bytes = recordTraceBytes(trace.path, 400000);
+    const std::string plan_text =
+        "workload file:" + trace.path + "\n" + stream_directives;
+    const auto plan = tinyPlan(plan_text.c_str());
+    const auto golden = batch::BatchRunner::runCell(plan.cells()[0]);
+
+    CoordinatorFixture fixture(/*lease_ms=*/120000);
+    ServiceClient client(fixture.config.socket_path);
+    const std::uint64_t id = client.streamOpen(stream_directives);
+
+    WorkerLoop solo(fixture.workerConfig("solo"));
+    solo.start();
+    // Feed window 1, let it commit, then the rest: the suspended
+    // stream is resumed by the *same* worker from its own prefix.
+    const std::size_t records_at = bytes.size() - 400000ull * 32;
+    client.streamAppend(
+        id, bytes.substr(0, records_at + 200000ull * 32));
+    ServiceFixture::waitFor(
+        [&] {
+            return fixture.coordinator->counters().stream_windows >= 1;
+        },
+        "window 1 to commit");
+    client.streamAppend(id,
+                        bytes.substr(records_at + 200000ull * 32));
+    const auto closed = client.streamClose(id);
+
+    EXPECT_EQ(closed.windows, 2u);
+    EXPECT_EQ(client.result(closed.key), golden);
+    solo.stop();
+    EXPECT_EQ(solo.counters().windows_warmed, 2u);
+    EXPECT_EQ(solo.counters().stream_leases_failed, 0u);
+    const auto counters = fixture.coordinator->counters();
+    EXPECT_EQ(counters.stream_windows, 2u);
+    EXPECT_EQ(counters.streams_finished, 1u);
+    EXPECT_EQ(counters.streams_failed, 0u);
+}
+
+TEST(Coordinator, StreamMigrationOpcodeAbuseIsSafe)
+{
+    TempPath root("coord_mig_abuse");
+    std::filesystem::create_directories(root.path);
+    CoordinatorConfig config;
+    config.socket_path = root.path + "/coord.sock"; // never served
+    config.cache_dir = root.path + "/cache";
+    Coordinator coordinator(config);
+    // The socket server converts thrown ServiceError/BatchError into
+    // error replies; mirror that so every abuse case below asserts
+    // "error reply, never a crash".
+    const auto safeHandle = [&](proto::Opcode op,
+                                const std::string &body) {
+        try {
+            return coordinator.handle(makeRequest(op, body), 1);
+        } catch (const std::exception &e) {
+            return proto::Reply::error(e.what());
+        }
+    };
+
+    // No streams: STREAM-LEASE is idle, whatever the body says.
+    for (const char *body : {"", "worker=w\n", "garbage tokens\n"}) {
+        const auto reply =
+            safeHandle(proto::Opcode::StreamLease, body);
+        ASSERT_TRUE(reply.ok) << body;
+        EXPECT_EQ(reply.body, "none\n") << body;
+    }
+
+    // Malformed STREAM-HANDOFF headers are error replies.
+    for (const char *body :
+         {"", "lease=1\n", "status=ok\n", "lease=1 status=maybe\n",
+          "lease=zzz status=ok\n"}) {
+        EXPECT_FALSE(
+            safeHandle(proto::Opcode::StreamHandoff, body).ok)
+            << "'" << body << "'";
+    }
+
+    // Host a real stream (one cheap window) and lease it.
+    constexpr const char *directives =
+        "config c llc=2MiB\n"
+        "schedule s spacing=41000 regions=1\n";
+    TempPath trace("mig_abuse_trace");
+    const std::string bytes = recordTraceBytes(trace.path, 41000);
+    const auto opened =
+        safeHandle(proto::Opcode::StreamOpen, directives);
+    ASSERT_TRUE(opened.ok) << opened.body;
+    const std::string sid = tokenOf(opened.body, "stream");
+    ASSERT_TRUE(
+        safeHandle(proto::Opcode::StreamAppend,
+                   "stream=" + sid + "\n" + bytes)
+            .ok);
+
+    const auto leased =
+        safeHandle(proto::Opcode::StreamLease, "worker=w\n");
+    ASSERT_TRUE(leased.ok);
+    ASSERT_NE(leased.body, "none\n");
+    EXPECT_EQ(tokenOf(leased.body, "from"), "0");
+    EXPECT_EQ(tokenOf(leased.body, "to"), "1");
+    EXPECT_EQ(tokenOf(leased.body, "finish"), "0");
+    EXPECT_EQ(tokenOf(leased.body, "prefix"), "-");
+    // A leased stream is not leased twice.
+    EXPECT_EQ(safeHandle(proto::Opcode::StreamLease, "").body,
+              "none\n");
+
+    // A prefix handoff must ship a prefix file...
+    const std::string lease1 = tokenOf(leased.body, "lease");
+    EXPECT_FALSE(safeHandle(proto::Opcode::StreamHandoff,
+                            "lease=" + lease1 +
+                                " status=ok windows=1 prefix=-\n")
+                     .ok);
+    // ...and the error left the stream leasable again.
+    const auto leased2 =
+        safeHandle(proto::Opcode::StreamLease, "worker=w\n");
+    ASSERT_NE(leased2.body, "none\n");
+    const std::string lease2 = tokenOf(leased2.body, "lease");
+
+    // A corrupt prefix file is an error reply, the worker file is
+    // reclaimed, and the stream is (again) leasable.
+    const std::string garbage = root.path + "/garbage.lvp";
+    { std::ofstream(garbage, std::ios::binary) << "not a livepoint"; }
+    EXPECT_FALSE(safeHandle(proto::Opcode::StreamHandoff,
+                            "lease=" + lease2 +
+                                " status=ok windows=1 prefix=" +
+                                garbage + "\n")
+                     .ok);
+    EXPECT_FALSE(std::filesystem::exists(garbage));
+    const auto leased3 =
+        safeHandle(proto::Opcode::StreamLease, "worker=w\n");
+    ASSERT_NE(leased3.body, "none\n");
+    const std::string lease3 = tokenOf(leased3.body, "lease");
+
+    // Cross-kind confusion: a work-unit lease cannot STREAM-HANDOFF,
+    // a stream lease cannot COMPLETE. Both error without consuming
+    // the lease.
+    ASSERT_TRUE(safeHandle(proto::Opcode::Submit,
+                           submitBody(tiny_manifest))
+                    .ok);
+    const auto cell_leased =
+        safeHandle(proto::Opcode::Lease, "worker=w\n");
+    ASSERT_NE(cell_leased.body, "none\n");
+    const std::string cell_lease = tokenOf(cell_leased.body, "lease");
+    EXPECT_FALSE(safeHandle(proto::Opcode::StreamHandoff,
+                            "lease=" + cell_lease +
+                                " status=ok windows=1 prefix=-\n")
+                     .ok);
+    EXPECT_FALSE(safeHandle(proto::Opcode::Complete,
+                            "lease=" + lease3 + " status=ok more=0\n")
+                     .ok);
+
+    // A handoff under a vanished lease id is acked and discarded —
+    // the worker did nothing wrong — and its prefix file is dropped.
+    const std::string stale = root.path + "/stale.lvp";
+    { std::ofstream(stale, std::ios::binary) << "whatever"; }
+    const auto zombie = safeHandle(proto::Opcode::StreamHandoff,
+                                   "lease=999999 status=ok windows=3 "
+                                   "prefix=" +
+                                       stale + "\n");
+    ASSERT_TRUE(zombie.ok) << zombie.body;
+    EXPECT_EQ(tokenOf(zombie.body, "discarded"), "1");
+    EXPECT_FALSE(std::filesystem::exists(stale));
+
+    // An *active* lease's error handoff fails the stream for real;
+    // the next append surfaces the diagnostic and reclaims it.
+    const auto failed = safeHandle(proto::Opcode::StreamHandoff,
+                                   "lease=" + lease3 +
+                                       " status=error\n"
+                                       "worker exploded");
+    ASSERT_TRUE(failed.ok) << failed.body;
+    const auto append = safeHandle(proto::Opcode::StreamAppend,
+                                   "stream=" + sid + "\nx");
+    EXPECT_FALSE(append.ok);
+    EXPECT_NE(append.body.find("worker exploded"), std::string::npos);
+    EXPECT_FALSE(safeHandle(proto::Opcode::Status, "stream=" + sid).ok);
+    EXPECT_EQ(coordinator.counters().streams_failed, 1u);
+
+    // Tail mode reads a local file: the coordinator refuses it.
+    EXPECT_FALSE(safeHandle(proto::Opcode::StreamOpen,
+                            "tail=/tmp/nope.dlt\n" +
+                                std::string(directives))
+                     .ok);
+}
+
+TEST(Stream, TailFollowsGrowingTraceFile)
+{
+    TempPath trace("tail_trace");
+    const std::string bytes = recordTraceBytes(trace.path, 400000);
+    const std::string plan_text =
+        "workload file:" + trace.path + "\n" + stream_directives;
+    const auto plan = tinyPlan(plan_text.c_str());
+    const auto golden = batch::BatchRunner::runCell(plan.cells()[0]);
+
+    // Re-grow the file from scratch while the daemon tails it. The
+    // cut points are unaligned (mid-header, mid-record) on purpose:
+    // the stability gate must still never feed a half-written tail.
+    std::filesystem::remove(trace.path);
+    ServiceFixture fixture;
+    ServiceClient client(fixture.config.socket_path);
+
+    const auto append = [&](std::size_t from, std::size_t to) {
+        std::ofstream out(trace.path,
+                          std::ios::binary | std::ios::app);
+        out.write(bytes.data() + from, std::streamoff(to - from));
+    };
+    // The tail opens BEFORE the recorder's first write: a file that
+    // does not exist yet is "not started", not "vanished" — the
+    // daemon polls until it appears.
+    const std::uint64_t id = client.streamOpen(
+        "tail=" + trace.path + "\n" + std::string(stream_directives));
+    EXPECT_EQ(client.streamStatus(id).records, 0u);
+    append(0, 13);
+
+    const std::size_t records_at = bytes.size() - 400000ull * 32;
+    append(13, records_at + 17);
+    append(records_at + 17, records_at + 200000ull * 32 + 5);
+    ServiceFixture::waitFor(
+        [&] { return client.streamStatus(id).windows_fed >= 1; },
+        "the tail to feed window 1");
+    append(records_at + 200000ull * 32 + 5, bytes.size());
+
+    // The daemon notices the file stopped growing, drains it, and
+    // STATUS flips complete=1 — the signal to CLOSE.
+    ServiceFixture::waitFor(
+        [&] { return client.streamStatus(id).complete; },
+        "the tail to drain the file");
+    const auto closed = client.streamClose(id);
+    EXPECT_EQ(closed.windows, 2u);
+    EXPECT_EQ(closed.key, plan.cells()[0].key);
+    EXPECT_EQ(client.result(closed.key), golden);
 }
 
 } // namespace

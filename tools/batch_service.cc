@@ -55,6 +55,14 @@
  * `result-raw`, or run `result` with a manifest naming the original
  * trace file — the streamed result is cached under the same content
  * key an offline run of that file produces.
+ *
+ * `stream --tail` hands the ingestion to the *server*: the daemon
+ * polls the (possibly still growing) trace file itself — with the
+ * manifest watcher's stability gate, so a recorder's half-written
+ * tail is never fed — while this command just polls STATUS (running
+ * CPI, MPKI and miss-ratio-curve points) until every declared record
+ * is ingested, then closes. The trace path must be visible to the
+ * daemon, so it is sent absolute.
  */
 
 #include <fcntl.h>
@@ -65,6 +73,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -78,6 +87,7 @@
 #include "service/client.hh"
 #include "service/coordinator.hh"
 #include "service/service.hh"
+#include "service/stream.hh"
 #include "service/worker.hh"
 
 namespace
@@ -113,6 +123,7 @@ usage()
         " [--out F]\n"
         "       batch_service stream   <trace.dlt> --socket S\n"
         "                              [--plan FILE] [--chunks N]\n"
+        "                              [--tail]\n"
         "       batch_service stats    --socket S\n"
         "       batch_service shutdown --socket S\n");
     std::exit(1);
@@ -137,6 +148,7 @@ struct CliOptions
     unsigned max_ready = 100000;
     std::string plan_file; //!< stream: manifest directives
     unsigned chunks = 3;   //!< stream: append pieces
+    bool tail = false;     //!< stream: server-side tail of the file
 };
 
 unsigned
@@ -188,6 +200,8 @@ parseCli(int argc, char **argv, int first)
             cli.plan_file = next();
         } else if (arg == "--chunks") {
             cli.chunks = parseUnsigned(next(), "--chunks");
+        } else if (arg == "--tail") {
+            cli.tail = true;
         } else if (arg == "--priority") {
             cli.priority = parseUnsigned(next(), "--priority");
         } else if (arg == "--job") {
@@ -311,22 +325,6 @@ readManifestFile(const std::string &path)
     return buffer.str();
 }
 
-/**
- * First state= token of a job status line ("" if absent). The line's
- * trailing name= field echoes the client-controlled job name — which
- * can itself contain "state=done" — so no substring matching.
- */
-std::string
-jobState(const std::string &line)
-{
-    std::istringstream is(line);
-    std::string token;
-    while (is >> token)
-        if (token.rfind("state=", 0) == 0)
-            return token.substr(6);
-    return "";
-}
-
 int
 cmdSubmit(const CliOptions &cli)
 {
@@ -346,17 +344,20 @@ cmdSubmit(const CliOptions &cli)
     fatal_if(!client.waitForJob(info.job, double(cli.timeout_s)),
              "job %llu still running after %us",
              (unsigned long long)info.job, cli.timeout_s);
-    const std::string line = client.jobStatus(info.job);
-    std::fputs(line.c_str(), stdout);
-    return jobState(line) == "done" ? 0 : 2;
+    // The typed snapshot drives the exit code; jobStatusLine renders
+    // it back to the exact wire line, so the output stays diff-clean.
+    const JobStatus status = client.jobStatus(info.job);
+    std::fputs(jobStatusLine(status).c_str(), stdout);
+    return status.failed == 0 ? 0 : 2;
 }
 
 int
 cmdStatus(const CliOptions &cli)
 {
     ServiceClient client(cli.service.socket_path);
-    std::fputs(cli.job != 0 ? client.jobStatus(cli.job).c_str()
-                            : client.status().c_str(),
+    std::fputs(cli.job != 0
+                   ? jobStatusLine(client.jobStatus(cli.job)).c_str()
+                   : client.statusText().c_str(),
                stdout);
     return 0;
 }
@@ -400,10 +401,67 @@ cmdResultRaw(const CliOptions &cli)
     return 0;
 }
 
+/** Render one stream STATUS poll (shared by push and tail modes). */
+void
+printStreamStatus(const char *label, unsigned n,
+                  const ServiceClient::StreamStatus &st)
+{
+    std::printf("%s=%u records=%llu windows_fed=%u windows_total=%u "
+                "est_cpi=%.17g ci_error=%.17g mpki=%.17g",
+                label, n, (unsigned long long)st.records,
+                st.windows_fed, st.windows_total, st.est_cpi,
+                st.ci_error, st.mpki);
+    if (!st.mrc.empty())
+        std::printf(" mrc=%s", formatMrcPoints(st.mrc).c_str());
+    std::printf("\n");
+}
+
+/**
+ * Server-side tail: the daemon follows the growing file itself; we
+ * poll STATUS for the running estimate and close once every declared
+ * record is ingested.
+ */
+int
+streamTail(const CliOptions &cli, ServiceClient &client,
+           const std::string &directives)
+{
+    // The daemon opens the path itself, from its own working
+    // directory — send it absolute.
+    const std::string path =
+        std::filesystem::absolute(cli.positional).string();
+    const std::uint64_t id =
+        client.streamOpen("tail=" + path + "\n" + directives);
+    std::printf("stream=%llu tail=%s\n", (unsigned long long)id,
+                path.c_str());
+
+    unsigned attempt = 0;
+    for (unsigned poll = 1;; ++poll) {
+        const auto st = client.streamStatus(id);
+        printStreamStatus("poll", poll, st);
+        if (st.complete)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            pollBackoffMs(attempt++, ServiceClient::poll_base_ms,
+                          ServiceClient::poll_cap_ms, id)));
+    }
+
+    const auto info = client.streamClose(id);
+    std::printf("key=%s windows=%u\n", info.key.hex().c_str(),
+                info.windows);
+    return 0;
+}
+
 int
 cmdStream(const CliOptions &cli)
 {
     fatal_if(cli.positional.empty(), "stream: missing trace path");
+    if (cli.tail) {
+        const std::string directives =
+            cli.plan_file.empty() ? ""
+                                  : readManifestFile(cli.plan_file);
+        ServiceClient client(cli.service.socket_path);
+        return streamTail(cli, client, directives);
+    }
     std::ifstream is(cli.positional, std::ios::binary);
     fatal_if(!is, "cannot open trace '%s'", cli.positional.c_str());
     std::ostringstream buffer;
@@ -431,11 +489,7 @@ cmdStream(const CliOptions &cli)
         for (std::size_t at = begin; at < end; at += max_append)
             client.streamAppend(
                 id, bytes.substr(at, std::min(max_append, end - at)));
-        const auto st = client.streamStatus(id);
-        std::printf("chunk=%u windows_fed=%u windows_total=%u "
-                    "est_cpi=%.17g ci_error=%.17g\n",
-                    c + 1, st.windows_fed, st.windows_total,
-                    st.est_cpi, st.ci_error);
+        printStreamStatus("chunk", c + 1, client.streamStatus(id));
     }
 
     const auto info = client.streamClose(id);
@@ -448,7 +502,7 @@ int
 cmdStats(const CliOptions &cli)
 {
     ServiceClient client(cli.service.socket_path);
-    std::fputs(client.stats().c_str(), stdout);
+    std::fputs(client.statsText().c_str(), stdout);
     return 0;
 }
 
